@@ -1,0 +1,147 @@
+//! The Sanger comparison model (§6.3).
+//!
+//! Sanger (MICRO 2021) accelerates *dynamic* sparse attention: it first
+//! predicts the score matrix in low precision, masks it, then computes the
+//! surviving positions on a reconfigurable `64 x 16` systolic array. The
+//! paper's comparison points (§6.3):
+//!
+//! * nearly equal peak throughput (1024 PEs at the same frequency);
+//! * the prediction step costs a *quadratic* number of low-precision
+//!   MACs regardless of sparsity — the term that dominates for long
+//!   sequences;
+//! * PE utilization of 55–75 % on its irregular (unstructured) sparsity,
+//!   against SALO's >75 % on hybrid structured patterns;
+//! * net effect: SALO is ~1.33x faster at equal PE count, sparsity and
+//!   frequency.
+
+/// Analytical Sanger performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SangerModel {
+    /// PE array rows (64 in the paper).
+    pub pe_rows: usize,
+    /// PE array columns (16 in the paper).
+    pub pe_cols: usize,
+    /// Clock frequency (GHz).
+    pub freq_ghz: f64,
+    /// Throughput multiplier of the low-precision (4-bit) prediction pass
+    /// relative to full-precision MACs.
+    pub predict_speedup: f64,
+    /// Utilization at the sparse end of the measured range (density 0.05).
+    pub util_low: f64,
+    /// Utilization at the dense end of the measured range (density 0.30).
+    pub util_high: f64,
+}
+
+impl Default for SangerModel {
+    fn default() -> Self {
+        Self {
+            pe_rows: 64,
+            pe_cols: 16,
+            freq_ghz: 1.0,
+            predict_speedup: 4.0,
+            util_low: 0.55,
+            util_high: 0.75,
+        }
+    }
+}
+
+impl SangerModel {
+    /// Total PEs.
+    #[must_use]
+    pub fn pes(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Utilization at a given pattern density, interpolating the paper's
+    /// 55–75 % over its measured density range 0.05–0.30 (clamped
+    /// outside).
+    #[must_use]
+    pub fn utilization(&self, density: f64) -> f64 {
+        let t = ((density - 0.05) / 0.25).clamp(0.0, 1.0);
+        self.util_low + t * (self.util_high - self.util_low)
+    }
+
+    /// Cycles for the low-precision score prediction: `n^2 * d` MACs per
+    /// head at `predict_speedup` MACs per PE-cycle.
+    #[must_use]
+    pub fn predict_cycles(&self, n: usize, head_dim: usize, heads: usize) -> f64 {
+        let macs = (n as f64).powi(2) * head_dim as f64 * heads as f64;
+        macs / (self.pes() as f64 * self.predict_speedup)
+    }
+
+    /// Cycles for the sparse attention itself: `2 * nnz * d` MACs per head
+    /// (score + value matmuls) at the density-dependent utilization.
+    #[must_use]
+    pub fn attention_cycles(&self, n: usize, nnz: u64, head_dim: usize, heads: usize) -> f64 {
+        let density = nnz as f64 / (n as f64).powi(2);
+        let macs = 2.0 * nnz as f64 * head_dim as f64 * heads as f64;
+        macs / (self.pes() as f64 * self.utilization(density))
+    }
+
+    /// End-to-end latency in seconds for one layer.
+    #[must_use]
+    pub fn latency_s(&self, n: usize, nnz: u64, head_dim: usize, heads: usize) -> f64 {
+        let cycles = self.predict_cycles(n, head_dim, heads)
+            + self.attention_cycles(n, nnz, head_dim, heads);
+        cycles / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_paper() {
+        let m = SangerModel::default();
+        assert_eq!(m.pes(), 1024);
+    }
+
+    #[test]
+    fn utilization_interpolates_measured_range() {
+        let m = SangerModel::default();
+        assert!((m.utilization(0.05) - 0.55).abs() < 1e-12);
+        assert!((m.utilization(0.30) - 0.75).abs() < 1e-12);
+        let mid = m.utilization(0.175);
+        assert!(mid > 0.55 && mid < 0.75);
+        // Clamped outside the measured range.
+        assert!((m.utilization(0.01) - 0.55).abs() < 1e-12);
+        assert!((m.utilization(0.9) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_is_quadratic_regardless_of_sparsity() {
+        let m = SangerModel::default();
+        let a = m.predict_cycles(1024, 64, 1);
+        let b = m.predict_cycles(2048, 64, 1);
+        assert!((b / a - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn salo_advantage_in_paper_range() {
+        // SALO at equal PEs/frequency: MAC utilization ~0.78, no predict
+        // step: cycles = 2*nnz*d / (1024 * 0.78). At the dense end of the
+        // paper's sparsity range (0.30) the model lands on the paper's
+        // 1.33x headline; at lower densities Sanger's quadratic predict
+        // step dominates and SALO's advantage grows.
+        let m = SangerModel::default();
+        let n = 4096usize;
+        let d = 64usize;
+        for (density, lo, hi) in [(0.30, 1.25, 1.5), (0.125, 1.8, 2.2), (0.05, 3.0, 3.7)] {
+            let nnz = (density * (n as f64).powi(2)) as u64;
+            let sanger = m.latency_s(n, nnz, d, 1);
+            let salo = (2.0 * nnz as f64 * d as f64) / (1024.0 * 0.78) / 1e9;
+            let speedup = sanger / salo;
+            assert!(
+                (lo..hi).contains(&speedup),
+                "density {density}: speedup {speedup} outside [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_increases_with_work() {
+        let m = SangerModel::default();
+        assert!(m.latency_s(2048, 500_000, 64, 12) > m.latency_s(1024, 250_000, 64, 12));
+    }
+}

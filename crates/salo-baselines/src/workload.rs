@@ -1,0 +1,101 @@
+//! The workload descriptor baseline models consume.
+
+/// How a CPU/GPU software stack executes a hybrid-sparse attention layer.
+///
+/// The paper's observation (§1, §6.2) is that hybrid sparse attention "is
+/// not directly supported by the highly optimized GEMM kernels", so each
+/// workload family lands on a different — and differently inefficient —
+/// implementation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionFamily {
+    /// Full `n x n` attention via large GEMMs (BERT-style dense models).
+    Dense,
+    /// 1-D banded attention via Longformer's chunked sliding-window
+    /// kernels: GEMM-friendly but with overlap overheads and extra copies.
+    Banded1d,
+    /// 2-D windowed attention via ViL's sliding-chunk/unfold path:
+    /// gather-dominated and memory bound.
+    Windowed2d,
+}
+
+/// One attention layer as the baseline models see it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineWorkload {
+    /// Display name (e.g. "Longformer").
+    pub name: String,
+    /// Sequence length `n`.
+    pub seq_len: usize,
+    /// Model (hidden) dimension `h * d_head`.
+    pub model_dim: usize,
+    /// Number of heads.
+    pub num_heads: usize,
+    /// Kept score positions of the pattern (one head).
+    pub nnz: u64,
+    /// Execution strategy on CPU/GPU.
+    pub family: ExecutionFamily,
+}
+
+impl BaselineWorkload {
+    /// FLOPs to execute the layer *exploiting* sparsity:
+    /// `4 * nnz * model_dim` (two matmuls, two FLOPs per MAC).
+    #[must_use]
+    pub fn sparse_flops(&self) -> f64 {
+        4.0 * self.nnz as f64 * self.model_dim as f64
+    }
+
+    /// FLOPs for the dense computation: `4 * n^2 * model_dim`.
+    #[must_use]
+    pub fn dense_flops(&self) -> f64 {
+        4.0 * (self.seq_len as f64).powi(2) * self.model_dim as f64
+    }
+
+    /// FLOPs the family's implementation actually executes.
+    #[must_use]
+    pub fn executed_flops(&self) -> f64 {
+        match self.family {
+            ExecutionFamily::Dense => self.dense_flops(),
+            // Sparse implementations compute the kept positions (chunk
+            // overlap overheads are folded into the per-family
+            // bytes-per-FLOP calibration).
+            ExecutionFamily::Banded1d | ExecutionFamily::Windowed2d => self.sparse_flops(),
+        }
+    }
+
+    /// Pattern density `nnz / n^2`.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.nnz as f64 / (self.seq_len as f64).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BaselineWorkload {
+        BaselineWorkload {
+            name: "test".into(),
+            seq_len: 1024,
+            model_dim: 768,
+            num_heads: 12,
+            nnz: 1024 * 128,
+            family: ExecutionFamily::Banded1d,
+        }
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let w = sample();
+        assert_eq!(w.sparse_flops(), 4.0 * (1024.0 * 128.0) * 768.0);
+        assert_eq!(w.dense_flops(), 4.0 * 1024.0 * 1024.0 * 768.0);
+        assert!(w.executed_flops() < w.dense_flops());
+        assert!((w.density() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_family_executes_dense_flops() {
+        let mut w = sample();
+        w.family = ExecutionFamily::Dense;
+        assert_eq!(w.executed_flops(), w.dense_flops());
+    }
+}

@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * pass pipelining on/off (the steady-state interval claim);
+//! * exponential-LUT segment count vs evaluation cost (accuracy is
+//!   reported by `table3_quantization` and the `salo-fixed` tests);
+//! * array geometry (window-chunk width) vs plan shape;
+//! * diagonal-reuse dataflow vs naive per-cell loads (traffic model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salo_fixed::ExpLut;
+use salo_models::longformer_layer;
+use salo_scheduler::{ExecutionPlan, HardwareMeta};
+use salo_sim::{AcceleratorConfig, SpatialAccelerator, TrafficReport};
+use std::hint::black_box;
+
+fn bench_pipelining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipelining");
+    group.sample_size(10);
+    let workload = longformer_layer(4096, 512, 768, 1).expect("workload");
+    let plan =
+        ExecutionPlan::build(&workload.pattern, HardwareMeta::default()).expect("plan");
+    for pipelined in [true, false] {
+        let mut config = AcceleratorConfig::default();
+        config.pipelined = pipelined;
+        let sim = SpatialAccelerator::new(config);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if pipelined { "pipelined" } else { "serialized" }),
+            &pipelined,
+            |b, _| b.iter(|| black_box(sim.estimate(&plan, 64, 12))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_exp_lut_segments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_exp_lut");
+    for segments in [8usize, 16, 32, 64, 128] {
+        let lut = ExpLut::new(segments);
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &lut, |b, lut| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for x in (-2048..2048).step_by(64) {
+                    acc = acc.wrapping_add(lut.eval_q8(x));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_array_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_array_geometry");
+    group.sample_size(10);
+    let workload = longformer_layer(2048, 256, 768, 1).expect("workload");
+    for (rows, cols) in [(32usize, 32usize), (64, 16), (16, 64), (8, 128)] {
+        let hw = HardwareMeta::new(rows, cols, 1, 1).expect("hw");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &hw,
+            |b, hw| b.iter(|| black_box(ExecutionPlan::build(&workload.pattern, *hw).expect("plan"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reuse_accounting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dataflow_reuse");
+    group.sample_size(10);
+    let workload = longformer_layer(4096, 512, 768, 1).expect("workload");
+    let plan =
+        ExecutionPlan::build(&workload.pattern, HardwareMeta::default()).expect("plan");
+    group.bench_function("traffic_report", |b| {
+        b.iter(|| black_box(TrafficReport::from_plan(&plan, 64)))
+    });
+    group.finish();
+}
+
+fn bench_datapath_views(c: &mut Criterion) {
+    // Vectorized vs event-accurate systolic execution of the same plan
+    // (bit-identical results; this measures the host cost of fidelity).
+    let mut group = c.benchmark_group("ablation_datapath_view");
+    group.sample_size(10);
+    let workload = longformer_layer(256, 32, 64, 1).expect("workload");
+    let hw = HardwareMeta::default();
+    let plan = ExecutionPlan::build(&workload.pattern, hw).expect("plan");
+    let sim = SpatialAccelerator::default_instance();
+    let qkv = salo_kernels::Qkv::random(256, 64, 3);
+    let scale = SpatialAccelerator::default_scale(64);
+    group.bench_function("vectorized", |b| {
+        b.iter(|| black_box(sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, scale).expect("exec")))
+    });
+    group.bench_function("systolic_event_accurate", |b| {
+        b.iter(|| {
+            black_box(sim.execute_systolic(&plan, &qkv.q, &qkv.k, &qkv.v, scale).expect("exec"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipelining,
+    bench_exp_lut_segments,
+    bench_array_geometry,
+    bench_reuse_accounting,
+    bench_datapath_views
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E1 bench: dense attention latency vs sequence length (quadratic), on
+//! real host kernels. Complements `table_motivation`'s model view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salo_kernels::{dense_attention, Qkv};
+use std::hint::black_box;
+
+fn bench_dense_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_attention_scaling");
+    group.sample_size(10);
+    for n in [128usize, 256, 512, 1024] {
+        let qkv = Qkv::random(n, 64, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out = dense_attention(&qkv.q, &qkv.k, &qkv.v, 0.125).expect("dense");
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_scaling);
+criterion_main!(benches);

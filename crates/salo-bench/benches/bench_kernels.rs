@@ -1,0 +1,54 @@
+//! Dense vs sparse reference kernels: the linear-vs-quadratic crossover
+//! that motivates the whole paper, measured on real host code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salo_kernels::{
+    banded_attention, dense_attention, fixed_sparse_attention, sparse_attention,
+    FixedAttention, Qkv,
+};
+use salo_patterns::longformer;
+use std::hint::black_box;
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vs_dense");
+    group.sample_size(10);
+    for n in [256usize, 512, 1024] {
+        let qkv = Qkv::random(n, 64, 7);
+        let pattern = longformer(n, 64, 1).expect("pattern");
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| black_box(dense_attention(&qkv.q, &qkv.k, &qkv.v, 0.125).expect("dense")))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_w64", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, 0.125).expect("sparse"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("banded_w64_b32", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    banded_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, 0.125, 32)
+                        .expect("banded"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixed_point_kernel");
+    group.sample_size(10);
+    let n = 512;
+    let qkv = Qkv::random(n, 64, 9);
+    let pattern = longformer(n, 64, 1).expect("pattern");
+    let dp = FixedAttention::new(64);
+    group.bench_function("fixed_sparse_n512_w64", |b| {
+        b.iter(|| {
+            black_box(fixed_sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, &dp).expect("fx"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_vs_dense, bench_fixed_kernel);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E6 bench: SALO vs Sanger latency-model evaluation across the paper's
+//! sparsity range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salo_baselines::SangerModel;
+use salo_core::Salo;
+use salo_models::longformer_layer;
+use std::hint::black_box;
+
+fn bench_sanger_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sanger_model");
+    let sanger = SangerModel::default();
+    for (label, nnz) in [("density_0.05", 838_860u64), ("density_0.30", 5_033_164)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &nnz, |b, &nnz| {
+            b.iter(|| black_box(sanger.latency_s(4096, nnz, 64, 12)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_salo_vs_sanger_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("salo_vs_sanger_sweep");
+    group.sample_size(10);
+    let salo = Salo::default_config();
+    let sanger = SangerModel::default();
+    group.bench_function("full_sweep_6_points", |b| {
+        b.iter(|| {
+            let mut ratios = Vec::new();
+            for window in [128usize, 256, 512, 768, 1024, 1228] {
+                let w = longformer_layer(4096, window, 768, 0).expect("workload");
+                let compiled = salo.compile(&w.pattern, &w.shape).expect("plan");
+                let t_salo = salo.estimate(&compiled).time_s;
+                let t_sanger = sanger.latency_s(4096, w.nnz(), 64, 12);
+                ratios.push(t_sanger / t_salo);
+            }
+            black_box(ratios)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sanger_model, bench_salo_vs_sanger_sweep);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Data scheduler throughput: plan construction for the paper's workloads
+//! (E9 — the Fig. 4 machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salo_models::{longformer_base_4096, vil_stage1, vil_stage2};
+use salo_patterns::sparse_transformer;
+use salo_scheduler::{ExecutionPlan, HardwareMeta};
+use std::hint::black_box;
+
+fn bench_plan_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_build");
+    group.sample_size(10);
+    let workloads = [
+        ("longformer_4096", longformer_base_4096().pattern),
+        ("vil_stage1", vil_stage1().pattern),
+        ("vil_stage2", vil_stage2().pattern),
+        ("sparse_transformer_2048", sparse_transformer(2048, 64, 16).expect("pattern")),
+    ];
+    for (name, pattern) in workloads {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pattern, |b, p| {
+            b.iter(|| black_box(ExecutionPlan::build(p, HardwareMeta::default()).expect("plan")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_stats");
+    group.sample_size(10);
+    let plan =
+        ExecutionPlan::build(&longformer_base_4096().pattern, HardwareMeta::default())
+            .expect("plan");
+    group.bench_function("longformer_4096", |b| b.iter(|| black_box(plan.stats())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_build, bench_plan_stats);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E4 bench: the full comparison pipeline (compile + estimate + baseline
+//! models) for the three Fig. 7 workloads, plus functional simulation on
+//! a scaled-down Longformer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salo_core::{compare_workload, Salo};
+use salo_kernels::Qkv;
+use salo_models::{longformer_base_4096, longformer_layer, vil_stage1, vil_stage2};
+use std::hint::black_box;
+
+fn bench_figure7_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_pipeline");
+    group.sample_size(10);
+    let salo = Salo::default_config();
+    let cpu = salo_baselines::cpu_xeon_e5_2630_v3();
+    let gpu = salo_baselines::gtx_1080ti();
+    for workload in [longformer_base_4096(), vil_stage1(), vil_stage2()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&workload.name),
+            &workload,
+            |b, w| b.iter(|| black_box(compare_workload(&salo, w, &cpu, &gpu).expect("compare"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_functional_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_simulation");
+    group.sample_size(10);
+    let salo = Salo::default_config();
+    // A 1/8-scale Longformer head: n=512, w=64.
+    let workload = longformer_layer(512, 64, 64, 1).expect("workload");
+    let compiled = salo.compile(&workload.pattern, &workload.shape).expect("plan");
+    let head = Qkv::random(512, 64, 3);
+    group.bench_function("longformer_scaled_n512_one_head", |b| {
+        b.iter(|| black_box(salo.execute_head(&compiled, &head).expect("execute")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure7_pipeline, bench_functional_execution);
+criterion_main!(benches);

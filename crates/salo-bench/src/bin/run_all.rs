@@ -1,0 +1,38 @@
+//! Runs every table/figure reproduction in sequence (E1–E7).
+//!
+//! Equivalent to running each `table*`/`figure*` binary; used to populate
+//! EXPERIMENTS.md and as a smoke test of the whole harness.
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "table_motivation",
+        "table1_synthesis",
+        "table2_workloads",
+        "figure7a_speedup",
+        "figure7b_energy",
+        "table_sanger_comparison",
+        "table_related_work",
+        "table3_quantization",
+        "design_space",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin directory");
+    let mut failures = Vec::new();
+    for bin in binaries {
+        let path = dir.join(bin);
+        println!("\n################ {bin} ################");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => failures.push(format!("{bin}: exit {s}")),
+            Err(e) => failures.push(format!("{bin}: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("\nall experiments completed");
+}

@@ -1,0 +1,104 @@
+use std::error::Error;
+use std::fmt;
+
+use salo_fixed::FixedError;
+use salo_kernels::KernelError;
+use salo_patterns::PatternError;
+use salo_scheduler::SchedulerError;
+use salo_sim::SimError;
+
+/// The unified error type of the top-level API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SaloError {
+    /// The compiled plan and the provided inputs disagree.
+    ShapeMismatch {
+        /// Expected sequence length and head dimension.
+        expected: (usize, usize),
+        /// What was provided.
+        got: (usize, usize),
+    },
+    /// Wrong number of heads provided to a multi-head execution.
+    HeadCountMismatch {
+        /// Heads declared in the compiled shape.
+        expected: usize,
+        /// Heads provided.
+        got: usize,
+    },
+    /// Pattern-layer error.
+    Pattern(PatternError),
+    /// Scheduler-layer error.
+    Scheduler(SchedulerError),
+    /// Simulator-layer error.
+    Sim(SimError),
+    /// Kernel-layer error.
+    Kernel(KernelError),
+    /// Fixed-point-layer error.
+    Fixed(FixedError),
+}
+
+impl fmt::Display for SaloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaloError::ShapeMismatch { expected, got } => write!(
+                f,
+                "input shape {}x{} does not match compiled plan {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            SaloError::HeadCountMismatch { expected, got } => {
+                write!(f, "expected {expected} heads, got {got}")
+            }
+            SaloError::Pattern(e) => write!(f, "pattern error: {e}"),
+            SaloError::Scheduler(e) => write!(f, "scheduler error: {e}"),
+            SaloError::Sim(e) => write!(f, "simulator error: {e}"),
+            SaloError::Kernel(e) => write!(f, "kernel error: {e}"),
+            SaloError::Fixed(e) => write!(f, "fixed-point error: {e}"),
+        }
+    }
+}
+
+impl Error for SaloError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SaloError::Pattern(e) => Some(e),
+            SaloError::Scheduler(e) => Some(e),
+            SaloError::Sim(e) => Some(e),
+            SaloError::Kernel(e) => Some(e),
+            SaloError::Fixed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_impl {
+    ($source:ty, $variant:ident) => {
+        impl From<$source> for SaloError {
+            fn from(e: $source) -> Self {
+                SaloError::$variant(e)
+            }
+        }
+    };
+}
+
+from_impl!(PatternError, Pattern);
+from_impl!(SchedulerError, Scheduler);
+from_impl!(SimError, Sim);
+from_impl!(KernelError, Kernel);
+from_impl!(FixedError, Fixed);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SaloError = PatternError::EmptySequence.into();
+        assert!(e.source().is_some());
+        let e: SaloError = SchedulerError::EmptyPlan.into();
+        assert!(e.to_string().contains("scheduler"));
+        let e = SaloError::ShapeMismatch { expected: (8, 4), got: (8, 2) };
+        assert!(e.to_string().contains("8x2"));
+        let e = SaloError::HeadCountMismatch { expected: 12, got: 3 };
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,37 @@
+//! The top-level SALO API.
+//!
+//! [`Salo`] ties the reproduction together: configure an accelerator
+//! instance, *compile* a hybrid sparse attention pattern into an execution
+//! plan (the data scheduler), then *execute* it functionally (bit-accurate
+//! fixed point) or *estimate* it (cycle/energy model). The
+//! [`experiment`] module packages the paper's evaluation protocol —
+//! workload vs CPU/GPU baselines — used by the `salo-bench` harness to
+//! regenerate Fig. 7.
+//!
+//! ```
+//! use salo_core::Salo;
+//! use salo_patterns::{longformer, AttentionShape};
+//!
+//! # fn main() -> Result<(), salo_core::SaloError> {
+//! let salo = Salo::default_config();
+//! let pattern = longformer(256, 32, 1)?;
+//! let shape = AttentionShape::new(256, 64, 2)?;
+//! let plan = salo.compile(&pattern, &shape)?;
+//! let report = salo.estimate(&plan);
+//! assert!(report.cycles.total > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+pub mod experiment;
+mod salo;
+mod verify;
+
+pub use error::SaloError;
+pub use experiment::{compare_workload, figure7_comparisons, Comparison};
+pub use salo::{CompiledPlan, MultiHeadRun, Salo};
+pub use verify::{validate, ValidationConfig, ValidationReport};

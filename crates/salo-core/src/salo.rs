@@ -1,0 +1,243 @@
+//! The `Salo` façade: compile, execute, estimate.
+
+use salo_kernels::{Matrix, Qkv};
+use salo_patterns::{AttentionShape, HybridPattern};
+use salo_scheduler::{ExecutionPlan, PlanStats};
+use salo_sim::{
+    AcceleratorConfig, ExecutionOutput, SpatialAccelerator, TimingReport,
+};
+
+use crate::SaloError;
+
+/// A pattern compiled for a specific accelerator instance and shape.
+///
+/// Produced by [`Salo::compile`]; reusable across executions (the plan
+/// depends only on the pattern and the array geometry, not on the data).
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    /// The scheduler's execution plan (one head).
+    pub plan: ExecutionPlan,
+    /// The attention shape the plan was compiled for.
+    pub shape: AttentionShape,
+    /// Plan statistics (passes, occupancy, traffic inputs).
+    pub stats: PlanStats,
+}
+
+/// The result of executing all heads of a layer.
+#[derive(Debug, Clone)]
+pub struct MultiHeadRun {
+    /// Per-head execution outputs.
+    pub heads: Vec<ExecutionOutput>,
+    /// Layer latency: heads run back to back.
+    pub total_time_s: f64,
+    /// Layer energy (lumped model).
+    pub total_energy_j: f64,
+}
+
+impl MultiHeadRun {
+    /// Concatenates head outputs into the layer output
+    /// (`n x (heads * d)`).
+    #[must_use]
+    pub fn concat_output(&self) -> Matrix<f32> {
+        let n = self.heads.first().map_or(0, |h| h.output.rows());
+        let d = self.heads.first().map_or(0, |h| h.output.cols());
+        Matrix::from_fn(n, self.heads.len() * d, |i, j| {
+            self.heads[j / d].output.get(i, j % d)
+        })
+    }
+}
+
+/// The SALO accelerator: data scheduler + spatial array, behind one API.
+#[derive(Debug, Clone)]
+pub struct Salo {
+    accel: SpatialAccelerator,
+}
+
+impl Salo {
+    /// Creates an instance with a custom configuration.
+    #[must_use]
+    pub fn new(config: AcceleratorConfig) -> Self {
+        Self { accel: SpatialAccelerator::new(config) }
+    }
+
+    /// The paper's synthesized instance (Table 1).
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self::new(AcceleratorConfig::default())
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &AcceleratorConfig {
+        self.accel.config()
+    }
+
+    /// Runs the data scheduler: splits (and, for dilated windows,
+    /// reorders) the pattern into an execution plan for this instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pattern length disagrees with the shape or
+    /// the pattern yields no work.
+    pub fn compile(
+        &self,
+        pattern: &HybridPattern,
+        shape: &AttentionShape,
+    ) -> Result<CompiledPlan, SaloError> {
+        if pattern.n() != shape.seq_len {
+            return Err(SaloError::ShapeMismatch {
+                expected: (shape.seq_len, shape.head_dim),
+                got: (pattern.n(), shape.head_dim),
+            });
+        }
+        let plan = ExecutionPlan::build(pattern, self.accel.config().hw)?;
+        let stats = plan.stats();
+        Ok(CompiledPlan { plan, shape: *shape, stats })
+    }
+
+    /// Timing/energy estimate for the whole layer (all heads).
+    #[must_use]
+    pub fn estimate(&self, compiled: &CompiledPlan) -> TimingReport {
+        self.accel.estimate(&compiled.plan, compiled.shape.head_dim, compiled.shape.num_heads)
+    }
+
+    /// Functionally executes one head.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the inputs do not match the compiled
+    /// shape, or a simulator error on numeric degeneracy.
+    pub fn execute_head(
+        &self,
+        compiled: &CompiledPlan,
+        head: &Qkv,
+    ) -> Result<ExecutionOutput, SaloError> {
+        if head.seq_len() != compiled.shape.seq_len
+            || head.head_dim() != compiled.shape.head_dim
+        {
+            return Err(SaloError::ShapeMismatch {
+                expected: (compiled.shape.seq_len, compiled.shape.head_dim),
+                got: (head.seq_len(), head.head_dim()),
+            });
+        }
+        let scale = SpatialAccelerator::default_scale(compiled.shape.head_dim);
+        Ok(self.accel.execute(&compiled.plan, &head.q, &head.k, &head.v, scale)?)
+    }
+
+    /// Functionally executes all heads of a layer (sequentially, as the
+    /// hardware does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaloError::HeadCountMismatch`] if the number of heads
+    /// differs from the compiled shape, or any per-head error.
+    pub fn execute(
+        &self,
+        compiled: &CompiledPlan,
+        heads: &[Qkv],
+    ) -> Result<MultiHeadRun, SaloError> {
+        if heads.len() != compiled.shape.num_heads {
+            return Err(SaloError::HeadCountMismatch {
+                expected: compiled.shape.num_heads,
+                got: heads.len(),
+            });
+        }
+        let outputs: Vec<ExecutionOutput> = heads
+            .iter()
+            .map(|h| self.execute_head(compiled, h))
+            .collect::<Result<_, _>>()?;
+        let total_time_s = outputs.iter().map(|o| o.report.timing.time_s).sum();
+        let total_energy_j = outputs.iter().map(|o| o.report.timing.energy_j).sum();
+        Ok(MultiHeadRun { heads: outputs, total_time_s, total_energy_j })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salo_kernels::{multi_head_attention, sparse_attention};
+    use salo_patterns::longformer;
+    use salo_scheduler::HardwareMeta;
+
+    fn small_salo() -> Salo {
+        let mut config = AcceleratorConfig::default();
+        config.hw = HardwareMeta::new(8, 8, 1, 1).unwrap();
+        Salo::new(config)
+    }
+
+    #[test]
+    fn compile_validates_length() {
+        let salo = small_salo();
+        let pattern = longformer(64, 8, 1).unwrap();
+        let shape = AttentionShape::new(32, 8, 1).unwrap();
+        assert!(matches!(
+            salo.compile(&pattern, &shape),
+            Err(SaloError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn end_to_end_matches_reference() {
+        let salo = small_salo();
+        let pattern = longformer(48, 9, 1).unwrap();
+        let shape = AttentionShape::new(48, 8, 2).unwrap();
+        let compiled = salo.compile(&pattern, &shape).unwrap();
+        let heads = Qkv::random_heads(&shape, 77);
+        let run = salo.execute(&compiled, &heads).unwrap();
+        assert_eq!(run.heads.len(), 2);
+
+        let reference = multi_head_attention(&pattern, &heads).unwrap();
+        for (ours, exact) in run.heads.iter().zip(&reference.heads) {
+            let diff = ours.output.max_abs_diff(exact);
+            assert!(diff < 0.3, "head diff {diff}");
+        }
+        let cat = run.concat_output();
+        assert_eq!(cat.shape(), (48, 16));
+        assert!(run.total_time_s > 0.0);
+        assert!(run.total_energy_j > 0.0);
+    }
+
+    #[test]
+    fn execute_checks_head_shape_and_count() {
+        let salo = small_salo();
+        let pattern = longformer(32, 8, 1).unwrap();
+        let shape = AttentionShape::new(32, 8, 2).unwrap();
+        let compiled = salo.compile(&pattern, &shape).unwrap();
+        // Wrong head count.
+        let one = Qkv::random_heads(&AttentionShape::new(32, 8, 1).unwrap(), 1);
+        assert!(matches!(
+            salo.execute(&compiled, &one),
+            Err(SaloError::HeadCountMismatch { expected: 2, got: 1 })
+        ));
+        // Wrong head dimension.
+        let bad = Qkv::random(32, 4, 1);
+        assert!(matches!(
+            salo.execute_head(&compiled, &bad),
+            Err(SaloError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_scales_with_heads() {
+        let salo = small_salo();
+        let pattern = longformer(64, 8, 1).unwrap();
+        let s1 = AttentionShape::new(64, 16, 1).unwrap();
+        let s4 = AttentionShape::new(64, 16, 4).unwrap();
+        let t1 = salo.estimate(&salo.compile(&pattern, &s1).unwrap());
+        let t4 = salo.estimate(&salo.compile(&pattern, &s4).unwrap());
+        assert_eq!(t4.cycles.total, 4 * t1.cycles.total);
+    }
+
+    #[test]
+    fn single_head_consistency_with_sparse_reference() {
+        let salo = small_salo();
+        let pattern = longformer(40, 7, 2).unwrap();
+        let shape = AttentionShape::new(40, 8, 1).unwrap();
+        let compiled = salo.compile(&pattern, &shape).unwrap();
+        let head = Qkv::random(40, 8, 5);
+        let out = salo.execute_head(&compiled, &head).unwrap();
+        let scale = 1.0 / (8f32).sqrt();
+        let exact = sparse_attention(&pattern, &head.q, &head.k, &head.v, scale).unwrap();
+        assert!(out.output.max_abs_diff(&exact) < 0.3);
+    }
+}

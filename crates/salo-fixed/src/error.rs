@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from fixed-point datapath operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FixedError {
+    /// The reciprocal unit received a non-positive operand. The softmax
+    /// denominator is a sum of exponentials and must be strictly positive;
+    /// a zero here indicates upstream underflow.
+    NonPositiveReciprocal {
+        /// The offending raw operand.
+        raw: i64,
+    },
+    /// An empty score row was given to softmax.
+    EmptySoftmaxRow,
+    /// A lookup table was configured with zero segments/entries.
+    EmptyLut,
+    /// Partial rows being merged have mismatched lengths.
+    PartialLengthMismatch {
+        /// Length of the accumulated row.
+        expected: usize,
+        /// Length of the incoming row.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::NonPositiveReciprocal { raw } => {
+                write!(f, "reciprocal of non-positive value (raw {raw})")
+            }
+            FixedError::EmptySoftmaxRow => write!(f, "softmax row is empty"),
+            FixedError::EmptyLut => write!(f, "lookup table needs at least one segment"),
+            FixedError::PartialLengthMismatch { expected, actual } => {
+                write!(f, "partial row length {actual} does not match accumulator {expected}")
+            }
+        }
+    }
+}
+
+impl Error for FixedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        for e in [
+            FixedError::NonPositiveReciprocal { raw: 0 },
+            FixedError::EmptySoftmaxRow,
+            FixedError::EmptyLut,
+            FixedError::PartialLengthMismatch { expected: 4, actual: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<FixedError>();
+    }
+}

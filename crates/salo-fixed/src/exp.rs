@@ -1,0 +1,253 @@
+//! Piecewise-linear exponential unit (pipeline stage 2).
+//!
+//! SALO follows Softermax: `exp(x)` is approximated by a piecewise-linear
+//! function whose slopes and y-intercepts live in two lookup tables indexed
+//! by the segment of `x`; the evaluation itself is one MAC
+//! (`y = slope * x + intercept`), reusing the PE's multiplier (§5.1,
+//! stage 2). This module builds the tables at configuration time and
+//! evaluates them with pure integer arithmetic.
+//!
+//! Scores enter in Q.8; exponentials leave in Q.16 ([`EXP_FRAC`]) so that
+//! the small values produced by strongly negative scores remain
+//! representable — their relative weight in the softmax depends on it.
+
+use crate::FixedError;
+
+/// Fraction bits of exponential outputs and row sums (Q.16).
+pub const EXP_FRAC: u32 = 16;
+
+/// Number of fraction bits used to store segment slopes.
+const SLOPE_FRAC: u32 = 18;
+
+/// The piecewise-linear `exp` lookup table.
+///
+/// Input is Q.8 fixed point (raw = value × 256); output is Q.16. The input
+/// domain is `[-8, +8]`; values outside are clamped, mirroring hardware
+/// saturation. The number of segments is configurable (32 in the default
+/// SALO configuration) and trades LUT area against accuracy — the
+/// `bench_ablations` benchmark sweeps it.
+#[derive(Debug, Clone)]
+pub struct ExpLut {
+    segments: usize,
+    x_lo: f64,
+    x_hi: f64,
+    /// Per-segment slope in Q.18 (value units out per unit in).
+    slopes: Vec<i64>,
+    /// Per-segment y-intercept in Q.16.
+    intercepts: Vec<i64>,
+}
+
+impl ExpLut {
+    /// Default input domain lower bound.
+    pub const X_LO: f64 = -8.0;
+    /// Default input domain upper bound.
+    pub const X_HI: f64 = 8.0;
+
+    /// Builds a LUT with `segments` linear segments over `[-8, 8]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0`; use [`ExpLut::with_segments`] for a
+    /// fallible constructor.
+    #[must_use]
+    pub fn new(segments: usize) -> Self {
+        Self::with_segments(segments).expect("segments must be non-zero")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::EmptyLut`] if `segments == 0`.
+    pub fn with_segments(segments: usize) -> Result<Self, FixedError> {
+        Self::with_domain(segments, Self::X_LO, Self::X_HI)
+    }
+
+    /// Builds a LUT over a custom domain `[x_lo, x_hi]`.
+    ///
+    /// Each segment interpolates `exp` exactly at its endpoints, which keeps
+    /// the approximation continuous and slightly over-estimating (chord
+    /// above a convex function) — the same construction Softermax uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::EmptyLut`] if `segments == 0` or the domain is
+    /// empty.
+    pub fn with_domain(segments: usize, x_lo: f64, x_hi: f64) -> Result<Self, FixedError> {
+        if segments == 0 || x_hi <= x_lo {
+            return Err(FixedError::EmptyLut);
+        }
+        let width = (x_hi - x_lo) / segments as f64;
+        let mut slopes = Vec::with_capacity(segments);
+        let mut intercepts = Vec::with_capacity(segments);
+        let scale = f64::from(1u32 << EXP_FRAC);
+        for s in 0..segments {
+            let x0 = x_lo + s as f64 * width;
+            let x1 = x0 + width;
+            let (y0, y1) = (x0.exp(), x1.exp());
+            let slope = (y1 - y0) / width;
+            let intercept = y0 - slope * x0;
+            slopes.push((slope * f64::from(1u32 << SLOPE_FRAC)).round() as i64);
+            intercepts.push((intercept * scale).round() as i64);
+        }
+        Ok(Self { segments, x_lo, x_hi, slopes, intercepts })
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Size of the two LUTs in bits (slope + intercept, 32 bits each per
+    /// segment), for area modelling.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.segments * (32 + 32)
+    }
+
+    /// Evaluates `exp(x)` for a Q.8 input, returning a Q.16 output.
+    ///
+    /// Inputs outside the domain are clamped to its endpoints; the result
+    /// is always non-negative.
+    #[must_use]
+    pub fn eval_q8(&self, x_raw: i32) -> i64 {
+        let lo_raw = (self.x_lo * 256.0) as i64;
+        let hi_raw = (self.x_hi * 256.0) as i64;
+        let x = (x_raw as i64).clamp(lo_raw, hi_raw);
+        // Segment index: floor((x - lo) * segments / (hi - lo)).
+        let span = hi_raw - lo_raw;
+        let mut idx = ((x - lo_raw) * self.segments as i64 / span) as usize;
+        if idx >= self.segments {
+            idx = self.segments - 1;
+        }
+        // y = slope * x + intercept:
+        // slope Q.18 * x Q.8 -> Q.26, shift by 10 to reach Q.16.
+        let y = ((self.slopes[idx] * x) >> (SLOPE_FRAC + 8 - EXP_FRAC)) + self.intercepts[idx];
+        y.max(0)
+    }
+
+    /// Evaluates `exp(x)` from an `f64`, via the fixed-point path
+    /// (convenience for tests and error studies).
+    #[must_use]
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        self.eval_q8((x * 256.0).round() as i32) as f64 / f64::from(1u32 << EXP_FRAC)
+    }
+
+    /// Maximum relative error against `f64::exp` sampled on the Q.8 grid
+    /// over the domain. Errors are measured relative to
+    /// `max(exp(x), 1e-2)`: a numerator below 0.01 contributes under a
+    /// percent of probability mass next to O(1) competitors, so errors
+    /// there are immaterial — matching how Softermax assesses its
+    /// approximation.
+    #[must_use]
+    pub fn max_relative_error(&self) -> f64 {
+        let lo = (self.x_lo * 256.0) as i32;
+        let hi = (self.x_hi * 256.0) as i32;
+        let mut worst = 0.0f64;
+        let mut x = lo;
+        while x <= hi {
+            let approx = self.eval_q8(x) as f64 / f64::from(1u32 << EXP_FRAC);
+            let exact = (x as f64 / 256.0).exp();
+            let rel = (approx - exact).abs() / exact.max(1e-2);
+            if rel > worst {
+                worst = rel;
+            }
+            x += 8; // sample every 1/32
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_configurations() {
+        assert!(ExpLut::with_segments(0).is_err());
+        assert!(ExpLut::with_domain(4, 1.0, 1.0).is_err());
+        assert!(ExpLut::with_domain(4, 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn exact_at_zero_neighbourhood() {
+        let lut = ExpLut::new(32);
+        let y = lut.eval_f64(0.0);
+        assert!((y - 1.0).abs() < 0.02, "exp(0) ~ {y}");
+    }
+
+    #[test]
+    fn default_32_segments_under_four_percent_error() {
+        // Chord interpolation with segment width 0.5 bounds the relative
+        // error by h^2/8 ~ 3.1%.
+        let lut = ExpLut::new(32);
+        let err = lut.max_relative_error();
+        assert!(err < 0.04, "max relative error {err}");
+    }
+
+    #[test]
+    fn more_segments_reduce_error() {
+        let coarse = ExpLut::new(8).max_relative_error();
+        let fine = ExpLut::new(64).max_relative_error();
+        assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
+        assert!(fine < 0.01, "64 segments should be under 1%: {fine}");
+    }
+
+    #[test]
+    fn clamps_out_of_domain_inputs() {
+        let lut = ExpLut::new(32);
+        let below = lut.eval_q8(-100 * 256);
+        let at_lo = lut.eval_q8(-8 * 256);
+        assert_eq!(below, at_lo);
+        let above = lut.eval_q8(100 * 256);
+        let at_hi = lut.eval_q8(8 * 256);
+        assert_eq!(above, at_hi);
+    }
+
+    #[test]
+    fn monotone_nondecreasing_on_grid() {
+        let lut = ExpLut::new(32);
+        let mut prev = -1i64;
+        let mut x = -8 * 256;
+        while x <= 8 * 256 {
+            let y = lut.eval_q8(x);
+            // Allow 1 LSB of slack at segment boundaries (table rounding).
+            assert!(y + 1 >= prev, "non-monotone at {x}: {y} after {prev}");
+            prev = y;
+            x += 16;
+        }
+    }
+
+    #[test]
+    fn small_values_remain_representable() {
+        let lut = ExpLut::new(32);
+        // exp(-7) = 0.000912: must be nonzero in Q.16 (raw ~60).
+        let y = lut.eval_q8(-7 * 256);
+        assert!(y > 0, "exp(-7) flushed to zero");
+        let approx = y as f64 / 65536.0;
+        assert!((approx - (-7.0f64).exp()).abs() < 5e-4, "approx {approx}");
+    }
+
+    #[test]
+    fn output_is_nonnegative_everywhere() {
+        let lut = ExpLut::new(4); // coarse: intercepts could dip negative
+        let mut x = -8 * 256;
+        while x <= 8 * 256 {
+            assert!(lut.eval_q8(x) >= 0);
+            x += 1;
+        }
+    }
+
+    #[test]
+    fn storage_accounting() {
+        assert_eq!(ExpLut::new(32).storage_bits(), 32 * 64);
+    }
+
+    #[test]
+    fn eval_f64_round_trips_scale() {
+        let lut = ExpLut::new(64);
+        assert!((lut.eval_f64(1.0) - 1f64.exp()).abs() / 1f64.exp() < 0.02);
+        assert!((lut.eval_f64(-3.0) - (-3f64).exp()).abs() < 0.05);
+    }
+}

@@ -1,0 +1,228 @@
+//! Q-format fixed-point storage types.
+//!
+//! Each type is a transparent wrapper over an integer with an implied binary
+//! point: `value = raw / 2^FRAC`. Conversions from `f32` round to nearest
+//! and saturate at the representable range — the behaviour of the
+//! quantization hardware in front of SALO's buffers.
+
+/// Declares a fixed-point wrapper type.
+macro_rules! fixed_type {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $raw:ty, $wide:ty, $frac:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub(crate) $raw);
+
+        impl $name {
+            /// Number of fraction bits.
+            pub const FRAC: u32 = $frac;
+            /// Scale factor `2^FRAC`.
+            pub const SCALE: f32 = (1u64 << $frac) as f32;
+            /// Largest representable value.
+            pub const MAX: $name = $name(<$raw>::MAX);
+            /// Smallest representable value.
+            pub const MIN: $name = $name(<$raw>::MIN);
+            /// Zero.
+            pub const ZERO: $name = $name(0);
+            /// One.
+            pub const ONE: $name = $name(1 << $frac);
+
+            /// Creates a value from its raw bit representation.
+            #[must_use]
+            pub const fn from_raw(raw: $raw) -> Self {
+                Self(raw)
+            }
+
+            /// The raw bit representation.
+            #[must_use]
+            pub const fn raw(self) -> $raw {
+                self.0
+            }
+
+            /// Quantizes an `f32`, rounding to nearest and saturating.
+            #[must_use]
+            pub fn from_f32(value: f32) -> Self {
+                let scaled = (value * Self::SCALE).round();
+                if scaled >= <$raw>::MAX as f32 {
+                    Self::MAX
+                } else if scaled <= <$raw>::MIN as f32 {
+                    Self::MIN
+                } else {
+                    Self(scaled as $raw)
+                }
+            }
+
+            /// Converts back to `f32` (exact: the mantissa always fits).
+            #[must_use]
+            pub fn to_f32(self) -> f32 {
+                self.0 as f32 / Self::SCALE
+            }
+
+            /// Converts to `f64`.
+            #[must_use]
+            pub fn to_f64(self) -> f64 {
+                self.0 as f64 / Self::SCALE as f64
+            }
+
+            /// Saturating addition.
+            #[must_use]
+            pub fn saturating_add(self, rhs: Self) -> Self {
+                Self(self.0.saturating_add(rhs.0))
+            }
+
+            /// Saturating subtraction.
+            #[must_use]
+            pub fn saturating_sub(self, rhs: Self) -> Self {
+                Self(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Saturating fixed-point multiplication (same format).
+            #[must_use]
+            pub fn saturating_mul(self, rhs: Self) -> Self {
+                let wide = (self.0 as $wide * rhs.0 as $wide) >> $frac;
+                if wide > <$raw>::MAX as $wide {
+                    Self::MAX
+                } else if wide < <$raw>::MIN as $wide {
+                    Self::MIN
+                } else {
+                    Self(wide as $raw)
+                }
+            }
+
+            /// The quantization step (value of one LSB).
+            #[must_use]
+            pub const fn resolution() -> f32 {
+                1.0 / Self::SCALE
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.to_f32())
+            }
+        }
+
+        impl From<$name> for f32 {
+            fn from(v: $name) -> f32 {
+                v.to_f32()
+            }
+        }
+    };
+}
+
+fixed_type!(
+    /// 8-bit fixed point with 4 fraction bits — SALO's input format for
+    /// query, key and value elements ("8 bits, 4 bits for fraction", §6.4).
+    /// Range: `[-8.0, 7.9375]`, resolution `1/16`.
+    Fix8x4,
+    i8,
+    i32,
+    4
+);
+
+fixed_type!(
+    /// 16-bit fixed point with 8 fraction bits — SALO's output format
+    /// ("the output of SALO is in 16 bits", §6.4).
+    /// Range: `[-128.0, 127.996]`, resolution `1/256`.
+    Fix16x8,
+    i16,
+    i64,
+    8
+);
+
+fixed_type!(
+    /// 32-bit accumulator with 8 fraction bits — the Q.8 domain of scores,
+    /// exponentials and row sums inside the PE array.
+    Fix32x8,
+    i32,
+    i64,
+    8
+);
+
+impl Fix16x8 {
+    /// Converts a Q.19 stage-5 accumulator value to the 16-bit output
+    /// format, rounding to nearest and saturating — the conversion at the
+    /// PE row's output port.
+    #[must_use]
+    pub fn from_q19_acc(acc: i64) -> Self {
+        let shifted = (acc + (1 << 10)) >> 11; // 19 - 8 = 11 bits
+        if shifted > i16::MAX as i64 {
+            Self::MAX
+        } else if shifted < i16::MIN as i64 {
+            Self::MIN
+        } else {
+            Self::from_raw(shifted as i16)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Fix8x4::FRAC, 4);
+        assert_eq!(Fix8x4::ONE.raw(), 16);
+        assert_eq!(Fix16x8::ONE.raw(), 256);
+        assert!((Fix8x4::resolution() - 0.0625).abs() < f32::EPSILON);
+    }
+
+    #[test]
+    fn f32_round_trip_on_grid() {
+        for raw in i8::MIN..=i8::MAX {
+            let v = Fix8x4::from_raw(raw);
+            assert_eq!(Fix8x4::from_f32(v.to_f32()), v);
+        }
+    }
+
+    #[test]
+    fn rounding_to_nearest() {
+        // 0.03 * 16 = 0.48 -> 0; 0.04 * 16 = 0.64 -> 1
+        assert_eq!(Fix8x4::from_f32(0.03).raw(), 0);
+        assert_eq!(Fix8x4::from_f32(0.04).raw(), 1);
+        assert_eq!(Fix8x4::from_f32(-0.04).raw(), -1);
+    }
+
+    #[test]
+    fn saturation_at_range_edges() {
+        assert_eq!(Fix8x4::from_f32(100.0), Fix8x4::MAX);
+        assert_eq!(Fix8x4::from_f32(-100.0), Fix8x4::MIN);
+        assert_eq!(Fix8x4::MAX.saturating_add(Fix8x4::ONE), Fix8x4::MAX);
+        assert_eq!(Fix8x4::MIN.saturating_sub(Fix8x4::ONE), Fix8x4::MIN);
+        assert_eq!(Fix16x8::from_f32(1e9), Fix16x8::MAX);
+    }
+
+    #[test]
+    fn range_of_input_format_matches_paper() {
+        // Q4.4-style: [-8, 7.9375]
+        assert!((Fix8x4::MIN.to_f32() + 8.0).abs() < f32::EPSILON);
+        assert!((Fix8x4::MAX.to_f32() - 7.9375).abs() < f32::EPSILON);
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = Fix8x4::from_f32(1.5);
+        let b = Fix8x4::from_f32(2.0);
+        assert!((a.saturating_mul(b).to_f32() - 3.0).abs() < f32::EPSILON);
+        // Saturates instead of wrapping.
+        let big = Fix8x4::from_f32(7.9);
+        assert_eq!(big.saturating_mul(big), Fix8x4::MAX);
+        let neg = Fix8x4::from_f32(-7.9);
+        assert_eq!(neg.saturating_mul(big), Fix8x4::MIN);
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Fix8x4::from_f32(1.5).to_string(), "1.5");
+        assert_eq!(format!("{:?}", Fix8x4::ZERO), "Fix8x4(0)");
+    }
+
+    #[test]
+    fn f32_conversion_trait() {
+        let x: f32 = Fix16x8::from_f32(3.25).into();
+        assert!((x - 3.25).abs() < f32::EPSILON);
+    }
+}

@@ -1,0 +1,160 @@
+//! The PE's multiply-accumulate primitives.
+//!
+//! Each SALO PE contains one fixed-point MAC reused across all five pipeline
+//! stages (§5.1). Two accumulation flavours appear in the datapath:
+//!
+//! * **stage 1** (`Q x K^T`, output stationary): 8-bit Q.4 operands,
+//!   products carry 8 fraction bits and accumulate in a 32-bit register —
+//!   [`qk_mac`];
+//! * **stage 5** (`S' x V`, weight stationary): a Q.15 probability times a
+//!   Q.4 value element, accumulated with 19 fraction bits — [`sv_mac`].
+//!
+//! Both saturate rather than wrap, and report saturation so simulations can
+//! flag numerically degenerate configurations.
+
+use crate::format::Fix8x4;
+
+/// Whether a MAC chain saturated at any point.
+///
+/// Hardware saturation silently clips; the simulator records it so tests and
+/// experiments can verify configurations stay within range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MacSaturation {
+    /// Number of saturating accumulations observed.
+    pub events: u64,
+}
+
+impl MacSaturation {
+    /// True if any accumulation saturated.
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        self.events > 0
+    }
+
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: MacSaturation) {
+        self.events += other.events;
+    }
+}
+
+/// One stage-1 MAC: `acc += q * k` where `q`/`k` are Q.4 inputs and `acc`
+/// is a 32-bit accumulator with 8 fraction bits. Saturates on overflow.
+#[must_use]
+pub fn qk_mac(acc: i32, q: Fix8x4, k: Fix8x4, sat: &mut MacSaturation) -> i32 {
+    let product = q.raw() as i32 * k.raw() as i32; // exact, 8 frac bits
+    match acc.checked_add(product) {
+        Some(v) => v,
+        None => {
+            sat.events += 1;
+            if product > 0 {
+                i32::MAX
+            } else {
+                i32::MIN
+            }
+        }
+    }
+}
+
+/// One stage-5 MAC: `acc += prob * v` where `prob` is a Q.15 probability
+/// (raw `0..=32768`) and `v` a Q.4 value element; `acc` carries 19 fraction
+/// bits. Saturates on overflow.
+#[must_use]
+pub fn sv_mac(acc: i64, prob: u16, v: Fix8x4, sat: &mut MacSaturation) -> i64 {
+    let product = prob as i64 * v.raw() as i64; // 15 + 4 = 19 frac bits
+    match acc.checked_add(product) {
+        Some(v) => v,
+        None => {
+            sat.events += 1;
+            if product > 0 {
+                i64::MAX
+            } else {
+                i64::MIN
+            }
+        }
+    }
+}
+
+/// A full stage-1 dot product between a query row and a key row, as the PE
+/// performs it: element by element in index order.
+#[must_use]
+pub fn qk_dot(q: &[Fix8x4], k: &[Fix8x4], sat: &mut MacSaturation) -> i32 {
+    debug_assert_eq!(q.len(), k.len(), "query/key dimension mismatch");
+    let mut acc = 0i32;
+    for (&qe, &ke) in q.iter().zip(k) {
+        acc = qk_mac(acc, qe, ke, sat);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qk_mac_matches_float() {
+        let mut sat = MacSaturation::default();
+        let q = Fix8x4::from_f32(1.5);
+        let k = Fix8x4::from_f32(-2.25);
+        let acc = qk_mac(0, q, k, &mut sat);
+        // 1.5 * -2.25 = -3.375; Q.8 raw = -864
+        assert_eq!(acc, -864);
+        assert!((acc as f32 / 256.0 + 3.375).abs() < f32::EPSILON);
+        assert!(!sat.saturated());
+    }
+
+    #[test]
+    fn qk_dot_order_is_deterministic() {
+        let mut sat = MacSaturation::default();
+        let q: Vec<Fix8x4> = [1.0, 2.0, 3.0].iter().map(|&x| Fix8x4::from_f32(x)).collect();
+        let k: Vec<Fix8x4> = [0.5, -0.5, 1.0].iter().map(|&x| Fix8x4::from_f32(x)).collect();
+        let acc = qk_dot(&q, &k, &mut sat);
+        // 0.5 - 1.0 + 3.0 = 2.5 -> raw 640
+        assert_eq!(acc, 640);
+    }
+
+    #[test]
+    fn qk_mac_saturates_instead_of_wrapping() {
+        let mut sat = MacSaturation::default();
+        let q = Fix8x4::MAX;
+        let acc = qk_mac(i32::MAX - 1, q, q, &mut sat);
+        assert_eq!(acc, i32::MAX);
+        assert!(sat.saturated());
+        let acc = qk_mac(i32::MIN + 1, Fix8x4::MIN, Fix8x4::MAX, &mut sat);
+        assert_eq!(acc, i32::MIN);
+        assert_eq!(sat.events, 2);
+    }
+
+    #[test]
+    fn sv_mac_scale() {
+        let mut sat = MacSaturation::default();
+        // prob = 0.5 (Q.15 raw 16384), v = 2.0 (raw 32): product value 1.0
+        let acc = sv_mac(0, 16384, Fix8x4::from_f32(2.0), &mut sat);
+        assert_eq!(acc, 1 << 19);
+        assert!(!sat.saturated());
+    }
+
+    #[test]
+    fn sv_mac_saturates() {
+        let mut sat = MacSaturation::default();
+        let acc = sv_mac(i64::MAX - 1, u16::MAX, Fix8x4::MAX, &mut sat);
+        assert_eq!(acc, i64::MAX);
+        assert!(sat.saturated());
+    }
+
+    #[test]
+    fn saturation_merge() {
+        let mut a = MacSaturation { events: 2 };
+        a.merge(MacSaturation { events: 3 });
+        assert_eq!(a.events, 5);
+    }
+
+    #[test]
+    fn worst_case_dot_product_fits_i32() {
+        // d = 128 extreme elements cannot overflow the Q.8 i32 accumulator.
+        let mut sat = MacSaturation::default();
+        let q = vec![Fix8x4::MIN; 128];
+        let k = vec![Fix8x4::MAX; 128];
+        let _ = qk_dot(&q, &k, &mut sat);
+        assert!(!sat.saturated());
+    }
+}

@@ -1,0 +1,242 @@
+//! Normalized reciprocal unit (pipeline stage 3).
+//!
+//! SALO avoids per-PE dividers: the softmax denominator is inverted *once*
+//! per row at the right edge of the PE array and the inverse is broadcast
+//! back (§5.1, stage 3: "the circuits of divider is complex, causing
+//! significant cycle time and area costs"). The PE diagram shows the
+//! implementation: normalize the operand to `m ∈ [1, 2)` with a shifter,
+//! look up `1/m` in a small table ("LUT Frac" + "Shift" + "Inv"), and refine
+//! with one Newton–Raphson step so a small table suffices.
+
+use crate::FixedError;
+
+/// A normalized reciprocal: `1/x = mant / 2^15 * 2^exp2` with
+/// `mant ∈ [2^14, 2^15]` (i.e. `1/m ∈ [0.5, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recip {
+    /// Mantissa of the reciprocal in Q.15 (`16384..=32768`).
+    pub mant: u32,
+    /// Binary exponent: `1/x = mant * 2^(exp2 - 15)`.
+    pub exp2: i32,
+}
+
+impl Recip {
+    /// The reciprocal as `f64` (for tests and error studies).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.mant as f64 * ((self.exp2 - 15) as f64).exp2()
+    }
+
+    /// Multiplies a non-negative fixed-point value (`frac` fraction bits)
+    /// by this reciprocal, returning a Q.15 probability clamped to
+    /// `[0, 32768]`.
+    ///
+    /// This is the stage-4 operation: `S'_ij = exp(S_ij) * (Σ exp)^-1`,
+    /// where both operands live in the Q.16 exponential domain.
+    #[must_use]
+    pub fn scale_to_prob(self, raw: i64, frac: u32) -> u16 {
+        debug_assert!(raw >= 0, "exponentials are non-negative");
+        // value * 2^-frac * mant * 2^(exp2-15) * 2^15 = value * mant * 2^(exp2-frac)
+        let wide = raw as i128 * self.mant as i128;
+        let shift = self.exp2 - frac as i32;
+        let prob = if shift >= 0 {
+            wide.checked_shl(shift as u32).unwrap_or(i128::MAX)
+        } else {
+            wide >> (-shift) as u32
+        };
+        prob.clamp(0, 32768) as u16
+    }
+}
+
+/// The reciprocal lookup-table unit.
+///
+/// `entries` controls the table size (64 in the default configuration);
+/// one Newton–Raphson iteration (`y <- y * (2 - m*y)`) doubles the accuracy
+/// of the raw table, exactly as a hardware implementation would.
+#[derive(Debug, Clone)]
+pub struct RecipUnit {
+    entries: usize,
+    /// Q.15 approximations of `1/m` for `m` at each table point in `[1, 2)`.
+    table: Vec<u32>,
+    newton_steps: u32,
+}
+
+impl RecipUnit {
+    /// Builds a reciprocal unit with `entries` table entries and one Newton
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`; use [`RecipUnit::with_entries`] to handle
+    /// the error.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        Self::with_entries(entries, 1).expect("entries must be non-zero")
+    }
+
+    /// Fallible constructor with a configurable Newton-step count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::EmptyLut`] if `entries == 0`.
+    pub fn with_entries(entries: usize, newton_steps: u32) -> Result<Self, FixedError> {
+        if entries == 0 {
+            return Err(FixedError::EmptyLut);
+        }
+        let table = (0..entries)
+            .map(|i| {
+                // Table point at the segment midpoint for balanced error.
+                let m = 1.0 + (i as f64 + 0.5) / entries as f64;
+                ((1.0 / m) * 32768.0).round() as u32
+            })
+            .collect();
+        Ok(Self { entries, table, newton_steps })
+    }
+
+    /// Number of table entries.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Table storage in bits (16-bit entries), for area modelling.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.entries * 16
+    }
+
+    /// Computes the reciprocal of a positive value given as raw fixed point
+    /// with `frac` fraction bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::NonPositiveReciprocal`] for `raw <= 0`.
+    pub fn recip(&self, raw: i64, frac: u32) -> Result<Recip, FixedError> {
+        if raw <= 0 {
+            return Err(FixedError::NonPositiveReciprocal { raw });
+        }
+        // Normalize: raw = m * 2^e with m in [1, 2) as Q.15.
+        let bits = 63 - raw.leading_zeros() as i32; // floor(log2 raw)
+        // mantissa in Q.15: raw * 2^(15 - bits)
+        let m_q15 = if bits >= 15 { (raw >> (bits - 15)) as u64 } else { (raw << (15 - bits)) as u64 };
+        debug_assert!((32768..65536).contains(&m_q15), "m {m_q15}");
+        // Table lookup on the fractional part of m.
+        let frac_part = m_q15 - 32768; // in [0, 32768)
+        let idx = (frac_part as usize * self.entries) >> 15;
+        let mut y = self.table[idx.min(self.entries - 1)] as u64; // Q.15 of 1/m
+        // Newton iterations: y <- y * (2 - m*y), all Q.15.
+        for _ in 0..self.newton_steps {
+            let my = (m_q15 * y) >> 15; // Q.15
+            let two_minus = (2u64 << 15).saturating_sub(my);
+            y = (y * two_minus) >> 15;
+        }
+        // 1/raw = (1/m) * 2^-e, with raw in units of 2^-frac:
+        // 1/x = 1/(raw * 2^-frac) = (1/m) * 2^(frac - e)
+        Ok(Recip { mant: y.clamp(1, 65535) as u32, exp2: frac as i32 - bits })
+    }
+
+    /// Maximum relative error of `recip` sampled over several decades.
+    #[must_use]
+    pub fn max_relative_error(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for raw in (1..4096u64).chain((1..64).map(|k| k * 65536)) {
+            let r = self.recip(raw as i64, 8).expect("positive");
+            let approx = r.mant as f64 * ((r.exp2 - 15) as f64).exp2();
+            let exact = 256.0 / raw as f64;
+            let rel = (approx - exact).abs() / exact;
+            if rel > worst {
+                worst = rel;
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let u = RecipUnit::new(64);
+        assert!(matches!(u.recip(0, 8), Err(FixedError::NonPositiveReciprocal { raw: 0 })));
+        assert!(matches!(u.recip(-5, 8), Err(FixedError::NonPositiveReciprocal { .. })));
+        assert!(RecipUnit::with_entries(0, 1).is_err());
+    }
+
+    #[test]
+    fn reciprocal_of_one() {
+        let u = RecipUnit::new(64);
+        // 1.0 in Q.8 is raw 256.
+        let r = u.recip(256, 8).unwrap();
+        let value = r.mant as f64 * ((r.exp2 - 15) as f64).exp2();
+        assert!((value - 1.0).abs() < 1e-3, "1/1 = {value}");
+    }
+
+    #[test]
+    fn newton_step_tightens_error() {
+        let raw = RecipUnit::with_entries(16, 0).unwrap().max_relative_error();
+        let refined = RecipUnit::with_entries(16, 1).unwrap().max_relative_error();
+        assert!(refined < raw / 4.0, "newton {refined} vs raw {raw}");
+    }
+
+    #[test]
+    fn error_under_permille_with_defaults() {
+        let err = RecipUnit::new(64).max_relative_error();
+        assert!(err < 1e-3, "relative error {err}");
+    }
+
+    #[test]
+    fn scale_to_prob_basics() {
+        let u = RecipUnit::new(64);
+        // sum = 4.0 (raw 1024 in Q.8); element = 1.0 (raw 256) -> prob 0.25.
+        let r = u.recip(1024, 8).unwrap();
+        let p = r.scale_to_prob(256, 8);
+        assert!((p as f64 / 32768.0 - 0.25).abs() < 1e-3, "prob {p}");
+        // Clamped at 1.0.
+        let p = r.scale_to_prob(1 << 40, 8);
+        assert_eq!(p, 32768);
+        // Zero exponential -> zero probability.
+        assert_eq!(r.scale_to_prob(0, 8), 0);
+    }
+
+    #[test]
+    fn scale_to_prob_q16_domain() {
+        let u = RecipUnit::new(64);
+        // Q.16: sum = 2.0 (raw 131072); element = 0.5 (raw 32768) -> 0.25.
+        let r = u.recip(131072, 16).unwrap();
+        let p = r.scale_to_prob(32768, 16);
+        assert!((p as f64 / 32768.0 - 0.25).abs() < 1e-3, "prob {p}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let u = RecipUnit::new(64);
+        let exps: Vec<i64> = vec![256, 512, 1024, 128, 64];
+        let sum: i64 = exps.iter().sum();
+        let r = u.recip(sum, 8).unwrap();
+        let total: f64 =
+            exps.iter().map(|&e| r.scale_to_prob(e, 8) as f64 / 32768.0).sum();
+        assert!((total - 1.0).abs() < 5e-3, "sum {total}");
+    }
+
+    #[test]
+    fn wide_dynamic_range() {
+        let u = RecipUnit::new(64);
+        for &raw in &[1i64, 7, 255, 256, 257, 65535, 1 << 20, (1 << 30) + 12345] {
+            let r = u.recip(raw, 8).unwrap();
+            let approx = r.mant as f64 * ((r.exp2 - 15) as f64).exp2();
+            let exact = 256.0 / raw as f64;
+            assert!(
+                ((approx - exact) / exact).abs() < 1e-3,
+                "raw {raw}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_accounting() {
+        assert_eq!(RecipUnit::new(64).storage_bits(), 1024);
+        assert_eq!(RecipUnit::new(64).entries(), 64);
+    }
+}

@@ -1,0 +1,211 @@
+//! The weighted-sum module's renormalization arithmetic (§4.2 / §5.3).
+//!
+//! Window splitting divides one query's attention row into parts `T_1, T_2,
+//! ...`; each part yields a locally-normalized output `output_i^k` and a
+//! weight `W_k = Σ_{j∈T_k} exp(S_ij)`. Equation 2 of the paper recovers the
+//! unsplit result:
+//!
+//! ```text
+//! output_i = W_1/(W_1+W_2) * output_i^1 + W_2/(W_1+W_2) * output_i^2
+//! ```
+//!
+//! The hardware realizes this with two multipliers and one adder per PE row,
+//! plus the shared reciprocal unit for `1/(W_1+W_2)`. This module implements
+//! the same arithmetic on Q-format integers so the simulator and tests agree
+//! bit for bit. Weights live in the Q.16 exponential domain
+//! ([`crate::ExpLut`] outputs), outputs in the Q.19 stage-5 accumulator
+//! format.
+
+use crate::exp::EXP_FRAC;
+use crate::{FixedError, RecipUnit};
+
+/// A partially-computed output row: the locally-normalized stage-5 output
+/// (Q.19 elements) together with its softmax weight `W` (Q.16).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialRow {
+    /// Row weight `W = Σ exp(S_ij)` over this part, Q.16.
+    pub weight_q16: i64,
+    /// Locally-normalized output elements, Q.19.
+    pub out_q19: Vec<i64>,
+}
+
+impl PartialRow {
+    /// An identity element for merging: zero weight, zero output.
+    #[must_use]
+    pub fn empty(dim: usize) -> Self {
+        Self { weight_q16: 0, out_q19: vec![0; dim] }
+    }
+
+    /// Whether this partial carries no mass.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weight_q16 == 0
+    }
+
+    /// Output as `f64` values.
+    #[must_use]
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.out_q19.iter().map(|&o| o as f64 / (1u64 << 19) as f64).collect()
+    }
+}
+
+/// Computes the Q.15 blend weights `W1/(W1+W2)` and `W2/(W1+W2)` from Q.16
+/// row weights.
+///
+/// # Errors
+///
+/// Returns [`FixedError::NonPositiveReciprocal`] if both weights are zero.
+pub fn merge_weights(
+    w1_q16: i64,
+    w2_q16: i64,
+    recip: &RecipUnit,
+) -> Result<(u16, u16), FixedError> {
+    let inv = recip.recip(w1_q16 + w2_q16, EXP_FRAC)?;
+    Ok((inv.scale_to_prob(w1_q16, EXP_FRAC), inv.scale_to_prob(w2_q16, EXP_FRAC)))
+}
+
+/// Merges two partial rows per Eq. 2, returning a partial with weight
+/// `W1 + W2`. Merging with an empty partial returns the other operand
+/// unchanged (the module's initialization behaviour).
+///
+/// # Errors
+///
+/// Returns [`FixedError::PartialLengthMismatch`] if the rows have different
+/// dimensions.
+pub fn merge_partials(
+    a: &PartialRow,
+    b: &PartialRow,
+    recip: &RecipUnit,
+) -> Result<PartialRow, FixedError> {
+    if a.out_q19.len() != b.out_q19.len() {
+        return Err(FixedError::PartialLengthMismatch {
+            expected: a.out_q19.len(),
+            actual: b.out_q19.len(),
+        });
+    }
+    if a.is_empty() {
+        return Ok(b.clone());
+    }
+    if b.is_empty() {
+        return Ok(a.clone());
+    }
+    let (alpha, beta) = merge_weights(a.weight_q16, b.weight_q16, recip)?;
+    let out = a
+        .out_q19
+        .iter()
+        .zip(&b.out_q19)
+        .map(|(&oa, &ob)| {
+            ((oa as i128 * alpha as i128 + ob as i128 * beta as i128) >> 15) as i64
+        })
+        .collect();
+    Ok(PartialRow { weight_q16: a.weight_q16 + b.weight_q16, out_q19: out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PROB_ONE;
+
+    fn recip() -> RecipUnit {
+        RecipUnit::new(64)
+    }
+
+    fn q19(values: &[f64]) -> Vec<i64> {
+        values.iter().map(|&v| (v * (1u64 << 19) as f64).round() as i64).collect()
+    }
+
+    #[test]
+    fn equal_weights_average() {
+        let a = PartialRow { weight_q16: 131072, out_q19: q19(&[1.0, 2.0]) };
+        let b = PartialRow { weight_q16: 131072, out_q19: q19(&[3.0, 4.0]) };
+        let m = merge_partials(&a, &b, &recip()).unwrap();
+        let out = m.to_f64();
+        assert!((out[0] - 2.0).abs() < 0.01, "{out:?}");
+        assert!((out[1] - 3.0).abs() < 0.01);
+        assert_eq!(m.weight_q16, 262144);
+    }
+
+    #[test]
+    fn skewed_weights() {
+        // W1 = 3, W2 = 1 -> 0.75/0.25 blend.
+        let a = PartialRow { weight_q16: 3 << 16, out_q19: q19(&[4.0]) };
+        let b = PartialRow { weight_q16: 1 << 16, out_q19: q19(&[0.0]) };
+        let m = merge_partials(&a, &b, &recip()).unwrap();
+        assert!((m.to_f64()[0] - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        let a = PartialRow { weight_q16: 100, out_q19: q19(&[1.5, -2.5]) };
+        let e = PartialRow::empty(2);
+        assert!(e.is_empty());
+        assert_eq!(merge_partials(&a, &e, &recip()).unwrap(), a);
+        assert_eq!(merge_partials(&e, &a, &recip()).unwrap(), a);
+    }
+
+    #[test]
+    fn both_empty_short_circuits() {
+        let e = PartialRow::empty(3);
+        let m = merge_partials(&e, &e, &recip()).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let a = PartialRow { weight_q16: 10, out_q19: vec![0; 3] };
+        let b = PartialRow { weight_q16: 10, out_q19: vec![0; 4] };
+        assert!(matches!(
+            merge_partials(&a, &b, &recip()),
+            Err(FixedError::PartialLengthMismatch { expected: 3, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn merge_weights_sum_to_about_one() {
+        let (alpha, beta) = merge_weights(7 << 16, 3 << 16, &recip()).unwrap();
+        let total = alpha as i32 + beta as i32;
+        assert!((total - PROB_ONE as i32).abs() <= 64, "alpha {alpha} beta {beta}");
+        assert!((alpha as f64 / PROB_ONE as f64 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn matches_eq2_against_floating_point() {
+        // Reference: out = (W1*o1 + W2*o2)/(W1+W2) in f64.
+        let cases = [
+            (1i64 << 16, 4i64 << 16, [0.5, -1.0], [2.0, 3.0]),
+            (64 << 16, 1 << 16, [7.0, 7.0], [-7.0, 0.0]),
+            (100 << 8, 100 << 8, [0.0, 0.0], [1.0, -1.0]),
+        ];
+        for (w1, w2, o1, o2) in cases {
+            let a = PartialRow { weight_q16: w1, out_q19: q19(&o1) };
+            let b = PartialRow { weight_q16: w2, out_q19: q19(&o2) };
+            let m = merge_partials(&a, &b, &recip()).unwrap().to_f64();
+            for k in 0..2 {
+                let exact =
+                    (w1 as f64 * o1[k] + w2 as f64 * o2[k]) / (w1 as f64 + w2 as f64);
+                assert!((m[k] - exact).abs() < 0.02, "{} vs {}", m[k], exact);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_within_tolerance() {
+        let parts: Vec<PartialRow> =
+            [(3i64 << 16, 1.0f64), (5 << 16, -2.0), (2 << 16, 4.0), (8 << 16, 0.5)]
+                .iter()
+                .map(|&(w, v)| PartialRow { weight_q16: w, out_q19: q19(&[v]) })
+                .collect();
+        let r = recip();
+        // Left fold.
+        let mut left = parts[0].clone();
+        for p in &parts[1..] {
+            left = merge_partials(&left, p, &r).unwrap();
+        }
+        // Pairwise tree.
+        let ab = merge_partials(&parts[0], &parts[1], &r).unwrap();
+        let cd = merge_partials(&parts[2], &parts[3], &r).unwrap();
+        let tree = merge_partials(&ab, &cd, &r).unwrap();
+        assert!((left.to_f64()[0] - tree.to_f64()[0]).abs() < 0.02);
+        assert_eq!(left.weight_q16, tree.weight_q16);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the fixed-point datapath primitives.
+
+use proptest::prelude::*;
+use salo_fixed::{
+    fixed_softmax, merge_partials, ExpLut, Fix16x8, Fix8x4, PartialRow, RecipUnit, EXP_FRAC,
+    PROB_ONE,
+};
+
+proptest! {
+    /// Quantization round trip never moves a value by more than half an
+    /// LSB inside the representable range.
+    #[test]
+    fn fix8x4_round_trip(x in -7.9f32..7.9) {
+        let q = Fix8x4::from_f32(x);
+        prop_assert!((q.to_f32() - x).abs() <= 0.03125 + 1e-6);
+    }
+
+    /// Saturating arithmetic is ordered and never wraps.
+    #[test]
+    fn saturating_ops_never_wrap(a in any::<i8>(), b in any::<i8>()) {
+        let (fa, fb) = (Fix8x4::from_raw(a), Fix8x4::from_raw(b));
+        let sum = fa.saturating_add(fb).to_f32();
+        let exact = fa.to_f32() + fb.to_f32();
+        prop_assert!((sum - exact.clamp(Fix8x4::MIN.to_f32(), Fix8x4::MAX.to_f32())).abs() < 1e-6);
+        let prod = fa.saturating_mul(fb).to_f32();
+        let exactp = (fa.to_f32() * fb.to_f32())
+            .clamp(Fix8x4::MIN.to_f32(), Fix8x4::MAX.to_f32());
+        // Truncation toward zero plus saturation: within one LSB.
+        prop_assert!((prod - exactp).abs() <= Fix8x4::resolution() + 1e-6);
+    }
+
+    /// The exponential LUT stays within its advertised relative error on
+    /// random in-domain points.
+    #[test]
+    fn exp_lut_tracks_exp(x in -8.0f64..8.0) {
+        let lut = ExpLut::new(32);
+        let approx = lut.eval_f64(x);
+        let exact = x.exp();
+        let rel = (approx - exact).abs() / exact.max(1e-2);
+        prop_assert!(rel < 0.05, "x {x}: {approx} vs {exact}");
+    }
+
+    /// The reciprocal unit is accurate across six decades.
+    #[test]
+    fn recip_accurate(raw in 1i64..1_000_000_000) {
+        let unit = RecipUnit::new(64);
+        let r = unit.recip(raw, EXP_FRAC).expect("positive");
+        let approx = r.to_f64();
+        let exact = 65536.0 / raw as f64;
+        prop_assert!(((approx - exact) / exact).abs() < 2e-3, "raw {raw}");
+    }
+
+    /// Fixed softmax outputs are valid probabilities summing to ~1.
+    #[test]
+    fn softmax_is_a_distribution(
+        scores in prop::collection::vec(-2048i32..2048, 1..64)
+    ) {
+        let exp = ExpLut::new(32);
+        let recip = RecipUnit::new(64);
+        let probs = fixed_softmax(&scores, &exp, &recip).expect("softmax");
+        let total: f64 = probs.iter().map(|&p| p as f64 / PROB_ONE as f64).sum();
+        prop_assert!((total - 1.0).abs() < 0.02, "sum {total}");
+        prop_assert!(probs.iter().all(|&p| p <= PROB_ONE));
+    }
+
+    /// Eq. 2 merging matches exact f64 renormalization on random parts.
+    #[test]
+    fn merge_matches_f64(
+        w1 in 1i64..1_000_000,
+        w2 in 1i64..1_000_000,
+        o1 in -6.0f64..6.0,
+        o2 in -6.0f64..6.0,
+    ) {
+        let recip = RecipUnit::new(64);
+        let q19 = |v: f64| (v * (1u64 << 19) as f64).round() as i64;
+        let a = PartialRow { weight_q16: w1, out_q19: vec![q19(o1)] };
+        let b = PartialRow { weight_q16: w2, out_q19: vec![q19(o2)] };
+        let m = merge_partials(&a, &b, &recip).expect("merge");
+        let exact = (w1 as f64 * o1 + w2 as f64 * o2) / (w1 + w2) as f64;
+        prop_assert!((m.to_f64()[0] - exact).abs() < 0.02, "{} vs {exact}", m.to_f64()[0]);
+        prop_assert_eq!(m.weight_q16, w1 + w2);
+    }
+
+    /// Output conversion rounds to nearest within half an output LSB.
+    #[test]
+    fn q19_conversion_accurate(acc in -4_000_000i64..4_000_000) {
+        let out = Fix16x8::from_q19_acc(acc);
+        let exact = acc as f64 / (1u64 << 19) as f64;
+        prop_assert!((out.to_f64() - exact).abs() <= 0.5 / 256.0 + 1e-9);
+    }
+}

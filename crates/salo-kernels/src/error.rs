@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+use salo_fixed::FixedError;
+use salo_patterns::PatternError;
+
+/// Errors from the reference kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// Two matrices that must agree in shape do not.
+    DimMismatch {
+        /// Description of the operands involved.
+        context: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// The pattern's sequence length does not match the matrices.
+    PatternLengthMismatch {
+        /// Pattern sequence length.
+        pattern_n: usize,
+        /// Matrix row count.
+        rows: usize,
+    },
+    /// An error bubbled up from the pattern layer.
+    Pattern(PatternError),
+    /// An error bubbled up from the fixed-point layer.
+    Fixed(FixedError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::DimMismatch { context, left, right } => write!(
+                f,
+                "dimension mismatch in {context}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            KernelError::PatternLengthMismatch { pattern_n, rows } => {
+                write!(f, "pattern length {pattern_n} does not match {rows} matrix rows")
+            }
+            KernelError::Pattern(e) => write!(f, "pattern error: {e}"),
+            KernelError::Fixed(e) => write!(f, "fixed-point error: {e}"),
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Pattern(e) => Some(e),
+            KernelError::Fixed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternError> for KernelError {
+    fn from(e: PatternError) -> Self {
+        KernelError::Pattern(e)
+    }
+}
+
+impl From<FixedError> for KernelError {
+    fn from(e: FixedError) -> Self {
+        KernelError::Fixed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = KernelError::DimMismatch { context: "matmul", left: (2, 3), right: (4, 5) };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.source().is_none());
+        let e = KernelError::from(PatternError::EmptySequence);
+        assert!(e.source().is_some());
+        let e = KernelError::from(FixedError::EmptySoftmaxRow);
+        assert!(e.to_string().contains("fixed-point"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Multi-head sparse attention: independent heads sharing one pattern.
+
+use salo_patterns::HybridPattern;
+
+use crate::{sparse_attention, KernelError, Matrix, Qkv};
+
+/// Output of a multi-head attention layer.
+#[derive(Debug, Clone)]
+pub struct MultiHeadOutput {
+    /// Per-head outputs, each `n x d_head`.
+    pub heads: Vec<Matrix<f32>>,
+}
+
+impl MultiHeadOutput {
+    /// Concatenates head outputs along the feature dimension
+    /// (`n x (h * d_head)`), as the transformer block does before the
+    /// output projection.
+    #[must_use]
+    pub fn concat(&self) -> Matrix<f32> {
+        let n = self.heads.first().map_or(0, Matrix::rows);
+        let d = self.heads.first().map_or(0, Matrix::cols);
+        let h = self.heads.len();
+        Matrix::from_fn(n, h * d, |i, j| self.heads[j / d].get(i, j % d))
+    }
+}
+
+/// Runs exact `f32` sparse attention for every head.
+///
+/// All heads share the pattern (the paper's workloads use one hybrid
+/// pattern per layer) and the scale `1/sqrt(d_head)`.
+///
+/// # Errors
+///
+/// Returns the first kernel error encountered (dimension or pattern
+/// mismatch).
+pub fn multi_head_attention(
+    pattern: &HybridPattern,
+    heads: &[Qkv],
+) -> Result<MultiHeadOutput, KernelError> {
+    let mut outputs = Vec::with_capacity(heads.len());
+    for head in heads {
+        let scale = 1.0 / (head.head_dim().max(1) as f32).sqrt();
+        outputs.push(sparse_attention(pattern, &head.q, &head.k, &head.v, scale)?);
+    }
+    Ok(MultiHeadOutput { heads: outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salo_patterns::{longformer, AttentionShape};
+
+    #[test]
+    fn heads_are_independent() {
+        let shape = AttentionShape::new(12, 4, 2).unwrap();
+        let p = longformer(12, 4, 1).unwrap();
+        let heads = Qkv::random_heads(&shape, 3);
+        let out = multi_head_attention(&p, &heads).unwrap();
+        assert_eq!(out.heads.len(), 2);
+        // Recomputing one head alone gives the same answer.
+        let solo = sparse_attention(&p, &heads[1].q, &heads[1].k, &heads[1].v, 0.5).unwrap();
+        assert!(out.heads[1].max_abs_diff(&solo) < 1e-6);
+    }
+
+    #[test]
+    fn concat_layout() {
+        let shape = AttentionShape::new(6, 3, 2).unwrap();
+        let p = longformer(6, 3, 0).unwrap();
+        let heads = Qkv::random_heads(&shape, 8);
+        let out = multi_head_attention(&p, &heads).unwrap();
+        let cat = out.concat();
+        assert_eq!(cat.shape(), (6, 6));
+        assert_eq!(cat.get(2, 4), out.heads[1].get(2, 1));
+        assert_eq!(cat.get(5, 0), out.heads[0].get(5, 0));
+    }
+
+    #[test]
+    fn empty_heads() {
+        let p = longformer(6, 3, 0).unwrap();
+        let out = multi_head_attention(&p, &[]).unwrap();
+        assert!(out.heads.is_empty());
+        assert_eq!(out.concat().shape(), (0, 0));
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let p = longformer(6, 3, 0).unwrap();
+        let bad = Qkv::random(7, 2, 1); // wrong n
+        assert!(multi_head_attention(&p, &[bad]).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic Gaussian sampling for workload generation.
+//!
+//! The evaluation workloads need query/key/value matrices with realistic
+//! statistics. Attention inputs after layer normalization are approximately
+//! standard normal, so we sample `N(mean, std)` via the Box–Muller transform
+//! on top of a seeded [`rand`] generator (the `rand` crate deliberately
+//! ships no normal distribution; `rand_distr` is avoided to keep the
+//! dependency set minimal).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Matrix;
+
+/// A seeded Gaussian sampler (Box–Muller over `StdRng`).
+#[derive(Debug)]
+pub struct NormalSampler {
+    rng: StdRng,
+    spare: Option<f64>,
+    mean: f64,
+    std: f64,
+}
+
+impl NormalSampler {
+    /// Creates a sampler for `N(mean, std^2)` with a fixed seed.
+    #[must_use]
+    pub fn new(seed: u64, mean: f64, std: f64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), spare: None, mean, std }
+    }
+
+    /// Standard normal sampler.
+    #[must_use]
+    pub fn standard(seed: u64) -> Self {
+        Self::new(seed, 0.0, 1.0)
+    }
+
+    /// Draws the next sample.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return self.mean + self.std * z;
+        }
+        // Box–Muller: two uniforms -> two normals.
+        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        self.mean + self.std * r * theta.cos()
+    }
+}
+
+/// Samples a vector of `len` Gaussian values.
+#[must_use]
+pub fn gaussian_vec(seed: u64, len: usize, mean: f64, std: f64) -> Vec<f32> {
+    let mut sampler = NormalSampler::new(seed, mean, std);
+    (0..len).map(|_| sampler.sample() as f32).collect()
+}
+
+/// Samples a `rows x cols` matrix of Gaussian values.
+#[must_use]
+pub fn gaussian_matrix(seed: u64, rows: usize, cols: usize, mean: f64, std: f64) -> Matrix<f32> {
+    let mut sampler = NormalSampler::new(seed, mean, std);
+    Matrix::from_fn(rows, cols, |_, _| sampler.sample() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = gaussian_vec(42, 100, 0.0, 1.0);
+        let b = gaussian_vec(42, 100, 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = gaussian_vec(43, 100, 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn moments_are_plausible() {
+        let xs = gaussian_vec(7, 50_000, 0.0, 1.0);
+        let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
+        let var: f64 =
+            xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn mean_and_std_applied() {
+        let xs = gaussian_vec(9, 20_000, 3.0, 0.5);
+        let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        let var: f64 =
+            xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let m = gaussian_matrix(1, 4, 6, 0.0, 1.0);
+        assert_eq!(m.shape(), (4, 6));
+    }
+
+    #[test]
+    fn spare_path_used() {
+        let mut s = NormalSampler::standard(5);
+        // Two consecutive samples exercise both Box–Muller outputs.
+        let a = s.sample();
+        let b = s.sample();
+        assert!(a.is_finite() && b.is_finite());
+    }
+}

@@ -1,0 +1,135 @@
+//! The numbers the SALO paper reports, recorded verbatim so experiments
+//! can print paper-vs-measured tables (see `EXPERIMENTS.md`).
+
+/// One workload's reported speedups and energy savings (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Figure7Row {
+    /// Workload name as in the paper.
+    pub name: &'static str,
+    /// Speedup over the CPU baseline (Fig. 7a).
+    pub speedup_cpu: f64,
+    /// Speedup over the GPU baseline (Fig. 7a).
+    pub speedup_gpu: f64,
+    /// Energy saving over the CPU baseline (Fig. 7b).
+    pub energy_cpu: f64,
+    /// Energy saving over the GPU baseline (Fig. 7b).
+    pub energy_gpu: f64,
+}
+
+/// Fig. 7 values for the three workloads.
+pub const FIGURE7: [Figure7Row; 3] = [
+    Figure7Row {
+        name: "Longformer",
+        speedup_cpu: 83.57,
+        speedup_gpu: 7.38,
+        energy_cpu: 196.90,
+        energy_gpu: 336.05,
+    },
+    Figure7Row {
+        name: "ViL-stage1",
+        speedup_cpu: 83.12,
+        speedup_gpu: 20.10,
+        energy_cpu: 187.53,
+        energy_gpu: 281.29,
+    },
+    Figure7Row {
+        name: "ViL-stage2",
+        speedup_cpu: 101.31,
+        speedup_gpu: 25.51,
+        energy_cpu: 167.15,
+        energy_gpu: 198.78,
+    },
+];
+
+/// Average speedup over CPU (paper abstract: 89.33x).
+pub const AVG_SPEEDUP_CPU: f64 = 89.33;
+/// Average speedup over GPU (paper abstract: 17.66x).
+pub const AVG_SPEEDUP_GPU: f64 = 17.66;
+/// Average energy saving over CPU (§6.2: 183.86x).
+pub const AVG_ENERGY_CPU: f64 = 183.86;
+/// Average energy saving over GPU (§6.2: 272.04x).
+pub const AVG_ENERGY_GPU: f64 = 272.04;
+
+/// §2.1 motivation anchors: BERT-base attention on a GTX 1080Ti.
+pub const BERT_GPU_LATENCY_MS_N2048: f64 = 9.20;
+/// Same at `n = 8192` (~16x the `n = 2048` latency).
+pub const BERT_GPU_LATENCY_MS_N8192: f64 = 145.70;
+
+/// §6.3: SALO speedup over Sanger at equal PEs, sparsity and frequency.
+pub const SANGER_SPEEDUP: f64 = 1.33;
+/// §6.3: Sanger's PE utilization range on sparsity 0.05–0.30.
+pub const SANGER_UTILIZATION: (f64, f64) = (0.55, 0.75);
+/// §6.3: SALO's PE utilization claim.
+pub const SALO_UTILIZATION_MIN: f64 = 0.75;
+
+/// Table 1 synthesis results.
+pub mod table1 {
+    /// PE array size.
+    pub const PE_ARRAY: (usize, usize) = (32, 32);
+    /// Global PE columns.
+    pub const GLOBAL_PE_COLS: usize = 1;
+    /// Global PE rows.
+    pub const GLOBAL_PE_ROWS: usize = 1;
+    /// Weighted-sum module count (one per array row plus the global row).
+    pub const WEIGHTED_SUM_MODULES: usize = 33;
+    /// Buffer sizes in KB: query, key, value, output.
+    pub const BUFFERS_KB: (usize, usize, usize, usize) = (16, 32, 32, 32);
+    /// Clock frequency (GHz).
+    pub const FREQUENCY_GHZ: f64 = 1.0;
+    /// Synthesized power (mW) at FreePDK 45 nm.
+    pub const POWER_MW: f64 = 532.66;
+    /// Synthesized area (mm²).
+    pub const AREA_MM2: f64 = 4.56;
+}
+
+/// Table 3: accuracy of the original vs Q.4-quantized models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Model name.
+    pub model: &'static str,
+    /// Dataset.
+    pub dataset: &'static str,
+    /// Original fp32 accuracy (%).
+    pub original: f64,
+    /// Quantized accuracy (%).
+    pub quantized: f64,
+}
+
+/// Table 3 values.
+pub const TABLE3: [Table3Row; 3] = [
+    Table3Row { model: "Longformer", dataset: "IMDB", original: 95.34, quantized: 95.20 },
+    Table3Row {
+        model: "Longformer",
+        dataset: "Hyperpartisan",
+        original: 93.42,
+        quantized: 93.46,
+    },
+    Table3Row { model: "ViL", dataset: "ImageNet-1K", original: 82.87, quantized: 82.80 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_match_rows() {
+        let avg = |f: fn(&Figure7Row) -> f64| FIGURE7.iter().map(f).sum::<f64>() / 3.0;
+        assert!((avg(|r| r.speedup_cpu) - AVG_SPEEDUP_CPU).abs() < 0.05);
+        assert!((avg(|r| r.speedup_gpu) - AVG_SPEEDUP_GPU).abs() < 0.05);
+        assert!((avg(|r| r.energy_cpu) - AVG_ENERGY_CPU).abs() < 0.05);
+        assert!((avg(|r| r.energy_gpu) - AVG_ENERGY_GPU).abs() < 0.05);
+    }
+
+    #[test]
+    fn motivation_ratio_is_quadratic() {
+        let ratio = BERT_GPU_LATENCY_MS_N8192 / BERT_GPU_LATENCY_MS_N2048;
+        assert!((ratio - 15.8).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn table3_deltas_are_small() {
+        for row in TABLE3 {
+            assert!((row.original - row.quantized).abs() < 0.2);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+use crate::{HybridPattern, PatternError, Window};
+
+/// Builder for [`HybridPattern`]s.
+///
+/// Collects window components and global tokens, then validates the whole
+/// pattern in [`build`](Self::build).
+///
+/// # Example
+///
+/// ```
+/// use salo_patterns::{HybridPattern, Window};
+///
+/// let pattern = HybridPattern::builder(1024)
+///     .window(Window::symmetric(64)?)
+///     .window(Window::dilated(-256, 256, 64)?)
+///     .global_tokens([0, 1])
+///     .build()?;
+/// assert_eq!(pattern.windows().len(), 2);
+/// assert_eq!(pattern.globals(), &[0, 1]);
+/// # Ok::<(), salo_patterns::PatternError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternBuilder {
+    n: usize,
+    windows: Vec<Window>,
+    globals: Vec<usize>,
+}
+
+impl PatternBuilder {
+    /// Creates a builder for a sequence of `n` tokens.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { n, windows: Vec::new(), globals: Vec::new() }
+    }
+
+    /// Adds a window component.
+    #[must_use]
+    pub fn window(mut self, window: Window) -> Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// Adds several window components.
+    #[must_use]
+    pub fn windows<I: IntoIterator<Item = Window>>(mut self, windows: I) -> Self {
+        self.windows.extend(windows);
+        self
+    }
+
+    /// Adds a global token.
+    #[must_use]
+    pub fn global_token(mut self, token: usize) -> Self {
+        self.globals.push(token);
+        self
+    }
+
+    /// Adds several global tokens.
+    #[must_use]
+    pub fn global_tokens<I: IntoIterator<Item = usize>>(mut self, tokens: I) -> Self {
+        self.globals.extend(tokens);
+        self
+    }
+
+    /// Validates and builds the pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sequence is empty, the pattern has no
+    /// components, or a global token is out of range.
+    pub fn build(self) -> Result<HybridPattern, PatternError> {
+        HybridPattern::from_parts(self.n, self.windows, self.globals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_components() {
+        let p = PatternBuilder::new(100)
+            .window(Window::symmetric(5).unwrap())
+            .windows([Window::sliding(10, 12).unwrap(), Window::causal(2).unwrap()])
+            .global_token(3)
+            .global_tokens([7, 9])
+            .build()
+            .unwrap();
+        assert_eq!(p.windows().len(), 3);
+        assert_eq!(p.globals(), &[3, 7, 9]);
+    }
+
+    #[test]
+    fn builder_propagates_validation_errors() {
+        let err = PatternBuilder::new(10).global_token(10).build().unwrap_err();
+        assert_eq!(err, PatternError::GlobalTokenOutOfRange { token: 10, n: 10 });
+    }
+}

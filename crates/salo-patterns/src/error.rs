@@ -1,0 +1,108 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating attention patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PatternError {
+    /// A window was specified with `lo > hi`.
+    InvalidWindowRange {
+        /// Lower relative offset.
+        lo: i64,
+        /// Upper relative offset.
+        hi: i64,
+    },
+    /// A window dilation of zero was requested.
+    ZeroDilation,
+    /// The span `hi - lo` is not a multiple of the dilation, so the window
+    /// cannot place its last offset exactly at `hi`.
+    MisalignedDilation {
+        /// Lower relative offset.
+        lo: i64,
+        /// Upper relative offset.
+        hi: i64,
+        /// Requested dilation.
+        dilation: usize,
+    },
+    /// A window size of zero was requested.
+    EmptyWindow,
+    /// A global token index is outside the sequence.
+    GlobalTokenOutOfRange {
+        /// Offending token index.
+        token: usize,
+        /// Sequence length.
+        n: usize,
+    },
+    /// The sequence length is zero.
+    EmptySequence,
+    /// The pattern has no windows and no global tokens.
+    EmptyPattern,
+    /// A 2-D grid parameter is invalid (zero extent or even window size where
+    /// an odd one is required).
+    InvalidGrid {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::InvalidWindowRange { lo, hi } => {
+                write!(f, "invalid window range: lo {lo} exceeds hi {hi}")
+            }
+            PatternError::ZeroDilation => write!(f, "window dilation must be at least 1"),
+            PatternError::MisalignedDilation { lo, hi, dilation } => write!(
+                f,
+                "window span {lo}..={hi} is not a multiple of dilation {dilation}"
+            ),
+            PatternError::EmptyWindow => write!(f, "window size must be at least 1"),
+            PatternError::GlobalTokenOutOfRange { token, n } => {
+                write!(f, "global token {token} out of range for sequence length {n}")
+            }
+            PatternError::EmptySequence => write!(f, "sequence length must be at least 1"),
+            PatternError::EmptyPattern => {
+                write!(f, "pattern needs at least one window or global token")
+            }
+            PatternError::InvalidGrid { reason } => write!(f, "invalid 2-D grid: {reason}"),
+        }
+    }
+}
+
+impl Error for PatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = PatternError::InvalidWindowRange { lo: 3, hi: -3 };
+        let text = err.to_string();
+        assert!(text.starts_with("invalid window range"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PatternError>();
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants = vec![
+            PatternError::InvalidWindowRange { lo: 1, hi: 0 },
+            PatternError::ZeroDilation,
+            PatternError::MisalignedDilation { lo: 0, hi: 5, dilation: 2 },
+            PatternError::EmptyWindow,
+            PatternError::GlobalTokenOutOfRange { token: 9, n: 4 },
+            PatternError::EmptySequence,
+            PatternError::EmptyPattern,
+            PatternError::InvalidGrid { reason: "zero height".into() },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

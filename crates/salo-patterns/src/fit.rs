@@ -1,0 +1,222 @@
+//! Decomposition of arbitrary dense masks into SALO's hybrid pattern
+//! language.
+//!
+//! The SALO data scheduler consumes pattern *metadata* (window ranges,
+//! dilations, global tokens), not raw masks. When a user has only a boolean
+//! mask — e.g. exported from a model — this module recovers a
+//! [`HybridPattern`] that covers it: global rows/columns are detected first,
+//! then diagonal bands (constant `j - i` offsets) with high coverage become
+//! window offsets, which are grouped into maximal arithmetic progressions
+//! (sliding or dilated windows).
+
+use crate::{DenseMask, HybridPattern, PatternError, Window};
+
+/// Configuration for [`fit_pattern`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitConfig {
+    /// Fraction of valid positions along a diagonal that must be kept for
+    /// the offset to be treated as a window offset (default 0.9).
+    pub band_threshold: f64,
+    /// Fraction of a row/column that must be kept for the token to be
+    /// treated as global (default 0.95).
+    pub global_threshold: f64,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self { band_threshold: 0.9, global_threshold: 0.95 }
+    }
+}
+
+/// The result of fitting a mask: the recovered pattern and coverage quality.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// The recovered hybrid pattern.
+    pub pattern: HybridPattern,
+    /// Positions kept by the mask but not covered by the pattern.
+    pub missed: u64,
+    /// Positions covered by the pattern but not kept by the mask.
+    pub extra: u64,
+    /// Fraction of mask positions the pattern reproduces exactly.
+    pub agreement: f64,
+}
+
+/// Fits a [`HybridPattern`] to an arbitrary dense mask.
+///
+/// The fit is exact (zero `missed`/`extra`) whenever the mask was generated
+/// from a hybrid pattern in the first place; for irregular masks it returns
+/// the closest window/global decomposition together with a coverage report.
+///
+/// # Errors
+///
+/// Returns [`PatternError::EmptyPattern`] if no structure clears the
+/// thresholds (e.g. an all-false mask).
+pub fn fit_pattern(mask: &DenseMask, config: FitConfig) -> Result<FitReport, PatternError> {
+    let n = mask.n();
+
+    // 1. Detect global tokens: rows AND columns that are (nearly) full.
+    let mut globals = Vec::new();
+    for t in 0..n {
+        let row_cov = (0..n).filter(|&j| mask.get(t, j)).count() as f64 / n as f64;
+        let col_cov = (0..n).filter(|&i| mask.get(i, t)).count() as f64 / n as f64;
+        if row_cov >= config.global_threshold && col_cov >= config.global_threshold {
+            globals.push(t);
+        }
+    }
+
+    // 2. Scan diagonals, ignoring global rows/columns.
+    let is_global = |t: usize| globals.binary_search(&t).is_ok();
+    let mut offsets = Vec::new();
+    for delta in -(n as i64 - 1)..=(n as i64 - 1) {
+        let mut kept = 0usize;
+        let mut valid = 0usize;
+        for i in 0..n {
+            let j = i as i64 + delta;
+            if j < 0 || j >= n as i64 {
+                continue;
+            }
+            let j = j as usize;
+            if is_global(i) || is_global(j) {
+                continue;
+            }
+            valid += 1;
+            if mask.get(i, j) {
+                kept += 1;
+            }
+        }
+        if valid > 0 && kept as f64 / valid as f64 >= config.band_threshold {
+            offsets.push(delta);
+        }
+    }
+
+    // 3. Group offsets into maximal arithmetic progressions => windows.
+    let windows = group_offsets(&offsets)?;
+
+    if windows.is_empty() && globals.is_empty() {
+        return Err(PatternError::EmptyPattern);
+    }
+
+    let pattern = HybridPattern::from_parts(n, windows, globals)?;
+    let fitted = DenseMask::from_pattern(&pattern);
+    let mut missed = 0u64;
+    let mut extra = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            match (mask.get(i, j), fitted.get(i, j)) {
+                (true, false) => missed += 1,
+                (false, true) => extra += 1,
+                _ => {}
+            }
+        }
+    }
+    let agreement = 1.0 - (missed + extra) as f64 / (n as f64 * n as f64);
+    Ok(FitReport { pattern, missed, extra, agreement })
+}
+
+/// Groups sorted offsets into maximal runs of constant stride; each run
+/// becomes one window (stride 1 => sliding, stride > 1 => dilated).
+fn group_offsets(offsets: &[i64]) -> Result<Vec<Window>, PatternError> {
+    let mut windows = Vec::new();
+    let mut idx = 0;
+    while idx < offsets.len() {
+        // Greedy: prefer the longest run starting here among stride candidates.
+        let start = offsets[idx];
+        if idx + 1 == offsets.len() {
+            windows.push(Window::sliding(start, start)?);
+            break;
+        }
+        let stride = (offsets[idx + 1] - start) as usize;
+        let mut end_idx = idx + 1;
+        while end_idx + 1 < offsets.len()
+            && (offsets[end_idx + 1] - offsets[end_idx]) as usize == stride
+        {
+            end_idx += 1;
+        }
+        // Runs of stride 1 stay together; a lone pair with a large stride is
+        // still a (two-offset) dilated window.
+        windows.push(Window::dilated(start, offsets[end_idx], stride.max(1))?);
+        idx = end_idx + 1;
+    }
+    Ok(windows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{grid_2d, longformer, sparse_transformer};
+
+    fn exact_fit(p: &HybridPattern) -> FitReport {
+        let mask = DenseMask::from_pattern(p);
+        fit_pattern(&mask, FitConfig::default()).expect("fit")
+    }
+
+    #[test]
+    fn refits_longformer_exactly() {
+        let p = longformer(96, 8, 1).unwrap();
+        let report = exact_fit(&p);
+        assert_eq!(report.missed, 0, "missed positions");
+        assert_eq!(report.extra, 0, "extra positions");
+        assert_eq!(report.pattern.globals(), &[0]);
+        assert!((report.agreement - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn refits_banded_2d_exactly() {
+        let p = grid_2d(6, 6, 3, 3, 0).unwrap();
+        let report = exact_fit(&p);
+        assert_eq!(report.missed + report.extra, 0);
+        // Bands may be merged/split differently but coverage is identical.
+        assert_eq!(report.pattern.nnz(), p.nnz());
+    }
+
+    #[test]
+    fn refits_strided_pattern() {
+        let p = sparse_transformer(48, 4, 4).unwrap();
+        let report = exact_fit(&p);
+        assert_eq!(report.missed, 0);
+        assert_eq!(report.extra, 0);
+        // Recovered windows include at least one dilated component.
+        assert!(report.pattern.windows().iter().any(|w| w.is_dilated() || w.width() == 1));
+    }
+
+    #[test]
+    fn rejects_empty_mask() {
+        let mask = DenseMask::new(8).unwrap();
+        assert!(matches!(
+            fit_pattern(&mask, FitConfig::default()),
+            Err(PatternError::EmptyPattern)
+        ));
+    }
+
+    #[test]
+    fn irregular_mask_reports_misses() {
+        let mut mask = DenseMask::new(16).unwrap();
+        // A full diagonal plus scattered noise below threshold.
+        for i in 0..16 {
+            mask.set(i, i, true);
+        }
+        mask.set(3, 9, true);
+        let report = fit_pattern(&mask, FitConfig::default()).unwrap();
+        assert_eq!(report.missed, 1); // the (3, 9) speck
+        assert_eq!(report.extra, 0);
+        assert!(report.agreement > 0.99);
+    }
+
+    #[test]
+    fn group_offsets_mixed_strides() {
+        let windows = group_offsets(&[-2, -1, 0, 1, 2, 10, 20, 30]).unwrap();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].lo(), -2);
+        assert_eq!(windows[0].hi(), 2);
+        assert_eq!(windows[0].dilation(), 1);
+        assert_eq!(windows[1].dilation(), 10);
+        assert_eq!(windows[1].width(), 3);
+    }
+
+    #[test]
+    fn group_offsets_singleton() {
+        let windows = group_offsets(&[5]).unwrap();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].width(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Hybrid sparse attention patterns for the SALO accelerator.
+//!
+//! This crate implements the pattern abstraction of the SALO paper (DAC 2022,
+//! §2.3): a *hybrid sparse attention mechanism* is the union of
+//!
+//! * **sliding window attention** — each query `q_i` attends keys `k_j` with
+//!   `a <= j - i <= b` for a fixed relative range `[a, b]`;
+//! * **dilated window attention** — the same with a gap (dilation) `d` between
+//!   consecutive offsets, extending the receptive field;
+//! * **global attention** — a small set of pre-selected tokens whose queries
+//!   attend every key and whose keys are attended by every query.
+//!
+//! The central type is [`HybridPattern`], built from [`Window`] components and
+//! global token indices. Patterns are *data*: the SALO data scheduler
+//! (`salo-scheduler`) consumes them to produce execution plans, the reference
+//! kernels (`salo-kernels`) consume them as masks, and the statistics module
+//! here reproduces the sparsity column of Table 2 in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use salo_patterns::{HybridPattern, Window};
+//!
+//! // Longformer-style pattern: 512-wide sliding window plus one global token.
+//! let pattern = HybridPattern::builder(4096)
+//!     .window(Window::symmetric(512)?)
+//!     .global_token(0)
+//!     .build()?;
+//! assert!(pattern.allows(100, 100 + 255)); // inside the window
+//! assert!(pattern.allows(3000, 0));        // global column
+//! assert!(!pattern.allows(100, 2000));     // masked out
+//! # Ok::<(), salo_patterns::PatternError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod builder;
+mod error;
+mod fit;
+mod mask;
+mod pattern;
+mod presets;
+mod render;
+mod shape;
+mod stats;
+mod support;
+mod window;
+
+pub use builder::PatternBuilder;
+pub use error::PatternError;
+pub use fit::{fit_pattern, FitConfig, FitReport};
+pub use mask::DenseMask;
+pub use pattern::HybridPattern;
+pub use presets::{
+    grid_2d, longformer, sliding_only, sparse_transformer, star_transformer, vil_stage,
+};
+pub use render::{render_ascii, RenderOptions};
+pub use shape::AttentionShape;
+pub use stats::PatternStats;
+pub use support::{analyze_support, bigbird_like_mask, SupportReport};
+pub use window::Window;

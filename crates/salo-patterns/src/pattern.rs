@@ -1,0 +1,364 @@
+use crate::{PatternBuilder, PatternError, PatternStats, Window};
+
+/// A hybrid sparse attention pattern: the union of window components and
+/// global tokens over a sequence of length `n`.
+///
+/// This is the pattern language of the SALO paper (§2.3/§3): any number of
+/// sliding or dilated [`Window`]s plus a set of global tokens. Position
+/// `(i, j)` of the attention score matrix is *kept* (computed) iff
+///
+/// * some window contains the relative offset `j - i`, or
+/// * `i` is a global token (its query attends every key), or
+/// * `j` is a global token (its key is attended by every query).
+///
+/// All coordinates are clipped to `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use salo_patterns::{HybridPattern, Window};
+///
+/// let p = HybridPattern::builder(16)
+///     .window(Window::symmetric(3)?)
+///     .global_token(0)
+///     .build()?;
+/// assert_eq!(p.row_keys(8), vec![0, 7, 8, 9]);
+/// # Ok::<(), salo_patterns::PatternError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridPattern {
+    n: usize,
+    windows: Vec<Window>,
+    globals: Vec<usize>,
+}
+
+impl HybridPattern {
+    /// Starts building a pattern over a sequence of `n` tokens.
+    #[must_use]
+    pub fn builder(n: usize) -> PatternBuilder {
+        PatternBuilder::new(n)
+    }
+
+    pub(crate) fn from_parts(
+        n: usize,
+        windows: Vec<Window>,
+        mut globals: Vec<usize>,
+    ) -> Result<Self, PatternError> {
+        if n == 0 {
+            return Err(PatternError::EmptySequence);
+        }
+        if windows.is_empty() && globals.is_empty() {
+            return Err(PatternError::EmptyPattern);
+        }
+        if let Some(&bad) = globals.iter().find(|&&g| g >= n) {
+            return Err(PatternError::GlobalTokenOutOfRange { token: bad, n });
+        }
+        globals.sort_unstable();
+        globals.dedup();
+        Ok(Self { n, windows, globals })
+    }
+
+    /// Sequence length `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The window components of the pattern.
+    #[must_use]
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// The global token indices, sorted and deduplicated.
+    #[must_use]
+    pub fn globals(&self) -> &[usize] {
+        &self.globals
+    }
+
+    /// Whether `token` is a global token.
+    #[must_use]
+    pub fn is_global(&self, token: usize) -> bool {
+        self.globals.binary_search(&token).is_ok()
+    }
+
+    /// Whether score position `(i, j)` is kept by the pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is outside the sequence (`>= n`); this indicates
+    /// a logic error in the caller, not a data condition.
+    #[must_use]
+    pub fn allows(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.n, "position ({i}, {j}) outside sequence of length {n}",
+            n = self.n);
+        if self.is_global(i) || self.is_global(j) {
+            return true;
+        }
+        self.window_allows(i, j)
+    }
+
+    /// Whether `(i, j)` is kept by a window component alone (ignoring global
+    /// rows/columns). The data scheduler uses this to separate the work of
+    /// the PE array from that of the global PE row/column.
+    #[must_use]
+    pub fn window_allows(&self, i: usize, j: usize) -> bool {
+        let delta = j as i64 - i as i64;
+        self.windows.iter().any(|w| w.contains_offset(delta))
+    }
+
+    /// The sorted, deduplicated keys attended by query `i`.
+    #[must_use]
+    pub fn row_keys(&self, i: usize) -> Vec<usize> {
+        assert!(i < self.n, "row {i} outside sequence of length {n}", n = self.n);
+        if self.is_global(i) {
+            return (0..self.n).collect();
+        }
+        let mut keys: Vec<usize> = self.globals.clone();
+        for w in &self.windows {
+            for delta in w.offsets() {
+                let j = i as i64 + delta;
+                if j >= 0 && (j as usize) < self.n {
+                    keys.push(j as usize);
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Number of keys attended by query `i`.
+    #[must_use]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_keys(i).len()
+    }
+
+    /// Exact number of kept positions in the `n x n` score matrix, counting
+    /// boundary clipping and overlaps between components once.
+    #[must_use]
+    pub fn nnz(&self) -> u64 {
+        (0..self.n).map(|i| self.row_nnz(i) as u64).sum()
+    }
+
+    /// Exact density: `nnz / n^2`. The paper's Table 2 "Sparsity" column
+    /// reports the *nominal* density instead (see
+    /// [`PatternStats::nominal_density`]); both are exposed.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.n as f64 * self.n as f64)
+    }
+
+    /// Computes summary statistics (exact and nominal density, widths, MACs).
+    #[must_use]
+    pub fn stats(&self) -> PatternStats {
+        PatternStats::from_pattern(self)
+    }
+
+    /// Iterates all kept `(i, j)` positions in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| self.row_keys(i).into_iter().map(move |j| (i, j)))
+    }
+
+    /// Total width (number of offsets) summed over all windows — the paper's
+    /// window size `w` for single-window patterns.
+    #[must_use]
+    pub fn total_window_width(&self) -> usize {
+        self.windows.iter().map(Window::width).sum()
+    }
+
+    /// The causal restriction of this pattern: every window clipped to
+    /// non-positive offsets (`j <= i`), for decoder-style autoregressive
+    /// attention. Windows entirely in the future are dropped; global
+    /// tokens are kept (causal models place them at the sequence start,
+    /// where their row is almost fully masked anyway — the caller decides
+    /// their semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::EmptyPattern`] if nothing survives the
+    /// clipping.
+    pub fn causal(&self) -> Result<HybridPattern, PatternError> {
+        let mut windows = Vec::new();
+        for w in &self.windows {
+            if w.lo() > 0 {
+                continue; // entirely in the future
+            }
+            let hi = w.hi().min(0);
+            // Keep the dilation grid aligned: the largest offset <= 0 on
+            // the window's grid.
+            let aligned_hi = w.lo() + ((hi - w.lo()) / w.dilation() as i64) * w.dilation() as i64;
+            windows.push(Window::dilated(w.lo(), aligned_hi, w.dilation())?);
+        }
+        HybridPattern::from_parts(self.n, windows, self.globals.clone())
+    }
+
+    /// The union of all windows' relative offsets, sorted and deduplicated.
+    ///
+    /// For patterns whose windows are all undilated this is the per-query
+    /// offset menu the scheduler chunks into accelerator passes.
+    #[must_use]
+    pub fn merged_offsets(&self) -> Vec<i64> {
+        let mut offsets: Vec<i64> = self.windows.iter().flat_map(|w| w.offsets().collect::<Vec<_>>()).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HybridPattern {
+        HybridPattern::builder(10)
+            .window(Window::symmetric(3).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn allows_window_and_globals() {
+        let p = small();
+        assert!(p.allows(5, 4));
+        assert!(p.allows(5, 5));
+        assert!(p.allows(5, 6));
+        assert!(!p.allows(5, 7));
+        assert!(p.allows(5, 0)); // global column
+        assert!(p.allows(0, 9)); // global row
+    }
+
+    #[test]
+    fn row_keys_sorted_unique() {
+        let p = small();
+        assert_eq!(p.row_keys(0), (0..10).collect::<Vec<_>>());
+        assert_eq!(p.row_keys(1), vec![0, 1, 2]); // global 0 overlaps window
+        assert_eq!(p.row_keys(5), vec![0, 4, 5, 6]);
+        assert_eq!(p.row_keys(9), vec![0, 8, 9]);
+    }
+
+    #[test]
+    fn nnz_counts_overlaps_once() {
+        // n=4, window symmetric(3) => offsets -1..=1, global token 0.
+        let p = HybridPattern::builder(4)
+            .window(Window::symmetric(3).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        // row 0: global row -> 4; row 1: {0,1,2}; row 2: {0,1,2,3}; row 3: {0,2,3}
+        assert_eq!(p.nnz(), 4 + 3 + 4 + 3);
+        let dense: Vec<(usize, usize)> = p.iter().collect();
+        assert_eq!(dense.len() as u64, p.nnz());
+    }
+
+    #[test]
+    fn density_matches_iter_count() {
+        let p = small();
+        let count = p.iter().count() as f64;
+        assert!((p.density() - count / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_only_pattern() {
+        let p = HybridPattern::builder(6).global_token(2).build().unwrap();
+        assert!(p.allows(2, 5));
+        assert!(p.allows(4, 2));
+        assert!(!p.allows(4, 5));
+        assert_eq!(p.nnz(), 6 + 5); // full row 2 plus column 2 minus overlap
+    }
+
+    #[test]
+    fn rejects_invalid_construction() {
+        assert!(matches!(
+            HybridPattern::builder(0).global_token(0).build(),
+            Err(PatternError::EmptySequence)
+        ));
+        assert!(matches!(HybridPattern::builder(4).build(), Err(PatternError::EmptyPattern)));
+        assert!(matches!(
+            HybridPattern::builder(4).global_token(7).build(),
+            Err(PatternError::GlobalTokenOutOfRange { token: 7, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn globals_deduplicated_and_sorted() {
+        let p = HybridPattern::builder(8)
+            .global_token(5)
+            .global_token(1)
+            .global_token(5)
+            .build()
+            .unwrap();
+        assert_eq!(p.globals(), &[1, 5]);
+        assert!(p.is_global(1));
+        assert!(!p.is_global(2));
+    }
+
+    #[test]
+    fn merged_offsets_dedup_across_windows() {
+        let p = HybridPattern::builder(32)
+            .window(Window::sliding(-2, 2).unwrap())
+            .window(Window::sliding(0, 4).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(p.merged_offsets(), vec![-2, -1, 0, 1, 2, 3, 4]);
+        assert_eq!(p.total_window_width(), 10); // widths summed, not deduped
+    }
+
+    #[test]
+    #[should_panic(expected = "outside sequence")]
+    fn allows_panics_out_of_range() {
+        let p = small();
+        let _ = p.allows(10, 0);
+    }
+
+    #[test]
+    fn causal_clips_future_offsets() {
+        let p = HybridPattern::builder(16)
+            .window(Window::symmetric(7).unwrap()) // -3..=3
+            .build()
+            .unwrap();
+        let c = p.causal().unwrap();
+        assert!(c.allows(8, 8));
+        assert!(c.allows(8, 5));
+        assert!(!c.allows(8, 9), "future key masked");
+        assert_eq!(c.windows()[0].hi(), 0);
+    }
+
+    #[test]
+    fn causal_respects_dilation_grid() {
+        let p = HybridPattern::builder(30)
+            .window(Window::dilated(-7, 5, 3).unwrap()) // offsets -7,-4,-1,2,5
+            .build()
+            .unwrap();
+        let c = p.causal().unwrap();
+        // Aligned hi: largest grid offset <= 0 is -1.
+        assert_eq!(c.windows()[0].hi(), -1);
+        assert!(c.allows(10, 9));
+        assert!(!c.allows(10, 12));
+    }
+
+    #[test]
+    fn causal_drops_future_only_windows() {
+        let p = HybridPattern::builder(12)
+            .window(Window::sliding(2, 4).unwrap())
+            .window(Window::causal(3).unwrap())
+            .build()
+            .unwrap();
+        let c = p.causal().unwrap();
+        assert_eq!(c.windows().len(), 1);
+        // Everything that remains is causal.
+        for (i, j) in c.iter() {
+            assert!(j <= i, "({i},{j}) is anti-causal");
+        }
+    }
+
+    #[test]
+    fn causal_of_future_only_pattern_errors() {
+        let p = HybridPattern::builder(8)
+            .window(Window::sliding(1, 3).unwrap())
+            .build()
+            .unwrap();
+        assert!(matches!(p.causal(), Err(PatternError::EmptyPattern)));
+    }
+}

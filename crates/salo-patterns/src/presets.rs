@@ -1,0 +1,208 @@
+//! Preset pattern generators for the sparse attention mechanisms surveyed in
+//! the SALO paper (Fig. 2): Longformer, Star Transformer, Sparse Transformer
+//! and the 2-D windows of Vision Longformer (ViL).
+
+use crate::{HybridPattern, PatternError, Window};
+
+/// Longformer's hybrid pattern: a symmetric sliding window of size `w` plus
+/// `ng` global tokens at the start of the sequence (task tokens such as
+/// `[CLS]`).
+///
+/// `longformer(4096, 512, 1)` is the Longformer-Base-4096 configuration from
+/// Table 2 of the paper.
+///
+/// # Errors
+///
+/// Returns an error if `w == 0` or `ng > n`.
+pub fn longformer(n: usize, w: usize, ng: usize) -> Result<HybridPattern, PatternError> {
+    HybridPattern::builder(n).window(Window::symmetric(w)?).global_tokens(0..ng).build()
+}
+
+/// A plain sliding window pattern with no global tokens.
+///
+/// # Errors
+///
+/// Returns an error if `w == 0` or `n == 0`.
+pub fn sliding_only(n: usize, w: usize) -> Result<HybridPattern, PatternError> {
+    HybridPattern::builder(n).window(Window::symmetric(w)?).build()
+}
+
+/// Star Transformer's pattern: a local trigram window (each token attends its
+/// immediate neighbours) plus one relay token attending and attended by all.
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+pub fn star_transformer(n: usize) -> Result<HybridPattern, PatternError> {
+    HybridPattern::builder(n).window(Window::symmetric(3)?).global_token(0).build()
+}
+
+/// Sparse Transformer's strided pattern: a causal local window of size
+/// `stride` plus a causal dilated window with gap `stride` reaching back
+/// `depth * stride` positions (the "column" attention of Fig. 2c).
+///
+/// # Errors
+///
+/// Returns an error if `stride == 0` or `depth == 0`.
+pub fn sparse_transformer(
+    n: usize,
+    stride: usize,
+    depth: usize,
+) -> Result<HybridPattern, PatternError> {
+    if stride == 0 || depth == 0 {
+        return Err(PatternError::EmptyWindow);
+    }
+    let local = Window::causal(stride)?;
+    let column = Window::dilated(-((depth * stride) as i64), 0, stride)?;
+    HybridPattern::builder(n).window(local).window(column).build()
+}
+
+/// A 2-D local window over an `h x w` token grid, flattened row-major into a
+/// 1-D sequence, plus `ng` global tokens.
+///
+/// A query at grid position `(r, c)` attends keys within the `wh x ww`
+/// window centered on it. In flattened coordinates the window becomes `wh`
+/// *bands*: for each row offset `dr` in `-(wh/2)..=wh/2`, a sliding window
+/// of width `ww` shifted by `dr * w`. Band `dr` is the paper's dilated/
+/// y-axis attention after flattening (§2.3); because every band is
+/// translation invariant, SALO's diagonal dataflow applies to each directly.
+///
+/// Note: flattening makes bands wrap around image-row boundaries (a query in
+/// column 0 "sees" a few keys from the end of the previous image row). This
+/// matches the 1-D flattened approximation the paper uses in Fig. 2c; the
+/// exact-2-D mask is available through [`DenseMask::grid_2d_exact`] for
+/// comparison.
+///
+/// [`DenseMask::grid_2d_exact`]: crate::DenseMask::grid_2d_exact
+///
+/// # Errors
+///
+/// Returns an error if any extent is zero or a window dimension is even
+/// (2-D windows must be centered, hence odd).
+pub fn grid_2d(
+    h: usize,
+    w: usize,
+    wh: usize,
+    ww: usize,
+    ng: usize,
+) -> Result<HybridPattern, PatternError> {
+    if h == 0 || w == 0 {
+        return Err(PatternError::InvalidGrid { reason: "grid extent is zero".into() });
+    }
+    if wh == 0 || ww == 0 {
+        return Err(PatternError::InvalidGrid { reason: "window extent is zero".into() });
+    }
+    if wh % 2 == 0 || ww % 2 == 0 {
+        return Err(PatternError::InvalidGrid {
+            reason: format!("2-D window {wh}x{ww} must have odd extents"),
+        });
+    }
+    let n = h * w;
+    let half_h = (wh / 2) as i64;
+    let base = Window::symmetric(ww)?;
+    let bands =
+        (-half_h..=half_h).map(|dr| base.shifted(dr * w as i64)).collect::<Vec<_>>();
+    HybridPattern::builder(n).windows(bands).global_tokens(0..ng).build()
+}
+
+/// The ViL (Vision Longformer) attention pattern for a stage operating on an
+/// `h x w` patch grid with a `wh x ww` 2-D window and `ng` global tokens.
+///
+/// `vil_stage(56, 56, 15, 15, 1)` and `vil_stage(28, 28, 15, 15, 1)` are the
+/// ViL-Medium-Wide stage-1 and stage-2 configurations of Table 2.
+///
+/// # Errors
+///
+/// Same as [`grid_2d`].
+pub fn vil_stage(
+    h: usize,
+    w: usize,
+    wh: usize,
+    ww: usize,
+    ng: usize,
+) -> Result<HybridPattern, PatternError> {
+    grid_2d(h, w, wh, ww, ng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longformer_structure() {
+        let p = longformer(128, 16, 2).unwrap();
+        assert_eq!(p.windows().len(), 1);
+        assert_eq!(p.globals(), &[0, 1]);
+        assert!(p.allows(64, 64 + 7));
+        assert!(p.allows(64, 64 - 8));
+        assert!(!p.allows(64, 64 + 8));
+    }
+
+    #[test]
+    fn star_transformer_structure() {
+        let p = star_transformer(32).unwrap();
+        // q6 attends k5, k6, k7 (the paper's Fig. 2b walkthrough).
+        assert_eq!(p.row_keys(6), vec![0, 5, 6, 7]);
+    }
+
+    #[test]
+    fn sparse_transformer_structure() {
+        let p = sparse_transformer(64, 4, 8).unwrap();
+        // Local causal window of 4 plus strided column every 4.
+        assert!(p.allows(20, 20));
+        assert!(p.allows(20, 17));
+        assert!(!p.allows(20, 21)); // causal
+        assert!(p.allows(20, 16)); // stride hit: 20-16 = 4
+        assert!(p.allows(20, 12));
+        assert!(!p.allows(20, 15)); // gap: not local (20-15=5>3), not strided
+        assert!(matches!(sparse_transformer(64, 0, 8), Err(_)));
+    }
+
+    #[test]
+    fn grid_2d_band_structure() {
+        // 4x8 grid, 3x3 window.
+        let p = grid_2d(4, 8, 3, 3, 0).unwrap();
+        assert_eq!(p.n(), 32);
+        assert_eq!(p.windows().len(), 3);
+        // Query at (1,3) = index 11 attends the 3x3 neighbourhood.
+        let keys = p.row_keys(11);
+        for (r, c) in [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 2), (2, 3), (2, 4)] {
+            assert!(keys.contains(&(r * 8 + c)), "missing ({r},{c})");
+        }
+        assert_eq!(keys.len(), 9);
+    }
+
+    #[test]
+    fn grid_2d_flattening_wraps_at_row_edges() {
+        // The flattened approximation: query at column 0 sees keys from the
+        // previous image row's tail. This is intended (Fig. 2c note).
+        let p = grid_2d(4, 8, 3, 3, 0).unwrap();
+        let keys = p.row_keys(8); // grid (1, 0)
+        assert!(keys.contains(&7)); // (0,7): wrapped neighbour
+    }
+
+    #[test]
+    fn grid_2d_rejects_even_windows() {
+        assert!(grid_2d(8, 8, 2, 3, 0).is_err());
+        assert!(grid_2d(8, 8, 3, 4, 0).is_err());
+        assert!(grid_2d(0, 8, 3, 3, 0).is_err());
+        assert!(grid_2d(8, 8, 0, 3, 0).is_err());
+    }
+
+    #[test]
+    fn vil_table2_shapes() {
+        let s1 = vil_stage(56, 56, 15, 15, 1).unwrap();
+        assert_eq!(s1.n(), 3136);
+        assert_eq!(s1.windows().len(), 15);
+        assert_eq!(s1.total_window_width(), 225);
+        let s2 = vil_stage(28, 28, 15, 15, 1).unwrap();
+        assert_eq!(s2.n(), 784);
+    }
+
+    #[test]
+    fn sliding_only_has_no_globals() {
+        let p = sliding_only(64, 8).unwrap();
+        assert!(p.globals().is_empty());
+        assert_eq!(p.total_window_width(), 8);
+    }
+}

@@ -1,0 +1,114 @@
+//! ASCII rendering of attention patterns, reproducing the visual style of
+//! Fig. 2 in the SALO paper (pattern gallery).
+
+use crate::HybridPattern;
+
+/// Options controlling [`render_ascii`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// Maximum rendered grid size; larger patterns are downsampled.
+    pub max_cells: usize,
+    /// Character for kept positions covered by a window component.
+    pub window_char: char,
+    /// Character for positions covered only by a global row/column.
+    pub global_char: char,
+    /// Character for masked-out positions.
+    pub empty_char: char,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        Self { max_cells: 48, window_char: '#', global_char: '+', empty_char: '.' }
+    }
+}
+
+/// Renders a pattern as an ASCII grid.
+///
+/// Large patterns are downsampled: each character cell covers a block of
+/// score positions and shows the dominant coverage class of the block
+/// (window > global > empty by priority when mixed).
+///
+/// # Example
+///
+/// ```
+/// use salo_patterns::{star_transformer, render_ascii, RenderOptions};
+/// let p = star_transformer(8)?;
+/// let art = render_ascii(&p, RenderOptions::default());
+/// assert_eq!(art.lines().count(), 8);
+/// # Ok::<(), salo_patterns::PatternError>(())
+/// ```
+#[must_use]
+pub fn render_ascii(pattern: &HybridPattern, opts: RenderOptions) -> String {
+    let n = pattern.n();
+    let cells = n.min(opts.max_cells.max(1));
+    let block = n.div_ceil(cells);
+    let grid = n.div_ceil(block);
+    let mut out = String::with_capacity(grid * (grid + 1));
+    for bi in 0..grid {
+        for bj in 0..grid {
+            let mut any_window = false;
+            let mut any_global = false;
+            'scan: for i in (bi * block)..(bi * block + block).min(n) {
+                for j in (bj * block)..(bj * block + block).min(n) {
+                    if pattern.window_allows(i, j) {
+                        any_window = true;
+                        break 'scan;
+                    }
+                    if pattern.is_global(i) || pattern.is_global(j) {
+                        any_global = true;
+                    }
+                }
+            }
+            out.push(if any_window {
+                opts.window_char
+            } else if any_global {
+                opts.global_char
+            } else {
+                opts.empty_char
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{longformer, sparse_transformer};
+
+    #[test]
+    fn small_pattern_renders_exactly() {
+        let p = longformer(6, 3, 1).unwrap();
+        let art = render_ascii(&p, RenderOptions::default());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 6);
+        // Row 0 is a global row: all kept (window on diagonal, global elsewhere).
+        assert!(lines[0].starts_with('#'));
+        assert!(lines[0][1..].contains('+'));
+        // Diagonal cells are window-covered.
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line.chars().nth(i), Some('#'), "diagonal of row {i}");
+        }
+    }
+
+    #[test]
+    fn downsampling_keeps_grid_bounded() {
+        let p = longformer(4096, 512, 1).unwrap();
+        let opts = RenderOptions { max_cells: 32, ..RenderOptions::default() };
+        let art = render_ascii(&p, opts);
+        assert_eq!(art.lines().count(), 32);
+        assert!(art.lines().all(|l| l.chars().count() == 32));
+        // Diagonal band visible.
+        assert!(art.lines().next().unwrap().starts_with('#'));
+    }
+
+    #[test]
+    fn strided_pattern_shows_columns() {
+        let p = sparse_transformer(16, 4, 3).unwrap();
+        let art = render_ascii(&p, RenderOptions::default());
+        // Causal: upper triangle beyond the diagonal is empty.
+        let first = art.lines().next().unwrap();
+        assert!(first.ends_with('.'));
+    }
+}

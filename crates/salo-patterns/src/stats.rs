@@ -1,0 +1,132 @@
+use crate::HybridPattern;
+
+/// Summary statistics of a [`HybridPattern`].
+///
+/// Reproduces the quantities reported in Table 2 of the SALO paper: window
+/// size, number of global tokens and sparsity. The paper's "Sparsity" column
+/// is the *nominal* density `(n*w + 2*n*ng) / n^2` (unclipped window plus
+/// global row/column), which for the three evaluation workloads rounds to
+/// 0.125 (Longformer-4096), 0.072 (ViL stage 1) and 0.288 (ViL stage 2).
+/// The *exact* density additionally accounts for boundary clipping and
+/// overlap deduplication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternStats {
+    /// Sequence length.
+    pub n: usize,
+    /// Exact number of kept score positions.
+    pub nnz: u64,
+    /// Exact density `nnz / n^2`.
+    pub density: f64,
+    /// Nominal density `(w_total + 2*ng) / n`, the paper's Table 2 formula.
+    pub nominal_density: f64,
+    /// Total window width (sum over window components).
+    pub window_width: usize,
+    /// Number of window components.
+    pub num_windows: usize,
+    /// Number of global tokens.
+    pub num_globals: usize,
+}
+
+impl PatternStats {
+    pub(crate) fn from_pattern(p: &HybridPattern) -> Self {
+        let n = p.n();
+        let nnz = p.nnz();
+        let w_total = p.total_window_width();
+        let ng = p.globals().len();
+        let nominal = (w_total as f64 + 2.0 * ng as f64) / n as f64;
+        Self {
+            n,
+            nnz,
+            density: nnz as f64 / (n as f64 * n as f64),
+            nominal_density: nominal.min(1.0),
+            window_width: w_total,
+            num_windows: p.windows().len(),
+            num_globals: ng,
+        }
+    }
+
+    /// MACs for one head of dimension `head_dim` executing this pattern
+    /// (score matmul plus value matmul: `2 * nnz * d`).
+    #[must_use]
+    pub fn sparse_macs(&self, head_dim: usize) -> u64 {
+        2 * self.nnz * head_dim as u64
+    }
+
+    /// MACs for one dense head of dimension `head_dim` (`2 * n^2 * d`).
+    #[must_use]
+    pub fn dense_macs(&self, head_dim: usize) -> u64 {
+        2 * (self.n as u64) * (self.n as u64) * head_dim as u64
+    }
+
+    /// Compression ratio of the pattern: dense MACs divided by sparse MACs.
+    #[must_use]
+    pub fn compression(&self) -> f64 {
+        (self.n as f64 * self.n as f64) / self.nnz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{longformer, vil_stage, Window};
+
+    #[test]
+    fn longformer_4096_matches_table2_sparsity() {
+        // Table 2 row 1: n = 4096, w = 512, 1 global token, sparsity 0.125.
+        let p = longformer(4096, 512, 1).unwrap();
+        let s = p.stats();
+        assert_eq!(s.window_width, 512);
+        assert_eq!(s.num_globals, 1);
+        // Nominal density 512/4096 + 2/4096 = 0.12549
+        assert!((s.nominal_density - 0.1255).abs() < 1e-3, "nominal {}", s.nominal_density);
+        // The paper reports 0.125.
+        assert!((s.nominal_density - 0.125).abs() < 0.002);
+        // Exact density is lower because of boundary clipping.
+        assert!(s.density < s.nominal_density);
+        assert!(s.density > 0.10);
+    }
+
+    #[test]
+    fn vil_stage1_matches_table2_sparsity() {
+        // Table 2 row 2: 56x56 tokens, 15x15 window, sparsity 0.072.
+        let p = vil_stage(56, 56, 15, 15, 1).unwrap();
+        let s = p.stats();
+        assert_eq!(s.n, 3136);
+        assert_eq!(s.window_width, 225);
+        assert!((s.nominal_density - 0.072).abs() < 0.002, "nominal {}", s.nominal_density);
+    }
+
+    #[test]
+    fn vil_stage2_matches_table2_sparsity() {
+        // Table 2 row 3: 28x28 tokens, 15x15 window, sparsity 0.288.
+        let p = vil_stage(28, 28, 15, 15, 1).unwrap();
+        let s = p.stats();
+        assert_eq!(s.n, 784);
+        assert!((s.nominal_density - 0.288).abs() < 0.004, "nominal {}", s.nominal_density);
+    }
+
+    #[test]
+    fn compression_is_inverse_density() {
+        let p = longformer(1024, 128, 1).unwrap();
+        let s = p.stats();
+        assert!((s.compression() - 1.0 / s.density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_density_saturates_at_one() {
+        let p = HybridPattern::builder(4).window(Window::symmetric(100).unwrap()).build().unwrap();
+        assert!((p.stats().nominal_density - 1.0).abs() < f64::EPSILON);
+        assert!((p.stats().density - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn macs_relation() {
+        let p = longformer(256, 32, 1).unwrap();
+        let s = p.stats();
+        assert_eq!(s.sparse_macs(64), 2 * s.nnz * 64);
+        assert_eq!(s.dense_macs(64), 2 * 256 * 256 * 64);
+        assert!(s.sparse_macs(64) < s.dense_macs(64));
+    }
+
+    use crate::HybridPattern;
+}

@@ -1,0 +1,149 @@
+//! The boundary of SALO's pattern language.
+//!
+//! SALO executes unions of translation-invariant windows and global
+//! tokens. Mechanisms built from those parts (Longformer, ViL, Star,
+//! Sparse Transformer) map exactly; mechanisms with *per-row random*
+//! links — BigBird's random attention being the prominent example — have
+//! a residual no window/global decomposition expresses. This module
+//! measures that boundary: [`analyze_support`] splits an arbitrary mask
+//! into the SALO-expressible part and the residual, and
+//! [`bigbird_like_mask`] generates the canonical hard case
+//! deterministically (no RNG dependency — a splitmix-style hash).
+
+use crate::{fit_pattern, DenseMask, FitConfig, HybridPattern};
+
+/// How much of a mask SALO's pattern language expresses.
+#[derive(Debug, Clone)]
+pub struct SupportReport {
+    /// Kept positions in the mask.
+    pub total_nnz: u64,
+    /// Positions covered by the fitted hybrid pattern.
+    pub covered_nnz: u64,
+    /// Positions the pattern language cannot express (would need a
+    /// gather-capable unit).
+    pub residual_nnz: u64,
+    /// Positions the fitted pattern adds beyond the mask (over-coverage:
+    /// extra compute, not incorrectness — masked in software).
+    pub spurious_nnz: u64,
+    /// `covered / total`.
+    pub coverage: f64,
+    /// The fitted pattern, when any structure was found.
+    pub fitted: Option<HybridPattern>,
+}
+
+/// Splits a mask into its SALO-expressible part and the residual.
+#[must_use]
+pub fn analyze_support(mask: &DenseMask, config: FitConfig) -> SupportReport {
+    let total = mask.nnz();
+    match fit_pattern(mask, config) {
+        Ok(report) => {
+            let covered = total - report.missed;
+            SupportReport {
+                total_nnz: total,
+                covered_nnz: covered,
+                residual_nnz: report.missed,
+                spurious_nnz: report.extra,
+                coverage: if total == 0 { 1.0 } else { covered as f64 / total as f64 },
+                fitted: Some(report.pattern),
+            }
+        }
+        Err(_) => SupportReport {
+            total_nnz: total,
+            covered_nnz: 0,
+            residual_nnz: total,
+            spurious_nnz: 0,
+            coverage: if total == 0 { 1.0 } else { 0.0 },
+            fitted: None,
+        },
+    }
+}
+
+/// A BigBird-style mask: sliding window of `w`, `ng` global tokens, plus
+/// `random_per_row` uniformly-hashed random keys per query.
+///
+/// # Errors
+///
+/// Returns a pattern error if the window part is degenerate.
+pub fn bigbird_like_mask(
+    n: usize,
+    w: usize,
+    ng: usize,
+    random_per_row: usize,
+    seed: u64,
+) -> Result<DenseMask, crate::PatternError> {
+    let base = crate::longformer(n, w, ng)?;
+    let mut mask = DenseMask::from_pattern(&base);
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = || {
+        // splitmix64 step: deterministic, well-mixed, dependency-free.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in 0..n {
+        for _ in 0..random_per_row {
+            let j = (next() % n as u64) as usize;
+            mask.set(i, j, true);
+        }
+    }
+    Ok(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{grid_2d, longformer, sparse_transformer};
+
+    #[test]
+    fn preset_masks_are_fully_supported() {
+        for pattern in [
+            longformer(80, 10, 1).unwrap(),
+            sparse_transformer(60, 5, 4).unwrap(),
+            grid_2d(8, 8, 3, 3, 1).unwrap(),
+        ] {
+            let mask = DenseMask::from_pattern(&pattern);
+            let report = analyze_support(&mask, FitConfig::default());
+            assert_eq!(report.residual_nnz, 0, "preset should be fully expressible");
+            assert!((report.coverage - 1.0).abs() < f64::EPSILON);
+            assert!(report.fitted.is_some());
+        }
+    }
+
+    #[test]
+    fn bigbird_random_part_is_the_residual() {
+        let n = 96;
+        let mask = bigbird_like_mask(n, 12, 1, 3, 42).unwrap();
+        let report = analyze_support(&mask, FitConfig::default());
+        // The window+global structure is recovered...
+        let fitted = report.fitted.as_ref().expect("structure found");
+        assert!(!fitted.windows().is_empty());
+        assert_eq!(fitted.globals(), &[0], "the planted global token is recovered");
+        // ...while the random links remain unexpressible.
+        assert!(report.residual_nnz > 0, "random part must be residual");
+        // Roughly `random_per_row * n` minus collisions with the window.
+        let upper = (3 * n) as u64;
+        assert!(report.residual_nnz <= upper);
+        assert!(report.residual_nnz as f64 > 0.5 * upper as f64, "{}", report.residual_nnz);
+        assert!(report.coverage > 0.75, "bulk still expressible: {}", report.coverage);
+    }
+
+    #[test]
+    fn empty_mask_is_trivially_supported() {
+        let mask = DenseMask::new(8).unwrap();
+        let report = analyze_support(&mask, FitConfig::default());
+        assert_eq!(report.total_nnz, 0);
+        assert!((report.coverage - 1.0).abs() < f64::EPSILON);
+        assert!(report.fitted.is_none());
+    }
+
+    #[test]
+    fn bigbird_mask_is_deterministic() {
+        let a = bigbird_like_mask(32, 6, 1, 2, 7).unwrap();
+        let b = bigbird_like_mask(32, 6, 1, 2, 7).unwrap();
+        assert_eq!(a, b);
+        let c = bigbird_like_mask(32, 6, 1, 2, 8).unwrap();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the pattern abstraction.
+
+use proptest::prelude::*;
+use salo_patterns::{
+    fit_pattern, longformer, DenseMask, FitConfig, HybridPattern, Window,
+};
+
+/// Strategy: a valid window with bounded extents.
+fn arb_window() -> impl Strategy<Value = Window> {
+    (any::<bool>(), -20i64..20, 1usize..6, 0usize..12).prop_map(|(sym, lo, dil, width)| {
+        if sym {
+            Window::symmetric(width + 1).expect("symmetric")
+        } else {
+            let hi = lo + (width as i64) * dil as i64;
+            Window::dilated(lo, hi, dil).expect("dilated")
+        }
+    })
+}
+
+fn arb_pattern() -> impl Strategy<Value = HybridPattern> {
+    (
+        8usize..64,
+        prop::collection::vec(arb_window(), 1..4),
+        prop::collection::vec(0usize..8, 0..3),
+    )
+        .prop_map(|(n, windows, globals)| {
+            HybridPattern::builder(n)
+                .windows(windows)
+                .global_tokens(globals.into_iter().filter(move |&g| g < n))
+                .build()
+                .expect("valid pattern")
+        })
+}
+
+proptest! {
+    /// `allows` agrees with the materialized dense mask everywhere.
+    #[test]
+    fn allows_matches_dense_mask(p in arb_pattern()) {
+        let mask = DenseMask::from_pattern(&p);
+        for i in 0..p.n() {
+            for j in 0..p.n() {
+                prop_assert_eq!(p.allows(i, j), mask.get(i, j), "({}, {})", i, j);
+            }
+        }
+    }
+
+    /// `nnz` equals the number of positions yielded by `iter`.
+    #[test]
+    fn nnz_matches_iter(p in arb_pattern()) {
+        prop_assert_eq!(p.nnz(), p.iter().count() as u64);
+    }
+
+    /// Row keys are sorted, unique, in-range, and each is allowed.
+    #[test]
+    fn row_keys_well_formed(p in arb_pattern()) {
+        for i in 0..p.n() {
+            let keys = p.row_keys(i);
+            prop_assert!(keys.windows(2).all(|ab| ab[0] < ab[1]), "sorted unique");
+            for &j in &keys {
+                prop_assert!(j < p.n());
+                prop_assert!(p.allows(i, j));
+            }
+        }
+    }
+
+    /// Density is within [0, 1] (zero when every window offset falls outside
+    /// the sequence) and nominal density bounds it loosely above.
+    #[test]
+    fn density_bounds(p in arb_pattern()) {
+        let s = p.stats();
+        prop_assert!((0.0..=1.0).contains(&s.density));
+        prop_assert!(s.nominal_density <= 1.0);
+        // Nominal ignores clipping so it can only undercount via overlap;
+        // for overlap-free single-window patterns it upper-bounds density.
+        if p.windows().len() == 1 && p.globals().is_empty() {
+            prop_assert!(s.density <= s.nominal_density + 1e-12);
+        }
+    }
+
+    /// Fitting the mask of a generated pattern reproduces its coverage.
+    #[test]
+    fn fit_round_trips_coverage(p in arb_pattern()) {
+        let mask = DenseMask::from_pattern(&p);
+        // Degenerate case: all window offsets out of range and no globals
+        // produce an empty mask, which has no pattern to recover.
+        prop_assume!(mask.nnz() > 0);
+        let report = fit_pattern(&mask, FitConfig::default()).expect("fit");
+        prop_assert_eq!(report.missed, 0, "missed {} positions", report.missed);
+        // `extra` can be nonzero when global detection absorbs noise rows,
+        // but coverage of the original mask must be complete and agreement
+        // high.
+        prop_assert!(report.agreement >= 0.95, "agreement {}", report.agreement);
+    }
+
+    /// Window offset iteration matches `contains_offset`.
+    #[test]
+    fn window_offsets_consistent(w in arb_window()) {
+        let offsets: Vec<i64> = w.offsets().collect();
+        prop_assert_eq!(offsets.len(), w.width());
+        for &delta in &offsets {
+            prop_assert!(w.contains_offset(delta));
+        }
+        // Between consecutive offsets nothing is contained.
+        for pair in offsets.windows(2) {
+            for delta in (pair[0] + 1)..pair[1] {
+                prop_assert!(!w.contains_offset(delta));
+            }
+        }
+    }
+
+    /// Longformer nominal density formula: (w + 2 ng)/n, capped at 1.
+    #[test]
+    fn longformer_nominal_density(n in 32usize..256, w in 1usize..32, ng in 0usize..4) {
+        let p = longformer(n, w, ng).expect("longformer");
+        let s = p.stats();
+        let expected = ((w as f64 + 2.0 * ng as f64) / n as f64).min(1.0);
+        prop_assert!((s.nominal_density - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! A small logistic-regression head trained by gradient descent.
+//!
+//! Plays the role of the task head on top of attention features in the
+//! Table 3 substitute experiment; retraining it on quantized features is
+//! the analogue of the paper's quantization-aware fine-tuning.
+
+/// Binary logistic regression with bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticHead {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticHead {
+    /// A zero-initialized head for `dim` features.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self { weights: vec![0.0; dim], bias: 0.0 }
+    }
+
+    /// The decision score `w . x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    #[must_use]
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.bias
+    }
+
+    /// Predicted label in `{-1, +1}`.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> i8 {
+        if self.score(x) >= 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Full-batch gradient descent on the logistic loss.
+    ///
+    /// Deterministic: fixed epochs, fixed learning rate, no shuffling.
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[i8], epochs: usize, lr: f64) {
+        assert_eq!(xs.len(), ys.len(), "dataset length mismatch");
+        if xs.is_empty() {
+            return;
+        }
+        let dim = self.weights.len();
+        let m = xs.len() as f64;
+        for _ in 0..epochs {
+            let mut grad_w = vec![0.0f64; dim];
+            let mut grad_b = 0.0f64;
+            for (x, &y) in xs.iter().zip(ys) {
+                let y = f64::from(y);
+                // dL/ds for L = ln(1 + exp(-y s)).
+                let s = self.score(x);
+                let g = -y / (1.0 + (y * s).exp());
+                for (gw, &xv) in grad_w.iter_mut().zip(x) {
+                    *gw += g * xv;
+                }
+                grad_b += g;
+            }
+            for (w, gw) in self.weights.iter_mut().zip(&grad_w) {
+                *w -= lr * gw / m;
+            }
+            self.bias -= lr * grad_b / m;
+        }
+    }
+
+    /// Accuracy on a labelled set (fraction in `[0, 1]`).
+    #[must_use]
+    pub fn accuracy(&self, xs: &[Vec<f64>], ys: &[i8]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let correct =
+            xs.iter().zip(ys).filter(|(x, &y)| self.predict(x) == y).count();
+        correct as f64 / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_set() -> (Vec<Vec<f64>>, Vec<i8>) {
+        // y = sign(x0 - x1) with margin 0.5.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for k in 0..40 {
+            let t = k as f64 * 0.13;
+            xs.push(vec![t + 0.5, t]);
+            ys.push(1);
+            xs.push(vec![t, t + 0.5]);
+            ys.push(-1);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (xs, ys) = separable_set();
+        let mut head = LogisticHead::new(2);
+        assert!(head.accuracy(&xs, &ys) < 0.9, "untrained head should not be perfect");
+        head.fit(&xs, &ys, 500, 0.5);
+        assert!((head.accuracy(&xs, &ys) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (xs, ys) = separable_set();
+        let mut a = LogisticHead::new(2);
+        let mut b = LogisticHead::new(2);
+        a.fit(&xs, &ys, 100, 0.3);
+        b.fit(&xs, &ys, 100, 0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_dataset_is_inert() {
+        let mut head = LogisticHead::new(3);
+        head.fit(&[], &[], 10, 0.1);
+        assert_eq!(head, LogisticHead::new(3));
+        assert_eq!(head.accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn dimension_checked() {
+        let head = LogisticHead::new(2);
+        let _ = head.score(&[1.0]);
+    }
+}

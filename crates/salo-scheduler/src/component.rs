@@ -1,0 +1,315 @@
+//! Canonicalization of hybrid patterns into dataflow components.
+//!
+//! A *component* is a unit the PE array can execute directly: a set of
+//! query indices, a set of key indices, and a translation-invariant list of
+//! offsets over **virtual** indices (positions within those sets). For
+//! every component, the key attended by virtual query `p` at offset `o` is
+//! `keys[p + o]` — the property SALO's diagonal K/V streaming requires.
+//!
+//! Canonicalization performs the paper's two transformations:
+//!
+//! * all undilated windows merge into one **direct** component (queries and
+//!   keys are the identity mapping; offsets are the deduplicated union);
+//! * each dilated window splits into `d` **class** components (the §4.2
+//!   reordering): queries are residue class `r`, keys residue class
+//!   `(r + lo) mod d`, and the dilated offsets become contiguous quotient
+//!   offsets.
+//!
+//! Overlaps are resolved at this stage: a relative offset claimed by an
+//! earlier window is dropped from later ones (every window covers *all*
+//! queries via its classes, so ownership per offset is well defined). The
+//! resulting components cover every window-kept `(i, j)` exactly once.
+
+use salo_patterns::HybridPattern;
+
+/// How a component maps virtual indices to sequence positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// Identity mapping: virtual index == sequence index.
+    Direct,
+    /// A residue class of a dilated window: `class r` of modulus `d`.
+    DilatedClass {
+        /// The dilation (modulus).
+        dilation: usize,
+        /// Query residue class.
+        query_class: usize,
+        /// Key residue class.
+        key_class: usize,
+    },
+}
+
+/// One executable dataflow component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    kind: ComponentKind,
+    /// Query sequence indices, ascending. Virtual query `p` is
+    /// `queries[p]`.
+    queries: Vec<usize>,
+    /// Key sequence indices, ascending. Virtual key `q` is `keys[q]`.
+    keys: Vec<usize>,
+    /// Offsets over virtual indices, sorted ascending, deduplicated.
+    offsets: Vec<i64>,
+}
+
+impl Component {
+    /// The component's mapping kind.
+    #[must_use]
+    pub fn kind(&self) -> &ComponentKind {
+        &self.kind
+    }
+
+    /// Query sequence indices (virtual -> actual).
+    #[must_use]
+    pub fn queries(&self) -> &[usize] {
+        &self.queries
+    }
+
+    /// Key sequence indices (virtual -> actual).
+    #[must_use]
+    pub fn keys(&self) -> &[usize] {
+        &self.keys
+    }
+
+    /// Virtual offsets, ascending.
+    #[must_use]
+    pub fn offsets(&self) -> &[i64] {
+        &self.offsets
+    }
+
+    /// Number of virtual queries.
+    #[must_use]
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The actual key index attended by virtual query `p` at virtual
+    /// offset `o`, if it falls inside the sequence.
+    #[must_use]
+    pub fn key_at(&self, p: usize, o: i64) -> Option<usize> {
+        let vk = p as i64 + o;
+        if vk < 0 || vk >= self.keys.len() as i64 {
+            None
+        } else {
+            Some(self.keys[vk as usize])
+        }
+    }
+}
+
+/// Canonicalizes a pattern's window part into dataflow components.
+///
+/// Global tokens are *not* handled here — they are scheduled onto the
+/// global PE row/column by the plan builder. The returned components cover
+/// exactly the positions `(i, j)` with `pattern.window_allows(i, j)`,
+/// each once.
+#[must_use]
+pub fn canonicalize(pattern: &HybridPattern) -> Vec<Component> {
+    let n = pattern.n();
+    let mut claimed: std::collections::HashSet<i64> = std::collections::HashSet::new();
+    let mut components = Vec::new();
+
+    // 1. Direct component: union of all undilated windows' offsets.
+    let mut direct: Vec<i64> = pattern
+        .windows()
+        .iter()
+        .filter(|w| !w.is_dilated())
+        .flat_map(|w| w.offsets().collect::<Vec<_>>())
+        .collect();
+    direct.sort_unstable();
+    direct.dedup();
+    if !direct.is_empty() {
+        claimed.extend(direct.iter().copied());
+        components.push(Component {
+            kind: ComponentKind::Direct,
+            queries: (0..n).collect(),
+            keys: (0..n).collect(),
+            offsets: direct,
+        });
+    }
+
+    // 2. Dilated windows, in declaration order, one component per class.
+    for w in pattern.windows().iter().filter(|w| w.is_dilated()) {
+        let d = w.dilation();
+        // Offsets surviving ownership resolution (uniform per delta:
+        // every window covers all queries, so a claimed delta is fully
+        // shadowed).
+        let deltas: Vec<i64> =
+            w.offsets().filter(|delta| claimed.insert(*delta)).collect();
+        if deltas.is_empty() {
+            continue;
+        }
+        for r in 0..d.min(n) {
+            let queries: Vec<usize> = (r..n).step_by(d).collect();
+            // All deltas of one window share `delta mod d`, so the key
+            // class is the same for every offset.
+            let key_class = ((r as i64 + w.lo()).rem_euclid(d as i64)) as usize;
+            let keys: Vec<usize> = (key_class..n).step_by(d).collect();
+            // Quotient offsets: delta = (key_class - r) + o * d.
+            let offsets: Vec<i64> = deltas
+                .iter()
+                .map(|&delta| {
+                    let diff = delta - (key_class as i64 - r as i64);
+                    debug_assert_eq!(diff.rem_euclid(d as i64), 0, "class arithmetic");
+                    diff / d as i64
+                })
+                .collect();
+            debug_assert!(offsets.windows(2).all(|ab| ab[0] < ab[1]), "sorted offsets");
+            components.push(Component {
+                kind: ComponentKind::DilatedClass { dilation: d, query_class: r, key_class },
+                queries,
+                keys,
+                offsets,
+            });
+        }
+    }
+
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salo_patterns::{sparse_transformer, HybridPattern, Window};
+    use std::collections::HashMap;
+
+    /// Replays components and counts coverage of each (i, j).
+    fn coverage(components: &[Component], n: usize) -> HashMap<(usize, usize), usize> {
+        let mut cov = HashMap::new();
+        for c in components {
+            for (p, &qi) in c.queries().iter().enumerate() {
+                for &o in c.offsets() {
+                    if let Some(kj) = c.key_at(p, o) {
+                        assert!(kj < n);
+                        *cov.entry((qi, kj)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        cov
+    }
+
+    fn assert_exact_cover(pattern: &HybridPattern) {
+        let comps = canonicalize(pattern);
+        let cov = coverage(&comps, pattern.n());
+        for i in 0..pattern.n() {
+            for j in 0..pattern.n() {
+                let expected = usize::from(pattern.window_allows(i, j));
+                let got = cov.get(&(i, j)).copied().unwrap_or(0);
+                assert_eq!(got, expected, "coverage of ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_component_merges_sliding_windows() {
+        let p = HybridPattern::builder(32)
+            .window(Window::sliding(-2, 2).unwrap())
+            .window(Window::sliding(0, 4).unwrap())
+            .build()
+            .unwrap();
+        let comps = canonicalize(&p);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].offsets(), &[-2, -1, 0, 1, 2, 3, 4]);
+        assert_exact_cover(&p);
+    }
+
+    #[test]
+    fn dilated_window_splits_into_classes() {
+        let p = HybridPattern::builder(20)
+            .window(Window::dilated(-6, 6, 3).unwrap())
+            .build()
+            .unwrap();
+        let comps = canonicalize(&p);
+        assert_eq!(comps.len(), 3);
+        for c in &comps {
+            match c.kind() {
+                ComponentKind::DilatedClass { dilation, query_class, key_class } => {
+                    assert_eq!(*dilation, 3);
+                    // lo = -6 ≡ 0 mod 3: key class == query class.
+                    assert_eq!(key_class, query_class);
+                }
+                k => panic!("unexpected kind {k:?}"),
+            }
+            // Quotient offsets are the contiguous window -2..=2.
+            assert_eq!(c.offsets(), &[-2, -1, 0, 1, 2]);
+        }
+        assert_exact_cover(&p);
+    }
+
+    #[test]
+    fn misaligned_dilated_window_maps_key_class() {
+        // lo = -4 with d = 3: key class = (r - 4) mod 3 != r.
+        let p = HybridPattern::builder(21)
+            .window(Window::dilated(-4, 2, 3).unwrap())
+            .build()
+            .unwrap();
+        assert_exact_cover(&p);
+        let comps = canonicalize(&p);
+        for c in &comps {
+            if let ComponentKind::DilatedClass { query_class, key_class, .. } = c.kind() {
+                assert_eq!(*key_class, (query_class + 21 - 4).rem_euclid(3));
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_between_windows_claimed_once() {
+        // Sliding [-3, 0] overlaps strided {-8, -4, 0} at 0 and -4... -4 is
+        // not in [-3, 0]; 0 is. The strided window must drop offset 0.
+        let p = HybridPattern::builder(40)
+            .window(Window::sliding(-3, 0).unwrap())
+            .window(Window::dilated(-8, 0, 4).unwrap())
+            .build()
+            .unwrap();
+        assert_exact_cover(&p);
+    }
+
+    #[test]
+    fn sparse_transformer_preset_covers_exactly() {
+        let p = sparse_transformer(36, 4, 5).unwrap();
+        assert_exact_cover(&p);
+    }
+
+    #[test]
+    fn fully_shadowed_dilated_window_dropped() {
+        // The dilated window's only offsets are already covered.
+        let p = HybridPattern::builder(16)
+            .window(Window::sliding(-4, 4).unwrap())
+            .window(Window::dilated(-4, 4, 2).unwrap())
+            .build()
+            .unwrap();
+        let comps = canonicalize(&p);
+        assert_eq!(comps.len(), 1, "dilated window fully shadowed");
+        assert_exact_cover(&p);
+    }
+
+    #[test]
+    fn global_only_pattern_has_no_components() {
+        let p = HybridPattern::builder(8).global_token(0).build().unwrap();
+        assert!(canonicalize(&p).is_empty());
+    }
+
+    #[test]
+    fn key_at_clips() {
+        let p = HybridPattern::builder(10)
+            .window(Window::sliding(-2, 2).unwrap())
+            .build()
+            .unwrap();
+        let c = &canonicalize(&p)[0];
+        assert_eq!(c.key_at(0, -1), None);
+        assert_eq!(c.key_at(0, 0), Some(0));
+        assert_eq!(c.key_at(9, 1), None);
+        assert_eq!(c.key_at(9, 0), Some(9));
+    }
+
+    #[test]
+    fn dilation_larger_than_sequence() {
+        let p = HybridPattern::builder(4)
+            .window(Window::dilated(-8, 8, 8).unwrap())
+            .build()
+            .unwrap();
+        // Classes beyond n are not created; coverage still exact.
+        assert_exact_cover(&p);
+        let comps = canonicalize(&p);
+        assert!(comps.len() <= 4);
+    }
+}

@@ -1,0 +1,205 @@
+//! Plan auditing: replay a plan and verify exactly-once coverage.
+
+use salo_patterns::HybridPattern;
+
+use crate::pass::SupplementalKind;
+use crate::ExecutionPlan;
+
+/// The result of replaying a plan against its source pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Kept positions the plan never computes.
+    pub missing: Vec<(usize, usize)>,
+    /// Positions the plan computes more than once (with their counts).
+    pub duplicated: Vec<(usize, usize, usize)>,
+    /// Positions the plan computes that the pattern masks out.
+    pub spurious: Vec<(usize, usize)>,
+}
+
+impl CoverageReport {
+    /// Whether the plan covers the pattern exactly once everywhere.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.missing.is_empty() && self.duplicated.is_empty() && self.spurious.is_empty()
+    }
+}
+
+/// Replays every pass (array cells, global-column duties, global-row
+/// duties, supplemental passes) and compares the computed multiset of
+/// `(i, j)` positions against the pattern.
+///
+/// Cost is `O(n^2)` memory and `O(total work)` time — intended for tests
+/// and debugging, not the execution path.
+#[must_use]
+pub fn verify_coverage(plan: &ExecutionPlan, pattern: &HybridPattern) -> CoverageReport {
+    let n = plan.n();
+    assert_eq!(n, pattern.n(), "plan/pattern length mismatch");
+    let mut counts = vec![0u32; n * n];
+
+    // Array cells.
+    for pass in plan.passes() {
+        let comp = &plan.components()[pass.component];
+        let chunk = &comp.offsets()[pass.chunk_start..pass.chunk_start + pass.chunk_len];
+        for u in 0..pass.tile_len {
+            let p = pass.tile_start + u;
+            let qi = comp.queries()[p];
+            if plan.is_global(qi) {
+                continue;
+            }
+            for &o in chunk {
+                if let Some(kj) = comp.key_at(p, o) {
+                    if !plan.is_global(kj) {
+                        counts[qi * n + kj] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Global-column duties: (query, token) pairs.
+    for pass in plan.passes() {
+        for duty in &pass.global_col {
+            for &q in &duty.fresh_queries {
+                counts[q as usize * n + duty.token] += 1;
+            }
+        }
+    }
+    // Global-row duties: (token, key) pairs.
+    for pass in plan.passes() {
+        for duty in &pass.global_row {
+            for &k in &duty.fresh_keys {
+                counts[duty.token * n + k as usize] += 1;
+            }
+        }
+    }
+    // Supplemental passes.
+    for sup in plan.supplemental() {
+        match sup.kind {
+            SupplementalKind::GlobalRow { token, start, end } => {
+                for k in start..end {
+                    counts[token * n + k] += 1;
+                }
+            }
+            SupplementalKind::GlobalCol { token, start, end } => {
+                for q in start..end {
+                    counts[q * n + token] += 1;
+                }
+            }
+        }
+    }
+
+    let mut report =
+        CoverageReport { missing: Vec::new(), duplicated: Vec::new(), spurious: Vec::new() };
+    for i in 0..n {
+        for j in 0..n {
+            let c = counts[i * n + j] as usize;
+            let kept = pattern.allows(i, j);
+            match (kept, c) {
+                (true, 0) => report.missing.push((i, j)),
+                (true, 1) => {}
+                (true, c) => report.duplicated.push((i, j, c)),
+                (false, 0) => {}
+                (false, _) => report.spurious.push((i, j)),
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HardwareMeta;
+    use salo_patterns::{
+        grid_2d, longformer, sliding_only, sparse_transformer, star_transformer,
+        HybridPattern, Window,
+    };
+
+    fn assert_exact(pattern: &HybridPattern, hw: HardwareMeta) {
+        let plan = ExecutionPlan::build(pattern, hw).expect("plan");
+        let report = verify_coverage(&plan, pattern);
+        assert!(
+            report.is_exact(),
+            "missing {} duplicated {} spurious {} (first: {:?} / {:?} / {:?})",
+            report.missing.len(),
+            report.duplicated.len(),
+            report.spurious.len(),
+            report.missing.first(),
+            report.duplicated.first(),
+            report.spurious.first()
+        );
+    }
+
+    #[test]
+    fn longformer_small_exact() {
+        assert_exact(&longformer(96, 16, 1).unwrap(), HardwareMeta::new(8, 8, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn longformer_default_hw_exact() {
+        assert_exact(&longformer(256, 64, 2).unwrap(), HardwareMeta::default());
+    }
+
+    #[test]
+    fn vil_grid_exact() {
+        assert_exact(&grid_2d(12, 12, 5, 5, 1).unwrap(), HardwareMeta::new(16, 16, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn star_transformer_exact() {
+        assert_exact(&star_transformer(64).unwrap(), HardwareMeta::new(8, 8, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn sparse_transformer_exact() {
+        assert_exact(&sparse_transformer(60, 5, 4).unwrap(), HardwareMeta::new(8, 8, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn dilated_window_exact() {
+        let p = HybridPattern::builder(50)
+            .window(Window::dilated(-12, 12, 4).unwrap())
+            .global_token(7)
+            .build()
+            .unwrap();
+        assert_exact(&p, HardwareMeta::new(4, 4, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn global_only_exact() {
+        let p = HybridPattern::builder(40).global_tokens([3, 17]).build().unwrap();
+        assert_exact(&p, HardwareMeta::new(8, 8, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn many_globals_force_supplemental_and_stay_exact() {
+        // More global tokens than the window passes can serve.
+        let p = longformer(64, 4, 6).unwrap();
+        let hw = HardwareMeta::new(16, 4, 1, 1).unwrap();
+        let plan = ExecutionPlan::build(&p, hw).unwrap();
+        let report = verify_coverage(&plan, &p);
+        assert!(report.is_exact(), "missing {:?}", report.missing.first());
+    }
+
+    #[test]
+    fn tiny_array_exact() {
+        assert_exact(&longformer(30, 6, 1).unwrap(), HardwareMeta::new(2, 3, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn window_only_no_globals_exact() {
+        assert_exact(&sliding_only(48, 9).unwrap(), HardwareMeta::new(8, 8, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn mixed_overlapping_windows_exact() {
+        let p = HybridPattern::builder(40)
+            .window(Window::sliding(-3, 3).unwrap())
+            .window(Window::dilated(-9, 9, 3).unwrap())
+            .window(Window::dilated(-8, 8, 2).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        assert_exact(&p, HardwareMeta::new(8, 8, 1, 1).unwrap());
+    }
+}

@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+use salo_patterns::PatternError;
+
+/// Errors from plan construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedulerError {
+    /// The hardware description is degenerate (zero-sized array).
+    InvalidHardware {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The pattern has no work for the PE array or the global units.
+    EmptyPlan,
+    /// An error bubbled up from the pattern layer.
+    Pattern(PatternError),
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::InvalidHardware { reason } => {
+                write!(f, "invalid hardware configuration: {reason}")
+            }
+            SchedulerError::EmptyPlan => write!(f, "pattern produces no executable work"),
+            SchedulerError::Pattern(e) => write!(f, "pattern error: {e}"),
+        }
+    }
+}
+
+impl Error for SchedulerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedulerError::Pattern(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternError> for SchedulerError {
+    fn from(e: PatternError) -> Self {
+        SchedulerError::Pattern(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SchedulerError::InvalidHardware { reason: "zero rows".into() };
+        assert!(e.to_string().contains("zero rows"));
+        assert!(e.source().is_none());
+        let e = SchedulerError::from(PatternError::EmptySequence);
+        assert!(e.source().is_some());
+        assert!(!SchedulerError::EmptyPlan.to_string().is_empty());
+    }
+}

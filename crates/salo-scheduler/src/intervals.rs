@@ -1,0 +1,191 @@
+//! A sorted set of disjoint half-open index ranges.
+//!
+//! Used by the global-token scheduler to track which keys/queries a global
+//! PE unit has already seen, so that every `(global token, position)` pair
+//! is computed exactly once across passes (§5.2).
+
+/// A set of `usize` indices stored as sorted, disjoint, non-adjacent
+/// half-open ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `index` is in the set.
+    #[must_use]
+    pub fn contains(&self, index: usize) -> bool {
+        self.ranges
+            .binary_search_by(|&(s, e)| {
+                if index < s {
+                    std::cmp::Ordering::Greater
+                } else if index >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Inserts a single index; returns `true` if it was fresh.
+    pub fn insert(&mut self, index: usize) -> bool {
+        self.insert_range(index, index + 1) == 1
+    }
+
+    /// Inserts `[start, end)`; returns how many indices were fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn insert_range(&mut self, start: usize, end: usize) -> usize {
+        assert!(start <= end, "inverted range");
+        if start == end {
+            return 0;
+        }
+        // Find all ranges overlapping or adjacent to [start, end).
+        let mut lo = start;
+        let mut hi = end;
+        let first = self.ranges.partition_point(|&(_, e)| e < start);
+        let mut last = first;
+        let mut already = 0usize;
+        while last < self.ranges.len() && self.ranges[last].0 <= end {
+            let (s, e) = self.ranges[last];
+            already += e.min(end).saturating_sub(s.max(start));
+            lo = lo.min(s);
+            hi = hi.max(e);
+            last += 1;
+        }
+        self.ranges.splice(first..last, std::iter::once((lo, hi)));
+        (end - start) - already
+    }
+
+    /// Number of indices in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Whether the set covers all of `[0, n)`.
+    #[must_use]
+    pub fn covers_all(&self, n: usize) -> bool {
+        n == 0 || (self.ranges.len() == 1 && self.ranges[0].0 == 0 && self.ranges[0].1 >= n)
+    }
+
+    /// The gaps of the set within `[0, n)`, as ranges.
+    #[must_use]
+    pub fn gaps(&self, n: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        for &(s, e) in &self.ranges {
+            if s >= n {
+                break;
+            }
+            if s > cursor {
+                out.push((cursor, s.min(n)));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < n {
+            out.push((cursor, n));
+        }
+        out
+    }
+
+    /// The stored ranges.
+    #[must_use]
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = IntervalSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn merge_adjacent_ranges() {
+        let mut s = IntervalSet::new();
+        assert_eq!(s.insert_range(0, 4), 4);
+        assert_eq!(s.insert_range(4, 8), 4);
+        assert_eq!(s.ranges().len(), 1);
+        assert_eq!(s.ranges()[0], (0, 8));
+    }
+
+    #[test]
+    fn overlapping_inserts_count_fresh_only() {
+        let mut s = IntervalSet::new();
+        assert_eq!(s.insert_range(10, 20), 10);
+        assert_eq!(s.insert_range(15, 25), 5);
+        assert_eq!(s.insert_range(0, 40), 25);
+        assert_eq!(s.len(), 40);
+        assert!(s.covers_all(40));
+        assert!(!s.covers_all(41));
+    }
+
+    #[test]
+    fn bridge_between_ranges() {
+        let mut s = IntervalSet::new();
+        s.insert_range(0, 3);
+        s.insert_range(7, 10);
+        assert_eq!(s.ranges().len(), 2);
+        assert_eq!(s.insert_range(2, 8), 4); // 3..7 fresh
+        assert_eq!(s.ranges(), &[(0, 10)]);
+    }
+
+    #[test]
+    fn gaps_enumerated() {
+        let mut s = IntervalSet::new();
+        s.insert_range(2, 4);
+        s.insert_range(8, 9);
+        assert_eq!(s.gaps(12), vec![(0, 2), (4, 8), (9, 12)]);
+        assert_eq!(s.gaps(3), vec![(0, 2)]);
+        let empty = IntervalSet::new();
+        assert_eq!(empty.gaps(3), vec![(0, 3)]);
+        assert!(empty.gaps(0).is_empty());
+    }
+
+    #[test]
+    fn empty_range_insert_is_noop() {
+        let mut s = IntervalSet::new();
+        assert_eq!(s.insert_range(5, 5), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn scattered_then_filled() {
+        let mut s = IntervalSet::new();
+        for i in (0..100).step_by(2) {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.ranges().len(), 50);
+        for i in (1..100).step_by(2) {
+            s.insert(i);
+        }
+        assert_eq!(s.ranges().len(), 1);
+        assert!(s.covers_all(100));
+    }
+}

@@ -1,0 +1,51 @@
+//! The SALO data scheduler (§4 of the paper).
+//!
+//! The scheduler transforms a hybrid sparse attention pattern into an
+//! [`ExecutionPlan`]: an ordered list of accelerator *passes* that satisfy
+//! the dataflow constraint (translation-invariant key offsets, so the
+//! diagonal K/V streaming works) and the size constraint (the PE array is
+//! `#row x #col`). Three paper techniques are implemented:
+//!
+//! * **data reordering** (§4.2): a dilated window with gap `d` is split into
+//!   `d` residue classes; inside a class, consecutive queries are `d` apart
+//!   in the original sequence and the dilated window becomes a plain sliding
+//!   window over *virtual* (quotient) indices. [`canonicalize`] performs
+//!   this transformation, and [`Permutation`] exposes the equivalent
+//!   physical reordering of the Q/K/V matrices;
+//! * **data splitting** (§4.2): query tiles of `#row` (sequence splitting)
+//!   and window-offset chunks of `#col` (window splitting). Window splitting
+//!   is sound because of the Eq. 2 renormalization, implemented in `f64`
+//!   here ([`merge_f64`]) and in fixed point in `salo-fixed`;
+//! * **global token scheduling** (§5.2): the single global PE row/column is
+//!   timeshared across passes; fresh-coverage tracking guarantees each
+//!   `(global, token)` pair is computed exactly once, and supplemental
+//!   passes are emitted if the window passes alone cannot stream every
+//!   key/query past the global units (never needed for the paper's
+//!   workloads — asserted in tests).
+//!
+//! The plan is *auditable*: [`verify_coverage`] replays a plan against the
+//! original pattern and checks every kept score position is computed
+//! exactly once.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod component;
+mod coverage;
+mod error;
+mod hardware;
+mod intervals;
+mod merge;
+mod pass;
+mod permutation;
+mod plan;
+
+pub use component::{canonicalize, Component, ComponentKind};
+pub use coverage::{verify_coverage, CoverageReport};
+pub use error::SchedulerError;
+pub use hardware::HardwareMeta;
+pub use intervals::IntervalSet;
+pub use merge::{merge_f64, PartF64};
+pub use pass::{Pass, SupplementalKind, SupplementalPass};
+pub use permutation::Permutation;
+pub use plan::{ExecutionPlan, PlanStats};

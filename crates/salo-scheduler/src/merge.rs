@@ -1,0 +1,136 @@
+//! The Eq. 2 renormalization in exact `f64` arithmetic.
+//!
+//! This is the mathematical reference for the weighted-sum module: merging
+//! locally-normalized softmax parts must equal the monolithic softmax. The
+//! fixed-point implementation lives in `salo_fixed::merge_partials`; tests
+//! validate both against each other and against unsplit attention.
+
+/// A locally-normalized attention part: `W = Σ exp(s_j)` over the part's
+/// keys, and `out = Σ exp(s_j) v_j / W`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartF64 {
+    /// The part's softmax weight.
+    pub weight: f64,
+    /// The part's normalized output vector.
+    pub out: Vec<f64>,
+}
+
+impl PartF64 {
+    /// Computes a part from raw scores and value rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` and `values` lengths differ.
+    #[must_use]
+    pub fn from_scores(scores: &[f64], values: &[&[f64]], dim: usize) -> Self {
+        assert_eq!(scores.len(), values.len(), "scores/values mismatch");
+        let mut weight = 0.0f64;
+        let mut acc = vec![0.0f64; dim];
+        for (&s, &v) in scores.iter().zip(values) {
+            let e = s.exp();
+            weight += e;
+            for (a, &ve) in acc.iter_mut().zip(v) {
+                *a += e * ve;
+            }
+        }
+        if weight > 0.0 {
+            for a in &mut acc {
+                *a /= weight;
+            }
+        }
+        Self { weight, out: acc }
+    }
+}
+
+/// Merges two parts per Eq. 2 of the paper:
+/// `out = W1/(W1+W2) * out1 + W2/(W1+W2) * out2`, weight `W1 + W2`.
+///
+/// Merging with a zero-weight part returns the other part.
+///
+/// # Panics
+///
+/// Panics if output dimensions differ.
+#[must_use]
+pub fn merge_f64(a: &PartF64, b: &PartF64) -> PartF64 {
+    assert_eq!(a.out.len(), b.out.len(), "dimension mismatch");
+    if a.weight == 0.0 {
+        return b.clone();
+    }
+    if b.weight == 0.0 {
+        return a.clone();
+    }
+    let total = a.weight + b.weight;
+    let (alpha, beta) = (a.weight / total, b.weight / total);
+    PartF64 {
+        weight: total,
+        out: a.out.iter().zip(&b.out).map(|(&x, &y)| alpha * x + beta * y).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monolithic(scores: &[f64], values: &[&[f64]], dim: usize) -> Vec<f64> {
+        PartF64::from_scores(scores, values, dim).out
+    }
+
+    #[test]
+    fn split_equals_monolithic() {
+        let scores = vec![0.3, -1.2, 2.0, 0.7, -0.5, 1.1];
+        let rows: Vec<Vec<f64>> =
+            (0..6).map(|k| vec![k as f64, -(k as f64), 0.5 * k as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let full = monolithic(&scores, &refs, 3);
+
+        for split in 1..5 {
+            let a = PartF64::from_scores(&scores[..split], &refs[..split], 3);
+            let b = PartF64::from_scores(&scores[split..], &refs[split..], 3);
+            let merged = merge_f64(&a, &b);
+            for (m, f) in merged.out.iter().zip(&full) {
+                assert!((m - f).abs() < 1e-12, "split {split}: {m} vs {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_way_split_associative() {
+        let scores = vec![1.0, 2.0, 3.0, -1.0];
+        let rows: Vec<Vec<f64>> = (0..4).map(|k| vec![(k * k) as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let parts: Vec<PartF64> =
+            (0..4).map(|k| PartF64::from_scores(&scores[k..=k], &refs[k..=k], 1)).collect();
+        let left = parts.iter().skip(1).fold(parts[0].clone(), |acc, p| merge_f64(&acc, p));
+        let right = merge_f64(
+            &merge_f64(&parts[0], &parts[1]),
+            &merge_f64(&parts[2], &parts[3]),
+        );
+        assert!((left.out[0] - right.out[0]).abs() < 1e-12);
+        let full = monolithic(&scores, &refs, 1);
+        assert!((left.out[0] - full[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_is_identity() {
+        let a = PartF64 { weight: 0.0, out: vec![0.0, 0.0] };
+        let b = PartF64 { weight: 2.5, out: vec![1.0, -1.0] };
+        assert_eq!(merge_f64(&a, &b), b);
+        assert_eq!(merge_f64(&b, &a), b);
+    }
+
+    #[test]
+    fn from_scores_handles_empty() {
+        let p = PartF64::from_scores(&[], &[], 3);
+        assert_eq!(p.weight, 0.0);
+        assert_eq!(p.out, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn weights_accumulate() {
+        let a = PartF64 { weight: 1.5, out: vec![2.0] };
+        let b = PartF64 { weight: 0.5, out: vec![4.0] };
+        let m = merge_f64(&a, &b);
+        assert!((m.weight - 2.0).abs() < 1e-15);
+        assert!((m.out[0] - 2.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,179 @@
+//! One accelerator pass: a query tile times a window-offset chunk.
+
+/// Duty assigned to a global PE column during a pass: compute the scores of
+/// the tile's queries against one global token's key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalColDuty {
+    /// The global token (sequence index) whose key column is computed.
+    pub token: usize,
+    /// Queries (sequence indices) whose `(i, token)` score is computed for
+    /// the first time in this pass. Queries already covered in earlier
+    /// passes are skipped by the hardware's valid-bit.
+    pub fresh_queries: Vec<u32>,
+}
+
+/// Duty assigned to a global PE row during a pass: compute one global
+/// token's query against the keys streaming through the array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalRowDuty {
+    /// The global token (sequence index) whose query row is computed.
+    pub token: usize,
+    /// Keys (sequence indices) scored for the first time in this pass.
+    pub fresh_keys: Vec<u32>,
+}
+
+/// One pass of the PE array: queries `tile_start..tile_start+tile_len`
+/// (virtual indices of a component) against offsets
+/// `chunk_start..chunk_start+chunk_len` (indices into the component's
+/// offset list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pass {
+    /// Index into the plan's component list.
+    pub component: usize,
+    /// First virtual query row of the tile.
+    pub tile_start: usize,
+    /// Tile height (`<= pe_rows`).
+    pub tile_len: usize,
+    /// First offset index of the chunk.
+    pub chunk_start: usize,
+    /// Chunk width (`<= pe_cols`).
+    pub chunk_len: usize,
+    /// Global-column duties this pass (at most `global_cols` entries).
+    pub global_col: Vec<GlobalColDuty>,
+    /// Global-row duties this pass (at most `global_rows` entries).
+    pub global_row: Vec<GlobalRowDuty>,
+}
+
+/// What a supplemental pass computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupplementalKind {
+    /// Stream keys `[start, end)` past a global PE row for `token`.
+    GlobalRow {
+        /// The global token whose query row needs these keys.
+        token: usize,
+        /// Key range start (sequence index).
+        start: usize,
+        /// Key range end (exclusive).
+        end: usize,
+    },
+    /// Load queries `[start, end)` against a global PE column for `token`.
+    GlobalCol {
+        /// The global token whose key column needs these queries.
+        token: usize,
+        /// Query range start (sequence index).
+        start: usize,
+        /// Query range end (exclusive).
+        end: usize,
+    },
+}
+
+/// A pass that exists only to feed a global PE unit: emitted when the
+/// window passes do not naturally stream some keys/queries past the global
+/// units. The paper's workloads never need these (their windows sweep the
+/// whole sequence), but arbitrary user patterns can.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupplementalPass {
+    /// What the pass computes.
+    pub kind: SupplementalKind,
+}
+
+impl Pass {
+    /// The virtual key ranges streamed through the array during this pass:
+    /// the Minkowski sum of the tile rows and the chunk offsets, merged
+    /// into disjoint ranges. `offsets` must be the owning component's
+    /// offset list.
+    #[must_use]
+    pub fn streamed_virtual_ranges(&self, offsets: &[i64], num_keys: usize) -> Vec<(usize, usize)> {
+        let chunk = &offsets[self.chunk_start..self.chunk_start + self.chunk_len];
+        let mut ranges: Vec<(i64, i64)> = Vec::with_capacity(chunk.len());
+        for &o in chunk {
+            let lo = self.tile_start as i64 + o;
+            let hi = lo + self.tile_len as i64; // exclusive
+            match ranges.last_mut() {
+                Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+                _ => ranges.push((lo, hi)),
+            }
+        }
+        ranges
+            .into_iter()
+            .filter_map(|(lo, hi)| {
+                let lo = lo.max(0) as usize;
+                let hi = hi.max(0) as usize;
+                let hi = hi.min(num_keys);
+                (lo < hi).then_some((lo, hi))
+            })
+            .collect()
+    }
+
+    /// Number of distinct keys streamed (after clipping).
+    #[must_use]
+    pub fn streamed_key_count(&self, offsets: &[i64], num_keys: usize) -> usize {
+        self.streamed_virtual_ranges(offsets, num_keys).iter().map(|&(s, e)| e - s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pass(tile_start: usize, tile_len: usize, chunk_start: usize, chunk_len: usize) -> Pass {
+        Pass {
+            component: 0,
+            tile_start,
+            tile_len,
+            chunk_start,
+            chunk_len,
+            global_col: Vec::new(),
+            global_row: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn contiguous_offsets_stream_one_range() {
+        let offsets: Vec<i64> = (-2..=2).collect();
+        let p = pass(10, 4, 0, 5);
+        // virtuals: 10..14 + (-2..=2) => 8..16 (exclusive 16)
+        assert_eq!(p.streamed_virtual_ranges(&offsets, 100), vec![(8, 16)]);
+        assert_eq!(p.streamed_key_count(&offsets, 100), 8);
+    }
+
+    #[test]
+    fn gapped_offsets_stream_separate_ranges() {
+        let offsets: Vec<i64> = vec![-10, 0, 10];
+        let p = pass(20, 3, 0, 3);
+        assert_eq!(
+            p.streamed_virtual_ranges(&offsets, 100),
+            vec![(10, 13), (20, 23), (30, 33)]
+        );
+    }
+
+    #[test]
+    fn overlapping_band_ranges_merge() {
+        let offsets: Vec<i64> = vec![0, 2, 4];
+        let p = pass(0, 4, 0, 3);
+        // 0..4, 2..6, 4..8 merge into 0..8.
+        assert_eq!(p.streamed_virtual_ranges(&offsets, 100), vec![(0, 8)]);
+    }
+
+    #[test]
+    fn clipping_at_sequence_edges() {
+        let offsets: Vec<i64> = (-4..=0).collect();
+        let p = pass(0, 4, 0, 5);
+        // virtuals -4..4 clipped to 0..4.
+        assert_eq!(p.streamed_virtual_ranges(&offsets, 100), vec![(0, 4)]);
+        // Clipping at the top end.
+        let p = pass(98, 2, 4, 1); // offset 0 only
+        assert_eq!(p.streamed_virtual_ranges(&offsets, 100), vec![(98, 100)]);
+        // Entirely out of range.
+        let p = pass(0, 2, 0, 1); // offset -4
+        assert!(p.streamed_virtual_ranges(&offsets, 100).is_empty());
+        assert_eq!(p.streamed_key_count(&offsets, 100), 0);
+    }
+
+    #[test]
+    fn chunk_subsets_respected() {
+        let offsets: Vec<i64> = vec![-8, -4, 0, 4, 8];
+        let p = pass(50, 2, 1, 2); // offsets -4, 0
+        assert_eq!(p.streamed_virtual_ranges(&offsets, 100), vec![(46, 48), (50, 52)]);
+    }
+}

@@ -1,0 +1,478 @@
+//! Execution plan construction: tiling, global-token scheduling and
+//! statistics.
+
+use salo_patterns::HybridPattern;
+
+use crate::component::{canonicalize, Component};
+use crate::intervals::IntervalSet;
+use crate::pass::{GlobalColDuty, GlobalRowDuty, Pass, SupplementalKind, SupplementalPass};
+use crate::{HardwareMeta, SchedulerError};
+
+/// A complete schedule for one attention head on the spatial accelerator.
+///
+/// Produced by [`ExecutionPlan::build`]; consumed by the `salo-sim`
+/// simulator (functional execution and cycle accounting) and by
+/// [`verify_coverage`](crate::verify_coverage).
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    n: usize,
+    hw: HardwareMeta,
+    globals: Vec<usize>,
+    components: Vec<Component>,
+    passes: Vec<Pass>,
+    supplemental: Vec<SupplementalPass>,
+}
+
+/// Summary statistics of a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanStats {
+    /// Number of main passes.
+    pub passes: usize,
+    /// Number of supplemental (global-unit-only) passes.
+    pub supplemental_passes: usize,
+    /// Total active PE cells over all main passes (each computes one
+    /// score and one output contribution).
+    pub active_cells: u64,
+    /// Total PE cell slots (`passes * pe_rows * pe_cols`).
+    pub cell_slots: u64,
+    /// Fraction of array cell slots doing useful work (`active / slots`).
+    pub occupancy: f64,
+    /// Distinct keys streamed per pass, summed (diagonal-reuse loads).
+    pub streamed_keys: u64,
+    /// Key loads a reuse-free dataflow would need (one load per active
+    /// cell) — the paper's data-reuse claim is `streamed_keys <<` this.
+    pub naive_key_loads: u64,
+    /// Scores computed by the global PE column (fresh query-token pairs).
+    pub global_col_scores: u64,
+    /// Scores computed by the global PE row (fresh token-key pairs).
+    pub global_row_scores: u64,
+}
+
+impl ExecutionPlan {
+    /// Builds a plan for `pattern` on the hardware `hw`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulerError::EmptyPlan`] if the pattern yields no work
+    /// (every window offset out of range and no global tokens).
+    pub fn build(pattern: &HybridPattern, hw: HardwareMeta) -> Result<Self, SchedulerError> {
+        let n = pattern.n();
+        let globals = pattern.globals().to_vec();
+        if !globals.is_empty() && (hw.global_rows == 0 || hw.global_cols == 0) {
+            return Err(SchedulerError::InvalidHardware {
+                reason: format!(
+                    "pattern has {} global token(s) but the instance has {} global row(s) \
+                     and {} global column(s)",
+                    globals.len(),
+                    hw.global_rows,
+                    hw.global_cols
+                ),
+            });
+        }
+        let components = canonicalize(pattern);
+
+        // 1. Main passes: component x tile x chunk, skipping fully-inactive
+        //    passes (all cells clipped or masked).
+        let mut passes = Vec::new();
+        for (ci, comp) in components.iter().enumerate() {
+            let nq = comp.num_queries();
+            let noff = comp.offsets().len();
+            for tile_start in (0..nq).step_by(hw.pe_rows) {
+                let tile_len = hw.pe_rows.min(nq - tile_start);
+                for chunk_start in (0..noff).step_by(hw.pe_cols) {
+                    let chunk_len = hw.pe_cols.min(noff - chunk_start);
+                    let pass = Pass {
+                        component: ci,
+                        tile_start,
+                        tile_len,
+                        chunk_start,
+                        chunk_len,
+                        global_col: Vec::new(),
+                        global_row: Vec::new(),
+                    };
+                    if pass_active_cells(&pass, comp, &globals) > 0 {
+                        passes.push(pass);
+                    }
+                }
+            }
+        }
+
+        if passes.is_empty() && globals.is_empty() {
+            return Err(SchedulerError::EmptyPlan);
+        }
+
+        // 2. Global-column scheduling: each non-global query must meet each
+        //    global token's key exactly once. A pass exposes its tile's
+        //    queries; each of the `global_cols` units serves one token.
+        let mut col_seen: Vec<IntervalSet> = globals.iter().map(|_| IntervalSet::new()).collect();
+        if hw.global_cols > 0 {
+            for pass in &mut passes {
+                let comp = &components[pass.component];
+                let tile = &comp.queries()[pass.tile_start..pass.tile_start + pass.tile_len];
+                let mut used = 0;
+                for (t, _g) in globals.iter().enumerate() {
+                    if used == hw.global_cols {
+                        break;
+                    }
+                    let fresh: Vec<u32> = tile
+                        .iter()
+                        .filter(|&&q| {
+                            !is_global(&globals, q) && !col_seen[t].contains(q)
+                        })
+                        .map(|&q| q as u32)
+                        .collect();
+                    if fresh.is_empty() {
+                        continue;
+                    }
+                    for &q in &fresh {
+                        col_seen[t].insert(q as usize);
+                    }
+                    pass.global_col.push(GlobalColDuty { token: globals[t], fresh_queries: fresh });
+                    used += 1;
+                }
+            }
+        }
+
+        // 3. Global-row scheduling: each global token's query must meet
+        //    every key exactly once. The global row taps the key stream of
+        //    the tile's last row: keys `queries_virtual = tile_end-1 + o`.
+        let mut row_seen: Vec<IntervalSet> = globals.iter().map(|_| IntervalSet::new()).collect();
+        if hw.global_rows > 0 {
+            for pass in &mut passes {
+                let comp = &components[pass.component];
+                let tap_row = pass.tile_start + pass.tile_len - 1;
+                let chunk =
+                    &comp.offsets()[pass.chunk_start..pass.chunk_start + pass.chunk_len];
+                let mut used = 0;
+                for (t, _g) in globals.iter().enumerate() {
+                    if used == hw.global_rows {
+                        break;
+                    }
+                    let mut fresh = Vec::new();
+                    for &o in chunk {
+                        let vk = tap_row as i64 + o;
+                        if vk < 0 || vk >= comp.keys().len() as i64 {
+                            continue;
+                        }
+                        let key = comp.keys()[vk as usize];
+                        if !row_seen[t].contains(key) {
+                            fresh.push(key as u32);
+                        }
+                    }
+                    if fresh.is_empty() {
+                        continue;
+                    }
+                    for &kj in &fresh {
+                        row_seen[t].insert(kj as usize);
+                    }
+                    pass.global_row.push(GlobalRowDuty { token: globals[t], fresh_keys: fresh });
+                    used += 1;
+                }
+            }
+        }
+
+        // 4. Supplemental passes for any remaining gaps.
+        let mut supplemental = Vec::new();
+        for (t, seen) in row_seen.iter().enumerate() {
+            for (start, end) in seen.gaps(n) {
+                for s in (start..end).step_by(hw.pe_cols.max(1)) {
+                    supplemental.push(SupplementalPass {
+                        kind: SupplementalKind::GlobalRow {
+                            token: globals[t],
+                            start: s,
+                            end: end.min(s + hw.pe_cols),
+                        },
+                    });
+                }
+            }
+        }
+        for (t, seen) in col_seen.iter().enumerate() {
+            let mut missing = IntervalSet::new();
+            for (start, end) in seen.gaps(n) {
+                missing.insert_range(start, end);
+            }
+            // Global queries are covered by the global row, not the column.
+            for (start, end) in missing.ranges().to_vec() {
+                let mut s = start;
+                while s < end {
+                    // Trim runs that are entirely global tokens.
+                    while s < end && is_global(&globals, s) {
+                        s += 1;
+                    }
+                    if s >= end {
+                        break;
+                    }
+                    let mut e = (s + hw.pe_rows.max(1)).min(end);
+                    // Stop a run early at a global token to keep ranges clean.
+                    if let Some(g) = (s..e).find(|&q| is_global(&globals, q)) {
+                        e = g;
+                    }
+                    supplemental.push(SupplementalPass {
+                        kind: SupplementalKind::GlobalCol { token: globals[t], start: s, end: e },
+                    });
+                    s = e;
+                }
+            }
+        }
+
+        Ok(Self { n, hw, globals, components, passes, supplemental })
+    }
+
+    /// Sequence length.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The hardware geometry the plan was built for.
+    #[must_use]
+    pub fn hardware(&self) -> &HardwareMeta {
+        &self.hw
+    }
+
+    /// Global tokens of the pattern.
+    #[must_use]
+    pub fn globals(&self) -> &[usize] {
+        &self.globals
+    }
+
+    /// Whether `token` is global.
+    #[must_use]
+    pub fn is_global(&self, token: usize) -> bool {
+        is_global(&self.globals, token)
+    }
+
+    /// The dataflow components.
+    #[must_use]
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The main passes, in execution order.
+    #[must_use]
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// Supplemental global-unit passes (empty for the paper's workloads).
+    #[must_use]
+    pub fn supplemental(&self) -> &[SupplementalPass] {
+        &self.supplemental
+    }
+
+    /// Active PE cells in one pass (score positions actually computed).
+    #[must_use]
+    pub fn pass_active_cells(&self, pass: &Pass) -> u64 {
+        pass_active_cells(pass, &self.components[pass.component], &self.globals)
+    }
+
+    /// Computes summary statistics (single traversal of all passes).
+    #[must_use]
+    pub fn stats(&self) -> PlanStats {
+        let mut active = 0u64;
+        let mut streamed = 0u64;
+        let mut col_scores = 0u64;
+        let mut row_scores = 0u64;
+        for pass in &self.passes {
+            let comp = &self.components[pass.component];
+            active += pass_active_cells(pass, comp, &self.globals);
+            streamed += pass.streamed_key_count(comp.offsets(), comp.keys().len()) as u64;
+            col_scores +=
+                pass.global_col.iter().map(|d| d.fresh_queries.len() as u64).sum::<u64>();
+            row_scores +=
+                pass.global_row.iter().map(|d| d.fresh_keys.len() as u64).sum::<u64>();
+        }
+        for sup in &self.supplemental {
+            match sup.kind {
+                SupplementalKind::GlobalRow { start, end, .. } => {
+                    row_scores += (end - start) as u64;
+                }
+                SupplementalKind::GlobalCol { start, end, .. } => {
+                    col_scores += (end - start) as u64;
+                }
+            }
+        }
+        let slots = (self.passes.len() * self.hw.pe_rows * self.hw.pe_cols) as u64;
+        PlanStats {
+            passes: self.passes.len(),
+            supplemental_passes: self.supplemental.len(),
+            active_cells: active,
+            cell_slots: slots,
+            occupancy: if slots == 0 { 0.0 } else { active as f64 / slots as f64 },
+            streamed_keys: streamed,
+            naive_key_loads: active,
+            global_col_scores: col_scores,
+            global_row_scores: row_scores,
+        }
+    }
+}
+
+fn is_global(globals: &[usize], token: usize) -> bool {
+    globals.binary_search(&token).is_ok()
+}
+
+/// Counts active cells of a pass: for each tile row, the chunk offsets that
+/// land on a valid, non-global key — zero for global-query rows.
+fn pass_active_cells(pass: &Pass, comp: &Component, globals: &[usize]) -> u64 {
+    let chunk = &comp.offsets()[pass.chunk_start..pass.chunk_start + pass.chunk_len];
+    let num_keys = comp.keys().len() as i64;
+    let mut active = 0u64;
+    for u in 0..pass.tile_len {
+        let p = pass.tile_start + u;
+        let qi = comp.queries()[p];
+        if is_global(globals, qi) {
+            continue;
+        }
+        // Valid offsets: -p <= o < num_keys - p.
+        let lo = -(p as i64);
+        let hi = num_keys - p as i64; // exclusive
+        let from = chunk.partition_point(|&o| o < lo);
+        let to = chunk.partition_point(|&o| o < hi);
+        let mut count = (to - from) as u64;
+        // Subtract offsets that land on global keys.
+        for &g in globals {
+            if let Some(vg) = comp_key_virtual(comp, g) {
+                let o_needed = vg as i64 - p as i64;
+                if chunk[from..to].binary_search(&o_needed).is_ok() {
+                    count -= 1;
+                }
+            }
+        }
+        active += count;
+    }
+    active
+}
+
+/// The virtual index of sequence position `g` in the component's key list,
+/// if present.
+fn comp_key_virtual(comp: &Component, g: usize) -> Option<usize> {
+    match comp.kind() {
+        crate::ComponentKind::Direct => Some(g),
+        crate::ComponentKind::DilatedClass { dilation, key_class, .. } => {
+            (g % dilation == *key_class).then(|| (g - key_class) / dilation)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salo_patterns::{grid_2d, longformer, sliding_only, sparse_transformer};
+
+    #[test]
+    fn longformer_pass_counts_match_hand_calculation() {
+        // n = 4096, w = 512, 32x32 array: 128 tiles x 16 chunks = 2048
+        // candidate passes; boundary tiles lose some but none go fully
+        // inactive (the window always overlaps the sequence).
+        let p = longformer(4096, 512, 1).unwrap();
+        let plan = ExecutionPlan::build(&p, HardwareMeta::default()).unwrap();
+        assert_eq!(plan.components().len(), 1);
+        let stats = plan.stats();
+        assert!(stats.passes <= 2048, "passes {}", stats.passes);
+        assert!(stats.passes >= 1900, "passes {}", stats.passes);
+        assert_eq!(stats.supplemental_passes, 0, "no supplemental for Longformer");
+        // Occupancy: boundary clipping costs ~w/2n of the window cells.
+        assert!(stats.occupancy > 0.85, "occupancy {}", stats.occupancy);
+        // Global units see every pair exactly once.
+        assert_eq!(stats.global_row_scores, 4096);
+        assert_eq!(stats.global_col_scores, 4095);
+    }
+
+    #[test]
+    fn vil_stage1_plan_shape() {
+        // 56x56 grid, 15x15 window: merged offsets = 225, chunks = 8,
+        // tiles = ceil(3136/32) = 98.
+        let p = grid_2d(56, 56, 15, 15, 1).unwrap();
+        let plan = ExecutionPlan::build(&p, HardwareMeta::default()).unwrap();
+        assert_eq!(plan.components().len(), 1, "bands merge into one direct component");
+        let stats = plan.stats();
+        assert!(stats.passes <= 98 * 8);
+        assert!(stats.passes > 98 * 6);
+        assert_eq!(stats.supplemental_passes, 0, "ViL needs no supplemental passes");
+        assert_eq!(stats.global_row_scores, 3136);
+        assert_eq!(stats.global_col_scores, 3135);
+    }
+
+    #[test]
+    fn strided_pattern_produces_class_components() {
+        let p = sparse_transformer(64, 4, 4).unwrap();
+        let plan = ExecutionPlan::build(&p, HardwareMeta::new(8, 8, 1, 1).unwrap()).unwrap();
+        // 1 direct + 4 classes.
+        assert_eq!(plan.components().len(), 5);
+        assert!(plan.stats().passes > 0);
+    }
+
+    #[test]
+    fn zero_active_passes_skipped() {
+        // Causal window: the first chunk of very negative offsets is fully
+        // clipped for the first tile.
+        let p = sliding_only(64, 63).unwrap();
+        let plan = ExecutionPlan::build(&p, HardwareMeta::new(8, 8, 0, 0).unwrap()).unwrap();
+        for pass in plan.passes() {
+            assert!(plan.pass_active_cells(pass) > 0, "inactive pass kept");
+        }
+    }
+
+    #[test]
+    fn empty_plan_detected() {
+        use salo_patterns::{HybridPattern, Window};
+        let p = HybridPattern::builder(4)
+            .window(Window::sliding(100, 100).unwrap())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            ExecutionPlan::build(&p, HardwareMeta::default()),
+            Err(SchedulerError::EmptyPlan)
+        ));
+    }
+
+    #[test]
+    fn global_pattern_requires_global_units() {
+        let p = longformer(64, 8, 1).unwrap();
+        let no_units = HardwareMeta::new(8, 8, 0, 0).unwrap();
+        assert!(matches!(
+            ExecutionPlan::build(&p, no_units),
+            Err(SchedulerError::InvalidHardware { .. })
+        ));
+        // Without globals the same hardware is fine.
+        let p = sliding_only(64, 8).unwrap();
+        assert!(ExecutionPlan::build(&p, no_units).is_ok());
+    }
+
+    #[test]
+    fn global_only_pattern_uses_supplemental_passes() {
+        use salo_patterns::HybridPattern;
+        let p = HybridPattern::builder(100).global_token(0).build().unwrap();
+        let plan = ExecutionPlan::build(&p, HardwareMeta::default()).unwrap();
+        assert!(plan.passes().is_empty());
+        let stats = plan.stats();
+        assert!(stats.supplemental_passes > 0);
+        // Row must see all 100 keys, column the 99 non-global queries.
+        assert_eq!(stats.global_row_scores, 100);
+        assert_eq!(stats.global_col_scores, 99);
+    }
+
+    #[test]
+    fn streamed_keys_show_diagonal_reuse() {
+        let p = sliding_only(256, 64).unwrap();
+        let plan = ExecutionPlan::build(&p, HardwareMeta::default()).unwrap();
+        let stats = plan.stats();
+        // Diagonal streaming loads far fewer vectors than per-cell loading.
+        assert!(
+            (stats.streamed_keys as f64) < 0.15 * stats.naive_key_loads as f64,
+            "streamed {} vs naive {}",
+            stats.streamed_keys,
+            stats.naive_key_loads
+        );
+    }
+
+    #[test]
+    fn two_global_tokens_covered() {
+        let p = longformer(256, 32, 2).unwrap();
+        let plan = ExecutionPlan::build(&p, HardwareMeta::default()).unwrap();
+        let stats = plan.stats();
+        // Each token: row sees all n keys, col sees n - ng queries.
+        assert_eq!(stats.global_row_scores, 2 * 256);
+        assert_eq!(stats.global_col_scores, 2 * 254);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: every plan covers its pattern exactly once, on random
+//! patterns and random hardware geometries.
+
+use proptest::prelude::*;
+use salo_patterns::{HybridPattern, Window};
+use salo_scheduler::{
+    merge_f64, verify_coverage, ExecutionPlan, HardwareMeta, PartF64, Permutation,
+};
+
+fn arb_window() -> impl Strategy<Value = Window> {
+    (-12i64..12, 1usize..5, 0usize..8).prop_map(|(lo, dil, width)| {
+        Window::dilated(lo, lo + (width as i64) * dil as i64, dil).expect("window")
+    })
+}
+
+fn arb_pattern() -> impl Strategy<Value = HybridPattern> {
+    (
+        6usize..48,
+        prop::collection::vec(arb_window(), 0..4),
+        prop::collection::vec(0usize..6, 0..3),
+    )
+        .prop_filter_map("non-empty pattern", |(n, windows, globals)| {
+            let globals: Vec<usize> = globals.into_iter().filter(|&g| g < n).collect();
+            if windows.is_empty() && globals.is_empty() {
+                return None;
+            }
+            HybridPattern::builder(n).windows(windows).global_tokens(globals).build().ok()
+        })
+}
+
+fn arb_hw() -> impl Strategy<Value = HardwareMeta> {
+    (1usize..12, 1usize..12, 0usize..3, 0usize..3)
+        .prop_map(|(r, c, gr, gc)| HardwareMeta::new(r, c, gr, gc).expect("hw"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fundamental invariant: every kept (i, j) computed exactly once.
+    #[test]
+    fn plans_cover_exactly_once(pattern in arb_pattern(), hw in arb_hw()) {
+        // Patterns needing global units require at least one of each.
+        let hw = if pattern.globals().is_empty() {
+            hw
+        } else {
+            HardwareMeta::new(hw.pe_rows, hw.pe_cols, hw.global_rows.max(1), hw.global_cols.max(1))
+                .expect("hw")
+        };
+        match ExecutionPlan::build(&pattern, hw) {
+            Ok(plan) => {
+                let report = verify_coverage(&plan, &pattern);
+                prop_assert!(
+                    report.is_exact(),
+                    "missing {:?} duplicated {:?} spurious {:?}",
+                    report.missing.first(),
+                    report.duplicated.first(),
+                    report.spurious.first()
+                );
+            }
+            Err(salo_scheduler::SchedulerError::EmptyPlan) => {
+                // Acceptable only when the pattern truly keeps nothing.
+                prop_assert_eq!(pattern.nnz(), 0);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// Plan statistics are internally consistent.
+    #[test]
+    fn stats_consistent(pattern in arb_pattern()) {
+        let hw = HardwareMeta::new(4, 4, 1, 1).expect("hw");
+        if let Ok(plan) = ExecutionPlan::build(&pattern, hw) {
+            let stats = plan.stats();
+            prop_assert!(stats.occupancy >= 0.0 && stats.occupancy <= 1.0);
+            prop_assert!(stats.active_cells <= stats.cell_slots);
+            prop_assert!(stats.streamed_keys <= stats.naive_key_loads.max(1) * 2);
+            let per_pass: u64 = plan.passes().iter().map(|p| plan.pass_active_cells(p)).sum();
+            prop_assert_eq!(per_pass, stats.active_cells);
+        }
+    }
+
+    /// Eq. 2 merging of arbitrary row splits equals the monolithic softmax.
+    #[test]
+    fn merge_equals_monolithic(
+        scores in prop::collection::vec(-4.0f64..4.0, 1..24),
+        splits in prop::collection::vec(any::<bool>(), 24),
+        dim in 1usize..4,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..scores.len())
+            .map(|k| (0..dim).map(|c| ((k * 7 + c * 3) % 11) as f64 - 5.0).collect())
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let full = PartF64::from_scores(&scores, &refs, dim);
+
+        // Split at the flagged boundaries and merge left to right.
+        let mut merged = PartF64 { weight: 0.0, out: vec![0.0; dim] };
+        let mut start = 0;
+        for end in 1..=scores.len() {
+            if end == scores.len() || splits[end % splits.len()] {
+                let part = PartF64::from_scores(&scores[start..end], &refs[start..end], dim);
+                merged = merge_f64(&merged, &part);
+                start = end;
+            }
+        }
+        for (m, f) in merged.out.iter().zip(&full.out) {
+            prop_assert!((m - f).abs() < 1e-9, "{m} vs {f}");
+        }
+        prop_assert!((merged.weight - full.weight).abs() < 1e-9);
+    }
+
+    /// Dilation grouping permutations round-trip.
+    #[test]
+    fn permutation_round_trip(n in 1usize..80, d in 1usize..7) {
+        let p = Permutation::dilation_grouping(n, d);
+        let data: Vec<usize> = (0..n).collect();
+        let there = p.apply(&data);
+        let back = p.inverse().apply(&there);
+        prop_assert_eq!(back, data);
+    }
+}

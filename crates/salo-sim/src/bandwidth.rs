@@ -1,0 +1,121 @@
+//! Buffer-port bandwidth feasibility of the pipelined schedule.
+//!
+//! The pipelined pass interval assumes the next pass's operands stream in
+//! while the current one drains — an assumption, unless the buffers can
+//! actually feed it. Per initiation interval the array consumes one query
+//! tile (`#row` vectors), up to `#row + #col - 1` key vectors and as many
+//! value vectors, and emits `#row` outputs. This module turns that into
+//! required bytes-per-cycle per buffer and checks them against port
+//! widths, making the cycle model's premise explicit and testable
+//! (SRAM macros of this class provide 16–32 B/cycle per port; the
+//! default configuration assumes two 16 B ports on K/V and one on Q/out).
+
+use crate::AcceleratorConfig;
+
+/// Required vs provided buffer bandwidth for a pass interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthReport {
+    /// Query-buffer demand (bytes/cycle).
+    pub query_bpc: f64,
+    /// Key-buffer demand (bytes/cycle).
+    pub key_bpc: f64,
+    /// Value-buffer demand (bytes/cycle).
+    pub value_bpc: f64,
+    /// Output-buffer demand (bytes/cycle, 16-bit elements).
+    pub output_bpc: f64,
+    /// Provided per-buffer bandwidth (bytes/cycle).
+    pub provided_bpc: f64,
+    /// Whether every buffer meets its demand.
+    pub feasible: bool,
+}
+
+/// Per-port provided bandwidth assumed for the Table 1 instance
+/// (two 16-byte ports on the K/V buffers — they feed the diagonal chain —
+/// and one on Q/out).
+pub const DEFAULT_PORT_BYTES_PER_CYCLE: f64 = 32.0;
+
+/// Computes the bandwidth demand of the steady-state interval for head
+/// dimension `d`.
+#[must_use]
+pub fn bandwidth_report(config: &AcceleratorConfig, d: usize, interval: u64) -> BandwidthReport {
+    let interval = interval.max(1) as f64;
+    let rows = config.hw.pe_rows as f64;
+    let cols = config.hw.pe_cols as f64;
+    let d = d as f64;
+    // Per interval: a query tile, the streamed K/V diagonal, an output tile.
+    let query_bpc = rows * d / interval;
+    let kv_vectors = rows + cols - 1.0;
+    let key_bpc = kv_vectors * d / interval;
+    let value_bpc = key_bpc;
+    let output_bpc = rows * d * 2.0 / interval;
+    let provided = DEFAULT_PORT_BYTES_PER_CYCLE;
+    BandwidthReport {
+        query_bpc,
+        key_bpc,
+        value_bpc,
+        output_bpc,
+        provided_bpc: provided,
+        feasible: query_bpc <= provided
+            && key_bpc <= provided
+            && value_bpc <= provided
+            && output_bpc <= provided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CycleModel;
+
+    #[test]
+    fn table1_instance_is_feasible_at_d64() {
+        let config = AcceleratorConfig::default();
+        let interval = CycleModel::new(&config).pass_interval(64);
+        let r = bandwidth_report(&config, 64, interval);
+        // 63 K-vectors x 64 B over 168 cycles = 24 B/cycle.
+        assert!((r.key_bpc - 24.0).abs() < 0.1, "key {}", r.key_bpc);
+        assert!(r.feasible, "{r:?}");
+        // Output dominates: 32 x 128 B over 168 cycles.
+        assert!(r.output_bpc > r.query_bpc);
+    }
+
+    #[test]
+    fn demand_is_self_limiting_in_head_dim() {
+        // A pleasing closed property of the 32x32 instance: as d grows,
+        // the interval grows at exactly the rate demand does, so the
+        // per-cycle demand approaches (but never exceeds) the port width.
+        let config = AcceleratorConfig::default();
+        let model = CycleModel::new(&config);
+        for d in [16usize, 64, 256, 1024] {
+            let r = bandwidth_report(&config, d, model.pass_interval(d));
+            assert!(r.feasible, "d = {d}: {r:?}");
+            assert!(r.output_bpc < DEFAULT_PORT_BYTES_PER_CYCLE);
+        }
+    }
+
+    #[test]
+    fn tall_geometries_break_the_assumption() {
+        // A 128x8 array emits 128 outputs per (short) interval: the
+        // output buffer port cannot keep up — the cheap-looking geometry
+        // from the latency table is not actually schedulable as modeled.
+        let mut config = AcceleratorConfig::default();
+        config.hw = salo_scheduler::HardwareMeta::new(128, 8, 1, 1).unwrap();
+        let interval = CycleModel::new(&config).pass_interval(64);
+        let r = bandwidth_report(&config, 64, interval);
+        assert!(!r.feasible, "{r:?}");
+        assert!(r.output_bpc > DEFAULT_PORT_BYTES_PER_CYCLE);
+    }
+
+    #[test]
+    fn demand_scales_with_geometry() {
+        let config = AcceleratorConfig::default();
+        let mut tall = config.clone();
+        tall.hw = salo_scheduler::HardwareMeta::new(128, 8, 1, 1).unwrap();
+        let i1 = CycleModel::new(&config).pass_interval(64);
+        let i2 = CycleModel::new(&tall).pass_interval(64);
+        let base = bandwidth_report(&config, 64, i1);
+        let tall_r = bandwidth_report(&tall, 64, i2);
+        // Taller tiles emit more outputs per (shorter) interval.
+        assert!(tall_r.output_bpc > base.output_bpc);
+    }
+}

@@ -1,0 +1,131 @@
+//! On-chip buffer capacity analysis and DRAM traffic estimation.
+//!
+//! Table 1 sizes the buffers at 16 KB (Q) / 32 KB (K) / 32 KB (V) /
+//! 32 KB (out). With 8-bit inputs and `d = 64` that is 256 query vectors
+//! and 512 key/value vectors — deliberately matched to the Longformer
+//! window of 512. This module checks whether a workload's sliding working
+//! set fits those buffers and estimates the DRAM traffic per head:
+//! compulsory (each vector fetched once) when it fits, inflated by a
+//! thrash factor when it does not. `A^3`'s scalability problem (§2.2 —
+//! "stores the whole preprocessed key matrix on the SRAM buffer") is
+//! exactly the failure mode this quantifies.
+
+use salo_scheduler::ExecutionPlan;
+
+use crate::AcceleratorConfig;
+
+/// Result of sizing a plan against the on-chip buffers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferAnalysis {
+    /// Bytes of key/value working set per query tile
+    /// (window span + tile height vectors, 8-bit elements).
+    pub kv_working_set_bytes: usize,
+    /// Key buffer capacity in vectors of the analyzed dimension.
+    pub key_capacity_vectors: usize,
+    /// Whether the sliding working set fits the key/value buffers
+    /// (fetch-once streaming is then possible).
+    pub fits: bool,
+    /// Traffic inflation when the working set exceeds capacity
+    /// (`max(1, working_set/capacity)`).
+    pub reload_factor: f64,
+    /// Estimated DRAM bytes per head: Q + K/V (with reload) + outputs.
+    pub dram_bytes_per_head: u64,
+}
+
+impl BufferAnalysis {
+    /// Analyzes a plan for head dimension `d` against a configuration's
+    /// buffers.
+    #[must_use]
+    pub fn analyze(config: &AcceleratorConfig, plan: &ExecutionPlan, d: usize) -> Self {
+        let n = plan.n() as u64;
+        let d_u = d as u64;
+
+        // Sliding K/V working set: the widest per-tile key span across
+        // components (offset span + tile height).
+        let mut working_vectors = 0usize;
+        for comp in plan.components() {
+            let span = match (comp.offsets().first(), comp.offsets().last()) {
+                (Some(&lo), Some(&hi)) => (hi - lo) as usize + 1,
+                _ => 0,
+            };
+            working_vectors = working_vectors.max(span + config.hw.pe_rows);
+        }
+        let kv_working_set_bytes = working_vectors * d;
+
+        let key_capacity_vectors = (config.buffers.key_kb * 1024) / d.max(1);
+        let fits = working_vectors <= key_capacity_vectors;
+        let reload_factor = if fits || key_capacity_vectors == 0 {
+            1.0
+        } else {
+            working_vectors as f64 / key_capacity_vectors as f64
+        };
+
+        // Compulsory traffic: Q and K/V vectors once, outputs once (16-bit).
+        let q_bytes = n * d_u;
+        let kv_bytes = (2 * n * d_u) as f64 * reload_factor;
+        let out_bytes = n * d_u * 2;
+        Self {
+            kv_working_set_bytes,
+            key_capacity_vectors,
+            fits,
+            reload_factor,
+            dram_bytes_per_head: q_bytes + kv_bytes as u64 + out_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salo_patterns::{longformer, sliding_only};
+    use salo_scheduler::{ExecutionPlan, HardwareMeta};
+
+    fn plan_for(pattern: &salo_patterns::HybridPattern) -> ExecutionPlan {
+        ExecutionPlan::build(pattern, HardwareMeta::default()).unwrap()
+    }
+
+    #[test]
+    fn longformer_window_sized_to_buffers() {
+        // Table 1's 32 KB key buffer holds exactly 512 d=64 vectors; the
+        // Longformer working set (512 + 32) slightly exceeds it.
+        let config = AcceleratorConfig::default();
+        let plan = plan_for(&longformer(4096, 512, 1).unwrap());
+        let a = BufferAnalysis::analyze(&config, &plan, 64);
+        assert_eq!(a.key_capacity_vectors, 512);
+        assert_eq!(a.kv_working_set_bytes, (512 + 32) * 64);
+        assert!(!a.fits);
+        assert!(a.reload_factor < 1.1, "mild inflation {}", a.reload_factor);
+    }
+
+    #[test]
+    fn small_windows_fit_comfortably() {
+        let config = AcceleratorConfig::default();
+        let plan = plan_for(&sliding_only(2048, 128).unwrap());
+        let a = BufferAnalysis::analyze(&config, &plan, 64);
+        assert!(a.fits);
+        assert_eq!(a.reload_factor, 1.0);
+        // Compulsory-only: q + 2kv + 2out bytes.
+        assert_eq!(a.dram_bytes_per_head, 2048 * 64 * (1 + 2 + 2));
+    }
+
+    #[test]
+    fn dense_attention_thrashes() {
+        // A full window at n=4096 would need the whole K matrix resident:
+        // the A^3 scalability problem the paper cites.
+        let config = AcceleratorConfig::default();
+        let plan = plan_for(&sliding_only(2048, 4095).unwrap());
+        let a = BufferAnalysis::analyze(&config, &plan, 64);
+        assert!(!a.fits);
+        assert!(a.reload_factor > 8.0, "thrash factor {}", a.reload_factor);
+    }
+
+    #[test]
+    fn smaller_head_dim_raises_capacity() {
+        let config = AcceleratorConfig::default();
+        let plan = plan_for(&longformer(1024, 512, 1).unwrap());
+        let wide = BufferAnalysis::analyze(&config, &plan, 64);
+        let narrow = BufferAnalysis::analyze(&config, &plan, 32);
+        assert!(narrow.key_capacity_vectors > wide.key_capacity_vectors);
+        assert!(narrow.fits);
+    }
+}

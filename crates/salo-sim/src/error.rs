@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use salo_fixed::FixedError;
+use salo_kernels::KernelError;
+use salo_scheduler::SchedulerError;
+
+/// Errors from the accelerator simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Input matrices do not match the plan's sequence length.
+    ShapeMismatch {
+        /// Plan sequence length.
+        plan_n: usize,
+        /// Matrix shape provided.
+        got: (usize, usize),
+    },
+    /// Error from the fixed-point layer.
+    Fixed(FixedError),
+    /// Error from the kernel layer.
+    Kernel(KernelError),
+    /// Error from the scheduler layer.
+    Scheduler(SchedulerError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ShapeMismatch { plan_n, got } => {
+                write!(f, "plan expects {plan_n} rows, got {}x{}", got.0, got.1)
+            }
+            SimError::Fixed(e) => write!(f, "fixed-point error: {e}"),
+            SimError::Kernel(e) => write!(f, "kernel error: {e}"),
+            SimError::Scheduler(e) => write!(f, "scheduler error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Fixed(e) => Some(e),
+            SimError::Kernel(e) => Some(e),
+            SimError::Scheduler(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FixedError> for SimError {
+    fn from(e: FixedError) -> Self {
+        SimError::Fixed(e)
+    }
+}
+
+impl From<KernelError> for SimError {
+    fn from(e: KernelError) -> Self {
+        SimError::Kernel(e)
+    }
+}
+
+impl From<SchedulerError> for SimError {
+    fn from(e: SchedulerError) -> Self {
+        SimError::Scheduler(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = SimError::ShapeMismatch { plan_n: 8, got: (4, 2) };
+        assert!(e.to_string().contains("8"));
+        assert!(e.source().is_none());
+        let e: SimError = FixedError::EmptySoftmaxRow.into();
+        assert!(e.source().is_some());
+        let e: SimError = SchedulerError::EmptyPlan.into();
+        assert!(!e.to_string().is_empty());
+    }
+}

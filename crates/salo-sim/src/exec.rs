@@ -1,0 +1,577 @@
+//! Functional + timing execution of plans on the simulated accelerator.
+
+use salo_fixed::{
+    fixed_softmax_parts, merge_partials, qk_dot, quantize, quantize_with_scale, sv_mac,
+    ExpLut, Fix16x8, Fix8x4, MacSaturation, PartialRow, RecipUnit, PROB_ONE,
+};
+use salo_kernels::Matrix;
+use salo_scheduler::{ExecutionPlan, Pass, SupplementalKind};
+
+use crate::systolic::SystolicArray;
+use crate::{
+    AcceleratorConfig, CycleModel, EnergyModel, ExecutionReport, SimError, TimingReport,
+    TrafficReport, UtilizationReport,
+};
+
+/// The simulated SALO accelerator instance.
+///
+/// Construction builds the exponential and reciprocal lookup tables from
+/// the configuration; the instance is immutable and reusable across plans.
+#[derive(Debug, Clone)]
+pub struct SpatialAccelerator {
+    config: AcceleratorConfig,
+    exp: ExpLut,
+    recip: RecipUnit,
+}
+
+/// The result of a functional execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutput {
+    /// Attention output in the 16-bit accelerator format.
+    pub raw: Matrix<Fix16x8>,
+    /// The output dequantized to `f32`.
+    pub output: Matrix<f32>,
+    /// Final per-row softmax weights (Q.16) accumulated by the
+    /// weighted-sum modules.
+    pub weights_q16: Vec<i64>,
+    /// Timing, energy, utilization and saturation report.
+    pub report: ExecutionReport,
+}
+
+/// Quantized copies of one head's inputs.
+struct QuantizedInputs {
+    qq: Vec<Vec<Fix8x4>>,
+    kq: Vec<Vec<Fix8x4>>,
+    vq: Vec<Vec<Fix8x4>>,
+}
+
+impl SpatialAccelerator {
+    /// Builds an accelerator from a configuration.
+    #[must_use]
+    pub fn new(config: AcceleratorConfig) -> Self {
+        let exp = ExpLut::new(config.exp_segments.max(1));
+        let recip = RecipUnit::new(config.recip_entries.max(1));
+        Self { config, exp, recip }
+    }
+
+    /// The Table 1 instance.
+    #[must_use]
+    pub fn default_instance() -> Self {
+        Self::new(AcceleratorConfig::default())
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Timing-only estimate for executing `plan` with `num_heads` heads of
+    /// dimension `head_dim` (heads run back to back; the plan is per-head).
+    #[must_use]
+    pub fn estimate(&self, plan: &ExecutionPlan, head_dim: usize, num_heads: usize) -> TimingReport {
+        let stats = plan.stats();
+        let model = CycleModel::new(&self.config);
+        let cycles = model.plan_cycles(
+            stats.passes as u64,
+            stats.supplemental_passes as u64,
+            head_dim,
+            num_heads,
+        );
+        let time_s = cycles.total as f64 * self.config.cycle_time_s();
+        let busy = model.pe_busy_cycles(head_dim);
+        let array_cycle_slots = self.config.hw.array_pes() as u64 * cycles.per_head.max(1);
+        let mac_utilization = (stats.active_cells * busy) as f64 / array_cycle_slots as f64;
+        TimingReport {
+            cycles,
+            time_s,
+            energy_j: EnergyModel::new(&self.config).lumped_energy_j(cycles.total),
+            utilization: UtilizationReport {
+                occupancy: stats.occupancy,
+                mac_utilization: mac_utilization.min(1.0),
+            },
+            traffic: TrafficReport::from_plan(plan, head_dim),
+        }
+    }
+
+    /// Functionally executes one head: quantizes the inputs, runs every
+    /// pass through the five-stage fixed-point datapath, merges window
+    /// splits and global contributions in the weighted-sum modules, and
+    /// returns 16-bit outputs with a full report.
+    ///
+    /// `scale` is folded into the query quantization; pass
+    /// `1/sqrt(head_dim)` for standard attention (see
+    /// [`default_scale`](Self::default_scale)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ShapeMismatch`] if the matrices disagree with
+    /// the plan, or a fixed-point error on numeric degeneracy.
+    pub fn execute(
+        &self,
+        plan: &ExecutionPlan,
+        q: &Matrix<f32>,
+        k: &Matrix<f32>,
+        v: &Matrix<f32>,
+        scale: f32,
+    ) -> Result<ExecutionOutput, SimError> {
+        self.execute_inner(plan, q, k, v, scale, false)
+    }
+
+    /// Like [`execute`](Self::execute), but steps every array pass through
+    /// the event-accurate [`SystolicArray`] (explicit systolic skew,
+    /// rippled row sums) instead of the vectorized datapath.
+    ///
+    /// The two paths are **bit-identical** — asserted in tests — because
+    /// they perform the same fixed-point operations in the same order;
+    /// this method exists to validate that claim and costs roughly an
+    /// order of magnitude more host time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`execute`](Self::execute).
+    pub fn execute_systolic(
+        &self,
+        plan: &ExecutionPlan,
+        q: &Matrix<f32>,
+        k: &Matrix<f32>,
+        v: &Matrix<f32>,
+        scale: f32,
+    ) -> Result<ExecutionOutput, SimError> {
+        self.execute_inner(plan, q, k, v, scale, true)
+    }
+
+    fn execute_inner(
+        &self,
+        plan: &ExecutionPlan,
+        q: &Matrix<f32>,
+        k: &Matrix<f32>,
+        v: &Matrix<f32>,
+        scale: f32,
+        event_accurate: bool,
+    ) -> Result<ExecutionOutput, SimError> {
+        let n = plan.n();
+        for m in [q, k, v] {
+            if m.rows() != n || m.shape() != q.shape() {
+                return Err(SimError::ShapeMismatch { plan_n: n, got: m.shape() });
+            }
+        }
+        let d = q.cols();
+
+        // Load-time quantization (scale folded into Q).
+        let inputs = QuantizedInputs {
+            qq: (0..n).map(|i| quantize_with_scale(q.row(i), scale)).collect(),
+            kq: (0..n).map(|i| quantize(k.row(i))).collect(),
+            vq: (0..n).map(|i| quantize(v.row(i))).collect(),
+        };
+
+        let mut acc: Vec<PartialRow> = (0..n).map(|_| PartialRow::empty(d)).collect();
+        let mut sat = MacSaturation::default();
+
+        for pass in plan.passes() {
+            if event_accurate {
+                self.array_pass_systolic(plan, pass, &inputs, d, &mut acc, &mut sat)?;
+            } else {
+                self.array_pass_vectorized(plan, pass, &inputs, d, &mut acc, &mut sat)?;
+            }
+            self.global_duties(plan, pass, &inputs, d, &mut acc, &mut sat)?;
+        }
+
+        // Supplemental global-unit passes.
+        for sup in plan.supplemental() {
+            match sup.kind {
+                SupplementalKind::GlobalRow { token, start, end } => {
+                    let keys: Vec<usize> = (start..end).collect();
+                    let part = self.row_part(&inputs.qq[token], &keys, &inputs, d, &mut sat)?;
+                    acc[token] = merge_partials(&acc[token], &part, &self.recip)?;
+                }
+                SupplementalKind::GlobalCol { token, start, end } => {
+                    for qi in start..end {
+                        let part = self.single_key_part(&inputs.qq[qi], token, &inputs, d, &mut sat);
+                        acc[qi] = merge_partials(&acc[qi], &part, &self.recip)?;
+                    }
+                }
+            }
+        }
+
+        // Drain the weighted-sum modules into the output buffer.
+        let mut raw = Matrix::filled(n, d, Fix16x8::ZERO);
+        let mut weights = vec![0i64; n];
+        for (i, part) in acc.iter().enumerate() {
+            weights[i] = part.weight_q16;
+            for (c, &o) in part.out_q19.iter().enumerate() {
+                raw.set(i, c, Fix16x8::from_q19_acc(o));
+            }
+        }
+
+        let timing = self.estimate(plan, d, 1);
+        let stats = plan.stats();
+        let scores = stats.active_cells + stats.global_col_scores + stats.global_row_scores;
+        let macs = scores * (2 * d as u64 + 3);
+        let lut_evals = scores + stats.passes as u64 * self.config.hw.pe_rows as u64;
+        let energy = EnergyModel::new(&self.config).breakdown(
+            timing.cycles.total,
+            macs,
+            timing.traffic.total_bytes(),
+            lut_evals,
+        );
+        let output = raw.map(Fix16x8::to_f32);
+        Ok(ExecutionOutput {
+            raw,
+            output,
+            weights_q16: weights,
+            report: ExecutionReport { timing, energy, saturation_events: sat.events },
+        })
+    }
+
+    /// One array pass via the vectorized datapath.
+    fn array_pass_vectorized(
+        &self,
+        plan: &ExecutionPlan,
+        pass: &Pass,
+        inputs: &QuantizedInputs,
+        d: usize,
+        acc: &mut [PartialRow],
+        sat: &mut MacSaturation,
+    ) -> Result<(), SimError> {
+        let comp = &plan.components()[pass.component];
+        let chunk = &comp.offsets()[pass.chunk_start..pass.chunk_start + pass.chunk_len];
+        for u in 0..pass.tile_len {
+            let p = pass.tile_start + u;
+            let qi = comp.queries()[p];
+            if plan.is_global(qi) {
+                continue;
+            }
+            let mut keys = Vec::with_capacity(chunk.len());
+            for &o in chunk {
+                if let Some(kj) = comp.key_at(p, o) {
+                    if !plan.is_global(kj) {
+                        keys.push(kj);
+                    }
+                }
+            }
+            if keys.is_empty() {
+                continue;
+            }
+            let part = self.row_part(&inputs.qq[qi], &keys, inputs, d, sat)?;
+            acc[qi] = merge_partials(&acc[qi], &part, &self.recip)?;
+        }
+        Ok(())
+    }
+
+    /// One array pass via the event-accurate systolic model.
+    fn array_pass_systolic(
+        &self,
+        plan: &ExecutionPlan,
+        pass: &Pass,
+        inputs: &QuantizedInputs,
+        d: usize,
+        acc: &mut [PartialRow],
+        sat: &mut MacSaturation,
+    ) -> Result<(), SimError> {
+        let comp = &plan.components()[pass.component];
+        let chunk = &comp.offsets()[pass.chunk_start..pass.chunk_start + pass.chunk_len];
+        let hw = self.config.hw;
+        let array = SystolicArray::new(hw.pe_rows, hw.pe_cols, self.config.timing);
+
+        // Resolve each cell's key index once (None = clipped/masked).
+        let mut cell_keys = vec![None; pass.tile_len * hw.pe_cols];
+        let mut row_query = vec![None; pass.tile_len];
+        for u in 0..pass.tile_len {
+            let p = pass.tile_start + u;
+            let qi = comp.queries()[p];
+            if plan.is_global(qi) {
+                continue;
+            }
+            row_query[u] = Some(qi);
+            for (vv, &o) in chunk.iter().enumerate() {
+                if let Some(kj) = comp.key_at(p, o) {
+                    if !plan.is_global(kj) {
+                        cell_keys[u * hw.pe_cols + vv] = Some(kj);
+                    }
+                }
+            }
+        }
+        let queries: Vec<Option<&[Fix8x4]>> = row_query
+            .iter()
+            .map(|qi| qi.map(|qi| inputs.qq[qi].as_slice()))
+            .collect();
+        let key_of = |u: usize, vv: usize| {
+            cell_keys
+                .get(u * hw.pe_cols + vv)
+                .copied()
+                .flatten()
+                .map(|kj| inputs.kq[kj].as_slice())
+        };
+        let val_of = |u: usize, vv: usize| {
+            cell_keys
+                .get(u * hw.pe_cols + vv)
+                .copied()
+                .flatten()
+                .map(|kj| inputs.vq[kj].as_slice())
+        };
+        let (parts, _trace) =
+            array.run_pass(d, &queries, key_of, val_of, &self.exp, &self.recip, sat);
+        for (u, part) in parts.into_iter().enumerate() {
+            let (Some(qi), Some(part)) = (row_query.get(u).copied().flatten(), part) else {
+                continue;
+            };
+            acc[qi] = merge_partials(&acc[qi], &part, &self.recip)?;
+        }
+        Ok(())
+    }
+
+    /// Global PE row/column duties of one pass.
+    fn global_duties(
+        &self,
+        _plan: &ExecutionPlan,
+        pass: &Pass,
+        inputs: &QuantizedInputs,
+        d: usize,
+        acc: &mut [PartialRow],
+        sat: &mut MacSaturation,
+    ) -> Result<(), SimError> {
+        // Global PE column: tile queries against one global token's key.
+        for duty in &pass.global_col {
+            let g = duty.token;
+            for &qi in &duty.fresh_queries {
+                let qi = qi as usize;
+                let part = self.single_key_part(&inputs.qq[qi], g, inputs, d, sat);
+                acc[qi] = merge_partials(&acc[qi], &part, &self.recip)?;
+            }
+        }
+        // Global PE row: one global token's query against streamed keys.
+        for duty in &pass.global_row {
+            let g = duty.token;
+            let keys: Vec<usize> = duty.fresh_keys.iter().map(|&kj| kj as usize).collect();
+            if keys.is_empty() {
+                continue;
+            }
+            let part = self.row_part(&inputs.qq[g], &keys, inputs, d, sat)?;
+            acc[g] = merge_partials(&acc[g], &part, &self.recip)?;
+        }
+        Ok(())
+    }
+
+    /// The standard attention scale for a head dimension.
+    #[must_use]
+    pub fn default_scale(head_dim: usize) -> f32 {
+        1.0 / (head_dim.max(1) as f32).sqrt()
+    }
+
+    /// Stages 1-5 for one PE row over an explicit key list.
+    fn row_part(
+        &self,
+        q_row: &[Fix8x4],
+        keys: &[usize],
+        inputs: &QuantizedInputs,
+        d: usize,
+        sat: &mut MacSaturation,
+    ) -> Result<PartialRow, SimError> {
+        // Stage 1: output-stationary dot products.
+        let scores: Vec<i32> =
+            keys.iter().map(|&j| qk_dot(q_row, &inputs.kq[j], sat)).collect();
+        // Stages 2-4: exp, row sum, reciprocal, normalize.
+        let (probs, weight, _) = fixed_softmax_parts(&scores, &self.exp, &self.recip)?;
+        // Stage 5: weight-stationary value accumulation.
+        let mut out = vec![0i64; d];
+        for (&j, &p) in keys.iter().zip(&probs) {
+            for (o, &ve) in out.iter_mut().zip(&inputs.vq[j]) {
+                *o = sv_mac(*o, p, ve, sat);
+            }
+        }
+        Ok(PartialRow { weight_q16: weight, out_q19: out })
+    }
+
+    /// A single-key part (global PE column cell): weight `exp(s)`, output
+    /// `v_g` at probability one.
+    fn single_key_part(
+        &self,
+        q_row: &[Fix8x4],
+        g: usize,
+        inputs: &QuantizedInputs,
+        d: usize,
+        sat: &mut MacSaturation,
+    ) -> PartialRow {
+        let score = qk_dot(q_row, &inputs.kq[g], sat);
+        let weight = self.exp.eval_q8(score);
+        let mut out = vec![0i64; d];
+        for (o, &ve) in out.iter_mut().zip(&inputs.vq[g]) {
+            *o = sv_mac(*o, PROB_ONE, ve, sat);
+        }
+        PartialRow { weight_q16: weight, out_q19: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salo_kernels::{
+        fixed_sparse_attention, sparse_attention, FixedAttention, Qkv,
+    };
+    use salo_patterns::{longformer, sliding_only, sparse_transformer, HybridPattern, Window};
+    use salo_scheduler::HardwareMeta;
+
+    fn accel(rows: usize, cols: usize) -> SpatialAccelerator {
+        let mut config = AcceleratorConfig::default();
+        config.hw = HardwareMeta::new(rows, cols, 1, 1).unwrap();
+        SpatialAccelerator::new(config)
+    }
+
+    #[test]
+    fn bit_exact_against_golden_when_unsplit() {
+        // No globals, window fits one chunk, tile holds each row once:
+        // every row is one part, so simulator == golden kernel, bit for bit.
+        let n = 24;
+        let d = 8;
+        let pattern = sliding_only(n, 7).unwrap();
+        let qkv = Qkv::random(n, d, 42);
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::new(8, 8, 0, 0).unwrap()).unwrap();
+        let sim = accel(8, 8);
+        let scale = SpatialAccelerator::default_scale(d);
+        let out = sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, scale).unwrap();
+        let golden =
+            fixed_sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, &FixedAttention::new(d))
+                .unwrap();
+        assert_eq!(out.raw, golden.out, "bit-exact equivalence");
+        assert_eq!(out.weights_q16, golden.weights_q16);
+    }
+
+    #[test]
+    fn systolic_execution_bit_matches_vectorized() {
+        // The event-stepped systolic path and the vectorized path perform
+        // identical fixed-point operations in identical order.
+        let n = 40;
+        let d = 8;
+        let pattern = longformer(n, 11, 2).unwrap();
+        let qkv = Qkv::random(n, d, 77);
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::new(8, 8, 1, 1).unwrap()).unwrap();
+        let sim = accel(8, 8);
+        let scale = SpatialAccelerator::default_scale(d);
+        let fast = sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, scale).unwrap();
+        let slow = sim.execute_systolic(&plan, &qkv.q, &qkv.k, &qkv.v, scale).unwrap();
+        assert_eq!(fast.raw, slow.raw, "bit-identical outputs");
+        assert_eq!(fast.weights_q16, slow.weights_q16);
+        assert_eq!(fast.report.saturation_events, slow.report.saturation_events);
+    }
+
+    #[test]
+    fn close_to_golden_under_window_splitting() {
+        // Window wider than the array: rows split into parts and merge in
+        // the WSM; agreement is within merge rounding.
+        let n = 40;
+        let d = 8;
+        let pattern = sliding_only(n, 21).unwrap();
+        let qkv = Qkv::random(n, d, 7);
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::new(8, 8, 0, 0).unwrap()).unwrap();
+        let sim = accel(8, 8);
+        let scale = SpatialAccelerator::default_scale(d);
+        let out = sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, scale).unwrap();
+        let golden =
+            fixed_sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, &FixedAttention::new(d))
+                .unwrap();
+        let diff = out.output.max_abs_diff(&golden.to_f32());
+        assert!(diff < 0.05, "split-vs-monolithic diff {diff}");
+    }
+
+    #[test]
+    fn matches_f32_reference_with_globals() {
+        let n = 32;
+        let d = 8;
+        let pattern = longformer(n, 9, 2).unwrap();
+        let qkv = Qkv::random(n, d, 11);
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::new(8, 8, 1, 1).unwrap()).unwrap();
+        let sim = accel(8, 8);
+        let scale = SpatialAccelerator::default_scale(d);
+        let out = sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, scale).unwrap();
+        let exact = sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, scale).unwrap();
+        let diff = out.output.max_abs_diff(&exact);
+        assert!(diff < 0.3, "diff vs f32 reference {diff}");
+        assert_eq!(out.report.saturation_events, 0);
+    }
+
+    #[test]
+    fn dilated_pattern_executes_correctly() {
+        let n = 36;
+        let d = 4;
+        let pattern = HybridPattern::builder(n)
+            .window(Window::dilated(-9, 9, 3).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        let qkv = Qkv::random(n, d, 23);
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::new(4, 4, 1, 1).unwrap()).unwrap();
+        let sim = accel(4, 4);
+        let scale = SpatialAccelerator::default_scale(d);
+        let out = sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, scale).unwrap();
+        let exact = sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, scale).unwrap();
+        assert!(out.output.max_abs_diff(&exact) < 0.3);
+    }
+
+    #[test]
+    fn strided_preset_end_to_end() {
+        let n = 30;
+        let d = 6;
+        let pattern = sparse_transformer(n, 3, 4).unwrap();
+        let qkv = Qkv::random(n, d, 5);
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::new(6, 6, 1, 1).unwrap()).unwrap();
+        let sim = accel(6, 6);
+        let scale = SpatialAccelerator::default_scale(d);
+        let out = sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, scale).unwrap();
+        let exact = sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, scale).unwrap();
+        assert!(out.output.max_abs_diff(&exact) < 0.3);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let pattern = sliding_only(16, 3).unwrap();
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::new(4, 4, 0, 0).unwrap()).unwrap();
+        let sim = accel(4, 4);
+        let good = Matrix::zeros(16, 4);
+        let bad = Matrix::zeros(12, 4);
+        assert!(matches!(
+            sim.execute(&plan, &bad, &good, &good, 1.0),
+            Err(SimError::ShapeMismatch { plan_n: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_reports_consistent_figures() {
+        let pattern = longformer(256, 32, 1).unwrap();
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::default()).unwrap();
+        let sim = SpatialAccelerator::default_instance();
+        let t = sim.estimate(&plan, 64, 12);
+        assert!(t.cycles.total > 0);
+        assert!((t.time_s - t.cycles.total as f64 * 1e-9).abs() < 1e-15);
+        assert!(t.utilization.occupancy > 0.0 && t.utilization.occupancy <= 1.0);
+        assert!(t.utilization.mac_utilization > 0.0 && t.utilization.mac_utilization <= 1.0);
+        assert!(t.energy_j > 0.0);
+        // 12 heads = 12x one head.
+        let one = sim.estimate(&plan, 64, 1);
+        assert_eq!(t.cycles.total, 12 * one.cycles.per_head);
+    }
+
+    #[test]
+    fn longformer_mac_utilization_above_paper_threshold() {
+        // The §6.3 claim: >75 % utilization on hybrid patterns (d = 64).
+        let pattern = longformer(2048, 256, 1).unwrap();
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::default()).unwrap();
+        let sim = SpatialAccelerator::default_instance();
+        let t = sim.estimate(&plan, 64, 1);
+        assert!(
+            t.utilization.mac_utilization > 0.75,
+            "utilization {}",
+            t.utilization.mac_utilization
+        );
+    }
+
+    #[test]
+    fn weights_zero_only_for_uncovered_rows() {
+        let pattern = sliding_only(16, 5).unwrap();
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::new(4, 4, 0, 0).unwrap()).unwrap();
+        let sim = accel(4, 4);
+        let qkv = Qkv::random(16, 4, 3);
+        let out = sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, 0.5).unwrap();
+        assert!(out.weights_q16.iter().all(|&w| w > 0));
+    }
+}

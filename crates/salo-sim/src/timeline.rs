@@ -1,0 +1,172 @@
+//! Execution timelines: when each pass occupies the array.
+//!
+//! The cycle model says how long a plan takes; the timeline says *what the
+//! array is doing when* — which component, tile and chunk each initiation
+//! interval belongs to, and where the global units are busy. Used for
+//! debugging schedules and by examples to show the machine at work.
+
+use salo_scheduler::ExecutionPlan;
+
+use crate::{AcceleratorConfig, CycleModel};
+
+/// One scheduled pass occurrence on the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassSlot {
+    /// Pass index in plan order.
+    pub index: usize,
+    /// First cycle of this pass's initiation interval.
+    pub start_cycle: u64,
+    /// One past the last cycle.
+    pub end_cycle: u64,
+    /// Component executed.
+    pub component: usize,
+    /// Query-tile start (virtual index).
+    pub tile_start: usize,
+    /// Offset-chunk start.
+    pub chunk_start: usize,
+    /// Active score cells in this pass.
+    pub active_cells: u64,
+    /// Whether a global PE row duty runs alongside.
+    pub global_row_busy: bool,
+    /// Whether a global PE column duty runs alongside.
+    pub global_col_busy: bool,
+}
+
+/// A whole-plan timeline for one head.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    slots: Vec<PassSlot>,
+    interval: u64,
+    fill_drain: u64,
+}
+
+impl Timeline {
+    /// Builds the timeline of `plan` on `config` for head dimension `d`.
+    #[must_use]
+    pub fn from_plan(plan: &ExecutionPlan, config: &AcceleratorConfig, d: usize) -> Self {
+        let model = CycleModel::new(config);
+        let interval = model.pass_interval(d);
+        let fill_drain = if config.pipelined { 2 * (config.hw.pe_rows + config.hw.pe_cols - 2) as u64 } else { 0 };
+        let mut slots = Vec::with_capacity(plan.passes().len());
+        let mut cursor = fill_drain / 2; // fill before the first interval
+        for (index, pass) in plan.passes().iter().enumerate() {
+            slots.push(PassSlot {
+                index,
+                start_cycle: cursor,
+                end_cycle: cursor + interval,
+                component: pass.component,
+                tile_start: pass.tile_start,
+                chunk_start: pass.chunk_start,
+                active_cells: plan.pass_active_cells(pass),
+                global_row_busy: !pass.global_row.is_empty(),
+                global_col_busy: !pass.global_col.is_empty(),
+            });
+            cursor += interval;
+        }
+        Self { slots, interval, fill_drain }
+    }
+
+    /// The scheduled slots, in time order.
+    #[must_use]
+    pub fn slots(&self) -> &[PassSlot] {
+        &self.slots
+    }
+
+    /// The steady-state initiation interval (cycles).
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Total cycles including pipeline fill/drain — matches the cycle
+    /// model's per-head figure (zero for a plan with no array passes).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        match self.slots.last() {
+            Some(s) => s.end_cycle + self.fill_drain / 2 + self.fill_drain % 2,
+            None => 0,
+        }
+    }
+
+    /// A compact text rendering: one line per slot (capped), showing the
+    /// cycle range, component/tile/chunk and global-unit occupancy.
+    #[must_use]
+    pub fn render_text(&self, max_slots: usize) -> String {
+        let mut out = String::new();
+        for slot in self.slots.iter().take(max_slots) {
+            out.push_str(&format!(
+                "[{:>8}..{:>8}) c{} tile {:>5} chunk {:>4} cells {:>5}{}{}\n",
+                slot.start_cycle,
+                slot.end_cycle,
+                slot.component,
+                slot.tile_start,
+                slot.chunk_start,
+                slot.active_cells,
+                if slot.global_row_busy { " +grow" } else { "" },
+                if slot.global_col_busy { " +gcol" } else { "" },
+            ));
+        }
+        if self.slots.len() > max_slots {
+            out.push_str(&format!("... {} more passes\n", self.slots.len() - max_slots));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salo_patterns::longformer;
+    use salo_scheduler::{ExecutionPlan, HardwareMeta};
+
+    fn timeline() -> (Timeline, ExecutionPlan, AcceleratorConfig) {
+        let pattern = longformer(256, 32, 1).unwrap();
+        let config = AcceleratorConfig::default();
+        let plan = ExecutionPlan::build(&pattern, config.hw).unwrap();
+        (Timeline::from_plan(&plan, &config, 64), plan, config)
+    }
+
+    #[test]
+    fn slots_are_contiguous_and_ordered() {
+        let (t, plan, _) = timeline();
+        assert_eq!(t.slots().len(), plan.passes().len());
+        for pair in t.slots().windows(2) {
+            assert_eq!(pair[0].end_cycle, pair[1].start_cycle);
+        }
+        assert_eq!(t.interval(), 168); // 2*64 + 2 + 32 + 4 + 1 + 1
+    }
+
+    #[test]
+    fn total_matches_cycle_model() {
+        let (t, plan, config) = timeline();
+        let model = CycleModel::new(&config);
+        let stats = plan.stats();
+        let expect = model.plan_cycles(stats.passes as u64, 0, 64, 1).per_head;
+        assert_eq!(t.total_cycles(), expect);
+    }
+
+    #[test]
+    fn global_duties_visible() {
+        let (t, _, _) = timeline();
+        assert!(t.slots().iter().any(|s| s.global_row_busy));
+        assert!(t.slots().iter().any(|s| s.global_col_busy));
+    }
+
+    #[test]
+    fn render_caps_output() {
+        let (t, _, _) = timeline();
+        let text = t.render_text(5);
+        assert_eq!(text.lines().count(), 6, "5 slots + continuation line");
+        assert!(text.contains("more passes"));
+    }
+
+    #[test]
+    fn empty_plan_timeline() {
+        use salo_patterns::HybridPattern;
+        let pattern = HybridPattern::builder(64).global_token(0).build().unwrap();
+        let config = AcceleratorConfig::default();
+        let plan = ExecutionPlan::build(&pattern, config.hw).unwrap();
+        let t = Timeline::from_plan(&plan, &config, 64);
+        assert!(t.slots().is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Buffer traffic accounting: the data-reuse claim of §4.1, quantified.
+//!
+//! SALO's diagonal connections let a key/value vector entering the array
+//! serve up to `#row` successive queries; without them every PE row would
+//! load its own copy from the key/value buffers. This module derives both
+//! figures from an execution plan so the ablation bench can report the
+//! reuse factor.
+
+use salo_scheduler::ExecutionPlan;
+
+/// Byte traffic between buffers and the PE array for one head.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrafficReport {
+    /// Key+value bytes streamed with the diagonal-reuse dataflow.
+    pub kv_bytes_diagonal: u64,
+    /// Key+value bytes a reuse-free dataflow would load (one copy per
+    /// active cell).
+    pub kv_bytes_naive: u64,
+    /// Query bytes loaded (one row per tile row per pass).
+    pub q_bytes: u64,
+    /// Output bytes written (16-bit elements, once per query row).
+    pub out_bytes: u64,
+}
+
+impl TrafficReport {
+    /// Derives traffic for head dimension `d` from a plan.
+    ///
+    /// Inputs are 8-bit (1 byte/element), outputs 16-bit.
+    #[must_use]
+    pub fn from_plan(plan: &ExecutionPlan, d: usize) -> Self {
+        let stats = plan.stats();
+        let d = d as u64;
+        // Each streamed key vector brings its value vector along (k and v
+        // share the diagonal path, Fig. 5).
+        let kv_diag = stats.streamed_keys * d * 2;
+        let kv_naive = stats.naive_key_loads * d * 2;
+        let q_loads: u64 = plan.passes().iter().map(|p| p.tile_len as u64).sum();
+        let out_rows = plan.n() as u64;
+        Self {
+            kv_bytes_diagonal: kv_diag,
+            kv_bytes_naive: kv_naive,
+            q_bytes: q_loads * d,
+            out_bytes: out_rows * d * 2,
+        }
+    }
+
+    /// The reuse factor: naive loads over diagonal loads.
+    #[must_use]
+    pub fn reuse_factor(&self) -> f64 {
+        if self.kv_bytes_diagonal == 0 {
+            return 1.0;
+        }
+        self.kv_bytes_naive as f64 / self.kv_bytes_diagonal as f64
+    }
+
+    /// Total bytes moved with the diagonal dataflow.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.kv_bytes_diagonal + self.q_bytes + self.out_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salo_patterns::sliding_only;
+    use salo_scheduler::HardwareMeta;
+
+    #[test]
+    fn reuse_factor_substantial_for_sliding_windows() {
+        let p = sliding_only(512, 64).unwrap();
+        let plan = ExecutionPlan::build(&p, HardwareMeta::default()).unwrap();
+        let t = TrafficReport::from_plan(&plan, 64);
+        // With a 32-row array, each streamed vector serves up to 32 rows.
+        assert!(t.reuse_factor() > 8.0, "reuse {}", t.reuse_factor());
+        assert!(t.reuse_factor() <= 32.0 + 1e-9);
+        assert!(t.total_bytes() > 0);
+        assert_eq!(t.out_bytes, 512 * 64 * 2);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let t = TrafficReport::default();
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.reuse_factor(), 1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! The Fig. 2 pattern gallery: renders the surveyed sparse attention
+//! mechanisms as ASCII and prints their statistics.
+//!
+//! Run with: `cargo run --release --example pattern_explorer`
+
+use salo::patterns::{
+    grid_2d, longformer, render_ascii, sparse_transformer, star_transformer, RenderOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = RenderOptions { max_cells: 32, ..RenderOptions::default() };
+    let gallery = [
+        ("Longformer (Fig. 2a): sliding window + global token", longformer(64, 12, 1)?),
+        ("Star Transformer (Fig. 2b): trigram window + relay", star_transformer(64)?),
+        (
+            "Sparse Transformer (Fig. 2c): causal local + strided columns",
+            sparse_transformer(64, 8, 6)?,
+        ),
+        ("ViL: 2-D window on an 8x8 grid, flattened", grid_2d(8, 8, 3, 3, 1)?),
+    ];
+    for (title, pattern) in gallery {
+        let s = pattern.stats();
+        println!("{title}");
+        println!(
+            "  n={} windows={} globals={} nnz={} density={:.3}",
+            s.n, s.num_windows, s.num_globals, s.nnz, s.density
+        );
+        println!("{}", indent(&render_ascii(&pattern, opts)));
+    }
+    Ok(())
+}
+
+fn indent(block: &str) -> String {
+    block.lines().map(|l| format!("  {l}\n")).collect()
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a hybrid sparse attention pattern, compile it for the
+//! SALO accelerator, execute it, and check the result against the exact
+//! `f32` reference.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use salo::core::Salo;
+use salo::kernels::{sparse_attention, Qkv};
+use salo::patterns::{AttentionShape, HybridPattern, Window};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A Longformer-style pattern: sliding window of 64 plus one global
+    //    token, over a 512-token sequence.
+    let pattern = HybridPattern::builder(512)
+        .window(Window::symmetric(64)?)
+        .global_token(0)
+        .build()?;
+    let stats = pattern.stats();
+    println!(
+        "pattern: n={} nnz={} density={:.4} ({}x compression vs dense)",
+        pattern.n(),
+        stats.nnz,
+        stats.density,
+        stats.compression() as u64
+    );
+
+    // 2. Compile for the default (Table 1) accelerator instance.
+    let salo = Salo::default_config();
+    let shape = AttentionShape::new(512, 64, 1)?;
+    let compiled = salo.compile(&pattern, &shape)?;
+    println!(
+        "plan: {} passes, occupancy {:.1}%",
+        compiled.stats.passes,
+        compiled.stats.occupancy * 100.0
+    );
+
+    // 3. Execute one head functionally (bit-accurate fixed point).
+    let head = Qkv::random(512, 64, 42);
+    let out = salo.execute_head(&compiled, &head)?;
+    let timing = &out.report.timing;
+    println!(
+        "executed: {} cycles = {:.3} us @ 1 GHz, utilization {:.1}%, energy {:.3} uJ",
+        timing.cycles.total,
+        timing.time_s * 1e6,
+        timing.utilization.mac_utilization * 100.0,
+        timing.energy_j * 1e6
+    );
+
+    // 4. Compare with the exact f32 reference.
+    let scale = 1.0 / (64f32).sqrt();
+    let reference = sparse_attention(&pattern, &head.q, &head.k, &head.v, scale)?;
+    let diff = out.output.max_abs_diff(&reference);
+    println!("max |fixed - f32| = {diff:.4} (quantization error only)");
+    assert!(diff < 0.3, "fixed-point output should track the reference");
+    println!("ok");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! # SALO — hybrid sparse attention acceleration, reproduced in Rust
+//!
+//! This crate is the façade of a from-scratch reproduction of
+//! *SALO: An Efficient Spatial Accelerator Enabling Hybrid Sparse Attention
+//! Mechanisms for Long Sequences* (DAC 2022). It re-exports the workspace
+//! sub-crates:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`patterns`] | hybrid sparse attention patterns (windows + globals) |
+//! | [`fixed`] | the accelerator's fixed-point arithmetic |
+//! | [`kernels`] | dense/sparse reference attention kernels |
+//! | [`scheduler`] | the data scheduler (splitting, reordering, Eq. 2 merge) |
+//! | [`sim`] | the cycle-level spatial accelerator simulator |
+//! | [`baselines`] | CPU / GPU / Sanger performance and energy models |
+//! | [`models`] | Longformer / ViL / BERT workload configurations |
+//! | [`quant`] | the quantization accuracy study (Table 3) |
+//! | [`core`] | the top-level `Salo` API tying everything together |
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use salo::core::Salo;
+//! use salo::patterns::{longformer, AttentionShape};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pattern = longformer(256, 32, 1)?;
+//! let shape = AttentionShape::new(256, 16, 1)?;
+//! let salo = Salo::default_config();
+//! let plan = salo.compile(&pattern, &shape)?;
+//! let report = salo.estimate(&plan);
+//! assert!(report.cycles.total > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+/// Hybrid sparse attention patterns. See [`salo_patterns`].
+pub mod patterns {
+    pub use salo_patterns::*;
+}
+
+/// Fixed-point arithmetic. See [`salo_fixed`].
+pub mod fixed {
+    pub use salo_fixed::*;
+}
+
+/// Reference attention kernels. See [`salo_kernels`].
+pub mod kernels {
+    pub use salo_kernels::*;
+}
+
+/// The data scheduler. See [`salo_scheduler`].
+pub mod scheduler {
+    pub use salo_scheduler::*;
+}
+
+/// The spatial accelerator simulator. See [`salo_sim`].
+pub mod sim {
+    pub use salo_sim::*;
+}
+
+/// Baseline device models. See [`salo_baselines`].
+pub mod baselines {
+    pub use salo_baselines::*;
+}
+
+/// Workload model configurations. See [`salo_models`].
+pub mod models {
+    pub use salo_models::*;
+}
+
+/// Quantization accuracy experiments. See [`salo_quant`].
+pub mod quant {
+    pub use salo_quant::*;
+}
+
+/// The top-level accelerator API. See [`salo_core`].
+pub mod core {
+    pub use salo_core::*;
+}

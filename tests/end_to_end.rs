@@ -1,0 +1,121 @@
+//! End-to-end integration: pattern -> scheduler -> simulator vs the exact
+//! reference kernels, across every preset pattern family.
+
+use salo::core::Salo;
+use salo::kernels::{multi_head_attention, sparse_attention, Qkv};
+use salo::patterns::{
+    grid_2d, longformer, sparse_transformer, star_transformer, AttentionShape, HybridPattern,
+    Window,
+};
+use salo::scheduler::HardwareMeta;
+use salo::sim::AcceleratorConfig;
+
+fn small_salo() -> Salo {
+    let mut config = AcceleratorConfig::default();
+    config.hw = HardwareMeta::new(8, 8, 1, 1).unwrap();
+    Salo::new(config)
+}
+
+fn check_pattern(pattern: &HybridPattern, d: usize, seed: u64, tolerance: f32) {
+    let salo = small_salo();
+    let shape = AttentionShape::new(pattern.n(), d, 1).unwrap();
+    let compiled = salo.compile(pattern, &shape).expect("compile");
+    let head = Qkv::random(pattern.n(), d, seed);
+    let out = salo.execute_head(&compiled, &head).expect("execute");
+    let scale = 1.0 / (d as f32).sqrt();
+    let exact = sparse_attention(pattern, &head.q, &head.k, &head.v, scale).expect("reference");
+    let diff = out.output.max_abs_diff(&exact);
+    assert!(diff < tolerance, "diff {diff} over tolerance {tolerance}");
+    assert_eq!(out.report.saturation_events, 0, "no saturation on unit-normal inputs");
+}
+
+#[test]
+fn longformer_preset_end_to_end() {
+    check_pattern(&longformer(96, 16, 1).unwrap(), 16, 11, 0.35);
+}
+
+#[test]
+fn star_transformer_preset_end_to_end() {
+    check_pattern(&star_transformer(80).unwrap(), 8, 12, 0.35);
+}
+
+#[test]
+fn sparse_transformer_preset_end_to_end() {
+    check_pattern(&sparse_transformer(72, 6, 5).unwrap(), 8, 13, 0.35);
+}
+
+#[test]
+fn vil_grid_preset_end_to_end() {
+    check_pattern(&grid_2d(10, 10, 3, 3, 1).unwrap(), 8, 14, 0.35);
+}
+
+#[test]
+fn dilated_plus_global_end_to_end() {
+    let p = HybridPattern::builder(64)
+        .window(Window::dilated(-16, 16, 4).unwrap())
+        .window(Window::symmetric(5).unwrap())
+        .global_tokens([0, 31])
+        .build()
+        .unwrap();
+    check_pattern(&p, 8, 15, 0.35);
+}
+
+#[test]
+fn multi_head_layer_matches_reference() {
+    let salo = small_salo();
+    let pattern = longformer(64, 9, 1).unwrap();
+    let shape = AttentionShape::new(64, 8, 4).unwrap();
+    let compiled = salo.compile(&pattern, &shape).unwrap();
+    let heads = Qkv::random_heads(&shape, 33);
+    let run = salo.execute(&compiled, &heads).unwrap();
+    let reference = multi_head_attention(&pattern, &heads).unwrap();
+    for (h, (ours, exact)) in run.heads.iter().zip(&reference.heads).enumerate() {
+        let diff = ours.output.max_abs_diff(exact);
+        assert!(diff < 0.35, "head {h} diff {diff}");
+    }
+    // Layer latency = sum of head latencies; energy likewise.
+    let per_head: f64 = run.heads.iter().map(|h| h.report.timing.time_s).sum();
+    assert!((run.total_time_s - per_head).abs() < 1e-12);
+}
+
+#[test]
+fn default_instance_handles_full_scale_compile() {
+    // The real Table 2 workloads compile on the default instance; only
+    // estimated here (functional execution at n=4096 belongs to benches).
+    let salo = Salo::default_config();
+    for (pattern, d, heads) in [
+        (longformer(4096, 512, 1).unwrap(), 64usize, 12usize),
+        (grid_2d(56, 56, 15, 15, 1).unwrap(), 64, 3),
+        (grid_2d(28, 28, 15, 15, 1).unwrap(), 64, 6),
+    ] {
+        let shape = AttentionShape::new(pattern.n(), d, heads).unwrap();
+        let compiled = salo.compile(&pattern, &shape).unwrap();
+        assert_eq!(compiled.stats.supplemental_passes, 0, "paper workloads need no supplemental");
+        let t = salo.estimate(&compiled);
+        assert!(t.cycles.total > 0);
+        assert!(t.utilization.mac_utilization > 0.5);
+    }
+}
+
+#[test]
+fn outputs_are_bounded_by_value_range() {
+    // Attention outputs are convex combinations of V rows: the simulator
+    // must respect that up to quantization slack.
+    let salo = small_salo();
+    let pattern = longformer(48, 7, 1).unwrap();
+    let shape = AttentionShape::new(48, 8, 1).unwrap();
+    let compiled = salo.compile(&pattern, &shape).unwrap();
+    let head = Qkv::random(48, 8, 99);
+    let out = salo.execute_head(&compiled, &head).unwrap();
+    let mut vmax = 0.0f32;
+    for i in 0..48 {
+        for &x in head.v.row(i) {
+            vmax = vmax.max(x.abs());
+        }
+    }
+    for i in 0..48 {
+        for &o in out.output.row(i) {
+            assert!(o.abs() <= vmax + 0.1, "output {o} exceeds value range {vmax}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Cross-crate fixed-point properties: the arithmetic layers agree with
+//! each other and degrade gracefully.
+
+use proptest::prelude::*;
+use salo::fixed::{
+    fixed_softmax_f64, softmax_f64, ExpLut, Fix16x8, Fix8x4, QuantizationReport, RecipUnit,
+};
+use salo::kernels::{fixed_sparse_attention, FixedAttention, Qkv};
+use salo::patterns::sliding_only;
+
+proptest! {
+    /// Fixed softmax tracks f64 softmax within a percent per element for
+    /// in-range scores.
+    #[test]
+    fn softmax_tracks_reference(
+        scores in prop::collection::vec(-4.0f64..4.0, 1..48)
+    ) {
+        let exp = ExpLut::new(32);
+        let recip = RecipUnit::new(64);
+        let approx = fixed_softmax_f64(&scores, &exp, &recip).expect("softmax");
+        let exact = softmax_f64(&scores);
+        for (a, b) in approx.iter().zip(&exact) {
+            prop_assert!((a - b).abs() < 0.015, "{a} vs {b}");
+        }
+    }
+
+    /// Quantization round trip is within half an LSB for in-range inputs.
+    #[test]
+    fn quantization_round_trip(values in prop::collection::vec(-7.9f32..7.9, 1..256)) {
+        let report = QuantizationReport::measure(&values);
+        prop_assert!(report.max_abs_error <= 0.03125 + 1e-6);
+        prop_assert_eq!(report.saturated, 0);
+    }
+
+    /// The 16-bit output conversion is monotone and saturating.
+    #[test]
+    fn q19_conversion_monotone(a in -5_000_000i64..5_000_000, b in -5_000_000i64..5_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Fix16x8::from_q19_acc(lo) <= Fix16x8::from_q19_acc(hi));
+    }
+
+    /// 8-bit inputs always produce attention outputs inside the value
+    /// range (convexity survives quantization).
+    #[test]
+    fn convexity_property(seed in 0u64..500) {
+        let n = 24;
+        let d = 4;
+        let pattern = sliding_only(n, 5).expect("pattern");
+        let qkv = Qkv::random(n, d, seed);
+        let out = fixed_sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v,
+            &FixedAttention::new(d)).expect("attention");
+        let vmax = (0..n)
+            .flat_map(|i| qkv.v.row(i).iter().copied().collect::<Vec<_>>())
+            .fold(0.0f32, |m, x| m.max(x.abs()));
+        for i in 0..n {
+            for c in 0..d {
+                let o = out.out.get(i, c).to_f32().abs();
+                prop_assert!(o <= vmax + 0.15, "out {o} vs vmax {vmax}");
+            }
+        }
+    }
+}
+
+#[test]
+fn saturation_is_detected_on_extreme_inputs() {
+    // Push V to the format edge and widen the window: outputs stay
+    // convex so the accumulator never saturates, but quantization must
+    // clip the inputs without wrapping.
+    let values: Vec<f32> = vec![1000.0, -1000.0, 8.0, -8.0];
+    let q: Vec<Fix8x4> = values.iter().map(|&v| Fix8x4::from_f32(v)).collect();
+    assert_eq!(q[0], Fix8x4::MAX);
+    assert_eq!(q[1], Fix8x4::MIN);
+    assert_eq!(q[3], Fix8x4::MIN, "-8.0 is exactly representable as the minimum");
+    assert!(q[2] == Fix8x4::MAX, "+8.0 saturates to 7.9375");
+}
