@@ -53,9 +53,7 @@ impl Device {
             // latencies, which scale perfectly quadratically).
             ExecutionFamily::Dense => (self.dense_efficiency, 0.0),
             ExecutionFamily::Banded1d => (self.dense_efficiency, self.banded1d_bytes_per_flop),
-            ExecutionFamily::Windowed2d => {
-                (self.dense_efficiency, self.windowed2d_bytes_per_flop)
-            }
+            ExecutionFamily::Windowed2d => (self.dense_efficiency, self.windowed2d_bytes_per_flop),
         };
         let compute = flops / (self.peak_flops * eff);
         let memory = flops * bpf / self.mem_bw;

@@ -148,11 +148,8 @@ mod tests {
     #[test]
     fn pruning_helps_but_modestly() {
         let pruned = SpAttenModel::default();
-        let unpruned = SpAttenModel {
-            token_keep_ratio: 1.0,
-            head_keep_ratio: 1.0,
-            ..SpAttenModel::default()
-        };
+        let unpruned =
+            SpAttenModel { token_keep_ratio: 1.0, head_keep_ratio: 1.0, ..SpAttenModel::default() };
         let n = 4096;
         let gain = unpruned.latency_s(n, 64, 12) / pruned.latency_s(n, 64, 12);
         // The paper's point: low pruning ratios buy only ~2-3x, not the

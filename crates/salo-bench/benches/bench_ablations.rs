@@ -17,11 +17,9 @@ fn bench_pipelining(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_pipelining");
     group.sample_size(10);
     let workload = longformer_layer(4096, 512, 768, 1).expect("workload");
-    let plan =
-        ExecutionPlan::build(&workload.pattern, HardwareMeta::default()).expect("plan");
+    let plan = ExecutionPlan::build(&workload.pattern, HardwareMeta::default()).expect("plan");
     for pipelined in [true, false] {
-        let mut config = AcceleratorConfig::default();
-        config.pipelined = pipelined;
+        let config = AcceleratorConfig { pipelined, ..Default::default() };
         let sim = SpatialAccelerator::new(config);
         group.bench_with_input(
             BenchmarkId::from_parameter(if pipelined { "pipelined" } else { "serialized" }),
@@ -58,7 +56,9 @@ fn bench_array_geometry(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{rows}x{cols}")),
             &hw,
-            |b, hw| b.iter(|| black_box(ExecutionPlan::build(&workload.pattern, *hw).expect("plan"))),
+            |b, hw| {
+                b.iter(|| black_box(ExecutionPlan::build(&workload.pattern, *hw).expect("plan")))
+            },
         );
     }
     group.finish();
@@ -68,8 +68,7 @@ fn bench_reuse_accounting(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_dataflow_reuse");
     group.sample_size(10);
     let workload = longformer_layer(4096, 512, 768, 1).expect("workload");
-    let plan =
-        ExecutionPlan::build(&workload.pattern, HardwareMeta::default()).expect("plan");
+    let plan = ExecutionPlan::build(&workload.pattern, HardwareMeta::default()).expect("plan");
     group.bench_function("traffic_report", |b| {
         b.iter(|| black_box(TrafficReport::from_plan(&plan, 64)))
     });

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use salo_kernels::{
-    banded_attention, dense_attention, fixed_sparse_attention, sparse_attention,
-    FixedAttention, Qkv,
+    banded_attention, dense_attention, fixed_sparse_attention, sparse_attention, FixedAttention,
+    Qkv,
 };
 use salo_patterns::longformer;
 use std::hint::black_box;
@@ -20,14 +20,15 @@ fn bench_sparse_vs_dense(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("sparse_w64", n), &n, |b, _| {
             b.iter(|| {
-                black_box(sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, 0.125).expect("sparse"))
+                black_box(
+                    sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, 0.125).expect("sparse"),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("banded_w64_b32", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    banded_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, 0.125, 32)
-                        .expect("banded"),
+                    banded_attention(&pattern, &qkv.q, &qkv.k, &qkv.v, 0.125, 32).expect("banded"),
                 )
             })
         });

@@ -27,9 +27,8 @@ fn bench_plan_build(c: &mut Criterion) {
 fn bench_plan_stats(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan_stats");
     group.sample_size(10);
-    let plan =
-        ExecutionPlan::build(&longformer_base_4096().pattern, HardwareMeta::default())
-            .expect("plan");
+    let plan = ExecutionPlan::build(&longformer_base_4096().pattern, HardwareMeta::default())
+        .expect("plan");
     group.bench_function("longformer_4096", |b| b.iter(|| black_box(plan.stats())));
     group.finish();
 }

@@ -15,11 +15,9 @@ fn bench_figure7_pipeline(c: &mut Criterion) {
     let cpu = salo_baselines::cpu_xeon_e5_2630_v3();
     let gpu = salo_baselines::gtx_1080ti();
     for workload in [longformer_base_4096(), vil_stage1(), vil_stage2()] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&workload.name),
-            &workload,
-            |b, w| b.iter(|| black_box(compare_workload(&salo, w, &cpu, &gpu).expect("compare"))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(&workload.name), &workload, |b, w| {
+            b.iter(|| black_box(compare_workload(&salo, w, &cpu, &gpu).expect("compare")))
+        });
     }
     group.finish();
 }

@@ -21,8 +21,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for (r, c) in [(8usize, 128usize), (16, 64), (32, 32), (64, 16), (128, 8)] {
-        let mut config = AcceleratorConfig::default();
-        config.hw = HardwareMeta::new(r, c, 1, 1).expect("hw");
+        let config = AcceleratorConfig {
+            hw: HardwareMeta::new(r, c, 1, 1).expect("hw"),
+            ..Default::default()
+        };
         let salo = Salo::new(config.clone());
         let compiled = salo.compile(&workload.pattern, &workload.shape).expect("plan");
         let t = salo.estimate(&compiled);
@@ -50,7 +52,16 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["geometry", "latency", "util", "power", "area", "energy/layer", "max globals", "ports ok"],
+            &[
+                "geometry",
+                "latency",
+                "util",
+                "power",
+                "area",
+                "energy/layer",
+                "max globals",
+                "ports ok"
+            ],
             &rows
         )
     );

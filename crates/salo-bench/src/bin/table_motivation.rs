@@ -34,10 +34,7 @@ fn main() {
         let rel = if t2048 > 0.0 { format!("{:.2}x", t / t2048) } else { "-".into() };
         rows.push(vec![n.to_string(), fmt_time(t), rel, paper_note]);
     }
-    print!(
-        "{}",
-        render_table(&["n", "GTX 1080Ti model", "vs n=2048", "paper anchor"], &rows)
-    );
+    print!("{}", render_table(&["n", "GTX 1080Ti model", "vs n=2048", "paper anchor"], &rows));
 
     banner("Same experiment measured on this host (one 64-dim head, f32 kernel)");
     let mut rows = Vec::new();

@@ -38,7 +38,10 @@ fn main() {
     }
     print!(
         "{}",
-        render_table(&["n", "SALO", "Sanger (predict+sparse)", "A3 (approx)", "SpAtten (pruned dense)"], &rows)
+        render_table(
+            &["n", "SALO", "Sanger (predict+sparse)", "A3 (approx)", "SpAtten (pruned dense)"],
+            &rows
+        )
     );
     println!(
         "\nA3 key-SRAM ceiling at d=64: n = {} tokens; SpAtten effective density {:.2}",

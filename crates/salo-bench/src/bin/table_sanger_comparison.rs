@@ -26,8 +26,7 @@ fn main() {
     let mut rows = Vec::new();
     for window in [128usize, 256, 512, 768, 1024, 1228] {
         let workload = longformer_layer(n, window, heads * d, 0).expect("workload");
-        let compiled =
-            salo.compile(&workload.pattern, &workload.shape).expect("plan");
+        let compiled = salo.compile(&workload.pattern, &workload.shape).expect("plan");
         let report = salo.estimate(&compiled);
         let density = workload.nnz() as f64 / (n as f64 * n as f64);
         let sanger_t = sanger.latency_s(n, workload.nnz(), d, heads);

@@ -87,11 +87,8 @@ pub fn compare_workload(
 pub fn figure7_comparisons(salo: &Salo) -> Result<Vec<Comparison>, SaloError> {
     let cpu = salo_baselines::cpu_xeon_e5_2630_v3();
     let gpu = salo_baselines::gtx_1080ti();
-    let workloads = [
-        salo_models::longformer_base_4096(),
-        salo_models::vil_stage1(),
-        salo_models::vil_stage2(),
-    ];
+    let workloads =
+        [salo_models::longformer_base_4096(), salo_models::vil_stage1(), salo_models::vil_stage2()];
     workloads.iter().map(|w| compare_workload(salo, w, &cpu, &gpu)).collect()
 }
 
@@ -145,14 +142,8 @@ mod tests {
         // Averages in the neighbourhood of the abstract's 89.33x / 17.66x.
         let avg_cpu: f64 = rows.iter().map(Comparison::speedup_cpu).sum::<f64>() / 3.0;
         let avg_gpu: f64 = rows.iter().map(Comparison::speedup_gpu).sum::<f64>() / 3.0;
-        assert!(
-            (avg_cpu / paper::AVG_SPEEDUP_CPU - 1.0).abs() < 0.25,
-            "avg cpu speedup {avg_cpu}"
-        );
-        assert!(
-            (avg_gpu / paper::AVG_SPEEDUP_GPU - 1.0).abs() < 0.25,
-            "avg gpu speedup {avg_gpu}"
-        );
+        assert!((avg_cpu / paper::AVG_SPEEDUP_CPU - 1.0).abs() < 0.25, "avg cpu speedup {avg_cpu}");
+        assert!((avg_gpu / paper::AVG_SPEEDUP_GPU - 1.0).abs() < 0.25, "avg gpu speedup {avg_gpu}");
 
         // Orderings the paper's bars show: GPU gains are smallest on
         // Longformer (large GEMM-friendly bands) and larger on ViL stages.

@@ -3,9 +3,7 @@
 use salo_kernels::{Matrix, Qkv};
 use salo_patterns::{AttentionShape, HybridPattern};
 use salo_scheduler::{ExecutionPlan, PlanStats};
-use salo_sim::{
-    AcceleratorConfig, ExecutionOutput, SpatialAccelerator, TimingReport,
-};
+use salo_sim::{AcceleratorConfig, ExecutionOutput, SpatialAccelerator, TimingReport};
 
 use crate::SaloError;
 
@@ -41,9 +39,7 @@ impl MultiHeadRun {
     pub fn concat_output(&self) -> Matrix<f32> {
         let n = self.heads.first().map_or(0, |h| h.output.rows());
         let d = self.heads.first().map_or(0, |h| h.output.cols());
-        Matrix::from_fn(n, self.heads.len() * d, |i, j| {
-            self.heads[j / d].output.get(i, j % d)
-        })
+        Matrix::from_fn(n, self.heads.len() * d, |i, j| self.heads[j / d].output.get(i, j % d))
     }
 }
 
@@ -112,9 +108,7 @@ impl Salo {
         compiled: &CompiledPlan,
         head: &Qkv,
     ) -> Result<ExecutionOutput, SaloError> {
-        if head.seq_len() != compiled.shape.seq_len
-            || head.head_dim() != compiled.shape.head_dim
-        {
+        if head.seq_len() != compiled.shape.seq_len || head.head_dim() != compiled.shape.head_dim {
             return Err(SaloError::ShapeMismatch {
                 expected: (compiled.shape.seq_len, compiled.shape.head_dim),
                 got: (head.seq_len(), head.head_dim()),
@@ -142,10 +136,8 @@ impl Salo {
                 got: heads.len(),
             });
         }
-        let outputs: Vec<ExecutionOutput> = heads
-            .iter()
-            .map(|h| self.execute_head(compiled, h))
-            .collect::<Result<_, _>>()?;
+        let outputs: Vec<ExecutionOutput> =
+            heads.iter().map(|h| self.execute_head(compiled, h)).collect::<Result<_, _>>()?;
         let total_time_s = outputs.iter().map(|o| o.report.timing.time_s).sum();
         let total_energy_j = outputs.iter().map(|o| o.report.timing.energy_j).sum();
         Ok(MultiHeadRun { heads: outputs, total_time_s, total_energy_j })
@@ -160,8 +152,8 @@ mod tests {
     use salo_scheduler::HardwareMeta;
 
     fn small_salo() -> Salo {
-        let mut config = AcceleratorConfig::default();
-        config.hw = HardwareMeta::new(8, 8, 1, 1).unwrap();
+        let config =
+            AcceleratorConfig { hw: HardwareMeta::new(8, 8, 1, 1).unwrap(), ..Default::default() };
         Salo::new(config)
     }
 
@@ -170,10 +162,7 @@ mod tests {
         let salo = small_salo();
         let pattern = longformer(64, 8, 1).unwrap();
         let shape = AttentionShape::new(32, 8, 1).unwrap();
-        assert!(matches!(
-            salo.compile(&pattern, &shape),
-            Err(SaloError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(salo.compile(&pattern, &shape), Err(SaloError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -211,10 +200,7 @@ mod tests {
         ));
         // Wrong head dimension.
         let bad = Qkv::random(32, 4, 1);
-        assert!(matches!(
-            salo.execute_head(&compiled, &bad),
-            Err(SaloError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(salo.execute_head(&compiled, &bad), Err(SaloError::ShapeMismatch { .. })));
     }
 
     #[test]

@@ -73,8 +73,7 @@ pub fn validate(
 ) -> Result<ValidationReport, SaloError> {
     // 1. Structural.
     let coverage = verify_coverage(&compiled.plan, pattern);
-    let defects =
-        coverage.missing.len() + coverage.duplicated.len() + coverage.spurious.len();
+    let defects = coverage.missing.len() + coverage.duplicated.len() + coverage.spurious.len();
 
     // 2. Numerical probe (one head).
     let head = Qkv::random(compiled.shape.seq_len, compiled.shape.head_dim, config.seed);
@@ -84,8 +83,7 @@ pub fn validate(
     let max_abs_error = out.output.max_abs_diff(&reference);
 
     // 3. Physical.
-    let buffers =
-        BufferAnalysis::analyze(salo.config(), &compiled.plan, compiled.shape.head_dim);
+    let buffers = BufferAnalysis::analyze(salo.config(), &compiled.plan, compiled.shape.head_dim);
 
     Ok(ValidationReport {
         coverage_exact: coverage.is_exact(),
@@ -105,8 +103,8 @@ mod tests {
     use salo_sim::AcceleratorConfig;
 
     fn small_salo() -> Salo {
-        let mut config = AcceleratorConfig::default();
-        config.hw = HardwareMeta::new(8, 8, 1, 1).unwrap();
+        let config =
+            AcceleratorConfig { hw: HardwareMeta::new(8, 8, 1, 1).unwrap(), ..Default::default() };
         Salo::new(config)
     }
 

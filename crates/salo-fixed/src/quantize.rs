@@ -76,11 +76,7 @@ impl QuantizationReport {
         }
         let n = values.len() as f64;
         let mse = sq_err / n;
-        let sqnr_db = if sq_err > 0.0 {
-            10.0 * (sq_sig / sq_err).log10()
-        } else {
-            f64::INFINITY
-        };
+        let sqnr_db = if sq_err > 0.0 { 10.0 * (sq_sig / sq_err).log10() } else { f64::INFINITY };
         Self { mse, max_abs_error: max_abs, sqnr_db, saturated }
     }
 }
@@ -138,7 +134,7 @@ mod tests {
     #[test]
     fn sqnr_reasonable_for_unit_normal_range() {
         // Values in [-2, 2]: SQNR for a 1/16 step should exceed 30 dB.
-        let values: Vec<f32> = (0..4000).map(|k| ((k as f32) * 0.001 - 2.0)).collect();
+        let values: Vec<f32> = (0..4000).map(|k| (k as f32) * 0.001 - 2.0).collect();
         let r = QuantizationReport::measure(&values);
         assert!(r.sqnr_db > 30.0, "sqnr {}", r.sqnr_db);
     }

@@ -116,14 +116,16 @@ impl RecipUnit {
             return Err(FixedError::NonPositiveReciprocal { raw });
         }
         // Normalize: raw = m * 2^e with m in [1, 2) as Q.15.
-        let bits = 63 - raw.leading_zeros() as i32; // floor(log2 raw)
-        // mantissa in Q.15: raw * 2^(15 - bits)
-        let m_q15 = if bits >= 15 { (raw >> (bits - 15)) as u64 } else { (raw << (15 - bits)) as u64 };
+        // bits = floor(log2 raw); mantissa in Q.15 is raw * 2^(15 - bits).
+        let bits = 63 - raw.leading_zeros() as i32;
+        let m_q15 =
+            if bits >= 15 { (raw >> (bits - 15)) as u64 } else { (raw << (15 - bits)) as u64 };
         debug_assert!((32768..65536).contains(&m_q15), "m {m_q15}");
         // Table lookup on the fractional part of m.
         let frac_part = m_q15 - 32768; // in [0, 32768)
         let idx = (frac_part as usize * self.entries) >> 15;
-        let mut y = self.table[idx.min(self.entries - 1)] as u64; // Q.15 of 1/m
+        // Q.15 approximation of 1/m from the table.
+        let mut y = self.table[idx.min(self.entries - 1)] as u64;
         // Newton iterations: y <- y * (2 - m*y), all Q.15.
         for _ in 0..self.newton_steps {
             let my = (m_q15 * y) >> 15; // Q.15
@@ -215,8 +217,7 @@ mod tests {
         let exps: Vec<i64> = vec![256, 512, 1024, 128, 64];
         let sum: i64 = exps.iter().sum();
         let r = u.recip(sum, 8).unwrap();
-        let total: f64 =
-            exps.iter().map(|&e| r.scale_to_prob(e, 8) as f64 / 32768.0).sum();
+        let total: f64 = exps.iter().map(|&e| r.scale_to_prob(e, 8) as f64 / 32768.0).sum();
         assert!((total - 1.0).abs() < 5e-3, "sum {total}");
     }
 
@@ -227,10 +228,7 @@ mod tests {
             let r = u.recip(raw, 8).unwrap();
             let approx = r.mant as f64 * ((r.exp2 - 15) as f64).exp2();
             let exact = 256.0 / raw as f64;
-            assert!(
-                ((approx - exact) / exact).abs() < 1e-3,
-                "raw {raw}: {approx} vs {exact}"
-            );
+            assert!(((approx - exact) / exact).abs() < 1e-3, "raw {raw}: {approx} vs {exact}");
         }
     }
 

@@ -94,9 +94,7 @@ pub fn merge_partials(
         .out_q19
         .iter()
         .zip(&b.out_q19)
-        .map(|(&oa, &ob)| {
-            ((oa as i128 * alpha as i128 + ob as i128 * beta as i128) >> 15) as i64
-        })
+        .map(|(&oa, &ob)| ((oa as i128 * alpha as i128 + ob as i128 * beta as i128) >> 15) as i64)
         .collect();
     Ok(PartialRow { weight_q16: a.weight_q16 + b.weight_q16, out_q19: out })
 }
@@ -181,8 +179,7 @@ mod tests {
             let b = PartialRow { weight_q16: w2, out_q19: q19(&o2) };
             let m = merge_partials(&a, &b, &recip()).unwrap().to_f64();
             for k in 0..2 {
-                let exact =
-                    (w1 as f64 * o1[k] + w2 as f64 * o2[k]) / (w1 as f64 + w2 as f64);
+                let exact = (w1 as f64 * o1[k] + w2 as f64 * o2[k]) / (w1 as f64 + w2 as f64);
                 assert!((m[k] - exact).abs() < 0.02, "{} vs {}", m[k], exact);
             }
         }

@@ -169,9 +169,7 @@ mod tests {
         let scores = vec![-2.0, 0.3, 3.1, 1.0];
         let approx = fixed_softmax_f64(&scores, &e, &r).unwrap();
         let exact = softmax_f64(&scores);
-        let am = |v: &[f64]| {
-            v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i)
-        };
+        let am = |v: &[f64]| v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
         assert_eq!(am(&approx), am(&exact));
     }
 }

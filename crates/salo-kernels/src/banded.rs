@@ -168,10 +168,7 @@ mod tests {
     fn rows_with_no_keys_stay_zero() {
         use salo_patterns::{HybridPattern, Window};
         // Window out of range for early rows.
-        let p = HybridPattern::builder(12)
-            .window(Window::sliding(6, 8).unwrap())
-            .build()
-            .unwrap();
+        let p = HybridPattern::builder(12).window(Window::sliding(6, 8).unwrap()).build().unwrap();
         let (q, k, v) = workload(12, 4, 5);
         let banded = banded_attention(&p, &q, &k, &v, 1.0, 4).unwrap();
         // Rows 6..12 have empty windows (keys beyond n-1).

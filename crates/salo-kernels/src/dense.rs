@@ -24,11 +24,10 @@ pub fn dense_attention(
     let mut scores = vec![0.0f64; n];
     for i in 0..n {
         let qi = q.row(i);
-        for j in 0..n {
+        for (j, score) in scores.iter_mut().enumerate() {
             let kj = k.row(j);
-            let dot: f64 =
-                qi.iter().zip(kj).map(|(&a, &b)| a as f64 * b as f64).sum();
-            scores[j] = dot * scale as f64;
+            let dot: f64 = qi.iter().zip(kj).map(|(&a, &b)| a as f64 * b as f64).sum();
+            *score = dot * scale as f64;
         }
         let probs = softmax_f64(&scores);
         let out_row = out.row_mut(i);

@@ -9,8 +9,8 @@
 //! weighted-sum merge tolerance when the scheduler splits windows.
 
 use salo_fixed::{
-    fixed_softmax_parts, qk_dot, quantize, quantize_with_scale, sv_mac, ExpLut, Fix16x8,
-    Fix8x4, MacSaturation, RecipUnit,
+    fixed_softmax_parts, qk_dot, quantize, quantize_with_scale, sv_mac, ExpLut, Fix16x8, Fix8x4,
+    MacSaturation, RecipUnit,
 };
 use salo_patterns::HybridPattern;
 
@@ -184,8 +184,7 @@ mod tests {
         let q = Matrix::zeros(n, 4);
         let k = gaussian_matrix(3, n, 4, 0.0, 1.0);
         let v = gaussian_matrix(4, n, 4, 0.0, 1.0);
-        let fixed =
-            fixed_sparse_attention(&p, &q, &k, &v, &FixedAttention::new(4)).unwrap();
+        let fixed = fixed_sparse_attention(&p, &q, &k, &v, &FixedAttention::new(4)).unwrap();
         for i in 0..n {
             let expect = p.row_nnz(i) as f64;
             let w = fixed.weights_q16[i] as f64 / 65536.0;

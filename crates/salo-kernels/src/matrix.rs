@@ -213,11 +213,7 @@ impl Matrix<f32> {
     #[must_use]
     pub fn max_abs_diff(&self, other: &Matrix<f32>) -> f32 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     /// Mean squared difference against another matrix.

@@ -80,8 +80,7 @@ mod tests {
     fn moments_are_plausible() {
         let xs = gaussian_vec(7, 50_000, 0.0, 1.0);
         let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
-        let var: f64 =
-            xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
@@ -91,8 +90,7 @@ mod tests {
         let xs = gaussian_vec(9, 20_000, 3.0, 0.5);
         let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
         assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
-        let var: f64 =
-            xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
     }
 

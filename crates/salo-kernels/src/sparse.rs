@@ -167,11 +167,11 @@ mod tests {
                 })
                 .collect();
             let probs = salo_fixed::softmax_f64(&scores);
-            for j in 0..n {
-                if probs[j] > 0.0 {
+            for (j, &pj) in probs.iter().enumerate() {
+                if pj > 0.0 {
                     for c in 0..3 {
                         let cur = expected.get(i, c);
-                        expected.set(i, c, cur + (probs[j] * v.get(j, c) as f64) as f32);
+                        expected.set(i, c, cur + (pj * v.get(j, c) as f64) as f32);
                     }
                 }
             }

@@ -98,12 +98,7 @@ pub struct Table3Row {
 /// Table 3 values.
 pub const TABLE3: [Table3Row; 3] = [
     Table3Row { model: "Longformer", dataset: "IMDB", original: 95.34, quantized: 95.20 },
-    Table3Row {
-        model: "Longformer",
-        dataset: "Hyperpartisan",
-        original: 93.42,
-        quantized: 93.46,
-    },
+    Table3Row { model: "Longformer", dataset: "Hyperpartisan", original: 93.42, quantized: 93.46 },
     Table3Row { model: "ViL", dataset: "ImageNet-1K", original: 82.87, quantized: 82.80 },
 ];
 

@@ -52,10 +52,9 @@ impl fmt::Display for PatternError {
                 write!(f, "invalid window range: lo {lo} exceeds hi {hi}")
             }
             PatternError::ZeroDilation => write!(f, "window dilation must be at least 1"),
-            PatternError::MisalignedDilation { lo, hi, dilation } => write!(
-                f,
-                "window span {lo}..={hi} is not a multiple of dilation {dilation}"
-            ),
+            PatternError::MisalignedDilation { lo, hi, dilation } => {
+                write!(f, "window span {lo}..={hi} is not a multiple of dilation {dilation}")
+            }
             PatternError::EmptyWindow => write!(f, "window size must be at least 1"),
             PatternError::GlobalTokenOutOfRange { token, n } => {
                 write!(f, "global token {token} out of range for sequence length {n}")

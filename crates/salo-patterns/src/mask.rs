@@ -136,11 +136,7 @@ impl DenseMask {
     /// Iterates kept positions in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let n = self.n;
-        self.bits
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(move |(idx, _)| (idx / n, idx % n))
+        self.bits.iter().enumerate().filter(|(_, &b)| b).map(move |(idx, _)| (idx / n, idx % n))
     }
 }
 

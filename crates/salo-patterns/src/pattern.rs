@@ -90,8 +90,11 @@ impl HybridPattern {
     /// a logic error in the caller, not a data condition.
     #[must_use]
     pub fn allows(&self, i: usize, j: usize) -> bool {
-        assert!(i < self.n && j < self.n, "position ({i}, {j}) outside sequence of length {n}",
-            n = self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "position ({i}, {j}) outside sequence of length {n}",
+            n = self.n
+        );
         if self.is_global(i) || self.is_global(j) {
             return true;
         }
@@ -199,7 +202,8 @@ impl HybridPattern {
     /// offset menu the scheduler chunks into accelerator passes.
     #[must_use]
     pub fn merged_offsets(&self) -> Vec<i64> {
-        let mut offsets: Vec<i64> = self.windows.iter().flat_map(|w| w.offsets().collect::<Vec<_>>()).collect();
+        let mut offsets: Vec<i64> =
+            self.windows.iter().flat_map(|w| w.offsets().collect::<Vec<_>>()).collect();
         offsets.sort_unstable();
         offsets.dedup();
         offsets
@@ -355,10 +359,7 @@ mod tests {
 
     #[test]
     fn causal_of_future_only_pattern_errors() {
-        let p = HybridPattern::builder(8)
-            .window(Window::sliding(1, 3).unwrap())
-            .build()
-            .unwrap();
+        let p = HybridPattern::builder(8).window(Window::sliding(1, 3).unwrap()).build().unwrap();
         assert!(matches!(p.causal(), Err(PatternError::EmptyPattern)));
     }
 }

@@ -92,7 +92,7 @@ pub fn grid_2d(
     if wh == 0 || ww == 0 {
         return Err(PatternError::InvalidGrid { reason: "window extent is zero".into() });
     }
-    if wh % 2 == 0 || ww % 2 == 0 {
+    if wh.is_multiple_of(2) || ww.is_multiple_of(2) {
         return Err(PatternError::InvalidGrid {
             reason: format!("2-D window {wh}x{ww} must have odd extents"),
         });
@@ -100,8 +100,7 @@ pub fn grid_2d(
     let n = h * w;
     let half_h = (wh / 2) as i64;
     let base = Window::symmetric(ww)?;
-    let bands =
-        (-half_h..=half_h).map(|dr| base.shifted(dr * w as i64)).collect::<Vec<_>>();
+    let bands = (-half_h..=half_h).map(|dr| base.shifted(dr * w as i64)).collect::<Vec<_>>();
     HybridPattern::builder(n).windows(bands).global_tokens(0..ng).build()
 }
 
@@ -155,7 +154,7 @@ mod tests {
         assert!(p.allows(20, 16)); // stride hit: 20-16 = 4
         assert!(p.allows(20, 12));
         assert!(!p.allows(20, 15)); // gap: not local (20-15=5>3), not strided
-        assert!(matches!(sparse_transformer(64, 0, 8), Err(_)));
+        assert!(sparse_transformer(64, 0, 8).is_err());
     }
 
     #[test]

@@ -67,7 +67,6 @@ impl PatternStats {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{longformer, vil_stage, Window};
 
     #[test]

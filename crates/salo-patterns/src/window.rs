@@ -42,7 +42,7 @@ impl Window {
             return Err(PatternError::InvalidWindowRange { lo, hi });
         }
         let span = (hi - lo) as u64;
-        if span % dilation as u64 != 0 {
+        if !span.is_multiple_of(dilation as u64) {
             return Err(PatternError::MisalignedDilation { lo, hi, dilation });
         }
         Ok(Self { lo, hi, dilation })
@@ -117,9 +117,7 @@ impl Window {
     /// Whether relative offset `delta = j - i` belongs to the window.
     #[must_use]
     pub fn contains_offset(&self, delta: i64) -> bool {
-        delta >= self.lo
-            && delta <= self.hi
-            && (delta - self.lo) % self.dilation as i64 == 0
+        delta >= self.lo && delta <= self.hi && (delta - self.lo) % self.dilation as i64 == 0
     }
 
     /// Shifts the window by a constant offset, preserving dilation.
@@ -188,10 +186,10 @@ mod tests {
 
     #[test]
     fn rejects_invalid_parameters() {
-        assert_eq!(Window::sliding(3, 1).unwrap_err(), PatternError::InvalidWindowRange {
-            lo: 3,
-            hi: 1
-        });
+        assert_eq!(
+            Window::sliding(3, 1).unwrap_err(),
+            PatternError::InvalidWindowRange { lo: 3, hi: 1 }
+        );
         assert_eq!(Window::dilated(0, 4, 0).unwrap_err(), PatternError::ZeroDilation);
         assert_eq!(
             Window::dilated(0, 5, 2).unwrap_err(),
@@ -216,6 +214,7 @@ mod tests {
         assert_eq!(w.clipped_width(0, 10), 3); // -2,-1 clipped
         assert_eq!(w.clipped_width(5, 10), 5);
         assert_eq!(w.clipped_width(9, 10), 3); // +1,+2 clipped
+
         // Tiny sequence clips everything but the diagonal.
         assert_eq!(w.clipped_width(0, 1), 1);
     }

@@ -1,9 +1,7 @@
 //! Property-based tests for the pattern abstraction.
 
 use proptest::prelude::*;
-use salo_patterns::{
-    fit_pattern, longformer, DenseMask, FitConfig, HybridPattern, Window,
-};
+use salo_patterns::{fit_pattern, longformer, DenseMask, FitConfig, HybridPattern, Window};
 
 /// Strategy: a valid window with bounded extents.
 fn arb_window() -> impl Strategy<Value = Window> {
@@ -18,11 +16,7 @@ fn arb_window() -> impl Strategy<Value = Window> {
 }
 
 fn arb_pattern() -> impl Strategy<Value = HybridPattern> {
-    (
-        8usize..64,
-        prop::collection::vec(arb_window(), 1..4),
-        prop::collection::vec(0usize..8, 0..3),
-    )
+    (8usize..64, prop::collection::vec(arb_window(), 1..4), prop::collection::vec(0usize..8, 0..3))
         .prop_map(|(n, windows, globals)| {
             HybridPattern::builder(n)
                 .windows(windows)

@@ -31,7 +31,7 @@ pub struct BitwidthPoint {
 /// Quantizes a matrix to an 8-bit format with `frac_bits` fraction bits,
 /// returning the dequantized values and the clip count.
 fn quantize_matrix(m: &Matrix<f32>, frac_bits: u32) -> (Matrix<f32>, usize) {
-    let scale = f32::from(2.0f32).powi(frac_bits as i32);
+    let scale = 2.0f32.powi(frac_bits as i32);
     let mut clipped = 0usize;
     let out = m.map(|x| {
         let raw = (x * scale).round();
@@ -93,17 +93,10 @@ mod tests {
     #[test]
     fn fidelity_peaks_in_the_middle() {
         let points = sweep();
-        let best = points
-            .iter()
-            .max_by(|a, b| a.sqnr_db.total_cmp(&b.sqnr_db))
-            .expect("non-empty");
+        let best = points.iter().max_by(|a, b| a.sqnr_db.total_cmp(&b.sqnr_db)).expect("non-empty");
         // Unit-normal inputs: the sweet spot is 4-6 fraction bits — the
         // paper's Q.4 sits on the plateau.
-        assert!(
-            (4..=6).contains(&best.frac_bits),
-            "peak at {} fraction bits",
-            best.frac_bits
-        );
+        assert!((4..=6).contains(&best.frac_bits), "peak at {} fraction bits", best.frac_bits);
         // Both extremes are visibly worse.
         let at = |f: u32| points.iter().find(|p| p.frac_bits == f).unwrap().sqnr_db;
         assert!(best.sqnr_db > at(1) + 3.0, "coarse end");

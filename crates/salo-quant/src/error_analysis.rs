@@ -1,8 +1,6 @@
 //! Raw attention-output error between `f32` and fixed-point kernels.
 
-use salo_kernels::{
-    fixed_sparse_attention, sparse_attention, FixedAttention, KernelError, Qkv,
-};
+use salo_kernels::{fixed_sparse_attention, sparse_attention, FixedAttention, KernelError, Qkv};
 use salo_patterns::HybridPattern;
 
 /// Error metrics of the fixed-point attention against the `f32` reference.

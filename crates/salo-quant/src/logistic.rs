@@ -75,8 +75,7 @@ impl LogisticHead {
         if xs.is_empty() {
             return 0.0;
         }
-        let correct =
-            xs.iter().zip(ys).filter(|(x, &y)| self.predict(x) == y).count();
+        let correct = xs.iter().zip(ys).filter(|(x, &y)| self.predict(x) == y).count();
         correct as f64 / xs.len() as f64
     }
 }

@@ -92,15 +92,12 @@ pub fn run_task(config: &TaskConfig) -> Result<TaskResult, salo_kernels::KernelE
     //    threshold (keeps the task learnable but not trivially robust).
     let readout: Vec<f64> =
         (0..d).map(|c| if c % 2 == 0 { 1.0 } else { -1.0 } * (1.0 + c as f64 * 0.1)).collect();
-    let scores: Vec<f64> = feats_f32
-        .iter()
-        .map(|f| f.iter().zip(&readout).map(|(x, w)| x * w).sum::<f64>())
-        .collect();
+    let scores: Vec<f64> =
+        feats_f32.iter().map(|f| f.iter().zip(&readout).map(|(x, w)| x * w).sum::<f64>()).collect();
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
     let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64;
     let band = config.margin * var.sqrt();
-    let labels: Vec<i8> =
-        scores.iter().map(|&s| if s - mean >= band { 1 } else { -1 }).collect();
+    let labels: Vec<i8> = scores.iter().map(|&s| if s - mean >= band { 1 } else { -1 }).collect();
 
     let (train_x, test_x) = feats_f32.split_at(config.train_samples);
     let (train_xq, test_xq) = feats_quant.split_at(config.train_samples);

@@ -132,8 +132,7 @@ pub fn canonicalize(pattern: &HybridPattern) -> Vec<Component> {
         // Offsets surviving ownership resolution (uniform per delta:
         // every window covers all queries, so a claimed delta is fully
         // shadowed).
-        let deltas: Vec<i64> =
-            w.offsets().filter(|delta| claimed.insert(*delta)).collect();
+        let deltas: Vec<i64> = w.offsets().filter(|delta| claimed.insert(*delta)).collect();
         if deltas.is_empty() {
             continue;
         }
@@ -214,10 +213,8 @@ mod tests {
 
     #[test]
     fn dilated_window_splits_into_classes() {
-        let p = HybridPattern::builder(20)
-            .window(Window::dilated(-6, 6, 3).unwrap())
-            .build()
-            .unwrap();
+        let p =
+            HybridPattern::builder(20).window(Window::dilated(-6, 6, 3).unwrap()).build().unwrap();
         let comps = canonicalize(&p);
         assert_eq!(comps.len(), 3);
         for c in &comps {
@@ -238,10 +235,8 @@ mod tests {
     #[test]
     fn misaligned_dilated_window_maps_key_class() {
         // lo = -4 with d = 3: key class = (r - 4) mod 3 != r.
-        let p = HybridPattern::builder(21)
-            .window(Window::dilated(-4, 2, 3).unwrap())
-            .build()
-            .unwrap();
+        let p =
+            HybridPattern::builder(21).window(Window::dilated(-4, 2, 3).unwrap()).build().unwrap();
         assert_exact_cover(&p);
         let comps = canonicalize(&p);
         for c in &comps {
@@ -290,10 +285,7 @@ mod tests {
 
     #[test]
     fn key_at_clips() {
-        let p = HybridPattern::builder(10)
-            .window(Window::sliding(-2, 2).unwrap())
-            .build()
-            .unwrap();
+        let p = HybridPattern::builder(10).window(Window::sliding(-2, 2).unwrap()).build().unwrap();
         let c = &canonicalize(&p)[0];
         assert_eq!(c.key_at(0, -1), None);
         assert_eq!(c.key_at(0, 0), Some(0));
@@ -303,10 +295,8 @@ mod tests {
 
     #[test]
     fn dilation_larger_than_sequence() {
-        let p = HybridPattern::builder(4)
-            .window(Window::dilated(-8, 8, 8).unwrap())
-            .build()
-            .unwrap();
+        let p =
+            HybridPattern::builder(4).window(Window::dilated(-8, 8, 8).unwrap()).build().unwrap();
         // Classes beyond n are not created; coverage still exact.
         assert_exact_cover(&p);
         let comps = canonicalize(&p);

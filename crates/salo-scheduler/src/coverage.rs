@@ -111,8 +111,8 @@ mod tests {
     use super::*;
     use crate::HardwareMeta;
     use salo_patterns::{
-        grid_2d, longformer, sliding_only, sparse_transformer, star_transformer,
-        HybridPattern, Window,
+        grid_2d, longformer, sliding_only, sparse_transformer, star_transformer, HybridPattern,
+        Window,
     };
 
     fn assert_exact(pattern: &HybridPattern, hw: HardwareMeta) {
@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn sparse_transformer_exact() {
-        assert_exact(&sparse_transformer(60, 5, 4).unwrap(), HardwareMeta::new(8, 8, 1, 1).unwrap());
+        assert_exact(
+            &sparse_transformer(60, 5, 4).unwrap(),
+            HardwareMeta::new(8, 8, 1, 1).unwrap(),
+        );
     }
 
     #[test]

@@ -101,10 +101,7 @@ mod tests {
         let parts: Vec<PartF64> =
             (0..4).map(|k| PartF64::from_scores(&scores[k..=k], &refs[k..=k], 1)).collect();
         let left = parts.iter().skip(1).fold(parts[0].clone(), |acc, p| merge_f64(&acc, p));
-        let right = merge_f64(
-            &merge_f64(&parts[0], &parts[1]),
-            &merge_f64(&parts[2], &parts[3]),
-        );
+        let right = merge_f64(&merge_f64(&parts[0], &parts[1]), &merge_f64(&parts[2], &parts[3]));
         assert!((left.out[0] - right.out[0]).abs() < 1e-12);
         let full = monolithic(&scores, &refs, 1);
         assert!((left.out[0] - full[0]).abs() < 1e-12);

@@ -141,10 +141,7 @@ mod tests {
     fn gapped_offsets_stream_separate_ranges() {
         let offsets: Vec<i64> = vec![-10, 0, 10];
         let p = pass(20, 3, 0, 3);
-        assert_eq!(
-            p.streamed_virtual_ranges(&offsets, 100),
-            vec![(10, 13), (20, 23), (30, 33)]
-        );
+        assert_eq!(p.streamed_virtual_ranges(&offsets, 100), vec![(10, 13), (20, 23), (30, 33)]);
     }
 
     #[test]

@@ -172,8 +172,14 @@ mod tests {
         let via_two_steps = a.apply(&b.apply(&data));
         // compose gathers: out[new] = data[b[a[new]]]... check consistency
         // against the two-step application semantics.
-        assert_eq!(via_compose, vec![data[b.forward()[a.forward()[0]]],
-            data[b.forward()[a.forward()[1]]], data[b.forward()[a.forward()[2]]]]);
+        assert_eq!(
+            via_compose,
+            vec![
+                data[b.forward()[a.forward()[0]]],
+                data[b.forward()[a.forward()[1]]],
+                data[b.forward()[a.forward()[2]]]
+            ]
+        );
         // Two-step: tmp[new] = data[b[new]]; out[new2] = tmp[a[new2]].
         assert_eq!(via_two_steps[0], data[b.forward()[a.forward()[0]]]);
     }

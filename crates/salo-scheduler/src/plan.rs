@@ -116,9 +116,7 @@ impl ExecutionPlan {
                     }
                     let fresh: Vec<u32> = tile
                         .iter()
-                        .filter(|&&q| {
-                            !is_global(&globals, q) && !col_seen[t].contains(q)
-                        })
+                        .filter(|&&q| !is_global(&globals, q) && !col_seen[t].contains(q))
                         .map(|&q| q as u32)
                         .collect();
                     if fresh.is_empty() {
@@ -141,8 +139,7 @@ impl ExecutionPlan {
             for pass in &mut passes {
                 let comp = &components[pass.component];
                 let tap_row = pass.tile_start + pass.tile_len - 1;
-                let chunk =
-                    &comp.offsets()[pass.chunk_start..pass.chunk_start + pass.chunk_len];
+                let chunk = &comp.offsets()[pass.chunk_start..pass.chunk_start + pass.chunk_len];
                 let mut used = 0;
                 for (t, _g) in globals.iter().enumerate() {
                     if used == hw.global_rows {
@@ -277,10 +274,8 @@ impl ExecutionPlan {
             let comp = &self.components[pass.component];
             active += pass_active_cells(pass, comp, &self.globals);
             streamed += pass.streamed_key_count(comp.offsets(), comp.keys().len()) as u64;
-            col_scores +=
-                pass.global_col.iter().map(|d| d.fresh_queries.len() as u64).sum::<u64>();
-            row_scores +=
-                pass.global_row.iter().map(|d| d.fresh_keys.len() as u64).sum::<u64>();
+            col_scores += pass.global_col.iter().map(|d| d.fresh_queries.len() as u64).sum::<u64>();
+            row_scores += pass.global_row.iter().map(|d| d.fresh_keys.len() as u64).sum::<u64>();
         }
         for sup in &self.supplemental {
             match sup.kind {
@@ -416,10 +411,8 @@ mod tests {
     #[test]
     fn empty_plan_detected() {
         use salo_patterns::{HybridPattern, Window};
-        let p = HybridPattern::builder(4)
-            .window(Window::sliding(100, 100).unwrap())
-            .build()
-            .unwrap();
+        let p =
+            HybridPattern::builder(4).window(Window::sliding(100, 100).unwrap()).build().unwrap();
         assert!(matches!(
             ExecutionPlan::build(&p, HardwareMeta::default()),
             Err(SchedulerError::EmptyPlan)

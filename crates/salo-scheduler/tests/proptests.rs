@@ -14,11 +14,7 @@ fn arb_window() -> impl Strategy<Value = Window> {
 }
 
 fn arb_pattern() -> impl Strategy<Value = HybridPattern> {
-    (
-        6usize..48,
-        prop::collection::vec(arb_window(), 0..4),
-        prop::collection::vec(0usize..6, 0..3),
-    )
+    (6usize..48, prop::collection::vec(arb_window(), 0..4), prop::collection::vec(0usize..6, 0..3))
         .prop_filter_map("non-empty pattern", |(n, windows, globals)| {
             let globals: Vec<usize> = globals.into_iter().filter(|&g| g < n).collect();
             if windows.is_empty() && globals.is_empty() {

@@ -98,8 +98,10 @@ mod tests {
         // A 128x8 array emits 128 outputs per (short) interval: the
         // output buffer port cannot keep up — the cheap-looking geometry
         // from the latency table is not actually schedulable as modeled.
-        let mut config = AcceleratorConfig::default();
-        config.hw = salo_scheduler::HardwareMeta::new(128, 8, 1, 1).unwrap();
+        let config = AcceleratorConfig {
+            hw: salo_scheduler::HardwareMeta::new(128, 8, 1, 1).unwrap(),
+            ..Default::default()
+        };
         let interval = CycleModel::new(&config).pass_interval(64);
         let r = bandwidth_report(&config, 64, interval);
         assert!(!r.feasible, "{r:?}");

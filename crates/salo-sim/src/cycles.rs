@@ -122,8 +122,7 @@ mod tests {
     use super::*;
 
     fn default_model(pipelined: bool) -> CycleModel {
-        let mut config = AcceleratorConfig::default();
-        config.pipelined = pipelined;
+        let config = AcceleratorConfig { pipelined, ..Default::default() };
         CycleModel::new(&config)
     }
 
@@ -178,8 +177,9 @@ mod tests {
         // Longformer-Base-4096: ~1992 active passes/head, 12 heads, d=64.
         let m = default_model(true);
         let b = m.plan_cycles(1992, 0, 64, 12);
-        let ms = b.total as f64 * 1e-9 * 1e3; // at 1 GHz
-        // The paper's speedups place SALO's Longformer layer around 4 ms.
+        // Convert cycles at 1 GHz to ms; the paper's speedups place SALO's
+        // Longformer layer around 4 ms.
+        let ms = b.total as f64 * 1e-9 * 1e3;
         assert!((3.0..6.0).contains(&ms), "latency {ms} ms");
     }
 

@@ -1,8 +1,8 @@
 //! Functional + timing execution of plans on the simulated accelerator.
 
 use salo_fixed::{
-    fixed_softmax_parts, merge_partials, qk_dot, quantize, quantize_with_scale, sv_mac,
-    ExpLut, Fix16x8, Fix8x4, MacSaturation, PartialRow, RecipUnit, PROB_ONE,
+    fixed_softmax_parts, merge_partials, qk_dot, quantize, quantize_with_scale, sv_mac, ExpLut,
+    Fix16x8, Fix8x4, MacSaturation, PartialRow, RecipUnit, PROB_ONE,
 };
 use salo_kernels::Matrix;
 use salo_scheduler::{ExecutionPlan, Pass, SupplementalKind};
@@ -69,7 +69,12 @@ impl SpatialAccelerator {
     /// Timing-only estimate for executing `plan` with `num_heads` heads of
     /// dimension `head_dim` (heads run back to back; the plan is per-head).
     #[must_use]
-    pub fn estimate(&self, plan: &ExecutionPlan, head_dim: usize, num_heads: usize) -> TimingReport {
+    pub fn estimate(
+        &self,
+        plan: &ExecutionPlan,
+        head_dim: usize,
+        num_heads: usize,
+    ) -> TimingReport {
         let stats = plan.stats();
         let model = CycleModel::new(&self.config);
         let cycles = model.plan_cycles(
@@ -186,9 +191,11 @@ impl SpatialAccelerator {
                     acc[token] = merge_partials(&acc[token], &part, &self.recip)?;
                 }
                 SupplementalKind::GlobalCol { token, start, end } => {
-                    for qi in start..end {
-                        let part = self.single_key_part(&inputs.qq[qi], token, &inputs, d, &mut sat);
-                        acc[qi] = merge_partials(&acc[qi], &part, &self.recip)?;
+                    for (offset, slot) in acc[start..end].iter_mut().enumerate() {
+                        let qi = start + offset;
+                        let part =
+                            self.single_key_part(&inputs.qq[qi], token, &inputs, d, &mut sat);
+                        *slot = merge_partials(slot, &part, &self.recip)?;
                     }
                 }
             }
@@ -292,23 +299,13 @@ impl SpatialAccelerator {
                 }
             }
         }
-        let queries: Vec<Option<&[Fix8x4]>> = row_query
-            .iter()
-            .map(|qi| qi.map(|qi| inputs.qq[qi].as_slice()))
-            .collect();
+        let queries: Vec<Option<&[Fix8x4]>> =
+            row_query.iter().map(|qi| qi.map(|qi| inputs.qq[qi].as_slice())).collect();
         let key_of = |u: usize, vv: usize| {
-            cell_keys
-                .get(u * hw.pe_cols + vv)
-                .copied()
-                .flatten()
-                .map(|kj| inputs.kq[kj].as_slice())
+            cell_keys.get(u * hw.pe_cols + vv).copied().flatten().map(|kj| inputs.kq[kj].as_slice())
         };
         let val_of = |u: usize, vv: usize| {
-            cell_keys
-                .get(u * hw.pe_cols + vv)
-                .copied()
-                .flatten()
-                .map(|kj| inputs.vq[kj].as_slice())
+            cell_keys.get(u * hw.pe_cols + vv).copied().flatten().map(|kj| inputs.vq[kj].as_slice())
         };
         let (parts, _trace) =
             array.run_pass(d, &queries, key_of, val_of, &self.exp, &self.recip, sat);
@@ -369,8 +366,7 @@ impl SpatialAccelerator {
         sat: &mut MacSaturation,
     ) -> Result<PartialRow, SimError> {
         // Stage 1: output-stationary dot products.
-        let scores: Vec<i32> =
-            keys.iter().map(|&j| qk_dot(q_row, &inputs.kq[j], sat)).collect();
+        let scores: Vec<i32> = keys.iter().map(|&j| qk_dot(q_row, &inputs.kq[j], sat)).collect();
         // Stages 2-4: exp, row sum, reciprocal, normalize.
         let (probs, weight, _) = fixed_softmax_parts(&scores, &self.exp, &self.recip)?;
         // Stage 5: weight-stationary value accumulation.
@@ -406,15 +402,15 @@ impl SpatialAccelerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use salo_kernels::{
-        fixed_sparse_attention, sparse_attention, FixedAttention, Qkv,
-    };
+    use salo_kernels::{fixed_sparse_attention, sparse_attention, FixedAttention, Qkv};
     use salo_patterns::{longformer, sliding_only, sparse_transformer, HybridPattern, Window};
     use salo_scheduler::HardwareMeta;
 
     fn accel(rows: usize, cols: usize) -> SpatialAccelerator {
-        let mut config = AcceleratorConfig::default();
-        config.hw = HardwareMeta::new(rows, cols, 1, 1).unwrap();
+        let config = AcceleratorConfig {
+            hw: HardwareMeta::new(rows, cols, 1, 1).unwrap(),
+            ..Default::default()
+        };
         SpatialAccelerator::new(config)
     }
 

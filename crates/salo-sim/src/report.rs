@@ -45,7 +45,8 @@ mod tests {
 
     #[test]
     fn reports_are_plain_data() {
-        let cycles = CycleBreakdown { passes: 1, per_pass: 2, fill_drain: 3, per_head: 5, total: 5 };
+        let cycles =
+            CycleBreakdown { passes: 1, per_pass: 2, fill_drain: 3, per_head: 5, total: 5 };
         let t = TimingReport {
             cycles,
             time_s: 5e-9,

@@ -132,8 +132,10 @@ mod tests {
     #[test]
     fn power_scales_with_pe_count() {
         let model = AreaPowerModel::calibrated();
-        let mut half = AcceleratorConfig::default();
-        half.hw = HardwareMeta::new(16, 32, 1, 1).unwrap();
+        let half = AcceleratorConfig {
+            hw: HardwareMeta::new(16, 32, 1, 1).unwrap(),
+            ..Default::default()
+        };
         let small = model.estimate(&half);
         let full = model.estimate(&AcceleratorConfig::default());
         assert!(small.power_w < full.power_w);
@@ -159,8 +161,10 @@ mod tests {
         // 64x16 with its global units differs from 32x32 only via the
         // global row/column lengths and WSM count.
         let model = AreaPowerModel::calibrated();
-        let mut tall = AcceleratorConfig::default();
-        tall.hw = HardwareMeta::new(64, 16, 1, 1).unwrap();
+        let tall = AcceleratorConfig {
+            hw: HardwareMeta::new(64, 16, 1, 1).unwrap(),
+            ..Default::default()
+        };
         let a = model.estimate(&tall);
         let b = model.estimate(&AcceleratorConfig::default());
         assert!((a.power_w / b.power_w - 1.0).abs() < 0.1, "{} vs {}", a.power_w, b.power_w);

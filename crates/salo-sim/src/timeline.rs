@@ -46,7 +46,11 @@ impl Timeline {
     pub fn from_plan(plan: &ExecutionPlan, config: &AcceleratorConfig, d: usize) -> Self {
         let model = CycleModel::new(config);
         let interval = model.pass_interval(d);
-        let fill_drain = if config.pipelined { 2 * (config.hw.pe_rows + config.hw.pe_cols - 2) as u64 } else { 0 };
+        let fill_drain = if config.pipelined {
+            2 * (config.hw.pe_rows + config.hw.pe_cols - 2) as u64
+        } else {
+            0
+        };
         let mut slots = Vec::with_capacity(plan.passes().len());
         let mut cursor = fill_drain / 2; // fill before the first interval
         for (index, pass) in plan.passes().iter().enumerate() {
@@ -117,7 +121,7 @@ impl Timeline {
 mod tests {
     use super::*;
     use salo_patterns::longformer;
-    use salo_scheduler::{ExecutionPlan, HardwareMeta};
+    use salo_scheduler::ExecutionPlan;
 
     fn timeline() -> (Timeline, ExecutionPlan, AcceleratorConfig) {
         let pattern = longformer(256, 32, 1).unwrap();

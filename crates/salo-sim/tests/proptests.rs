@@ -36,8 +36,7 @@ proptest! {
             Ok(p) => p,
             Err(_) => return Ok(()), // degenerate (empty) pattern
         };
-        let mut config = AcceleratorConfig::default();
-        config.hw = hw;
+        let config = AcceleratorConfig { hw, ..Default::default() };
         let sim = SpatialAccelerator::new(config);
         let qkv = Qkv::random(pattern.n(), d, seed);
         let scale = SpatialAccelerator::default_scale(d);
@@ -58,8 +57,7 @@ proptest! {
             Ok(p) => p,
             Err(_) => return Ok(()),
         };
-        let mut config = AcceleratorConfig::default();
-        config.hw = hw;
+        let config = AcceleratorConfig { hw, ..Default::default() };
         let sim = SpatialAccelerator::new(config);
         let qkv = Qkv::random(pattern.n(), d, seed);
         let scale = SpatialAccelerator::default_scale(d);
@@ -78,8 +76,7 @@ proptest! {
             Ok(p) => p,
             Err(_) => return Ok(()),
         };
-        let mut config = AcceleratorConfig::default();
-        config.hw = hw;
+        let config = AcceleratorConfig { hw, ..Default::default() };
         let sim = SpatialAccelerator::new(config);
         let one = sim.estimate(&plan, d, 1);
         let four = sim.estimate(&plan, d, 4);

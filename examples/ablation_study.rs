@@ -17,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pass pipelining: the steady-state interval vs serialized stages.
     println!("-- pipelining (Longformer-4096, d=64, 12 heads) --");
     for pipelined in [false, true] {
-        let mut config = AcceleratorConfig::default();
-        config.pipelined = pipelined;
+        let config = AcceleratorConfig { pipelined, ..Default::default() };
         let salo = Salo::new(config);
         let compiled = salo.compile(&workload.pattern, &workload.shape)?;
         let t = salo.estimate(&compiled);
@@ -33,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Array geometry at a fixed PE budget of 1024.
     println!("\n-- array geometry (1024 PEs) --");
     for (r, c) in [(32usize, 32usize), (64, 16), (16, 64), (128, 8)] {
-        let mut config = AcceleratorConfig::default();
-        config.hw = HardwareMeta::new(r, c, 1, 1)?;
+        let config = AcceleratorConfig { hw: HardwareMeta::new(r, c, 1, 1)?, ..Default::default() };
         let salo = Salo::new(config);
         let compiled = salo.compile(&workload.pattern, &workload.shape)?;
         let t = salo.estimate(&compiled);

@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "validation: coverage exact = {}, max |err| = {:.4}, saturations = {}, \
          buffers fit = {}",
-        report.coverage_exact,
-        report.max_abs_error,
-        report.saturation_events,
-        report.buffers.fits
+        report.coverage_exact, report.max_abs_error, report.saturation_events, report.buffers.fits
     );
     assert!(report.is_ok());
 

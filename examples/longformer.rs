@@ -18,9 +18,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = longformer_base_4096();
     let row = compare_workload(&salo, &workload, &cpu_xeon_e5_2630_v3(), &gtx_1080ti())?;
     println!("Longformer-Base-4096 attention layer (12 heads, window 512):");
-    println!("  SALO : {:.3} ms, utilization {:.1}%", row.salo_latency_s * 1e3, row.salo_utilization * 100.0);
-    println!("  CPU  : {:.1} ms -> speedup {:.2}x (paper 83.57x)", row.cpu_latency_s * 1e3, row.speedup_cpu());
-    println!("  GPU  : {:.1} ms -> speedup {:.2}x (paper 7.38x)", row.gpu_latency_s * 1e3, row.speedup_gpu());
+    println!(
+        "  SALO : {:.3} ms, utilization {:.1}%",
+        row.salo_latency_s * 1e3,
+        row.salo_utilization * 100.0
+    );
+    println!(
+        "  CPU  : {:.1} ms -> speedup {:.2}x (paper 83.57x)",
+        row.cpu_latency_s * 1e3,
+        row.speedup_cpu()
+    );
+    println!(
+        "  GPU  : {:.1} ms -> speedup {:.2}x (paper 7.38x)",
+        row.gpu_latency_s * 1e3,
+        row.speedup_gpu()
+    );
     println!(
         "  energy: {:.2} mJ vs CPU {:.0} mJ ({:.0}x) / GPU {:.0} mJ ({:.0}x)",
         row.salo_energy_j * 1e3,
@@ -41,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst = worst.max(ours.output.max_abs_diff(exact));
     }
     println!("\nscaled functional run (n=512, w=64, 2 heads):");
-    println!("  simulated latency {:.3} us, max |err| vs f32 reference {:.4}", run.total_time_s * 1e6, worst);
+    println!(
+        "  simulated latency {:.3} us, max |err| vs f32 reference {:.4}",
+        run.total_time_s * 1e6,
+        worst
+    );
     assert!(worst < 0.3);
     println!("ok");
     Ok(())

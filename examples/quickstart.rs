@@ -11,10 +11,8 @@ use salo::patterns::{AttentionShape, HybridPattern, Window};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A Longformer-style pattern: sliding window of 64 plus one global
     //    token, over a 512-token sequence.
-    let pattern = HybridPattern::builder(512)
-        .window(Window::symmetric(64)?)
-        .global_token(0)
-        .build()?;
+    let pattern =
+        HybridPattern::builder(512).window(Window::symmetric(64)?).global_token(0).build()?;
     let stats = pattern.stats();
     println!(
         "pattern: n={} nnz={} density={:.4} ({}x compression vs dense)",

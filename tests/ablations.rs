@@ -2,7 +2,9 @@
 //! claims DESIGN.md calls out).
 
 use salo::core::Salo;
-use salo::models::{longformer_16k, longformer_layer, sparse_transformer_layer, star_transformer_layer};
+use salo::models::{
+    longformer_16k, longformer_layer, sparse_transformer_layer, star_transformer_layer,
+};
 use salo::patterns::longformer;
 use salo::quant::sweep_fraction_bits;
 use salo::scheduler::{ExecutionPlan, HardwareMeta};
@@ -14,8 +16,7 @@ use salo::sim::{AcceleratorConfig, BufferAnalysis, TrafficReport};
 fn pipelining_ablation() {
     let workload = longformer_layer(2048, 256, 768, 1).unwrap();
     let run = |pipelined: bool| {
-        let mut config = AcceleratorConfig::default();
-        config.pipelined = pipelined;
+        let config = AcceleratorConfig { pipelined, ..Default::default() };
         let salo = Salo::new(config);
         let compiled = salo.compile(&workload.pattern, &workload.shape).unwrap();
         salo.estimate(&compiled)
@@ -35,11 +36,7 @@ fn dataflow_reuse_ablation() {
     let pattern = longformer(4096, 512, 1).unwrap();
     let plan = ExecutionPlan::build(&pattern, HardwareMeta::default()).unwrap();
     let t = TrafficReport::from_plan(&plan, 64);
-    assert!(
-        (10.0..=32.0).contains(&t.reuse_factor()),
-        "reuse factor {}",
-        t.reuse_factor()
-    );
+    assert!((10.0..=32.0).contains(&t.reuse_factor()), "reuse factor {}", t.reuse_factor());
 }
 
 /// Table 1's buffers are sized to the Longformer window: the working set
@@ -96,8 +93,7 @@ fn other_families_schedule_cleanly() {
         sparse_transformer_layer(512, 8, 8, 128).unwrap(),
     ] {
         let compiled = salo.compile(&workload.pattern, &workload.shape).unwrap();
-        let report =
-            salo::scheduler::verify_coverage(&compiled.plan, &workload.pattern);
+        let report = salo::scheduler::verify_coverage(&compiled.plan, &workload.pattern);
         assert!(report.is_exact(), "{}: inexact coverage", workload.name);
         let t = salo.estimate(&compiled);
         assert!(t.cycles.total > 0);

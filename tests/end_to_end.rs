@@ -11,8 +11,8 @@ use salo::scheduler::HardwareMeta;
 use salo::sim::AcceleratorConfig;
 
 fn small_salo() -> Salo {
-    let mut config = AcceleratorConfig::default();
-    config.hw = HardwareMeta::new(8, 8, 1, 1).unwrap();
+    let config =
+        AcceleratorConfig { hw: HardwareMeta::new(8, 8, 1, 1).unwrap(), ..Default::default() };
     Salo::new(config)
 }
 

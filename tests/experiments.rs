@@ -118,10 +118,9 @@ fn e7_quantization_accuracy() {
 fn baseline_orderings() {
     let cpu = cpu_xeon_e5_2630_v3();
     let gpu = gtx_1080ti();
-    for w in [
-        longformer_layer(2048, 256, 768, 1).unwrap(),
-        longformer_layer(8192, 512, 768, 1).unwrap(),
-    ] {
+    for w in
+        [longformer_layer(2048, 256, 768, 1).unwrap(), longformer_layer(8192, 512, 768, 1).unwrap()]
+    {
         let b = w.baseline();
         assert!(cpu.latency_s(&b) > gpu.latency_s(&b));
     }

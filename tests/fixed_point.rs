@@ -50,7 +50,7 @@ proptest! {
         let out = fixed_sparse_attention(&pattern, &qkv.q, &qkv.k, &qkv.v,
             &FixedAttention::new(d)).expect("attention");
         let vmax = (0..n)
-            .flat_map(|i| qkv.v.row(i).iter().copied().collect::<Vec<_>>())
+            .flat_map(|i| qkv.v.row(i).to_vec())
             .fold(0.0f32, |m, x| m.max(x.abs()));
         for i in 0..n {
             for c in 0..d {

@@ -1,0 +1,90 @@
+//! Smoke test: every preset pattern family schedules onto the accelerator
+//! with exactly-once coverage of its declared sparsity mask.
+//!
+//! This is the scheduler's fundamental contract (§4 of the paper): window
+//! splitting plus global-token extraction must neither drop nor duplicate a
+//! single kept (query, key) position, for every supported attention family.
+
+use salo::patterns::{
+    grid_2d, longformer, sliding_only, sparse_transformer, star_transformer, vil_stage,
+    HybridPattern,
+};
+use salo::scheduler::{verify_coverage, ExecutionPlan, HardwareMeta};
+
+/// Builds a plan on the paper-style geometry (scaled down so the O(n^2)
+/// coverage replay stays fast) and asserts exact coverage.
+fn assert_full_coverage(name: &str, pattern: &HybridPattern) {
+    let hw = HardwareMeta::new(8, 8, 1, 1).expect("hardware geometry");
+    let plan = ExecutionPlan::build(pattern, hw)
+        .unwrap_or_else(|e| panic!("{name}: plan build failed: {e}"));
+    let report = verify_coverage(&plan, pattern);
+    assert!(
+        report.is_exact(),
+        "{name}: coverage not exact — missing {:?}, duplicated {:?}, spurious {:?}",
+        report.missing.first(),
+        report.duplicated.first(),
+        report.spurious.first()
+    );
+}
+
+#[test]
+fn longformer_family_full_coverage() {
+    for (n, w, ng) in [(64, 8, 1), (128, 16, 2), (96, 9, 0)] {
+        let p = longformer(n, w, ng).expect("longformer pattern");
+        assert_full_coverage(&format!("longformer({n}, {w}, {ng})"), &p);
+    }
+}
+
+#[test]
+fn sparse_transformer_family_full_coverage() {
+    for (n, stride, depth) in [(64, 8, 2), (128, 16, 3), (48, 4, 1)] {
+        let p = sparse_transformer(n, stride, depth).expect("sparse transformer pattern");
+        assert_full_coverage(&format!("sparse_transformer({n}, {stride}, {depth})"), &p);
+    }
+}
+
+#[test]
+fn star_transformer_family_full_coverage() {
+    for n in [16, 64, 100] {
+        let p = star_transformer(n).expect("star transformer pattern");
+        assert_full_coverage(&format!("star_transformer({n})"), &p);
+    }
+}
+
+#[test]
+fn grid_2d_family_full_coverage() {
+    for (h, w, wh, ww, ng) in [(8, 8, 3, 3, 0), (8, 12, 5, 5, 1), (6, 6, 3, 5, 2)] {
+        let p = grid_2d(h, w, wh, ww, ng).expect("grid pattern");
+        assert_full_coverage(&format!("grid_2d({h}, {w}, {wh}, {ww}, {ng})"), &p);
+    }
+}
+
+#[test]
+fn vil_stage_full_coverage() {
+    // Scaled-down ViL stage: same 2-D window structure as Table 2, smaller
+    // grid so the replay stays fast.
+    let p = vil_stage(10, 10, 5, 5, 1).expect("vil pattern");
+    assert_full_coverage("vil_stage(10, 10, 5, 5, 1)", &p);
+}
+
+#[test]
+fn sliding_only_family_full_coverage() {
+    for (n, w) in [(64, 8), (128, 33), (32, 1)] {
+        let p = sliding_only(n, w).expect("sliding pattern");
+        assert_full_coverage(&format!("sliding_only({n}, {w})"), &p);
+    }
+}
+
+#[test]
+fn coverage_holds_across_hardware_geometries() {
+    // The same pattern must stay exactly-once under different PE array
+    // shapes — splitting boundaries move but the multiset of positions
+    // must not.
+    let p = longformer(96, 12, 1).expect("pattern");
+    for (rows, cols) in [(2, 2), (4, 8), (8, 4), (16, 16)] {
+        let hw = HardwareMeta::new(rows, cols, 1, 1).expect("hw");
+        let plan = ExecutionPlan::build(&p, hw).expect("plan");
+        let report = verify_coverage(&plan, &p);
+        assert!(report.is_exact(), "{rows}x{cols}: {report:?}");
+    }
+}

@@ -11,10 +11,9 @@ use salo::sim::{AcceleratorConfig, SpatialAccelerator};
 fn paper_workload_plans_are_exact_at_scale() {
     // Mid-size instances of each Table 2 family, full coverage audit.
     let hw = HardwareMeta::default();
-    for pattern in [
-        longformer(512, 64, 1).unwrap(),
-        salo::patterns::grid_2d(16, 16, 5, 5, 1).unwrap(),
-    ] {
+    for pattern in
+        [longformer(512, 64, 1).unwrap(), salo::patterns::grid_2d(16, 16, 5, 5, 1).unwrap()]
+    {
         let plan = ExecutionPlan::build(&pattern, hw).unwrap();
         let report = verify_coverage(&plan, &pattern);
         assert!(report.is_exact(), "coverage: {:?}", report.missing.first());
@@ -41,8 +40,10 @@ fn splitting_is_invisible_in_the_output() {
     let scale = 1.0 / (d as f32).sqrt();
 
     let run = |cols: usize| {
-        let mut config = AcceleratorConfig::default();
-        config.hw = HardwareMeta::new(8, cols, 0, 0).unwrap();
+        let config = AcceleratorConfig {
+            hw: HardwareMeta::new(8, cols, 0, 0).unwrap(),
+            ..Default::default()
+        };
         let sim = SpatialAccelerator::new(config);
         let plan = ExecutionPlan::build(&pattern, sim.config().hw).unwrap();
         sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, scale).unwrap()
@@ -67,10 +68,8 @@ fn reordering_equals_logical_dilated_execution() {
     let d = 8;
     let dil = 3;
     // Dilated window: offsets {-6, -3, 0, 3, 6}.
-    let dilated = HybridPattern::builder(n)
-        .window(Window::dilated(-6, 6, dil).unwrap())
-        .build()
-        .unwrap();
+    let dilated =
+        HybridPattern::builder(n).window(Window::dilated(-6, 6, dil).unwrap()).build().unwrap();
     let qkv = Qkv::random(n, d, 21);
     let dp = FixedAttention::new(d);
     let direct = fixed_sparse_attention(&dilated, &qkv.q, &qkv.k, &qkv.v, &dp).unwrap();

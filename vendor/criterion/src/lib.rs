@@ -1,0 +1,243 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access to a cargo registry, so this
+//! vendored crate implements the slice of the criterion API the workspace's
+//! benches use: [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], `sample_size`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: each benchmark is warmed up once,
+//! then timed over `sample_size` samples, and the median ns/iteration is
+//! printed. This is enough to track perf trajectory between PRs without the
+//! real crate's bootstrap analysis. `--no-run`, bench filtering by substring,
+//! and `--bench` pass-through arguments all behave as cargo expects.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function_name` parameterized by `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing callback handle passed to bench closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median ns/iteration across samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-sample iteration-count calibration: aim for
+        // ~1 ms per sample so cheap routines aren't dominated by timer
+        // resolution.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().as_nanos().max(1);
+        let iters_per_sample = (1_000_000 / once).clamp(1, 10_000) as usize;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// A named collection of benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `routine` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut bencher = Bencher { samples: self.sample_size, ns_per_iter: 0.0 };
+        routine(&mut bencher);
+        println!("{full:<60} {:>14.1} ns/iter (median)", bencher.ns_per_iter);
+        self
+    }
+
+    /// Runs `routine` with `input`, as a benchmark named `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness state, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo bench passes `--bench` plus any user filter string; honour a
+        // substring filter and `--list`, ignore the rest.
+        let mut filter = None;
+        let mut list_only = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--list" => list_only = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self { filter, list_only }
+    }
+}
+
+impl Criterion {
+    /// Begins a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Runs `routine` as an ungrouped benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = id.id.clone();
+        self.benchmark_group(name).sample_size(100).bench_function(id, routine);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        if self.list_only {
+            println!("{full_name}: benchmark");
+            return false;
+        }
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// Re-export so existing `use criterion::black_box` imports keep working.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_time() {
+        let mut b = Bencher { samples: 3, ns_per_iter: 0.0 };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dense", 128).id, "dense/128");
+        assert_eq!(BenchmarkId::from_parameter("4x8").id, "4x8");
+    }
+
+    #[test]
+    fn groups_run_benchmarks() {
+        let mut c = Criterion { filter: None, list_only: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("zzz".into()), list_only: false };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("f", |_b| ran = true);
+        assert!(!ran);
+    }
+}
