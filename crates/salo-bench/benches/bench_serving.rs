@@ -1,0 +1,77 @@
+//! Serving-runtime hot paths: the cached-plan lookup vs the full
+//! scheduler pass, and closed-loop throughput across worker-pool sizes.
+//!
+//! The cached/uncached pair is the acceptance check for the plan cache: a
+//! hit is a sharded map lookup, a miss is the whole splitting/reordering
+//! pass, so the gap grows with sequence length. The worker sweep tracks
+//! dispatch overhead; wall-clock scaling with pool size additionally
+//! needs as many host cores as workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salo_core::Salo;
+use salo_models::longformer_layer;
+use salo_serve::{PlanCache, PlanKey, SaloServer, ServeOptions, TrafficMix};
+use salo_sim::AcceleratorConfig;
+use std::hint::black_box;
+
+fn bench_compile_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_compile_path");
+    group.sample_size(10);
+    let config = AcceleratorConfig::default();
+    let salo = Salo::new(config.clone());
+    for n in [1024usize, 4096] {
+        let workload = longformer_layer(n, 256, 768, 1).expect("workload");
+        let key = PlanKey::new(&workload.pattern, &workload.shape, &config);
+
+        group.bench_with_input(BenchmarkId::new("uncached_compile", n), &workload, |b, w| {
+            b.iter(|| black_box(salo.compile(&w.pattern, &w.shape).expect("compile")))
+        });
+
+        let cache = PlanCache::new(8, 2);
+        let _ = cache
+            .get_or_compile(key, &workload.pattern, &config, || {
+                salo.compile(&workload.pattern, &workload.shape)
+            })
+            .expect("warm the cache");
+        group.bench_with_input(BenchmarkId::new("cached_hit", n), &workload, |b, w| {
+            b.iter(|| {
+                let key = PlanKey::new(&w.pattern, &w.shape, &config);
+                let (plan, hit) = cache
+                    .get_or_compile(key, &w.pattern, &config, || salo.compile(&w.pattern, &w.shape))
+                    .expect("lookup");
+                assert!(hit, "warmed cache must hit");
+                black_box(plan)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serving_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_closed_loop");
+    group.sample_size(10);
+    let mix = TrafficMix::demo_mix();
+    let total = 24u64;
+    let requests: Vec<_> = (0..total).map(|i| mix.request(i)).collect();
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &requests, |b, requests| {
+            b.iter(|| {
+                let server = SaloServer::start(
+                    AcceleratorConfig::default(),
+                    ServeOptions { workers, max_batch: 8, ..Default::default() },
+                );
+                for request in requests {
+                    server.submit(request.clone()).expect("submit");
+                }
+                for _ in 0..requests.len() {
+                    black_box(server.recv().expect("response"));
+                }
+                black_box(server.shutdown())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_path, bench_serving_workers);
+criterion_main!(benches);

@@ -37,6 +37,7 @@
 
 mod builder;
 mod error;
+mod fingerprint;
 mod fit;
 mod mask;
 mod pattern;
@@ -49,6 +50,7 @@ mod window;
 
 pub use builder::PatternBuilder;
 pub use error::PatternError;
+pub use fingerprint::StableHasher;
 pub use fit::{fit_pattern, FitConfig, FitReport};
 pub use mask::DenseMask;
 pub use pattern::HybridPattern;

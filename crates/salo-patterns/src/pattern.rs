@@ -1,4 +1,4 @@
-use crate::{PatternBuilder, PatternError, PatternStats, Window};
+use crate::{PatternBuilder, PatternError, PatternStats, StableHasher, Window};
 
 /// A hybrid sparse attention pattern: the union of window components and
 /// global tokens over a sequence of length `n`.
@@ -25,7 +25,7 @@ use crate::{PatternBuilder, PatternError, PatternStats, Window};
 /// assert_eq!(p.row_keys(8), vec![0, 7, 8, 9]);
 /// # Ok::<(), salo_patterns::PatternError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct HybridPattern {
     n: usize,
     windows: Vec<Window>,
@@ -196,6 +196,36 @@ impl HybridPattern {
         HybridPattern::from_parts(self.n, windows, self.globals.clone())
     }
 
+    /// A stable 64-bit structural fingerprint of the pattern.
+    ///
+    /// Equal patterns (same sequence length, same window list in order
+    /// with dilation, same global-token set) always fingerprint
+    /// identically; distinct patterns collide only with the ~2^-64
+    /// probability of the underlying non-cryptographic hash, so callers
+    /// keying caches on it must verify the actual pattern on a hit (as
+    /// `salo-serve`'s plan cache does). Unlike `Hash`, the value is
+    /// process- and release-stable ([`StableHasher`]), so it is usable as
+    /// a persistent cache key.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // Exhaustive destructuring: a future field cannot be forgotten
+        // here without a compile error.
+        let Self { n, windows, globals } = self;
+        let mut h = StableHasher::new();
+        h.write_usize(*n);
+        h.write_usize(windows.len());
+        for w in windows {
+            h.write_i64(w.lo());
+            h.write_i64(w.hi());
+            h.write_usize(w.dilation());
+        }
+        h.write_usize(globals.len());
+        for &g in globals {
+            h.write_usize(g);
+        }
+        h.finish()
+    }
+
     /// The union of all windows' relative offsets, sorted and deduplicated.
     ///
     /// For patterns whose windows are all undilated this is the per-query
@@ -355,6 +385,39 @@ mod tests {
         for (i, j) in c.iter() {
             assert!(j <= i, "({i},{j}) is anti-causal");
         }
+    }
+
+    #[test]
+    fn fingerprint_separates_structure() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal patterns, equal fingerprints");
+
+        let longer = HybridPattern::builder(11)
+            .window(Window::symmetric(3).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), longer.fingerprint(), "sequence length matters");
+
+        let other_global = HybridPattern::builder(10)
+            .window(Window::symmetric(3).unwrap())
+            .global_token(1)
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), other_global.fingerprint(), "globals matter");
+
+        let dilated = HybridPattern::builder(10)
+            .window(Window::dilated(-1, 1, 2).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        let sliding = HybridPattern::builder(10)
+            .window(Window::sliding(-1, 1).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        assert_ne!(dilated.fingerprint(), sliding.fingerprint(), "dilation matters");
     }
 
     #[test]

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+use salo_core::SaloError;
+
+/// Errors surfaced by the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request is internally inconsistent (heads disagree with the
+    /// declared shape, or the pattern disagrees with the sequence length).
+    InvalidRequest {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// Compilation or execution failed inside the runtime.
+    Salo(SaloError),
+    /// The server has shut down: the submission or response channel is
+    /// closed and no further requests can be served.
+    Closed,
+    /// The worker a batch was routed to is gone (its thread exited); the
+    /// affected requests fail instead of being silently dropped.
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            ServeError::Salo(e) => write!(f, "execution error: {e}"),
+            ServeError::Closed => write!(f, "server is shut down"),
+            ServeError::WorkerLost => write!(f, "worker thread is gone"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Salo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SaloError> for ServeError {
+    fn from(e: SaloError) -> Self {
+        ServeError::Salo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salo_patterns::PatternError;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServeError::InvalidRequest { reason: "nope".into() };
+        assert!(e.to_string().contains("nope"));
+        assert!(e.source().is_none());
+
+        let e: ServeError = SaloError::from(PatternError::EmptySequence).into();
+        assert!(e.to_string().contains("execution error"));
+        assert!(e.source().is_some());
+
+        assert_eq!(ServeError::Closed.to_string(), "server is shut down");
+        assert_eq!(ServeError::WorkerLost.to_string(), "worker thread is gone");
+    }
+}

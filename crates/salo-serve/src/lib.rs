@@ -1,0 +1,90 @@
+//! A concurrent attention-serving runtime over the SALO accelerator.
+//!
+//! The one-shot [`Salo`](salo_core::Salo) API re-runs the scheduler's
+//! splitting/reordering pass on every call and executes on a single
+//! simulated accelerator. That is the wrong shape for serving: SALO's
+//! premise is that one compiled hybrid-sparsity dataflow is reused across
+//! an entire inference workload, and serving-oriented follow-ups (Salca,
+//! SparseAccelerate) show that plan reuse and batching — not kernel speed
+//! alone — dominate end-to-end throughput. This crate supplies the
+//! missing runtime:
+//!
+//! * a **[`PlanCache`]** keyed by `(pattern fingerprint, shape,
+//!   accelerator fingerprint)` — repeated requests skip the scheduler
+//!   pass entirely (sharded locking, LRU eviction, hit/miss counters);
+//! * a **request batcher** that groups in-flight requests sharing a
+//!   compiled plan and dispatches them as multi-head batches;
+//! * a **worker pool** of N threads, each owning a
+//!   [`Salo`](salo_core::Salo) instance (N accelerator replicas), fed by
+//!   a least-loaded dispatcher, with responses restored to submission
+//!   order by a collector;
+//! * a **metrics layer** ([`ServeReport`]): per-request latency
+//!   percentiles, queue depth, cache hit rate, and aggregate *simulated*
+//!   cycles/energy from the `salo-sim` timing model.
+//!
+//! Batched execution is bit-identical to the one-shot API: workers run
+//! each request's heads back to back through the same fixed-point
+//! datapath, so a response's output equals `Salo::execute` on the same
+//! inputs — asserted in the integration tests.
+//!
+//! # Example
+//!
+//! ```
+//! use salo_serve::{SaloServer, ServeOptions, TrafficMix};
+//! use salo_sim::AcceleratorConfig;
+//!
+//! # fn main() -> Result<(), salo_serve::ServeError> {
+//! let server = SaloServer::start(AcceleratorConfig::default(), ServeOptions {
+//!     workers: 2,
+//!     ..Default::default()
+//! });
+//! let mix = TrafficMix::demo_mix();
+//! for i in 0..6 {
+//!     server.submit(mix.request(i))?;
+//! }
+//! for i in 0..6 {
+//!     let response = server.recv()?;
+//!     assert_eq!(response.id, i, "responses arrive in submission order");
+//!     assert!(response.output().is_ok());
+//! }
+//! let report = server.shutdown();
+//! assert_eq!(report.requests, 6);
+//! assert!(report.cache.hit_rate() > 0.0, "3 workloads, 6 requests: hits");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod batch;
+mod cache;
+mod error;
+mod metrics;
+mod request;
+mod server;
+mod traffic;
+mod worker;
+
+pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use error::ServeError;
+pub use metrics::{DepthGauge, LatencyRecorder, LatencyStats, ServeReport};
+pub use request::{ServeRequest, ServeResponse};
+pub use server::{SaloServer, ServeOptions};
+pub use traffic::TrafficMix;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlanCache>();
+        assert_send_sync::<SaloServer>();
+        assert_send_sync::<ServeRequest>();
+        assert_send_sync::<ServeResponse>();
+        assert_send_sync::<std::sync::Arc<salo_core::CompiledPlan>>();
+        assert_send_sync::<salo_core::Salo>();
+    }
+}

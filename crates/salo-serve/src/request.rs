@@ -1,0 +1,148 @@
+//! Request and response types of the serving runtime.
+
+use salo_core::MultiHeadRun;
+use salo_kernels::Qkv;
+use salo_models::Workload;
+use salo_patterns::{AttentionShape, HybridPattern};
+
+use crate::ServeError;
+
+/// One attention-layer inference request: a hybrid pattern, its shape and
+/// the per-head Q/K/V inputs.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// The hybrid sparse attention pattern (shared by all heads).
+    pub pattern: HybridPattern,
+    /// Sequence/head dimensions.
+    pub shape: AttentionShape,
+    /// Per-head inputs; length must equal `shape.num_heads`.
+    pub heads: Vec<Qkv>,
+}
+
+impl ServeRequest {
+    /// Builds a request, validating that the heads agree with the shape
+    /// and the pattern agrees with the sequence length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] on any disagreement, so the
+    /// runtime never accepts work it would later fail to execute.
+    pub fn new(
+        pattern: HybridPattern,
+        shape: AttentionShape,
+        heads: Vec<Qkv>,
+    ) -> Result<Self, ServeError> {
+        if pattern.n() != shape.seq_len {
+            return Err(ServeError::InvalidRequest {
+                reason: format!(
+                    "pattern length {} != shape sequence length {}",
+                    pattern.n(),
+                    shape.seq_len
+                ),
+            });
+        }
+        if heads.len() != shape.num_heads {
+            return Err(ServeError::InvalidRequest {
+                reason: format!(
+                    "{} heads provided, shape declares {}",
+                    heads.len(),
+                    shape.num_heads
+                ),
+            });
+        }
+        for (i, h) in heads.iter().enumerate() {
+            if h.seq_len() != shape.seq_len || h.head_dim() != shape.head_dim {
+                return Err(ServeError::InvalidRequest {
+                    reason: format!(
+                        "head {i} is {}x{}, shape declares {}x{}",
+                        h.seq_len(),
+                        h.head_dim(),
+                        shape.seq_len,
+                        shape.head_dim
+                    ),
+                });
+            }
+        }
+        Ok(Self { pattern, shape, heads })
+    }
+
+    /// A request for one layer of a model workload, with deterministic
+    /// seeded inputs — the building block of traffic generators.
+    #[must_use]
+    pub fn from_workload(workload: &Workload, seed: u64) -> Self {
+        Self {
+            pattern: workload.pattern.clone(),
+            shape: workload.shape,
+            heads: workload.qkv_heads(seed),
+        }
+    }
+}
+
+/// The serving runtime's answer to one [`ServeRequest`].
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// Submission id; responses are delivered in increasing-id order.
+    pub id: u64,
+    /// The multi-head execution result, or the failure that prevented it.
+    pub result: Result<MultiHeadRun, ServeError>,
+    /// Whether the compiled plan came from the cache.
+    pub cache_hit: bool,
+    /// Index of the worker (accelerator instance) that executed it;
+    /// `None` when the request failed before reaching a worker.
+    pub worker: Option<usize>,
+    /// Number of requests in the batch this request rode in.
+    pub batch_size: usize,
+    /// Wall-clock latency from submission to completion, in seconds.
+    pub latency_s: f64,
+}
+
+impl ServeResponse {
+    /// The execution result, unwrapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the per-request failure, if any.
+    pub fn output(&self) -> Result<&MultiHeadRun, ServeError> {
+        self.result.as_ref().map_err(Clone::clone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salo_patterns::sliding_only;
+
+    #[test]
+    fn validates_head_count_and_dims() {
+        let pattern = sliding_only(16, 3).unwrap();
+        let shape = AttentionShape::new(16, 8, 2).unwrap();
+        let ok = ServeRequest::new(pattern.clone(), shape, Qkv::random_heads(&shape, 1));
+        assert!(ok.is_ok());
+
+        let wrong_count = ServeRequest::new(pattern.clone(), shape, vec![Qkv::random(16, 8, 1)]);
+        assert!(matches!(wrong_count, Err(ServeError::InvalidRequest { .. })));
+
+        let wrong_dim = ServeRequest::new(
+            pattern.clone(),
+            shape,
+            vec![Qkv::random(16, 4, 1), Qkv::random(16, 4, 2)],
+        );
+        assert!(matches!(wrong_dim, Err(ServeError::InvalidRequest { .. })));
+
+        let wrong_len = ServeRequest::new(
+            pattern,
+            AttentionShape::new(32, 8, 1).unwrap(),
+            vec![Qkv::random(32, 8, 1)],
+        );
+        assert!(matches!(wrong_len, Err(ServeError::InvalidRequest { .. })));
+    }
+
+    #[test]
+    fn from_workload_is_deterministic() {
+        let w = salo_models::bert_base(16).unwrap();
+        let a = ServeRequest::from_workload(&w, 7);
+        let b = ServeRequest::from_workload(&w, 7);
+        assert_eq!(a.heads.len(), w.shape.num_heads);
+        assert_eq!(a.heads[0].q, b.heads[0].q, "same seed, same inputs");
+    }
+}

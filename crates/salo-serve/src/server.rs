@@ -1,0 +1,464 @@
+//! The concurrent serving runtime: dispatcher, worker pool, collector.
+//!
+//! ```text
+//!             submit()                 ingress channel
+//!   client ─────────────────────────────────────────────▶ dispatcher
+//!                                                        │  plan cache
+//!                                                        │  batcher
+//!                                              batches   ▼
+//!                                   ┌──────────┬──────────┬──────────┐
+//!                                   │ worker 0 │ worker 1 │ worker N │   (one Salo each)
+//!                                   └────┬─────┴────┬─────┴────┬─────┘
+//!                                        └──────────┼──────────┘
+//!                                                   ▼ completion channel
+//!   client ◀──────────────────────────────────── collector (reorders by id,
+//!             recv(), in submission order          accumulates metrics)
+//! ```
+//!
+//! The dispatcher resolves each request's [`PlanKey`] against the shared
+//! [`PlanCache`] (a hit skips the scheduler pass entirely), groups
+//! compatible requests into same-plan batches, and ships each batch to the
+//! least-loaded worker. The collector restores submission order — the
+//! *ordered response channel* — and aggregates the session metrics
+//! reported by [`SaloServer::shutdown`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use salo_core::Salo;
+use salo_patterns::{AttentionShape, HybridPattern};
+use salo_sim::AcceleratorConfig;
+
+use crate::batch::{Batcher, InFlight};
+use crate::metrics::{DepthGauge, LatencyRecorder, ServeReport};
+use crate::worker::{Completed, WorkerPool};
+use crate::{CacheStats, PlanCache, PlanKey, ServeError, ServeRequest, ServeResponse};
+
+/// Tunables of the serving runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Number of worker threads, each modeling one accelerator instance.
+    pub workers: usize,
+    /// Maximum requests per dispatched batch.
+    pub max_batch: usize,
+    /// Total compiled plans the cache may hold.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self { workers: 4, max_batch: 8, cache_capacity: 64, cache_shards: 8 }
+    }
+}
+
+/// A request travelling from `submit` to the dispatcher.
+struct Submission {
+    id: u64,
+    pattern: HybridPattern,
+    shape: AttentionShape,
+    heads: Vec<salo_kernels::Qkv>,
+    submitted: Instant,
+}
+
+/// What the collector learned over the session.
+#[derive(Debug, Default)]
+struct CollectorSummary {
+    requests: u64,
+    errors: u64,
+    latencies: LatencyRecorder,
+    per_worker: Vec<u64>,
+    sim_cycles: u64,
+    sim_energy_j: f64,
+    first_submit: Option<Instant>,
+    last_finish: Option<Instant>,
+}
+
+/// A running SALO serving instance.
+///
+/// Submit requests with [`submit`](Self::submit); read responses — in
+/// submission order — with [`recv`](Self::recv); end the session with
+/// [`shutdown`](Self::shutdown), which drains in-flight work, joins every
+/// thread and returns the aggregate [`ServeReport`].
+pub struct SaloServer {
+    config: AcceleratorConfig,
+    ingress: Option<Sender<Submission>>,
+    ordered: Mutex<Receiver<ServeResponse>>,
+    cache: Arc<PlanCache>,
+    depth: Arc<DepthGauge>,
+    next_id: AtomicU64,
+    batches: Arc<AtomicU64>,
+    batched_requests: Arc<AtomicU64>,
+    summary: Arc<Mutex<Option<CollectorSummary>>>,
+    threads: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for SaloServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SaloServer")
+            .field("workers", &self.workers)
+            .field("queue_depth", &self.depth.current())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl SaloServer {
+    /// Starts the runtime: one dispatcher, `options.workers` workers (each
+    /// owning a [`Salo`] built from `config`), and one collector.
+    #[must_use]
+    pub fn start(config: AcceleratorConfig, options: ServeOptions) -> Self {
+        let workers = options.workers.max(1);
+        let cache = Arc::new(PlanCache::new(options.cache_capacity, options.cache_shards));
+        let depth = Arc::new(DepthGauge::new());
+        let batches = Arc::new(AtomicU64::new(0));
+        let batched_requests = Arc::new(AtomicU64::new(0));
+        let summary = Arc::new(Mutex::new(None));
+
+        let (ingress_tx, ingress_rx) = std::sync::mpsc::channel::<Submission>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Completed>();
+        let (ordered_tx, ordered_rx) = std::sync::mpsc::channel::<ServeResponse>();
+
+        let compiler = Salo::new(config.clone());
+        let pool = WorkerPool::spawn(workers, &compiler, &done_tx);
+
+        let mut threads = Vec::with_capacity(2);
+        {
+            let cache = Arc::clone(&cache);
+            let batches = Arc::clone(&batches);
+            let batched_requests = Arc::clone(&batched_requests);
+            let max_batch = options.max_batch;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("salo-serve-dispatcher".into())
+                    .spawn(move || {
+                        dispatcher_loop(
+                            &ingress_rx,
+                            &compiler,
+                            &cache,
+                            pool,
+                            max_batch,
+                            &batches,
+                            &batched_requests,
+                            &done_tx,
+                        );
+                    })
+                    .expect("spawn dispatcher thread"),
+            );
+        }
+        {
+            let depth = Arc::clone(&depth);
+            let summary = Arc::clone(&summary);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("salo-serve-collector".into())
+                    .spawn(move || collector_loop(&done_rx, &ordered_tx, &depth, workers, &summary))
+                    .expect("spawn collector thread"),
+            );
+        }
+
+        Self {
+            config,
+            ingress: Some(ingress_tx),
+            ordered: Mutex::new(ordered_rx),
+            cache,
+            depth,
+            next_id: AtomicU64::new(0),
+            batches,
+            batched_requests,
+            summary,
+            threads,
+            workers,
+        }
+    }
+
+    /// Starts the runtime with default options.
+    #[must_use]
+    pub fn with_defaults(config: AcceleratorConfig) -> Self {
+        Self::start(config, ServeOptions::default())
+    }
+
+    /// The accelerator configuration every worker models.
+    #[must_use]
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Submits a request; returns its id. Responses come back through
+    /// [`recv`](Self::recv) in increasing-id order, so a client that
+    /// submits `k` requests reads exactly `k` responses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] if the request is internally
+    /// inconsistent, or [`ServeError::Closed`] after shutdown.
+    pub fn submit(&self, request: ServeRequest) -> Result<u64, ServeError> {
+        // Re-validate: the fields are public, so the request may not have
+        // come through `ServeRequest::new`.
+        let request = ServeRequest::new(request.pattern, request.shape, request.heads)?;
+        let ingress = self.ingress.as_ref().ok_or(ServeError::Closed)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.depth.enter();
+        let submission = Submission {
+            id,
+            pattern: request.pattern,
+            shape: request.shape,
+            heads: request.heads,
+            submitted: Instant::now(),
+        };
+        if ingress.send(submission).is_err() {
+            self.depth.exit();
+            return Err(ServeError::Closed);
+        }
+        Ok(id)
+    }
+
+    /// Blocks for the next in-order response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] once the runtime has shut down and
+    /// every response has been delivered.
+    pub fn recv(&self) -> Result<ServeResponse, ServeError> {
+        self.ordered
+            .lock()
+            .expect("response receiver poisoned")
+            .recv()
+            .map_err(|_| ServeError::Closed)
+    }
+
+    /// Non-blocking variant of [`recv`](Self::recv): `None` when no
+    /// response is ready yet — including when another thread currently
+    /// holds the response channel inside a blocking [`recv`](Self::recv)
+    /// (this method never waits on that reader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] once the runtime has shut down and
+    /// every response has been delivered.
+    pub fn try_recv(&self) -> Result<Option<ServeResponse>, ServeError> {
+        let Ok(ordered) = self.ordered.try_lock() else {
+            return Ok(None); // a blocking reader owns the channel
+        };
+        match ordered.try_recv() {
+            Ok(r) => Ok(Some(r)),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Ok(None),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Requests currently in flight (submitted, not yet completed).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.depth.current()
+    }
+
+    /// Snapshot of the plan cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Stops accepting requests, drains all in-flight work, joins every
+    /// thread and returns the session report. Responses not yet read via
+    /// [`recv`](Self::recv) are discarded.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServeReport {
+        self.ingress.take(); // closes ingress: dispatcher → workers → collector wind down
+        for handle in self.threads.drain(..) {
+            handle.join().expect("serving thread panicked");
+        }
+        let summary = self.summary.lock().expect("summary poisoned").take().unwrap_or_default();
+        let wall_s = match (summary.first_submit, summary.last_finish) {
+            (Some(a), Some(b)) => b.duration_since(a).as_secs_f64(),
+            _ => 0.0,
+        };
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        ServeReport {
+            requests: summary.requests,
+            errors: summary.errors,
+            wall_s,
+            throughput_rps: if wall_s > 0.0 { summary.requests as f64 / wall_s } else { 0.0 },
+            latency: summary.latencies.stats(),
+            cache: self.cache.stats(),
+            batches,
+            mean_batch_size: if batches > 0 { batched as f64 / batches as f64 } else { 0.0 },
+            max_queue_depth: self.depth.high_water(),
+            sim_cycles: summary.sim_cycles,
+            sim_energy_j: summary.sim_energy_j,
+            per_worker_requests: summary.per_worker,
+        }
+    }
+}
+
+/// Dispatcher thread body.
+///
+/// Plan compilation for cache misses runs inline here, on the single
+/// dispatcher thread: the cache stays single-writer and a cold key is
+/// compiled exactly once. The tradeoff is that one cold-key scheduler
+/// pass (~0.4–1.6 ms at paper scale, see `bench_serving`) delays the
+/// dispatch of queued cache-hit requests behind it; workloads mixing
+/// many novel patterns with hot traffic would want compile shipped to
+/// the workers instead.
+#[allow(clippy::too_many_arguments)] // internal thread body, not public API
+fn dispatcher_loop(
+    ingress: &Receiver<Submission>,
+    compiler: &Salo,
+    cache: &PlanCache,
+    mut pool: WorkerPool,
+    max_batch: usize,
+    batches: &AtomicU64,
+    batched_requests: &AtomicU64,
+    done: &Sender<Completed>,
+) {
+    let mut batcher = Batcher::new(max_batch);
+    let dispatch = |batch: crate::batch::Batch| {
+        let size = batch.len() as u64;
+        match pool.dispatch(batch) {
+            Ok(()) => {
+                batches.fetch_add(1, Ordering::Relaxed);
+                batched_requests.fetch_add(size, Ordering::Relaxed);
+            }
+            // The routed worker's thread is gone: fail every member
+            // request so clients see an error instead of hanging on a
+            // response that will never come.
+            Err(batch) => {
+                for req in batch.requests {
+                    let failed = Completed {
+                        id: req.id,
+                        result: Err(ServeError::WorkerLost),
+                        cache_hit: req.cache_hit,
+                        worker: None,
+                        batch_size: 0,
+                        submitted: req.submitted,
+                        finished: Instant::now(),
+                    };
+                    let _ = done.send(failed);
+                }
+            }
+        }
+    };
+    // The accelerator configuration is fixed for the server's lifetime;
+    // fingerprint it once instead of on every dispatched request.
+    let config_fp = compiler.config().fingerprint();
+    // Bound on the opportunistic drain between flushes: under sustained
+    // open-loop traffic the submission queue may never run empty, and
+    // without this bound an under-filled bucket (and, through ordered
+    // delivery, every later response) could be held back indefinitely.
+    let drain_limit = pool.workers() * max_batch.max(1);
+    while let Ok(first) = ingress.recv() {
+        let mut next = Some(first);
+        let mut drained = 0usize;
+        while let Some(sub) = next.take() {
+            let key =
+                PlanKey { pattern_fp: sub.pattern.fingerprint(), shape: sub.shape, config_fp };
+            match cache.get_or_compile(key, &sub.pattern, compiler.config(), || {
+                compiler.compile(&sub.pattern, &sub.shape)
+            }) {
+                Ok((plan, cache_hit)) => {
+                    let inflight = InFlight {
+                        id: sub.id,
+                        heads: sub.heads,
+                        submitted: sub.submitted,
+                        cache_hit,
+                    };
+                    if let Some(batch) = batcher.push(key, &plan, inflight) {
+                        dispatch(batch);
+                    }
+                }
+                Err(e) => {
+                    let failed = Completed {
+                        id: sub.id,
+                        result: Err(e.into()),
+                        cache_hit: false,
+                        worker: None,
+                        batch_size: 0,
+                        submitted: sub.submitted,
+                        finished: Instant::now(),
+                    };
+                    if done.send(failed).is_err() {
+                        return;
+                    }
+                }
+            }
+            // Opportunistic batching: drain whatever has queued up while
+            // we were compiling, then flush (no timer, so an idle queue
+            // never delays a lone request; the drain bound guarantees a
+            // flush at least every `drain_limit` submissions).
+            drained += 1;
+            next = if drained < drain_limit { ingress.try_recv().ok() } else { None };
+        }
+        for batch in batcher.flush() {
+            dispatch(batch);
+        }
+    }
+    for batch in batcher.flush() {
+        dispatch(batch);
+    }
+    debug_assert_eq!(batcher.pending(), 0, "every accepted request is dispatched");
+    pool.close();
+    for handle in pool.handles.drain(..) {
+        handle.join().expect("worker thread panicked");
+    }
+}
+
+fn collector_loop(
+    done: &Receiver<Completed>,
+    ordered: &Sender<ServeResponse>,
+    depth: &DepthGauge,
+    workers: usize,
+    out: &Mutex<Option<CollectorSummary>>,
+) {
+    let mut summary = CollectorSummary { per_worker: vec![0; workers], ..Default::default() };
+    let mut pending: BTreeMap<u64, ServeResponse> = BTreeMap::new();
+    let mut next_id = 0u64;
+    while let Ok(completed) = done.recv() {
+        depth.exit();
+        let latency_s = completed.finished.duration_since(completed.submitted).as_secs_f64();
+        summary.requests += 1;
+        summary.latencies.record(latency_s);
+        match &completed.result {
+            Ok(run) => {
+                summary.sim_cycles +=
+                    run.heads.iter().map(|h| h.report.timing.cycles.total).sum::<u64>();
+                summary.sim_energy_j += run.total_energy_j;
+            }
+            Err(_) => summary.errors += 1,
+        }
+        if let Some(w) = completed.worker {
+            summary.per_worker[w] += 1;
+        }
+        summary.first_submit = match summary.first_submit {
+            Some(t) => Some(t.min(completed.submitted)),
+            None => Some(completed.submitted),
+        };
+        summary.last_finish = match summary.last_finish {
+            Some(t) => Some(t.max(completed.finished)),
+            None => Some(completed.finished),
+        };
+        pending.insert(
+            completed.id,
+            ServeResponse {
+                id: completed.id,
+                result: completed.result,
+                cache_hit: completed.cache_hit,
+                worker: completed.worker,
+                batch_size: completed.batch_size,
+                latency_s,
+            },
+        );
+        while let Some(response) = pending.remove(&next_id) {
+            next_id += 1;
+            // The client may have stopped reading; metrics still count.
+            let _ = ordered.send(response);
+        }
+    }
+    *out.lock().expect("summary poisoned") = Some(summary);
+}

@@ -1,0 +1,125 @@
+//! The worker pool: N simulated accelerator instances behind channels.
+//!
+//! Each worker thread owns its own [`Salo`] instance (modeling one
+//! physical accelerator) and executes whole batches: the compiled plan is
+//! shared across the batch, and each member request's heads run back to
+//! back — the same sequential head schedule as the one-shot API, so
+//! batched outputs are bit-identical to [`Salo::execute`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use salo_core::{MultiHeadRun, Salo};
+
+use crate::batch::Batch;
+use crate::ServeError;
+
+/// A finished request, reported by a worker to the collector.
+#[derive(Debug)]
+pub(crate) struct Completed {
+    pub id: u64,
+    pub result: Result<MultiHeadRun, ServeError>,
+    pub cache_hit: bool,
+    /// `None` when the request failed before reaching a worker.
+    pub worker: Option<usize>,
+    pub batch_size: usize,
+    pub submitted: Instant,
+    pub finished: Instant,
+}
+
+/// Handles to the worker threads plus their load counters.
+pub(crate) struct WorkerPool {
+    senders: Vec<Sender<Batch>>,
+    outstanding: Vec<Arc<AtomicUsize>>,
+    pub handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads, each owning a clone of `salo`.
+    pub fn spawn(workers: usize, salo: &Salo, done: &Sender<Completed>) -> Self {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut outstanding = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel::<Batch>();
+            let load = Arc::new(AtomicUsize::new(0));
+            let worker_salo = salo.clone();
+            let worker_done = done.clone();
+            let worker_load = Arc::clone(&load);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("salo-serve-worker-{index}"))
+                    .spawn(move || {
+                        worker_loop(index, &worker_salo, &rx, &worker_done, &worker_load)
+                    })
+                    .expect("spawn worker thread"),
+            );
+            senders.push(tx);
+            outstanding.push(load);
+        }
+        Self { senders, outstanding, handles }
+    }
+
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Sends a batch to the least-loaded worker (by outstanding request
+    /// count). On failure — the chosen worker's thread is gone — the
+    /// batch is handed back so the caller can fail its requests instead
+    /// of dropping them.
+    pub fn dispatch(&self, batch: Batch) -> Result<(), Batch> {
+        let target = self
+            .outstanding
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, load)| load.load(Ordering::Relaxed))
+            .map_or(0, |(i, _)| i);
+        self.outstanding[target].fetch_add(batch.len(), Ordering::Relaxed);
+        match self.senders[target].send(batch) {
+            Ok(()) => Ok(()),
+            Err(std::sync::mpsc::SendError(batch)) => {
+                self.outstanding[target].fetch_sub(batch.len(), Ordering::Relaxed);
+                Err(batch)
+            }
+        }
+    }
+
+    /// Closes the submission side; workers drain their queues and exit.
+    pub fn close(&mut self) {
+        self.senders.clear();
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    salo: &Salo,
+    rx: &Receiver<Batch>,
+    done: &Sender<Completed>,
+    load: &AtomicUsize,
+) {
+    while let Ok(batch) = rx.recv() {
+        let batch_size = batch.requests.len();
+        for req in batch.requests {
+            let result = salo.execute(&batch.plan, &req.heads).map_err(ServeError::from);
+            load.fetch_sub(1, Ordering::Relaxed);
+            let completed = Completed {
+                id: req.id,
+                result,
+                cache_hit: req.cache_hit,
+                worker: Some(index),
+                batch_size,
+                submitted: req.submitted,
+                finished: Instant::now(),
+            };
+            if done.send(completed).is_err() {
+                return; // collector is gone; nothing left to report to
+            }
+        }
+    }
+}

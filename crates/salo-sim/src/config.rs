@@ -1,11 +1,12 @@
 //! Accelerator configuration: the paper's Table 1 instance and knobs for
 //! the ablation studies.
 
+use salo_patterns::StableHasher;
 use salo_scheduler::HardwareMeta;
 
 /// Per-stage timing parameters (cycles), matching the five-stage data path
 /// of Fig. 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimingParams {
     /// Stage-2 latency: LUT lookup plus one MAC.
     pub exp_cycles: u32,
@@ -24,7 +25,7 @@ impl Default for TimingParams {
 }
 
 /// On-chip buffer sizes (KB), from Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferConfig {
     /// Query buffer (16 KB in Table 1).
     pub query_kb: usize,
@@ -107,6 +108,54 @@ impl AcceleratorConfig {
     pub fn cycle_time_s(&self) -> f64 {
         1e-9 / self.freq_ghz
     }
+
+    /// A stable 64-bit fingerprint of the full configuration.
+    ///
+    /// `AcceleratorConfig` carries `f64` fields, so it cannot derive
+    /// `Eq`/`Hash`; the fingerprint hashes every field (floats by IEEE-754
+    /// bit pattern) with the release-stable [`StableHasher`], making the
+    /// configuration usable inside persistent cache keys. Equal configs
+    /// always fingerprint identically (modulo `-0.0`/`NaN` bit
+    /// distinctions); distinct configs collide only with ~2^-64
+    /// probability, so cache users should verify the actual config on a
+    /// hit, as `salo-serve`'s plan cache does.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // Exhaustive destructuring: adding a field without hashing it is a
+        // compile error, so a new knob can never silently alias plan-cache
+        // keys of configs that differ in it.
+        let Self {
+            hw: HardwareMeta { pe_rows, pe_cols, global_rows, global_cols },
+            freq_ghz,
+            exp_segments,
+            recip_entries,
+            timing: TimingParams { exp_cycles, inv_latency, norm_cycles, sync_cycles },
+            buffers: BufferConfig { query_kb, key_kb, value_kb, output_kb },
+            power_w,
+            area_mm2,
+            pipelined,
+        } = *self;
+        let mut h = StableHasher::new();
+        h.write_usize(pe_rows);
+        h.write_usize(pe_cols);
+        h.write_usize(global_rows);
+        h.write_usize(global_cols);
+        h.write_f64(freq_ghz);
+        h.write_usize(exp_segments);
+        h.write_usize(recip_entries);
+        h.write_u64(u64::from(exp_cycles));
+        h.write_u64(u64::from(inv_latency));
+        h.write_u64(u64::from(norm_cycles));
+        h.write_u64(u64::from(sync_cycles));
+        h.write_usize(query_kb);
+        h.write_usize(key_kb);
+        h.write_usize(value_kb);
+        h.write_usize(output_kb);
+        h.write_f64(power_w);
+        h.write_f64(area_mm2);
+        h.write_bool(pipelined);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +176,33 @@ mod tests {
         assert_eq!(c.buffers.output_kb, 32);
         assert_eq!(c.buffers.total_bytes(), 112 * 1024);
         assert!(c.pipelined);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_knob() {
+        let base = AcceleratorConfig::default();
+        assert_eq!(base.fingerprint(), AcceleratorConfig::default().fingerprint());
+
+        let variants = [
+            AcceleratorConfig { freq_ghz: 2.0, ..AcceleratorConfig::default() },
+            AcceleratorConfig { exp_segments: 16, ..AcceleratorConfig::default() },
+            AcceleratorConfig { pipelined: false, ..AcceleratorConfig::default() },
+            AcceleratorConfig {
+                hw: HardwareMeta::new(16, 64, 1, 1).unwrap(),
+                ..AcceleratorConfig::default()
+            },
+            AcceleratorConfig {
+                timing: TimingParams { sync_cycles: 2, ..TimingParams::default() },
+                ..AcceleratorConfig::default()
+            },
+            AcceleratorConfig {
+                buffers: BufferConfig { key_kb: 64, ..BufferConfig::default() },
+                ..AcceleratorConfig::default()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "variant {v:?} must differ");
+        }
     }
 
     #[test]

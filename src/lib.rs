@@ -16,6 +16,7 @@
 //! | [`models`] | Longformer / ViL / BERT workload configurations |
 //! | [`quant`] | the quantization accuracy study (Table 3) |
 //! | [`core`] | the top-level `Salo` API tying everything together |
+//! | [`serve`] | concurrent serving runtime: plan cache, batching, worker pool |
 //!
 //! # Quickstart
 //!
@@ -81,4 +82,9 @@ pub mod quant {
 /// The top-level accelerator API. See [`salo_core`].
 pub mod core {
     pub use salo_core::*;
+}
+
+/// The concurrent serving runtime. See [`salo_serve`].
+pub mod serve {
+    pub use salo_serve::*;
 }

@@ -1,0 +1,142 @@
+//! Integration tests for the `salo-serve` runtime: batched multi-worker
+//! execution is bit-identical to the one-shot `Salo` API, responses come
+//! back in submission order, and the plan cache behaves as advertised
+//! end to end.
+
+use salo::core::Salo;
+use salo::scheduler::HardwareMeta;
+use salo::serve::{SaloServer, ServeOptions, ServeRequest, TrafficMix};
+use salo::sim::AcceleratorConfig;
+
+fn options(workers: usize) -> ServeOptions {
+    ServeOptions { workers, max_batch: 4, ..Default::default() }
+}
+
+#[test]
+fn batched_multi_worker_execution_is_bit_identical_to_one_shot() {
+    let config = AcceleratorConfig::default();
+    let mix = TrafficMix::demo_mix();
+    let total = 12u64;
+
+    let server = SaloServer::start(config.clone(), options(4));
+    for i in 0..total {
+        server.submit(mix.request(i)).expect("submit");
+    }
+
+    let one_shot = Salo::new(config);
+    for i in 0..total {
+        let response = server.recv().expect("response");
+        assert_eq!(response.id, i, "ordered delivery");
+        let run = response.output().expect("batched execution succeeds");
+
+        let request = mix.request(i);
+        let compiled = one_shot.compile(&request.pattern, &request.shape).expect("compile");
+        for (head, qkv) in run.heads.iter().zip(&request.heads) {
+            let exact = one_shot.execute_head(&compiled, qkv).expect("one-shot execution");
+            assert_eq!(head.raw, exact.raw, "request {i}: bit-identical fixed-point output");
+            assert_eq!(head.weights_q16, exact.weights_q16, "request {i}: identical weights");
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.requests, total);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn plan_cache_hits_after_first_sight_of_each_workload() {
+    let mix = TrafficMix::demo_mix();
+    let total = 9u64; // 3 rounds over 3 workloads
+    let server = SaloServer::start(AcceleratorConfig::default(), options(2));
+    for i in 0..total {
+        server.submit(mix.request(i)).expect("submit");
+    }
+    let mut hits = 0u64;
+    for _ in 0..total {
+        if server.recv().expect("response").cache_hit {
+            hits += 1;
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.cache.misses, mix.len() as u64, "one compile per workload");
+    assert_eq!(report.cache.hits, total - mix.len() as u64);
+    assert_eq!(hits, total - mix.len() as u64, "per-response hit flags agree");
+    assert!(report.cache.hit_rate() > 0.6);
+}
+
+#[test]
+fn report_accounts_every_request_and_worker() {
+    let mix = TrafficMix::demo_mix();
+    let total = 16u64;
+    let server = SaloServer::start(AcceleratorConfig::default(), options(3));
+    for i in 0..total {
+        server.submit(mix.request(i)).expect("submit");
+    }
+    for _ in 0..total {
+        let response = server.recv().expect("response");
+        assert!(response.latency_s >= 0.0);
+        assert!(response.batch_size >= 1);
+        assert!(response.worker.is_some());
+    }
+    assert_eq!(server.queue_depth(), 0, "all drained");
+    let report = server.shutdown();
+    assert_eq!(report.requests, total);
+    assert_eq!(report.per_worker_requests.len(), 3);
+    assert_eq!(report.per_worker_requests.iter().sum::<u64>(), total);
+    assert!(report.batches >= 1);
+    assert!(report.mean_batch_size >= 1.0);
+    assert!(report.max_queue_depth >= 1);
+    assert!(report.sim_cycles > 0, "simulated cycles aggregated");
+    assert!(report.sim_energy_j > 0.0);
+    assert_eq!(report.latency.count, total);
+    assert!(report.throughput_rps > 0.0);
+    // The report pretty-prints without panicking.
+    assert!(report.to_string().contains("plan cache"));
+}
+
+#[test]
+fn invalid_requests_are_rejected_at_submission() {
+    let server = SaloServer::start(AcceleratorConfig::default(), options(1));
+    let mix = TrafficMix::demo_mix();
+    let mut bad = mix.request(0);
+    bad.heads.pop(); // head count no longer matches the shape
+    assert!(server.submit(bad).is_err());
+    let report = server.shutdown();
+    assert_eq!(report.requests, 0, "rejected request never entered the pipeline");
+}
+
+#[test]
+fn single_worker_small_array_stays_deterministic() {
+    // A non-default accelerator geometry flows through the cache key: the
+    // same pattern compiled for an 8x8 array must not collide with the
+    // default 32x32 plans.
+    let small = AcceleratorConfig {
+        hw: HardwareMeta::new(8, 8, 1, 1).expect("geometry"),
+        ..Default::default()
+    };
+    let mix = TrafficMix::demo_mix();
+    let server = SaloServer::start(small.clone(), options(1));
+    let request = mix.request(0);
+    server.submit(request.clone()).expect("submit");
+    let run = server.recv().expect("response").output().expect("success").clone();
+    let report = server.shutdown();
+    assert_eq!(report.requests, 1);
+
+    let one_shot = Salo::new(small);
+    let compiled = one_shot.compile(&request.pattern, &request.shape).expect("compile");
+    let exact = one_shot.execute(&compiled, &request.heads).expect("execute");
+    for (served, direct) in run.heads.iter().zip(&exact.heads) {
+        assert_eq!(served.raw, direct.raw);
+    }
+}
+
+#[test]
+fn request_roundtrip_from_workload() {
+    // ServeRequest::from_workload feeds the same heads the one-shot path
+    // would generate; spot-check the invariants the batcher relies on.
+    let mix = TrafficMix::demo_mix();
+    for (i, workload) in mix.workloads().iter().enumerate() {
+        let request = ServeRequest::from_workload(workload, i as u64);
+        assert_eq!(request.heads.len(), workload.shape.num_heads);
+        assert_eq!(request.pattern.fingerprint(), workload.pattern.fingerprint());
+    }
+}
