@@ -1,0 +1,68 @@
+//! Execute-only hot path: the lowered datapath on pre-lowered plans with
+//! reused scratch, across the three paper shapes (Longformer-2048, ViL
+//! stage 1, dense BERT-base-512), plus the lowering pass itself.
+//!
+//! This is the acceptance bench of the lowered-pass-program PR: the
+//! `execute_lowered` figures here are what `bench_trajectory` records in
+//! `BENCH_exec.json`, and the Longformer-2048 entry is the one compared
+//! against the pre-PR datapath (≥ 2x required).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salo_core::Salo;
+use salo_kernels::Qkv;
+use salo_models::{bert_base, longformer_layer, vil_stage1, Workload};
+use salo_sim::{ExecScratch, LoweredPlan, SpatialAccelerator};
+use std::hint::black_box;
+
+fn shapes() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("longformer-2048", longformer_layer(2048, 256, 768, 1).expect("longformer")),
+        ("vil-stage1", vil_stage1()),
+        ("bert-base-512", bert_base(512).expect("bert")),
+    ]
+}
+
+fn bench_execute_lowered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_lowered");
+    group.sample_size(10);
+    let salo = Salo::default_config();
+    let mut scratch = ExecScratch::new();
+    for (name, workload) in shapes() {
+        let compiled = salo.compile(&workload.pattern, &workload.shape).expect("compile");
+        let head = Qkv::random(workload.shape.seq_len, workload.shape.head_dim, 42);
+        let scale = SpatialAccelerator::default_scale(workload.shape.head_dim);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compiled, |b, compiled| {
+            b.iter(|| {
+                let out = salo
+                    .accelerator()
+                    .execute_lowered(
+                        &compiled.lowered,
+                        &head.q,
+                        &head.k,
+                        &head.v,
+                        scale,
+                        &mut scratch,
+                    )
+                    .expect("execute");
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_lowering");
+    group.sample_size(10);
+    let salo = Salo::default_config();
+    for (name, workload) in shapes() {
+        let compiled = salo.compile(&workload.pattern, &workload.shape).expect("compile");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compiled, |b, compiled| {
+            b.iter(|| black_box(LoweredPlan::lower(&compiled.plan)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execute_lowered, bench_lowering);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Perf-trajectory bench: times the lowered execute path on the paper
+//! shapes and writes machine-readable `BENCH_exec.json` at the repo root.
+//!
+//! Run `cargo run --release --bin bench_trajectory` for the full shapes
+//! (Longformer-2048, ViL stage 1, dense BERT-base-512) or with `--smoke`
+//! for tiny shapes (CI keeps the emitter and the bench path green without
+//! paying for a full measurement).
+//!
+//! Each shape is timed as: compile + lower once, then `ITERS` executions
+//! of one head through `execute_lowered` with a reused scratch; the
+//! median is reported. The pre-PR baseline constants below were measured
+//! at the seed of this PR (commit `d3bb64b`, interleaved A/B on the same
+//! host) and give the recorded speedup on the Longformer-2048 execute
+//! path.
+
+use salo_core::Salo;
+use salo_kernels::Qkv;
+use salo_models::{bert_base, longformer_layer, vil_stage1, Workload};
+use salo_sim::{ExecScratch, SpatialAccelerator};
+use std::time::Instant;
+
+/// Pre-PR (`execute` on the plan-walking datapath) medians, ns per pass,
+/// measured interleaved against the lowered path on the same host (median
+/// of three alternating rounds, 7 iterations each). `None` where no
+/// pre-PR baseline was recorded.
+fn baseline_ns_per_pass(name: &str) -> Option<f64> {
+    match name {
+        "longformer-2048" => Some(97_190.0),
+        "vil-stage1" => Some(89_566.0),
+        "bert-base-512" => Some(91_532.0),
+        _ => None,
+    }
+}
+
+struct Measurement {
+    name: String,
+    n: usize,
+    d: usize,
+    passes: usize,
+    ms_per_head: f64,
+    ns_per_pass: f64,
+    tokens_per_s: f64,
+    speedup_vs_pre_pr: Option<f64>,
+}
+
+fn measure(name: &str, workload: &Workload, iters: usize) -> Measurement {
+    let salo = Salo::default_config();
+    let compiled = salo.compile(&workload.pattern, &workload.shape).expect("compile");
+    let n = workload.shape.seq_len;
+    let d = workload.shape.head_dim;
+    let head = Qkv::random(n, d, 42);
+    let scale = SpatialAccelerator::default_scale(d);
+    let mut scratch = ExecScratch::new();
+    let accel = salo.accelerator();
+    // Warm up (grows the scratch to the shape's high-water mark).
+    let out = accel
+        .execute_lowered(&compiled.lowered, &head.q, &head.k, &head.v, scale, &mut scratch)
+        .expect("execute");
+    assert_eq!(out.report.saturation_events, 0, "degenerate configuration");
+    let mut samples_ns: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            let out = accel
+                .execute_lowered(&compiled.lowered, &head.q, &head.k, &head.v, scale, &mut scratch)
+                .expect("execute");
+            std::hint::black_box(out);
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    let passes = compiled.stats.passes.max(1);
+    let ns_per_pass = median / passes as f64;
+    Measurement {
+        name: name.to_string(),
+        n,
+        d,
+        passes,
+        ms_per_head: median / 1e6,
+        ns_per_pass,
+        tokens_per_s: n as f64 / (median / 1e9),
+        speedup_vs_pre_pr: baseline_ns_per_pass(name).map(|base| base / ns_per_pass),
+    }
+}
+
+fn json_field_opt(value: Option<f64>) -> String {
+    value.map_or_else(|| "null".into(), |v| format!("{v:.2}"))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (shapes, iters): (Vec<(&str, Workload)>, usize) = if smoke {
+        (
+            vec![
+                ("smoke-longformer-64", longformer_layer(64, 8, 64, 1).expect("longformer")),
+                ("smoke-bert-32", bert_base(32).expect("bert")),
+            ],
+            2,
+        )
+    } else {
+        (
+            vec![
+                ("longformer-2048", longformer_layer(2048, 256, 768, 1).expect("longformer")),
+                ("vil-stage1", vil_stage1()),
+                ("bert-base-512", bert_base(512).expect("bert")),
+            ],
+            7,
+        )
+    };
+
+    let mut entries = Vec::new();
+    for (name, workload) in &shapes {
+        let m = measure(name, workload, iters);
+        println!(
+            "{:<20} n={:<5} d={:<3} {:>9.3} ms/head {:>9.0} ns/pass {:>10.0} tokens/s  speedup {}",
+            m.name,
+            m.n,
+            m.d,
+            m.ms_per_head,
+            m.ns_per_pass,
+            m.tokens_per_s,
+            m.speedup_vs_pre_pr.map_or_else(|| "-".into(), |s| format!("{s:.2}x")),
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"n\": {}, \"d\": {}, \"passes\": {}, ",
+                "\"ms_per_head\": {:.3}, \"ns_per_pass\": {:.1}, \"tokens_per_s\": {:.0}, ",
+                "\"baseline_ns_per_pass\": {}, \"speedup_vs_pre_pr\": {}}}"
+            ),
+            m.name,
+            m.n,
+            m.d,
+            m.passes,
+            m.ms_per_head,
+            m.ns_per_pass,
+            m.tokens_per_s,
+            json_field_opt(baseline_ns_per_pass(&m.name)),
+            json_field_opt(m.speedup_vs_pre_pr),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"exec\",\n  \"smoke\": {},\n  \"iters\": {},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+        smoke,
+        iters,
+        entries.join(",\n"),
+    );
+    // Smoke runs go to a separate (gitignored) file so reproducing the CI
+    // step locally never clobbers the recorded full measurement.
+    let path = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_exec_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_exec.json")
+    };
+    std::fs::write(path, &json).expect("write bench JSON");
+    println!("wrote {path}");
+}

@@ -3,7 +3,9 @@
 use salo_kernels::{Matrix, Qkv};
 use salo_patterns::{AttentionShape, HybridPattern};
 use salo_scheduler::{ExecutionPlan, PlanStats};
-use salo_sim::{AcceleratorConfig, ExecutionOutput, SpatialAccelerator, TimingReport};
+use salo_sim::{
+    AcceleratorConfig, ExecScratch, ExecutionOutput, LoweredPlan, SpatialAccelerator, TimingReport,
+};
 
 use crate::SaloError;
 
@@ -11,6 +13,10 @@ use crate::SaloError;
 ///
 /// Produced by [`Salo::compile`]; reusable across executions (the plan
 /// depends only on the pattern and the array geometry, not on the data).
+/// Compilation also lowers the plan once into its flat execution program
+/// ([`LoweredPlan`]), so every later execution — including cache hits in
+/// the serving runtime, which stores `CompiledPlan`s whole — skips both
+/// the scheduler pass and the lowering pass.
 #[derive(Debug, Clone)]
 pub struct CompiledPlan {
     /// The scheduler's execution plan (one head).
@@ -19,6 +25,9 @@ pub struct CompiledPlan {
     pub shape: AttentionShape,
     /// Plan statistics (passes, occupancy, traffic inputs).
     pub stats: PlanStats,
+    /// The plan resolved into flat pass programs for the execution hot
+    /// path.
+    pub lowered: LoweredPlan,
 }
 
 /// The result of executing all heads of a layer.
@@ -68,6 +77,16 @@ impl Salo {
         self.accel.config()
     }
 
+    /// The underlying simulated accelerator.
+    ///
+    /// Clones of a `Salo` share the accelerator's exponential/reciprocal
+    /// lookup tables (they live behind `Arc`), so a worker pool built
+    /// from clones holds one set of tables.
+    #[must_use]
+    pub fn accelerator(&self) -> &SpatialAccelerator {
+        &self.accel
+    }
+
     /// Runs the data scheduler: splits (and, for dilated windows,
     /// reorders) the pattern into an execution plan for this instance.
     ///
@@ -88,7 +107,8 @@ impl Salo {
         }
         let plan = ExecutionPlan::build(pattern, self.accel.config().hw)?;
         let stats = plan.stats();
-        Ok(CompiledPlan { plan, shape: *shape, stats })
+        let lowered = LoweredPlan::lower(&plan);
+        Ok(CompiledPlan { plan, shape: *shape, stats, lowered })
     }
 
     /// Timing/energy estimate for the whole layer (all heads).
@@ -99,6 +119,9 @@ impl Salo {
 
     /// Functionally executes one head.
     ///
+    /// Allocates a fresh [`ExecScratch`]; callers in a loop should hold
+    /// one and use [`execute_head_with_scratch`](Self::execute_head_with_scratch).
+    ///
     /// # Errors
     ///
     /// Returns a shape error if the inputs do not match the compiled
@@ -108,6 +131,22 @@ impl Salo {
         compiled: &CompiledPlan,
         head: &Qkv,
     ) -> Result<ExecutionOutput, SaloError> {
+        self.execute_head_with_scratch(compiled, head, &mut ExecScratch::new())
+    }
+
+    /// Executes one head through the pre-lowered plan, reusing
+    /// caller-owned scratch — the allocation-free hot path. Bit-identical
+    /// to [`execute_head`](Self::execute_head).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`execute_head`](Self::execute_head).
+    pub fn execute_head_with_scratch(
+        &self,
+        compiled: &CompiledPlan,
+        head: &Qkv,
+        scratch: &mut ExecScratch,
+    ) -> Result<ExecutionOutput, SaloError> {
         if head.seq_len() != compiled.shape.seq_len || head.head_dim() != compiled.shape.head_dim {
             return Err(SaloError::ShapeMismatch {
                 expected: (compiled.shape.seq_len, compiled.shape.head_dim),
@@ -115,7 +154,14 @@ impl Salo {
             });
         }
         let scale = SpatialAccelerator::default_scale(compiled.shape.head_dim);
-        Ok(self.accel.execute(&compiled.plan, &head.q, &head.k, &head.v, scale)?)
+        Ok(self.accel.execute_lowered(
+            &compiled.lowered,
+            &head.q,
+            &head.k,
+            &head.v,
+            scale,
+            scratch,
+        )?)
     }
 
     /// Functionally executes all heads of a layer (sequentially, as the
@@ -130,14 +176,33 @@ impl Salo {
         compiled: &CompiledPlan,
         heads: &[Qkv],
     ) -> Result<MultiHeadRun, SaloError> {
+        self.execute_with_scratch(compiled, heads, &mut ExecScratch::new())
+    }
+
+    /// [`execute`](Self::execute) with caller-owned scratch: the per-head
+    /// loop reuses one [`ExecScratch`], and a long-lived caller (the
+    /// serving worker loop) carries it across requests. Bit-identical to
+    /// [`execute`](Self::execute).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`execute`](Self::execute).
+    pub fn execute_with_scratch(
+        &self,
+        compiled: &CompiledPlan,
+        heads: &[Qkv],
+        scratch: &mut ExecScratch,
+    ) -> Result<MultiHeadRun, SaloError> {
         if heads.len() != compiled.shape.num_heads {
             return Err(SaloError::HeadCountMismatch {
                 expected: compiled.shape.num_heads,
                 got: heads.len(),
             });
         }
-        let outputs: Vec<ExecutionOutput> =
-            heads.iter().map(|h| self.execute_head(compiled, h)).collect::<Result<_, _>>()?;
+        let outputs: Vec<ExecutionOutput> = heads
+            .iter()
+            .map(|h| self.execute_head_with_scratch(compiled, h, scratch))
+            .collect::<Result<_, _>>()?;
         let total_time_s = outputs.iter().map(|o| o.report.timing.time_s).sum();
         let total_energy_j = outputs.iter().map(|o| o.report.timing.energy_j).sum();
         Ok(MultiHeadRun { heads: outputs, total_time_s, total_energy_j })
@@ -201,6 +266,38 @@ mod tests {
         // Wrong head dimension.
         let bad = Qkv::random(32, 4, 1);
         assert!(matches!(salo.execute_head(&compiled, &bad), Err(SaloError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_execution() {
+        // The worker-loop form (one scratch across heads and requests)
+        // must be bit-identical to the one-shot API.
+        let salo = small_salo();
+        let pattern = longformer(48, 9, 1).unwrap();
+        let shape = AttentionShape::new(48, 8, 2).unwrap();
+        let compiled = salo.compile(&pattern, &shape).unwrap();
+        let mut scratch = salo_sim::ExecScratch::new();
+        for seed in [1u64, 2, 3] {
+            let heads = Qkv::random_heads(&shape, seed);
+            let reused = salo.execute_with_scratch(&compiled, &heads, &mut scratch).unwrap();
+            let fresh = salo.execute(&compiled, &heads).unwrap();
+            for (a, b) in reused.heads.iter().zip(&fresh.heads) {
+                assert_eq!(a.raw, b.raw);
+                assert_eq!(a.weights_q16, b.weights_q16);
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_lookup_tables() {
+        // The serving worker pool clones one Salo per worker; the clones
+        // must share the exp/recip tables rather than rebuild them.
+        let salo = small_salo();
+        let clone = salo.clone();
+        let (ea, ra) = salo.accelerator().shared_tables();
+        let (eb, rb) = clone.accelerator().shared_tables();
+        assert!(std::sync::Arc::ptr_eq(ea, eb));
+        assert!(std::sync::Arc::ptr_eq(ra, rb));
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub struct ExpLut {
     segments: usize,
     x_lo: f64,
     x_hi: f64,
+    /// Domain bounds in the Q.8 input format, precomputed at build time.
+    lo_raw: i64,
+    hi_raw: i64,
+    /// When the Q.8 segment width `span / segments` is an exact power of
+    /// two (true for the default `[-8, 8]` domain at any power-of-two
+    /// segment count), segment indexing reduces to this right shift —
+    /// bit-identical to the division, without the per-score `div`.
+    index_shift: Option<u32>,
     /// Per-segment slope in Q.18 (value units out per unit in).
     slopes: Vec<i64>,
     /// Per-segment y-intercept in Q.16.
@@ -90,7 +98,17 @@ impl ExpLut {
             slopes.push((slope * f64::from(1u32 << SLOPE_FRAC)).round() as i64);
             intercepts.push((intercept * scale).round() as i64);
         }
-        Ok(Self { segments, x_lo, x_hi, slopes, intercepts })
+        let lo_raw = (x_lo * 256.0) as i64;
+        let hi_raw = (x_hi * 256.0) as i64;
+        let span = hi_raw - lo_raw;
+        // floor(u * segments / span) == u >> k exactly when span ==
+        // segments << k: the division by `segments * 2^k` cancels the
+        // multiplication and leaves the shift.
+        let index_shift = (span > 0 && span % segments as i64 == 0)
+            .then(|| span / segments as i64)
+            .filter(|w| w.count_ones() == 1)
+            .map(|w| w.trailing_zeros());
+        Ok(Self { segments, x_lo, x_hi, lo_raw, hi_raw, index_shift, slopes, intercepts })
     }
 
     /// Number of segments.
@@ -110,14 +128,19 @@ impl ExpLut {
     ///
     /// Inputs outside the domain are clamped to its endpoints; the result
     /// is always non-negative.
+    #[inline]
     #[must_use]
     pub fn eval_q8(&self, x_raw: i32) -> i64 {
-        let lo_raw = (self.x_lo * 256.0) as i64;
-        let hi_raw = (self.x_hi * 256.0) as i64;
-        let x = (x_raw as i64).clamp(lo_raw, hi_raw);
-        // Segment index: floor((x - lo) * segments / (hi - lo)).
-        let span = hi_raw - lo_raw;
-        let mut idx = ((x - lo_raw) * self.segments as i64 / span) as usize;
+        let x = (x_raw as i64).clamp(self.lo_raw, self.hi_raw);
+        // Segment index: floor((x - lo) * segments / (hi - lo)), reduced
+        // to a shift when the segment width is a power of two.
+        let mut idx = match self.index_shift {
+            Some(shift) => ((x - self.lo_raw) >> shift) as usize,
+            None => {
+                let span = self.hi_raw - self.lo_raw;
+                ((x - self.lo_raw) * self.segments as i64 / span) as usize
+            }
+        };
         if idx >= self.segments {
             idx = self.segments - 1;
         }

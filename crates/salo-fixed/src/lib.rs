@@ -51,12 +51,16 @@ mod softmax;
 pub use error::FixedError;
 pub use exp::{ExpLut, EXP_FRAC};
 pub use format::{Fix16x8, Fix32x8, Fix8x4};
-pub use mac::{qk_dot, qk_mac, sv_mac, MacSaturation};
+pub use mac::{
+    qk_dot, qk_mac, sv_mac, sv_row_mac, sv_row_mac_i32, MacSaturation, QK_DOT_SAFE_DIM,
+    SV_I32_SAFE_KEYS,
+};
 pub use quantize::{dequantize, quantize, quantize_with_scale, QuantizationReport};
 pub use recip::{Recip, RecipUnit};
-pub use renorm::{merge_partials, merge_weights, PartialRow};
+pub use renorm::{merge_partials, merge_partials_into, merge_weights, PartialRow};
 pub use softmax::{
-    fixed_softmax, fixed_softmax_f64, fixed_softmax_parts, softmax_f64, PROB_FRAC, PROB_ONE,
+    fixed_softmax, fixed_softmax_f64, fixed_softmax_parts, fixed_softmax_parts_into, softmax_f64,
+    PROB_FRAC, PROB_ONE,
 };
 
 /// Fraction bits of the Q.8 score/exponential domain used across the

@@ -39,6 +39,7 @@ impl MacSaturation {
 
 /// One stage-1 MAC: `acc += q * k` where `q`/`k` are Q.4 inputs and `acc`
 /// is a 32-bit accumulator with 8 fraction bits. Saturates on overflow.
+#[inline]
 #[must_use]
 pub fn qk_mac(acc: i32, q: Fix8x4, k: Fix8x4, sat: &mut MacSaturation) -> i32 {
     let product = q.raw() as i32 * k.raw() as i32; // exact, 8 frac bits
@@ -58,6 +59,7 @@ pub fn qk_mac(acc: i32, q: Fix8x4, k: Fix8x4, sat: &mut MacSaturation) -> i32 {
 /// One stage-5 MAC: `acc += prob * v` where `prob` is a Q.15 probability
 /// (raw `0..=32768`) and `v` a Q.4 value element; `acc` carries 19 fraction
 /// bits. Saturates on overflow.
+#[inline]
 #[must_use]
 pub fn sv_mac(acc: i64, prob: u16, v: Fix8x4, sat: &mut MacSaturation) -> i64 {
     let product = prob as i64 * v.raw() as i64; // 15 + 4 = 19 frac bits
@@ -74,16 +76,90 @@ pub fn sv_mac(acc: i64, prob: u16, v: Fix8x4, sat: &mut MacSaturation) -> i64 {
     }
 }
 
+/// Largest head dimension for which a stage-1 dot product provably cannot
+/// saturate: each product's magnitude is at most `128 * 128 = 2^14`, so
+/// any accumulation of up to this many terms stays inside `i32`.
+pub const QK_DOT_SAFE_DIM: usize = (i32::MAX / (128 * 128)) as usize;
+
 /// A full stage-1 dot product between a query row and a key row, as the PE
 /// performs it: element by element in index order.
+///
+/// For dimensions up to [`QK_DOT_SAFE_DIM`] (every realistic head — the
+/// bound is above 131 000) no accumulation step can overflow, so the
+/// per-step saturation check of [`qk_mac`] reduces to a plain sum: the
+/// result is bit-identical and the loop vectorizes. Larger dimensions
+/// fall back to the checked per-step form.
+#[inline]
 #[must_use]
 pub fn qk_dot(q: &[Fix8x4], k: &[Fix8x4], sat: &mut MacSaturation) -> i32 {
     debug_assert_eq!(q.len(), k.len(), "query/key dimension mismatch");
-    let mut acc = 0i32;
-    for (&qe, &ke) in q.iter().zip(k) {
-        acc = qk_mac(acc, qe, ke, sat);
+    if q.len() <= QK_DOT_SAFE_DIM {
+        let mut acc = 0i32;
+        for (&qe, &ke) in q.iter().zip(k) {
+            acc += i32::from(qe.raw()) * i32::from(ke.raw());
+        }
+        acc
+    } else {
+        let mut acc = 0i32;
+        for (&qe, &ke) in q.iter().zip(k) {
+            acc = qk_mac(acc, qe, ke, sat);
+        }
+        acc
     }
-    acc
+}
+
+/// One stage-5 accumulation over a whole output row: `out[e] += prob *
+/// v[e]` for every element, as the weight-stationary flow performs it.
+///
+/// Bit-identical to folding [`sv_mac`] element-wise whenever every
+/// accumulator has at least `2^22` of headroom to the `i64` limits — true
+/// for any chain that started from zero and has performed fewer than
+/// `2^41` accumulations, i.e. every datapath use (a debug assertion
+/// enforces it). Skipping the per-step saturation check lets the row
+/// loop vectorize.
+///
+/// # Panics
+///
+/// Panics if `out` and `v` have different lengths.
+#[inline]
+pub fn sv_row_mac(out: &mut [i64], prob: u16, v: &[Fix8x4]) {
+    assert_eq!(out.len(), v.len(), "output/value dimension mismatch");
+    for (o, &ve) in out.iter_mut().zip(v) {
+        debug_assert!(
+            o.unsigned_abs() <= (i64::MAX as u64) - (1 << 22),
+            "stage-5 accumulator out of headroom"
+        );
+        *o += i64::from(prob) * i64::from(ve.raw());
+    }
+}
+
+/// Largest key count per output part for which the whole stage-5
+/// accumulation chain fits a 32-bit register: every `prob * v` product has
+/// magnitude at most `2^15 * 2^7 = 2^22`.
+pub const SV_I32_SAFE_KEYS: usize = (i32::MAX >> 22) as usize;
+
+/// Stage-5 accumulation over a whole output row into a 32-bit accumulator:
+/// `out[e] += prob * v[e]`.
+///
+/// For chains of at most [`SV_I32_SAFE_KEYS`] keys starting from zero, no
+/// step can leave `i32`, so this is bit-identical to the `i64` form of
+/// [`sv_row_mac`] (widen the result afterwards) while vectorizing at twice
+/// the lane width. Callers must bound the chain length; a debug assertion
+/// checks the headroom.
+///
+/// # Panics
+///
+/// Panics if `out` and `v` have different lengths.
+#[inline]
+pub fn sv_row_mac_i32(out: &mut [i32], prob: u16, v: &[Fix8x4]) {
+    assert_eq!(out.len(), v.len(), "output/value dimension mismatch");
+    for (o, &ve) in out.iter_mut().zip(v) {
+        debug_assert!(
+            o.unsigned_abs() <= (i32::MAX as u32) - (1 << 22),
+            "stage-5 i32 accumulator out of headroom"
+        );
+        *o += i32::from(prob) * i32::from(ve.raw());
+    }
 }
 
 #[cfg(test)]

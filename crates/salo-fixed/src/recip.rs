@@ -33,12 +33,20 @@ impl Recip {
     ///
     /// This is the stage-4 operation: `S'_ij = exp(S_ij) * (Σ exp)^-1`,
     /// where both operands live in the Q.16 exponential domain.
+    #[inline]
     #[must_use]
     pub fn scale_to_prob(self, raw: i64, frac: u32) -> u16 {
         debug_assert!(raw >= 0, "exponentials are non-negative");
         // value * 2^-frac * mant * 2^(exp2-15) * 2^15 = value * mant * 2^(exp2-frac)
-        let wide = raw as i128 * self.mant as i128;
         let shift = self.exp2 - frac as i32;
+        if shift < 0 && raw < (1 << 47) {
+            // mant < 2^16 and raw < 2^47: the product is i64-exact, and a
+            // right shift of 63+ of a non-negative value is 0 either way —
+            // bit-identical to the wide path below, without the i128 ops.
+            let prob = (raw * self.mant as i64) >> (-shift).min(63);
+            return prob.clamp(0, 32768) as u16;
+        }
+        let wide = raw as i128 * self.mant as i128;
         let prob = if shift >= 0 {
             wide.checked_shl(shift as u32).unwrap_or(i128::MAX)
         } else {

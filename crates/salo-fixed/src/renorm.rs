@@ -64,9 +64,69 @@ pub fn merge_weights(
     Ok((inv.scale_to_prob(w1_q16, EXP_FRAC), inv.scale_to_prob(w2_q16, EXP_FRAC)))
 }
 
+/// Merges `part` into `acc` per Eq. 2, in place: `acc` becomes the partial
+/// with weight `W_acc + W_part`. Merging an empty partial is the identity
+/// in either direction (the module's initialization behaviour), and the
+/// arithmetic is bit-identical to [`merge_partials`] — the hardware has one
+/// pair of multipliers per weighted-sum module, and this is it.
+///
+/// This is the execution hot path's form: the caller owns the accumulator
+/// and no intermediate row is allocated.
+///
+/// # Errors
+///
+/// Returns [`FixedError::PartialLengthMismatch`] if the rows have different
+/// dimensions.
+pub fn merge_partials_into(
+    acc: &mut PartialRow,
+    part: &PartialRow,
+    recip: &RecipUnit,
+) -> Result<(), FixedError> {
+    if acc.out_q19.len() != part.out_q19.len() {
+        return Err(FixedError::PartialLengthMismatch {
+            expected: acc.out_q19.len(),
+            actual: part.out_q19.len(),
+        });
+    }
+    // Precedence matches merge_partials exactly — an empty *accumulator*
+    // takes the part's value (even a zero-weight part, whose output can be
+    // nonzero when a coarse exp LUT clamps to 0), an empty part is then
+    // the identity.
+    if acc.is_empty() {
+        acc.weight_q16 = part.weight_q16;
+        acc.out_q19.copy_from_slice(&part.out_q19);
+        return Ok(());
+    }
+    if part.is_empty() {
+        return Ok(());
+    }
+    let (alpha, beta) = merge_weights(acc.weight_q16, part.weight_q16, recip)?;
+    // Blend weights are at most 2^15, so outputs below 2^46 blend exactly
+    // in i64 (products < 2^61, sum < 2^62) — every datapath value, checked
+    // per merge. Larger values take the wide path; both round identically.
+    const BLEND_I64_SAFE: u64 = 1 << 46;
+    let narrow =
+        acc.out_q19.iter().zip(&part.out_q19).all(|(&oa, &ob)| {
+            oa.unsigned_abs() < BLEND_I64_SAFE && ob.unsigned_abs() < BLEND_I64_SAFE
+        });
+    if narrow {
+        for (oa, &ob) in acc.out_q19.iter_mut().zip(&part.out_q19) {
+            *oa = (*oa * i64::from(alpha) + ob * i64::from(beta)) >> 15;
+        }
+    } else {
+        for (oa, &ob) in acc.out_q19.iter_mut().zip(&part.out_q19) {
+            *oa = ((*oa as i128 * i128::from(alpha) + ob as i128 * i128::from(beta)) >> 15) as i64;
+        }
+    }
+    acc.weight_q16 += part.weight_q16;
+    Ok(())
+}
+
 /// Merges two partial rows per Eq. 2, returning a partial with weight
 /// `W1 + W2`. Merging with an empty partial returns the other operand
 /// unchanged (the module's initialization behaviour).
+///
+/// Thin allocating wrapper over [`merge_partials_into`].
 ///
 /// # Errors
 ///
@@ -77,26 +137,9 @@ pub fn merge_partials(
     b: &PartialRow,
     recip: &RecipUnit,
 ) -> Result<PartialRow, FixedError> {
-    if a.out_q19.len() != b.out_q19.len() {
-        return Err(FixedError::PartialLengthMismatch {
-            expected: a.out_q19.len(),
-            actual: b.out_q19.len(),
-        });
-    }
-    if a.is_empty() {
-        return Ok(b.clone());
-    }
-    if b.is_empty() {
-        return Ok(a.clone());
-    }
-    let (alpha, beta) = merge_weights(a.weight_q16, b.weight_q16, recip)?;
-    let out = a
-        .out_q19
-        .iter()
-        .zip(&b.out_q19)
-        .map(|(&oa, &ob)| ((oa as i128 * alpha as i128 + ob as i128 * beta as i128) >> 15) as i64)
-        .collect();
-    Ok(PartialRow { weight_q16: a.weight_q16 + b.weight_q16, out_q19: out })
+    let mut acc = a.clone();
+    merge_partials_into(&mut acc, b, recip)?;
+    Ok(acc)
 }
 
 #[cfg(test)]
@@ -183,6 +226,70 @@ mod tests {
                 assert!((m[k] - exact).abs() < 0.02, "{} vs {}", m[k], exact);
             }
         }
+    }
+
+    #[test]
+    fn merge_into_empty_identity_both_sides() {
+        let a = PartialRow { weight_q16: 100, out_q19: q19(&[1.5, -2.5]) };
+        let e = PartialRow::empty(2);
+        // Empty part: accumulator unchanged.
+        let mut acc = a.clone();
+        merge_partials_into(&mut acc, &e, &recip()).unwrap();
+        assert_eq!(acc, a);
+        // Empty accumulator: takes the part's value.
+        let mut acc = PartialRow::empty(2);
+        merge_partials_into(&mut acc, &a, &recip()).unwrap();
+        assert_eq!(acc, a);
+        // Both empty: still empty.
+        let mut acc = PartialRow::empty(2);
+        merge_partials_into(&mut acc, &PartialRow::empty(2), &recip()).unwrap();
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn merge_into_bit_matches_allocating_merge() {
+        // Fold a chain of partials both ways; every intermediate must be
+        // bit-identical, since the hot path replaces the allocating form.
+        let parts: Vec<PartialRow> =
+            [(3i64 << 16, 1.0f64), (5 << 16, -2.0), (0, 0.0), (2 << 16, 4.0), (8 << 16, 0.5)]
+                .iter()
+                .map(|&(w, v)| PartialRow { weight_q16: w, out_q19: q19(&[v, -v]) })
+                .collect();
+        let r = recip();
+        let mut acc = PartialRow::empty(2);
+        let mut reference = PartialRow::empty(2);
+        for p in &parts {
+            reference = merge_partials(&reference, p, &r).unwrap();
+            merge_partials_into(&mut acc, p, &r).unwrap();
+            assert_eq!(acc, reference);
+        }
+    }
+
+    #[test]
+    fn zero_weight_part_into_empty_accumulator_takes_its_output() {
+        // An empty accumulator adopts even a zero-weight part's output —
+        // the exact precedence of the allocating merge (a coarse exp LUT
+        // can clamp a part's weight to zero while stage 5 still wrote v).
+        let part = PartialRow { weight_q16: 0, out_q19: q19(&[1.0, -2.0]) };
+        let mut acc = PartialRow::empty(2);
+        merge_partials_into(&mut acc, &part, &recip()).unwrap();
+        assert_eq!(acc, part);
+        assert_eq!(merge_partials(&PartialRow::empty(2), &part, &recip()).unwrap(), part);
+        // On a non-empty accumulator the same part is the identity.
+        let a = PartialRow { weight_q16: 5 << 16, out_q19: q19(&[0.5, 0.5]) };
+        let mut acc = a.clone();
+        merge_partials_into(&mut acc, &part, &recip()).unwrap();
+        assert_eq!(acc, a);
+    }
+
+    #[test]
+    fn merge_into_length_mismatch_detected() {
+        let mut acc = PartialRow { weight_q16: 10, out_q19: vec![0; 3] };
+        let b = PartialRow { weight_q16: 10, out_q19: vec![0; 4] };
+        assert!(matches!(
+            merge_partials_into(&mut acc, &b, &recip()),
+            Err(FixedError::PartialLengthMismatch { expected: 3, actual: 4 })
+        ));
     }
 
     #[test]

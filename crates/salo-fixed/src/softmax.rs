@@ -45,20 +45,45 @@ pub fn fixed_softmax_parts(
     exp: &ExpLut,
     recip: &RecipUnit,
 ) -> Result<(Vec<u16>, i64, Recip), FixedError> {
+    let mut exps = Vec::with_capacity(scores_q8.len());
+    let mut probs = Vec::with_capacity(scores_q8.len());
+    let (sum, inv) = fixed_softmax_parts_into(scores_q8, exp, recip, &mut exps, &mut probs)?;
+    Ok((probs, sum, inv))
+}
+
+/// The buffered form of [`fixed_softmax_parts`]: writes the exponentials
+/// and probabilities into caller-owned buffers (cleared first) instead of
+/// allocating. This is the execution hot path's entry point — one PE row's
+/// stages 2–4 with zero heap traffic once the buffers have grown to the
+/// row length.
+///
+/// # Errors
+///
+/// Same as [`fixed_softmax`].
+pub fn fixed_softmax_parts_into(
+    scores_q8: &[i32],
+    exp: &ExpLut,
+    recip: &RecipUnit,
+    exps: &mut Vec<i64>,
+    probs: &mut Vec<u16>,
+) -> Result<(i64, Recip), FixedError> {
     if scores_q8.is_empty() {
         return Err(FixedError::EmptySoftmaxRow);
     }
-    // Stage 2: exponentials (Q.16).
-    let exps: Vec<i64> = scores_q8.iter().map(|&s| exp.eval_q8(s)).collect();
-    // Stage 3: left-to-right accumulation, then one reciprocal.
+    // Stage 2 + 3: exponentials (Q.16), accumulated left to right as they
+    // are produced, then one reciprocal.
+    exps.clear();
     let mut sum: i64 = 0;
-    for &e in &exps {
+    exps.extend(scores_q8.iter().map(|&s| {
+        let e = exp.eval_q8(s);
         sum += e;
-    }
+        e
+    }));
     let inv = recip.recip(sum, crate::exp::EXP_FRAC)?;
     // Stage 4: broadcast multiply.
-    let probs = exps.iter().map(|&e| inv.scale_to_prob(e, crate::exp::EXP_FRAC)).collect();
-    Ok((probs, sum, inv))
+    probs.clear();
+    probs.extend(exps.iter().map(|&e| inv.scale_to_prob(e, crate::exp::EXP_FRAC)));
+    Ok((sum, inv))
 }
 
 /// Exact `f64` softmax (numerically stabilized), the reference the fixed

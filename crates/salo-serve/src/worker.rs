@@ -5,6 +5,13 @@
 //! shared across the batch, and each member request's heads run back to
 //! back — the same sequential head schedule as the one-shot API, so
 //! batched outputs are bit-identical to [`Salo::execute`].
+//!
+//! Two resources amortize across the pool's lifetime: the clones share
+//! one set of exponential/reciprocal lookup tables (they sit behind `Arc`
+//! inside the accelerator), and each worker carries one
+//! [`ExecScratch`] across every request it ever serves, so steady-state
+//! execution — cached plan, pre-lowered program, warm scratch — touches
+//! the allocator only for the response buffers.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
@@ -13,6 +20,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use salo_core::{MultiHeadRun, Salo};
+use salo_sim::ExecScratch;
 
 use crate::batch::Batch;
 use crate::ServeError;
@@ -103,10 +111,15 @@ fn worker_loop(
     done: &Sender<Completed>,
     load: &AtomicUsize,
 ) {
+    // One scratch for the worker's lifetime: arenas and accumulators grow
+    // to the largest shape seen and are then reused across requests.
+    let mut scratch = ExecScratch::new();
     while let Ok(batch) = rx.recv() {
         let batch_size = batch.requests.len();
         for req in batch.requests {
-            let result = salo.execute(&batch.plan, &req.heads).map_err(ServeError::from);
+            let result = salo
+                .execute_with_scratch(&batch.plan, &req.heads, &mut scratch)
+                .map_err(ServeError::from);
             load.fetch_sub(1, Ordering::Relaxed);
             let completed = Completed {
                 id: req.id,

@@ -1,27 +1,43 @@
 //! Functional + timing execution of plans on the simulated accelerator.
+//!
+//! The hot path executes a [`LoweredPlan`] — the plan resolved once into
+//! flat pass programs by [`lower`](crate::LoweredPlan::lower) — against
+//! flat quantized-input arenas, with every working buffer owned by a
+//! reusable [`ExecScratch`]. Steady-state execution performs no heap
+//! allocation and no plan-structure queries: it walks the op list, runs
+//! stages 1–5 per op, and merges parts in place
+//! ([`merge_partials_into`]). The event-accurate
+//! [`execute_systolic`](SpatialAccelerator::execute_systolic) path remains
+//! the oracle: it steps the window passes through the cycle-level
+//! [`SystolicArray`] and shares the lowered program for global duties, so
+//! both paths stay bit-identical.
 
 use salo_fixed::{
-    fixed_softmax_parts, merge_partials, qk_dot, quantize, quantize_with_scale, sv_mac, ExpLut,
-    Fix16x8, Fix8x4, MacSaturation, PartialRow, RecipUnit, PROB_ONE,
+    fixed_softmax_parts_into, merge_partials_into, qk_dot, sv_row_mac, sv_row_mac_i32, ExpLut,
+    Fix16x8, Fix8x4, MacSaturation, PartialRow, RecipUnit, PROB_ONE, SV_I32_SAFE_KEYS,
 };
 use salo_kernels::Matrix;
-use salo_scheduler::{ExecutionPlan, Pass, SupplementalKind};
+use salo_scheduler::{ExecutionPlan, Pass, PlanStats};
+use std::sync::Arc;
 
 use crate::systolic::SystolicArray;
 use crate::{
-    AcceleratorConfig, CycleModel, EnergyModel, ExecutionReport, SimError, TimingReport,
-    TrafficReport, UtilizationReport,
+    AcceleratorConfig, CycleModel, EnergyModel, ExecutionReport, LoweredOpKind, LoweredPlan,
+    SimError, TimingReport, TrafficReport, UtilizationReport,
 };
 
 /// The simulated SALO accelerator instance.
 ///
 /// Construction builds the exponential and reciprocal lookup tables from
 /// the configuration; the instance is immutable and reusable across plans.
+/// The tables live behind [`Arc`], so cloning an accelerator (as the
+/// serving worker pool does with its per-thread replicas) shares them
+/// instead of rebuilding or copying.
 #[derive(Debug, Clone)]
 pub struct SpatialAccelerator {
     config: AcceleratorConfig,
-    exp: ExpLut,
-    recip: RecipUnit,
+    exp: Arc<ExpLut>,
+    recip: Arc<RecipUnit>,
 }
 
 /// The result of a functional execution.
@@ -38,19 +54,112 @@ pub struct ExecutionOutput {
     pub report: ExecutionReport,
 }
 
-/// Quantized copies of one head's inputs.
-struct QuantizedInputs {
-    qq: Vec<Vec<Fix8x4>>,
-    kq: Vec<Vec<Fix8x4>>,
-    vq: Vec<Vec<Fix8x4>>,
+/// Reusable working memory of the execution datapath.
+///
+/// Holds the flat quantized-input arenas (row-major, one row stride per
+/// token), the per-stage scratch buffers (scores, exponentials,
+/// probabilities, the stage-5 part accumulator) and the per-row
+/// weighted-sum accumulators. Buffers grow to the high-water mark of the
+/// workloads they have seen and are then reused allocation-free across
+/// passes, heads and — when held by a serving worker — requests.
+///
+/// Reuse is bit-transparent: executing with a fresh scratch and with a
+/// scratch that has already served other shapes produces identical bits.
+#[derive(Debug, Clone)]
+pub struct ExecScratch {
+    /// Quantized queries (scale folded in), `n * d` row-major.
+    qq: Vec<Fix8x4>,
+    /// Quantized keys, `n * d` row-major.
+    kq: Vec<Fix8x4>,
+    /// Quantized values, `n * d` row-major.
+    vq: Vec<Fix8x4>,
+    /// Stage-1 scores of the current op.
+    scores: Vec<i32>,
+    /// Stage-2 exponentials of the current op.
+    exps: Vec<i64>,
+    /// Stage-4 probabilities of the current op.
+    probs: Vec<u16>,
+    /// Stage-5 accumulator: the part produced by the current op.
+    part: PartialRow,
+    /// 32-bit stage-5 accumulation buffer (ops short enough that the
+    /// chain provably fits `i32` — every array-shaped op).
+    out32: Vec<i32>,
+    /// Per-row weighted-sum accumulators (the WSM state).
+    acc: Vec<PartialRow>,
+}
+
+impl Default for ExecScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            qq: Vec::new(),
+            kq: Vec::new(),
+            vq: Vec::new(),
+            scores: Vec::new(),
+            exps: Vec::new(),
+            probs: Vec::new(),
+            part: PartialRow::empty(0),
+            out32: Vec::new(),
+            acc: Vec::new(),
+        }
+    }
+
+    /// Quantizes one head's inputs into the arenas and resets the
+    /// accumulators for an `n x d` execution.
+    fn load(&mut self, q: &Matrix<f32>, k: &Matrix<f32>, v: &Matrix<f32>, scale: f32, d: usize) {
+        // Load-time quantization (scale folded into Q), element order
+        // identical to per-row `quantize_with_scale` / `quantize`.
+        self.qq.clear();
+        self.qq.extend(q.as_slice().iter().map(|&x| Fix8x4::from_f32(x * scale)));
+        self.kq.clear();
+        self.kq.extend(k.as_slice().iter().map(|&x| Fix8x4::from_f32(x)));
+        self.vq.clear();
+        self.vq.extend(v.as_slice().iter().map(|&x| Fix8x4::from_f32(x)));
+
+        let n = q.rows();
+        if self.part.out_q19.len() != d {
+            self.part.out_q19.resize(d, 0);
+        }
+        self.out32.clear();
+        self.out32.resize(d, 0);
+        self.part.weight_q16 = 0;
+        if self.acc.len() > n {
+            self.acc.truncate(n);
+        }
+        for row in &mut self.acc {
+            row.weight_q16 = 0;
+            if row.out_q19.len() == d {
+                row.out_q19.fill(0);
+            } else {
+                row.out_q19.clear();
+                row.out_q19.resize(d, 0);
+            }
+        }
+        while self.acc.len() < n {
+            self.acc.push(PartialRow::empty(d));
+        }
+    }
+
+    /// Row `i` of a flat `d`-strided arena.
+    #[inline]
+    fn row(arena: &[Fix8x4], i: usize, d: usize) -> &[Fix8x4] {
+        &arena[i * d..(i + 1) * d]
+    }
 }
 
 impl SpatialAccelerator {
     /// Builds an accelerator from a configuration.
     #[must_use]
     pub fn new(config: AcceleratorConfig) -> Self {
-        let exp = ExpLut::new(config.exp_segments.max(1));
-        let recip = RecipUnit::new(config.recip_entries.max(1));
+        let exp = Arc::new(ExpLut::new(config.exp_segments.max(1)));
+        let recip = Arc::new(RecipUnit::new(config.recip_entries.max(1)));
         Self { config, exp, recip }
     }
 
@@ -66,6 +175,15 @@ impl SpatialAccelerator {
         &self.config
     }
 
+    /// The shared exponential and reciprocal lookup tables.
+    ///
+    /// Clones of this accelerator hold the same handles, so a worker pool
+    /// built from clones shares one set of tables.
+    #[must_use]
+    pub fn shared_tables(&self) -> (&Arc<ExpLut>, &Arc<RecipUnit>) {
+        (&self.exp, &self.recip)
+    }
+
     /// Timing-only estimate for executing `plan` with `num_heads` heads of
     /// dimension `head_dim` (heads run back to back; the plan is per-head).
     #[must_use]
@@ -76,6 +194,30 @@ impl SpatialAccelerator {
         num_heads: usize,
     ) -> TimingReport {
         let stats = plan.stats();
+        let q_loads = plan.passes().iter().map(|p| p.tile_len as u64).sum();
+        self.timing_report(&stats, q_loads, plan.n(), head_dim, num_heads)
+    }
+
+    /// [`estimate`](Self::estimate) from a lowered plan's captured
+    /// statistics — no plan traversal.
+    #[must_use]
+    pub fn estimate_lowered(
+        &self,
+        lowered: &LoweredPlan,
+        head_dim: usize,
+        num_heads: usize,
+    ) -> TimingReport {
+        self.timing_report(lowered.stats(), lowered.q_loads(), lowered.n(), head_dim, num_heads)
+    }
+
+    fn timing_report(
+        &self,
+        stats: &PlanStats,
+        q_loads: u64,
+        n: usize,
+        head_dim: usize,
+        num_heads: usize,
+    ) -> TimingReport {
         let model = CycleModel::new(&self.config);
         let cycles = model.plan_cycles(
             stats.passes as u64,
@@ -95,7 +237,7 @@ impl SpatialAccelerator {
                 occupancy: stats.occupancy,
                 mac_utilization: mac_utilization.min(1.0),
             },
-            traffic: TrafficReport::from_plan(plan, head_dim),
+            traffic: TrafficReport::from_parts(stats, q_loads, n, head_dim),
         }
     }
 
@@ -103,6 +245,11 @@ impl SpatialAccelerator {
     /// pass through the five-stage fixed-point datapath, merges window
     /// splits and global contributions in the weighted-sum modules, and
     /// returns 16-bit outputs with a full report.
+    ///
+    /// Lowers the plan and allocates a scratch internally; callers
+    /// executing a plan more than once should lower it once and use
+    /// [`execute_lowered`](Self::execute_lowered) with a reused
+    /// [`ExecScratch`].
     ///
     /// `scale` is folded into the query quantization; pass
     /// `1/sqrt(head_dim)` for standard attention (see
@@ -120,17 +267,42 @@ impl SpatialAccelerator {
         v: &Matrix<f32>,
         scale: f32,
     ) -> Result<ExecutionOutput, SimError> {
-        self.execute_inner(plan, q, k, v, scale, false)
+        let lowered = LoweredPlan::lower(plan);
+        self.execute_lowered(&lowered, q, k, v, scale, &mut ExecScratch::new())
+    }
+
+    /// Executes one head through a pre-lowered plan with caller-owned
+    /// scratch — the allocation-free hot path.
+    ///
+    /// Bit-identical to [`execute`](Self::execute) and to
+    /// [`execute_systolic`](Self::execute_systolic) on the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`execute`](Self::execute).
+    pub fn execute_lowered(
+        &self,
+        lowered: &LoweredPlan,
+        q: &Matrix<f32>,
+        k: &Matrix<f32>,
+        v: &Matrix<f32>,
+        scale: f32,
+        scratch: &mut ExecScratch,
+    ) -> Result<ExecutionOutput, SimError> {
+        let d = self.prepare(lowered, q, k, v, scale, scratch)?;
+        let mut sat = MacSaturation::default();
+        self.run_ops(lowered, 0..lowered.ops().len(), d, scratch, &mut sat)?;
+        Ok(self.drain(lowered, d, scratch, sat))
     }
 
     /// Like [`execute`](Self::execute), but steps every array pass through
     /// the event-accurate [`SystolicArray`] (explicit systolic skew,
-    /// rippled row sums) instead of the vectorized datapath.
+    /// rippled row sums) instead of the lowered program.
     ///
-    /// The two paths are **bit-identical** — asserted in tests — because
-    /// they perform the same fixed-point operations in the same order;
-    /// this method exists to validate that claim and costs roughly an
-    /// order of magnitude more host time.
+    /// The two paths are **bit-identical** — asserted in tests and
+    /// proptests — because they perform the same fixed-point operations in
+    /// the same order; this method exists to validate that claim and costs
+    /// roughly an order of magnitude more host time.
     ///
     /// # Errors
     ///
@@ -143,125 +315,101 @@ impl SpatialAccelerator {
         v: &Matrix<f32>,
         scale: f32,
     ) -> Result<ExecutionOutput, SimError> {
-        self.execute_inner(plan, q, k, v, scale, true)
+        let lowered = LoweredPlan::lower(plan);
+        let scratch = &mut ExecScratch::new();
+        let d = self.prepare(&lowered, q, k, v, scale, scratch)?;
+        let mut sat = MacSaturation::default();
+        for (i, pass) in plan.passes().iter().enumerate() {
+            self.array_pass_systolic(plan, pass, d, scratch, &mut sat)?;
+            self.run_ops(&lowered, lowered.pass_global_ops(i), d, scratch, &mut sat)?;
+        }
+        self.run_ops(&lowered, lowered.supplemental_ops(), d, scratch, &mut sat)?;
+        Ok(self.drain(&lowered, d, scratch, sat))
     }
 
-    fn execute_inner(
+    /// Shape-checks the inputs and loads them into the scratch arenas.
+    fn prepare(
         &self,
-        plan: &ExecutionPlan,
+        lowered: &LoweredPlan,
         q: &Matrix<f32>,
         k: &Matrix<f32>,
         v: &Matrix<f32>,
         scale: f32,
-        event_accurate: bool,
-    ) -> Result<ExecutionOutput, SimError> {
-        let n = plan.n();
+        scratch: &mut ExecScratch,
+    ) -> Result<usize, SimError> {
+        let n = lowered.n();
         for m in [q, k, v] {
             if m.rows() != n || m.shape() != q.shape() {
                 return Err(SimError::ShapeMismatch { plan_n: n, got: m.shape() });
             }
         }
         let d = q.cols();
-
-        // Load-time quantization (scale folded into Q).
-        let inputs = QuantizedInputs {
-            qq: (0..n).map(|i| quantize_with_scale(q.row(i), scale)).collect(),
-            kq: (0..n).map(|i| quantize(k.row(i))).collect(),
-            vq: (0..n).map(|i| quantize(v.row(i))).collect(),
-        };
-
-        let mut acc: Vec<PartialRow> = (0..n).map(|_| PartialRow::empty(d)).collect();
-        let mut sat = MacSaturation::default();
-
-        for pass in plan.passes() {
-            if event_accurate {
-                self.array_pass_systolic(plan, pass, &inputs, d, &mut acc, &mut sat)?;
-            } else {
-                self.array_pass_vectorized(plan, pass, &inputs, d, &mut acc, &mut sat)?;
-            }
-            self.global_duties(plan, pass, &inputs, d, &mut acc, &mut sat)?;
-        }
-
-        // Supplemental global-unit passes.
-        for sup in plan.supplemental() {
-            match sup.kind {
-                SupplementalKind::GlobalRow { token, start, end } => {
-                    let keys: Vec<usize> = (start..end).collect();
-                    let part = self.row_part(&inputs.qq[token], &keys, &inputs, d, &mut sat)?;
-                    acc[token] = merge_partials(&acc[token], &part, &self.recip)?;
-                }
-                SupplementalKind::GlobalCol { token, start, end } => {
-                    for (offset, slot) in acc[start..end].iter_mut().enumerate() {
-                        let qi = start + offset;
-                        let part =
-                            self.single_key_part(&inputs.qq[qi], token, &inputs, d, &mut sat);
-                        *slot = merge_partials(slot, &part, &self.recip)?;
-                    }
-                }
-            }
-        }
-
-        // Drain the weighted-sum modules into the output buffer.
-        let mut raw = Matrix::filled(n, d, Fix16x8::ZERO);
-        let mut weights = vec![0i64; n];
-        for (i, part) in acc.iter().enumerate() {
-            weights[i] = part.weight_q16;
-            for (c, &o) in part.out_q19.iter().enumerate() {
-                raw.set(i, c, Fix16x8::from_q19_acc(o));
-            }
-        }
-
-        let timing = self.estimate(plan, d, 1);
-        let stats = plan.stats();
-        let scores = stats.active_cells + stats.global_col_scores + stats.global_row_scores;
-        let macs = scores * (2 * d as u64 + 3);
-        let lut_evals = scores + stats.passes as u64 * self.config.hw.pe_rows as u64;
-        let energy = EnergyModel::new(&self.config).breakdown(
-            timing.cycles.total,
-            macs,
-            timing.traffic.total_bytes(),
-            lut_evals,
-        );
-        let output = raw.map(Fix16x8::to_f32);
-        Ok(ExecutionOutput {
-            raw,
-            output,
-            weights_q16: weights,
-            report: ExecutionReport { timing, energy, saturation_events: sat.events },
-        })
+        scratch.load(q, k, v, scale, d);
+        // Pre-size the per-op buffers to the program's high-water mark so
+        // the first ops never reallocate mid-pass.
+        let keys = lowered.max_row_keys();
+        scratch.scores.reserve(keys);
+        scratch.exps.reserve(keys);
+        scratch.probs.reserve(keys);
+        Ok(d)
     }
 
-    /// One array pass via the vectorized datapath.
-    fn array_pass_vectorized(
+    /// Executes a range of the lowered program: stages 1–5 per op, merged
+    /// in place into the per-row accumulators. No allocation once the
+    /// scratch has grown to the program's high-water mark.
+    fn run_ops(
         &self,
-        plan: &ExecutionPlan,
-        pass: &Pass,
-        inputs: &QuantizedInputs,
+        lowered: &LoweredPlan,
+        range: std::ops::Range<usize>,
         d: usize,
-        acc: &mut [PartialRow],
+        scratch: &mut ExecScratch,
         sat: &mut MacSaturation,
     ) -> Result<(), SimError> {
-        let comp = &plan.components()[pass.component];
-        let chunk = &comp.offsets()[pass.chunk_start..pass.chunk_start + pass.chunk_len];
-        for u in 0..pass.tile_len {
-            let p = pass.tile_start + u;
-            let qi = comp.queries()[p];
-            if plan.is_global(qi) {
-                continue;
-            }
-            let mut keys = Vec::with_capacity(chunk.len());
-            for &o in chunk {
-                if let Some(kj) = comp.key_at(p, o) {
-                    if !plan.is_global(kj) {
-                        keys.push(kj);
+        let ExecScratch { qq, kq, vq, scores, exps, probs, part, out32, acc } = scratch;
+        for op in &lowered.ops()[range] {
+            let keys = lowered.op_keys(op);
+            let q_row = ExecScratch::row(qq, op.dest as usize, d);
+            match op.kind {
+                LoweredOpKind::Row => {
+                    // Stage 1: output-stationary dot products.
+                    scores.clear();
+                    scores.extend(
+                        keys.iter()
+                            .map(|&j| qk_dot(q_row, ExecScratch::row(kq, j as usize, d), sat)),
+                    );
+                    // Stages 2-4: exp, row sum, reciprocal, normalize.
+                    let (weight, _) =
+                        fixed_softmax_parts_into(scores, &self.exp, &self.recip, exps, probs)?;
+                    // Stage 5: weight-stationary value accumulation. Short
+                    // chains (every array-shaped op) accumulate in i32 —
+                    // bit-identical, twice the vector lanes.
+                    part.weight_q16 = weight;
+                    if keys.len() <= SV_I32_SAFE_KEYS {
+                        out32.fill(0);
+                        for (&j, &p) in keys.iter().zip(probs.iter()) {
+                            sv_row_mac_i32(out32, p, ExecScratch::row(vq, j as usize, d));
+                        }
+                        for (o, &o32) in part.out_q19.iter_mut().zip(out32.iter()) {
+                            *o = i64::from(o32);
+                        }
+                    } else {
+                        part.out_q19.fill(0);
+                        for (&j, &p) in keys.iter().zip(probs.iter()) {
+                            sv_row_mac(&mut part.out_q19, p, ExecScratch::row(vq, j as usize, d));
+                        }
                     }
                 }
+                LoweredOpKind::SingleKey => {
+                    // A global PE column/row cell: weight `exp(s)`, output
+                    // `v_g` at probability one.
+                    let g = keys[0] as usize;
+                    let score = qk_dot(q_row, ExecScratch::row(kq, g, d), sat);
+                    part.weight_q16 = self.exp.eval_q8(score);
+                    part.out_q19.fill(0);
+                    sv_row_mac(&mut part.out_q19, PROB_ONE, ExecScratch::row(vq, g, d));
+                }
             }
-            if keys.is_empty() {
-                continue;
-            }
-            let part = self.row_part(&inputs.qq[qi], &keys, inputs, d, sat)?;
-            acc[qi] = merge_partials(&acc[qi], &part, &self.recip)?;
+            merge_partials_into(&mut acc[op.dest as usize], part, &self.recip)?;
         }
         Ok(())
     }
@@ -271,9 +419,8 @@ impl SpatialAccelerator {
         &self,
         plan: &ExecutionPlan,
         pass: &Pass,
-        inputs: &QuantizedInputs,
         d: usize,
-        acc: &mut [PartialRow],
+        scratch: &mut ExecScratch,
         sat: &mut MacSaturation,
     ) -> Result<(), SimError> {
         let comp = &plan.components()[pass.component];
@@ -299,13 +446,22 @@ impl SpatialAccelerator {
                 }
             }
         }
+        let ExecScratch { qq, kq, vq, acc, .. } = scratch;
         let queries: Vec<Option<&[Fix8x4]>> =
-            row_query.iter().map(|qi| qi.map(|qi| inputs.qq[qi].as_slice())).collect();
+            row_query.iter().map(|qi| qi.map(|qi| ExecScratch::row(qq, qi, d))).collect();
         let key_of = |u: usize, vv: usize| {
-            cell_keys.get(u * hw.pe_cols + vv).copied().flatten().map(|kj| inputs.kq[kj].as_slice())
+            cell_keys
+                .get(u * hw.pe_cols + vv)
+                .copied()
+                .flatten()
+                .map(|kj| ExecScratch::row(kq, kj, d))
         };
         let val_of = |u: usize, vv: usize| {
-            cell_keys.get(u * hw.pe_cols + vv).copied().flatten().map(|kj| inputs.vq[kj].as_slice())
+            cell_keys
+                .get(u * hw.pe_cols + vv)
+                .copied()
+                .flatten()
+                .map(|kj| ExecScratch::row(vq, kj, d))
         };
         let (parts, _trace) =
             array.run_pass(d, &queries, key_of, val_of, &self.exp, &self.recip, sat);
@@ -313,89 +469,54 @@ impl SpatialAccelerator {
             let (Some(qi), Some(part)) = (row_query.get(u).copied().flatten(), part) else {
                 continue;
             };
-            acc[qi] = merge_partials(&acc[qi], &part, &self.recip)?;
+            merge_partials_into(&mut acc[qi], &part, &self.recip)?;
         }
         Ok(())
     }
 
-    /// Global PE row/column duties of one pass.
-    fn global_duties(
+    /// Drains the weighted-sum modules into the output buffer and builds
+    /// the report.
+    fn drain(
         &self,
-        _plan: &ExecutionPlan,
-        pass: &Pass,
-        inputs: &QuantizedInputs,
+        lowered: &LoweredPlan,
         d: usize,
-        acc: &mut [PartialRow],
-        sat: &mut MacSaturation,
-    ) -> Result<(), SimError> {
-        // Global PE column: tile queries against one global token's key.
-        for duty in &pass.global_col {
-            let g = duty.token;
-            for &qi in &duty.fresh_queries {
-                let qi = qi as usize;
-                let part = self.single_key_part(&inputs.qq[qi], g, inputs, d, sat);
-                acc[qi] = merge_partials(&acc[qi], &part, &self.recip)?;
+        scratch: &ExecScratch,
+        sat: MacSaturation,
+    ) -> ExecutionOutput {
+        let n = lowered.n();
+        let mut raw = Matrix::filled(n, d, Fix16x8::ZERO);
+        let mut weights = vec![0i64; n];
+        for (i, part) in scratch.acc.iter().enumerate() {
+            weights[i] = part.weight_q16;
+            for (c, &o) in part.out_q19.iter().enumerate() {
+                raw.set(i, c, Fix16x8::from_q19_acc(o));
             }
         }
-        // Global PE row: one global token's query against streamed keys.
-        for duty in &pass.global_row {
-            let g = duty.token;
-            let keys: Vec<usize> = duty.fresh_keys.iter().map(|&kj| kj as usize).collect();
-            if keys.is_empty() {
-                continue;
-            }
-            let part = self.row_part(&inputs.qq[g], &keys, inputs, d, sat)?;
-            acc[g] = merge_partials(&acc[g], &part, &self.recip)?;
+
+        let timing = self.estimate_lowered(lowered, d, 1);
+        let stats = lowered.stats();
+        let scores = stats.active_cells + stats.global_col_scores + stats.global_row_scores;
+        let macs = scores * (2 * d as u64 + 3);
+        let lut_evals = scores + stats.passes as u64 * self.config.hw.pe_rows as u64;
+        let energy = EnergyModel::new(&self.config).breakdown(
+            timing.cycles.total,
+            macs,
+            timing.traffic.total_bytes(),
+            lut_evals,
+        );
+        let output = raw.map(Fix16x8::to_f32);
+        ExecutionOutput {
+            raw,
+            output,
+            weights_q16: weights,
+            report: ExecutionReport { timing, energy, saturation_events: sat.events },
         }
-        Ok(())
     }
 
     /// The standard attention scale for a head dimension.
     #[must_use]
     pub fn default_scale(head_dim: usize) -> f32 {
         1.0 / (head_dim.max(1) as f32).sqrt()
-    }
-
-    /// Stages 1-5 for one PE row over an explicit key list.
-    fn row_part(
-        &self,
-        q_row: &[Fix8x4],
-        keys: &[usize],
-        inputs: &QuantizedInputs,
-        d: usize,
-        sat: &mut MacSaturation,
-    ) -> Result<PartialRow, SimError> {
-        // Stage 1: output-stationary dot products.
-        let scores: Vec<i32> = keys.iter().map(|&j| qk_dot(q_row, &inputs.kq[j], sat)).collect();
-        // Stages 2-4: exp, row sum, reciprocal, normalize.
-        let (probs, weight, _) = fixed_softmax_parts(&scores, &self.exp, &self.recip)?;
-        // Stage 5: weight-stationary value accumulation.
-        let mut out = vec![0i64; d];
-        for (&j, &p) in keys.iter().zip(&probs) {
-            for (o, &ve) in out.iter_mut().zip(&inputs.vq[j]) {
-                *o = sv_mac(*o, p, ve, sat);
-            }
-        }
-        Ok(PartialRow { weight_q16: weight, out_q19: out })
-    }
-
-    /// A single-key part (global PE column cell): weight `exp(s)`, output
-    /// `v_g` at probability one.
-    fn single_key_part(
-        &self,
-        q_row: &[Fix8x4],
-        g: usize,
-        inputs: &QuantizedInputs,
-        d: usize,
-        sat: &mut MacSaturation,
-    ) -> PartialRow {
-        let score = qk_dot(q_row, &inputs.kq[g], sat);
-        let weight = self.exp.eval_q8(score);
-        let mut out = vec![0i64; d];
-        for (o, &ve) in out.iter_mut().zip(&inputs.vq[g]) {
-            *o = sv_mac(*o, PROB_ONE, ve, sat);
-        }
-        PartialRow { weight_q16: weight, out_q19: out }
     }
 }
 
@@ -434,9 +555,9 @@ mod tests {
     }
 
     #[test]
-    fn systolic_execution_bit_matches_vectorized() {
-        // The event-stepped systolic path and the vectorized path perform
-        // identical fixed-point operations in identical order.
+    fn systolic_execution_bit_matches_lowered() {
+        // The event-stepped systolic path and the lowered fast path
+        // perform identical fixed-point operations in identical order.
         let n = 40;
         let d = 8;
         let pattern = longformer(n, 11, 2).unwrap();
@@ -449,6 +570,40 @@ mod tests {
         assert_eq!(fast.raw, slow.raw, "bit-identical outputs");
         assert_eq!(fast.weights_q16, slow.weights_q16);
         assert_eq!(fast.report.saturation_events, slow.report.saturation_events);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_transparent() {
+        // One scratch serving different shapes back to back produces the
+        // same bits as a fresh scratch per execution.
+        let sim = accel(8, 8);
+        let mut scratch = ExecScratch::new();
+        for (n, d, w, seed) in [(40usize, 8usize, 11usize, 1u64), (24, 4, 7, 2), (40, 8, 11, 3)] {
+            let pattern = longformer(n, w, 1).unwrap();
+            let plan =
+                ExecutionPlan::build(&pattern, HardwareMeta::new(8, 8, 1, 1).unwrap()).unwrap();
+            let lowered = LoweredPlan::lower(&plan);
+            let qkv = Qkv::random(n, d, seed);
+            let scale = SpatialAccelerator::default_scale(d);
+            let reused =
+                sim.execute_lowered(&lowered, &qkv.q, &qkv.k, &qkv.v, scale, &mut scratch).unwrap();
+            let fresh = sim
+                .execute_lowered(&lowered, &qkv.q, &qkv.k, &qkv.v, scale, &mut ExecScratch::new())
+                .unwrap();
+            assert_eq!(reused.raw, fresh.raw);
+            assert_eq!(reused.weights_q16, fresh.weights_q16);
+            assert_eq!(reused.report.saturation_events, fresh.report.saturation_events);
+        }
+    }
+
+    #[test]
+    fn cloned_accelerators_share_lookup_tables() {
+        let sim = accel(8, 8);
+        let clone = sim.clone();
+        let (exp_a, recip_a) = sim.shared_tables();
+        let (exp_b, recip_b) = clone.shared_tables();
+        assert!(Arc::ptr_eq(exp_a, exp_b), "ExpLut shared across clones");
+        assert!(Arc::ptr_eq(recip_a, recip_b), "RecipUnit shared across clones");
     }
 
     #[test]
@@ -545,6 +700,9 @@ mod tests {
         // 12 heads = 12x one head.
         let one = sim.estimate(&plan, 64, 1);
         assert_eq!(t.cycles.total, 12 * one.cycles.per_head);
+        // The lowered estimate is the same report, without the traversal.
+        let lowered = LoweredPlan::lower(&plan);
+        assert_eq!(t, sim.estimate_lowered(&lowered, 64, 12));
     }
 
     #[test]

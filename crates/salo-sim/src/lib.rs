@@ -18,7 +18,11 @@
 //!
 //! * [`SpatialAccelerator::execute`] — *functional*: computes real outputs
 //!   in the accelerator's exact fixed-point arithmetic, validated against
-//!   the golden kernel in `salo-kernels`;
+//!   the golden kernel in `salo-kernels`. The hot form is
+//!   [`SpatialAccelerator::execute_lowered`], which consumes a
+//!   [`LoweredPlan`] (the plan resolved once into flat pass programs) and
+//!   a reusable [`ExecScratch`], making steady-state execution
+//!   allocation-free;
 //! * [`SpatialAccelerator::estimate`] — *timing*: closed-form cycle
 //!   accounting per the five-stage schedule, with pipelined pass overlap
 //!   (the default; matches the paper's >75 % utilization on Longformer)
@@ -41,6 +45,7 @@ mod cycles;
 mod energy;
 mod error;
 mod exec;
+mod lower;
 mod report;
 mod scaling;
 mod systolic;
@@ -53,7 +58,8 @@ pub use config::{AcceleratorConfig, BufferConfig, TimingParams};
 pub use cycles::{CycleBreakdown, CycleModel};
 pub use energy::{EnergyBreakdown, EnergyModel, OpEnergies};
 pub use error::SimError;
-pub use exec::{ExecutionOutput, SpatialAccelerator};
+pub use exec::{ExecScratch, ExecutionOutput, SpatialAccelerator};
+pub use lower::{LoweredOp, LoweredOpKind, LoweredPlan};
 pub use report::{ExecutionReport, TimingReport, UtilizationReport};
 pub use scaling::{AreaPowerEstimate, AreaPowerModel};
 pub use systolic::{PassTrace, SystolicArray};

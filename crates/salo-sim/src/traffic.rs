@@ -6,7 +6,7 @@
 //! figures from an execution plan so the ablation bench can report the
 //! reuse factor.
 
-use salo_scheduler::ExecutionPlan;
+use salo_scheduler::{ExecutionPlan, PlanStats};
 
 /// Byte traffic between buffers and the PE array for one head.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -28,19 +28,23 @@ impl TrafficReport {
     /// Inputs are 8-bit (1 byte/element), outputs 16-bit.
     #[must_use]
     pub fn from_plan(plan: &ExecutionPlan, d: usize) -> Self {
-        let stats = plan.stats();
+        let q_loads = plan.passes().iter().map(|p| p.tile_len as u64).sum();
+        Self::from_parts(&plan.stats(), q_loads, plan.n(), d)
+    }
+
+    /// Derives traffic from precomputed plan figures — the form the
+    /// lowered execution path uses, with no plan traversal. `q_loads` is
+    /// the query-row load count summed over main passes.
+    #[must_use]
+    pub fn from_parts(stats: &PlanStats, q_loads: u64, n: usize, d: usize) -> Self {
         let d = d as u64;
         // Each streamed key vector brings its value vector along (k and v
         // share the diagonal path, Fig. 5).
-        let kv_diag = stats.streamed_keys * d * 2;
-        let kv_naive = stats.naive_key_loads * d * 2;
-        let q_loads: u64 = plan.passes().iter().map(|p| p.tile_len as u64).sum();
-        let out_rows = plan.n() as u64;
         Self {
-            kv_bytes_diagonal: kv_diag,
-            kv_bytes_naive: kv_naive,
+            kv_bytes_diagonal: stats.streamed_keys * d * 2,
+            kv_bytes_naive: stats.naive_key_loads * d * 2,
             q_bytes: q_loads * d,
-            out_bytes: out_rows * d * 2,
+            out_bytes: n as u64 * d * 2,
         }
     }
 

@@ -1,11 +1,12 @@
 //! Property tests: the simulator agrees with the reference kernels on
-//! random patterns, data and array geometries.
+//! random patterns, data and array geometries, and the lowered fast path
+//! is bit-identical to the event-accurate systolic oracle.
 
 use proptest::prelude::*;
 use salo_kernels::{sparse_attention, Qkv};
 use salo_patterns::{HybridPattern, Window};
 use salo_scheduler::{ExecutionPlan, HardwareMeta};
-use salo_sim::{AcceleratorConfig, SpatialAccelerator};
+use salo_sim::{AcceleratorConfig, ExecScratch, LoweredPlan, SpatialAccelerator};
 
 fn arb_pattern() -> impl Strategy<Value = HybridPattern> {
     (12usize..40, -6i64..0, 1usize..8, 1usize..4, prop::collection::vec(0usize..12, 0..3))
@@ -47,8 +48,9 @@ proptest! {
         prop_assert_eq!(out.report.saturation_events, 0);
     }
 
-    /// The event-accurate systolic path is bit-identical to the
-    /// vectorized path on random inputs.
+    /// The event-accurate systolic path is bit-identical to the lowered
+    /// fast path on random inputs — outputs, weights and saturation
+    /// counts.
     #[test]
     fn systolic_always_bit_matches(pattern in arb_pattern(), seed in 0u64..1000) {
         let d = 4usize;
@@ -61,10 +63,46 @@ proptest! {
         let sim = SpatialAccelerator::new(config);
         let qkv = Qkv::random(pattern.n(), d, seed);
         let scale = SpatialAccelerator::default_scale(d);
-        let fast = sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, scale).expect("vectorized");
+        let fast = sim.execute(&plan, &qkv.q, &qkv.k, &qkv.v, scale).expect("lowered");
         let slow = sim.execute_systolic(&plan, &qkv.q, &qkv.k, &qkv.v, scale).expect("systolic");
         prop_assert_eq!(fast.raw, slow.raw);
         prop_assert_eq!(fast.weights_q16, slow.weights_q16);
+        prop_assert_eq!(fast.report.saturation_events, slow.report.saturation_events);
+    }
+
+    /// The lowered fast path — pre-lowered plan, one scratch reused
+    /// across two different patterns, shapes and head dimensions — stays
+    /// bit-identical to the systolic oracle: outputs, `weights_q16` and
+    /// saturation counts.
+    #[test]
+    fn lowered_fast_path_bit_matches_systolic(
+        first in arb_pattern(),
+        second in arb_pattern(),
+        hw in arb_hw(),
+        d1 in 2usize..10,
+        d2 in 2usize..10,
+        seed in 0u64..1000,
+    ) {
+        let config = AcceleratorConfig { hw, ..Default::default() };
+        let sim = SpatialAccelerator::new(config);
+        let mut scratch = ExecScratch::new();
+        for (pattern, d) in [(&first, d1), (&second, d2)] {
+            let plan = match ExecutionPlan::build(pattern, hw) {
+                Ok(p) => p,
+                Err(_) => continue, // degenerate (empty) pattern
+            };
+            let lowered = LoweredPlan::lower(&plan);
+            let qkv = Qkv::random(pattern.n(), d, seed);
+            let scale = SpatialAccelerator::default_scale(d);
+            let fast = sim
+                .execute_lowered(&lowered, &qkv.q, &qkv.k, &qkv.v, scale, &mut scratch)
+                .expect("lowered");
+            let slow =
+                sim.execute_systolic(&plan, &qkv.q, &qkv.k, &qkv.v, scale).expect("systolic");
+            prop_assert_eq!(fast.raw, slow.raw);
+            prop_assert_eq!(fast.weights_q16, slow.weights_q16);
+            prop_assert_eq!(fast.report.saturation_events, slow.report.saturation_events);
+        }
     }
 
     /// Estimates are monotone in work: more heads, more cycles; and the
