@@ -1,0 +1,82 @@
+//! Streaming-decode hot paths: per-token step cost against the persistent
+//! K/V arenas, and the one-time step-program lowering.
+//!
+//! The step bench is the acceptance figure of the decode-datapath PR: one
+//! token's work is O(active keys at that step), not O(plan) — a full
+//! re-execution of the prefill per generated token would be ~n times
+//! slower at paper scale. `bench_trajectory` records the same per-token
+//! cost in `BENCH_exec.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salo_core::Salo;
+use salo_kernels::Qkv;
+use salo_patterns::{HybridPattern, Window};
+use salo_sim::{DecodePlan, LoweredPlan};
+use std::hint::black_box;
+
+/// Causal sliding window of `w` with an attention-sink global — the
+/// serving shape of Salca/MiniCPM-style hybrid sparse decoding.
+fn sink_pattern(n: usize, w: usize) -> HybridPattern {
+    HybridPattern::builder(n)
+        .window(Window::causal(w).expect("window"))
+        .global_token(0)
+        .build()
+        .expect("pattern")
+}
+
+fn bench_decode_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_step");
+    group.sample_size(10);
+    let salo = Salo::default_config();
+    for (name, n, w, d) in
+        [("longformer-2048-w256", 2048usize, 256usize, 64usize), ("chat-512-w128", 512, 128, 64)]
+    {
+        let pattern = sink_pattern(n, w);
+        let qkv = Qkv::random(n, d, 42);
+        let mut session = salo.decode_session(&pattern, d).expect("session");
+        session.prime_rows(&qkv, 0..session.min_step()).expect("prime");
+        let mut t = session.min_step();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &qkv, |b, qkv| {
+            b.iter(|| {
+                if t >= session.capacity() {
+                    session.reset();
+                    session.prime_rows(qkv, 0..session.min_step()).expect("prime");
+                    t = session.min_step();
+                }
+                let out = session.step(qkv.q.row(t), qkv.k.row(t), qkv.v.row(t)).expect("step");
+                t += 1;
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_step_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_lowering");
+    group.sample_size(10);
+    let salo = Salo::default_config();
+    for (name, n, w) in [("longformer-2048-w256", 2048usize, 256usize), ("chat-512-w128", 512, 128)]
+    {
+        let pattern = sink_pattern(n, w);
+        let view = pattern.decode_view().expect("view");
+        let shape = salo_patterns::AttentionShape::new(n, 64, 1).expect("shape");
+        let compiled = salo.compile(view.causal_pattern(), &shape).expect("compile");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compiled, |b, compiled| {
+            b.iter(|| {
+                black_box(DecodePlan::lower(&compiled.plan, &compiled.lowered).expect("lower"))
+            })
+        });
+        // Reference point: the prefill lowering the step program derives
+        // from.
+        group.bench_with_input(
+            BenchmarkId::new("prefill_lowering", name),
+            &compiled,
+            |b, compiled| b.iter(|| black_box(LoweredPlan::lower(&compiled.plan))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode_step, bench_step_lowering);
+criterion_main!(benches);

@@ -16,6 +16,7 @@
 use salo_core::Salo;
 use salo_kernels::Qkv;
 use salo_models::{bert_base, longformer_layer, vil_stage1, Workload};
+use salo_patterns::{HybridPattern, Window};
 use salo_sim::{ExecScratch, SpatialAccelerator};
 use std::time::Instant;
 
@@ -87,6 +88,58 @@ fn json_field_opt(value: Option<f64>) -> String {
     value.map_or_else(|| "null".into(), |v| format!("{v:.2}"))
 }
 
+struct DecodeMeasurement {
+    name: String,
+    n: usize,
+    d: usize,
+    steps: usize,
+    ms_per_generation: f64,
+    ns_per_token: f64,
+    tokens_per_s: f64,
+}
+
+/// Times a full streaming-decode generation (prime the sink token, then
+/// one `step` per position) over a causal window + attention-sink
+/// pattern; the median of `iters` generations is reported per token.
+fn measure_decode(name: &str, n: usize, w: usize, d: usize, iters: usize) -> DecodeMeasurement {
+    let salo = Salo::default_config();
+    let pattern = HybridPattern::builder(n)
+        .window(Window::causal(w).expect("window"))
+        .global_token(0)
+        .build()
+        .expect("pattern");
+    let mut session = salo.decode_session(&pattern, d).expect("session");
+    let qkv = Qkv::random(n, d, 42);
+    let steps = n - session.min_step();
+    let run = |session: &mut salo_core::DecodeSession| {
+        session.reset();
+        session.prime_rows(&qkv, 0..session.min_step()).expect("prime");
+        for t in session.min_step()..n {
+            let out = session.step(qkv.q.row(t), qkv.k.row(t), qkv.v.row(t)).expect("step");
+            std::hint::black_box(out);
+        }
+    };
+    run(&mut session); // warm up: grow the arenas to the full history
+    let mut samples_ns: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            run(&mut session);
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    DecodeMeasurement {
+        name: name.to_string(),
+        n,
+        d,
+        steps,
+        ms_per_generation: median / 1e6,
+        ns_per_token: median / steps as f64,
+        tokens_per_s: steps as f64 / (median / 1e9),
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (shapes, iters): (Vec<(&str, Workload)>, usize) = if smoke {
@@ -139,11 +192,35 @@ fn main() {
         ));
     }
 
+    // Decode trajectory: steady-state per-token cost of the streaming
+    // datapath on the same host, causal window + attention sink.
+    let decode_shapes: Vec<(&str, usize, usize, usize)> = if smoke {
+        vec![("smoke-decode-64-w16", 64, 16, 16)]
+    } else {
+        vec![("decode-longformer-2048-w256", 2048, 256, 64), ("decode-chat-512-w128", 512, 128, 64)]
+    };
+    let mut decode_entries = Vec::new();
+    for &(name, n, w, d) in &decode_shapes {
+        let m = measure_decode(name, n, w, d, iters);
+        println!(
+            "{:<28} n={:<5} d={:<3} {:>9.3} ms/gen  {:>9.0} ns/token {:>10.0} tokens/s",
+            m.name, m.n, m.d, m.ms_per_generation, m.ns_per_token, m.tokens_per_s,
+        );
+        decode_entries.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"n\": {}, \"d\": {}, \"steps\": {}, ",
+                "\"ms_per_generation\": {:.3}, \"ns_per_token\": {:.1}, \"tokens_per_s\": {:.0}}}"
+            ),
+            m.name, m.n, m.d, m.steps, m.ms_per_generation, m.ns_per_token, m.tokens_per_s,
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"exec\",\n  \"smoke\": {},\n  \"iters\": {},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"exec\",\n  \"smoke\": {},\n  \"iters\": {},\n  \"shapes\": [\n{}\n  ],\n  \"decode\": [\n{}\n  ]\n}}\n",
         smoke,
         iters,
         entries.join(",\n"),
+        decode_entries.join(",\n"),
     );
     // Smoke runs go to a separate (gitignored) file so reproducing the CI
     // step locally never clobbers the recorded full measurement.

@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod decode;
 mod error;
 pub mod experiment;
 mod salo;
 mod verify;
 
+pub use decode::DecodeSession;
 pub use error::SaloError;
 pub use experiment::{compare_workload, figure7_comparisons, Comparison};
 pub use salo::{CompiledPlan, MultiHeadRun, Salo};

@@ -1,10 +1,13 @@
 //! The `Salo` façade: compile, execute, estimate.
 
+use std::sync::{Arc, OnceLock};
+
 use salo_kernels::{Matrix, Qkv};
 use salo_patterns::{AttentionShape, HybridPattern};
 use salo_scheduler::{ExecutionPlan, PlanStats};
 use salo_sim::{
-    AcceleratorConfig, ExecScratch, ExecutionOutput, LoweredPlan, SpatialAccelerator, TimingReport,
+    AcceleratorConfig, DecodePlan, ExecScratch, ExecutionOutput, LoweredPlan, SpatialAccelerator,
+    TimingReport,
 };
 
 use crate::SaloError;
@@ -28,6 +31,34 @@ pub struct CompiledPlan {
     /// The plan resolved into flat pass programs for the execution hot
     /// path.
     pub lowered: LoweredPlan,
+    /// Lazily built step-indexed decode program, shared by every decode
+    /// session of this compiled plan (see
+    /// [`decode_plan`](Self::decode_plan)).
+    decode: OnceLock<Arc<DecodePlan>>,
+}
+
+impl CompiledPlan {
+    /// The plan's step-indexed decode program, lowered on first use and
+    /// cached — sessions opened on the same compiled plan (e.g. through
+    /// the serving runtime's plan cache, which shares `CompiledPlan`s
+    /// behind `Arc`) all reuse one program instead of re-bucketing per
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaloError::Sim`] with
+    /// [`AnticausalPlan`](salo_sim::SimError::AnticausalPlan) if the plan
+    /// was not compiled from a causally clipped pattern.
+    pub fn decode_plan(&self) -> Result<Arc<DecodePlan>, SaloError> {
+        if let Some(decode) = self.decode.get() {
+            return Ok(Arc::clone(decode));
+        }
+        // Two threads may race here and both lower; lowering is
+        // deterministic, so the first insert wins and both see the same
+        // program.
+        let decode = Arc::new(DecodePlan::lower(&self.plan, &self.lowered)?);
+        Ok(Arc::clone(self.decode.get_or_init(|| decode)))
+    }
 }
 
 /// The result of executing all heads of a layer.
@@ -108,7 +139,7 @@ impl Salo {
         let plan = ExecutionPlan::build(pattern, self.accel.config().hw)?;
         let stats = plan.stats();
         let lowered = LoweredPlan::lower(&plan);
-        Ok(CompiledPlan { plan, shape: *shape, stats, lowered })
+        Ok(CompiledPlan { plan, shape: *shape, stats, lowered, decode: OnceLock::new() })
     }
 
     /// Timing/energy estimate for the whole layer (all heads).

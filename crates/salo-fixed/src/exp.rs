@@ -101,10 +101,16 @@ impl ExpLut {
         let lo_raw = (x_lo * 256.0) as i64;
         let hi_raw = (x_hi * 256.0) as i64;
         let span = hi_raw - lo_raw;
+        // A domain narrower than one Q.8 step collapses to zero raw span:
+        // every input would clamp to the same point and the fallback index
+        // division would divide by zero. Reject it like an empty domain.
+        if span <= 0 {
+            return Err(FixedError::EmptyLut);
+        }
         // floor(u * segments / span) == u >> k exactly when span ==
         // segments << k: the division by `segments * 2^k` cancels the
         // multiplication and leaves the shift.
-        let index_shift = (span > 0 && span % segments as i64 == 0)
+        let index_shift = (span % segments as i64 == 0)
             .then(|| span / segments as i64)
             .filter(|w| w.count_ones() == 1)
             .map(|w| w.trailing_zeros());
@@ -124,6 +130,29 @@ impl ExpLut {
         self.segments * (32 + 32)
     }
 
+    /// Segment index of a clamped raw input: floor((x - lo) * segments /
+    /// (hi - lo)), reduced to a right shift when the Q.8 segment width is
+    /// a power of two, clamped so the domain's upper endpoint lands in the
+    /// last segment.
+    #[inline]
+    fn segment_index(&self, x: i64) -> usize {
+        let idx = match self.index_shift {
+            Some(shift) => ((x - self.lo_raw) >> shift) as usize,
+            None => self.segment_index_by_division(x),
+        };
+        idx.min(self.segments - 1)
+    }
+
+    /// The division form of the index computation — the fallback for
+    /// non-power-of-two segment widths, and the reference the shift fast
+    /// path is asserted against (both paths must agree on every segment,
+    /// the last one included).
+    #[inline]
+    fn segment_index_by_division(&self, x: i64) -> usize {
+        let span = self.hi_raw - self.lo_raw;
+        ((x - self.lo_raw) * self.segments as i64 / span) as usize
+    }
+
     /// Evaluates `exp(x)` for a Q.8 input, returning a Q.16 output.
     ///
     /// Inputs outside the domain are clamped to its endpoints; the result
@@ -132,18 +161,7 @@ impl ExpLut {
     #[must_use]
     pub fn eval_q8(&self, x_raw: i32) -> i64 {
         let x = (x_raw as i64).clamp(self.lo_raw, self.hi_raw);
-        // Segment index: floor((x - lo) * segments / (hi - lo)), reduced
-        // to a shift when the segment width is a power of two.
-        let mut idx = match self.index_shift {
-            Some(shift) => ((x - self.lo_raw) >> shift) as usize,
-            None => {
-                let span = self.hi_raw - self.lo_raw;
-                ((x - self.lo_raw) * self.segments as i64 / span) as usize
-            }
-        };
-        if idx >= self.segments {
-            idx = self.segments - 1;
-        }
+        let idx = self.segment_index(x);
         // y = slope * x + intercept:
         // slope Q.18 * x Q.8 -> Q.26, shift by 10 to reach Q.16.
         let y = ((self.slopes[idx] * x) >> (SLOPE_FRAC + 8 - EXP_FRAC)) + self.intercepts[idx];
@@ -185,12 +203,80 @@ impl ExpLut {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn rejects_empty_configurations() {
         assert!(ExpLut::with_segments(0).is_err());
         assert!(ExpLut::with_domain(4, 1.0, 1.0).is_err());
         assert!(ExpLut::with_domain(4, 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_domains_narrower_than_one_q8_step() {
+        // A sub-LSB domain collapses to zero raw span; building it used to
+        // arm a division-by-zero in the fallback index path on the first
+        // evaluation. It must be rejected at construction instead.
+        assert!(matches!(ExpLut::with_domain(4, 0.0001, 0.002), Err(FixedError::EmptyLut)));
+        assert!(matches!(ExpLut::with_domain(8, -0.001, 0.0), Err(FixedError::EmptyLut)));
+        // One full Q.8 step is the smallest buildable domain, and it must
+        // evaluate without panicking at both endpoints.
+        let lut = ExpLut::with_domain(2, 0.0, 1.0 / 256.0).unwrap();
+        assert!(lut.eval_q8(0) > 0);
+        assert!(lut.eval_q8(1) > 0);
+    }
+
+    #[test]
+    fn index_paths_agree_on_every_boundary_segment() {
+        // Power-of-two width with a non-power-of-two segment count: the
+        // shift fast path applies (width 3072/24 = 128 = 2^7) and must
+        // agree with the division fallback everywhere, last segment
+        // included.
+        let lut = ExpLut::with_domain(24, -6.0, 6.0).unwrap();
+        assert!(lut.index_shift.is_some(), "width 128 should take the shift path");
+        for x in lut.lo_raw..=lut.hi_raw {
+            let by_shift = lut.segment_index(x);
+            let by_div = lut.segment_index_by_division(x).min(lut.segments - 1);
+            assert_eq!(by_shift, by_div, "paths disagree at raw {x}");
+        }
+        // The exact upper endpoint belongs to the last segment on both
+        // paths (the raw index overflows to `segments` and is clamped).
+        assert_eq!(lut.segment_index(lut.hi_raw), lut.segments - 1);
+        assert_eq!(lut.segment_index_by_division(lut.hi_raw), lut.segments);
+
+        // Non-power-of-two width (4096/24 is fractional): only the
+        // division path exists, and it must stay in range at the ends.
+        let lut = ExpLut::with_domain(24, -8.0, 8.0).unwrap();
+        assert!(lut.index_shift.is_none());
+        assert_eq!(lut.segment_index(lut.lo_raw), 0);
+        assert_eq!(lut.segment_index(lut.hi_raw), lut.segments - 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The shift fast path and the division fallback agree on the
+        /// segment of every representable raw input — in-domain,
+        /// out-of-domain (clamped) and at both endpoints — for every
+        /// configuration where the fast path is available.
+        #[test]
+        fn index_shift_matches_division_across_raw_range(
+            segs_log2 in 1u32..8,
+            half_domain in 1i32..9,
+            x_raw in -4096i32..4097,
+        ) {
+            let segments = 1usize << segs_log2;
+            let lut = ExpLut::with_domain(segments, -f64::from(half_domain), f64::from(half_domain))
+                .expect("valid domain");
+            prop_assume!(lut.index_shift.is_some());
+            let x = (i64::from(x_raw)).clamp(lut.lo_raw, lut.hi_raw);
+            let by_shift = lut.segment_index(x);
+            let by_div = lut.segment_index_by_division(x).min(lut.segments - 1);
+            prop_assert_eq!(by_shift, by_div);
+            prop_assert!(by_shift < lut.segments);
+            // And the evaluation built on it stays total and non-negative.
+            prop_assert!(lut.eval_q8(x_raw) >= 0);
+        }
     }
 
     #[test]

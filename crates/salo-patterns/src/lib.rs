@@ -36,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 mod builder;
+mod decode;
 mod error;
 mod fingerprint;
 mod fit;
@@ -49,6 +50,7 @@ mod support;
 mod window;
 
 pub use builder::PatternBuilder;
+pub use decode::DecodeView;
 pub use error::PatternError;
 pub use fingerprint::StableHasher;
 pub use fit::{fit_pattern, FitConfig, FitReport};

@@ -182,17 +182,7 @@ impl HybridPattern {
     /// Returns [`PatternError::EmptyPattern`] if nothing survives the
     /// clipping.
     pub fn causal(&self) -> Result<HybridPattern, PatternError> {
-        let mut windows = Vec::new();
-        for w in &self.windows {
-            if w.lo() > 0 {
-                continue; // entirely in the future
-            }
-            let hi = w.hi().min(0);
-            // Keep the dilation grid aligned: the largest offset <= 0 on
-            // the window's grid.
-            let aligned_hi = w.lo() + ((hi - w.lo()) / w.dilation() as i64) * w.dilation() as i64;
-            windows.push(Window::dilated(w.lo(), aligned_hi, w.dilation())?);
-        }
+        let windows = self.windows.iter().filter_map(Window::causal_clip).collect();
         HybridPattern::from_parts(self.n, windows, self.globals.clone())
     }
 
@@ -418,6 +408,69 @@ mod tests {
             .build()
             .unwrap();
         assert_ne!(dilated.fingerprint(), sliding.fingerprint(), "dilation matters");
+    }
+
+    #[test]
+    fn causal_alignment_of_positive_offset_dilated_windows() {
+        // Regression sweep for the dilation-grid alignment: positive lower
+        // bounds must drop the window, and any window with lo <= 0 must
+        // keep exactly its grid points <= 0 — the aligned upper bound can
+        // never fall below lo.
+        // Entirely-future dilated window: dropped even when a grid point
+        // would align to a non-positive value "by accident".
+        let p = HybridPattern::builder(20)
+            .window(Window::dilated(2, 8, 3).unwrap())
+            .window(Window::causal(2).unwrap())
+            .build()
+            .unwrap();
+        let c = p.causal().unwrap();
+        assert_eq!(c.windows().len(), 1);
+        assert_eq!(c.windows()[0].hi(), 0);
+
+        // lo == 0 with positive reach: only the diagonal survives.
+        let p =
+            HybridPattern::builder(20).window(Window::dilated(0, 6, 3).unwrap()).build().unwrap();
+        let c = p.causal().unwrap();
+        assert_eq!((c.windows()[0].lo(), c.windows()[0].hi()), (0, 0));
+        assert_eq!(c.windows()[0].width(), 1);
+
+        // 0 not on the grid: the aligned bound steps down to the largest
+        // grid offset below it, never past lo.
+        for (lo, hi, d, want_hi) in
+            [(-1i64, 5i64, 3usize, -1i64), (-2, 4, 3, -2), (-5, 7, 4, -1), (-7, 5, 3, -1)]
+        {
+            let p = HybridPattern::builder(30)
+                .window(Window::dilated(lo, hi, d).unwrap())
+                .build()
+                .unwrap();
+            let c = p.causal().unwrap();
+            let w = c.windows()[0];
+            assert_eq!(w.hi(), want_hi, "dilated({lo}, {hi}, {d})");
+            assert!(w.hi() >= w.lo(), "aligned bound degenerated below lo");
+            assert_eq!(w.dilation(), d, "grid preserved");
+            // Every surviving offset is causal and on the original grid.
+            for o in w.offsets() {
+                assert!(o <= 0);
+                assert_eq!((o - lo).rem_euclid(d as i64), 0, "offset {o} off-grid");
+            }
+        }
+
+        // Exhaustive cross-check against the set definition.
+        for lo in -9i64..=9 {
+            for d in 1usize..=4 {
+                for k in 0i64..6 {
+                    let hi = lo + k * d as i64;
+                    let w = Window::dilated(lo, hi, d).unwrap();
+                    let expect: Vec<i64> = w.offsets().filter(|&o| o <= 0).collect();
+                    match w.causal_clip() {
+                        Some(c) => {
+                            assert_eq!(c.offsets().collect::<Vec<_>>(), expect, "{w:?}");
+                        }
+                        None => assert!(expect.is_empty(), "{w:?} dropped offsets {expect:?}"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

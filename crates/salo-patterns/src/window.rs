@@ -130,6 +130,27 @@ impl Window {
         Self { lo: self.lo + delta, hi: self.hi + delta, dilation: self.dilation }
     }
 
+    /// The causal restriction of this window: the offsets `<= 0`, on the
+    /// same dilation grid. `None` if the window lies entirely in the
+    /// future (`lo > 0`).
+    ///
+    /// The surviving upper bound is the largest grid point `lo + k*d`
+    /// that is `<= 0`; it always exists when `lo <= 0` (at worst `lo`
+    /// itself), so the result can never degenerate below `lo`.
+    #[must_use]
+    pub fn causal_clip(&self) -> Option<Self> {
+        if self.lo > 0 {
+            return None; // entirely in the future
+        }
+        let hi = self.hi.min(0);
+        // Largest offset <= 0 on the window's grid. `hi - lo >= 0` here,
+        // so truncating division is floor division and `aligned_hi` stays
+        // in `[lo, 0]`.
+        let aligned_hi = self.lo + ((hi - self.lo) / self.dilation as i64) * self.dilation as i64;
+        debug_assert!((self.lo..=0).contains(&aligned_hi));
+        Some(Self { lo: self.lo, hi: aligned_hi, dilation: self.dilation })
+    }
+
     /// Number of keys query `i` actually attends through this window in a
     /// sequence of length `n` (i.e. the width after boundary clipping).
     #[must_use]

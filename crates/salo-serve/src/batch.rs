@@ -59,6 +59,11 @@ impl Batcher {
         Self { max_batch: max_batch.max(1), buckets: Vec::new() }
     }
 
+    /// The sealing threshold (always >= 1).
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
     /// Adds a request under its plan key; returns a sealed batch when the
     /// bucket reaches the size limit.
     pub fn push(&mut self, key: PlanKey, plan: &Arc<CompiledPlan>, req: InFlight) -> Option<Batch> {

@@ -364,6 +364,46 @@ mod tests {
     }
 
     #[test]
+    fn get_or_compile_recompiles_on_forged_collision() {
+        // The full lookup path under a synthetic 64-bit collision: the
+        // same PlanKey arrives with a *different* actual pattern. The
+        // hit-side verification must treat it as a miss and recompile for
+        // the caller's real inputs — never serve the colliding entry.
+        let cache = PlanCache::new(8, 1);
+        let (key, pattern, config, plan) = compile(32, 5);
+        cache.insert(key, &pattern, &config, plan);
+
+        let salo = Salo::new(config.clone());
+        let shape = AttentionShape::new(32, 8, 1).unwrap();
+        let other_pattern = sliding_only(32, 7).unwrap();
+        let mut compiles = 0;
+        let (served, hit) = cache
+            .get_or_compile(key, &other_pattern, &config, || {
+                compiles += 1;
+                salo.compile(&other_pattern, &shape)
+            })
+            .unwrap();
+        assert!(!hit, "collision must read as a miss");
+        assert_eq!(compiles, 1, "the colliding pattern is recompiled");
+        // The served plan is the one for the caller's pattern, not the
+        // cached impostor: a 7-wide window streams more keys per row
+        // than a 5-wide one.
+        assert_eq!(served.plan.stats().active_cells, {
+            let direct = salo.compile(&other_pattern, &shape).unwrap();
+            direct.plan.stats().active_cells
+        });
+
+        // The recompile displaced the colliding entry; the original
+        // pattern now misses (and would itself recompile).
+        assert!(cache.get(&key, &pattern, &config).is_none());
+        let (_, hit) = cache
+            .get_or_compile(key, &other_pattern, &config, || salo.compile(&other_pattern, &shape))
+            .unwrap();
+        assert!(hit, "the caller's own inputs now hit");
+        assert_eq!(cache.len(), 1, "collision displacement never grows the cache");
+    }
+
+    #[test]
     fn keys_distinguish_pattern_shape_and_config() {
         let config = small_config();
         let pattern = sliding_only(32, 5).unwrap();

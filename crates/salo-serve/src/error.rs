@@ -21,6 +21,12 @@ pub enum ServeError {
     /// The worker a batch was routed to is gone (its thread exited); the
     /// affected requests fail instead of being silently dropped.
     WorkerLost,
+    /// A decode step or close referenced a session id the server does not
+    /// know (never opened, already closed, or failed to open).
+    UnknownSession {
+        /// The offending session id.
+        session: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -30,6 +36,9 @@ impl fmt::Display for ServeError {
             ServeError::Salo(e) => write!(f, "execution error: {e}"),
             ServeError::Closed => write!(f, "server is shut down"),
             ServeError::WorkerLost => write!(f, "worker thread is gone"),
+            ServeError::UnknownSession { session } => {
+                write!(f, "unknown decode session {session}")
+            }
         }
     }
 }

@@ -19,8 +19,14 @@
 //!   a least-loaded dispatcher, with responses restored to submission
 //!   order by a collector;
 //! * a **metrics layer** ([`ServeReport`]): per-request latency
-//!   percentiles, queue depth, cache hit rate, and aggregate *simulated*
-//!   cycles/energy from the `salo-sim` timing model.
+//!   percentiles, queue depth, cache hit rate, decode-session counters,
+//!   and aggregate *simulated* cycles/energy from the `salo-sim` timing
+//!   model;
+//! * **decode sessions** ([`SaloServer::open_session`] /
+//!   [`SaloServer::step_session`]): whole autoregressive generations with
+//!   per-session K/V state pinned to one worker, compiled causal plans
+//!   shared through the cache, and step outputs delivered on per-session
+//!   event channels ([`GenerationTraffic`] generates the workload).
 //!
 //! Batched execution is bit-identical to the one-shot API: workers run
 //! each request's heads back to back through the same fixed-point
@@ -63,6 +69,7 @@ mod error;
 mod metrics;
 mod request;
 mod server;
+mod session;
 mod traffic;
 mod worker;
 
@@ -71,7 +78,10 @@ pub use error::ServeError;
 pub use metrics::{DepthGauge, LatencyRecorder, LatencyStats, ServeReport};
 pub use request::{ServeRequest, ServeResponse};
 pub use server::{SaloServer, ServeOptions};
-pub use traffic::TrafficMix;
+pub use session::{
+    DecodeSessionHandle, DecodeStep, SessionEvent, SessionInfo, SessionRequest, TokenQkv,
+};
+pub use traffic::{GenerationShape, GenerationTraffic, TrafficMix};
 
 #[cfg(test)]
 mod tests {

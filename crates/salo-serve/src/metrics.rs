@@ -22,7 +22,9 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Summarizes a sample set (empty input yields all zeros).
+    /// Summarizes a sample set (empty input yields all zeros). Quantiles
+    /// are exact order statistics of the input: the sample at rank
+    /// `round((n-1) * q)` of the sorted set.
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
@@ -40,6 +42,39 @@ impl LatencyStats {
             p50_s: quantile(0.50),
             p99_s: quantile(0.99),
             max_s: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Merges two shard summaries without double-weighting either side:
+    /// counts add, the mean is count-weighted, the max is exact. The
+    /// quantiles are count-weighted blends of the shard quantiles — an
+    /// *approximation* that can misstate the true merged quantile badly
+    /// when the shards are skewed (e.g. 900 fast + 100 slow samples: the
+    /// blend reports a p50 an order of magnitude above the true median).
+    /// Exact merged quantiles require the samples: merge the
+    /// [`LatencyRecorder`]s (exact while the union fits the reservoir)
+    /// *before* summarizing, and treat post-summary merges as coarse
+    /// aggregates only.
+    #[must_use]
+    pub fn merged_with(&self, other: &LatencyStats) -> LatencyStats {
+        let total = self.count + other.count;
+        if total == 0 {
+            return LatencyStats::default();
+        }
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let wa = self.count as f64 / total as f64;
+        let wb = other.count as f64 / total as f64;
+        LatencyStats {
+            count: total,
+            mean_s: self.mean_s * wa + other.mean_s * wb,
+            p50_s: self.p50_s * wa + other.p50_s * wb,
+            p99_s: self.p99_s * wa + other.p99_s * wb,
+            max_s: self.max_s.max(other.max_s),
         }
     }
 }
@@ -106,7 +141,9 @@ impl LatencyRecorder {
     }
 
     /// Summarizes: count/mean/max are exact, p50/p99 come from the
-    /// reservoir (exact too while `count` is within the reservoir size).
+    /// reservoir — and while `count <= RESERVOIR_CAP` the reservoir *is*
+    /// the complete sample set, so the quantiles are exact order
+    /// statistics too (pinned by tests down to single-sample recorders).
     #[must_use]
     pub fn stats(&self) -> LatencyStats {
         if self.count == 0 {
@@ -120,6 +157,44 @@ impl LatencyRecorder {
             p99_s: sampled.p99_s,
             max_s: self.max_s,
         }
+    }
+
+    /// Merges another recorder into this one, weighting each side by its
+    /// sample count — a shard with 10x the traffic contributes 10x the
+    /// reservoir slots, never 50/50.
+    ///
+    /// Count, mean and max merge exactly. The merged reservoir is exact
+    /// (simple concatenation) while the combined count fits the
+    /// reservoir; beyond that each side contributes slots proportional to
+    /// its count, striding evenly through its reservoir (deterministic,
+    /// like everything else in the recorder).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        if other.count == 0 {
+            return;
+        }
+        let total = self.count + other.count;
+        if (self.reservoir.len() + other.reservoir.len()) <= RESERVOIR_CAP {
+            self.reservoir.extend_from_slice(&other.reservoir);
+        } else {
+            // Proportional allocation of the capped reservoir.
+            let own_slots = ((RESERVOIR_CAP as u128 * self.count as u128) / total as u128) as usize;
+            let own_slots = own_slots.clamp(
+                RESERVOIR_CAP.saturating_sub(other.reservoir.len()),
+                self.reservoir.len().min(RESERVOIR_CAP),
+            );
+            let other_slots = (RESERVOIR_CAP - own_slots).min(other.reservoir.len());
+            let take_evenly = |from: &[f64], n: usize| -> Vec<f64> {
+                (0..n).map(|i| from[i * from.len() / n.max(1)]).collect()
+            };
+            let mut merged = take_evenly(&self.reservoir, own_slots);
+            merged.extend(take_evenly(&other.reservoir, other_slots));
+            self.reservoir = merged;
+        }
+        self.count = total;
+        self.sum_s += other.sum_s;
+        self.max_s = self.max_s.max(other.max_s);
+        // Decorrelate the generator from either input stream.
+        self.rng ^= other.rng.rotate_left(32) | 1;
     }
 }
 
@@ -189,6 +264,19 @@ pub struct ServeReport {
     pub sim_energy_j: f64,
     /// Requests executed by each worker (length = pool size).
     pub per_worker_requests: Vec<u64>,
+    /// Decode sessions opened (successfully or not).
+    pub decode_sessions: u64,
+    /// Decode sessions that failed to open.
+    pub decode_session_errors: u64,
+    /// Decode steps accepted across all sessions (executed or failed;
+    /// steps dropped by a benign close/step race are not counted).
+    pub decode_steps: u64,
+    /// Accepted decode steps that failed — execution errors (poisoning
+    /// their session), steps reaching an already-retired session, or a
+    /// dead pinned worker.
+    pub decode_step_errors: u64,
+    /// Submission-to-completion latency distribution of decode steps.
+    pub decode_step_latency: LatencyStats,
 }
 
 impl fmt::Display for ServeReport {
@@ -218,7 +306,61 @@ impl fmt::Display for ServeReport {
             self.batches, self.mean_batch_size, self.max_queue_depth
         )?;
         writeln!(f, "simulated cost  : {} cycles, {:.3e} J", self.sim_cycles, self.sim_energy_j)?;
+        writeln!(
+            f,
+            "decode          : {} sessions ({} failed), {} steps ({} failed), \
+             step p50 {:.3} ms | p99 {:.3} ms",
+            self.decode_sessions,
+            self.decode_session_errors,
+            self.decode_steps,
+            self.decode_step_errors,
+            self.decode_step_latency.p50_s * 1e3,
+            self.decode_step_latency.p99_s * 1e3
+        )?;
         write!(f, "per-worker load : {:?}", self.per_worker_requests)
+    }
+}
+
+impl ServeReport {
+    /// Merges the report of another (sharded) serving instance into this
+    /// one without double-weighting either shard: counters, cycles and
+    /// energy add exactly; latency summaries merge count-weighted
+    /// ([`LatencyStats::merged_with`]); wall time takes the longer span
+    /// and throughput is recomputed from it; per-worker loads concatenate
+    /// (the shards' pools are distinct accelerators).
+    #[must_use]
+    pub fn merged_with(&self, other: &ServeReport) -> ServeReport {
+        let wall_s = self.wall_s.max(other.wall_s);
+        let requests = self.requests + other.requests;
+        let batches = self.batches + other.batches;
+        let batched = self.batches as f64 * self.mean_batch_size
+            + other.batches as f64 * other.mean_batch_size;
+        let mut per_worker = self.per_worker_requests.clone();
+        per_worker.extend_from_slice(&other.per_worker_requests);
+        ServeReport {
+            requests,
+            errors: self.errors + other.errors,
+            wall_s,
+            throughput_rps: if wall_s > 0.0 { requests as f64 / wall_s } else { 0.0 },
+            latency: self.latency.merged_with(&other.latency),
+            cache: CacheStats {
+                hits: self.cache.hits + other.cache.hits,
+                misses: self.cache.misses + other.cache.misses,
+                evictions: self.cache.evictions + other.cache.evictions,
+                entries: self.cache.entries + other.cache.entries,
+            },
+            batches,
+            mean_batch_size: if batches > 0 { batched / batches as f64 } else { 0.0 },
+            max_queue_depth: self.max_queue_depth.max(other.max_queue_depth),
+            sim_cycles: self.sim_cycles + other.sim_cycles,
+            sim_energy_j: self.sim_energy_j + other.sim_energy_j,
+            per_worker_requests: per_worker,
+            decode_sessions: self.decode_sessions + other.decode_sessions,
+            decode_session_errors: self.decode_session_errors + other.decode_session_errors,
+            decode_steps: self.decode_steps + other.decode_steps,
+            decode_step_errors: self.decode_step_errors + other.decode_step_errors,
+            decode_step_latency: self.decode_step_latency.merged_with(&other.decode_step_latency),
+        }
     }
 }
 
@@ -274,6 +416,141 @@ mod tests {
             again.record(i as f64);
         }
         assert_eq!(again.stats(), stats);
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_small_counts() {
+        // Below the reservoir capacity the recorder holds every sample,
+        // so p50/p99 must be exact order statistics — pinned here for the
+        // degenerate counts where estimation bugs hide.
+        // One sample: every statistic is that sample.
+        let mut rec = LatencyRecorder::new();
+        rec.record(0.125);
+        let s = rec.stats();
+        assert_eq!((s.p50_s, s.p99_s, s.max_s, s.mean_s), (0.125, 0.125, 0.125, 0.125));
+
+        // Two samples: p50 is the rank round(0.5) = upper sample, p99 the
+        // max.
+        let mut rec = LatencyRecorder::new();
+        rec.record(1.0);
+        rec.record(3.0);
+        let s = rec.stats();
+        assert_eq!(s.p50_s, 3.0);
+        assert_eq!(s.p99_s, 3.0);
+        assert_eq!(s.mean_s, 2.0);
+
+        // Three samples: p50 is exactly the middle one, whatever the
+        // arrival order.
+        let mut rec = LatencyRecorder::new();
+        for v in [9.0, 1.0, 5.0] {
+            rec.record(v);
+        }
+        let s = rec.stats();
+        assert_eq!(s.p50_s, 5.0);
+        assert_eq!(s.p99_s, 9.0);
+
+        // 100 samples: p99 is the rank-99 order statistic, exactly.
+        let mut rec = LatencyRecorder::new();
+        for v in (1..=100).rev() {
+            rec.record(f64::from(v));
+        }
+        let s = rec.stats();
+        assert_eq!(s.p50_s, 51.0, "rank round(99 * 0.5) = 50 -> 51st sample");
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.max_s, 100.0);
+    }
+
+    #[test]
+    fn recorder_merge_is_exact_below_capacity_and_count_weighted() {
+        // Two shards whose combined samples fit the reservoir: the merge
+        // must be exactly the single-recorder result over the union.
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        let mut all = LatencyRecorder::new();
+        for i in 0..100 {
+            a.record(f64::from(i));
+            all.record(f64::from(i));
+        }
+        for i in 100..150 {
+            b.record(f64::from(i));
+            all.record(f64::from(i));
+        }
+        a.merge(&b);
+        assert_eq!(a.stats(), all.stats(), "sub-capacity merge is exact");
+
+        // Merging an empty recorder is the identity.
+        let before = a.stats();
+        a.merge(&LatencyRecorder::new());
+        assert_eq!(a.stats(), before);
+
+        // Over capacity: a 9:1 traffic split must weight the reservoir
+        // 9:1, not 50/50 — the light shard's extreme samples cannot drag
+        // p50 toward themselves.
+        let mut heavy = LatencyRecorder::new();
+        let mut light = LatencyRecorder::new();
+        for i in 0..(9 * RESERVOIR_CAP) {
+            heavy.record(1.0 + (i % 7) as f64 * 1e-3); // ~1 ms-ish cluster
+        }
+        for _ in 0..RESERVOIR_CAP {
+            light.record(100.0); // pathological slow shard
+        }
+        heavy.merge(&light);
+        let s = heavy.stats();
+        assert_eq!(s.count, 10 * RESERVOIR_CAP as u64);
+        assert!((s.p50_s - 1.0).abs() < 0.1, "p50 {} dragged by light shard", s.p50_s);
+        assert_eq!(s.max_s, 100.0, "max is exact");
+        let expected_mean = (9.0 * 1.003 + 100.0) / 10.0;
+        assert!((s.mean_s - expected_mean).abs() < 0.1, "mean {} count-weighted", s.mean_s);
+    }
+
+    #[test]
+    fn merged_reports_do_not_double_weight_shards() {
+        let big = ServeReport {
+            requests: 900,
+            wall_s: 10.0,
+            throughput_rps: 90.0,
+            latency: LatencyStats {
+                count: 900,
+                mean_s: 0.001,
+                p50_s: 0.001,
+                p99_s: 0.002,
+                max_s: 0.003,
+            },
+            batches: 300,
+            mean_batch_size: 3.0,
+            decode_steps: 90,
+            per_worker_requests: vec![450, 450],
+            ..Default::default()
+        };
+        let small = ServeReport {
+            requests: 100,
+            wall_s: 4.0,
+            throughput_rps: 25.0,
+            latency: LatencyStats { count: 100, mean_s: 0.1, p50_s: 0.1, p99_s: 0.2, max_s: 0.3 },
+            batches: 100,
+            mean_batch_size: 1.0,
+            decode_steps: 10,
+            per_worker_requests: vec![100],
+            ..Default::default()
+        };
+        let merged = big.merged_with(&small);
+        assert_eq!(merged.requests, 1000);
+        assert_eq!(merged.decode_steps, 100);
+        assert_eq!(merged.per_worker_requests, vec![450, 450, 100]);
+        // Count-weighted, not averaged: the 9x shard dominates.
+        let expected_mean = (900.0 * 0.001 + 100.0 * 0.1) / 1000.0;
+        assert!((merged.latency.mean_s - expected_mean).abs() < 1e-12);
+        assert!(merged.latency.p50_s < 0.02, "p50 {} double-weighted", merged.latency.p50_s);
+        assert_eq!(merged.latency.max_s, 0.3);
+        // Throughput re-derives from the merged wall, not the shard sum.
+        assert_eq!(merged.wall_s, 10.0);
+        assert!((merged.throughput_rps - 100.0).abs() < 1e-9);
+        // Batch means re-weight by batch count: (300*3 + 100*1) / 400.
+        assert!((merged.mean_batch_size - 2.5).abs() < 1e-12);
+        // Merging with an all-zero report is the identity on exact fields.
+        let ident = big.merged_with(&ServeReport::default());
+        assert_eq!(ident.requests, big.requests);
+        assert_eq!(ident.latency, big.latency);
     }
 
     #[test]

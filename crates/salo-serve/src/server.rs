@@ -1,26 +1,31 @@
 //! The concurrent serving runtime: dispatcher, worker pool, collector.
 //!
 //! ```text
-//!             submit()                 ingress channel
+//!             submit() / open_session() / step_session()    ingress channel
 //!   client ─────────────────────────────────────────────▶ dispatcher
 //!                                                        │  plan cache
 //!                                                        │  batcher
-//!                                              batches   ▼
+//!                                                        │  session table (session -> pinned worker)
+//!                                              batches   ▼  + session work
 //!                                   ┌──────────┬──────────┬──────────┐
-//!                                   │ worker 0 │ worker 1 │ worker N │   (one Salo each)
-//!                                   └────┬─────┴────┬─────┴────┬─────┘
+//!                                   │ worker 0 │ worker 1 │ worker N │   (one Salo each,
+//!                                   └────┬─────┴────┬─────┴────┬─────┘    pinned session states)
 //!                                        └──────────┼──────────┘
 //!                                                   ▼ completion channel
 //!   client ◀──────────────────────────────────── collector (reorders by id,
 //!             recv(), in submission order          accumulates metrics)
+//!   client ◀───── per-session event channels (step outputs, in generation order)
 //! ```
 //!
-//! The dispatcher resolves each request's [`PlanKey`] against the shared
-//! [`PlanCache`] (a hit skips the scheduler pass entirely), groups
+//! The dispatcher resolves each layer request's [`PlanKey`] against the
+//! shared [`PlanCache`] (a hit skips the scheduler pass entirely), groups
 //! compatible requests into same-plan batches, and ships each batch to the
-//! least-loaded worker. The collector restores submission order — the
-//! *ordered response channel* — and aggregates the session metrics
-//! reported by [`SaloServer::shutdown`].
+//! least-loaded worker. Decode sessions are pinned at open time: the
+//! session table maps each session id to its worker, and every step routes
+//! there, so the session's persistent K/V state never moves or locks.
+//! Layer responses return through the ordered collector; step outputs
+//! return on per-session channels (a generation is ordered by
+//! construction).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,7 +40,10 @@ use salo_sim::AcceleratorConfig;
 
 use crate::batch::{Batcher, InFlight};
 use crate::metrics::{DepthGauge, LatencyRecorder, ServeReport};
-use crate::worker::{Completed, WorkerPool};
+use crate::session::{
+    DecodeSessionHandle, SessionEvent, SessionRegistry, SessionRequest, SessionTable, TokenQkv,
+};
+use crate::worker::{Completed, LayerDone, OpenJob, StepJob, Work, WorkerPool};
 use crate::{CacheStats, PlanCache, PlanKey, ServeError, ServeRequest, ServeResponse};
 
 /// Tunables of the serving runtime.
@@ -57,12 +65,41 @@ impl Default for ServeOptions {
     }
 }
 
-/// A request travelling from `submit` to the dispatcher.
+/// A layer request travelling from `submit` to the dispatcher.
 struct Submission {
     id: u64,
     pattern: HybridPattern,
     shape: AttentionShape,
     heads: Vec<salo_kernels::Qkv>,
+    submitted: Instant,
+}
+
+/// Everything that can enter the dispatcher.
+enum Ingress {
+    /// A one-shot attention-layer request.
+    Layer(Submission),
+    /// Open a decode session.
+    Open(OpenSubmission),
+    /// One decode step of an open session.
+    Step(StepSubmission),
+    /// Close a session and drop its pinned state.
+    Close { session: u64 },
+}
+
+struct OpenSubmission {
+    session: u64,
+    request: SessionRequest,
+    /// The request pattern's causal clip, built once during front-end
+    /// validation (clipping again in the dispatcher would duplicate the
+    /// work on every open).
+    causal: HybridPattern,
+    submitted: Instant,
+    events: Sender<SessionEvent>,
+}
+
+struct StepSubmission {
+    session: u64,
+    token: Vec<TokenQkv>,
     submitted: Instant,
 }
 
@@ -75,23 +112,33 @@ struct CollectorSummary {
     per_worker: Vec<u64>,
     sim_cycles: u64,
     sim_energy_j: f64,
+    decode_sessions: u64,
+    decode_session_errors: u64,
+    decode_steps: u64,
+    decode_step_errors: u64,
+    decode_latencies: LatencyRecorder,
     first_submit: Option<Instant>,
     last_finish: Option<Instant>,
 }
 
 /// A running SALO serving instance.
 ///
-/// Submit requests with [`submit`](Self::submit); read responses — in
-/// submission order — with [`recv`](Self::recv); end the session with
+/// Submit layer requests with [`submit`](Self::submit); read responses —
+/// in submission order — with [`recv`](Self::recv). Open decode sessions
+/// with [`open_session`](Self::open_session), drive them with
+/// [`step_session`](Self::step_session) (results arrive on the session's
+/// own event channel), and end the runtime with
 /// [`shutdown`](Self::shutdown), which drains in-flight work, joins every
 /// thread and returns the aggregate [`ServeReport`].
 pub struct SaloServer {
     config: AcceleratorConfig,
-    ingress: Option<Sender<Submission>>,
+    ingress: Option<Sender<Ingress>>,
     ordered: Mutex<Receiver<ServeResponse>>,
     cache: Arc<PlanCache>,
     depth: Arc<DepthGauge>,
     next_id: AtomicU64,
+    next_session: AtomicU64,
+    sessions: Arc<SessionRegistry>,
     batches: Arc<AtomicU64>,
     batched_requests: Arc<AtomicU64>,
     summary: Arc<Mutex<Option<CollectorSummary>>>,
@@ -104,6 +151,7 @@ impl std::fmt::Debug for SaloServer {
         f.debug_struct("SaloServer")
             .field("workers", &self.workers)
             .field("queue_depth", &self.depth.current())
+            .field("sessions", &self.active_sessions())
             .field("cache", &self.cache)
             .finish()
     }
@@ -120,34 +168,43 @@ impl SaloServer {
         let batches = Arc::new(AtomicU64::new(0));
         let batched_requests = Arc::new(AtomicU64::new(0));
         let summary = Arc::new(Mutex::new(None));
+        let sessions = Arc::new(SessionRegistry::new());
 
-        let (ingress_tx, ingress_rx) = std::sync::mpsc::channel::<Submission>();
+        let (ingress_tx, ingress_rx) = std::sync::mpsc::channel::<Ingress>();
         let (done_tx, done_rx) = std::sync::mpsc::channel::<Completed>();
         let (ordered_tx, ordered_rx) = std::sync::mpsc::channel::<ServeResponse>();
 
         let compiler = Salo::new(config.clone());
-        let pool = WorkerPool::spawn(workers, &compiler, &done_tx);
+        let pool = WorkerPool::spawn(workers, &compiler, &done_tx, &sessions);
 
         let mut threads = Vec::with_capacity(2);
         {
             let cache = Arc::clone(&cache);
             let batches = Arc::clone(&batches);
             let batched_requests = Arc::clone(&batched_requests);
+            let registry = Arc::clone(&sessions);
             let max_batch = options.max_batch;
             threads.push(
                 std::thread::Builder::new()
                     .name("salo-serve-dispatcher".into())
                     .spawn(move || {
-                        dispatcher_loop(
-                            &ingress_rx,
-                            &compiler,
-                            &cache,
+                        // The accelerator configuration is fixed for the
+                        // server's lifetime; fingerprint it once instead
+                        // of per request.
+                        let config_fp = compiler.config().fingerprint();
+                        Dispatcher {
+                            compiler: &compiler,
+                            cache: &cache,
                             pool,
-                            max_batch,
-                            &batches,
-                            &batched_requests,
-                            &done_tx,
-                        );
+                            batcher: Batcher::new(max_batch),
+                            batches: &batches,
+                            batched_requests: &batched_requests,
+                            done: &done_tx,
+                            table: SessionTable::new(),
+                            registry: &registry,
+                            config_fp,
+                        }
+                        .run(&ingress_rx);
                     })
                     .expect("spawn dispatcher thread"),
             );
@@ -170,6 +227,8 @@ impl SaloServer {
             cache,
             depth,
             next_id: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+            sessions,
             batches,
             batched_requests,
             summary,
@@ -190,9 +249,9 @@ impl SaloServer {
         &self.config
     }
 
-    /// Submits a request; returns its id. Responses come back through
-    /// [`recv`](Self::recv) in increasing-id order, so a client that
-    /// submits `k` requests reads exactly `k` responses.
+    /// Submits a layer request; returns its id. Responses come back
+    /// through [`recv`](Self::recv) in increasing-id order, so a client
+    /// that submits `k` requests reads exactly `k` responses.
     ///
     /// # Errors
     ///
@@ -212,14 +271,107 @@ impl SaloServer {
             heads: request.heads,
             submitted: Instant::now(),
         };
-        if ingress.send(submission).is_err() {
+        if ingress.send(Ingress::Layer(submission)).is_err() {
             self.depth.exit();
             return Err(ServeError::Closed);
         }
         Ok(id)
     }
 
-    /// Blocks for the next in-order response.
+    /// Opens a streaming decode session: the pattern is causally clipped
+    /// and compiled (through the shared plan cache — one compiled plan
+    /// amortizes across every generation of the same pattern/shape), the
+    /// session is pinned to the least-loaded worker, and the prompt is
+    /// ingested there. The returned handle's event channel delivers the
+    /// open handshake ([`SessionEvent::Opened`]) followed by one
+    /// [`SessionEvent::Step`] per [`step_session`](Self::step_session)
+    /// call, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] on an inconsistent request
+    /// (prompt not covering the globals, head mismatches), or
+    /// [`ServeError::Closed`] after shutdown. Compile failures arrive
+    /// asynchronously in the `Opened` event and deregister the session:
+    /// once [`wait_open`](DecodeSessionHandle::wait_open) has reported
+    /// the failure, the id is gone and further calls on it return
+    /// [`ServeError::UnknownSession`].
+    pub fn open_session(&self, request: SessionRequest) -> Result<DecodeSessionHandle, ServeError> {
+        let causal = request.validated_view()?.into_causal_pattern();
+        let ingress = self.ingress.as_ref().ok_or(ServeError::Closed)?;
+        let session = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let (events_tx, events_rx) = std::sync::mpsc::channel();
+        self.depth.enter();
+        // Register before submitting: an asynchronous open failure
+        // deregisters the id, and that removal must not race ahead of
+        // the insert (a late insert would leak the dead session).
+        self.sessions.insert(session);
+        let submission = OpenSubmission {
+            session,
+            request,
+            causal,
+            submitted: Instant::now(),
+            events: events_tx,
+        };
+        if ingress.send(Ingress::Open(submission)).is_err() {
+            self.sessions.remove(session);
+            self.depth.exit();
+            return Err(ServeError::Closed);
+        }
+        Ok(DecodeSessionHandle { id: session, events: events_rx })
+    }
+
+    /// Submits one decode step: `token` carries the new position's
+    /// `(q, k, v)` rows for every head. The result arrives on the
+    /// session handle's event channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for a session this server
+    /// never opened — or that is no longer live: closed, dropped by a
+    /// poisoning step failure, or failed to open. Returns
+    /// [`ServeError::Closed`] after shutdown. Execution failures arrive
+    /// in the step event and poison the session.
+    pub fn step_session(&self, session: u64, token: Vec<TokenQkv>) -> Result<(), ServeError> {
+        if !self.sessions.contains(session) {
+            return Err(ServeError::UnknownSession { session });
+        }
+        let ingress = self.ingress.as_ref().ok_or(ServeError::Closed)?;
+        self.depth.enter();
+        let submission = StepSubmission { session, token, submitted: Instant::now() };
+        if ingress.send(Ingress::Step(submission)).is_err() {
+            self.depth.exit();
+            return Err(ServeError::Closed);
+        }
+        Ok(())
+    }
+
+    /// Closes a decode session, dropping its pinned state. The session's
+    /// channel receives a final [`SessionEvent::Closed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] if the session is not live
+    /// — never opened, already closed, or already retired by a failure
+    /// (a poisoned session counts as closed; its channel received the
+    /// [`SessionEvent::Closed`] at poison time). Returns
+    /// [`ServeError::Closed`] after shutdown.
+    pub fn close_session(&self, session: u64) -> Result<(), ServeError> {
+        if !self.sessions.remove(session) {
+            return Err(ServeError::UnknownSession { session });
+        }
+        let ingress = self.ingress.as_ref().ok_or(ServeError::Closed)?;
+        ingress.send(Ingress::Close { session }).map_err(|_| ServeError::Closed)
+    }
+
+    /// Number of live sessions: opened and not yet closed — explicitly,
+    /// by a poisoning step failure, or by a failed open.
+    #[must_use]
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Blocks for the next in-order layer response.
     ///
     /// # Errors
     ///
@@ -253,7 +405,8 @@ impl SaloServer {
         }
     }
 
-    /// Requests currently in flight (submitted, not yet completed).
+    /// Requests currently in flight (submitted, not yet completed),
+    /// decode opens and steps included.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         self.depth.current()
@@ -267,7 +420,8 @@ impl SaloServer {
 
     /// Stops accepting requests, drains all in-flight work, joins every
     /// thread and returns the session report. Responses not yet read via
-    /// [`recv`](Self::recv) are discarded.
+    /// [`recv`](Self::recv) are discarded; open decode sessions are
+    /// dropped with their channels.
     #[must_use]
     pub fn shutdown(mut self) -> ServeReport {
         self.ingress.take(); // closes ingress: dispatcher → workers → collector wind down
@@ -294,11 +448,16 @@ impl SaloServer {
             sim_cycles: summary.sim_cycles,
             sim_energy_j: summary.sim_energy_j,
             per_worker_requests: summary.per_worker,
+            decode_sessions: summary.decode_sessions,
+            decode_session_errors: summary.decode_session_errors,
+            decode_steps: summary.decode_steps,
+            decode_step_errors: summary.decode_step_errors,
+            decode_step_latency: summary.decode_latencies.stats(),
         }
     }
 }
 
-/// Dispatcher thread body.
+/// Dispatcher thread state.
 ///
 /// Plan compilation for cache misses runs inline here, on the single
 /// dispatcher thread: the cache stays single-writer and a cold key is
@@ -307,31 +466,68 @@ impl SaloServer {
 /// dispatch of queued cache-hit requests behind it; workloads mixing
 /// many novel patterns with hot traffic would want compile shipped to
 /// the workers instead.
-#[allow(clippy::too_many_arguments)] // internal thread body, not public API
-fn dispatcher_loop(
-    ingress: &Receiver<Submission>,
-    compiler: &Salo,
-    cache: &PlanCache,
-    mut pool: WorkerPool,
-    max_batch: usize,
-    batches: &AtomicU64,
-    batched_requests: &AtomicU64,
-    done: &Sender<Completed>,
-) {
-    let mut batcher = Batcher::new(max_batch);
-    let dispatch = |batch: crate::batch::Batch| {
+struct Dispatcher<'a> {
+    compiler: &'a Salo,
+    cache: &'a PlanCache,
+    pool: WorkerPool,
+    batcher: Batcher,
+    batches: &'a AtomicU64,
+    batched_requests: &'a AtomicU64,
+    done: &'a Sender<Completed>,
+    table: SessionTable,
+    registry: &'a SessionRegistry,
+    config_fp: u64,
+}
+
+impl Dispatcher<'_> {
+    fn run(mut self, ingress: &Receiver<Ingress>) {
+        // Bound on the opportunistic drain between flushes: under
+        // sustained open-loop traffic the submission queue may never run
+        // empty, and without this bound an under-filled bucket (and,
+        // through ordered delivery, every later response) could be held
+        // back indefinitely.
+        let drain_limit = self.pool.workers() * self.batcher.max_batch();
+        while let Ok(first) = ingress.recv() {
+            self.reap_retired();
+            let mut next = Some(first);
+            let mut drained = 0usize;
+            while let Some(msg) = next.take() {
+                match msg {
+                    Ingress::Layer(sub) => self.handle_layer(sub),
+                    Ingress::Open(open) => self.handle_open(open),
+                    Ingress::Step(step) => self.handle_step(step),
+                    Ingress::Close { session } => self.handle_close(session),
+                }
+                drained += 1;
+                next = if drained < drain_limit { ingress.try_recv().ok() } else { None };
+            }
+            for batch in self.batcher.flush() {
+                self.dispatch_batch(batch);
+            }
+        }
+        for batch in self.batcher.flush() {
+            self.dispatch_batch(batch);
+        }
+        debug_assert_eq!(self.batcher.pending(), 0, "every accepted request is dispatched");
+        self.pool.close();
+        for handle in self.pool.handles.drain(..) {
+            handle.join().expect("worker thread panicked");
+        }
+    }
+
+    fn dispatch_batch(&mut self, batch: crate::batch::Batch) {
         let size = batch.len() as u64;
-        match pool.dispatch(batch) {
+        match self.pool.dispatch(batch) {
             Ok(()) => {
-                batches.fetch_add(1, Ordering::Relaxed);
-                batched_requests.fetch_add(size, Ordering::Relaxed);
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                self.batched_requests.fetch_add(size, Ordering::Relaxed);
             }
             // The routed worker's thread is gone: fail every member
             // request so clients see an error instead of hanging on a
             // response that will never come.
             Err(batch) => {
                 for req in batch.requests {
-                    let failed = Completed {
+                    let failed = Completed::Layer(LayerDone {
                         id: req.id,
                         result: Err(ServeError::WorkerLost),
                         cache_hit: req.cache_hit,
@@ -339,73 +535,186 @@ fn dispatcher_loop(
                         batch_size: 0,
                         submitted: req.submitted,
                         finished: Instant::now(),
-                    };
-                    let _ = done.send(failed);
+                    });
+                    let _ = self.done.send(failed);
                 }
             }
         }
-    };
-    // The accelerator configuration is fixed for the server's lifetime;
-    // fingerprint it once instead of on every dispatched request.
-    let config_fp = compiler.config().fingerprint();
-    // Bound on the opportunistic drain between flushes: under sustained
-    // open-loop traffic the submission queue may never run empty, and
-    // without this bound an under-filled bucket (and, through ordered
-    // delivery, every later response) could be held back indefinitely.
-    let drain_limit = pool.workers() * max_batch.max(1);
-    while let Ok(first) = ingress.recv() {
-        let mut next = Some(first);
-        let mut drained = 0usize;
-        while let Some(sub) = next.take() {
-            let key =
-                PlanKey { pattern_fp: sub.pattern.fingerprint(), shape: sub.shape, config_fp };
-            match cache.get_or_compile(key, &sub.pattern, compiler.config(), || {
-                compiler.compile(&sub.pattern, &sub.shape)
-            }) {
-                Ok((plan, cache_hit)) => {
-                    let inflight = InFlight {
-                        id: sub.id,
-                        heads: sub.heads,
-                        submitted: sub.submitted,
-                        cache_hit,
-                    };
-                    if let Some(batch) = batcher.push(key, &plan, inflight) {
-                        dispatch(batch);
-                    }
-                }
-                Err(e) => {
-                    let failed = Completed {
-                        id: sub.id,
-                        result: Err(e.into()),
-                        cache_hit: false,
-                        worker: None,
-                        batch_size: 0,
-                        submitted: sub.submitted,
-                        finished: Instant::now(),
-                    };
-                    if done.send(failed).is_err() {
-                        return;
-                    }
+    }
+
+    fn handle_layer(&mut self, sub: Submission) {
+        let key = PlanKey {
+            pattern_fp: sub.pattern.fingerprint(),
+            shape: sub.shape,
+            config_fp: self.config_fp,
+        };
+        match self.cache.get_or_compile(key, &sub.pattern, self.compiler.config(), || {
+            self.compiler.compile(&sub.pattern, &sub.shape)
+        }) {
+            Ok((plan, cache_hit)) => {
+                let inflight =
+                    InFlight { id: sub.id, heads: sub.heads, submitted: sub.submitted, cache_hit };
+                if let Some(batch) = self.batcher.push(key, &plan, inflight) {
+                    self.dispatch_batch(batch);
                 }
             }
-            // Opportunistic batching: drain whatever has queued up while
-            // we were compiling, then flush (no timer, so an idle queue
-            // never delays a lone request; the drain bound guarantees a
-            // flush at least every `drain_limit` submissions).
-            drained += 1;
-            next = if drained < drain_limit { ingress.try_recv().ok() } else { None };
-        }
-        for batch in batcher.flush() {
-            dispatch(batch);
+            Err(e) => {
+                let failed = Completed::Layer(LayerDone {
+                    id: sub.id,
+                    result: Err(e.into()),
+                    cache_hit: false,
+                    worker: None,
+                    batch_size: 0,
+                    submitted: sub.submitted,
+                    finished: Instant::now(),
+                });
+                let _ = self.done.send(failed);
+            }
         }
     }
-    for batch in batcher.flush() {
-        dispatch(batch);
+
+    fn handle_open(&mut self, open: OpenSubmission) {
+        let OpenSubmission { session, request, causal, submitted, events } = open;
+        // Decode sessions compile the *causal* clip of the pattern (built
+        // once at validation); its fingerprint keys the cache, so every
+        // generation of the same pattern reuses one compiled plan. The
+        // compiled program depends only on the pattern and the hardware —
+        // per-head K/V state and row dimensions live in the session — so
+        // the key uses a canonical single-head, unit-dim shape: sessions
+        // differing only in head count or head dimension share one entry
+        // instead of double-caching identical programs.
+        let shape = match AttentionShape::new(causal.n(), 1, 1) {
+            Ok(s) => s,
+            Err(e) => {
+                let reason = format!("shape: {e}");
+                return self.fail_open(
+                    session,
+                    &events,
+                    submitted,
+                    ServeError::InvalidRequest { reason },
+                );
+            }
+        };
+        let key = PlanKey { pattern_fp: causal.fingerprint(), shape, config_fp: self.config_fp };
+        match self.cache.get_or_compile(key, &causal, self.compiler.config(), || {
+            self.compiler.compile(&causal, &shape)
+        }) {
+            Ok((plan, cache_hit)) => {
+                let worker = self.place_session();
+                let job = Work::Open(OpenJob {
+                    session,
+                    plan,
+                    request,
+                    cache_hit,
+                    submitted,
+                    events: events.clone(),
+                });
+                match self.pool.dispatch_to(worker, job) {
+                    Ok(()) => self.table.insert(session, worker, events),
+                    Err(_) => self.fail_open(session, &events, submitted, ServeError::WorkerLost),
+                }
+            }
+            Err(e) => self.fail_open(session, &events, submitted, e.into()),
+        }
     }
-    debug_assert_eq!(batcher.pending(), 0, "every accepted request is dispatched");
-    pool.close();
-    for handle in pool.handles.drain(..) {
-        handle.join().expect("worker thread panicked");
+
+    /// Picks the worker a new session is pinned to. Sessions are
+    /// long-lived, so the primary signal is how many live sessions each
+    /// worker already hosts; transient queue depth only breaks ties
+    /// (alone it would be 0 everywhere whenever the queues are idle and
+    /// pin every session to worker 0).
+    fn place_session(&mut self) -> usize {
+        self.reap_retired();
+        let pinned = self.table.pinned_per_worker(self.pool.workers());
+        (0..self.pool.workers()).min_by_key(|&w| (pinned[w], self.pool.load_of(w), w)).unwrap_or(0)
+    }
+
+    /// Drops the routes of sessions the workers have retired (poisoning
+    /// step failures, failed opens). Their clients never send another
+    /// message for them — `step_session`/`close_session` already report
+    /// `UnknownSession` — so without this sweep the routes would leak
+    /// until shutdown.
+    fn reap_retired(&mut self) {
+        for session in self.registry.drain_retired() {
+            self.table.remove(session);
+        }
+    }
+
+    fn fail_open(
+        &mut self,
+        session: u64,
+        events: &Sender<SessionEvent>,
+        submitted: Instant,
+        error: ServeError,
+    ) {
+        // Deregister before reporting: once the client has observed the
+        // failed handshake, the id is guaranteed gone (steps report
+        // `UnknownSession`, `active_sessions` does not count it).
+        self.registry.remove(session);
+        let _ = events.send(SessionEvent::Opened { session, result: Err(error) });
+        let _ = self.done.send(Completed::SessionOpened {
+            ok: false,
+            submitted,
+            finished: Instant::now(),
+        });
+    }
+
+    fn handle_step(&mut self, step: StepSubmission) {
+        let Some(route) = self.table.get(step.session) else {
+            // Closed (or retired) by the time the step arrived — a benign
+            // race, not an execution failure. The depth gauge still needs
+            // its exit, but the step must not pollute the decode metrics.
+            let _ = self.done.send(Completed::StepDropped);
+            return;
+        };
+        // No liveness check here beyond the route: the registry is the
+        // *front-end* gate, and consulting it now would let a
+        // `close_session` issued after this step was accepted fail the
+        // step retroactively (the removal happens on the caller thread,
+        // ahead of the queued `Ingress::Close`). A step that still has a
+        // route executes; if its session was meanwhile retired
+        // worker-side, the worker reports `UnknownSession` on the job's
+        // own event channel.
+        let job = Work::Step(StepJob {
+            session: step.session,
+            token: step.token,
+            submitted: step.submitted,
+            events: route.events.clone(),
+        });
+        if self.pool.dispatch_to(route.worker, job).is_err() {
+            // The pinned worker's thread is gone, taking the session
+            // state with it: retire the session outright (registry and
+            // route), so further steps report `UnknownSession` instead of
+            // `WorkerLost` forever — and deliver the terminal Closed
+            // event here, since no worker ever will.
+            let route = self.table.remove(step.session).expect("route was just read");
+            self.registry.remove(step.session);
+            let _ = route.events.send(SessionEvent::Step {
+                session: step.session,
+                result: Err(ServeError::WorkerLost),
+                latency_s: step.submitted.elapsed().as_secs_f64(),
+            });
+            // Position unknown — the state died with the worker.
+            let _ =
+                route.events.send(SessionEvent::Closed { session: step.session, position: None });
+            let _ = self.done.send(Completed::Step {
+                ok: false,
+                submitted: step.submitted,
+                finished: Instant::now(),
+            });
+        }
+    }
+
+    fn handle_close(&mut self, session: u64) {
+        if let Some(route) = self.table.remove(session) {
+            if self.pool.dispatch_to(route.worker, Work::Close { session }).is_err() {
+                // The pinned worker died with the session state; it can
+                // never send the terminal Closed event, so deliver it
+                // here (position unknown) rather than leave the client
+                // blocking for it.
+                let _ = route.events.send(SessionEvent::Closed { session, position: None });
+            }
+        }
     }
 }
 
@@ -416,48 +725,71 @@ fn collector_loop(
     workers: usize,
     out: &Mutex<Option<CollectorSummary>>,
 ) {
+    fn span(submitted: Instant, finished: Instant, summary: &mut CollectorSummary) {
+        summary.first_submit = Some(summary.first_submit.map_or(submitted, |t| t.min(submitted)));
+        summary.last_finish = Some(summary.last_finish.map_or(finished, |t| t.max(finished)));
+    }
     let mut summary = CollectorSummary { per_worker: vec![0; workers], ..Default::default() };
     let mut pending: BTreeMap<u64, ServeResponse> = BTreeMap::new();
     let mut next_id = 0u64;
     while let Ok(completed) = done.recv() {
         depth.exit();
-        let latency_s = completed.finished.duration_since(completed.submitted).as_secs_f64();
-        summary.requests += 1;
-        summary.latencies.record(latency_s);
-        match &completed.result {
-            Ok(run) => {
-                summary.sim_cycles +=
-                    run.heads.iter().map(|h| h.report.timing.cycles.total).sum::<u64>();
-                summary.sim_energy_j += run.total_energy_j;
+        match completed {
+            Completed::Layer(layer) => {
+                let latency_s = layer.finished.duration_since(layer.submitted).as_secs_f64();
+                summary.requests += 1;
+                summary.latencies.record(latency_s);
+                match &layer.result {
+                    Ok(run) => {
+                        summary.sim_cycles +=
+                            run.heads.iter().map(|h| h.report.timing.cycles.total).sum::<u64>();
+                        summary.sim_energy_j += run.total_energy_j;
+                    }
+                    Err(_) => summary.errors += 1,
+                }
+                if let Some(w) = layer.worker {
+                    summary.per_worker[w] += 1;
+                }
+                span(layer.submitted, layer.finished, &mut summary);
+                pending.insert(
+                    layer.id,
+                    ServeResponse {
+                        id: layer.id,
+                        result: layer.result,
+                        cache_hit: layer.cache_hit,
+                        worker: layer.worker,
+                        batch_size: layer.batch_size,
+                        latency_s,
+                    },
+                );
+                while let Some(response) = pending.remove(&next_id) {
+                    next_id += 1;
+                    // The client may have stopped reading; metrics still
+                    // count.
+                    let _ = ordered.send(response);
+                }
             }
-            Err(_) => summary.errors += 1,
-        }
-        if let Some(w) = completed.worker {
-            summary.per_worker[w] += 1;
-        }
-        summary.first_submit = match summary.first_submit {
-            Some(t) => Some(t.min(completed.submitted)),
-            None => Some(completed.submitted),
-        };
-        summary.last_finish = match summary.last_finish {
-            Some(t) => Some(t.max(completed.finished)),
-            None => Some(completed.finished),
-        };
-        pending.insert(
-            completed.id,
-            ServeResponse {
-                id: completed.id,
-                result: completed.result,
-                cache_hit: completed.cache_hit,
-                worker: completed.worker,
-                batch_size: completed.batch_size,
-                latency_s,
-            },
-        );
-        while let Some(response) = pending.remove(&next_id) {
-            next_id += 1;
-            // The client may have stopped reading; metrics still count.
-            let _ = ordered.send(response);
+            Completed::SessionOpened { ok, submitted, finished } => {
+                summary.decode_sessions += 1;
+                if !ok {
+                    summary.decode_session_errors += 1;
+                }
+                // Opens pay the compile + prompt ingest; their span counts
+                // toward the report's wall clock like any other work.
+                span(submitted, finished, &mut summary);
+            }
+            Completed::Step { ok, submitted, finished } => {
+                summary.decode_steps += 1;
+                if !ok {
+                    summary.decode_step_errors += 1;
+                }
+                summary.decode_latencies.record(finished.duration_since(submitted).as_secs_f64());
+                span(submitted, finished, &mut summary);
+            }
+            // A benign close/step race: the step never executed, so it
+            // contributes nothing to the decode counters or latencies
+            // (only the depth-gauge exit above).
+            Completed::StepDropped => {}
         }
     }
     *out.lock().expect("summary poisoned") = Some(summary);

@@ -1,0 +1,460 @@
+//! Decode sessions in the serving runtime.
+//!
+//! A *session* is a whole generation: one compiled causal plan (shared
+//! through the [`PlanCache`](crate::PlanCache), so repeated generations of
+//! the same pattern/shape skip the scheduler and lowering passes), plus
+//! per-head persistent K/V state that lives **inside one worker thread**
+//! for the session's lifetime. Pinning the state to a worker keeps it
+//! unsynchronized and cache-warm; the dispatcher's session table maps
+//! session ids to their pinned worker so every step routes to the same
+//! accelerator instance.
+//!
+//! Step results return through a per-session event channel rather than
+//! the global ordered response stream: a generation is ordered by
+//! construction (each step ingests the previous one's context), and
+//! interleaving thousands of step events with layer responses would
+//! stall the ordered collector.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use salo_core::{CompiledPlan, Salo};
+use salo_kernels::Qkv;
+use salo_patterns::HybridPattern;
+use salo_sim::{DecodePlan, DecodeState, ExecScratch, SpatialAccelerator, StepOutput};
+
+use crate::ServeError;
+
+/// A request to open a decode session.
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// The hybrid pattern over the session's full capacity (prompt plus
+    /// generated tokens). It is causally clipped by the runtime; passing
+    /// an already-causal pattern is fine.
+    pub pattern: HybridPattern,
+    /// Head dimension.
+    pub head_dim: usize,
+    /// Number of heads (one persistent K/V state each).
+    pub num_heads: usize,
+    /// Per-head prompt rows; every head must provide the same number of
+    /// rows, and the prompt must cover every global token
+    /// (`rows >= min_step`).
+    pub prompt: Vec<Qkv>,
+}
+
+impl SessionRequest {
+    /// Validates the request against the pattern's decode view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] on any inconsistency, so
+    /// the runtime never opens a session it would fail to step.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        self.validated_view().map(|_| ())
+    }
+
+    /// [`validate`](Self::validate), returning the decode view so the
+    /// open path reuses the causal clip built here instead of clipping
+    /// the pattern a second time.
+    pub(crate) fn validated_view(&self) -> Result<salo_patterns::DecodeView, ServeError> {
+        let view = self
+            .pattern
+            .decode_view()
+            .map_err(|e| ServeError::InvalidRequest { reason: format!("pattern: {e}") })?;
+        if self.num_heads == 0 || self.head_dim == 0 {
+            return Err(ServeError::InvalidRequest { reason: "empty session shape".into() });
+        }
+        if self.prompt.len() != self.num_heads {
+            return Err(ServeError::InvalidRequest {
+                reason: format!(
+                    "{} prompt heads provided, session declares {}",
+                    self.prompt.len(),
+                    self.num_heads
+                ),
+            });
+        }
+        let prompt_len = self.prompt.first().map_or(0, Qkv::seq_len);
+        if prompt_len < view.min_step() {
+            return Err(ServeError::InvalidRequest {
+                reason: format!(
+                    "prompt of {prompt_len} rows does not cover every global token \
+                     (first decodable step is {})",
+                    view.min_step()
+                ),
+            });
+        }
+        if prompt_len >= self.pattern.n() {
+            return Err(ServeError::InvalidRequest {
+                reason: format!(
+                    "prompt of {prompt_len} rows leaves no capacity in a sequence of {}",
+                    self.pattern.n()
+                ),
+            });
+        }
+        for (i, h) in self.prompt.iter().enumerate() {
+            if h.seq_len() != prompt_len || h.head_dim() != self.head_dim {
+                return Err(ServeError::InvalidRequest {
+                    reason: format!(
+                        "prompt head {i} is {}x{}, expected {prompt_len}x{}",
+                        h.seq_len(),
+                        h.head_dim(),
+                        self.head_dim
+                    ),
+                });
+            }
+        }
+        Ok(view)
+    }
+}
+
+/// One generated token's per-head inputs: the query/key/value rows of the
+/// next position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenQkv {
+    /// Query row (`head_dim` elements).
+    pub q: Vec<f32>,
+    /// Key row.
+    pub k: Vec<f32>,
+    /// Value row.
+    pub v: Vec<f32>,
+}
+
+impl TokenQkv {
+    /// Extracts row `t` of a full-sequence [`Qkv`] as a token — the demo
+    /// and test form, where the "generated" sequence is known up front.
+    #[must_use]
+    pub fn from_row(qkv: &Qkv, t: usize) -> Self {
+        Self { q: qkv.q.row(t).to_vec(), k: qkv.k.row(t).to_vec(), v: qkv.v.row(t).to_vec() }
+    }
+}
+
+/// What the runtime reports once a session is open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The worker the session is pinned to.
+    pub worker: usize,
+    /// First decodable position (the prompt already covers up to here).
+    pub min_step: usize,
+    /// Position the next step will produce.
+    pub position: usize,
+    /// Sequence capacity.
+    pub capacity: usize,
+    /// Whether the compiled plan came from the cache.
+    pub cache_hit: bool,
+}
+
+/// One completed decode step, all heads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeStep {
+    /// The position this step produced.
+    pub position: usize,
+    /// Per-head output rows.
+    pub heads: Vec<StepOutput>,
+    /// The worker that executed it.
+    pub worker: usize,
+}
+
+/// Events delivered on a session's channel, in execution order.
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// The session finished opening (plan resolved, prompt ingested) — or
+    /// failed to.
+    Opened {
+        /// The session id.
+        session: u64,
+        /// Session parameters on success, the failure otherwise.
+        result: Result<SessionInfo, ServeError>,
+    },
+    /// One decode step completed or failed. A failure that desynced the
+    /// per-head states (any head advanced or was poisoned) retires the
+    /// session: the runtime drops it, a final [`Closed`](Self::Closed)
+    /// follows, and further steps report
+    /// [`ServeError::UnknownSession`]. A pre-mutation validation failure
+    /// (wrong token head count or row dimension, caught before any state
+    /// moved) leaves the session intact and decodable.
+    Step {
+        /// The session id.
+        session: u64,
+        /// The step outputs, or the failure.
+        result: Result<DecodeStep, ServeError>,
+        /// Submission-to-completion latency of the step, in seconds.
+        latency_s: f64,
+    },
+    /// The session was closed (explicitly, by a poisoning failure, or
+    /// because its pinned worker died).
+    Closed {
+        /// The session id.
+        session: u64,
+        /// Tokens the session had ingested (prompt + steps); `None` when
+        /// the pinned worker died and took the count with it.
+        position: Option<usize>,
+    },
+}
+
+/// The client's end of a decode session: its id plus the event channel
+/// the pinned worker reports into.
+#[derive(Debug)]
+pub struct DecodeSessionHandle {
+    pub(crate) id: u64,
+    pub(crate) events: Receiver<SessionEvent>,
+}
+
+impl DecodeSessionHandle {
+    /// The session id, as used by
+    /// [`step_session`](crate::SaloServer::step_session) and
+    /// [`close_session`](crate::SaloServer::close_session).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks for the next session event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] once the runtime has shut down and
+    /// every event has been delivered.
+    pub fn recv(&self) -> Result<SessionEvent, ServeError> {
+        self.events.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Blocks until the open handshake completes, returning the session
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure, or [`ServeError::Closed`].
+    pub fn wait_open(&self) -> Result<SessionInfo, ServeError> {
+        match self.recv()? {
+            SessionEvent::Opened { result, .. } => result,
+            _ => Err(ServeError::Closed), // protocol violation: channel is dead to us
+        }
+    }
+
+    /// Blocks for the next completed step, skipping non-step events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step failures, or [`ServeError::Closed`] after shutdown
+    /// or once the session is closed.
+    pub fn next_step(&self) -> Result<DecodeStep, ServeError> {
+        loop {
+            match self.recv()? {
+                SessionEvent::Step { result, .. } => return result,
+                SessionEvent::Closed { .. } => return Err(ServeError::Closed),
+                SessionEvent::Opened { result, .. } => {
+                    result?; // surface an open failure instead of looping
+                }
+            }
+        }
+    }
+}
+
+/// The set of live session ids, shared across the runtime's threads.
+///
+/// Three parties keep it honest: the server front-end inserts at
+/// [`open_session`](crate::SaloServer::open_session) and gates
+/// `step_session`/`close_session` on membership; the pinned worker
+/// removes a session the moment it is retired by a failure (a poisoning
+/// step, a failed open) — *before* emitting the failure event, so a
+/// client that has observed the error is guaranteed further
+/// `step_session` calls report
+/// [`ServeError::UnknownSession`](crate::ServeError::UnknownSession);
+/// and the dispatcher consults it to retire stale routes for steps that
+/// were accepted just before the session died.
+#[derive(Debug, Default)]
+pub(crate) struct SessionRegistry {
+    live: Mutex<HashSet<u64>>,
+    /// Sessions retired worker-side (poisoning step, failed open) whose
+    /// dispatcher route still needs reaping. The worker cannot reach the
+    /// dispatcher's table directly, so it queues the id here and the
+    /// dispatcher drains the queue on its next pass — otherwise a client
+    /// that (correctly) never touches the dead session again would leave
+    /// its route leaked until shutdown.
+    retired: Mutex<Vec<u64>>,
+}
+
+impl SessionRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&self, session: u64) {
+        self.live.lock().expect("session registry poisoned").insert(session);
+    }
+
+    /// Removes the session; `false` if it was not live.
+    pub fn remove(&self, session: u64) -> bool {
+        self.live.lock().expect("session registry poisoned").remove(&session)
+    }
+
+    /// Removes the session *and* queues its route for dispatcher-side
+    /// reaping — the worker-side form of removal.
+    pub fn retire(&self, session: u64) {
+        self.remove(session);
+        self.retired.lock().expect("session registry poisoned").push(session);
+    }
+
+    /// Takes the sessions retired since the last drain.
+    pub fn drain_retired(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.retired.lock().expect("session registry poisoned"))
+    }
+
+    pub fn contains(&self, session: u64) -> bool {
+        self.live.lock().expect("session registry poisoned").contains(&session)
+    }
+
+    pub fn len(&self) -> usize {
+        self.live.lock().expect("session registry poisoned").len()
+    }
+}
+
+/// The dispatcher's routing table: which worker each live session is
+/// pinned to, and the event channel failures are reported on.
+#[derive(Debug, Default)]
+pub(crate) struct SessionTable {
+    routes: HashMap<u64, SessionRoute>,
+}
+
+#[derive(Debug)]
+pub(crate) struct SessionRoute {
+    pub worker: usize,
+    pub events: Sender<SessionEvent>,
+}
+
+impl SessionTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, session: u64, worker: usize, events: Sender<SessionEvent>) {
+        self.routes.insert(session, SessionRoute { worker, events });
+    }
+
+    pub fn get(&self, session: u64) -> Option<&SessionRoute> {
+        self.routes.get(&session)
+    }
+
+    pub fn remove(&mut self, session: u64) -> Option<SessionRoute> {
+        self.routes.remove(&session)
+    }
+
+    /// Live sessions pinned to each of `workers` workers — the placement
+    /// signal for new sessions (sessions are long-lived, so transient
+    /// queue depth alone would pin everything to worker 0).
+    pub fn pinned_per_worker(&self, workers: usize) -> Vec<usize> {
+        let mut pinned = vec![0usize; workers];
+        for route in self.routes.values() {
+            if let Some(count) = pinned.get_mut(route.worker) {
+                *count += 1;
+            }
+        }
+        pinned
+    }
+}
+
+/// A session's worker-resident half: the step program shared by every
+/// head, one persistent [`DecodeState`] per head, and the event channel.
+pub(crate) struct WorkerSession {
+    decode: Arc<DecodePlan>,
+    states: Vec<DecodeState>,
+    pub events: Sender<SessionEvent>,
+    scale: f32,
+}
+
+impl WorkerSession {
+    /// Builds the session state and ingests the prompt. The heavy parts —
+    /// scheduler pass, prefill lowering and (from the second session of a
+    /// plan onward) the step-program lowering — already live inside the
+    /// cached `CompiledPlan`; this only quantizes the prompt.
+    pub fn open(
+        salo: &Salo,
+        plan: &Arc<CompiledPlan>,
+        request: &SessionRequest,
+        events: Sender<SessionEvent>,
+        scratch: &mut ExecScratch,
+    ) -> Result<Self, ServeError> {
+        let decode = plan.decode_plan()?;
+        let d = request.head_dim;
+        let scale = SpatialAccelerator::default_scale(d);
+        let accel = salo.accelerator();
+        let mut states: Vec<DecodeState> =
+            (0..request.num_heads).map(|_| DecodeState::new(&decode, d)).collect();
+        let prompt_len = request.prompt.first().map_or(0, Qkv::seq_len);
+        for (state, head) in states.iter_mut().zip(&request.prompt) {
+            for t in 0..prompt_len {
+                accel
+                    .prime_token(
+                        &decode,
+                        state,
+                        head.q.row(t),
+                        head.k.row(t),
+                        head.v.row(t),
+                        scale,
+                        scratch,
+                    )
+                    .map_err(salo_core::SaloError::from)?;
+            }
+        }
+        Ok(Self { decode, states, events, scale })
+    }
+
+    /// Position the next step will produce.
+    pub fn position(&self) -> usize {
+        self.states.first().map_or(0, DecodeState::position)
+    }
+
+    /// Whether the session is still fully consistent after a failed step
+    /// that began at `position`: no head poisoned, no head advanced. A
+    /// failure that precedes any per-head mutation (e.g. a wrong token
+    /// head count) leaves the session intact — it can keep serving
+    /// tokens, mirroring the sim layer's validation-errors-don't-poison
+    /// contract. Once any head advanced while another did not, the heads
+    /// are desynced and the session must be retired.
+    pub fn is_intact(&self, position: usize) -> bool {
+        self.states.iter().all(|s| !s.is_poisoned() && s.position() == position)
+    }
+
+    /// First decodable position of the session's plan.
+    pub fn min_step(&self) -> usize {
+        self.decode.min_step()
+    }
+
+    /// Sequence capacity of the session's plan.
+    pub fn capacity(&self) -> usize {
+        self.decode.n()
+    }
+
+    /// Executes one step across every head.
+    pub fn step(
+        &mut self,
+        salo: &Salo,
+        token: &[TokenQkv],
+        scratch: &mut ExecScratch,
+        worker: usize,
+    ) -> Result<DecodeStep, ServeError> {
+        if token.len() != self.states.len() {
+            return Err(ServeError::InvalidRequest {
+                reason: format!(
+                    "{} token heads provided, session has {}",
+                    token.len(),
+                    self.states.len()
+                ),
+            });
+        }
+        let position = self.position();
+        let accel = salo.accelerator();
+        let heads = self
+            .states
+            .iter_mut()
+            .zip(token)
+            .map(|(state, tok)| {
+                accel
+                    .execute_step(&self.decode, state, &tok.q, &tok.k, &tok.v, self.scale, scratch)
+                    .map_err(salo_core::SaloError::from)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DecodeStep { position, heads, worker })
+    }
+}

@@ -7,8 +7,11 @@
 //! triple, a mix of `k` workloads exercises exactly `k` plan-cache
 //! entries — the steady-state hit rate approaches `1 - k/requests`.
 
+use salo_kernels::{Matrix, Qkv};
 use salo_models::{bert_base, longformer_layer, vil_stage_layer, Workload};
+use salo_patterns::HybridPattern;
 
+use crate::session::{SessionRequest, TokenQkv};
 use crate::{ServeError, ServeRequest};
 
 /// A deterministic round-robin generator over model workloads.
@@ -90,6 +93,159 @@ impl TrafficMix {
     }
 }
 
+/// One generation scenario: the pattern over the session's full capacity,
+/// the head shape, and how the capacity splits into prompt and generated
+/// tokens.
+#[derive(Debug, Clone)]
+pub struct GenerationShape {
+    /// The hybrid pattern (causally clipped by the runtime at open).
+    pub pattern: HybridPattern,
+    /// Head dimension.
+    pub head_dim: usize,
+    /// Number of heads.
+    pub num_heads: usize,
+    /// Prompt length (must cover every global token).
+    pub prompt_len: usize,
+}
+
+impl GenerationShape {
+    /// Tokens a session of this shape generates (`capacity - prompt`) —
+    /// zero when a hand-built shape's prompt exceeds its capacity (the
+    /// fields are public; only [`GenerationTraffic::new`] validates).
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.pattern.n().saturating_sub(self.prompt_len)
+    }
+}
+
+/// A deterministic generator of decode-session traffic: chat/generation
+/// workloads cycling over a set of [`GenerationShape`]s, each session
+/// carrying seeded prompt and token inputs.
+///
+/// Sessions of the same shape share one causal pattern/shape triple, so a
+/// mix of `k` shapes exercises exactly `k` plan-cache entries and every
+/// later session opens on a cache hit — the compiled plan amortizes
+/// across whole generations.
+#[derive(Debug, Clone)]
+pub struct GenerationTraffic {
+    shapes: Vec<GenerationShape>,
+}
+
+impl GenerationTraffic {
+    /// Builds a mix from explicit shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] for an empty mix or a shape
+    /// whose prompt does not cover its globals (or leaves no steps).
+    pub fn new(shapes: Vec<GenerationShape>) -> Result<Self, ServeError> {
+        if shapes.is_empty() {
+            return Err(ServeError::InvalidRequest { reason: "empty generation mix".into() });
+        }
+        for (i, s) in shapes.iter().enumerate() {
+            let view = s
+                .pattern
+                .decode_view()
+                .map_err(|e| ServeError::InvalidRequest { reason: format!("shape {i}: {e}") })?;
+            if s.prompt_len < view.min_step() || s.prompt_len >= s.pattern.n() {
+                return Err(ServeError::InvalidRequest {
+                    reason: format!(
+                        "shape {i}: prompt of {} rows must cover the globals \
+                         (min {}) and leave room to generate (capacity {})",
+                        s.prompt_len,
+                        view.min_step(),
+                        s.pattern.n()
+                    ),
+                });
+            }
+        }
+        Ok(Self { shapes })
+    }
+
+    /// A scaled-down chat-generation mix: causal sliding windows with an
+    /// attention-sink global token (the Salca/MiniCPM-style serving
+    /// shape), at lengths that decode in milliseconds on the functional
+    /// simulator.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; parameters are statically valid.
+    #[must_use]
+    pub fn demo_mix() -> Self {
+        let sink_window = |n: usize, w: usize| {
+            HybridPattern::builder(n)
+                .window(salo_patterns::Window::causal(w).expect("valid window"))
+                .global_token(0)
+                .build()
+                .expect("valid pattern")
+        };
+        Self::new(vec![
+            GenerationShape {
+                pattern: sink_window(96, 24),
+                head_dim: 32,
+                num_heads: 2,
+                prompt_len: 16,
+            },
+            GenerationShape {
+                pattern: sink_window(64, 16),
+                head_dim: 16,
+                num_heads: 1,
+                prompt_len: 8,
+            },
+        ])
+        .expect("valid mix")
+    }
+
+    /// The shapes, in rotation order.
+    #[must_use]
+    pub fn shapes(&self) -> &[GenerationShape] {
+        &self.shapes
+    }
+
+    /// Number of distinct shapes (= distinct compiled plans).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Whether the mix is empty (never true for constructed mixes).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// The `i`-th session of the closed loop: shape `i % len`, with the
+    /// whole sequence (prompt rows plus every generated token) seeded by
+    /// `i`. Returns the open request and the per-step token stream.
+    #[must_use]
+    pub fn session(&self, i: u64) -> (SessionRequest, Vec<Vec<TokenQkv>>) {
+        let shape = &self.shapes[(i % self.shapes.len() as u64) as usize];
+        let n = shape.pattern.n();
+        let full: Vec<Qkv> = (0..shape.num_heads)
+            .map(|h| Qkv::random(n, shape.head_dim, i.wrapping_mul(131).wrapping_add(h as u64)))
+            .collect();
+        let prompt = full
+            .iter()
+            .map(|qkv| {
+                let rows = |m: &Matrix<f32>| {
+                    Matrix::from_fn(shape.prompt_len, shape.head_dim, |r, c| m.get(r, c))
+                };
+                Qkv::new(rows(&qkv.q), rows(&qkv.k), rows(&qkv.v)).expect("consistent prompt")
+            })
+            .collect();
+        let steps = (shape.prompt_len..n)
+            .map(|t| full.iter().map(|qkv| TokenQkv::from_row(qkv, t)).collect())
+            .collect();
+        let request = SessionRequest {
+            pattern: shape.pattern.clone(),
+            head_dim: shape.head_dim,
+            num_heads: shape.num_heads,
+            prompt,
+        };
+        (request, steps)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +275,58 @@ mod tests {
             let r = mix.request(i);
             assert!(ServeRequest::new(r.pattern, r.shape, r.heads).is_ok());
         }
+    }
+
+    #[test]
+    fn generation_mix_sessions_validate_and_are_deterministic() {
+        let mix = GenerationTraffic::demo_mix();
+        assert_eq!(mix.len(), 2);
+        assert!(!mix.is_empty());
+        for i in 0..2u64 {
+            let shape = &mix.shapes()[i as usize];
+            let (request, steps) = mix.session(i);
+            assert!(request.validate().is_ok(), "session {i} must validate");
+            assert_eq!(steps.len(), shape.steps());
+            assert_eq!(steps[0].len(), shape.num_heads);
+            assert_eq!(steps[0][0].q.len(), shape.head_dim);
+        }
+        // Same index, same data; shape repeats every len() sessions with
+        // fresh data.
+        let (a, sa) = mix.session(0);
+        let (a2, sa2) = mix.session(0);
+        assert_eq!(a.prompt[0].q, a2.prompt[0].q);
+        assert_eq!(sa[0], sa2[0]);
+        let (b, _) = mix.session(2);
+        assert_eq!(a.pattern, b.pattern, "same shape every len() sessions");
+        assert_ne!(a.prompt[0].q, b.prompt[0].q, "different seeds");
+    }
+
+    #[test]
+    fn generation_mix_rejects_uncovered_prompts() {
+        let pattern = HybridPattern::builder(16)
+            .window(salo_patterns::Window::causal(4).unwrap())
+            .global_token(5)
+            .build()
+            .unwrap();
+        // Prompt of 2 rows does not cover global token 5.
+        let bad = GenerationTraffic::new(vec![GenerationShape {
+            pattern: pattern.clone(),
+            head_dim: 4,
+            num_heads: 1,
+            prompt_len: 2,
+        }]);
+        assert!(matches!(bad, Err(ServeError::InvalidRequest { .. })));
+        // Prompt filling the whole capacity leaves nothing to generate.
+        let full = GenerationTraffic::new(vec![GenerationShape {
+            pattern,
+            head_dim: 4,
+            num_heads: 1,
+            prompt_len: 16,
+        }]);
+        assert!(matches!(full, Err(ServeError::InvalidRequest { .. })));
+        assert!(matches!(
+            GenerationTraffic::new(Vec::new()),
+            Err(ServeError::InvalidRequest { .. })
+        ));
     }
 }

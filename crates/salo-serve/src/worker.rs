@@ -1,33 +1,76 @@
 //! The worker pool: N simulated accelerator instances behind channels.
 //!
 //! Each worker thread owns its own [`Salo`] instance (modeling one
-//! physical accelerator) and executes whole batches: the compiled plan is
-//! shared across the batch, and each member request's heads run back to
-//! back — the same sequential head schedule as the one-shot API, so
-//! batched outputs are bit-identical to [`Salo::execute`].
+//! physical accelerator) and processes [`Work`] items: whole same-plan
+//! batches (the compiled plan is shared across the batch, each member
+//! request's heads run back to back — bit-identical to [`Salo::execute`])
+//! and decode-session traffic (open / step / close). Decode sessions are
+//! *pinned*: their per-head K/V state lives in the worker's local session
+//! map for the whole generation, so steps never cross threads and the
+//! state is never locked.
 //!
-//! Two resources amortize across the pool's lifetime: the clones share
-//! one set of exponential/reciprocal lookup tables (they sit behind `Arc`
-//! inside the accelerator), and each worker carries one
-//! [`ExecScratch`] across every request it ever serves, so steady-state
-//! execution — cached plan, pre-lowered program, warm scratch — touches
-//! the allocator only for the response buffers.
+//! Three resources amortize across the pool's lifetime: the clones share
+//! one set of exponential/reciprocal lookup tables (behind `Arc` inside
+//! the accelerator), each worker carries one [`ExecScratch`] across every
+//! request and step it ever serves, and session K/V arenas grow once per
+//! generation.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use salo_core::{MultiHeadRun, Salo};
+use salo_core::{CompiledPlan, MultiHeadRun, Salo};
 use salo_sim::ExecScratch;
 
 use crate::batch::Batch;
+use crate::session::{
+    SessionEvent, SessionInfo, SessionRegistry, SessionRequest, TokenQkv, WorkerSession,
+};
 use crate::ServeError;
 
-/// A finished request, reported by a worker to the collector.
+/// One unit of work shipped to a worker thread.
+pub(crate) enum Work {
+    /// A same-plan batch of layer requests.
+    Batch(Batch),
+    /// Open a decode session (lower the step program, ingest the prompt).
+    Open(OpenJob),
+    /// One decode step of a pinned session.
+    Step(StepJob),
+    /// Drop a session's state.
+    Close {
+        /// The session to drop.
+        session: u64,
+    },
+}
+
+/// Payload of [`Work::Open`].
+pub(crate) struct OpenJob {
+    pub session: u64,
+    pub plan: Arc<CompiledPlan>,
+    pub request: SessionRequest,
+    pub cache_hit: bool,
+    pub submitted: Instant,
+    pub events: Sender<SessionEvent>,
+}
+
+/// Payload of [`Work::Step`].
+pub(crate) struct StepJob {
+    pub session: u64,
+    pub token: Vec<TokenQkv>,
+    pub submitted: Instant,
+    /// The session's event channel, carried with the job so a step that
+    /// arrives after the session was retired (poisoned or closed while
+    /// this step sat in the queue) can still report its failure instead
+    /// of leaving the client blocked on an event that never comes.
+    pub events: Sender<SessionEvent>,
+}
+
+/// A finished layer request, reported by a worker to the collector.
 #[derive(Debug)]
-pub(crate) struct Completed {
+pub(crate) struct LayerDone {
     pub id: u64,
     pub result: Result<MultiHeadRun, ServeError>,
     pub cache_hit: bool,
@@ -38,31 +81,63 @@ pub(crate) struct Completed {
     pub finished: Instant,
 }
 
+/// Anything a worker (or the dispatcher, for pre-worker failures) reports
+/// to the collector.
+#[derive(Debug)]
+pub(crate) enum Completed {
+    /// A layer request finished; enters the ordered response stream.
+    Layer(LayerDone),
+    /// A decode session finished opening (metrics only — the client hears
+    /// through the session channel). Opens pay compile + prompt ingest,
+    /// so they carry timestamps and count toward the report's wall span.
+    SessionOpened { ok: bool, submitted: Instant, finished: Instant },
+    /// A decode step finished (metrics only).
+    Step { ok: bool, submitted: Instant, finished: Instant },
+    /// A decode step was dropped without executing because its session
+    /// was already closed when the dispatcher saw it (a benign
+    /// close/step race). Exits the depth gauge but is not a step
+    /// execution — it must not count as a decode step or error.
+    StepDropped,
+}
+
 /// Handles to the worker threads plus their load counters.
 pub(crate) struct WorkerPool {
-    senders: Vec<Sender<Batch>>,
+    senders: Vec<Sender<Work>>,
     outstanding: Vec<Arc<AtomicUsize>>,
     pub handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
     /// Spawns `workers` threads, each owning a clone of `salo`.
-    pub fn spawn(workers: usize, salo: &Salo, done: &Sender<Completed>) -> Self {
+    pub fn spawn(
+        workers: usize,
+        salo: &Salo,
+        done: &Sender<Completed>,
+        registry: &Arc<SessionRegistry>,
+    ) -> Self {
         let workers = workers.max(1);
         let mut senders = Vec::with_capacity(workers);
         let mut outstanding = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for index in 0..workers {
-            let (tx, rx) = std::sync::mpsc::channel::<Batch>();
+            let (tx, rx) = std::sync::mpsc::channel::<Work>();
             let load = Arc::new(AtomicUsize::new(0));
             let worker_salo = salo.clone();
             let worker_done = done.clone();
             let worker_load = Arc::clone(&load);
+            let worker_registry = Arc::clone(registry);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("salo-serve-worker-{index}"))
                     .spawn(move || {
-                        worker_loop(index, &worker_salo, &rx, &worker_done, &worker_load)
+                        worker_loop(
+                            index,
+                            &worker_salo,
+                            &rx,
+                            &worker_done,
+                            &worker_load,
+                            &worker_registry,
+                        )
                     })
                     .expect("spawn worker thread"),
             );
@@ -77,23 +152,49 @@ impl WorkerPool {
         self.outstanding.len()
     }
 
+    /// Outstanding work units queued on one worker.
+    pub fn load_of(&self, worker: usize) -> usize {
+        self.outstanding[worker].load(Ordering::Relaxed)
+    }
+
+    /// The worker with the fewest outstanding work units — where the
+    /// dispatcher routes batches. (Session pinning additionally weighs
+    /// live pinned sessions; see the dispatcher's placement.)
+    pub fn least_loaded(&self) -> usize {
+        self.outstanding
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, load)| load.load(Ordering::Relaxed))
+            .map_or(0, |(i, _)| i)
+    }
+
     /// Sends a batch to the least-loaded worker (by outstanding request
     /// count). On failure — the chosen worker's thread is gone — the
     /// batch is handed back so the caller can fail its requests instead
     /// of dropping them.
     pub fn dispatch(&self, batch: Batch) -> Result<(), Batch> {
-        let target = self
-            .outstanding
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, load)| load.load(Ordering::Relaxed))
-            .map_or(0, |(i, _)| i);
+        let target = self.least_loaded();
         self.outstanding[target].fetch_add(batch.len(), Ordering::Relaxed);
-        match self.senders[target].send(batch) {
+        match self.senders[target].send(Work::Batch(batch)) {
             Ok(()) => Ok(()),
-            Err(std::sync::mpsc::SendError(batch)) => {
+            Err(std::sync::mpsc::SendError(work)) => {
+                let Work::Batch(batch) = work else { unreachable!("batch sent, batch returned") };
                 self.outstanding[target].fetch_sub(batch.len(), Ordering::Relaxed);
                 Err(batch)
+            }
+        }
+    }
+
+    /// Sends session work to a specific (pinned) worker. Returns the work
+    /// back if that worker's thread is gone.
+    #[allow(clippy::result_large_err)] // the Err is the undelivered work itself
+    pub fn dispatch_to(&self, worker: usize, work: Work) -> Result<(), Work> {
+        self.outstanding[worker].fetch_add(1, Ordering::Relaxed);
+        match self.senders[worker].send(work) {
+            Ok(()) => Ok(()),
+            Err(std::sync::mpsc::SendError(work)) => {
+                self.outstanding[worker].fetch_sub(1, Ordering::Relaxed);
+                Err(work)
             }
         }
     }
@@ -107,31 +208,145 @@ impl WorkerPool {
 fn worker_loop(
     index: usize,
     salo: &Salo,
-    rx: &Receiver<Batch>,
+    rx: &Receiver<Work>,
     done: &Sender<Completed>,
     load: &AtomicUsize,
+    registry: &SessionRegistry,
 ) {
     // One scratch for the worker's lifetime: arenas and accumulators grow
-    // to the largest shape seen and are then reused across requests.
+    // to the largest shape seen and are then reused across requests,
+    // session prompts and decode steps.
     let mut scratch = ExecScratch::new();
-    while let Ok(batch) = rx.recv() {
-        let batch_size = batch.requests.len();
-        for req in batch.requests {
-            let result = salo
-                .execute_with_scratch(&batch.plan, &req.heads, &mut scratch)
-                .map_err(ServeError::from);
-            load.fetch_sub(1, Ordering::Relaxed);
-            let completed = Completed {
-                id: req.id,
-                result,
-                cache_hit: req.cache_hit,
-                worker: Some(index),
-                batch_size,
-                submitted: req.submitted,
-                finished: Instant::now(),
-            };
-            if done.send(completed).is_err() {
-                return; // collector is gone; nothing left to report to
+    // The worker-resident halves of the sessions pinned here.
+    let mut sessions: HashMap<u64, WorkerSession> = HashMap::new();
+    while let Ok(work) = rx.recv() {
+        match work {
+            Work::Batch(batch) => {
+                let batch_size = batch.requests.len();
+                for req in batch.requests {
+                    let result = salo
+                        .execute_with_scratch(&batch.plan, &req.heads, &mut scratch)
+                        .map_err(ServeError::from);
+                    load.fetch_sub(1, Ordering::Relaxed);
+                    let completed = Completed::Layer(LayerDone {
+                        id: req.id,
+                        result,
+                        cache_hit: req.cache_hit,
+                        worker: Some(index),
+                        batch_size,
+                        submitted: req.submitted,
+                        finished: Instant::now(),
+                    });
+                    if done.send(completed).is_err() {
+                        return; // collector is gone; nothing left to report to
+                    }
+                }
+            }
+            Work::Open(job) => {
+                let result = WorkerSession::open(
+                    salo,
+                    &job.plan,
+                    &job.request,
+                    job.events.clone(),
+                    &mut scratch,
+                );
+                load.fetch_sub(1, Ordering::Relaxed);
+                let ok = result.is_ok();
+                let info = result.map(|session| {
+                    let info = SessionInfo {
+                        worker: index,
+                        min_step: session.min_step(),
+                        position: session.position(),
+                        capacity: session.capacity(),
+                        cache_hit: job.cache_hit,
+                    };
+                    sessions.insert(job.session, session);
+                    info
+                });
+                if !ok {
+                    // Deregister before reporting, so a client that saw
+                    // the failed handshake gets `UnknownSession` from any
+                    // later `step_session` instead of a silent drop; the
+                    // retirement also queues the dispatcher route for
+                    // reaping.
+                    registry.retire(job.session);
+                }
+                let _ =
+                    job.events.send(SessionEvent::Opened { session: job.session, result: info });
+                let completed = Completed::SessionOpened {
+                    ok,
+                    submitted: job.submitted,
+                    finished: Instant::now(),
+                };
+                if done.send(completed).is_err() {
+                    return;
+                }
+            }
+            Work::Step(job) => {
+                // Bookkeeping (load, registry retirement) strictly
+                // precedes the event sends: a client that has observed a
+                // step's outcome must see the worker's state already
+                // settled — retired sessions reject further steps, and
+                // session placement reads a load this step no longer
+                // inflates.
+                let ok = match sessions.get_mut(&job.session) {
+                    Some(session) => {
+                        let before = session.position();
+                        let result = session.step(salo, &job.token, &mut scratch, index);
+                        let events = session.events.clone();
+                        let position = session.position();
+                        let ok = result.is_ok();
+                        // A failure that left any head advanced or
+                        // poisoned desyncs the session: retire it. A
+                        // pre-mutation validation failure (wrong head
+                        // count, bad row dimension caught up front)
+                        // leaves it intact and decodable.
+                        let poisoned = !ok && !session.is_intact(before);
+                        if poisoned {
+                            sessions.remove(&job.session);
+                            registry.retire(job.session);
+                        }
+                        load.fetch_sub(1, Ordering::Relaxed);
+                        let _ = events.send(SessionEvent::Step {
+                            session: job.session,
+                            result,
+                            latency_s: job.submitted.elapsed().as_secs_f64(),
+                        });
+                        if poisoned {
+                            let _ = events.send(SessionEvent::Closed {
+                                session: job.session,
+                                position: Some(position),
+                            });
+                        }
+                        ok
+                    }
+                    None => {
+                        // The session was retired (poisoned or closed)
+                        // while this step sat in the queue: report the
+                        // failure on the job's own channel so no client
+                        // blocks on a result that will never come.
+                        load.fetch_sub(1, Ordering::Relaxed);
+                        let _ = job.events.send(SessionEvent::Step {
+                            session: job.session,
+                            result: Err(ServeError::UnknownSession { session: job.session }),
+                            latency_s: job.submitted.elapsed().as_secs_f64(),
+                        });
+                        false
+                    }
+                };
+                let completed =
+                    Completed::Step { ok, submitted: job.submitted, finished: Instant::now() };
+                if done.send(completed).is_err() {
+                    return;
+                }
+            }
+            Work::Close { session } => {
+                load.fetch_sub(1, Ordering::Relaxed);
+                if let Some(state) = sessions.remove(&session) {
+                    let _ = state
+                        .events
+                        .send(SessionEvent::Closed { session, position: Some(state.position()) });
+                }
             }
         }
     }

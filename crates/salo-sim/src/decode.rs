@@ -1,0 +1,947 @@
+//! Streaming decode: per-step hybrid-sparse attention against persistent
+//! quantized K/V state.
+//!
+//! Autoregressive generation produces one query position per step, each
+//! attending a growing history through the same window+global structure
+//! the prefill datapath executes in one shot. Re-lowering (or worse,
+//! re-executing) the full plan per token would be quadratic in the
+//! generation length; instead this module compiles the prefill's
+//! [`LoweredPlan`] **once** into a step-indexed program and executes one
+//! position per call against arenas that persist across the whole
+//! generation:
+//!
+//! * [`DecodePlan::lower`] re-buckets the lowered op list by destination
+//!   row, preserving the prefill's per-row op order — window-row softmax
+//!   parts first-chunk-to-last, global-column cells interleaved exactly
+//!   where the prefill merges them. Executing row `t`'s bucket therefore
+//!   performs the *same fixed-point operations in the same order* as the
+//!   full prefill does for that row, which is what makes decode
+//!   bit-identical to the causal-prefill oracle (outputs, `weights_q16`
+//!   and saturation counts — asserted by `tests/decode.rs`).
+//! * [`DecodeState`] owns the session: quantized K/V arenas that grow by
+//!   one row per token, the stored query rows of global tokens, and the
+//!   *running global-duty partials* — each global token's output row,
+//!   advanced incrementally as its pending ops' keys enter the history.
+//!   By the end of a full generation the global rows have executed
+//!   exactly the prefill's global-duty ops in the prefill's order, so
+//!   they too are bit-identical to prefill rows.
+//! * [`SpatialAccelerator::execute_step`] runs one token: quantize and
+//!   append K/V, execute the step's ops through the stage 1–5 fixed-point
+//!   kernels (reusing the caller's [`ExecScratch`] buffers), advance the
+//!   global-duty partials, and return the new position's output row.
+//!
+//! The plan must come from a **causally clipped** pattern
+//! ([`HybridPattern::causal`](salo_patterns::HybridPattern::causal) /
+//! [`decode_view`](salo_patterns::HybridPattern::decode_view)): lowering
+//! verifies that no window op reaches a future key and rejects anticausal
+//! plans.
+
+use salo_fixed::{ExpLut, Fix16x8, Fix8x4, MacSaturation, PartialRow, RecipUnit};
+use salo_scheduler::ExecutionPlan;
+
+use crate::exec::{run_op, ExecScratch};
+use crate::{LoweredOp, LoweredOpKind, LoweredPlan, SimError, SpatialAccelerator};
+
+/// One global token's incremental row program: the prefill's ops for that
+/// destination, in prefill order, plus the gating key that tells the
+/// session when each op's inputs exist.
+#[derive(Debug, Clone, PartialEq)]
+struct GlobalRowProgram {
+    /// The global token (sequence position).
+    token: u32,
+    /// Op range in the owning plan's op list.
+    start: u32,
+    end: u32,
+    /// Per op (parallel to the range): the largest key it reads. The op
+    /// becomes runnable once the history covers both this key and the
+    /// token's own query row.
+    max_keys: Vec<u32>,
+}
+
+/// A [`LoweredPlan`] compiled for token-by-token execution.
+///
+/// Produced once per compiled plan and shared across every decode session
+/// of that pattern/shape (it is immutable; serving pins one behind an
+/// `Arc` per session).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodePlan {
+    n: usize,
+    min_step: usize,
+    globals: Vec<u32>,
+    /// Step ops, contiguous per destination row, prefill order within
+    /// each row.
+    ops: Vec<LoweredOp>,
+    /// Key arena the ops slice into (rebuilt compactly during lowering).
+    keys: Vec<u32>,
+    /// Per sequence position: op range into `ops` (empty for global rows,
+    /// whose work lives in `global_rows`).
+    step_ranges: Vec<(u32, u32)>,
+    global_rows: Vec<GlobalRowProgram>,
+    max_row_keys: usize,
+    /// Structural fingerprint of the whole program — the stale-state
+    /// guard that ties a [`DecodeState`] to the plan it was reset for.
+    fingerprint: u64,
+}
+
+impl DecodePlan {
+    /// Compiles a lowered plan into its step-indexed decode program.
+    ///
+    /// `plan` supplies the global-token set; `lowered` must be the
+    /// lowering of that same plan (as stored side by side in
+    /// `CompiledPlan`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AnticausalPlan`] if any window op attends a key
+    /// after its query — the pattern was not causally clipped and cannot
+    /// be decoded incrementally.
+    pub fn lower(plan: &ExecutionPlan, lowered: &LoweredPlan) -> Result<Self, SimError> {
+        let n = lowered.n();
+        let globals: Vec<u32> = plan.globals().iter().map(|&g| g as u32).collect();
+        let min_step = plan.globals().iter().max().map_or(0, |&g| g + 1);
+
+        // Bucket the lowered ops by destination, preserving prefill order
+        // within each destination — the order the prefill's weighted-sum
+        // module merges that row's parts in.
+        let mut step_buckets: Vec<Vec<LoweredOp>> = vec![Vec::new(); n];
+        let mut global_buckets: Vec<Vec<LoweredOp>> = vec![Vec::new(); globals.len()];
+        for op in lowered.ops() {
+            let dest = op.dest as usize;
+            match globals.binary_search(&op.dest) {
+                Ok(gi) => global_buckets[gi].push(*op),
+                Err(_) => {
+                    if op.kind == LoweredOpKind::Row {
+                        // Window ops must be causal; global-column cells
+                        // (SingleKey) are gated by `min_step` instead.
+                        if let Some(&k) = lowered.op_keys(op).iter().max() {
+                            if k as usize > dest {
+                                return Err(SimError::AnticausalPlan { dest, key: k as usize });
+                            }
+                        }
+                    }
+                    step_buckets[dest].push(*op);
+                }
+            }
+        }
+
+        // Flatten into one op list with a compact key arena.
+        let mut ops = Vec::with_capacity(lowered.ops().len());
+        let mut keys = Vec::with_capacity(lowered.keys().len());
+        let push_ops = |bucket: &[LoweredOp], keys: &mut Vec<u32>, ops: &mut Vec<LoweredOp>| {
+            let start = ops.len() as u32;
+            for op in bucket {
+                let key_start = keys.len() as u32;
+                keys.extend_from_slice(lowered.op_keys(op));
+                ops.push(LoweredOp { key_start, ..*op });
+            }
+            (start, ops.len() as u32)
+        };
+        let mut step_ranges = Vec::with_capacity(n);
+        for bucket in &step_buckets {
+            step_ranges.push(push_ops(bucket, &mut keys, &mut ops));
+        }
+        let mut global_rows = Vec::with_capacity(globals.len());
+        for (gi, bucket) in global_buckets.iter().enumerate() {
+            let (start, end) = push_ops(bucket, &mut keys, &mut ops);
+            let max_keys = bucket
+                .iter()
+                .map(|op| lowered.op_keys(op).iter().copied().max().unwrap_or(0))
+                .collect();
+            global_rows.push(GlobalRowProgram { token: globals[gi], start, end, max_keys });
+        }
+
+        // Hash the complete program: two plans that differ anywhere in
+        // their ops or key arenas fingerprint apart, so a state reset for
+        // one cannot silently execute against the other (same capacity
+        // and global count included). Paid once per lowering.
+        let mut h = salo_patterns::StableHasher::new();
+        h.write_usize(n);
+        h.write_usize(min_step);
+        h.write_usize(globals.len());
+        for &g in &globals {
+            h.write_usize(g as usize);
+        }
+        h.write_usize(ops.len());
+        for op in &ops {
+            h.write_usize(match op.kind {
+                LoweredOpKind::Row => 0,
+                LoweredOpKind::SingleKey => 1,
+            });
+            h.write_usize(op.dest as usize);
+            h.write_usize(op.key_len as usize);
+        }
+        h.write_usize(keys.len());
+        for &k in &keys {
+            h.write_usize(k as usize);
+        }
+        let fingerprint = h.finish();
+
+        Ok(Self {
+            n,
+            min_step,
+            globals,
+            ops,
+            keys,
+            step_ranges,
+            global_rows,
+            max_row_keys: lowered.max_row_keys(),
+            fingerprint,
+        })
+    }
+
+    /// Structural fingerprint of the step program (stable across runs).
+    /// [`DecodeState`]s record it at reset; executing a state against a
+    /// plan with a different fingerprint is refused as stale.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Sequence capacity: the maximum number of positions a session over
+    /// this plan can hold (prompt + generated).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// First decodable position: the one after the last global token.
+    /// Positions before it form the prompt and must be primed.
+    #[must_use]
+    pub fn min_step(&self) -> usize {
+        self.min_step
+    }
+
+    /// The global tokens, ascending.
+    #[must_use]
+    pub fn globals(&self) -> &[u32] {
+        &self.globals
+    }
+
+    /// The ops computing position `t`'s output row, in prefill merge
+    /// order. Empty for global positions (their rows accumulate via the
+    /// running global-duty partials) and for rows with no active keys.
+    #[must_use]
+    pub fn step_ops(&self, t: usize) -> &[LoweredOp] {
+        let (start, end) = self.step_ranges[t];
+        &self.ops[start as usize..end as usize]
+    }
+
+    /// Key list of one op.
+    #[must_use]
+    pub fn op_keys(&self, op: &LoweredOp) -> &[u32] {
+        &self.keys[op.key_start as usize..(op.key_start + op.key_len) as usize]
+    }
+
+    /// The longest key list of any op — scratch high-water mark.
+    #[must_use]
+    pub fn max_row_keys(&self) -> usize {
+        self.max_row_keys
+    }
+
+    /// Total keys read over a full generation (work proxy for benches).
+    #[must_use]
+    pub fn total_step_keys(&self) -> u64 {
+        self.ops.iter().map(|op| u64::from(op.key_len)).sum()
+    }
+}
+
+/// The persistent state of one decode session (one head).
+///
+/// Owns the quantized K/V arenas (one appended row per token), the stored
+/// query rows of global tokens, and the running global-duty partials.
+/// Reusable across sessions of different shapes via [`reset`](Self::reset)
+/// — reuse is bit-transparent, like `ExecScratch`.
+#[derive(Debug, Clone)]
+pub struct DecodeState {
+    /// Head dimension.
+    d: usize,
+    /// Capacity this state was initialized for (error reporting).
+    n: usize,
+    /// Fingerprint of the plan this state was reset for (stale-state
+    /// guard — catches even same-capacity, same-global-count plans).
+    plan_fp: u64,
+    /// Tokens ingested so far; the next token lands at this position.
+    len: usize,
+    /// Quantized keys, `len * d` row-major.
+    kq: Vec<Fix8x4>,
+    /// Quantized values, `len * d` row-major.
+    vq: Vec<Fix8x4>,
+    /// The current token's quantized, scale-folded query row.
+    q_step: Vec<Fix8x4>,
+    /// Stored query rows of global tokens (filled when each is ingested).
+    global_q: Vec<Vec<Fix8x4>>,
+    /// Running global-duty partials: one accumulator per global token.
+    global_acc: Vec<PartialRow>,
+    /// Next pending op (index into the token's program) per global row.
+    global_cursor: Vec<usize>,
+    /// The current step's output accumulator.
+    acc: PartialRow,
+    /// Cumulative saturation events over the session.
+    sat: MacSaturation,
+    /// Set when a step failed after the token was already appended to the
+    /// history: the state is inconsistent (partial K/V, off-by-one
+    /// position) and every further advance is rejected until a reset.
+    poisoned: bool,
+}
+
+impl DecodeState {
+    /// Creates an empty session state for `plan` with head dimension `d`.
+    #[must_use]
+    pub fn new(plan: &DecodePlan, d: usize) -> Self {
+        let mut state = Self {
+            d: 0,
+            n: 0,
+            plan_fp: 0,
+            len: 0,
+            kq: Vec::new(),
+            vq: Vec::new(),
+            q_step: Vec::new(),
+            global_q: Vec::new(),
+            global_acc: Vec::new(),
+            global_cursor: Vec::new(),
+            acc: PartialRow::empty(0),
+            sat: MacSaturation::default(),
+            poisoned: false,
+        };
+        state.reset(plan, d);
+        state
+    }
+
+    /// Rebinds the state to a (possibly different) plan and head
+    /// dimension, clearing every arena but keeping their capacity — the
+    /// worker-pool form of session switching. A reset state is
+    /// indistinguishable from a fresh one.
+    pub fn reset(&mut self, plan: &DecodePlan, d: usize) {
+        self.d = d;
+        self.n = plan.n();
+        self.plan_fp = plan.fingerprint();
+        self.len = 0;
+        self.kq.clear();
+        self.vq.clear();
+        self.kq.reserve(plan.n() * d);
+        self.vq.reserve(plan.n() * d);
+        self.q_step.clear();
+        self.global_q.clear();
+        self.global_q.resize(plan.globals.len(), Vec::new());
+        self.global_acc.clear();
+        self.global_acc.resize(plan.globals.len(), PartialRow::empty(d));
+        self.global_cursor.clear();
+        self.global_cursor.resize(plan.globals.len(), 0);
+        self.acc = PartialRow::empty(d);
+        self.sat = MacSaturation::default();
+        self.poisoned = false;
+    }
+
+    /// Tokens ingested so far — the position the next token will occupy.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.len
+    }
+
+    /// Head dimension of the session.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        self.d
+    }
+
+    /// Cumulative MAC saturation events over the session (prompt, steps
+    /// and global-duty advances).
+    #[must_use]
+    pub fn saturation_events(&self) -> u64 {
+        self.sat.events
+    }
+
+    /// Whether a failed step has left this state inconsistent. A
+    /// poisoned state rejects every advance with
+    /// [`SimError::PoisonedDecodeState`] until [`reset`](Self::reset).
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Number of running global-duty partials (= global tokens).
+    #[must_use]
+    pub fn num_globals(&self) -> usize {
+        self.global_acc.len()
+    }
+
+    /// The current output of global row `i` (by ascending token order):
+    /// the 16-bit row and its softmax weight, as accumulated so far. After
+    /// a full generation this equals the causal prefill's row for that
+    /// token, bit for bit.
+    #[must_use]
+    pub fn global_row_output(&self, i: usize) -> (Vec<Fix16x8>, i64) {
+        let acc = &self.global_acc[i];
+        (acc.out_q19.iter().map(|&o| Fix16x8::from_q19_acc(o)).collect(), acc.weight_q16)
+    }
+
+    /// Global-duty ops not yet runnable (waiting for future keys).
+    #[must_use]
+    pub fn pending_global_ops(&self, plan: &DecodePlan) -> usize {
+        plan.global_rows
+            .iter()
+            .zip(&self.global_cursor)
+            .map(|(g, &c)| (g.end - g.start) as usize - c)
+            .sum()
+    }
+}
+
+/// The output of one decode step: position `t`'s attention row in the
+/// same formats the prefill reports per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutput {
+    /// The position this step produced.
+    pub position: usize,
+    /// Output row in the 16-bit accelerator format.
+    pub raw: Vec<Fix16x8>,
+    /// The row dequantized to `f32`.
+    pub output: Vec<f32>,
+    /// The row's softmax weight `W = Σ exp` (Q.16).
+    pub weight_q16: i64,
+    /// MAC saturation events attributed to this token (its own ops plus
+    /// any global-duty ops it unblocked).
+    pub saturation_events: u64,
+}
+
+impl SpatialAccelerator {
+    /// Ingests one prompt token without computing an output row: K/V are
+    /// quantized and appended, global query rows are captured, and any
+    /// global-duty ops whose inputs are now complete run. Returns the MAC
+    /// saturation events the token caused.
+    ///
+    /// The session's first `DecodePlan::min_step` tokens must arrive this
+    /// way (they include every global token); longer prompts are allowed
+    /// — their rows simply keep the outputs the prefill computed for
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DecodeCapacity`] past the plan's capacity,
+    /// [`SimError::TokenDim`] on a row-length mismatch, or
+    /// [`SimError::StaleDecodeState`] if `state` was initialized for a
+    /// different plan.
+    #[allow(clippy::too_many_arguments)] // mirrors execute_lowered's surface
+    pub fn prime_token(
+        &self,
+        plan: &DecodePlan,
+        state: &mut DecodeState,
+        q_t: &[f32],
+        k_t: &[f32],
+        v_t: &[f32],
+        scale: f32,
+        scratch: &mut ExecScratch,
+    ) -> Result<u64, SimError> {
+        let before = state.sat.events;
+        self.advance(plan, state, q_t, k_t, v_t, scale, scratch, false)?;
+        Ok(state.sat.events - before)
+    }
+
+    /// Executes one decode step: ingests the token at the next position
+    /// and returns that position's output row, computed through the exact
+    /// prefill datapath (stages 1–5 per op, weighted-sum merges in
+    /// prefill order). Bit-identical to the corresponding causal-prefill
+    /// row.
+    ///
+    /// # Errors
+    ///
+    /// As [`prime_token`](Self::prime_token), plus
+    /// [`SimError::DecodeNotPrimed`] if the prompt has not covered every
+    /// global token yet, and fixed-point errors on numeric degeneracy.
+    #[allow(clippy::too_many_arguments)] // mirrors execute_lowered's surface
+    pub fn execute_step(
+        &self,
+        plan: &DecodePlan,
+        state: &mut DecodeState,
+        q_t: &[f32],
+        k_t: &[f32],
+        v_t: &[f32],
+        scale: f32,
+        scratch: &mut ExecScratch,
+    ) -> Result<StepOutput, SimError> {
+        self.advance(plan, state, q_t, k_t, v_t, scale, scratch, true)
+            .map(|out| out.expect("compute=true always yields a step output"))
+    }
+
+    /// The shared ingest path of [`prime_token`](Self::prime_token) and
+    /// [`execute_step`](Self::execute_step).
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        &self,
+        plan: &DecodePlan,
+        state: &mut DecodeState,
+        q_t: &[f32],
+        k_t: &[f32],
+        v_t: &[f32],
+        scale: f32,
+        scratch: &mut ExecScratch,
+        compute: bool,
+    ) -> Result<Option<StepOutput>, SimError> {
+        if state.poisoned {
+            return Err(SimError::PoisonedDecodeState);
+        }
+        if state.plan_fp != plan.fingerprint() {
+            return Err(SimError::StaleDecodeState { state_n: state.n, plan_n: plan.n() });
+        }
+        let d = state.d;
+        for row in [q_t, k_t, v_t] {
+            if row.len() != d {
+                return Err(SimError::TokenDim { expected: d, got: row.len() });
+            }
+        }
+        let t = state.len;
+        if t >= plan.n() {
+            return Err(SimError::DecodeCapacity { n: plan.n() });
+        }
+        if compute && t < plan.min_step() {
+            return Err(SimError::DecodeNotPrimed { position: t, min_step: plan.min_step() });
+        }
+
+        // Ingest: quantization element-identical to the prefill load
+        // (scale folded into Q). From here on the token is part of the
+        // history — a downstream failure leaves the state inconsistent
+        // (appended K/V, advanced position, possibly half-run global
+        // duties), so it poisons the session until a reset.
+        state.q_step.clear();
+        state.q_step.extend(q_t.iter().map(|&x| Fix8x4::from_f32(x * scale)));
+        state.kq.extend(k_t.iter().map(|&x| Fix8x4::from_f32(x)));
+        state.vq.extend(v_t.iter().map(|&x| Fix8x4::from_f32(x)));
+        if let Ok(gi) = plan.globals.binary_search(&(t as u32)) {
+            state.global_q[gi] = state.q_step.clone();
+        }
+        state.len += 1;
+
+        let result = self.run_token(plan, state, scratch, compute, t);
+        if result.is_err() {
+            state.poisoned = true;
+        }
+        result
+    }
+
+    /// The fallible tail of [`advance`](Self::advance), run after the
+    /// token has been ingested into the history.
+    fn run_token(
+        &self,
+        plan: &DecodePlan,
+        state: &mut DecodeState,
+        scratch: &mut ExecScratch,
+        compute: bool,
+        t: usize,
+    ) -> Result<Option<StepOutput>, SimError> {
+        let d = state.d;
+        // Per-op buffers must match this session's dimension (the scratch
+        // may have served other shapes).
+        if scratch.part.out_q19.len() != d {
+            scratch.part.out_q19.clear();
+            scratch.part.out_q19.resize(d, 0);
+        }
+        if scratch.out32.len() != d {
+            scratch.out32.clear();
+            scratch.out32.resize(d, 0);
+        }
+        scratch.scores.reserve(plan.max_row_keys());
+        scratch.exps.reserve(plan.max_row_keys());
+        scratch.probs.reserve(plan.max_row_keys());
+
+        let (exp, recip) = self.shared_tables();
+        let mut sat = MacSaturation::default();
+
+        // The step's own row, in prefill merge order.
+        let step = if compute {
+            state.acc.weight_q16 = 0;
+            if state.acc.out_q19.len() == d {
+                state.acc.out_q19.fill(0);
+            } else {
+                state.acc.out_q19.clear();
+                state.acc.out_q19.resize(d, 0);
+            }
+            let DecodeState { kq, vq, q_step, acc, .. } = &mut *state;
+            run_decode_ops(
+                exp,
+                recip,
+                plan,
+                plan.step_ops(t),
+                q_step,
+                kq,
+                vq,
+                d,
+                scratch,
+                acc,
+                &mut sat,
+            )?;
+            Some((
+                acc.out_q19.iter().map(|&o| Fix16x8::from_q19_acc(o)).collect::<Vec<_>>(),
+                acc.weight_q16,
+            ))
+        } else {
+            None
+        };
+
+        // Advance the running global-duty partials: run every pending op
+        // whose query row and keys are now all in the history. Gating only
+        // delays ops — never reorders them — so a finished session has
+        // merged exactly the prefill's op sequence.
+        for (gi, program) in plan.global_rows.iter().enumerate() {
+            if (program.token as usize) >= state.len {
+                continue; // the token's own query has not arrived yet
+            }
+            let ops = &plan.ops[program.start as usize..program.end as usize];
+            loop {
+                let cursor = state.global_cursor[gi];
+                if cursor >= ops.len() || program.max_keys[cursor] as usize > t {
+                    break;
+                }
+                let DecodeState { kq, vq, global_q, global_acc, .. } = &mut *state;
+                run_decode_ops(
+                    exp,
+                    recip,
+                    plan,
+                    &ops[cursor..=cursor],
+                    &global_q[gi],
+                    kq,
+                    vq,
+                    d,
+                    scratch,
+                    &mut global_acc[gi],
+                    &mut sat,
+                )?;
+                state.global_cursor[gi] = cursor + 1;
+            }
+        }
+
+        state.sat.merge(sat);
+        Ok(step.map(|(raw, weight_q16)| StepOutput {
+            position: t,
+            output: raw.iter().map(|&r| Fix16x8::to_f32(r)).collect(),
+            raw,
+            weight_q16,
+            saturation_events: sat.events,
+        }))
+    }
+}
+
+/// Stages 1–5 for a slice of decode ops, merged into `acc` in op order —
+/// literally the prefill's per-op executor ([`run_op`]), fed K/V from the
+/// session arenas instead of a full-sequence load, so decode-vs-prefill
+/// bit-identity holds by construction (one shared kernel body).
+#[allow(clippy::too_many_arguments)]
+fn run_decode_ops(
+    exp: &ExpLut,
+    recip: &RecipUnit,
+    plan: &DecodePlan,
+    ops: &[LoweredOp],
+    q_row: &[Fix8x4],
+    kq: &[Fix8x4],
+    vq: &[Fix8x4],
+    d: usize,
+    scratch: &mut ExecScratch,
+    acc: &mut PartialRow,
+    sat: &mut MacSaturation,
+) -> Result<(), SimError> {
+    let ExecScratch { scores, exps, probs, part, out32, .. } = scratch;
+    for op in ops {
+        run_op(
+            exp,
+            recip,
+            op.kind,
+            plan.op_keys(op),
+            q_row,
+            kq,
+            vq,
+            d,
+            (&mut *scores, &mut *exps, &mut *probs, &mut *part, &mut *out32),
+            acc,
+            sat,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AcceleratorConfig;
+    use salo_kernels::Qkv;
+    use salo_patterns::{HybridPattern, Window};
+    use salo_scheduler::HardwareMeta;
+
+    fn accel(rows: usize, cols: usize) -> SpatialAccelerator {
+        let config = AcceleratorConfig {
+            hw: HardwareMeta::new(rows, cols, 1, 1).unwrap(),
+            ..Default::default()
+        };
+        SpatialAccelerator::new(config)
+    }
+
+    fn compile(pattern: &HybridPattern, sim: &SpatialAccelerator) -> (ExecutionPlan, DecodePlan) {
+        let plan = ExecutionPlan::build(pattern, sim.config().hw).unwrap();
+        let lowered = LoweredPlan::lower(&plan);
+        let decode = DecodePlan::lower(&plan, &lowered).unwrap();
+        (plan, decode)
+    }
+
+    /// Drives a complete session over `qkv`, comparing every decoded row
+    /// against the prefill output, and returns the session state.
+    fn decode_all(
+        sim: &SpatialAccelerator,
+        pattern: &HybridPattern,
+        qkv: &Qkv,
+        d: usize,
+    ) -> DecodeState {
+        let (plan, decode) = compile(pattern, sim);
+        let lowered = LoweredPlan::lower(&plan);
+        let scale = SpatialAccelerator::default_scale(d);
+        let prefill = sim
+            .execute_lowered(&lowered, &qkv.q, &qkv.k, &qkv.v, scale, &mut ExecScratch::new())
+            .unwrap();
+
+        let mut state = DecodeState::new(&decode, d);
+        let mut scratch = ExecScratch::new();
+        for t in 0..pattern.n() {
+            let (q, k, v) = (qkv.q.row(t), qkv.k.row(t), qkv.v.row(t));
+            if t < decode.min_step() {
+                sim.prime_token(&decode, &mut state, q, k, v, scale, &mut scratch).unwrap();
+                continue;
+            }
+            let step = sim.execute_step(&decode, &mut state, q, k, v, scale, &mut scratch).unwrap();
+            assert_eq!(step.position, t);
+            let prefill_row: Vec<_> = (0..d).map(|c| prefill.raw.get(t, c)).collect();
+            assert_eq!(step.raw, prefill_row, "row {t} raw outputs");
+            assert_eq!(step.weight_q16, prefill.weights_q16[t], "row {t} weight");
+        }
+        // Global rows have fully caught up and match the prefill bit for
+        // bit.
+        assert_eq!(state.pending_global_ops(&decode), 0);
+        for (gi, &g) in decode.globals().iter().enumerate() {
+            let (raw, weight) = state.global_row_output(gi);
+            let prefill_row: Vec<_> = (0..d).map(|c| prefill.raw.get(g as usize, c)).collect();
+            assert_eq!(raw, prefill_row, "global row {g}");
+            assert_eq!(weight, prefill.weights_q16[g as usize]);
+        }
+        assert_eq!(state.saturation_events(), prefill.report.saturation_events);
+        state
+    }
+
+    #[test]
+    fn causal_window_with_sink_decodes_bit_identically() {
+        let pattern = HybridPattern::builder(40)
+            .window(Window::symmetric(9).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap()
+            .decode_view()
+            .unwrap()
+            .causal_pattern()
+            .clone();
+        let sim = accel(8, 8);
+        let qkv = Qkv::random(40, 8, 7);
+        decode_all(&sim, &pattern, &qkv, 8);
+    }
+
+    #[test]
+    fn dilated_pattern_decodes_bit_identically() {
+        let pattern = HybridPattern::builder(36)
+            .window(Window::dilated(-9, 9, 3).unwrap())
+            .window(Window::causal(4).unwrap())
+            .global_token(0)
+            .global_token(1)
+            .build()
+            .unwrap()
+            .decode_view()
+            .unwrap()
+            .causal_pattern()
+            .clone();
+        let sim = accel(4, 4);
+        let qkv = Qkv::random(36, 4, 23);
+        decode_all(&sim, &pattern, &qkv, 4);
+    }
+
+    #[test]
+    fn windowless_global_only_pattern_decodes() {
+        let pattern = HybridPattern::builder(20).global_token(0).build().unwrap();
+        let sim = accel(4, 4);
+        let qkv = Qkv::random(20, 4, 5);
+        decode_all(&sim, &pattern, &qkv, 4);
+    }
+
+    #[test]
+    fn anticausal_plan_rejected() {
+        let pattern =
+            HybridPattern::builder(24).window(Window::symmetric(7).unwrap()).build().unwrap();
+        let sim = accel(8, 8);
+        let plan = ExecutionPlan::build(&pattern, sim.config().hw).unwrap();
+        let lowered = LoweredPlan::lower(&plan);
+        assert!(matches!(DecodePlan::lower(&plan, &lowered), Err(SimError::AnticausalPlan { .. })));
+    }
+
+    #[test]
+    fn step_guards_capacity_priming_and_dimensions() {
+        let pattern = HybridPattern::builder(8)
+            .window(Window::causal(3).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        let sim = accel(4, 4);
+        let (_, decode) = compile(&pattern, &sim);
+        assert_eq!(decode.min_step(), 1);
+        let mut state = DecodeState::new(&decode, 4);
+        let mut scratch = ExecScratch::new();
+        let row = [0.5f32; 4];
+
+        // Stepping before the prompt covers the global token fails.
+        assert!(matches!(
+            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            Err(SimError::DecodeNotPrimed { position: 0, min_step: 1 })
+        ));
+        // Wrong token dimension fails without mutating the state.
+        let short = [0.5f32; 3];
+        assert!(matches!(
+            sim.prime_token(&decode, &mut state, &short, &row, &row, 0.5, &mut scratch),
+            Err(SimError::TokenDim { expected: 4, got: 3 })
+        ));
+        assert_eq!(state.position(), 0);
+
+        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+        for _ in 1..8 {
+            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+        }
+        // Capacity exhausted.
+        assert!(matches!(
+            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            Err(SimError::DecodeCapacity { n: 8 })
+        ));
+
+        // A state from another plan is refused.
+        let other = HybridPattern::builder(12).window(Window::causal(3).unwrap()).build().unwrap();
+        let (_, other_decode) = compile(&other, &sim);
+        assert!(matches!(
+            sim.execute_step(&other_decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            Err(SimError::StaleDecodeState { state_n: 8, plan_n: 12 })
+        ));
+
+        // Even with equal capacity AND equal global count, a different
+        // plan (global at another position, different window) is refused
+        // — the guard compares the program fingerprint, not just shapes.
+        let same_shape = HybridPattern::builder(8)
+            .window(Window::causal(2).unwrap())
+            .global_token(3)
+            .build()
+            .unwrap();
+        let (_, same_shape_decode) = compile(&same_shape, &sim);
+        assert_ne!(decode.fingerprint(), same_shape_decode.fingerprint());
+        let mut state = DecodeState::new(&decode, 4);
+        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+        assert!(matches!(
+            sim.execute_step(&same_shape_decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            Err(SimError::StaleDecodeState { state_n: 8, plan_n: 8 })
+        ));
+    }
+
+    #[test]
+    fn poisoned_state_rejects_advances_until_reset() {
+        // A step that fails after its token entered the history leaves
+        // the state inconsistent (appended K/V, advanced position):
+        // every further advance must be refused, validation errors must
+        // NOT poison (they precede the mutation), and reset() recovers.
+        let pattern = HybridPattern::builder(8)
+            .window(Window::causal(3).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        let sim = accel(4, 4);
+        let (_, decode) = compile(&pattern, &sim);
+        let mut state = DecodeState::new(&decode, 4);
+        let mut scratch = ExecScratch::new();
+        let row = [0.5f32; 4];
+
+        // Validation failures leave the state clean and usable.
+        let short = [0.5f32; 3];
+        assert!(sim
+            .prime_token(&decode, &mut state, &short, &row, &row, 0.5, &mut scratch)
+            .is_err());
+        assert!(!state.is_poisoned());
+        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+        sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+
+        // A mid-step failure poisons: both step and prime are refused.
+        state.poisoned = true;
+        let position = state.position();
+        assert!(matches!(
+            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            Err(SimError::PoisonedDecodeState)
+        ));
+        assert!(matches!(
+            sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            Err(SimError::PoisonedDecodeState)
+        ));
+        assert_eq!(state.position(), position, "refused advances do not move the session");
+
+        // Reset rebinds the state to a clean, decodable session.
+        state.reset(&decode, 4);
+        assert!(!state.is_poisoned());
+        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+        sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+    }
+
+    #[test]
+    fn reset_state_is_bit_transparent_across_shapes() {
+        let sim = accel(4, 4);
+        let a = HybridPattern::builder(24)
+            .window(Window::causal(5).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        let b = HybridPattern::builder(16).window(Window::causal(9).unwrap()).build().unwrap();
+        let (_, da) = compile(&a, &sim);
+        let (_, db) = compile(&b, &sim);
+
+        // Run a on a fresh state, then b and a again on a reused one.
+        let qkv_a = Qkv::random(24, 4, 1);
+        let qkv_b = Qkv::random(16, 6, 2);
+        let fresh = decode_all(&sim, &a, &qkv_a, 4);
+
+        let mut state = DecodeState::new(&db, 6);
+        let mut scratch = ExecScratch::new();
+        let scale = SpatialAccelerator::default_scale(6);
+        for t in 0..16 {
+            sim.execute_step(
+                &db,
+                &mut state,
+                qkv_b.q.row(t),
+                qkv_b.k.row(t),
+                qkv_b.v.row(t),
+                scale,
+                &mut scratch,
+            )
+            .unwrap();
+        }
+        state.reset(&da, 4);
+        let scale = SpatialAccelerator::default_scale(4);
+        sim.prime_token(
+            &da,
+            &mut state,
+            qkv_a.q.row(0),
+            qkv_a.k.row(0),
+            qkv_a.v.row(0),
+            scale,
+            &mut scratch,
+        )
+        .unwrap();
+        for t in 1..24 {
+            sim.execute_step(
+                &da,
+                &mut state,
+                qkv_a.q.row(t),
+                qkv_a.k.row(t),
+                qkv_a.v.row(t),
+                scale,
+                &mut scratch,
+            )
+            .unwrap();
+        }
+        let (raw_reused, w_reused) = state.global_row_output(0);
+        let (raw_fresh, w_fresh) = fresh.global_row_output(0);
+        assert_eq!(raw_reused, raw_fresh, "reused state diverged from fresh");
+        assert_eq!(w_reused, w_fresh);
+        assert_eq!(state.saturation_events(), fresh.saturation_events());
+    }
+}

@@ -74,16 +74,16 @@ pub struct ExecScratch {
     /// Quantized values, `n * d` row-major.
     vq: Vec<Fix8x4>,
     /// Stage-1 scores of the current op.
-    scores: Vec<i32>,
+    pub(crate) scores: Vec<i32>,
     /// Stage-2 exponentials of the current op.
-    exps: Vec<i64>,
+    pub(crate) exps: Vec<i64>,
     /// Stage-4 probabilities of the current op.
-    probs: Vec<u16>,
+    pub(crate) probs: Vec<u16>,
     /// Stage-5 accumulator: the part produced by the current op.
-    part: PartialRow,
+    pub(crate) part: PartialRow,
     /// 32-bit stage-5 accumulation buffer (ops short enough that the
     /// chain provably fits `i32` — every array-shaped op).
-    out32: Vec<i32>,
+    pub(crate) out32: Vec<i32>,
     /// Per-row weighted-sum accumulators (the WSM state).
     acc: Vec<PartialRow>,
 }
@@ -149,7 +149,7 @@ impl ExecScratch {
 
     /// Row `i` of a flat `d`-strided arena.
     #[inline]
-    fn row(arena: &[Fix8x4], i: usize, d: usize) -> &[Fix8x4] {
+    pub(crate) fn row(arena: &[Fix8x4], i: usize, d: usize) -> &[Fix8x4] {
         &arena[i * d..(i + 1) * d]
     }
 }
@@ -367,49 +367,20 @@ impl SpatialAccelerator {
     ) -> Result<(), SimError> {
         let ExecScratch { qq, kq, vq, scores, exps, probs, part, out32, acc } = scratch;
         for op in &lowered.ops()[range] {
-            let keys = lowered.op_keys(op);
             let q_row = ExecScratch::row(qq, op.dest as usize, d);
-            match op.kind {
-                LoweredOpKind::Row => {
-                    // Stage 1: output-stationary dot products.
-                    scores.clear();
-                    scores.extend(
-                        keys.iter()
-                            .map(|&j| qk_dot(q_row, ExecScratch::row(kq, j as usize, d), sat)),
-                    );
-                    // Stages 2-4: exp, row sum, reciprocal, normalize.
-                    let (weight, _) =
-                        fixed_softmax_parts_into(scores, &self.exp, &self.recip, exps, probs)?;
-                    // Stage 5: weight-stationary value accumulation. Short
-                    // chains (every array-shaped op) accumulate in i32 —
-                    // bit-identical, twice the vector lanes.
-                    part.weight_q16 = weight;
-                    if keys.len() <= SV_I32_SAFE_KEYS {
-                        out32.fill(0);
-                        for (&j, &p) in keys.iter().zip(probs.iter()) {
-                            sv_row_mac_i32(out32, p, ExecScratch::row(vq, j as usize, d));
-                        }
-                        for (o, &o32) in part.out_q19.iter_mut().zip(out32.iter()) {
-                            *o = i64::from(o32);
-                        }
-                    } else {
-                        part.out_q19.fill(0);
-                        for (&j, &p) in keys.iter().zip(probs.iter()) {
-                            sv_row_mac(&mut part.out_q19, p, ExecScratch::row(vq, j as usize, d));
-                        }
-                    }
-                }
-                LoweredOpKind::SingleKey => {
-                    // A global PE column/row cell: weight `exp(s)`, output
-                    // `v_g` at probability one.
-                    let g = keys[0] as usize;
-                    let score = qk_dot(q_row, ExecScratch::row(kq, g, d), sat);
-                    part.weight_q16 = self.exp.eval_q8(score);
-                    part.out_q19.fill(0);
-                    sv_row_mac(&mut part.out_q19, PROB_ONE, ExecScratch::row(vq, g, d));
-                }
-            }
-            merge_partials_into(&mut acc[op.dest as usize], part, &self.recip)?;
+            run_op(
+                &self.exp,
+                &self.recip,
+                op.kind,
+                lowered.op_keys(op),
+                q_row,
+                kq,
+                vq,
+                d,
+                (&mut *scores, &mut *exps, &mut *probs, &mut *part, &mut *out32),
+                &mut acc[op.dest as usize],
+                sat,
+            )?;
         }
         Ok(())
     }
@@ -518,6 +489,75 @@ impl SpatialAccelerator {
     pub fn default_scale(head_dim: usize) -> f32 {
         1.0 / (head_dim.max(1) as f32).sqrt()
     }
+}
+
+/// Stages 1–5 for one lowered op, merged into `acc`: output-stationary
+/// dot products, exp/sum/reciprocal/normalize, weight-stationary value
+/// accumulation (i32 fast path for provably short chains), weighted-sum
+/// merge.
+///
+/// This is the **single** arithmetic body executed by both the prefill
+/// pass (`run_ops`, K/V from the full-sequence scratch load) and the
+/// decode step (`run_decode_ops`, K/V from the session arenas) — the
+/// decode-vs-prefill bit-identity guarantee holds by construction
+/// because there is exactly one copy of these kernels to diverge from.
+///
+/// `bufs` is the per-op scratch: `(scores, exps, probs, part, out32)`.
+#[allow(clippy::too_many_arguments)] // the op's full dataflow, spelled out
+pub(crate) fn run_op(
+    exp: &ExpLut,
+    recip: &RecipUnit,
+    kind: LoweredOpKind,
+    keys: &[u32],
+    q_row: &[Fix8x4],
+    kq: &[Fix8x4],
+    vq: &[Fix8x4],
+    d: usize,
+    bufs: (&mut Vec<i32>, &mut Vec<i64>, &mut Vec<u16>, &mut PartialRow, &mut Vec<i32>),
+    acc: &mut PartialRow,
+    sat: &mut MacSaturation,
+) -> Result<(), SimError> {
+    let (scores, exps, probs, part, out32) = bufs;
+    match kind {
+        LoweredOpKind::Row => {
+            // Stage 1: output-stationary dot products.
+            scores.clear();
+            scores.extend(
+                keys.iter().map(|&j| qk_dot(q_row, ExecScratch::row(kq, j as usize, d), sat)),
+            );
+            // Stages 2-4: exp, row sum, reciprocal, normalize.
+            let (weight, _) = fixed_softmax_parts_into(scores, exp, recip, exps, probs)?;
+            // Stage 5: weight-stationary value accumulation. Short chains
+            // (every array-shaped op) accumulate in i32 — bit-identical,
+            // twice the vector lanes.
+            part.weight_q16 = weight;
+            if keys.len() <= SV_I32_SAFE_KEYS {
+                out32.fill(0);
+                for (&j, &p) in keys.iter().zip(probs.iter()) {
+                    sv_row_mac_i32(out32, p, ExecScratch::row(vq, j as usize, d));
+                }
+                for (o, &o32) in part.out_q19.iter_mut().zip(out32.iter()) {
+                    *o = i64::from(o32);
+                }
+            } else {
+                part.out_q19.fill(0);
+                for (&j, &p) in keys.iter().zip(probs.iter()) {
+                    sv_row_mac(&mut part.out_q19, p, ExecScratch::row(vq, j as usize, d));
+                }
+            }
+        }
+        LoweredOpKind::SingleKey => {
+            // A global PE column/row cell: weight `exp(s)`, output `v_g`
+            // at probability one.
+            let g = keys[0] as usize;
+            let score = qk_dot(q_row, ExecScratch::row(kq, g, d), sat);
+            part.weight_q16 = exp.eval_q8(score);
+            part.out_q19.fill(0);
+            sv_row_mac(&mut part.out_q19, PROB_ONE, ExecScratch::row(vq, g, d));
+        }
+    }
+    merge_partials_into(acc, part, recip)?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -27,7 +27,12 @@
 //!   accounting per the five-stage schedule, with pipelined pass overlap
 //!   (the default; matches the paper's >75 % utilization on Longformer)
 //!   or fully serialized passes (ablation), plus the Table 1 power/area
-//!   energy model.
+//!   energy model;
+//! * [`SpatialAccelerator::execute_step`] — *streaming decode*: one
+//!   generated token per call against a session's persistent quantized
+//!   K/V arenas ([`DecodeState`]), through a step-indexed re-bucketing of
+//!   the lowered program ([`DecodePlan`]) that keeps every row
+//!   bit-identical to the causal-prefill oracle.
 //!
 //! Paper-substitution note: SALO's artifact is Chisel RTL synthesized at
 //! 45 nm; its performance numbers come from a cycle-accurate model extended
@@ -42,6 +47,7 @@ mod bandwidth;
 mod buffers;
 mod config;
 mod cycles;
+mod decode;
 mod energy;
 mod error;
 mod exec;
@@ -56,6 +62,7 @@ pub use bandwidth::{bandwidth_report, BandwidthReport, DEFAULT_PORT_BYTES_PER_CY
 pub use buffers::BufferAnalysis;
 pub use config::{AcceleratorConfig, BufferConfig, TimingParams};
 pub use cycles::{CycleBreakdown, CycleModel};
+pub use decode::{DecodePlan, DecodeState, StepOutput};
 pub use energy::{EnergyBreakdown, EnergyModel, OpEnergies};
 pub use error::SimError;
 pub use exec::{ExecScratch, ExecutionOutput, SpatialAccelerator};

@@ -15,8 +15,8 @@
 //! | [`baselines`] | CPU / GPU / Sanger performance and energy models |
 //! | [`models`] | Longformer / ViL / BERT workload configurations |
 //! | [`quant`] | the quantization accuracy study (Table 3) |
-//! | [`core`] | the top-level `Salo` API tying everything together |
-//! | [`serve`] | concurrent serving runtime: plan cache, batching, worker pool |
+//! | [`core`] | the top-level `Salo` API tying everything together, incl. streaming decode sessions |
+//! | [`serve`] | concurrent serving runtime: plan cache, batching, worker pool, pinned decode sessions |
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,676 @@
+//! Streaming-decode integration suite: token-by-token decode is
+//! bit-identical to the causal-prefill oracle, session state survives
+//! worker reuse without leakage, and the serving runtime's pinned decode
+//! sessions reproduce the core session byte for byte.
+
+use salo::core::{DecodeSession, Salo};
+use salo::kernels::Qkv;
+use salo::patterns::{HybridPattern, Window};
+use salo::scheduler::HardwareMeta;
+use salo::serve::{
+    GenerationTraffic, SaloServer, ServeError, ServeOptions, SessionEvent, TokenQkv,
+};
+use salo::sim::AcceleratorConfig;
+
+fn small_salo() -> Salo {
+    let config =
+        AcceleratorConfig { hw: HardwareMeta::new(8, 8, 1, 1).unwrap(), ..Default::default() };
+    Salo::new(config)
+}
+
+/// Deterministic pattern-parameter stream (tiny xorshift; no external
+/// RNG in integration tests).
+struct ParamRng(u64);
+
+impl ParamRng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn pick(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// A random hybrid pattern: one or two windows (possibly dilated),
+/// globals in a prefix so every non-global row is decodable.
+fn random_pattern(rng: &mut ParamRng) -> HybridPattern {
+    let n = rng.pick(20, 48) as usize;
+    let mut builder = HybridPattern::builder(n);
+    let windows = rng.pick(1, 3);
+    for w in 0..windows {
+        let dilation = rng.pick(1, 4) as usize;
+        let width = rng.pick(1, 6) as i64;
+        let span = width * dilation as i64;
+        // The first window always reaches the past; later ones may poke
+        // into the future (exercising the causal clip) or be entirely
+        // future (dropped by it).
+        let lo = if w == 0 { -(rng.pick(1, 8) as i64) - span } else { rng.pick(0, 12) as i64 - 8 };
+        builder = builder.window(Window::dilated(lo, lo + span, dilation).unwrap());
+    }
+    let globals = rng.pick(0, 3) as usize;
+    for g in 0..globals {
+        builder = builder.global_token(g);
+    }
+    builder.build().unwrap()
+}
+
+/// Runs one full decode generation and asserts bit-identity against the
+/// causal-prefill rows: raw outputs, weights, global rows, saturation.
+fn assert_decode_matches_prefill(salo: &Salo, pattern: &HybridPattern, d: usize, seed: u64) {
+    let mut session = salo.decode_session(pattern, d).unwrap();
+    let n = session.capacity();
+    let qkv = Qkv::random(n, d, seed);
+    let prefill = salo.execute_head(session.compiled(), &qkv).unwrap();
+
+    session.prime_rows(&qkv, 0..session.min_step()).unwrap();
+    for t in session.min_step()..n {
+        let step = session.step(qkv.q.row(t), qkv.k.row(t), qkv.v.row(t)).unwrap();
+        assert_eq!(step.position, t);
+        let prefill_row: Vec<_> = (0..d).map(|c| prefill.raw.get(t, c)).collect();
+        assert_eq!(step.raw, prefill_row, "step {t} raw output");
+        assert_eq!(step.weight_q16, prefill.weights_q16[t], "step {t} weight");
+    }
+    for (g, raw, weight) in session.global_rows() {
+        let prefill_row: Vec<_> = (0..d).map(|c| prefill.raw.get(g, c)).collect();
+        assert_eq!(raw, prefill_row, "global row {g}");
+        assert_eq!(weight, prefill.weights_q16[g], "global row {g} weight");
+    }
+    assert_eq!(
+        session.saturation_events(),
+        prefill.report.saturation_events,
+        "decode and prefill perform the same MAC chains"
+    );
+}
+
+#[test]
+fn decode_matches_causal_prefill_on_random_hybrid_patterns() {
+    let salo = small_salo();
+    let mut rng = ParamRng(0x5a10_dec0_de01);
+    for case in 0..12 {
+        let pattern = random_pattern(&mut rng);
+        let d = [4, 8][case % 2];
+        assert_decode_matches_prefill(&salo, &pattern, d, 1000 + case as u64);
+    }
+}
+
+#[test]
+fn decode_matches_prefill_under_saturation() {
+    // Oversized inputs overflow the stage-1 accumulator chain; the decode
+    // path must saturate in exactly the same places (equal event counts)
+    // and still produce bit-identical rows.
+    let salo = small_salo();
+    let pattern = HybridPattern::builder(24)
+        .window(Window::causal(6).unwrap())
+        .global_token(0)
+        .build()
+        .unwrap();
+    let mut session = salo.decode_session(&pattern, 8).unwrap();
+    let qkv = Qkv::random(24, 8, 77);
+    // Blow up the magnitudes far past the Q.4 grid.
+    let boom = |m: &salo::kernels::Matrix<f32>| m.map(|x| x * 1e6);
+    let qkv = Qkv::new(boom(&qkv.q), boom(&qkv.k), boom(&qkv.v)).unwrap();
+    let prefill = salo.execute_head(session.compiled(), &qkv).unwrap();
+
+    session.prime_rows(&qkv, 0..1).unwrap();
+    let mut decoded_events = 0;
+    for t in 1..24 {
+        let step = session.step(qkv.q.row(t), qkv.k.row(t), qkv.v.row(t)).unwrap();
+        decoded_events += step.saturation_events;
+        let row: Vec<_> = (0..8).map(|c| prefill.raw.get(t, c)).collect();
+        assert_eq!(step.raw, row, "saturating step {t}");
+    }
+    // Note: with d = 8 the stage-1 fast path cannot overflow; saturation
+    // counting is still exercised end to end and must agree exactly.
+    assert_eq!(
+        session.saturation_events(),
+        prefill.report.saturation_events,
+        "cumulative saturation (decoded {decoded_events} during steps)"
+    );
+}
+
+#[test]
+fn longer_prompts_skip_rows_but_keep_later_steps_identical() {
+    // Priming past min_step is allowed (a real prompt); the skipped rows
+    // get no decode output, and every later step still matches prefill.
+    let salo = small_salo();
+    let pattern = HybridPattern::builder(32)
+        .window(Window::symmetric(7).unwrap())
+        .global_token(0)
+        .build()
+        .unwrap();
+    let mut session = salo.decode_session(&pattern, 8).unwrap();
+    let qkv = Qkv::random(32, 8, 11);
+    let prefill = salo.execute_head(session.compiled(), &qkv).unwrap();
+
+    let prompt_len = 10;
+    session.prime_rows(&qkv, 0..prompt_len).unwrap();
+    assert_eq!(session.position(), prompt_len);
+    for t in prompt_len..32 {
+        let step = session.step(qkv.q.row(t), qkv.k.row(t), qkv.v.row(t)).unwrap();
+        let row: Vec<_> = (0..8).map(|c| prefill.raw.get(t, c)).collect();
+        assert_eq!(step.raw, row, "post-prompt step {t}");
+        assert_eq!(step.weight_q16, prefill.weights_q16[t]);
+    }
+    // The global row still catches up completely.
+    let (g, raw, weight) = session.global_rows().remove(0);
+    assert_eq!(g, 0);
+    assert_eq!(raw, (0..8).map(|c| prefill.raw.get(0, c)).collect::<Vec<_>>());
+    assert_eq!(weight, prefill.weights_q16[0]);
+}
+
+#[test]
+fn interleaved_sessions_do_not_leak_state() {
+    // Two sessions of different shapes decoded in lockstep, then the same
+    // two decoded in isolation: all four must agree step for step. This
+    // is the no-stale-arena property a worker switching sessions relies
+    // on.
+    let salo = small_salo();
+    let pat_a = HybridPattern::builder(30)
+        .window(Window::causal(7).unwrap())
+        .global_token(0)
+        .build()
+        .unwrap();
+    let pat_b =
+        HybridPattern::builder(22).window(Window::dilated(-9, -1, 2).unwrap()).build().unwrap();
+    let qkv_a = Qkv::random(30, 8, 1);
+    let qkv_b = Qkv::random(22, 4, 2);
+
+    let run_isolated = |pattern: &HybridPattern, qkv: &Qkv, d: usize| {
+        let mut s = salo.decode_session(pattern, d).unwrap();
+        s.prime_rows(qkv, 0..s.min_step()).unwrap();
+        (s.min_step()..s.capacity())
+            .map(|t| s.step(qkv.q.row(t), qkv.k.row(t), qkv.v.row(t)).unwrap())
+            .collect::<Vec<_>>()
+    };
+    let solo_a = run_isolated(&pat_a, &qkv_a, 8);
+    let solo_b = run_isolated(&pat_b, &qkv_b, 4);
+
+    let mut sa = salo.decode_session(&pat_a, 8).unwrap();
+    let mut sb = salo.decode_session(&pat_b, 4).unwrap();
+    sa.prime_rows(&qkv_a, 0..sa.min_step()).unwrap();
+    sb.prime_rows(&qkv_b, 0..sb.min_step()).unwrap();
+    let mut ia = 0;
+    let mut ib = 0;
+    for round in 0.. {
+        let mut progressed = false;
+        let ta = sa.min_step() + ia;
+        if ta < sa.capacity() && round % 3 != 2 {
+            let step = sa.step(qkv_a.q.row(ta), qkv_a.k.row(ta), qkv_a.v.row(ta)).unwrap();
+            assert_eq!(step, solo_a[ia], "interleaved A step {ta}");
+            ia += 1;
+            progressed = true;
+        }
+        let tb = sb.min_step() + ib;
+        if tb < sb.capacity() {
+            let step = sb.step(qkv_b.q.row(tb), qkv_b.k.row(tb), qkv_b.v.row(tb)).unwrap();
+            assert_eq!(step, solo_b[ib], "interleaved B step {tb}");
+            ib += 1;
+            progressed = true;
+        }
+        if !progressed && ta >= sa.capacity() {
+            break;
+        }
+    }
+    assert_eq!(ia, solo_a.len());
+    assert_eq!(ib, solo_b.len());
+}
+
+/// Drives one serve session to completion in lockstep, returning every
+/// step's per-head outputs.
+fn drive_serve_session(
+    server: &SaloServer,
+    request: salo::serve::SessionRequest,
+    steps: &[Vec<TokenQkv>],
+) -> (salo::serve::SessionInfo, Vec<salo::serve::DecodeStep>) {
+    let handle = server.open_session(request).unwrap();
+    let info = handle.wait_open().unwrap();
+    let mut outputs = Vec::with_capacity(steps.len());
+    for token in steps {
+        server.step_session(handle.id(), token.clone()).unwrap();
+        outputs.push(handle.next_step().unwrap());
+    }
+    server.close_session(handle.id()).unwrap();
+    match handle.recv().unwrap() {
+        SessionEvent::Closed { position, .. } => {
+            assert_eq!(position, Some(info.capacity), "session ran to capacity");
+        }
+        other => panic!("expected Closed, got {other:?}"),
+    }
+    (info, outputs)
+}
+
+#[test]
+fn serve_sessions_match_core_sessions_and_amortize_plans() {
+    let config = AcceleratorConfig::default();
+    let server =
+        SaloServer::start(config.clone(), ServeOptions { workers: 2, ..Default::default() });
+    let traffic = GenerationTraffic::demo_mix();
+    let salo = Salo::new(config);
+
+    for i in 0..4u64 {
+        let (request, steps) = traffic.session(i);
+        let shape = &traffic.shapes()[(i % traffic.len() as u64) as usize];
+        let (info, outputs) = drive_serve_session(&server, request.clone(), &steps);
+        assert_eq!(info.capacity, shape.pattern.n());
+        assert_eq!(info.position, shape.prompt_len);
+        if i >= traffic.len() as u64 {
+            assert!(info.cache_hit, "session {i} should reuse a cached plan");
+        }
+
+        // The oracle: one core decode session per head over the same
+        // inputs.
+        for h in 0..shape.num_heads {
+            let mut core = salo.decode_session(&shape.pattern, shape.head_dim).unwrap();
+            core.prime_rows(&request.prompt[h], 0..shape.prompt_len).unwrap();
+            for (s, token) in steps.iter().enumerate() {
+                let expect = core.step(&token[h].q, &token[h].k, &token[h].v).unwrap();
+                let got = &outputs[s].heads[h];
+                assert_eq!(got.raw, expect.raw, "session {i} head {h} step {s}");
+                assert_eq!(got.weight_q16, expect.weight_q16);
+            }
+        }
+    }
+    assert_eq!(server.active_sessions(), 0);
+    let report = server.shutdown();
+    assert_eq!(report.decode_sessions, 4);
+    assert_eq!(report.decode_session_errors, 0);
+    let expected_steps: u64 = (0..4u64)
+        .map(|i| traffic.shapes()[(i % traffic.len() as u64) as usize].steps() as u64)
+        .sum();
+    assert_eq!(report.decode_steps, expected_steps);
+    assert_eq!(report.decode_step_errors, 0);
+    assert!(report.decode_step_latency.count > 0);
+}
+
+#[test]
+fn serve_session_errors_are_reported_not_hung() {
+    let server = SaloServer::with_defaults(AcceleratorConfig::default());
+
+    // Unknown ids are rejected synchronously.
+    let token = vec![TokenQkv { q: vec![0.0; 4], k: vec![0.0; 4], v: vec![0.0; 4] }];
+    assert!(matches!(
+        server.step_session(999, token.clone()),
+        Err(ServeError::UnknownSession { session: 999 })
+    ));
+    assert!(matches!(server.close_session(999), Err(ServeError::UnknownSession { .. })));
+
+    // A prompt that does not cover the globals is rejected up front.
+    let pattern = HybridPattern::builder(16)
+        .window(Window::causal(4).unwrap())
+        .global_token(2)
+        .build()
+        .unwrap();
+    let bad = salo::serve::SessionRequest {
+        pattern: pattern.clone(),
+        head_dim: 4,
+        num_heads: 1,
+        prompt: vec![Qkv::random(1, 4, 0)], // needs >= 3 rows
+    };
+    assert!(matches!(server.open_session(bad), Err(ServeError::InvalidRequest { .. })));
+
+    // A malformed step fails via the event channel; whether it kills the
+    // session depends on what it touched. A pre-mutation validation
+    // failure (wrong head count here) leaves every head state untouched,
+    // so the session stays decodable. A failure that desynced the heads
+    // (head 0 advanced, head 1 rejected) poisons it: the runtime drops
+    // it everywhere, so once the client has observed the error the id is
+    // gone — further steps and closes report UnknownSession instead of
+    // being silently swallowed.
+    let good = salo::serve::SessionRequest {
+        pattern,
+        head_dim: 4,
+        num_heads: 2,
+        prompt: vec![Qkv::random(3, 4, 0), Qkv::random(3, 4, 1)],
+    };
+    let handle = server.open_session(good).unwrap();
+    let info = handle.wait_open().unwrap();
+    assert_eq!(info.min_step, 3);
+    let tok = || TokenQkv { q: vec![0.1; 4], k: vec![0.1; 4], v: vec![0.1; 4] };
+    let short = || TokenQkv { q: vec![0.1; 2], k: vec![0.1; 2], v: vec![0.1; 2] };
+
+    // Wrong head count: recoverable, the session keeps serving.
+    server.step_session(handle.id(), vec![tok()]).unwrap();
+    assert!(handle.next_step().is_err(), "head-count mismatch surfaces as a step error");
+    server.step_session(handle.id(), vec![tok(), tok()]).unwrap();
+    assert!(handle.next_step().is_ok(), "an intact session keeps decoding after the error");
+
+    // Mixed dimensions: head 0 advances, head 1 does not — desync.
+    server.step_session(handle.id(), vec![tok(), short()]).unwrap();
+    assert!(handle.next_step().is_err(), "dimension mismatch surfaces as a step error");
+    assert!(matches!(handle.recv().unwrap(), SessionEvent::Closed { .. }), "poison closes");
+    assert_eq!(server.active_sessions(), 0, "the poisoned session is deregistered");
+    assert!(matches!(
+        server.step_session(handle.id(), token),
+        Err(ServeError::UnknownSession { .. })
+    ));
+    assert!(matches!(server.close_session(handle.id()), Err(ServeError::UnknownSession { .. })));
+    let report = server.shutdown();
+    assert_eq!(report.decode_step_errors, 2, "the recoverable and the poisoning failures");
+}
+
+#[test]
+fn steps_racing_a_poisoning_failure_error_instead_of_hanging() {
+    // A step already accepted when its session is poisoned must still
+    // produce an event (the client may be blocking on it); it must never
+    // be silently swallowed.
+    let server = SaloServer::start(
+        AcceleratorConfig::default(),
+        ServeOptions { workers: 1, ..Default::default() },
+    );
+    let pattern = HybridPattern::builder(16).window(Window::causal(4).unwrap()).build().unwrap();
+    let request = salo::serve::SessionRequest {
+        pattern,
+        head_dim: 4,
+        num_heads: 2,
+        prompt: vec![Qkv::random(2, 4, 7), Qkv::random(2, 4, 8)],
+    };
+    let handle = server.open_session(request).unwrap();
+    handle.wait_open().unwrap();
+
+    let full = || TokenQkv { q: vec![0.1; 4], k: vec![0.1; 4], v: vec![0.1; 4] };
+    let short = || TokenQkv { q: vec![0.1; 2], k: vec![0.1; 2], v: vec![0.1; 2] };
+    // Head 0 advances, head 1 is rejected: the desync poisons.
+    let bad = vec![full(), short()];
+    let good = vec![full(), full()];
+    server.step_session(handle.id(), bad).unwrap();
+    // Submitted before the poison propagates, the second step is either
+    // rejected up front (the worker already deregistered the session) or
+    // accepted and then failed wherever it is caught — but never dropped
+    // without an event.
+    let second_accepted = match server.step_session(handle.id(), good) {
+        Ok(()) => true,
+        Err(ServeError::UnknownSession { .. }) => false,
+        Err(other) => panic!("unexpected rejection: {other}"),
+    };
+    // Drain to the terminal Closed event — every recv here must complete
+    // (a hang is the bug), and Closed is the point past which a client
+    // owes no more waiting, whatever happened to steps racing the poison.
+    let mut step_errors = 0;
+    loop {
+        match handle.recv().unwrap() {
+            SessionEvent::Step { result, .. } => {
+                assert!(result.is_err(), "both steps fail");
+                step_errors += 1;
+            }
+            SessionEvent::Closed { .. } => break,
+            SessionEvent::Opened { .. } => panic!("handshake already consumed"),
+        }
+    }
+    assert!(step_errors >= 1, "the poisoning step always reports");
+    // The poisoning step always counts as an error; the racing one either
+    // errors (it reached the worker) or is dropped as a benign race once
+    // the route was reaped — never more than the accepted steps.
+    let report = server.shutdown();
+    let errors = report.decode_step_errors;
+    assert!(
+        (1..=1 + u64::from(second_accepted)).contains(&errors),
+        "step errors {errors} outside the accepted range"
+    );
+}
+
+#[test]
+fn decode_plan_cache_is_head_count_independent() {
+    // The compiled causal plan does not depend on the head count (state
+    // is per head, the program is not), so sessions differing only in
+    // num_heads must share one cache entry.
+    let server = SaloServer::with_defaults(AcceleratorConfig::default());
+    let pattern = HybridPattern::builder(16)
+        .window(Window::causal(4).unwrap())
+        .global_token(0)
+        .build()
+        .unwrap();
+    let one = salo::serve::SessionRequest {
+        pattern: pattern.clone(),
+        head_dim: 4,
+        num_heads: 1,
+        prompt: vec![Qkv::random(3, 4, 0)],
+    };
+    let two = salo::serve::SessionRequest {
+        pattern,
+        head_dim: 4,
+        num_heads: 2,
+        prompt: vec![Qkv::random(3, 4, 1), Qkv::random(3, 4, 2)],
+    };
+    let wide = salo::serve::SessionRequest {
+        pattern: two.pattern.clone(),
+        head_dim: 8,
+        num_heads: 1,
+        prompt: vec![Qkv::random(3, 8, 3)],
+    };
+    let h1 = server.open_session(one).unwrap();
+    assert!(!h1.wait_open().unwrap().cache_hit);
+    let h2 = server.open_session(two).unwrap();
+    assert!(h2.wait_open().unwrap().cache_hit, "head count must not change the plan key");
+    let h3 = server.open_session(wide).unwrap();
+    assert!(h3.wait_open().unwrap().cache_hit, "head dimension must not change the plan key");
+    for h in [&h1, &h2, &h3] {
+        server.close_session(h.id()).unwrap();
+    }
+    let _ = server.shutdown();
+}
+
+#[test]
+fn steps_accepted_before_close_still_execute() {
+    // Queue order is authoritative: a step accepted before close_session
+    // executes and delivers its output, even though the close's registry
+    // removal (on the caller thread) lands before the dispatcher sees
+    // the queued step.
+    let server = SaloServer::start(
+        AcceleratorConfig::default(),
+        ServeOptions { workers: 1, ..Default::default() },
+    );
+    let traffic = GenerationTraffic::demo_mix();
+    let (request, steps) = traffic.session(0);
+    let prompt_len = traffic.shapes()[0].prompt_len;
+    let handle = server.open_session(request).unwrap();
+    handle.wait_open().unwrap();
+
+    server.step_session(handle.id(), steps[0].clone()).unwrap();
+    server.close_session(handle.id()).unwrap(); // before draining events
+    let step = handle.next_step().expect("the accepted step must execute");
+    assert_eq!(step.position, prompt_len);
+    assert!(matches!(handle.recv().unwrap(), SessionEvent::Closed { .. }));
+
+    let report = server.shutdown();
+    assert_eq!(report.decode_steps, 1);
+    assert_eq!(report.decode_step_errors, 0, "no retroactive failure");
+}
+
+#[test]
+fn sessions_spread_across_workers() {
+    // Pinning weighs live sessions, not just transient queue depth:
+    // sessions opened back to back on an idle pool must not all land on
+    // worker 0.
+    let server = SaloServer::start(
+        AcceleratorConfig::default(),
+        ServeOptions { workers: 2, ..Default::default() },
+    );
+    let traffic = GenerationTraffic::demo_mix();
+    let mut handles = Vec::new();
+    let mut workers = Vec::new();
+    for i in 0..4u64 {
+        let (request, _) = traffic.session(i);
+        let handle = server.open_session(request).unwrap();
+        workers.push(handle.wait_open().unwrap().worker);
+        handles.push(handle); // keep the session open so it stays pinned
+    }
+    assert_eq!(workers, vec![0, 1, 0, 1], "round-robin under equal pinned load");
+    for handle in &handles {
+        server.close_session(handle.id()).unwrap();
+    }
+    let _ = server.shutdown();
+}
+
+#[test]
+fn retired_sessions_free_their_placement_slot() {
+    // A poisoned session's dispatcher route is reaped, so it neither
+    // leaks nor counts against its worker when later sessions are placed.
+    let server = SaloServer::start(
+        AcceleratorConfig::default(),
+        ServeOptions { workers: 2, ..Default::default() },
+    );
+    let traffic = GenerationTraffic::demo_mix();
+    let (request, _) = traffic.session(0);
+    let poisoned = server.open_session(request.clone()).unwrap();
+    assert_eq!(poisoned.wait_open().unwrap().worker, 0);
+    // Head 0 advances, head 1 is rejected: the desync poisons the
+    // session (demo shape 0 has head_dim 32, num_heads 2).
+    let d = traffic.shapes()[0].head_dim;
+    let bad = vec![
+        TokenQkv { q: vec![0.1; d], k: vec![0.1; d], v: vec![0.1; d] },
+        TokenQkv { q: vec![0.1; 1], k: vec![0.1; 1], v: vec![0.1; 1] },
+    ];
+    server.step_session(poisoned.id(), bad).unwrap();
+    assert!(poisoned.next_step().is_err());
+    assert!(matches!(poisoned.recv().unwrap(), SessionEvent::Closed { .. }));
+
+    // The dead session's route must not occupy worker 0's slot.
+    let a = server.open_session(request.clone()).unwrap();
+    let b = server.open_session(request).unwrap();
+    assert_eq!(a.wait_open().unwrap().worker, 0, "the poisoned session's slot was reaped");
+    assert_eq!(b.wait_open().unwrap().worker, 1);
+    server.close_session(a.id()).unwrap();
+    server.close_session(b.id()).unwrap();
+    let _ = server.shutdown();
+}
+
+#[test]
+fn failed_opens_deregister_the_session() {
+    // An open that passes front-end validation but fails asynchronously
+    // (here: the pattern needs global units the configured instance does
+    // not have) must not leak its id: once the failed handshake is
+    // observed, the session does not count as active and steps to it are
+    // rejected rather than silently dropped.
+    let mut config = AcceleratorConfig::default();
+    config.hw.global_rows = 0;
+    config.hw.global_cols = 0;
+    let server = SaloServer::with_defaults(config);
+    let pattern = HybridPattern::builder(16)
+        .window(Window::causal(4).unwrap())
+        .global_token(1)
+        .build()
+        .unwrap();
+    let request = salo::serve::SessionRequest {
+        pattern,
+        head_dim: 4,
+        num_heads: 1,
+        prompt: vec![Qkv::random(3, 4, 0)],
+    };
+    let handle = server.open_session(request).unwrap();
+    assert!(handle.wait_open().is_err(), "no global units: the open must fail");
+    assert_eq!(server.active_sessions(), 0, "failed opens must not leak");
+    let token = vec![TokenQkv { q: vec![0.0; 4], k: vec![0.0; 4], v: vec![0.0; 4] }];
+    assert!(matches!(
+        server.step_session(handle.id(), token),
+        Err(ServeError::UnknownSession { .. })
+    ));
+    assert!(matches!(server.close_session(handle.id()), Err(ServeError::UnknownSession { .. })));
+    let report = server.shutdown();
+    assert_eq!(report.decode_sessions, 1);
+    assert_eq!(report.decode_session_errors, 1);
+    assert_eq!(report.decode_steps, 0, "no step ever reached the runtime");
+}
+
+#[test]
+fn mixed_layer_and_decode_traffic_share_the_runtime() {
+    // Layer requests and decode sessions interleave on the same pool;
+    // ordered layer delivery and per-session step order both hold.
+    let server = SaloServer::start(
+        AcceleratorConfig::default(),
+        ServeOptions { workers: 2, max_batch: 4, ..Default::default() },
+    );
+    let layers = salo::serve::TrafficMix::demo_mix();
+    let generation = GenerationTraffic::demo_mix();
+    let (request, steps) = generation.session(0);
+
+    let handle = server.open_session(request).unwrap();
+    for i in 0..6 {
+        server.submit(layers.request(i)).unwrap();
+    }
+    handle.wait_open().unwrap();
+    for (s, token) in steps.iter().enumerate() {
+        server.step_session(handle.id(), token.clone()).unwrap();
+        let step = handle.next_step().unwrap();
+        assert_eq!(step.position, generation.shapes()[0].prompt_len + s);
+    }
+    for i in 0..6 {
+        let response = server.recv().unwrap();
+        assert_eq!(response.id, i, "layer responses stay ordered");
+        assert!(response.result.is_ok());
+    }
+    server.close_session(handle.id()).unwrap();
+    let report = server.shutdown();
+    assert_eq!(report.requests, 6);
+    assert_eq!(report.decode_sessions, 1);
+    assert_eq!(report.decode_steps, generation.shapes()[0].steps() as u64);
+}
+
+#[test]
+fn pinned_worker_switches_sessions_without_stale_state() {
+    // A single-worker pool forces every session through one thread (one
+    // scratch, session map churn); outputs must equal the multi-session
+    // core oracle exactly.
+    let config = AcceleratorConfig::default();
+    let server =
+        SaloServer::start(config.clone(), ServeOptions { workers: 1, ..Default::default() });
+    let traffic = GenerationTraffic::demo_mix();
+    let salo = Salo::new(config);
+
+    // Open both shapes at once so the worker holds two live sessions and
+    // alternates between them.
+    let (req_a, steps_a) = traffic.session(0);
+    let (req_b, steps_b) = traffic.session(1);
+    let ha = server.open_session(req_a.clone()).unwrap();
+    let hb = server.open_session(req_b.clone()).unwrap();
+    let ia = ha.wait_open().unwrap();
+    let ib = hb.wait_open().unwrap();
+    assert_eq!((ia.worker, ib.worker), (0, 0), "single worker hosts both sessions");
+
+    let mut core_a: Vec<DecodeSession> = (0..req_a.num_heads)
+        .map(|h| {
+            let mut s = salo
+                .decode_session(&traffic.shapes()[0].pattern, traffic.shapes()[0].head_dim)
+                .unwrap();
+            s.prime_rows(&req_a.prompt[h], 0..traffic.shapes()[0].prompt_len).unwrap();
+            s
+        })
+        .collect();
+    let mut core_b: Vec<DecodeSession> = (0..req_b.num_heads)
+        .map(|h| {
+            let mut s = salo
+                .decode_session(&traffic.shapes()[1].pattern, traffic.shapes()[1].head_dim)
+                .unwrap();
+            s.prime_rows(&req_b.prompt[h], 0..traffic.shapes()[1].prompt_len).unwrap();
+            s
+        })
+        .collect();
+
+    let rounds = steps_a.len().max(steps_b.len());
+    for s in 0..rounds {
+        if let Some(token) = steps_a.get(s) {
+            server.step_session(ha.id(), token.clone()).unwrap();
+            let got = ha.next_step().unwrap();
+            for (h, core) in core_a.iter_mut().enumerate() {
+                let expect = core.step(&token[h].q, &token[h].k, &token[h].v).unwrap();
+                assert_eq!(got.heads[h].raw, expect.raw, "A step {s} head {h}");
+            }
+        }
+        if let Some(token) = steps_b.get(s) {
+            server.step_session(hb.id(), token.clone()).unwrap();
+            let got = hb.next_step().unwrap();
+            for (h, core) in core_b.iter_mut().enumerate() {
+                let expect = core.step(&token[h].q, &token[h].k, &token[h].v).unwrap();
+                assert_eq!(got.heads[h].raw, expect.raw, "B step {s} head {h}");
+            }
+        }
+    }
+    server.close_session(ha.id()).unwrap();
+    server.close_session(hb.id()).unwrap();
+    let report = server.shutdown();
+    assert_eq!(report.decode_sessions, 2);
+    assert_eq!(report.decode_step_errors, 0);
+}
