@@ -8,11 +8,12 @@
 //! against the pre-PR datapath (≥ 2x required).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use salo_core::Salo;
+use salo_core::{AttentionRequest, Engine, PatternHandle, Salo};
 use salo_kernels::Qkv;
 use salo_models::{bert_base, longformer_layer, vil_stage1, Workload};
 use salo_sim::{ExecScratch, LoweredPlan, SpatialAccelerator};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn shapes() -> Vec<(&'static str, Workload)> {
     vec![
@@ -51,6 +52,61 @@ fn bench_execute_lowered(c: &mut Criterion) {
     group.finish();
 }
 
+/// The abstraction-overhead guard of the unified engine API: the same
+/// longformer-2048-w256 head executed through `execute_lowered` directly
+/// and through `Engine::execute(AttentionRequest::Prefill)`. The engine
+/// path adds request construction (one `Arc` clone of the plan handle,
+/// one owned copy of the head tensors) and response boxing on top of the
+/// identical datapath; the two entries must stay within 1% of each other
+/// (~24 ms of compute vs ~0.1 ms of request plumbing — see
+/// EXPERIMENTS.md, "Engine dispatch overhead").
+fn bench_engine_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_engine_dispatch");
+    group.sample_size(10);
+    let salo = Salo::default_config();
+    let workload = longformer_layer(2048, 256, 768, 1).expect("longformer");
+    let compiled = Arc::new(salo.compile(&workload.pattern, &workload.shape).expect("compile"));
+    let head = Qkv::random(workload.shape.seq_len, workload.shape.head_dim, 42);
+    let scale = SpatialAccelerator::default_scale(workload.shape.head_dim);
+    // One head through both paths (the plan is per-head; the layer shape
+    // only multiplies the loop).
+    let shape =
+        salo_patterns::AttentionShape::new(workload.shape.seq_len, workload.shape.head_dim, 1)
+            .expect("shape");
+
+    let mut scratch = ExecScratch::new();
+    group.bench_function(BenchmarkId::from_parameter("direct"), |b| {
+        b.iter(|| {
+            let out = salo
+                .accelerator()
+                .execute_lowered(&compiled.lowered, &head.q, &head.k, &head.v, scale, &mut scratch)
+                .expect("execute");
+            black_box(out)
+        })
+    });
+
+    // Requests are consumed by `execute`, so pre-build a pool outside the
+    // timed loop: a serving caller hands the engine tensors it already
+    // owns, and re-cloning 1.5 MB of Q/K/V per iteration would measure
+    // the benchmark harness, not the API.
+    let make_request = || AttentionRequest::Prefill {
+        pattern: PatternHandle::from_plan(Arc::clone(&compiled)),
+        shape,
+        heads: vec![head.clone()],
+    };
+    let mut pool: Vec<_> = (0..32).map(|_| make_request()).collect();
+    let mut engine = salo.engine();
+    group.bench_function(BenchmarkId::from_parameter("engine"), |b| {
+        b.iter(|| {
+            let request = pool.pop().unwrap_or_else(make_request);
+            let out =
+                engine.execute(request).expect("execute").into_prefill().expect("prefill response");
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
 fn bench_lowering(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan_lowering");
     group.sample_size(10);
@@ -64,5 +120,5 @@ fn bench_lowering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_execute_lowered, bench_lowering);
+criterion_group!(benches, bench_execute_lowered, bench_engine_dispatch, bench_lowering);
 criterion_main!(benches);

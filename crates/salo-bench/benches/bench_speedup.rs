@@ -30,8 +30,16 @@ fn bench_functional_execution(c: &mut Criterion) {
     let workload = longformer_layer(512, 64, 64, 1).expect("workload");
     let compiled = salo.compile(&workload.pattern, &workload.shape).expect("plan");
     let head = Qkv::random(512, 64, 3);
+    let scale = salo_sim::SpatialAccelerator::default_scale(64);
+    let mut scratch = salo_sim::ExecScratch::new();
     group.bench_function("longformer_scaled_n512_one_head", |b| {
-        b.iter(|| black_box(salo.execute_head(&compiled, &head).expect("execute")))
+        b.iter(|| {
+            let out = salo
+                .accelerator()
+                .execute_lowered(&compiled.lowered, &head.q, &head.k, &head.v, scale, &mut scratch)
+                .expect("execute");
+            black_box(out)
+        })
     });
     group.finish();
 }

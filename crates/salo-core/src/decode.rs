@@ -296,7 +296,8 @@ mod tests {
 
         // The oracle: one-shot execution of the session's own causal plan.
         let qkv = Qkv::random(n, d, 99);
-        let prefill = salo.execute_head(session.compiled(), &qkv).unwrap();
+        let prefill =
+            salo.run_head(session.compiled(), &qkv, &mut salo_sim::ExecScratch::new()).unwrap();
 
         session.prime_rows(&qkv, 0..1).unwrap();
         for t in 1..n {

@@ -1,0 +1,469 @@
+//! The fixed-point execution backends: [`LoweredEngine`] (fast datapath)
+//! and [`SystolicEngine`] (event-accurate oracle).
+//!
+//! Both engines run the accelerator's exact fixed-point arithmetic over
+//! one shared core ([`FixedCore`]): compiled-plan resolution, a
+//! worker-lifetime [`ExecScratch`], and per-session persistent
+//! [`DecodeState`]s. They differ **only** in the per-head prefill kernel
+//! — the lowered engine walks the flat pass programs, the systolic
+//! engine steps every array pass through the cycle-level
+//! [`SystolicArray`](salo_sim::SystolicArray) — and are bit-identical by
+//! construction (asserted by the root `engines` tests). Every other
+//! request arm is one implementation, so decode dispatch, validation
+//! order and telemetry cannot drift between the two.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use salo_kernels::Qkv;
+use salo_patterns::{AttentionShape, HybridPattern};
+use salo_sim::{
+    DecodePlan, DecodeState, ExecScratch, ExecutionOutput, SimError, SpatialAccelerator, StepOutput,
+};
+
+use crate::engine::{
+    check_open_prompt, check_prefill_heads, AttentionRequest, AttentionResponse, Engine,
+    EngineCaps, HeadOutput, HeadStep, PatternHandle, PrefillOutput, SessionClosed, SessionId,
+    SessionOpened, StepResult, Telemetry, TokenQkv,
+};
+use crate::{salo::compile_with, CompiledPlan, SaloError};
+
+/// One head's prefill execution — the only point where the two
+/// fixed-point engines differ.
+type PrefillKernel = fn(
+    &SpatialAccelerator,
+    &CompiledPlan,
+    &Qkv,
+    f32,
+    &mut ExecScratch,
+) -> Result<ExecutionOutput, SimError>;
+
+/// A decode session resident in a fixed-point engine: the step program
+/// shared by every head, one persistent quantized K/V state per head.
+#[derive(Debug)]
+struct FixedSession {
+    decode: Arc<DecodePlan>,
+    states: Vec<DecodeState>,
+    scale: f32,
+}
+
+impl FixedSession {
+    /// Position the next step will produce (heads advance in lockstep).
+    fn position(&self) -> usize {
+        self.states.first().map_or(0, DecodeState::position)
+    }
+
+    /// Whether the session is still fully consistent after a failed step
+    /// that began at `position`: no head poisoned, no head advanced. Once
+    /// any head advanced while another did not, the heads are desynced
+    /// and the session must be retired.
+    fn is_intact(&self, position: usize) -> bool {
+        self.states.iter().all(|s| !s.is_poisoned() && s.position() == position)
+    }
+}
+
+/// The engine shared by [`LoweredEngine`] and [`SystolicEngine`]:
+/// everything except the per-head prefill kernel, which is injected per
+/// request.
+#[derive(Debug)]
+struct FixedCore {
+    accel: SpatialAccelerator,
+    scratch: ExecScratch,
+    sessions: HashMap<SessionId, FixedSession>,
+}
+
+/// Maps a simulator step error onto the unified API's error taxonomy, so
+/// the fixed-point engines report request-level validation failures the
+/// same way [`ReferenceEngine`](crate::ReferenceEngine) does (capacity
+/// exhaustion and unprimed sessions are `InvalidRequest`, wrong token
+/// rows are `ShapeMismatch`) — backends stay interchangeable on errors,
+/// not just outputs. Everything else (numeric degeneracy, poisoning)
+/// stays a simulator error.
+fn normalize_step_error(e: SimError) -> SaloError {
+    match e {
+        SimError::DecodeCapacity { n } => crate::engine::capacity_error(n),
+        SimError::DecodeNotPrimed { position, min_step } => {
+            crate::engine::not_primed_error(position, min_step)
+        }
+        SimError::TokenDim { expected, got } => {
+            SaloError::ShapeMismatch { expected: (1, expected), got: (1, got) }
+        }
+        other => SaloError::Sim(other),
+    }
+}
+
+impl FixedCore {
+    fn new(accel: SpatialAccelerator) -> Self {
+        Self { accel, scratch: ExecScratch::new(), sessions: HashMap::new() }
+    }
+
+    /// The shared [`Engine::prepare`]: compile for this core's array
+    /// geometry and attach both the pattern and the plan.
+    fn prepare(
+        &self,
+        pattern: &HybridPattern,
+        shape: &AttentionShape,
+    ) -> Result<PatternHandle, SaloError> {
+        let plan = compile_with(self.accel.config().hw, pattern, shape)?;
+        Ok(PatternHandle::new(Arc::new(pattern.clone()), Arc::new(plan)))
+    }
+
+    /// The shared [`Engine::execute`], parameterized by the per-head
+    /// prefill kernel.
+    fn execute(
+        &mut self,
+        name: &'static str,
+        prefill: PrefillKernel,
+        request: AttentionRequest,
+    ) -> Result<AttentionResponse, SaloError> {
+        match request {
+            AttentionRequest::Prefill { pattern, shape, heads } => {
+                check_prefill_heads(&shape, &heads)?;
+                let plan = self.resolve_prefill_plan(name, &pattern, &shape)?;
+                let scale = SpatialAccelerator::default_scale(shape.head_dim);
+                let Self { accel, scratch, .. } = self;
+                let outputs = heads
+                    .iter()
+                    .map(|h| prefill(accel, &plan, h, scale, scratch))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let telemetry = Self::prefill_telemetry(name, &outputs);
+                Ok(AttentionResponse::Prefill(PrefillOutput {
+                    heads: outputs.into_iter().map(fixed_head_output).collect(),
+                    telemetry,
+                }))
+            }
+            AttentionRequest::DecodeOpen { session, pattern, head_dim, num_heads, prompt } => {
+                let opened = self.open(name, session, &pattern, head_dim, num_heads, &prompt)?;
+                Ok(AttentionResponse::DecodeOpened(opened))
+            }
+            AttentionRequest::DecodeStep { session, token } => {
+                Ok(AttentionResponse::DecodeStep(self.step(name, session, &token)?))
+            }
+            AttentionRequest::DecodeClose { session } => {
+                Ok(AttentionResponse::DecodeClosed(self.close(session)?))
+            }
+        }
+    }
+
+    /// Resolves a prefill handle into a compiled plan for this engine's
+    /// configuration: the attached plan when present (shape-checked),
+    /// otherwise a fresh compile of the pattern.
+    fn resolve_prefill_plan(
+        &self,
+        engine: &'static str,
+        handle: &PatternHandle,
+        shape: &AttentionShape,
+    ) -> Result<Arc<CompiledPlan>, SaloError> {
+        if let Some(plan) = handle.plan() {
+            if plan.shape.seq_len != shape.seq_len || plan.shape.head_dim != shape.head_dim {
+                return Err(SaloError::ShapeMismatch {
+                    expected: (plan.shape.seq_len, plan.shape.head_dim),
+                    got: (shape.seq_len, shape.head_dim),
+                });
+            }
+            return Ok(Arc::clone(plan));
+        }
+        let pattern = handle.require_pattern(engine)?;
+        Ok(Arc::new(compile_with(self.accel.config().hw, pattern, shape)?))
+    }
+
+    /// Resolves a decode-open handle into the step program. The attached
+    /// plan (when present) must be causal; otherwise the pattern is
+    /// causally clipped and compiled at the canonical unit shape — the
+    /// decode program depends only on the pattern and the hardware, not
+    /// on head count or head dimension.
+    fn resolve_decode_plan(
+        &self,
+        engine: &'static str,
+        handle: &PatternHandle,
+    ) -> Result<Arc<DecodePlan>, SaloError> {
+        if let Some(plan) = handle.plan() {
+            match plan.decode_plan() {
+                Ok(decode) => return Ok(decode),
+                // The attached plan was compiled from the *uncausal*
+                // pattern (e.g. a prefill handle reused for decode). If
+                // the handle also carries the pattern, clip and compile
+                // below; a plan-only handle has nothing to fall back to.
+                Err(e) => {
+                    if handle.pattern().is_none() {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        let pattern = handle.require_pattern(engine)?;
+        let causal = pattern.decode_view()?.into_causal_pattern();
+        let shape = AttentionShape::new(causal.n(), 1, 1)?;
+        let compiled = compile_with(self.accel.config().hw, &causal, &shape)?;
+        compiled.decode_plan()
+    }
+
+    fn open(
+        &mut self,
+        engine: &'static str,
+        session: SessionId,
+        handle: &PatternHandle,
+        head_dim: usize,
+        num_heads: usize,
+        prompt: &[Qkv],
+    ) -> Result<SessionOpened, SaloError> {
+        if self.sessions.contains_key(&session) {
+            return Err(SaloError::SessionInUse { session });
+        }
+        let decode = self.resolve_decode_plan(engine, handle)?;
+        let prompt_len =
+            check_open_prompt(decode.n(), decode.min_step(), head_dim, num_heads, prompt)?;
+        let scale = SpatialAccelerator::default_scale(head_dim);
+        let mut states: Vec<DecodeState> =
+            (0..num_heads).map(|_| DecodeState::new(&decode, head_dim)).collect();
+        for (state, head) in states.iter_mut().zip(prompt) {
+            for t in 0..prompt_len {
+                self.accel.prime_token(
+                    &decode,
+                    state,
+                    head.q.row(t),
+                    head.k.row(t),
+                    head.v.row(t),
+                    scale,
+                    &mut self.scratch,
+                )?;
+            }
+        }
+        let opened = SessionOpened {
+            session,
+            min_step: decode.min_step(),
+            position: prompt_len,
+            capacity: decode.n(),
+        };
+        self.sessions.insert(session, FixedSession { decode, states, scale });
+        Ok(opened)
+    }
+
+    fn step(
+        &mut self,
+        name: &'static str,
+        session: SessionId,
+        token: &[TokenQkv],
+    ) -> Result<StepResult, SaloError> {
+        let state = self.sessions.get_mut(&session).ok_or(SaloError::UnknownSession { session })?;
+        if token.len() != state.states.len() {
+            // Pre-mutation validation: the session stays decodable.
+            return Err(SaloError::HeadCountMismatch {
+                expected: state.states.len(),
+                got: token.len(),
+            });
+        }
+        let position = state.position();
+        let mut heads = Vec::with_capacity(token.len());
+        let mut result: Result<(), SaloError> = Ok(());
+        for (head_state, tok) in state.states.iter_mut().zip(token) {
+            match self.accel.execute_step(
+                &state.decode,
+                head_state,
+                &tok.q,
+                &tok.k,
+                &tok.v,
+                state.scale,
+                &mut self.scratch,
+            ) {
+                Ok(out) => heads.push(out),
+                Err(e) => {
+                    result = Err(normalize_step_error(e));
+                    break;
+                }
+            }
+        }
+        if let Err(e) = result {
+            // A failure that left any head advanced or poisoned desyncs
+            // the session: retire it so later steps report
+            // `UnknownSession` instead of silently wrong outputs. A
+            // failure caught before any per-head mutation (wrong token
+            // dimension on the first head, capacity exhaustion) leaves
+            // every head in place and the session live.
+            if !state.is_intact(position) {
+                self.sessions.remove(&session);
+            }
+            return Err(e);
+        }
+        let saturation_events = heads.iter().map(|h| h.saturation_events).sum();
+        Ok(StepResult {
+            session,
+            position,
+            heads: heads.into_iter().map(fixed_head_step).collect(),
+            telemetry: Telemetry {
+                engine: name,
+                bit_exact: true,
+                sim_cycles: None,
+                sim_time_s: None,
+                sim_energy_j: None,
+                saturation_events,
+            },
+        })
+    }
+
+    fn close(&mut self, session: SessionId) -> Result<SessionClosed, SaloError> {
+        match self.sessions.remove(&session) {
+            Some(state) => Ok(SessionClosed { session, position: state.position() }),
+            None => Err(SaloError::UnknownSession { session }),
+        }
+    }
+
+    fn prefill_telemetry(name: &'static str, heads: &[ExecutionOutput]) -> Telemetry {
+        Telemetry {
+            engine: name,
+            bit_exact: true,
+            sim_cycles: Some(heads.iter().map(|h| h.report.timing.cycles.total).sum()),
+            sim_time_s: Some(heads.iter().map(|h| h.report.timing.time_s).sum()),
+            sim_energy_j: Some(heads.iter().map(|h| h.report.timing.energy_j).sum()),
+            saturation_events: heads.iter().map(|h| h.report.saturation_events).sum(),
+        }
+    }
+}
+
+/// Converts a simulator [`ExecutionOutput`] into the backend-neutral
+/// [`HeadOutput`] (every fixed-point artifact present).
+fn fixed_head_output(out: ExecutionOutput) -> HeadOutput {
+    HeadOutput {
+        output: out.output,
+        raw: Some(out.raw),
+        weights_q16: Some(out.weights_q16),
+        report: Some(out.report),
+    }
+}
+
+/// Converts a simulator [`StepOutput`] into the backend-neutral
+/// [`HeadStep`].
+fn fixed_head_step(out: StepOutput) -> HeadStep {
+    HeadStep {
+        output: out.output,
+        raw: Some(out.raw),
+        weight_q16: Some(out.weight_q16),
+        saturation_events: out.saturation_events,
+    }
+}
+
+/// The default backend: the allocation-free lowered fixed-point datapath.
+///
+/// Prefill walks the plan's flat pass programs
+/// ([`execute_lowered`](SpatialAccelerator::execute_lowered)) with an
+/// engine-lifetime scratch; decode drives persistent per-head
+/// [`DecodeState`]s through the step programs. This is what the serving
+/// runtime's workers run — one engine per worker thread.
+#[derive(Debug)]
+pub struct LoweredEngine {
+    core: FixedCore,
+}
+
+impl LoweredEngine {
+    /// An engine over `accel` (clones share the lookup tables).
+    #[must_use]
+    pub fn new(accel: SpatialAccelerator) -> Self {
+        Self { core: FixedCore::new(accel) }
+    }
+
+    /// The underlying accelerator.
+    #[must_use]
+    pub fn accelerator(&self) -> &SpatialAccelerator {
+        &self.core.accel
+    }
+}
+
+impl Engine for LoweredEngine {
+    fn name(&self) -> &'static str {
+        "lowered"
+    }
+
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps { supports_decode: true, bit_exact: true, event_accurate: false }
+    }
+
+    fn prepare(
+        &self,
+        pattern: &HybridPattern,
+        shape: &AttentionShape,
+    ) -> Result<PatternHandle, SaloError> {
+        self.core.prepare(pattern, shape)
+    }
+
+    fn execute(&mut self, request: AttentionRequest) -> Result<AttentionResponse, SaloError> {
+        self.core.execute(
+            self.name(),
+            |accel, plan, head, scale, scratch| {
+                accel.execute_lowered(&plan.lowered, &head.q, &head.k, &head.v, scale, scratch)
+            },
+            request,
+        )
+    }
+
+    fn has_session(&self, session: SessionId) -> bool {
+        self.core.sessions.contains_key(&session)
+    }
+
+    fn session_position(&self, session: SessionId) -> Option<usize> {
+        self.core.sessions.get(&session).map(FixedSession::position)
+    }
+}
+
+/// The event-accurate oracle backend.
+///
+/// Prefill steps every array pass through the cycle-level
+/// [`SystolicArray`](salo_sim::SystolicArray) (explicit systolic skew,
+/// rippled row sums) — roughly an order of magnitude more host time than
+/// [`LoweredEngine`], bit-identical by construction. Decode shares the
+/// lowered step kernels (the decode datapath has a single implementation,
+/// itself bit-identical to causal prefill), so `event_accurate` describes
+/// the prefill path.
+#[derive(Debug)]
+pub struct SystolicEngine {
+    core: FixedCore,
+}
+
+impl SystolicEngine {
+    /// An engine over `accel` (clones share the lookup tables).
+    #[must_use]
+    pub fn new(accel: SpatialAccelerator) -> Self {
+        Self { core: FixedCore::new(accel) }
+    }
+
+    /// The underlying accelerator.
+    #[must_use]
+    pub fn accelerator(&self) -> &SpatialAccelerator {
+        &self.core.accel
+    }
+}
+
+impl Engine for SystolicEngine {
+    fn name(&self) -> &'static str {
+        "systolic"
+    }
+
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps { supports_decode: true, bit_exact: true, event_accurate: true }
+    }
+
+    fn prepare(
+        &self,
+        pattern: &HybridPattern,
+        shape: &AttentionShape,
+    ) -> Result<PatternHandle, SaloError> {
+        self.core.prepare(pattern, shape)
+    }
+
+    fn execute(&mut self, request: AttentionRequest) -> Result<AttentionResponse, SaloError> {
+        self.core.execute(
+            self.name(),
+            |accel, plan, head, scale, _scratch| {
+                accel.execute_systolic(&plan.plan, &head.q, &head.k, &head.v, scale)
+            },
+            request,
+        )
+    }
+
+    fn has_session(&self, session: SessionId) -> bool {
+        self.core.sessions.contains_key(&session)
+    }
+
+    fn session_position(&self, session: SessionId) -> Option<usize> {
+        self.core.sessions.get(&session).map(FixedSession::position)
+    }
+}

@@ -1,0 +1,583 @@
+//! The unified engine API: typed attention requests over pluggable
+//! execution backends.
+//!
+//! Every way of running hybrid sparse attention in this repository —
+//! one-shot prefill, streaming decode, the serving runtime's workers —
+//! speaks one request shape: an [`AttentionRequest`] goes into an
+//! [`Engine`], an [`AttentionResponse`] comes out. Backends are
+//! interchangeable objects behind the object-safe [`Engine`] trait, each
+//! describing itself through an [`EngineCaps`] capability descriptor:
+//!
+//! * [`LoweredEngine`] — the fast allocation-free fixed-point datapath
+//!   (the default; what the serving runtime's workers run);
+//! * [`SystolicEngine`] — the event-accurate systolic oracle, bit-identical
+//!   to the lowered engine by construction;
+//! * [`ReferenceEngine`] — plain `f32` softmax attention, the accuracy
+//!   yardstick the fixed-point engines are measured against.
+//!
+//! Comparing backends is a one-liner per engine:
+//!
+//! ```
+//! use salo_core::{AttentionRequest, Engine, Salo};
+//! use salo_kernels::Qkv;
+//! use salo_patterns::{longformer, AttentionShape};
+//!
+//! # fn main() -> Result<(), salo_core::SaloError> {
+//! let salo = Salo::default_config();
+//! let pattern = longformer(64, 8, 1)?;
+//! let shape = AttentionShape::new(64, 8, 1)?;
+//! let heads = Qkv::random_heads(&shape, 7);
+//!
+//! let mut outputs = Vec::new();
+//! for mut engine in salo.all_engines() {
+//!     let handle = engine.prepare(&pattern, &shape)?;
+//!     let request = AttentionRequest::Prefill { pattern: handle, shape, heads: heads.clone() };
+//!     outputs.push(engine.execute(request)?.into_prefill()?);
+//! }
+//! // lowered and systolic agree bit for bit; the reference is the f32 yardstick
+//! assert_eq!(outputs[0].heads[0].raw, outputs[1].heads[0].raw);
+//! assert!(outputs[0].heads[0].output.max_abs_diff(&outputs[2].heads[0].output) < 0.3);
+//! # Ok(())
+//! # }
+//! ```
+
+mod fixed;
+mod reference;
+
+use std::fmt;
+use std::sync::Arc;
+
+use salo_fixed::Fix16x8;
+use salo_kernels::{Matrix, Qkv};
+use salo_patterns::{AttentionShape, HybridPattern};
+use salo_sim::ExecutionReport;
+
+use crate::{CompiledPlan, MultiHeadRun, Salo, SaloError};
+
+pub use fixed::{LoweredEngine, SystolicEngine};
+pub use reference::{reference_head, ReferenceEngine};
+
+/// Identifier of a decode session held inside an engine.
+pub type SessionId = u64;
+
+/// One generated token's inputs for a single head: the query, key and
+/// value rows of the next position (each `head_dim` elements).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenQkv {
+    /// Query row.
+    pub q: Vec<f32>,
+    /// Key row.
+    pub k: Vec<f32>,
+    /// Value row.
+    pub v: Vec<f32>,
+}
+
+impl TokenQkv {
+    /// Extracts row `t` of a full-sequence [`Qkv`] as a token — the demo
+    /// and test form, where the "generated" sequence is known up front.
+    #[must_use]
+    pub fn from_row(qkv: &Qkv, t: usize) -> Self {
+        Self { q: qkv.q.row(t).to_vec(), k: qkv.k.row(t).to_vec(), v: qkv.v.row(t).to_vec() }
+    }
+}
+
+/// What an [`Engine`] can do, and with which fidelity.
+///
+/// The descriptor lets callers pick a backend without knowing its
+/// concrete type: the serving runtime requires `supports_decode`, the
+/// equivalence tests group engines by `bit_exact`, and the timing studies
+/// ask for `event_accurate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// Whether the engine executes streaming-decode requests
+    /// ([`AttentionRequest::DecodeOpen`] / `DecodeStep` / `DecodeClose`).
+    pub supports_decode: bool,
+    /// Whether outputs follow the accelerator's exact fixed-point
+    /// arithmetic: two `bit_exact` engines produce identical raw bits on
+    /// identical requests.
+    pub bit_exact: bool,
+    /// Whether prefill passes are stepped through the event-accurate
+    /// systolic array model (explicit skew, rippled row sums) rather than
+    /// the closed-form lowered program.
+    pub event_accurate: bool,
+}
+
+/// A pattern, optionally paired with a plan pre-compiled for one
+/// accelerator configuration.
+///
+/// The handle is what [`AttentionRequest`]s carry instead of raw
+/// patterns: it lets the serving runtime attach the cache's
+/// [`CompiledPlan`] (so engines skip the scheduler pass) while still
+/// giving pattern-level engines like [`ReferenceEngine`] the exact key
+/// sets. Build one with [`Engine::prepare`] — each engine attaches
+/// whatever it needs — or from parts when the plan is already at hand.
+#[derive(Debug, Clone)]
+pub struct PatternHandle {
+    pattern: Option<Arc<HybridPattern>>,
+    plan: Option<Arc<CompiledPlan>>,
+}
+
+impl PatternHandle {
+    /// A handle carrying only the pattern; engines that need a compiled
+    /// plan will compile it themselves.
+    #[must_use]
+    pub fn from_pattern(pattern: HybridPattern) -> Self {
+        Self { pattern: Some(Arc::new(pattern)), plan: None }
+    }
+
+    /// A handle carrying only a compiled plan — sufficient for the
+    /// fixed-point engines, rejected by pattern-level engines.
+    #[must_use]
+    pub fn from_plan(plan: Arc<CompiledPlan>) -> Self {
+        Self { pattern: None, plan: Some(plan) }
+    }
+
+    /// A handle carrying both the pattern and its compiled plan — what
+    /// the serving runtime builds from its plan cache.
+    #[must_use]
+    pub fn new(pattern: Arc<HybridPattern>, plan: Arc<CompiledPlan>) -> Self {
+        Self { pattern: Some(pattern), plan: Some(plan) }
+    }
+
+    /// The pattern, when the handle carries one.
+    #[must_use]
+    pub fn pattern(&self) -> Option<&Arc<HybridPattern>> {
+        self.pattern.as_ref()
+    }
+
+    /// The pre-compiled plan, when the handle carries one.
+    #[must_use]
+    pub fn plan(&self) -> Option<&Arc<CompiledPlan>> {
+        self.plan.as_ref()
+    }
+
+    /// The pattern, or an [`SaloError::Unsupported`] naming `engine` —
+    /// for engines that cannot work from a compiled plan alone.
+    pub(crate) fn require_pattern(
+        &self,
+        engine: &'static str,
+    ) -> Result<&Arc<HybridPattern>, SaloError> {
+        self.pattern.as_ref().ok_or_else(|| SaloError::Unsupported {
+            engine,
+            reason: "request handle carries no pattern (plan-only handles need a \
+                     fixed-point engine)"
+                .into(),
+        })
+    }
+}
+
+/// A typed attention request — the single entry point every backend
+/// serves.
+///
+/// Prefill is stateless; the three decode variants drive a session whose
+/// state (persistent K/V history, one slot per head) lives inside the
+/// engine under a caller-chosen [`SessionId`].
+#[derive(Debug, Clone)]
+pub enum AttentionRequest {
+    /// Execute all heads of one attention layer.
+    Prefill {
+        /// The hybrid pattern (with or without a pre-compiled plan).
+        pattern: PatternHandle,
+        /// Sequence/head dimensions; `heads.len()` must equal
+        /// `shape.num_heads`.
+        shape: AttentionShape,
+        /// Per-head Q/K/V inputs.
+        heads: Vec<Qkv>,
+    },
+    /// Open a streaming decode session and ingest its prompt.
+    DecodeOpen {
+        /// Caller-chosen session id; must not collide with a live session.
+        session: SessionId,
+        /// The pattern over the session's full capacity (prompt plus
+        /// generated tokens); the engine clips it causally.
+        pattern: PatternHandle,
+        /// Head dimension of every token row.
+        head_dim: usize,
+        /// Number of heads (one persistent state each).
+        num_heads: usize,
+        /// Per-head prompt rows; each head the same length, covering at
+        /// least every global token and leaving capacity to decode.
+        prompt: Vec<Qkv>,
+    },
+    /// Decode one token of an open session (all heads).
+    DecodeStep {
+        /// The session to advance.
+        session: SessionId,
+        /// One [`TokenQkv`] per head.
+        token: Vec<TokenQkv>,
+    },
+    /// Close a session, dropping its state.
+    DecodeClose {
+        /// The session to drop.
+        session: SessionId,
+    },
+}
+
+/// Per-request execution telemetry, tagged with the backend that
+/// produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Telemetry {
+    /// The engine's [`Engine::name`].
+    pub engine: &'static str,
+    /// Whether the outputs follow the accelerator's exact fixed-point
+    /// arithmetic (copied from the engine's [`EngineCaps`]).
+    pub bit_exact: bool,
+    /// Total simulated cycles, when the backend models timing.
+    pub sim_cycles: Option<u64>,
+    /// Simulated wall time in seconds, when the backend models timing.
+    pub sim_time_s: Option<f64>,
+    /// Simulated energy in joules, when the backend models energy.
+    pub sim_energy_j: Option<f64>,
+    /// Fixed-point MAC saturation events (0 for float backends).
+    pub saturation_events: u64,
+}
+
+/// One head's prefill output in backend-neutral form.
+///
+/// Every backend fills `output`; the fixed-point artifacts (`raw`,
+/// `weights_q16`, `report`) are `None` on float backends.
+#[derive(Debug, Clone)]
+pub struct HeadOutput {
+    /// The attention output, dequantized to `f32` (or computed in float).
+    pub output: Matrix<f32>,
+    /// The 16-bit accelerator-format output, on fixed-point backends.
+    pub raw: Option<Matrix<Fix16x8>>,
+    /// Final per-row softmax weights (Q.16), on fixed-point backends.
+    pub weights_q16: Option<Vec<i64>>,
+    /// Timing/energy/saturation report, on backends that model them.
+    pub report: Option<ExecutionReport>,
+}
+
+/// The response to an [`AttentionRequest::Prefill`].
+#[derive(Debug, Clone)]
+pub struct PrefillOutput {
+    /// Per-head outputs, in input order.
+    pub heads: Vec<HeadOutput>,
+    /// Aggregate execution telemetry.
+    pub telemetry: Telemetry,
+}
+
+impl PrefillOutput {
+    /// Concatenates head outputs into the layer output
+    /// (`n x (heads * d)`).
+    #[must_use]
+    pub fn concat_output(&self) -> Matrix<f32> {
+        let n = self.heads.first().map_or(0, |h| h.output.rows());
+        let d = self.heads.first().map_or(0, |h| h.output.cols());
+        Matrix::from_fn(n, self.heads.len() * d, |i, j| self.heads[j / d].output.get(i, j % d))
+    }
+
+    /// Converts to the legacy [`MultiHeadRun`] shape, for callers still on
+    /// the pre-engine API (the serving response keeps this type).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaloError::Unsupported`] when the producing backend did
+    /// not emit the fixed-point artifacts (`raw`, `weights_q16`,
+    /// `report`) the legacy type requires.
+    pub fn into_multi_head_run(self) -> Result<MultiHeadRun, SaloError> {
+        let engine = self.telemetry.engine;
+        let heads = self
+            .heads
+            .into_iter()
+            .map(|h| match (h.raw, h.weights_q16, h.report) {
+                (Some(raw), Some(weights_q16), Some(report)) => {
+                    Ok(salo_sim::ExecutionOutput { raw, output: h.output, weights_q16, report })
+                }
+                _ => Err(SaloError::Unsupported {
+                    engine,
+                    reason: "backend emits no fixed-point artifacts; MultiHeadRun needs them"
+                        .into(),
+                }),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let total_time_s = heads.iter().map(|o| o.report.timing.time_s).sum();
+        let total_energy_j = heads.iter().map(|o| o.report.timing.energy_j).sum();
+        Ok(MultiHeadRun { heads, total_time_s, total_energy_j })
+    }
+}
+
+/// The response to an [`AttentionRequest::DecodeOpen`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOpened {
+    /// The session id now live inside the engine.
+    pub session: SessionId,
+    /// First decodable position (the prompt covers up to here).
+    pub min_step: usize,
+    /// Position the next step will produce (the prompt length).
+    pub position: usize,
+    /// Sequence capacity (prompt plus generated tokens).
+    pub capacity: usize,
+}
+
+/// One head's decode-step output in backend-neutral form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadStep {
+    /// The position's attention output row, in `f32`.
+    pub output: Vec<f32>,
+    /// The 16-bit accelerator-format row, on fixed-point backends.
+    pub raw: Option<Vec<Fix16x8>>,
+    /// The row's softmax weight `W = Σ exp` (Q.16), on fixed-point
+    /// backends.
+    pub weight_q16: Option<i64>,
+    /// MAC saturation events this token caused (0 on float backends).
+    pub saturation_events: u64,
+}
+
+/// The response to an [`AttentionRequest::DecodeStep`]: one generated
+/// token across every head of the session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// The session that advanced.
+    pub session: SessionId,
+    /// The position this step produced.
+    pub position: usize,
+    /// Per-head output rows.
+    pub heads: Vec<HeadStep>,
+    /// Aggregate execution telemetry.
+    pub telemetry: Telemetry,
+}
+
+/// The response to an [`AttentionRequest::DecodeClose`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionClosed {
+    /// The session that was dropped.
+    pub session: SessionId,
+    /// Tokens the session had ingested (prompt plus steps).
+    pub position: usize,
+}
+
+/// The typed response to an [`AttentionRequest`]; variants correspond
+/// one-to-one.
+#[derive(Debug, Clone)]
+pub enum AttentionResponse {
+    /// Response to [`AttentionRequest::Prefill`].
+    Prefill(PrefillOutput),
+    /// Response to [`AttentionRequest::DecodeOpen`].
+    DecodeOpened(SessionOpened),
+    /// Response to [`AttentionRequest::DecodeStep`].
+    DecodeStep(StepResult),
+    /// Response to [`AttentionRequest::DecodeClose`].
+    DecodeClosed(SessionClosed),
+}
+
+impl AttentionResponse {
+    /// Unwraps a prefill response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaloError::ResponseMismatch`] on any other variant.
+    pub fn into_prefill(self) -> Result<PrefillOutput, SaloError> {
+        match self {
+            AttentionResponse::Prefill(out) => Ok(out),
+            other => Err(SaloError::ResponseMismatch { got: other.variant_name() }),
+        }
+    }
+
+    /// Unwraps a decode-open response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaloError::ResponseMismatch`] on any other variant.
+    pub fn into_opened(self) -> Result<SessionOpened, SaloError> {
+        match self {
+            AttentionResponse::DecodeOpened(out) => Ok(out),
+            other => Err(SaloError::ResponseMismatch { got: other.variant_name() }),
+        }
+    }
+
+    /// Unwraps a decode-step response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaloError::ResponseMismatch`] on any other variant.
+    pub fn into_step(self) -> Result<StepResult, SaloError> {
+        match self {
+            AttentionResponse::DecodeStep(out) => Ok(out),
+            other => Err(SaloError::ResponseMismatch { got: other.variant_name() }),
+        }
+    }
+
+    /// Unwraps a decode-close response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaloError::ResponseMismatch`] on any other variant.
+    pub fn into_closed(self) -> Result<SessionClosed, SaloError> {
+        match self {
+            AttentionResponse::DecodeClosed(out) => Ok(out),
+            other => Err(SaloError::ResponseMismatch { got: other.variant_name() }),
+        }
+    }
+
+    /// The variant's name, for error reporting.
+    #[must_use]
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            AttentionResponse::Prefill(_) => "Prefill",
+            AttentionResponse::DecodeOpened(_) => "DecodeOpened",
+            AttentionResponse::DecodeStep(_) => "DecodeStep",
+            AttentionResponse::DecodeClosed(_) => "DecodeClosed",
+        }
+    }
+}
+
+/// An execution backend serving [`AttentionRequest`]s.
+///
+/// The trait is object-safe: the serving runtime's workers, the
+/// comparison harnesses and future backends (threaded, SIMD, remote) all
+/// plug in as `Box<dyn Engine>`. Engines are single-threaded objects —
+/// `Send` but not `Sync` by contract — mirroring one accelerator
+/// instance; run one per worker thread, as the serving pool does.
+pub trait Engine: Send + fmt::Debug {
+    /// Short stable backend name (`"lowered"`, `"systolic"`,
+    /// `"reference"`), used in telemetry and errors.
+    fn name(&self) -> &'static str;
+
+    /// The backend's capability descriptor.
+    fn capabilities(&self) -> EngineCaps;
+
+    /// Resolves a pattern into a [`PatternHandle`] ready for requests on
+    /// this engine — compiling and attaching whatever the backend needs
+    /// (the fixed-point engines attach a [`CompiledPlan`]; the reference
+    /// engine only keeps the pattern).
+    ///
+    /// # Errors
+    ///
+    /// Shape/scheduler errors when the pattern cannot be compiled for
+    /// this backend.
+    fn prepare(
+        &self,
+        pattern: &HybridPattern,
+        shape: &AttentionShape,
+    ) -> Result<PatternHandle, SaloError>;
+
+    /// Executes one request.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors (shape, head count, unknown session), capability
+    /// errors ([`SaloError::Unsupported`]) and execution-layer failures.
+    /// A decode step that fails after mutating any head's state retires
+    /// the session (it disappears from [`has_session`](Self::has_session)
+    /// and further steps report [`SaloError::UnknownSession`]); a
+    /// validation failure caught before any mutation leaves the session
+    /// decodable.
+    fn execute(&mut self, request: AttentionRequest) -> Result<AttentionResponse, SaloError>;
+
+    /// Whether a decode session is currently live inside the engine.
+    fn has_session(&self, session: SessionId) -> bool;
+
+    /// The position a live session's next step will produce, or `None`
+    /// for unknown sessions.
+    fn session_position(&self, session: SessionId) -> Option<usize>;
+}
+
+impl Salo {
+    /// A fresh [`LoweredEngine`] over this instance's accelerator — the
+    /// default backend. Engines built from one `Salo` share its
+    /// exponential/reciprocal lookup tables.
+    #[must_use]
+    pub fn engine(&self) -> LoweredEngine {
+        LoweredEngine::new(self.accelerator().clone())
+    }
+
+    /// A fresh [`SystolicEngine`] (event-accurate oracle) over this
+    /// instance's accelerator.
+    #[must_use]
+    pub fn systolic_engine(&self) -> SystolicEngine {
+        SystolicEngine::new(self.accelerator().clone())
+    }
+
+    /// A fresh [`ReferenceEngine`] (plain `f32` softmax attention).
+    #[must_use]
+    pub fn reference_engine(&self) -> ReferenceEngine {
+        ReferenceEngine::new()
+    }
+
+    /// All three backends, boxed — the comparison loop's starting point
+    /// (lowered, systolic, reference, in that order).
+    #[must_use]
+    pub fn all_engines(&self) -> Vec<Box<dyn Engine>> {
+        vec![
+            Box::new(self.engine()),
+            Box::new(self.systolic_engine()),
+            Box::new(self.reference_engine()),
+        ]
+    }
+}
+
+/// The one wording of decode-capacity exhaustion, shared by every
+/// backend so they stay interchangeable on errors, not just outputs.
+pub(crate) fn capacity_error(n: usize) -> SaloError {
+    SaloError::InvalidRequest {
+        reason: format!("decode session exhausted its capacity of {n} positions"),
+    }
+}
+
+/// The one wording of stepping an unprimed session, shared by every
+/// backend.
+pub(crate) fn not_primed_error(position: usize, min_step: usize) -> SaloError {
+    SaloError::InvalidRequest {
+        reason: format!(
+            "position {position} is not decodable before {min_step}: the prompt must cover \
+             every global token"
+        ),
+    }
+}
+
+/// Shared request validation: heads agree with the shape.
+pub(crate) fn check_prefill_heads(shape: &AttentionShape, heads: &[Qkv]) -> Result<(), SaloError> {
+    if heads.len() != shape.num_heads {
+        return Err(SaloError::HeadCountMismatch { expected: shape.num_heads, got: heads.len() });
+    }
+    for h in heads {
+        if h.seq_len() != shape.seq_len || h.head_dim() != shape.head_dim {
+            return Err(SaloError::ShapeMismatch {
+                expected: (shape.seq_len, shape.head_dim),
+                got: (h.seq_len(), h.head_dim()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Shared decode-open validation, mirroring the serving runtime's
+/// front-end checks: consistent head count, prompt length covering the
+/// globals and leaving decode capacity, per-head dimensions.
+pub(crate) fn check_open_prompt(
+    n: usize,
+    min_step: usize,
+    head_dim: usize,
+    num_heads: usize,
+    prompt: &[Qkv],
+) -> Result<usize, SaloError> {
+    let invalid = |reason: String| SaloError::InvalidRequest { reason };
+    if num_heads == 0 || head_dim == 0 {
+        return Err(invalid("empty session shape".into()));
+    }
+    if prompt.len() != num_heads {
+        return Err(SaloError::HeadCountMismatch { expected: num_heads, got: prompt.len() });
+    }
+    let prompt_len = prompt.first().map_or(0, Qkv::seq_len);
+    if prompt_len < min_step {
+        return Err(invalid(format!(
+            "prompt of {prompt_len} rows does not cover every global token \
+             (first decodable step is {min_step})"
+        )));
+    }
+    if prompt_len >= n {
+        return Err(invalid(format!(
+            "prompt of {prompt_len} rows leaves no capacity in a sequence of {n}"
+        )));
+    }
+    for h in prompt {
+        if h.seq_len() != prompt_len || h.head_dim() != head_dim {
+            return Err(SaloError::ShapeMismatch {
+                expected: (prompt_len, head_dim),
+                got: (h.seq_len(), h.head_dim()),
+            });
+        }
+    }
+    Ok(prompt_len)
+}

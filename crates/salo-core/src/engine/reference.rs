@@ -1,0 +1,266 @@
+//! The accuracy-yardstick backend: plain floating-point softmax attention.
+//!
+//! [`ReferenceEngine`] computes exact sparse attention (f64 accumulation,
+//! f32 outputs, no quantization, no LUTs) over the same hybrid patterns
+//! the fixed-point engines execute. It is the yardstick the accelerator's
+//! fixed-point error is measured against: the root `engines` tests pin
+//! the lowered/systolic outputs to within a documented bound of this
+//! engine on random hybrid patterns, prefill and decode alike.
+
+use std::collections::HashMap;
+
+use salo_fixed::softmax_f64;
+use salo_kernels::{sparse_attention, Matrix, Qkv};
+use salo_patterns::{AttentionShape, HybridPattern};
+use salo_sim::SpatialAccelerator;
+
+use crate::engine::{
+    check_open_prompt, check_prefill_heads, AttentionRequest, AttentionResponse, Engine,
+    EngineCaps, HeadOutput, HeadStep, PatternHandle, PrefillOutput, SessionClosed, SessionId,
+    SessionOpened, StepResult, Telemetry,
+};
+use crate::SaloError;
+
+/// One head's float decode state: the growing K/V history.
+#[derive(Debug, Clone, Default)]
+struct RefHeadState {
+    /// Key rows ingested so far, position-major.
+    k: Vec<Vec<f32>>,
+    /// Value rows ingested so far, position-major.
+    v: Vec<Vec<f32>>,
+}
+
+/// A float decode session: the causal pattern plus per-head histories.
+#[derive(Debug, Clone)]
+struct RefSession {
+    /// The causally clipped pattern (per-step key sets).
+    causal: HybridPattern,
+    head_dim: usize,
+    scale: f32,
+    /// Position the next step will produce.
+    position: usize,
+    heads: Vec<RefHeadState>,
+}
+
+/// The floating-point reference backend.
+///
+/// `bit_exact` is `false`: outputs are exact softmax attention, not the
+/// accelerator's arithmetic. No timing or energy is modeled. Decode is
+/// supported by replaying each step's pattern row over the session's
+/// K/V history — numerically identical to the same row of a float
+/// prefill over the causal pattern.
+#[derive(Debug, Default)]
+pub struct ReferenceEngine {
+    sessions: HashMap<SessionId, RefSession>,
+}
+
+impl ReferenceEngine {
+    /// A fresh engine with no live sessions.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn telemetry() -> Telemetry {
+        Telemetry {
+            engine: "reference",
+            bit_exact: false,
+            sim_cycles: None,
+            sim_time_s: None,
+            sim_energy_j: None,
+            saturation_events: 0,
+        }
+    }
+}
+
+/// One attention row in f64: softmax over `keys` of `q . k[j] * scale`,
+/// then the weighted sum of value rows — the same arithmetic as
+/// [`sparse_attention`], factored for the decode path's history-backed
+/// K/V rows.
+fn reference_row(
+    q: &[f32],
+    keys: &[usize],
+    k: &[Vec<f32>],
+    v: &[Vec<f32>],
+    d: usize,
+    scale: f32,
+) -> Vec<f32> {
+    let scores: Vec<f64> = keys
+        .iter()
+        .map(|&j| {
+            let dot: f64 = q.iter().zip(&k[j]).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+            dot * f64::from(scale)
+        })
+        .collect();
+    let probs = softmax_f64(&scores);
+    let mut out = vec![0.0f32; d];
+    for (&j, &p) in keys.iter().zip(&probs) {
+        for (o, &ve) in out.iter_mut().zip(&v[j]) {
+            *o += (p * f64::from(ve)) as f32;
+        }
+    }
+    out
+}
+
+impl Engine for ReferenceEngine {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn capabilities(&self) -> EngineCaps {
+        EngineCaps { supports_decode: true, bit_exact: false, event_accurate: false }
+    }
+
+    fn prepare(
+        &self,
+        pattern: &HybridPattern,
+        _shape: &AttentionShape,
+    ) -> Result<PatternHandle, SaloError> {
+        // The reference engine works straight off the pattern's key sets;
+        // there is nothing to compile.
+        Ok(PatternHandle::from_pattern(pattern.clone()))
+    }
+
+    fn execute(&mut self, request: AttentionRequest) -> Result<AttentionResponse, SaloError> {
+        match request {
+            AttentionRequest::Prefill { pattern, shape, heads } => {
+                check_prefill_heads(&shape, &heads)?;
+                let pattern = pattern.require_pattern(self.name())?;
+                if pattern.n() != shape.seq_len {
+                    return Err(SaloError::ShapeMismatch {
+                        expected: (shape.seq_len, shape.head_dim),
+                        got: (pattern.n(), shape.head_dim),
+                    });
+                }
+                let scale = SpatialAccelerator::default_scale(shape.head_dim);
+                let outputs = heads
+                    .iter()
+                    .map(|h| {
+                        sparse_attention(pattern, &h.q, &h.k, &h.v, scale).map(|output| {
+                            HeadOutput { output, raw: None, weights_q16: None, report: None }
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(AttentionResponse::Prefill(PrefillOutput {
+                    heads: outputs,
+                    telemetry: Self::telemetry(),
+                }))
+            }
+            AttentionRequest::DecodeOpen { session, pattern, head_dim, num_heads, prompt } => {
+                if self.sessions.contains_key(&session) {
+                    return Err(SaloError::SessionInUse { session });
+                }
+                let pattern = pattern.require_pattern(self.name())?;
+                let view = pattern.decode_view()?;
+                let min_step = view.min_step();
+                let causal = view.into_causal_pattern();
+                let prompt_len =
+                    check_open_prompt(causal.n(), min_step, head_dim, num_heads, &prompt)?;
+                let heads = prompt
+                    .iter()
+                    .map(|h| RefHeadState {
+                        k: (0..prompt_len).map(|t| h.k.row(t).to_vec()).collect(),
+                        v: (0..prompt_len).map(|t| h.v.row(t).to_vec()).collect(),
+                    })
+                    .collect();
+                let opened =
+                    SessionOpened { session, min_step, position: prompt_len, capacity: causal.n() };
+                self.sessions.insert(
+                    session,
+                    RefSession {
+                        causal,
+                        head_dim,
+                        scale: SpatialAccelerator::default_scale(head_dim),
+                        position: prompt_len,
+                        heads,
+                    },
+                );
+                Ok(AttentionResponse::DecodeOpened(opened))
+            }
+            AttentionRequest::DecodeStep { session, token } => {
+                let state =
+                    self.sessions.get_mut(&session).ok_or(SaloError::UnknownSession { session })?;
+                if token.len() != state.heads.len() {
+                    return Err(SaloError::HeadCountMismatch {
+                        expected: state.heads.len(),
+                        got: token.len(),
+                    });
+                }
+                let t = state.position;
+                if t >= state.causal.n() {
+                    return Err(crate::engine::capacity_error(state.causal.n()));
+                }
+                // No unprimed-step check: `check_open_prompt` pins the
+                // prompt at >= min_step and `position` only grows, so
+                // every step here is decodable (the fixed engines reach
+                // that error only through the simulator's own gate).
+                let d = state.head_dim;
+                for tok in &token {
+                    if tok.q.len() != d || tok.k.len() != d || tok.v.len() != d {
+                        return Err(SaloError::ShapeMismatch {
+                            expected: (1, d),
+                            got: (1, tok.q.len().max(tok.k.len()).max(tok.v.len())),
+                        });
+                    }
+                }
+                // All-or-nothing from here: the history appends below
+                // cannot fail, so heads never desync and float sessions
+                // never poison.
+                let keys = state.causal.row_keys(t);
+                debug_assert!(
+                    keys.iter().all(|&j| j <= t),
+                    "causal clip guarantees step {t} reads only the past"
+                );
+                let scale = state.scale;
+                let mut heads_out = Vec::with_capacity(token.len());
+                for (head, tok) in state.heads.iter_mut().zip(&token) {
+                    head.k.push(tok.k.clone());
+                    head.v.push(tok.v.clone());
+                    let out = reference_row(&tok.q, &keys, &head.k, &head.v, d, scale);
+                    heads_out.push(HeadStep {
+                        output: out,
+                        raw: None,
+                        weight_q16: None,
+                        saturation_events: 0,
+                    });
+                }
+                state.position += 1;
+                Ok(AttentionResponse::DecodeStep(StepResult {
+                    session,
+                    position: t,
+                    heads: heads_out,
+                    telemetry: Self::telemetry(),
+                }))
+            }
+            AttentionRequest::DecodeClose { session } => match self.sessions.remove(&session) {
+                Some(state) => Ok(AttentionResponse::DecodeClosed(SessionClosed {
+                    session,
+                    position: state.position,
+                })),
+                None => Err(SaloError::UnknownSession { session }),
+            },
+        }
+    }
+
+    fn has_session(&self, session: SessionId) -> bool {
+        self.sessions.contains_key(&session)
+    }
+
+    fn session_position(&self, session: SessionId) -> Option<usize> {
+        self.sessions.get(&session).map(|s| s.position)
+    }
+}
+
+/// Exact float prefill over a full [`Qkv`] — a convenience wrapper around
+/// [`sparse_attention`] used by tests comparing engines head by head.
+///
+/// # Errors
+///
+/// Dimension errors from the kernel layer.
+pub fn reference_head(
+    pattern: &HybridPattern,
+    head: &Qkv,
+    scale: f32,
+) -> Result<Matrix<f32>, SaloError> {
+    Ok(sparse_attention(pattern, &head.q, &head.k, &head.v, scale)?)
+}

@@ -25,6 +25,37 @@ pub enum SaloError {
         /// Heads provided.
         got: usize,
     },
+    /// A request is internally inconsistent (prompt does not cover the
+    /// globals, no decode capacity left, empty session shape).
+    InvalidRequest {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A decode request referenced a session the engine does not hold —
+    /// never opened, closed, or retired by a desyncing step failure.
+    UnknownSession {
+        /// The offending session id.
+        session: u64,
+    },
+    /// A decode-open reused a session id that is still live.
+    SessionInUse {
+        /// The colliding session id.
+        session: u64,
+    },
+    /// The engine cannot serve the request: a capability it lacks, or a
+    /// [`PatternHandle`](crate::PatternHandle) missing the data it needs.
+    Unsupported {
+        /// The engine's name.
+        engine: &'static str,
+        /// What was asked of it.
+        reason: String,
+    },
+    /// An [`AttentionResponse`](crate::AttentionResponse) variant did not
+    /// match the request it answered — an engine-implementation bug.
+    ResponseMismatch {
+        /// The variant actually returned.
+        got: &'static str,
+    },
     /// Pattern-layer error.
     Pattern(PatternError),
     /// Scheduler-layer error.
@@ -47,6 +78,19 @@ impl fmt::Display for SaloError {
             ),
             SaloError::HeadCountMismatch { expected, got } => {
                 write!(f, "expected {expected} heads, got {got}")
+            }
+            SaloError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            SaloError::UnknownSession { session } => {
+                write!(f, "unknown decode session {session}")
+            }
+            SaloError::SessionInUse { session } => {
+                write!(f, "decode session id {session} is already live")
+            }
+            SaloError::Unsupported { engine, reason } => {
+                write!(f, "engine '{engine}' cannot serve the request: {reason}")
+            }
+            SaloError::ResponseMismatch { got } => {
+                write!(f, "engine answered with mismatched response variant {got}")
             }
             SaloError::Pattern(e) => write!(f, "pattern error: {e}"),
             SaloError::Scheduler(e) => write!(f, "scheduler error: {e}"),

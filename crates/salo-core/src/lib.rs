@@ -1,24 +1,40 @@
 //! The top-level SALO API.
 //!
-//! [`Salo`] ties the reproduction together: configure an accelerator
-//! instance, *compile* a hybrid sparse attention pattern into an execution
-//! plan (the data scheduler), then *execute* it functionally (bit-accurate
-//! fixed point) or *estimate* it (cycle/energy model). The
-//! [`experiment`] module packages the paper's evaluation protocol —
-//! workload vs CPU/GPU baselines — used by the `salo-bench` harness to
-//! regenerate Fig. 7.
+//! The public surface is the unified [`engine`] API: a typed
+//! [`AttentionRequest`] (prefill, or the decode-session trio
+//! open/step/close) executed by any backend implementing the object-safe
+//! [`Engine`] trait — [`LoweredEngine`] (fast fixed point, the default),
+//! [`SystolicEngine`] (event-accurate oracle) and [`ReferenceEngine`]
+//! (`f32` accuracy yardstick). [`Salo`] is the thin façade over it:
+//! configure an accelerator instance, *compile* a hybrid sparse attention
+//! pattern into an execution plan (the data scheduler), hand out engines,
+//! or *estimate* a plan (cycle/energy model). The [`experiment`] module
+//! packages the paper's evaluation protocol — workload vs CPU/GPU
+//! baselines — used by the `salo-bench` harness to regenerate Fig. 7.
 //!
 //! ```
-//! use salo_core::Salo;
+//! use salo_core::{AttentionRequest, Engine, Salo};
+//! use salo_kernels::Qkv;
 //! use salo_patterns::{longformer, AttentionShape};
 //!
 //! # fn main() -> Result<(), salo_core::SaloError> {
 //! let salo = Salo::default_config();
 //! let pattern = longformer(256, 32, 1)?;
 //! let shape = AttentionShape::new(256, 64, 2)?;
+//!
+//! // Estimate: compile once, ask the timing model.
 //! let plan = salo.compile(&pattern, &shape)?;
 //! let report = salo.estimate(&plan);
 //! assert!(report.cycles.total > 0);
+//!
+//! // Execute: one typed request through the default engine.
+//! let mut engine = salo.engine();
+//! let handle = engine.prepare(&pattern, &shape)?;
+//! let heads = Qkv::random_heads(&shape, 7);
+//! let out = engine
+//!     .execute(AttentionRequest::Prefill { pattern: handle, shape, heads })?
+//!     .into_prefill()?;
+//! assert_eq!(out.heads.len(), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -27,12 +43,18 @@
 #![warn(rust_2018_idioms)]
 
 mod decode;
+pub mod engine;
 mod error;
 pub mod experiment;
 mod salo;
 mod verify;
 
 pub use decode::DecodeSession;
+pub use engine::{
+    reference_head, AttentionRequest, AttentionResponse, Engine, EngineCaps, HeadOutput, HeadStep,
+    LoweredEngine, PatternHandle, PrefillOutput, ReferenceEngine, SessionClosed, SessionId,
+    SessionOpened, StepResult, SystolicEngine, Telemetry, TokenQkv,
+};
 pub use error::SaloError;
 pub use experiment::{compare_workload, figure7_comparisons, Comparison};
 pub use salo::{CompiledPlan, MultiHeadRun, Salo};

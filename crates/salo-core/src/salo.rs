@@ -83,10 +83,47 @@ impl MultiHeadRun {
     }
 }
 
+/// Compiles `pattern` for an array geometry and shape: the scheduler pass
+/// plus the one-time lowering into flat pass programs. Shared by
+/// [`Salo::compile`] and the engines' handle resolution.
+pub(crate) fn compile_with(
+    hw: salo_scheduler::HardwareMeta,
+    pattern: &HybridPattern,
+    shape: &AttentionShape,
+) -> Result<CompiledPlan, crate::SaloError> {
+    if pattern.n() != shape.seq_len {
+        return Err(SaloError::ShapeMismatch {
+            expected: (shape.seq_len, shape.head_dim),
+            got: (pattern.n(), shape.head_dim),
+        });
+    }
+    let plan = ExecutionPlan::build(pattern, hw)?;
+    let stats = plan.stats();
+    let lowered = LoweredPlan::lower(&plan);
+    Ok(CompiledPlan { plan, shape: *shape, stats, lowered, decode: OnceLock::new() })
+}
+
 /// The SALO accelerator: data scheduler + spatial array, behind one API.
+///
+/// `Salo` is a thin façade over the [`Engine`](crate::Engine) API: it
+/// owns one simulated accelerator instance, compiles patterns into
+/// [`CompiledPlan`]s, and hands out execution backends
+/// ([`engine`](Salo::engine) and friends) that serve typed
+/// [`AttentionRequest`](crate::AttentionRequest)s. The legacy
+/// `execute`/`execute_head` methods remain as deprecated shims for one
+/// release.
 #[derive(Debug, Clone)]
 pub struct Salo {
     accel: SpatialAccelerator,
+}
+
+impl Default for Salo {
+    /// The paper's synthesized instance (Table 1) — delegates to
+    /// [`AcceleratorConfig::default`], the single canonical source of the
+    /// Table 1 constants.
+    fn default() -> Self {
+        Self::new(AcceleratorConfig::default())
+    }
 }
 
 impl Salo {
@@ -96,10 +133,11 @@ impl Salo {
         Self { accel: SpatialAccelerator::new(config) }
     }
 
-    /// The paper's synthesized instance (Table 1).
+    /// The paper's synthesized instance (Table 1); equivalent to
+    /// [`Salo::default`], which it delegates to.
     #[must_use]
     pub fn default_config() -> Self {
-        Self::new(AcceleratorConfig::default())
+        Self::default()
     }
 
     /// The active configuration.
@@ -130,16 +168,7 @@ impl Salo {
         pattern: &HybridPattern,
         shape: &AttentionShape,
     ) -> Result<CompiledPlan, SaloError> {
-        if pattern.n() != shape.seq_len {
-            return Err(SaloError::ShapeMismatch {
-                expected: (shape.seq_len, shape.head_dim),
-                got: (pattern.n(), shape.head_dim),
-            });
-        }
-        let plan = ExecutionPlan::build(pattern, self.accel.config().hw)?;
-        let stats = plan.stats();
-        let lowered = LoweredPlan::lower(&plan);
-        Ok(CompiledPlan { plan, shape: *shape, stats, lowered, decode: OnceLock::new() })
+        compile_with(self.accel.config().hw, pattern, shape)
     }
 
     /// Timing/energy estimate for the whole layer (all heads).
@@ -150,29 +179,53 @@ impl Salo {
 
     /// Functionally executes one head.
     ///
-    /// Allocates a fresh [`ExecScratch`]; callers in a loop should hold
-    /// one and use [`execute_head_with_scratch`](Self::execute_head_with_scratch).
+    /// Deprecated shim over the engine datapath: build a
+    /// [`LoweredEngine`](crate::LoweredEngine) via
+    /// [`engine`](Self::engine) and send an
+    /// [`AttentionRequest::Prefill`](crate::AttentionRequest::Prefill)
+    /// instead — the engine holds its own scratch and serves every
+    /// request kind through one call. Bit-identical to the engine path.
     ///
     /// # Errors
     ///
     /// Returns a shape error if the inputs do not match the compiled
     /// shape, or a simulator error on numeric degeneracy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Salo::engine() and AttentionRequest::Prefill; this shim lasts one release"
+    )]
     pub fn execute_head(
         &self,
         compiled: &CompiledPlan,
         head: &Qkv,
     ) -> Result<ExecutionOutput, SaloError> {
-        self.execute_head_with_scratch(compiled, head, &mut ExecScratch::new())
+        self.run_head(compiled, head, &mut ExecScratch::new())
     }
 
     /// Executes one head through the pre-lowered plan, reusing
-    /// caller-owned scratch — the allocation-free hot path. Bit-identical
-    /// to [`execute_head`](Self::execute_head).
+    /// caller-owned scratch. Deprecated shim: a
+    /// [`LoweredEngine`](crate::LoweredEngine) owns its scratch for the
+    /// engine's lifetime, making this call shape redundant.
     ///
     /// # Errors
     ///
     /// Same as [`execute_head`](Self::execute_head).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Salo::engine(); a LoweredEngine reuses its own scratch across requests"
+    )]
     pub fn execute_head_with_scratch(
+        &self,
+        compiled: &CompiledPlan,
+        head: &Qkv,
+        scratch: &mut ExecScratch,
+    ) -> Result<ExecutionOutput, SaloError> {
+        self.run_head(compiled, head, scratch)
+    }
+
+    /// The one-head fixed-point execution shared by the deprecated shims
+    /// and the [`DecodeSession`](crate::DecodeSession) oracle tests.
+    pub(crate) fn run_head(
         &self,
         compiled: &CompiledPlan,
         head: &Qkv,
@@ -198,27 +251,46 @@ impl Salo {
     /// Functionally executes all heads of a layer (sequentially, as the
     /// hardware does).
     ///
+    /// Deprecated shim over the engine datapath — see
+    /// [`execute_head`](Self::execute_head).
+    ///
     /// # Errors
     ///
     /// Returns [`SaloError::HeadCountMismatch`] if the number of heads
     /// differs from the compiled shape, or any per-head error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Salo::engine() and AttentionRequest::Prefill; this shim lasts one release"
+    )]
     pub fn execute(
         &self,
         compiled: &CompiledPlan,
         heads: &[Qkv],
     ) -> Result<MultiHeadRun, SaloError> {
-        self.execute_with_scratch(compiled, heads, &mut ExecScratch::new())
+        self.run_heads(compiled, heads, &mut ExecScratch::new())
     }
 
-    /// [`execute`](Self::execute) with caller-owned scratch: the per-head
-    /// loop reuses one [`ExecScratch`], and a long-lived caller (the
-    /// serving worker loop) carries it across requests. Bit-identical to
-    /// [`execute`](Self::execute).
+    /// [`execute`](Self::execute) with caller-owned scratch. Deprecated
+    /// shim: a [`LoweredEngine`](crate::LoweredEngine) owns its scratch.
     ///
     /// # Errors
     ///
     /// Same as [`execute`](Self::execute).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Salo::engine(); a LoweredEngine reuses its own scratch across requests"
+    )]
     pub fn execute_with_scratch(
+        &self,
+        compiled: &CompiledPlan,
+        heads: &[Qkv],
+        scratch: &mut ExecScratch,
+    ) -> Result<MultiHeadRun, SaloError> {
+        self.run_heads(compiled, heads, scratch)
+    }
+
+    /// The multi-head execution loop behind the deprecated shims.
+    pub(crate) fn run_heads(
         &self,
         compiled: &CompiledPlan,
         heads: &[Qkv],
@@ -230,10 +302,8 @@ impl Salo {
                 got: heads.len(),
             });
         }
-        let outputs: Vec<ExecutionOutput> = heads
-            .iter()
-            .map(|h| self.execute_head_with_scratch(compiled, h, scratch))
-            .collect::<Result<_, _>>()?;
+        let outputs: Vec<ExecutionOutput> =
+            heads.iter().map(|h| self.run_head(compiled, h, scratch)).collect::<Result<_, _>>()?;
         let total_time_s = outputs.iter().map(|o| o.report.timing.time_s).sum();
         let total_energy_j = outputs.iter().map(|o| o.report.timing.energy_j).sum();
         Ok(MultiHeadRun { heads: outputs, total_time_s, total_energy_j })
@@ -243,6 +313,7 @@ impl Salo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{AttentionRequest, Engine, PatternHandle};
     use salo_kernels::{multi_head_attention, sparse_attention};
     use salo_patterns::longformer;
     use salo_scheduler::HardwareMeta;
@@ -262,13 +333,28 @@ mod tests {
     }
 
     #[test]
+    fn default_delegates_to_the_canonical_config() {
+        assert_eq!(Salo::default().config(), &AcceleratorConfig::default());
+        assert_eq!(Salo::default_config().config(), Salo::default().config());
+    }
+
+    #[test]
     fn end_to_end_matches_reference() {
         let salo = small_salo();
         let pattern = longformer(48, 9, 1).unwrap();
         let shape = AttentionShape::new(48, 8, 2).unwrap();
-        let compiled = salo.compile(&pattern, &shape).unwrap();
+        let compiled = Arc::new(salo.compile(&pattern, &shape).unwrap());
         let heads = Qkv::random_heads(&shape, 77);
-        let run = salo.execute(&compiled, &heads).unwrap();
+        let mut engine = salo.engine();
+        let run = engine
+            .execute(AttentionRequest::Prefill {
+                pattern: PatternHandle::from_plan(Arc::clone(&compiled)),
+                shape,
+                heads: heads.clone(),
+            })
+            .unwrap()
+            .into_prefill()
+            .unwrap();
         assert_eq!(run.heads.len(), 2);
 
         let reference = multi_head_attention(&pattern, &heads).unwrap();
@@ -278,8 +364,9 @@ mod tests {
         }
         let cat = run.concat_output();
         assert_eq!(cat.shape(), (48, 16));
-        assert!(run.total_time_s > 0.0);
-        assert!(run.total_energy_j > 0.0);
+        assert!(run.telemetry.sim_time_s.unwrap() > 0.0);
+        assert!(run.telemetry.sim_energy_j.unwrap() > 0.0);
+        assert_eq!(run.telemetry.engine, "lowered");
     }
 
     #[test]
@@ -287,22 +374,36 @@ mod tests {
         let salo = small_salo();
         let pattern = longformer(32, 8, 1).unwrap();
         let shape = AttentionShape::new(32, 8, 2).unwrap();
-        let compiled = salo.compile(&pattern, &shape).unwrap();
+        let compiled = Arc::new(salo.compile(&pattern, &shape).unwrap());
+        let mut engine = salo.engine();
         // Wrong head count.
         let one = Qkv::random_heads(&AttentionShape::new(32, 8, 1).unwrap(), 1);
         assert!(matches!(
-            salo.execute(&compiled, &one),
+            engine.execute(AttentionRequest::Prefill {
+                pattern: PatternHandle::from_plan(Arc::clone(&compiled)),
+                shape,
+                heads: one,
+            }),
             Err(SaloError::HeadCountMismatch { expected: 2, got: 1 })
         ));
         // Wrong head dimension.
-        let bad = Qkv::random(32, 4, 1);
-        assert!(matches!(salo.execute_head(&compiled, &bad), Err(SaloError::ShapeMismatch { .. })));
+        let bad_shape = AttentionShape::new(32, 4, 1).unwrap();
+        let bad = Qkv::random_heads(&bad_shape, 1);
+        assert!(matches!(
+            engine.execute(AttentionRequest::Prefill {
+                pattern: PatternHandle::from_plan(Arc::clone(&compiled)),
+                shape: bad_shape,
+                heads: bad,
+            }),
+            Err(SaloError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
-    fn scratch_reuse_matches_fresh_execution() {
-        // The worker-loop form (one scratch across heads and requests)
-        // must be bit-identical to the one-shot API.
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_engine_bit_for_bit() {
+        // The one-release compatibility shims must keep producing the
+        // engine datapath's exact bits until they are removed.
         let salo = small_salo();
         let pattern = longformer(48, 9, 1).unwrap();
         let shape = AttentionShape::new(48, 8, 2).unwrap();
@@ -312,10 +413,24 @@ mod tests {
             let heads = Qkv::random_heads(&shape, seed);
             let reused = salo.execute_with_scratch(&compiled, &heads, &mut scratch).unwrap();
             let fresh = salo.execute(&compiled, &heads).unwrap();
-            for (a, b) in reused.heads.iter().zip(&fresh.heads) {
+            let mut engine = salo.engine();
+            let via_engine = engine
+                .execute(AttentionRequest::Prefill {
+                    pattern: PatternHandle::from_plan(Arc::new(compiled.clone())),
+                    shape,
+                    heads: heads.clone(),
+                })
+                .unwrap()
+                .into_prefill()
+                .unwrap();
+            for ((a, b), c) in reused.heads.iter().zip(&fresh.heads).zip(&via_engine.heads) {
                 assert_eq!(a.raw, b.raw);
                 assert_eq!(a.weights_q16, b.weights_q16);
+                assert_eq!(Some(&a.raw), c.raw.as_ref());
+                assert_eq!(Some(&a.weights_q16), c.weights_q16.as_ref());
             }
+            let single = salo.execute_head(&compiled, &heads[0]).unwrap();
+            assert_eq!(single.raw, fresh.heads[0].raw);
         }
     }
 
@@ -347,11 +462,20 @@ mod tests {
         let salo = small_salo();
         let pattern = longformer(40, 7, 2).unwrap();
         let shape = AttentionShape::new(40, 8, 1).unwrap();
-        let compiled = salo.compile(&pattern, &shape).unwrap();
+        let mut engine = salo.engine();
+        let handle = engine.prepare(&pattern, &shape).unwrap();
         let head = Qkv::random(40, 8, 5);
-        let out = salo.execute_head(&compiled, &head).unwrap();
+        let out = engine
+            .execute(AttentionRequest::Prefill {
+                pattern: handle,
+                shape,
+                heads: vec![head.clone()],
+            })
+            .unwrap()
+            .into_prefill()
+            .unwrap();
         let scale = 1.0 / (8f32).sqrt();
         let exact = sparse_attention(&pattern, &head.q, &head.k, &head.v, scale).unwrap();
-        assert!(out.output.max_abs_diff(&exact) < 0.3);
+        assert!(out.heads[0].output.max_abs_diff(&exact) < 0.3);
     }
 }

@@ -77,7 +77,7 @@ pub fn validate(
 
     // 2. Numerical probe (one head).
     let head = Qkv::random(compiled.shape.seq_len, compiled.shape.head_dim, config.seed);
-    let out = salo.execute_head(compiled, &head)?;
+    let out = salo.run_head(compiled, &head, &mut salo_sim::ExecScratch::new())?;
     let scale = 1.0 / (compiled.shape.head_dim.max(1) as f32).sqrt();
     let reference = sparse_attention(pattern, &head.q, &head.k, &head.v, scale)?;
     let max_abs_error = out.output.max_abs_diff(&reference);

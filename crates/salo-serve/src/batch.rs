@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use salo_core::CompiledPlan;
 use salo_kernels::Qkv;
+use salo_patterns::{AttentionShape, HybridPattern};
 
 use crate::PlanKey;
 
@@ -29,11 +30,17 @@ pub(crate) struct InFlight {
 }
 
 /// A group of requests sharing one compiled plan, dispatched to a single
-/// worker as a unit.
+/// worker as a unit. Carries everything the dispatcher needs to mint one
+/// typed [`AttentionRequest`](salo_core::AttentionRequest) per member:
+/// the shared pattern/plan pair and the shape.
 #[derive(Debug, Clone)]
 pub(crate) struct Batch {
+    /// The shared pattern (one `Arc` for the whole batch).
+    pub pattern: Arc<HybridPattern>,
     /// The shared compiled plan.
     pub plan: Arc<CompiledPlan>,
+    /// The shape every member was validated against.
+    pub shape: AttentionShape,
     /// The member requests, in submission order.
     pub requests: Vec<InFlight>,
 }
@@ -66,11 +73,26 @@ impl Batcher {
 
     /// Adds a request under its plan key; returns a sealed batch when the
     /// bucket reaches the size limit.
-    pub fn push(&mut self, key: PlanKey, plan: &Arc<CompiledPlan>, req: InFlight) -> Option<Batch> {
+    pub fn push(
+        &mut self,
+        key: PlanKey,
+        pattern: &Arc<HybridPattern>,
+        plan: &Arc<CompiledPlan>,
+        shape: AttentionShape,
+        req: InFlight,
+    ) -> Option<Batch> {
         let idx = match self.buckets.iter().position(|(k, _)| *k == key) {
             Some(idx) => idx,
             None => {
-                self.buckets.push((key, Batch { plan: Arc::clone(plan), requests: Vec::new() }));
+                self.buckets.push((
+                    key,
+                    Batch {
+                        pattern: Arc::clone(pattern),
+                        plan: Arc::clone(plan),
+                        shape,
+                        requests: Vec::new(),
+                    },
+                ));
                 self.buckets.len() - 1
             }
         };
@@ -101,14 +123,15 @@ mod tests {
     use salo_scheduler::HardwareMeta;
     use salo_sim::AcceleratorConfig;
 
-    fn plan_for(n: usize) -> (PlanKey, Arc<CompiledPlan>) {
+    fn plan_for(n: usize) -> (PlanKey, Arc<HybridPattern>, Arc<CompiledPlan>, AttentionShape) {
         let config =
             AcceleratorConfig { hw: HardwareMeta::new(8, 8, 1, 1).unwrap(), ..Default::default() };
         let salo = Salo::new(config.clone());
         let pattern = sliding_only(n, 3).unwrap();
         let shape = AttentionShape::new(n, 8, 1).unwrap();
         let key = PlanKey::new(&pattern, &shape, &config);
-        (key, Arc::new(salo.compile(&pattern, &shape).unwrap()))
+        let plan = Arc::new(salo.compile(&pattern, &shape).unwrap());
+        (key, Arc::new(pattern), plan, shape)
     }
 
     fn req(id: u64) -> InFlight {
@@ -117,11 +140,11 @@ mod tests {
 
     #[test]
     fn seals_at_max_batch() {
-        let (key, plan) = plan_for(16);
+        let (key, pattern, plan, shape) = plan_for(16);
         let mut b = Batcher::new(3);
-        assert!(b.push(key, &plan, req(0)).is_none());
-        assert!(b.push(key, &plan, req(1)).is_none());
-        let sealed = b.push(key, &plan, req(2)).expect("sealed at 3");
+        assert!(b.push(key, &pattern, &plan, shape, req(0)).is_none());
+        assert!(b.push(key, &pattern, &plan, shape, req(1)).is_none());
+        let sealed = b.push(key, &pattern, &plan, shape, req(2)).expect("sealed at 3");
         assert_eq!(sealed.len(), 3);
         assert_eq!(sealed.requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2]);
         assert_eq!(b.pending(), 0);
@@ -129,12 +152,12 @@ mod tests {
 
     #[test]
     fn separates_plans_and_flushes_in_arrival_order() {
-        let (k1, p1) = plan_for(16);
-        let (k2, p2) = plan_for(24);
+        let (k1, pat1, p1, s1) = plan_for(16);
+        let (k2, pat2, p2, s2) = plan_for(24);
         let mut b = Batcher::new(8);
-        b.push(k1, &p1, req(0));
-        b.push(k2, &p2, req(1));
-        b.push(k1, &p1, req(2));
+        b.push(k1, &pat1, &p1, s1, req(0));
+        b.push(k2, &pat2, &p2, s2, req(1));
+        b.push(k1, &pat1, &p1, s1, req(2));
         assert_eq!(b.pending(), 3);
         let flushed = b.flush();
         assert_eq!(flushed.len(), 2);
@@ -145,9 +168,9 @@ mod tests {
 
     #[test]
     fn max_batch_one_degenerates_to_per_request_dispatch() {
-        let (key, plan) = plan_for(16);
+        let (key, pattern, plan, shape) = plan_for(16);
         let mut b = Batcher::new(0); // clamped to 1
-        assert!(b.push(key, &plan, req(0)).is_some());
-        assert!(b.push(key, &plan, req(1)).is_some());
+        assert!(b.push(key, &pattern, &plan, shape, req(0)).is_some());
+        assert!(b.push(key, &pattern, &plan, shape, req(1)).is_some());
     }
 }

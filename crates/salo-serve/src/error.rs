@@ -53,10 +53,44 @@ impl Error for ServeError {
 }
 
 impl From<SaloError> for ServeError {
+    /// Folds engine-level errors into the serving surface. The engine's
+    /// request-shaped variants map onto their serving twins — so a
+    /// worker's engine error reaches the client as the same
+    /// `UnknownSession`/`InvalidRequest` it would have gotten from the
+    /// front-end — and everything else wraps as [`ServeError::Salo`].
     fn from(e: SaloError) -> Self {
-        ServeError::Salo(e)
+        match e {
+            SaloError::UnknownSession { session } => ServeError::UnknownSession { session },
+            SaloError::InvalidRequest { reason } => ServeError::InvalidRequest { reason },
+            // A head-count disagreement is the client's malformed request
+            // (the pre-engine runtime reported it as such), not an
+            // internal execution failure.
+            SaloError::HeadCountMismatch { expected, got } => ServeError::InvalidRequest {
+                reason: format!("{got} head(s) provided, expected {expected}"),
+            },
+            other => ServeError::Salo(other),
+        }
     }
 }
+
+/// Sub-layer errors flow through [`SaloError`] into the serving surface,
+/// so `?` works on pattern/scheduler/simulator/kernel/fixed-point results
+/// without per-crate ad-hoc mapping.
+macro_rules! from_via_salo {
+    ($source:ty) => {
+        impl From<$source> for ServeError {
+            fn from(e: $source) -> Self {
+                ServeError::from(SaloError::from(e))
+            }
+        }
+    };
+}
+
+from_via_salo!(salo_patterns::PatternError);
+from_via_salo!(salo_scheduler::SchedulerError);
+from_via_salo!(salo_sim::SimError);
+from_via_salo!(salo_kernels::KernelError);
+from_via_salo!(salo_fixed::FixedError);
 
 #[cfg(test)]
 mod tests {

@@ -15,9 +15,12 @@
 //! * a **request batcher** that groups in-flight requests sharing a
 //!   compiled plan and dispatches them as multi-head batches;
 //! * a **worker pool** of N threads, each owning a
-//!   [`Salo`](salo_core::Salo) instance (N accelerator replicas), fed by
-//!   a least-loaded dispatcher, with responses restored to submission
-//!   order by a collector;
+//!   [`LoweredEngine`](salo_core::LoweredEngine) (N accelerator replicas)
+//!   that consumes typed [`AttentionRequest`](salo_core::AttentionRequest)s
+//!   directly — prefill batches and decode-session traffic travel as one
+//!   request shape, so swapping the backend never requires a serve
+//!   rewrite — fed by a least-loaded dispatcher, with responses restored
+//!   to submission order by a collector;
 //! * a **metrics layer** ([`ServeReport`]): per-request latency
 //!   percentiles, queue depth, cache hit rate, decode-session counters,
 //!   and aggregate *simulated* cycles/energy from the `salo-sim` timing

@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use salo_core::Salo;
+use salo_core::{AttentionRequest, PatternHandle, Salo};
 use salo_patterns::{AttentionShape, HybridPattern};
 use salo_sim::AcceleratorConfig;
 
@@ -43,7 +43,7 @@ use crate::metrics::{DepthGauge, LatencyRecorder, ServeReport};
 use crate::session::{
     DecodeSessionHandle, SessionEvent, SessionRegistry, SessionRequest, SessionTable, TokenQkv,
 };
-use crate::worker::{Completed, LayerDone, OpenJob, StepJob, Work, WorkerPool};
+use crate::worker::{Completed, Job, LayerDone, Reply, WorkerPool};
 use crate::{CacheStats, PlanCache, PlanKey, ServeError, ServeRequest, ServeResponse};
 
 /// Tunables of the serving runtime.
@@ -517,7 +517,30 @@ impl Dispatcher<'_> {
 
     fn dispatch_batch(&mut self, batch: crate::batch::Batch) {
         let size = batch.len() as u64;
-        match self.pool.dispatch(batch) {
+        let batch_size = batch.len();
+        // Mint one typed request per member; the pattern/plan pair is one
+        // `Arc` clone each.
+        let jobs: Vec<Job> = batch
+            .requests
+            .into_iter()
+            .map(|req| Job {
+                request: AttentionRequest::Prefill {
+                    pattern: PatternHandle::new(
+                        Arc::clone(&batch.pattern),
+                        Arc::clone(&batch.plan),
+                    ),
+                    shape: batch.shape,
+                    heads: req.heads,
+                },
+                reply: Reply::Layer {
+                    id: req.id,
+                    cache_hit: req.cache_hit,
+                    batch_size,
+                    submitted: req.submitted,
+                },
+            })
+            .collect();
+        match self.pool.dispatch(jobs) {
             Ok(()) => {
                 self.batches.fetch_add(1, Ordering::Relaxed);
                 self.batched_requests.fetch_add(size, Ordering::Relaxed);
@@ -525,15 +548,18 @@ impl Dispatcher<'_> {
             // The routed worker's thread is gone: fail every member
             // request so clients see an error instead of hanging on a
             // response that will never come.
-            Err(batch) => {
-                for req in batch.requests {
+            Err(jobs) => {
+                for job in jobs {
+                    let Reply::Layer { id, cache_hit, submitted, .. } = job.reply else {
+                        unreachable!("batches carry only layer replies");
+                    };
                     let failed = Completed::Layer(LayerDone {
-                        id: req.id,
+                        id,
                         result: Err(ServeError::WorkerLost),
-                        cache_hit: req.cache_hit,
+                        cache_hit,
                         worker: None,
                         batch_size: 0,
-                        submitted: req.submitted,
+                        submitted,
                         finished: Instant::now(),
                     });
                     let _ = self.done.send(failed);
@@ -552,9 +578,10 @@ impl Dispatcher<'_> {
             self.compiler.compile(&sub.pattern, &sub.shape)
         }) {
             Ok((plan, cache_hit)) => {
+                let pattern = Arc::new(sub.pattern);
                 let inflight =
                     InFlight { id: sub.id, heads: sub.heads, submitted: sub.submitted, cache_hit };
-                if let Some(batch) = self.batcher.push(key, &plan, inflight) {
+                if let Some(batch) = self.batcher.push(key, &pattern, &plan, sub.shape, inflight) {
                     self.dispatch_batch(batch);
                 }
             }
@@ -601,14 +628,16 @@ impl Dispatcher<'_> {
         }) {
             Ok((plan, cache_hit)) => {
                 let worker = self.place_session();
-                let job = Work::Open(OpenJob {
-                    session,
-                    plan,
-                    request,
-                    cache_hit,
-                    submitted,
-                    events: events.clone(),
-                });
+                let job = Job {
+                    request: AttentionRequest::DecodeOpen {
+                        session,
+                        pattern: PatternHandle::new(Arc::new(causal), plan),
+                        head_dim: request.head_dim,
+                        num_heads: request.num_heads,
+                        prompt: request.prompt,
+                    },
+                    reply: Reply::Open { session, cache_hit, submitted, events: events.clone() },
+                };
                 match self.pool.dispatch_to(worker, job) {
                     Ok(()) => self.table.insert(session, worker, events),
                     Err(_) => self.fail_open(session, &events, submitted, ServeError::WorkerLost),
@@ -675,12 +704,14 @@ impl Dispatcher<'_> {
         // route executes; if its session was meanwhile retired
         // worker-side, the worker reports `UnknownSession` on the job's
         // own event channel.
-        let job = Work::Step(StepJob {
-            session: step.session,
-            token: step.token,
-            submitted: step.submitted,
-            events: route.events.clone(),
-        });
+        let job = Job {
+            request: AttentionRequest::DecodeStep { session: step.session, token: step.token },
+            reply: Reply::Step {
+                session: step.session,
+                submitted: step.submitted,
+                events: route.events.clone(),
+            },
+        };
         if self.pool.dispatch_to(route.worker, job).is_err() {
             // The pinned worker's thread is gone, taking the session
             // state with it: retire the session outright (registry and
@@ -707,7 +738,11 @@ impl Dispatcher<'_> {
 
     fn handle_close(&mut self, session: u64) {
         if let Some(route) = self.table.remove(session) {
-            if self.pool.dispatch_to(route.worker, Work::Close { session }).is_err() {
+            let job = Job {
+                request: AttentionRequest::DecodeClose { session },
+                reply: Reply::Close { session, events: route.events.clone() },
+            };
+            if self.pool.dispatch_to(route.worker, job).is_err() {
                 // The pinned worker died with the session state; it can
                 // never send the terminal Closed event, so deliver it
                 // here (position unknown) rather than leave the client

@@ -3,11 +3,11 @@
 //! A *session* is a whole generation: one compiled causal plan (shared
 //! through the [`PlanCache`](crate::PlanCache), so repeated generations of
 //! the same pattern/shape skip the scheduler and lowering passes), plus
-//! per-head persistent K/V state that lives **inside one worker thread**
-//! for the session's lifetime. Pinning the state to a worker keeps it
-//! unsynchronized and cache-warm; the dispatcher's session table maps
-//! session ids to their pinned worker so every step routes to the same
-//! accelerator instance.
+//! per-head persistent K/V state that lives **inside one worker's engine**
+//! (`salo_core::LoweredEngine`) for the session's lifetime. Pinning the
+//! state to a worker keeps it unsynchronized and cache-warm; the
+//! dispatcher's session table maps session ids to their pinned worker so
+//! every step routes to the same accelerator instance.
 //!
 //! Step results return through a per-session event channel rather than
 //! the global ordered response stream: a generation is ordered by
@@ -17,14 +17,15 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 
-use salo_core::{CompiledPlan, Salo};
+use salo_core::HeadStep;
 use salo_kernels::Qkv;
 use salo_patterns::HybridPattern;
-use salo_sim::{DecodePlan, DecodeState, ExecScratch, SpatialAccelerator, StepOutput};
 
 use crate::ServeError;
+
+pub use salo_core::TokenQkv;
 
 /// A request to open a decode session.
 #[derive(Debug, Clone)]
@@ -108,27 +109,6 @@ impl SessionRequest {
     }
 }
 
-/// One generated token's per-head inputs: the query/key/value rows of the
-/// next position.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TokenQkv {
-    /// Query row (`head_dim` elements).
-    pub q: Vec<f32>,
-    /// Key row.
-    pub k: Vec<f32>,
-    /// Value row.
-    pub v: Vec<f32>,
-}
-
-impl TokenQkv {
-    /// Extracts row `t` of a full-sequence [`Qkv`] as a token — the demo
-    /// and test form, where the "generated" sequence is known up front.
-    #[must_use]
-    pub fn from_row(qkv: &Qkv, t: usize) -> Self {
-        Self { q: qkv.q.row(t).to_vec(), k: qkv.k.row(t).to_vec(), v: qkv.v.row(t).to_vec() }
-    }
-}
-
 /// What the runtime reports once a session is open.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionInfo {
@@ -149,8 +129,11 @@ pub struct SessionInfo {
 pub struct DecodeStep {
     /// The position this step produced.
     pub position: usize,
-    /// Per-head output rows.
-    pub heads: Vec<StepOutput>,
+    /// Per-head output rows, in the engine API's backend-neutral
+    /// [`HeadStep`] form (the serving workers run the fixed-point
+    /// [`LoweredEngine`](salo_core::LoweredEngine), so `raw` and
+    /// `weight_q16` are always present).
+    pub heads: Vec<HeadStep>,
     /// The worker that executed it.
     pub worker: usize,
 }
@@ -351,110 +334,5 @@ impl SessionTable {
             }
         }
         pinned
-    }
-}
-
-/// A session's worker-resident half: the step program shared by every
-/// head, one persistent [`DecodeState`] per head, and the event channel.
-pub(crate) struct WorkerSession {
-    decode: Arc<DecodePlan>,
-    states: Vec<DecodeState>,
-    pub events: Sender<SessionEvent>,
-    scale: f32,
-}
-
-impl WorkerSession {
-    /// Builds the session state and ingests the prompt. The heavy parts —
-    /// scheduler pass, prefill lowering and (from the second session of a
-    /// plan onward) the step-program lowering — already live inside the
-    /// cached `CompiledPlan`; this only quantizes the prompt.
-    pub fn open(
-        salo: &Salo,
-        plan: &Arc<CompiledPlan>,
-        request: &SessionRequest,
-        events: Sender<SessionEvent>,
-        scratch: &mut ExecScratch,
-    ) -> Result<Self, ServeError> {
-        let decode = plan.decode_plan()?;
-        let d = request.head_dim;
-        let scale = SpatialAccelerator::default_scale(d);
-        let accel = salo.accelerator();
-        let mut states: Vec<DecodeState> =
-            (0..request.num_heads).map(|_| DecodeState::new(&decode, d)).collect();
-        let prompt_len = request.prompt.first().map_or(0, Qkv::seq_len);
-        for (state, head) in states.iter_mut().zip(&request.prompt) {
-            for t in 0..prompt_len {
-                accel
-                    .prime_token(
-                        &decode,
-                        state,
-                        head.q.row(t),
-                        head.k.row(t),
-                        head.v.row(t),
-                        scale,
-                        scratch,
-                    )
-                    .map_err(salo_core::SaloError::from)?;
-            }
-        }
-        Ok(Self { decode, states, events, scale })
-    }
-
-    /// Position the next step will produce.
-    pub fn position(&self) -> usize {
-        self.states.first().map_or(0, DecodeState::position)
-    }
-
-    /// Whether the session is still fully consistent after a failed step
-    /// that began at `position`: no head poisoned, no head advanced. A
-    /// failure that precedes any per-head mutation (e.g. a wrong token
-    /// head count) leaves the session intact — it can keep serving
-    /// tokens, mirroring the sim layer's validation-errors-don't-poison
-    /// contract. Once any head advanced while another did not, the heads
-    /// are desynced and the session must be retired.
-    pub fn is_intact(&self, position: usize) -> bool {
-        self.states.iter().all(|s| !s.is_poisoned() && s.position() == position)
-    }
-
-    /// First decodable position of the session's plan.
-    pub fn min_step(&self) -> usize {
-        self.decode.min_step()
-    }
-
-    /// Sequence capacity of the session's plan.
-    pub fn capacity(&self) -> usize {
-        self.decode.n()
-    }
-
-    /// Executes one step across every head.
-    pub fn step(
-        &mut self,
-        salo: &Salo,
-        token: &[TokenQkv],
-        scratch: &mut ExecScratch,
-        worker: usize,
-    ) -> Result<DecodeStep, ServeError> {
-        if token.len() != self.states.len() {
-            return Err(ServeError::InvalidRequest {
-                reason: format!(
-                    "{} token heads provided, session has {}",
-                    token.len(),
-                    self.states.len()
-                ),
-            });
-        }
-        let position = self.position();
-        let accel = salo.accelerator();
-        let heads = self
-            .states
-            .iter_mut()
-            .zip(token)
-            .map(|(state, tok)| {
-                accel
-                    .execute_step(&self.decode, state, &tok.q, &tok.k, &tok.v, self.scale, scratch)
-                    .map_err(salo_core::SaloError::from)
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(DecodeStep { position, heads, worker })
     }
 }

@@ -1,71 +1,51 @@
-//! The worker pool: N simulated accelerator instances behind channels.
+//! The worker pool: N execution engines behind channels.
 //!
-//! Each worker thread owns its own [`Salo`] instance (modeling one
-//! physical accelerator) and processes [`Work`] items: whole same-plan
-//! batches (the compiled plan is shared across the batch, each member
-//! request's heads run back to back — bit-identical to [`Salo::execute`])
-//! and decode-session traffic (open / step / close). Decode sessions are
-//! *pinned*: their per-head K/V state lives in the worker's local session
-//! map for the whole generation, so steps never cross threads and the
-//! state is never locked.
+//! Each worker thread owns a [`LoweredEngine`] (modeling one physical
+//! accelerator) and consumes [`AttentionRequest`]s directly — prefill
+//! batches and decode-session traffic alike travel as typed requests, so
+//! the worker body is one `engine.execute(request)` call plus reply
+//! routing ([`Reply`]). Decode sessions are *pinned*: their per-head K/V
+//! state lives inside the worker's engine for the whole generation, so
+//! steps never cross threads and the state is never locked.
 //!
-//! Three resources amortize across the pool's lifetime: the clones share
+//! Three resources amortize across the pool's lifetime: the engines share
 //! one set of exponential/reciprocal lookup tables (behind `Arc` inside
-//! the accelerator), each worker carries one [`ExecScratch`] across every
-//! request and step it ever serves, and session K/V arenas grow once per
+//! the accelerator), each engine carries one scratch across every request
+//! and step it ever serves, and session K/V arenas grow once per
 //! generation.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use salo_core::{CompiledPlan, MultiHeadRun, Salo};
-use salo_sim::ExecScratch;
+use salo_core::{AttentionRequest, Engine, LoweredEngine, MultiHeadRun, PrefillOutput, Salo};
 
-use crate::batch::Batch;
-use crate::session::{
-    SessionEvent, SessionInfo, SessionRegistry, SessionRequest, TokenQkv, WorkerSession,
-};
+use crate::session::{DecodeStep, SessionEvent, SessionInfo, SessionRegistry};
 use crate::ServeError;
 
-/// One unit of work shipped to a worker thread.
-pub(crate) enum Work {
-    /// A same-plan batch of layer requests.
-    Batch(Batch),
-    /// Open a decode session (lower the step program, ingest the prompt).
-    Open(OpenJob),
-    /// One decode step of a pinned session.
-    Step(StepJob),
-    /// Drop a session's state.
-    Close {
-        /// The session to drop.
-        session: u64,
-    },
+/// One typed request travelling to a worker, paired with the routing
+/// metadata its response needs. Workers do not translate it: the
+/// `request` goes straight into the engine.
+pub(crate) struct Job {
+    /// The typed attention request the engine executes verbatim.
+    pub request: AttentionRequest,
+    /// Where (and how) the outcome is reported.
+    pub reply: Reply,
 }
 
-/// Payload of [`Work::Open`].
-pub(crate) struct OpenJob {
-    pub session: u64,
-    pub plan: Arc<CompiledPlan>,
-    pub request: SessionRequest,
-    pub cache_hit: bool,
-    pub submitted: Instant,
-    pub events: Sender<SessionEvent>,
-}
-
-/// Payload of [`Work::Step`].
-pub(crate) struct StepJob {
-    pub session: u64,
-    pub token: Vec<TokenQkv>,
-    pub submitted: Instant,
-    /// The session's event channel, carried with the job so a step that
-    /// arrives after the session was retired (poisoned or closed while
-    /// this step sat in the queue) can still report its failure instead
-    /// of leaving the client blocked on an event that never comes.
-    pub events: Sender<SessionEvent>,
+/// Response routing for a [`Job`] — the only per-kind metadata left
+/// outside the typed request itself.
+pub(crate) enum Reply {
+    /// A layer request: the result enters the ordered response stream.
+    Layer { id: u64, cache_hit: bool, batch_size: usize, submitted: Instant },
+    /// A decode-session open: the handshake goes to the session channel.
+    Open { session: u64, cache_hit: bool, submitted: Instant, events: Sender<SessionEvent> },
+    /// A decode step: the output goes to the session channel.
+    Step { session: u64, submitted: Instant, events: Sender<SessionEvent> },
+    /// A session close: the terminal event goes to the session channel.
+    Close { session: u64, events: Sender<SessionEvent> },
 }
 
 /// A finished layer request, reported by a worker to the collector.
@@ -102,13 +82,13 @@ pub(crate) enum Completed {
 
 /// Handles to the worker threads plus their load counters.
 pub(crate) struct WorkerPool {
-    senders: Vec<Sender<Work>>,
+    senders: Vec<Sender<Vec<Job>>>,
     outstanding: Vec<Arc<AtomicUsize>>,
     pub handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads, each owning a clone of `salo`.
+    /// Spawns `workers` threads, each owning an engine built from `salo`.
     pub fn spawn(
         workers: usize,
         salo: &Salo,
@@ -120,9 +100,10 @@ impl WorkerPool {
         let mut outstanding = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for index in 0..workers {
-            let (tx, rx) = std::sync::mpsc::channel::<Work>();
+            let (tx, rx) = std::sync::mpsc::channel::<Vec<Job>>();
             let load = Arc::new(AtomicUsize::new(0));
-            let worker_salo = salo.clone();
+            // Engines built from one Salo share its lookup tables.
+            let engine = salo.engine();
             let worker_done = done.clone();
             let worker_load = Arc::clone(&load);
             let worker_registry = Arc::clone(registry);
@@ -132,7 +113,7 @@ impl WorkerPool {
                     .spawn(move || {
                         worker_loop(
                             index,
-                            &worker_salo,
+                            engine,
                             &rx,
                             &worker_done,
                             &worker_load,
@@ -168,33 +149,32 @@ impl WorkerPool {
             .map_or(0, |(i, _)| i)
     }
 
-    /// Sends a batch to the least-loaded worker (by outstanding request
-    /// count). On failure — the chosen worker's thread is gone — the
-    /// batch is handed back so the caller can fail its requests instead
-    /// of dropping them.
-    pub fn dispatch(&self, batch: Batch) -> Result<(), Batch> {
+    /// Sends a batch of jobs to the least-loaded worker (by outstanding
+    /// request count). On failure — the chosen worker's thread is gone —
+    /// the jobs are handed back so the caller can fail their requests
+    /// instead of dropping them.
+    pub fn dispatch(&self, jobs: Vec<Job>) -> Result<(), Vec<Job>> {
         let target = self.least_loaded();
-        self.outstanding[target].fetch_add(batch.len(), Ordering::Relaxed);
-        match self.senders[target].send(Work::Batch(batch)) {
+        self.outstanding[target].fetch_add(jobs.len(), Ordering::Relaxed);
+        match self.senders[target].send(jobs) {
             Ok(()) => Ok(()),
-            Err(std::sync::mpsc::SendError(work)) => {
-                let Work::Batch(batch) = work else { unreachable!("batch sent, batch returned") };
-                self.outstanding[target].fetch_sub(batch.len(), Ordering::Relaxed);
-                Err(batch)
+            Err(std::sync::mpsc::SendError(jobs)) => {
+                self.outstanding[target].fetch_sub(jobs.len(), Ordering::Relaxed);
+                Err(jobs)
             }
         }
     }
 
-    /// Sends session work to a specific (pinned) worker. Returns the work
-    /// back if that worker's thread is gone.
-    #[allow(clippy::result_large_err)] // the Err is the undelivered work itself
-    pub fn dispatch_to(&self, worker: usize, work: Work) -> Result<(), Work> {
+    /// Sends one session job to a specific (pinned) worker. Returns the
+    /// job back if that worker's thread is gone.
+    #[allow(clippy::result_large_err)] // the Err is the undelivered job itself
+    pub fn dispatch_to(&self, worker: usize, job: Job) -> Result<(), Job> {
         self.outstanding[worker].fetch_add(1, Ordering::Relaxed);
-        match self.senders[worker].send(work) {
+        match self.senders[worker].send(vec![job]) {
             Ok(()) => Ok(()),
-            Err(std::sync::mpsc::SendError(work)) => {
+            Err(std::sync::mpsc::SendError(mut jobs)) => {
                 self.outstanding[worker].fetch_sub(1, Ordering::Relaxed);
-                Err(work)
+                Err(jobs.pop().expect("one job sent, one returned"))
             }
         }
     }
@@ -207,147 +187,122 @@ impl WorkerPool {
 
 fn worker_loop(
     index: usize,
-    salo: &Salo,
-    rx: &Receiver<Work>,
+    mut engine: LoweredEngine,
+    rx: &Receiver<Vec<Job>>,
     done: &Sender<Completed>,
     load: &AtomicUsize,
     registry: &SessionRegistry,
 ) {
-    // One scratch for the worker's lifetime: arenas and accumulators grow
-    // to the largest shape seen and are then reused across requests,
-    // session prompts and decode steps.
-    let mut scratch = ExecScratch::new();
-    // The worker-resident halves of the sessions pinned here.
-    let mut sessions: HashMap<u64, WorkerSession> = HashMap::new();
-    while let Ok(work) = rx.recv() {
-        match work {
-            Work::Batch(batch) => {
-                let batch_size = batch.requests.len();
-                for req in batch.requests {
-                    let result = salo
-                        .execute_with_scratch(&batch.plan, &req.heads, &mut scratch)
-                        .map_err(ServeError::from);
-                    load.fetch_sub(1, Ordering::Relaxed);
-                    let completed = Completed::Layer(LayerDone {
-                        id: req.id,
-                        result,
-                        cache_hit: req.cache_hit,
-                        worker: Some(index),
-                        batch_size,
-                        submitted: req.submitted,
-                        finished: Instant::now(),
-                    });
-                    if done.send(completed).is_err() {
-                        return; // collector is gone; nothing left to report to
-                    }
-                }
+    while let Ok(jobs) = rx.recv() {
+        for job in jobs {
+            if !run_job(index, &mut engine, job, done, load, registry) {
+                return; // collector is gone; nothing left to report to
             }
-            Work::Open(job) => {
-                let result = WorkerSession::open(
-                    salo,
-                    &job.plan,
-                    &job.request,
-                    job.events.clone(),
-                    &mut scratch,
-                );
-                load.fetch_sub(1, Ordering::Relaxed);
-                let ok = result.is_ok();
-                let info = result.map(|session| {
-                    let info = SessionInfo {
-                        worker: index,
-                        min_step: session.min_step(),
-                        position: session.position(),
-                        capacity: session.capacity(),
-                        cache_hit: job.cache_hit,
-                    };
-                    sessions.insert(job.session, session);
-                    info
-                });
-                if !ok {
-                    // Deregister before reporting, so a client that saw
-                    // the failed handshake gets `UnknownSession` from any
-                    // later `step_session` instead of a silent drop; the
-                    // retirement also queues the dispatcher route for
-                    // reaping.
-                    registry.retire(job.session);
-                }
+        }
+    }
+}
+
+/// Executes one job on the worker's engine and routes its outcome.
+/// Returns `false` once the collector is gone.
+fn run_job(
+    index: usize,
+    engine: &mut LoweredEngine,
+    job: Job,
+    done: &Sender<Completed>,
+    load: &AtomicUsize,
+    registry: &SessionRegistry,
+) -> bool {
+    let Job { request, reply } = job;
+    match reply {
+        Reply::Layer { id, cache_hit, batch_size, submitted } => {
+            let result = engine
+                .execute(request)
+                .and_then(|r| r.into_prefill())
+                .and_then(PrefillOutput::into_multi_head_run)
+                .map_err(ServeError::from);
+            load.fetch_sub(1, Ordering::Relaxed);
+            let completed = Completed::Layer(LayerDone {
+                id,
+                result,
+                cache_hit,
+                worker: Some(index),
+                batch_size,
+                submitted,
+                finished: Instant::now(),
+            });
+            done.send(completed).is_ok()
+        }
+        Reply::Open { session, cache_hit, submitted, events } => {
+            let result = engine.execute(request).and_then(|r| r.into_opened());
+            load.fetch_sub(1, Ordering::Relaxed);
+            let ok = result.is_ok();
+            let info = result.map(|opened| SessionInfo {
+                worker: index,
+                min_step: opened.min_step,
+                position: opened.position,
+                capacity: opened.capacity,
+                cache_hit,
+            });
+            if !ok {
+                // Deregister before reporting, so a client that saw the
+                // failed handshake gets `UnknownSession` from any later
+                // `step_session` instead of a silent drop; the retirement
+                // also queues the dispatcher route for reaping.
+                registry.retire(session);
+            }
+            let _ = events
+                .send(SessionEvent::Opened { session, result: info.map_err(ServeError::from) });
+            let completed = Completed::SessionOpened { ok, submitted, finished: Instant::now() };
+            done.send(completed).is_ok()
+        }
+        Reply::Step { session, submitted, events } => {
+            // Bookkeeping (load, registry retirement) strictly precedes
+            // the event sends: a client that has observed a step's
+            // outcome must see the worker's state already settled —
+            // retired sessions reject further steps, and session
+            // placement reads a load this step no longer inflates.
+            let known = engine.has_session(session);
+            let before = engine.session_position(session);
+            let result = engine.execute(request).and_then(|r| r.into_step());
+            let ok = result.is_ok();
+            // A failure that desynced the per-head states made the engine
+            // retire the session; propagate the retirement runtime-wide.
+            // Pre-mutation validation failures leave it live (and
+            // decodable), and steps for sessions this engine never held
+            // were retired long ago.
+            let poisoned = known && !engine.has_session(session);
+            if poisoned {
+                registry.retire(session);
+            }
+            load.fetch_sub(1, Ordering::Relaxed);
+            let result = result
+                .map(|step| DecodeStep {
+                    position: step.position,
+                    heads: step.heads,
+                    worker: index,
+                })
+                .map_err(ServeError::from);
+            let _ = events.send(SessionEvent::Step {
+                session,
+                result,
+                latency_s: submitted.elapsed().as_secs_f64(),
+            });
+            if poisoned {
+                // `before` is the tokens known ingested when the failing
+                // step began; the failing token's partial ingest died
+                // with the session state.
+                let _ = events.send(SessionEvent::Closed { session, position: before });
+            }
+            let completed = Completed::Step { ok, submitted, finished: Instant::now() };
+            done.send(completed).is_ok()
+        }
+        Reply::Close { session, events } => {
+            load.fetch_sub(1, Ordering::Relaxed);
+            if let Ok(closed) = engine.execute(request).and_then(|r| r.into_closed()) {
                 let _ =
-                    job.events.send(SessionEvent::Opened { session: job.session, result: info });
-                let completed = Completed::SessionOpened {
-                    ok,
-                    submitted: job.submitted,
-                    finished: Instant::now(),
-                };
-                if done.send(completed).is_err() {
-                    return;
-                }
+                    events.send(SessionEvent::Closed { session, position: Some(closed.position) });
             }
-            Work::Step(job) => {
-                // Bookkeeping (load, registry retirement) strictly
-                // precedes the event sends: a client that has observed a
-                // step's outcome must see the worker's state already
-                // settled — retired sessions reject further steps, and
-                // session placement reads a load this step no longer
-                // inflates.
-                let ok = match sessions.get_mut(&job.session) {
-                    Some(session) => {
-                        let before = session.position();
-                        let result = session.step(salo, &job.token, &mut scratch, index);
-                        let events = session.events.clone();
-                        let position = session.position();
-                        let ok = result.is_ok();
-                        // A failure that left any head advanced or
-                        // poisoned desyncs the session: retire it. A
-                        // pre-mutation validation failure (wrong head
-                        // count, bad row dimension caught up front)
-                        // leaves it intact and decodable.
-                        let poisoned = !ok && !session.is_intact(before);
-                        if poisoned {
-                            sessions.remove(&job.session);
-                            registry.retire(job.session);
-                        }
-                        load.fetch_sub(1, Ordering::Relaxed);
-                        let _ = events.send(SessionEvent::Step {
-                            session: job.session,
-                            result,
-                            latency_s: job.submitted.elapsed().as_secs_f64(),
-                        });
-                        if poisoned {
-                            let _ = events.send(SessionEvent::Closed {
-                                session: job.session,
-                                position: Some(position),
-                            });
-                        }
-                        ok
-                    }
-                    None => {
-                        // The session was retired (poisoned or closed)
-                        // while this step sat in the queue: report the
-                        // failure on the job's own channel so no client
-                        // blocks on a result that will never come.
-                        load.fetch_sub(1, Ordering::Relaxed);
-                        let _ = job.events.send(SessionEvent::Step {
-                            session: job.session,
-                            result: Err(ServeError::UnknownSession { session: job.session }),
-                            latency_s: job.submitted.elapsed().as_secs_f64(),
-                        });
-                        false
-                    }
-                };
-                let completed =
-                    Completed::Step { ok, submitted: job.submitted, finished: Instant::now() };
-                if done.send(completed).is_err() {
-                    return;
-                }
-            }
-            Work::Close { session } => {
-                load.fetch_sub(1, Ordering::Relaxed);
-                if let Some(state) = sessions.remove(&session) {
-                    let _ = state
-                        .events
-                        .send(SessionEvent::Closed { session, position: Some(state.position()) });
-                }
-            }
+            true
         }
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example hardware_timeline`
 
-use salo::core::Salo;
+use salo::core::{AttentionRequest, Engine, PatternHandle, Salo};
 use salo::kernels::Qkv;
 use salo::models::longformer_layer;
 use salo::sim::{AcceleratorConfig, Timeline};
@@ -23,17 +23,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     print!("{}", timeline.render_text(12));
 
-    // Functional execution of the same plan, with both datapath views.
+    // Functional execution of the same plan through the engine API.
     let head = Qkv::random(1024, 64, 9);
-    let fast = salo.execute_head(&compiled, &head)?;
+    let mut engine = salo.engine();
+    let fast = engine
+        .execute(AttentionRequest::Prefill {
+            pattern: PatternHandle::from_plan(std::sync::Arc::new(compiled)),
+            shape: workload.shape,
+            heads: vec![head],
+        })?
+        .into_prefill()?;
+    let report = fast.heads[0].report.as_ref().expect("fixed-point engines report timing");
     println!(
         "\nvectorized execution: {} saturations, weight[0] = {}",
-        fast.report.saturation_events, fast.weights_q16[0]
+        report.saturation_events,
+        fast.heads[0].weights_q16.as_ref().expect("fixed-point weights")[0]
     );
     println!(
         "utilization {:.1}%, energy {:.2} uJ",
-        fast.report.timing.utilization.mac_utilization * 100.0,
-        fast.report.timing.energy_j * 1e6
+        report.timing.utilization.mac_utilization * 100.0,
+        report.timing.energy_j * 1e6
     );
     Ok(())
 }

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example longformer`
 
 use salo::baselines::{cpu_xeon_e5_2630_v3, gtx_1080ti};
-use salo::core::{compare_workload, Salo};
+use salo::core::{compare_workload, AttentionRequest, Engine, Salo};
 use salo::kernels::multi_head_attention;
 use salo::models::{longformer_base_4096, longformer_layer};
 
@@ -44,9 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Scaled-down functional execution: n=512, w=64, 2 heads.
     let scaled = longformer_layer(512, 64, 128, 1)?;
-    let compiled = salo.compile(&scaled.pattern, &scaled.shape)?;
+    let mut engine = salo.engine();
+    let handle = engine.prepare(&scaled.pattern, &scaled.shape)?;
     let heads = scaled.qkv_heads(7);
-    let run = salo.execute(&compiled, &heads)?;
+    let run = engine
+        .execute(AttentionRequest::Prefill {
+            pattern: handle,
+            shape: scaled.shape,
+            heads: heads.clone(),
+        })?
+        .into_prefill()?;
     let reference = multi_head_attention(&scaled.pattern, &heads)?;
     let mut worst = 0.0f32;
     for (ours, exact) in run.heads.iter().zip(&reference.heads) {
@@ -55,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nscaled functional run (n=512, w=64, 2 heads):");
     println!(
         "  simulated latency {:.3} us, max |err| vs f32 reference {:.4}",
-        run.total_time_s * 1e6,
+        run.telemetry.sim_time_s.unwrap_or(0.0) * 1e6,
         worst
     );
     assert!(worst < 0.3);

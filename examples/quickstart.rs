@@ -1,11 +1,12 @@
-//! Quickstart: build a hybrid sparse attention pattern, compile it for the
-//! SALO accelerator, execute it, and check the result against the exact
-//! `f32` reference.
+//! Quickstart: build a hybrid sparse attention pattern, compile it, and
+//! execute it through the unified engine API — once on the fast
+//! fixed-point backend, once on the `f32` reference backend — then
+//! compare the two.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use salo::core::Salo;
-use salo::kernels::{sparse_attention, Qkv};
+use salo::core::{AttentionRequest, Engine, Salo};
+use salo::kernels::Qkv;
 use salo::patterns::{AttentionShape, HybridPattern, Window};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,32 +23,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.compression() as u64
     );
 
-    // 2. Compile for the default (Table 1) accelerator instance.
+    // 2. Compile for the default (Table 1) accelerator instance: the
+    //    engine's `prepare` runs the data scheduler once and attaches the
+    //    lowered plan to the returned handle.
     let salo = Salo::default_config();
     let shape = AttentionShape::new(512, 64, 1)?;
-    let compiled = salo.compile(&pattern, &shape)?;
+    let mut engine = salo.engine(); // the fast fixed-point backend
+    let handle = engine.prepare(&pattern, &shape)?;
+    let plan = handle.plan().expect("fixed-point engines attach the compiled plan");
     println!(
-        "plan: {} passes, occupancy {:.1}%",
-        compiled.stats.passes,
-        compiled.stats.occupancy * 100.0
+        "plan: {} passes, occupancy {:.1}% (engine '{}', caps {:?})",
+        plan.stats.passes,
+        plan.stats.occupancy * 100.0,
+        engine.name(),
+        engine.capabilities()
     );
 
-    // 3. Execute one head functionally (bit-accurate fixed point).
+    // 3. Execute one head functionally (bit-accurate fixed point): one
+    //    typed request in, one typed response out.
     let head = Qkv::random(512, 64, 42);
-    let out = salo.execute_head(&compiled, &head)?;
-    let timing = &out.report.timing;
+    let request =
+        AttentionRequest::Prefill { pattern: handle.clone(), shape, heads: vec![head.clone()] };
+    let out = engine.execute(request.clone())?.into_prefill()?;
+    let telemetry = &out.telemetry;
     println!(
-        "executed: {} cycles = {:.3} us @ 1 GHz, utilization {:.1}%, energy {:.3} uJ",
-        timing.cycles.total,
-        timing.time_s * 1e6,
-        timing.utilization.mac_utilization * 100.0,
-        timing.energy_j * 1e6
+        "executed: {} cycles = {:.3} us @ 1 GHz, energy {:.3} uJ",
+        telemetry.sim_cycles.unwrap_or(0),
+        telemetry.sim_time_s.unwrap_or(0.0) * 1e6,
+        telemetry.sim_energy_j.unwrap_or(0.0) * 1e6
     );
 
-    // 4. Compare with the exact f32 reference.
-    let scale = 1.0 / (64f32).sqrt();
-    let reference = sparse_attention(&pattern, &head.q, &head.k, &head.v, scale)?;
-    let diff = out.output.max_abs_diff(&reference);
+    // 4. Run the *same request* through the `f32` reference backend and
+    //    compare — backend comparison is a one-liner per engine.
+    let exact = salo.reference_engine().execute(request)?.into_prefill()?;
+    let diff = out.heads[0].output.max_abs_diff(&exact.heads[0].output);
     println!("max |fixed - f32| = {diff:.4} (quantization error only)");
     assert!(diff < 0.3, "fixed-point output should track the reference");
     println!("ok");

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example vision_longformer`
 
-use salo::core::Salo;
+use salo::core::{AttentionRequest, Engine, Salo};
 use salo::kernels::sparse_attention;
 use salo::models::{vil_stage1, vil_stage_layer};
 use salo::patterns::{grid_2d, DenseMask};
@@ -40,15 +40,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Scaled functional run: 16x16 grid, 5x5 window, one 64-dim head.
     let scaled = vil_stage_layer(16, 16, 5, 5, 64, 1)?;
-    let compiled = salo.compile(&scaled.pattern, &scaled.shape)?;
+    let mut engine = salo.engine();
+    let handle = engine.prepare(&scaled.pattern, &scaled.shape)?;
     let heads = scaled.qkv_heads(3);
-    let run = salo.execute(&compiled, &heads)?;
+    let run = engine
+        .execute(AttentionRequest::Prefill {
+            pattern: handle,
+            shape: scaled.shape,
+            heads: heads.clone(),
+        })?
+        .into_prefill()?;
     let reference =
         sparse_attention(&scaled.pattern, &heads[0].q, &heads[0].k, &heads[0].v, scaled.scale())?;
     let diff = run.heads[0].output.max_abs_diff(&reference);
     println!(
         "scaled run (16x16 grid): {:.3} us simulated, max |err| {:.4}",
-        run.total_time_s * 1e6,
+        run.telemetry.sim_time_s.unwrap_or(0.0) * 1e6,
         diff
     );
     assert!(diff < 0.3);

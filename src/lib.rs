@@ -15,8 +15,8 @@
 //! | [`baselines`] | CPU / GPU / Sanger performance and energy models |
 //! | [`models`] | Longformer / ViL / BERT workload configurations |
 //! | [`quant`] | the quantization accuracy study (Table 3) |
-//! | [`core`] | the top-level `Salo` API tying everything together, incl. streaming decode sessions |
-//! | [`serve`] | concurrent serving runtime: plan cache, batching, worker pool, pinned decode sessions |
+//! | [`core`] | the unified engine API (`AttentionRequest` over pluggable `Engine` backends) plus the `Salo` façade and streaming decode sessions |
+//! | [`serve`] | concurrent serving runtime: plan cache, batching, a worker pool of engines consuming typed requests, pinned decode sessions |
 //!
 //! # Quickstart
 //!

@@ -1,7 +1,7 @@
 //! End-to-end integration: pattern -> scheduler -> simulator vs the exact
 //! reference kernels, across every preset pattern family.
 
-use salo::core::Salo;
+use salo::core::{AttentionRequest, Engine, Salo};
 use salo::kernels::{multi_head_attention, sparse_attention, Qkv};
 use salo::patterns::{
     grid_2d, longformer, sparse_transformer, star_transformer, AttentionShape, HybridPattern,
@@ -19,14 +19,19 @@ fn small_salo() -> Salo {
 fn check_pattern(pattern: &HybridPattern, d: usize, seed: u64, tolerance: f32) {
     let salo = small_salo();
     let shape = AttentionShape::new(pattern.n(), d, 1).unwrap();
-    let compiled = salo.compile(pattern, &shape).expect("compile");
+    let mut engine = salo.engine();
+    let handle = engine.prepare(pattern, &shape).expect("compile");
     let head = Qkv::random(pattern.n(), d, seed);
-    let out = salo.execute_head(&compiled, &head).expect("execute");
+    let out = engine
+        .execute(AttentionRequest::Prefill { pattern: handle, shape, heads: vec![head.clone()] })
+        .expect("execute")
+        .into_prefill()
+        .expect("prefill response");
     let scale = 1.0 / (d as f32).sqrt();
     let exact = sparse_attention(pattern, &head.q, &head.k, &head.v, scale).expect("reference");
-    let diff = out.output.max_abs_diff(&exact);
+    let diff = out.heads[0].output.max_abs_diff(&exact);
     assert!(diff < tolerance, "diff {diff} over tolerance {tolerance}");
-    assert_eq!(out.report.saturation_events, 0, "no saturation on unit-normal inputs");
+    assert_eq!(out.telemetry.saturation_events, 0, "no saturation on unit-normal inputs");
 }
 
 #[test]
@@ -65,17 +70,22 @@ fn multi_head_layer_matches_reference() {
     let salo = small_salo();
     let pattern = longformer(64, 9, 1).unwrap();
     let shape = AttentionShape::new(64, 8, 4).unwrap();
-    let compiled = salo.compile(&pattern, &shape).unwrap();
+    let mut engine = salo.engine();
+    let handle = engine.prepare(&pattern, &shape).unwrap();
     let heads = Qkv::random_heads(&shape, 33);
-    let run = salo.execute(&compiled, &heads).unwrap();
+    let run = engine
+        .execute(AttentionRequest::Prefill { pattern: handle, shape, heads: heads.clone() })
+        .unwrap()
+        .into_prefill()
+        .unwrap();
     let reference = multi_head_attention(&pattern, &heads).unwrap();
     for (h, (ours, exact)) in run.heads.iter().zip(&reference.heads).enumerate() {
         let diff = ours.output.max_abs_diff(exact);
         assert!(diff < 0.35, "head {h} diff {diff}");
     }
     // Layer latency = sum of head latencies; energy likewise.
-    let per_head: f64 = run.heads.iter().map(|h| h.report.timing.time_s).sum();
-    assert!((run.total_time_s - per_head).abs() < 1e-12);
+    let per_head: f64 = run.heads.iter().map(|h| h.report.as_ref().unwrap().timing.time_s).sum();
+    assert!((run.telemetry.sim_time_s.unwrap() - per_head).abs() < 1e-12);
 }
 
 #[test]
@@ -104,9 +114,14 @@ fn outputs_are_bounded_by_value_range() {
     let salo = small_salo();
     let pattern = longformer(48, 7, 1).unwrap();
     let shape = AttentionShape::new(48, 8, 1).unwrap();
-    let compiled = salo.compile(&pattern, &shape).unwrap();
+    let mut engine = salo.engine();
+    let handle = engine.prepare(&pattern, &shape).unwrap();
     let head = Qkv::random(48, 8, 99);
-    let out = salo.execute_head(&compiled, &head).unwrap();
+    let out = engine
+        .execute(AttentionRequest::Prefill { pattern: handle, shape, heads: vec![head.clone()] })
+        .unwrap()
+        .into_prefill()
+        .unwrap();
     let mut vmax = 0.0f32;
     for i in 0..48 {
         for &x in head.v.row(i) {
@@ -114,7 +129,7 @@ fn outputs_are_bounded_by_value_range() {
         }
     }
     for i in 0..48 {
-        for &o in out.output.row(i) {
+        for &o in out.heads[0].output.row(i) {
             assert!(o.abs() <= vmax + 0.1, "output {o} exceeds value range {vmax}");
         }
     }

@@ -1,0 +1,305 @@
+//! Backend-equivalence suite for the unified engine API: the same typed
+//! [`AttentionRequest`]s driven through all three engines —
+//! `LoweredEngine` and `SystolicEngine` must agree **bit for bit** (raw
+//! outputs, Q.16 weights, saturation counts), and `ReferenceEngine`
+//! (exact `f32` softmax attention) must agree within the documented
+//! fixed-point error bound — on prefill and decode alike.
+//!
+//! The bound: inputs are unit-normal, quantized to Q.4 activations with a
+//! Q.16 softmax; across the whole repo's test matrix the observed error
+//! stays under 0.4 (see `EXPERIMENTS.md`, "Reference-vs-fixed error").
+
+use proptest::prelude::*;
+use salo::core::{AttentionRequest, Engine, HeadStep, PrefillOutput, Salo, SaloError, TokenQkv};
+use salo::kernels::{Matrix, Qkv};
+use salo::patterns::{AttentionShape, HybridPattern, Window};
+use salo::scheduler::HardwareMeta;
+use salo::sim::AcceleratorConfig;
+
+/// The documented fixed-point-vs-float bound for unit-normal inputs.
+const FIXED_POINT_BOUND: f32 = 0.4;
+
+fn small_salo() -> Salo {
+    let config =
+        AcceleratorConfig { hw: HardwareMeta::new(8, 8, 1, 1).unwrap(), ..Default::default() };
+    Salo::new(config)
+}
+
+/// Runs one prefill request through an engine.
+fn prefill_on(
+    engine: &mut dyn Engine,
+    pattern: &HybridPattern,
+    shape: AttentionShape,
+    heads: &[Qkv],
+) -> PrefillOutput {
+    let handle = engine.prepare(pattern, &shape).expect("prepare");
+    engine
+        .execute(AttentionRequest::Prefill { pattern: handle, shape, heads: heads.to_vec() })
+        .expect("prefill")
+        .into_prefill()
+        .expect("prefill response")
+}
+
+/// The first `rows` rows of a full-sequence head.
+fn prompt_of(full: &Qkv, rows: usize) -> Qkv {
+    let d = full.head_dim();
+    Qkv::new(
+        Matrix::from_fn(rows, d, |i, j| full.q.get(i, j)),
+        Matrix::from_fn(rows, d, |i, j| full.k.get(i, j)),
+        Matrix::from_fn(rows, d, |i, j| full.v.get(i, j)),
+    )
+    .expect("prompt rows")
+}
+
+/// Opens a decode session on an engine and steps it to capacity,
+/// returning each step's per-head outputs.
+fn decode_on(
+    engine: &mut dyn Engine,
+    pattern: &HybridPattern,
+    d: usize,
+    num_heads: usize,
+    full: &[Qkv],
+) -> Vec<Vec<HeadStep>> {
+    let n = pattern.n();
+    let shape = AttentionShape::new(n, d, num_heads).expect("shape");
+    let handle = engine.prepare(pattern, &shape).expect("prepare");
+    let min_step = pattern.decode_view().expect("decode view").min_step();
+    let prompt: Vec<Qkv> = full.iter().map(|h| prompt_of(h, min_step)).collect();
+    let opened = engine
+        .execute(AttentionRequest::DecodeOpen {
+            session: 1,
+            pattern: handle,
+            head_dim: d,
+            num_heads,
+            prompt,
+        })
+        .expect("open")
+        .into_opened()
+        .expect("opened response");
+    assert_eq!(opened.capacity, n);
+    assert_eq!(opened.position, min_step);
+
+    let mut steps = Vec::new();
+    for t in min_step..n {
+        let token: Vec<TokenQkv> = full.iter().map(|h| TokenQkv::from_row(h, t)).collect();
+        let step = engine
+            .execute(AttentionRequest::DecodeStep { session: 1, token })
+            .expect("step")
+            .into_step()
+            .expect("step response");
+        assert_eq!(step.position, t);
+        steps.push(step.heads);
+    }
+    let closed = engine
+        .execute(AttentionRequest::DecodeClose { session: 1 })
+        .expect("close")
+        .into_closed()
+        .expect("closed response");
+    assert_eq!(closed.position, n);
+    assert!(!engine.has_session(1));
+    steps
+}
+
+/// The acceptance test: one random hybrid pattern through all three
+/// engines, prefill and decode, asserting lowered≡systolic bit-identity
+/// and reference agreement within the documented bound.
+#[test]
+fn all_three_engines_agree_on_one_random_hybrid_pattern() {
+    let salo = small_salo();
+    // A dilated window plus a global token — the hybrid shape SALO is
+    // built for.
+    let pattern = HybridPattern::builder(36)
+        .window(Window::dilated(-8, 0, 2).unwrap())
+        .global_token(0)
+        .build()
+        .unwrap();
+    let d = 8;
+    let num_heads = 2;
+    let shape = AttentionShape::new(36, d, num_heads).unwrap();
+    let heads = Qkv::random_heads(&shape, 4242);
+
+    // --- Capabilities describe the trio. ---
+    let mut engines = salo.all_engines();
+    assert_eq!(engines.len(), 3);
+    assert!(engines.iter().all(|e| e.capabilities().supports_decode));
+    assert_eq!(
+        engines.iter().map(|e| e.capabilities().bit_exact).collect::<Vec<_>>(),
+        [true, true, false]
+    );
+    assert_eq!(
+        engines.iter().map(|e| e.capabilities().event_accurate).collect::<Vec<_>>(),
+        [false, true, false]
+    );
+
+    // --- Prefill. ---
+    let outs: Vec<PrefillOutput> =
+        engines.iter_mut().map(|e| prefill_on(e.as_mut(), &pattern, shape, &heads)).collect();
+    let (lowered, systolic, reference) = (&outs[0], &outs[1], &outs[2]);
+    assert_eq!(lowered.telemetry.engine, "lowered");
+    assert_eq!(systolic.telemetry.engine, "systolic");
+    assert_eq!(reference.telemetry.engine, "reference");
+    for h in 0..num_heads {
+        // Bit-identity between the two fixed-point backends.
+        assert_eq!(lowered.heads[h].raw, systolic.heads[h].raw, "head {h} raw bits");
+        assert_eq!(lowered.heads[h].weights_q16, systolic.heads[h].weights_q16, "head {h} weights");
+        // The reference is float: no fixed-point artifacts, bounded error.
+        assert!(reference.heads[h].raw.is_none());
+        let diff = lowered.heads[h].output.max_abs_diff(&reference.heads[h].output);
+        assert!(diff < FIXED_POINT_BOUND, "head {h} prefill diff {diff}");
+    }
+    assert_eq!(
+        lowered.telemetry.saturation_events, systolic.telemetry.saturation_events,
+        "saturation counts"
+    );
+
+    // --- Decode: same pattern, token by token. ---
+    let dec: Vec<Vec<Vec<HeadStep>>> =
+        engines.iter_mut().map(|e| decode_on(e.as_mut(), &pattern, d, num_heads, &heads)).collect();
+    assert_eq!(dec[0], dec[1], "lowered and systolic decode are bit-identical");
+    for (s, (fixed, float)) in dec[0].iter().zip(&dec[2]).enumerate() {
+        for h in 0..num_heads {
+            assert!(fixed[h].raw.is_some() && float[h].raw.is_none());
+            let diff = fixed[h]
+                .output
+                .iter()
+                .zip(&float[h].output)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(diff < FIXED_POINT_BOUND, "step {s} head {h} decode diff {diff}");
+        }
+    }
+}
+
+#[test]
+fn engine_sessions_validate_and_retire_like_the_serving_runtime() {
+    let salo = small_salo();
+    let mut engine = salo.engine();
+    let pattern = HybridPattern::builder(16)
+        .window(Window::causal(4).unwrap())
+        .global_token(0)
+        .build()
+        .unwrap();
+    let shape = AttentionShape::new(16, 4, 2).unwrap();
+    let handle = engine.prepare(&pattern, &shape).unwrap();
+    let heads = Qkv::random_heads(&shape, 9);
+    let prompt: Vec<Qkv> = heads.iter().map(|h| prompt_of(h, 1)).collect();
+
+    // Unknown session: steps and closes report it.
+    let tok = |d: usize| TokenQkv { q: vec![0.1; d], k: vec![0.1; d], v: vec![0.1; d] };
+    assert!(matches!(
+        engine.execute(AttentionRequest::DecodeStep { session: 7, token: vec![tok(4); 2] }),
+        Err(SaloError::UnknownSession { session: 7 })
+    ));
+    assert!(matches!(
+        engine.execute(AttentionRequest::DecodeClose { session: 7 }),
+        Err(SaloError::UnknownSession { session: 7 })
+    ));
+
+    engine
+        .execute(AttentionRequest::DecodeOpen {
+            session: 7,
+            pattern: handle.clone(),
+            head_dim: 4,
+            num_heads: 2,
+            prompt: prompt.clone(),
+        })
+        .unwrap();
+    assert!(engine.has_session(7));
+    assert_eq!(engine.session_position(7), Some(1));
+
+    // Reusing a live id is rejected.
+    assert!(matches!(
+        engine.execute(AttentionRequest::DecodeOpen {
+            session: 7,
+            pattern: handle,
+            head_dim: 4,
+            num_heads: 2,
+            prompt,
+        }),
+        Err(SaloError::SessionInUse { session: 7 })
+    ));
+
+    // Wrong token head count: pre-mutation, the session stays live.
+    assert!(engine
+        .execute(AttentionRequest::DecodeStep { session: 7, token: vec![tok(4)] })
+        .is_err());
+    assert!(engine.has_session(7), "validation failures do not retire the session");
+    assert_eq!(engine.session_position(7), Some(1));
+
+    // Head 0 advances, head 1 rejects its short row: desync retires it.
+    assert!(engine
+        .execute(AttentionRequest::DecodeStep { session: 7, token: vec![tok(4), tok(2)] })
+        .is_err());
+    assert!(!engine.has_session(7), "a desyncing failure retires the session");
+    assert!(matches!(
+        engine.execute(AttentionRequest::DecodeStep { session: 7, token: vec![tok(4); 2] }),
+        Err(SaloError::UnknownSession { .. })
+    ));
+}
+
+fn arb_pattern() -> impl Strategy<Value = HybridPattern> {
+    (14usize..36, -6i64..0, 1usize..6, 1usize..4, prop::collection::vec(0usize..10, 0..3))
+        .prop_filter_map("valid decodable pattern", |(n, lo, width, dil, globals)| {
+            let hi = lo + (width as i64) * dil as i64;
+            let w = Window::dilated(lo, hi, dil).ok()?;
+            let p = HybridPattern::builder(n)
+                .window(w)
+                .global_tokens(globals.into_iter().filter(move |&g| g < n))
+                .build()
+                .ok()?;
+            p.decode_view().ok()?; // decodable after causal clipping
+            Some(p)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Prefill: lowered and systolic are bit-identical; the reference
+    /// stays within the fixed-point bound — on random hybrid patterns.
+    #[test]
+    fn prefill_backends_are_equivalent(pattern in arb_pattern(), seed in 0u64..1000) {
+        let salo = small_salo();
+        let d = 8usize;
+        let shape = AttentionShape::new(pattern.n(), d, 1).unwrap();
+        let heads = Qkv::random_heads(&shape, seed);
+        let mut engines = salo.all_engines();
+        let outs: Vec<PrefillOutput> = engines
+            .iter_mut()
+            .map(|e| prefill_on(e.as_mut(), &pattern, shape, &heads))
+            .collect();
+        prop_assert_eq!(&outs[0].heads[0].raw, &outs[1].heads[0].raw);
+        prop_assert_eq!(&outs[0].heads[0].weights_q16, &outs[1].heads[0].weights_q16);
+        prop_assert_eq!(
+            outs[0].telemetry.saturation_events,
+            outs[1].telemetry.saturation_events
+        );
+        let diff = outs[0].heads[0].output.max_abs_diff(&outs[2].heads[0].output);
+        prop_assert!(diff < FIXED_POINT_BOUND, "diff {}", diff);
+    }
+
+    /// Decode: the per-step rows agree across backends the same way the
+    /// prefill rows do — bit-identical fixed engines, bounded reference.
+    #[test]
+    fn decode_backends_are_equivalent(pattern in arb_pattern(), seed in 0u64..1000) {
+        let salo = small_salo();
+        let d = 4usize;
+        let shape = AttentionShape::new(pattern.n(), d, 1).unwrap();
+        let heads = Qkv::random_heads(&shape, seed);
+        let mut engines = salo.all_engines();
+        let dec: Vec<_> = engines
+            .iter_mut()
+            .map(|e| decode_on(e.as_mut(), &pattern, d, 1, &heads))
+            .collect();
+        prop_assert_eq!(&dec[0], &dec[1], "lowered ≡ systolic decode");
+        for (fixed, float) in dec[0].iter().zip(&dec[2]) {
+            let diff = fixed[0]
+                .output
+                .iter()
+                .zip(&float[0].output)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            prop_assert!(diff < FIXED_POINT_BOUND, "decode diff {}", diff);
+        }
+    }
+}

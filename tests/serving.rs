@@ -3,7 +3,7 @@
 //! back in submission order, and the plan cache behaves as advertised
 //! end to end.
 
-use salo::core::Salo;
+use salo::core::{AttentionRequest, Engine, Salo};
 use salo::scheduler::HardwareMeta;
 use salo::serve::{SaloServer, ServeOptions, ServeRequest, TrafficMix};
 use salo::sim::AcceleratorConfig;
@@ -30,11 +30,28 @@ fn batched_multi_worker_execution_is_bit_identical_to_one_shot() {
         let run = response.output().expect("batched execution succeeds");
 
         let request = mix.request(i);
-        let compiled = one_shot.compile(&request.pattern, &request.shape).expect("compile");
-        for (head, qkv) in run.heads.iter().zip(&request.heads) {
-            let exact = one_shot.execute_head(&compiled, qkv).expect("one-shot execution");
-            assert_eq!(head.raw, exact.raw, "request {i}: bit-identical fixed-point output");
-            assert_eq!(head.weights_q16, exact.weights_q16, "request {i}: identical weights");
+        let mut engine = one_shot.engine();
+        let handle = engine.prepare(&request.pattern, &request.shape).expect("compile");
+        let exact = engine
+            .execute(AttentionRequest::Prefill {
+                pattern: handle,
+                shape: request.shape,
+                heads: request.heads.clone(),
+            })
+            .expect("one-shot execution")
+            .into_prefill()
+            .expect("prefill response");
+        for (head, direct) in run.heads.iter().zip(&exact.heads) {
+            assert_eq!(
+                Some(&head.raw),
+                direct.raw.as_ref(),
+                "request {i}: bit-identical fixed-point output"
+            );
+            assert_eq!(
+                Some(&head.weights_q16),
+                direct.weights_q16.as_ref(),
+                "request {i}: identical weights"
+            );
         }
     }
     let report = server.shutdown();
@@ -122,10 +139,19 @@ fn single_worker_small_array_stays_deterministic() {
     assert_eq!(report.requests, 1);
 
     let one_shot = Salo::new(small);
-    let compiled = one_shot.compile(&request.pattern, &request.shape).expect("compile");
-    let exact = one_shot.execute(&compiled, &request.heads).expect("execute");
+    let mut engine = one_shot.engine();
+    let handle = engine.prepare(&request.pattern, &request.shape).expect("compile");
+    let exact = engine
+        .execute(AttentionRequest::Prefill {
+            pattern: handle,
+            shape: request.shape,
+            heads: request.heads.clone(),
+        })
+        .expect("execute")
+        .into_prefill()
+        .expect("prefill response");
     for (served, direct) in run.heads.iter().zip(&exact.heads) {
-        assert_eq!(served.raw, direct.raw);
+        assert_eq!(Some(&served.raw), direct.raw.as_ref());
     }
 }
 

@@ -307,7 +307,7 @@ pub mod prop {
             VecStrategy { element, size: size.into() }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Debug)]
         pub struct VecStrategy<S> {
             element: S,
