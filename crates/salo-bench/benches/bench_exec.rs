@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use salo_core::{AttentionRequest, Engine, PatternHandle, Salo};
 use salo_kernels::Qkv;
 use salo_models::{bert_base, longformer_layer, vil_stage1, Workload};
-use salo_sim::{ExecScratch, LoweredPlan, SpatialAccelerator};
+use salo_sim::{ExecScratch, HeadsScratch, LoweredPlan, SpatialAccelerator};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -107,6 +107,46 @@ fn bench_engine_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The partitioned whole-heads path on Longformer-2048: one shard
+/// (sequential datapath plus partition bookkeeping) against four shards
+/// over scoped threads. On a single-core host the four-shard entry mostly
+/// measures partitioning plus thread spawn/join overhead; with real cores
+/// it shows the data-parallel scaling. Either way the output is
+/// bit-identical to `exec_lowered` (the executors are proptest-pinned to
+/// the systolic oracle at every shard count).
+fn bench_execute_partitioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_partitioned");
+    group.sample_size(10);
+    let salo = Salo::default_config();
+    let workload = longformer_layer(2048, 256, 768, 1).expect("longformer");
+    let compiled = salo.compile(&workload.pattern, &workload.shape).expect("compile");
+    let heads = vec![Qkv::random(workload.shape.seq_len, workload.shape.head_dim, 42)];
+    let scale = SpatialAccelerator::default_scale(workload.shape.head_dim);
+    let mut scratch = HeadsScratch::new();
+    for parallelism in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("longformer-2048-p{parallelism}")),
+            &parallelism,
+            |b, &parallelism| {
+                b.iter(|| {
+                    let out = salo
+                        .accelerator()
+                        .execute_heads_lowered(
+                            &compiled.lowered,
+                            &heads,
+                            scale,
+                            parallelism,
+                            &mut scratch,
+                        )
+                        .expect("execute");
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_lowering(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan_lowering");
     group.sample_size(10);
@@ -120,5 +160,11 @@ fn bench_lowering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_execute_lowered, bench_engine_dispatch, bench_lowering);
+criterion_group!(
+    benches,
+    bench_execute_lowered,
+    bench_engine_dispatch,
+    bench_execute_partitioned,
+    bench_lowering
+);
 criterion_main!(benches);

@@ -12,12 +12,19 @@
 //! at the seed of this PR (commit `d3bb64b`, interleaved A/B on the same
 //! host) and give the recorded speedup on the Longformer-2048 execute
 //! path.
+//!
+//! Before timing, every shape (smoke shapes included, so CI covers it)
+//! additionally runs once through the partitioned
+//! `execute_heads_lowered` path — at `SALO_PARALLELISM` shards, minimum
+//! two — and asserts the result is bit-identical to the sequential
+//! execution; the per-shard op counts land in the JSON as the balance
+//! record alongside `speedup_vs_pr3` (same-host re-measured baseline).
 
 use salo_core::Salo;
 use salo_kernels::Qkv;
 use salo_models::{bert_base, longformer_layer, vil_stage1, Workload};
 use salo_patterns::{HybridPattern, Window};
-use salo_sim::{ExecScratch, SpatialAccelerator};
+use salo_sim::{ExecScratch, HeadsScratch, Partition, SpatialAccelerator};
 use std::time::Instant;
 
 /// Pre-PR (`execute` on the plan-walking datapath) medians, ns per pass,
@@ -33,6 +40,21 @@ fn baseline_ns_per_pass(name: &str) -> Option<f64> {
     }
 }
 
+/// The allocation-free lowered datapath as it stood before the
+/// vectorization pass (PR 3 state), ns per pass, re-measured on the same
+/// host as this PR's numbers (best of three rounds against a baseline
+/// build — the values PR 3 recorded in `BENCH_exec.json` were taken under
+/// a different host load and are not directly comparable). `None` where
+/// no baseline was recorded.
+fn pr3_ns_per_pass(name: &str) -> Option<f64> {
+    match name {
+        "longformer-2048" => Some(54_692.0),
+        "vil-stage1" => Some(51_239.0),
+        "bert-base-512" => Some(51_577.0),
+        _ => None,
+    }
+}
+
 struct Measurement {
     name: String,
     n: usize,
@@ -42,6 +64,9 @@ struct Measurement {
     ns_per_pass: f64,
     tokens_per_s: f64,
     speedup_vs_pre_pr: Option<f64>,
+    speedup_vs_pr3: Option<f64>,
+    parallelism: usize,
+    shard_op_counts: Vec<usize>,
 }
 
 fn measure(name: &str, workload: &Workload, iters: usize) -> Measurement {
@@ -58,6 +83,30 @@ fn measure(name: &str, workload: &Workload, iters: usize) -> Measurement {
         .execute_lowered(&compiled.lowered, &head.q, &head.k, &head.v, scale, &mut scratch)
         .expect("execute");
     assert_eq!(out.report.saturation_events, 0, "degenerate configuration");
+    // Exercise the partitioned path (at least two shards; more under
+    // `SALO_PARALLELISM`) and hold it to the determinism guarantee: the
+    // sharded execution must be bit-identical to the sequential pass it
+    // is about to time. The shard op counts go into the JSON as the
+    // balance record.
+    let parallelism = salo_core::env_parallelism().max(2);
+    let partition = Partition::build(&compiled.lowered, 1, parallelism);
+    let mut heads_scratch = HeadsScratch::new();
+    let par_out = accel
+        .execute_heads_lowered(
+            &compiled.lowered,
+            std::slice::from_ref(&head),
+            scale,
+            parallelism,
+            &mut heads_scratch,
+        )
+        .expect("partitioned execute");
+    assert_eq!(par_out.len(), 1);
+    assert_eq!(par_out[0].raw, out.raw, "partitioned raw output diverged");
+    assert_eq!(par_out[0].weights_q16, out.weights_q16, "partitioned weights diverged");
+    assert_eq!(
+        par_out[0].report.saturation_events, out.report.saturation_events,
+        "partitioned saturation count diverged"
+    );
     let mut samples_ns: Vec<f64> = (0..iters.max(1))
         .map(|_| {
             let t = Instant::now();
@@ -81,6 +130,9 @@ fn measure(name: &str, workload: &Workload, iters: usize) -> Measurement {
         ns_per_pass,
         tokens_per_s: n as f64 / (median / 1e9),
         speedup_vs_pre_pr: baseline_ns_per_pass(name).map(|base| base / ns_per_pass),
+        speedup_vs_pr3: pr3_ns_per_pass(name).map(|base| base / ns_per_pass),
+        parallelism,
+        shard_op_counts: partition.op_counts(),
     }
 }
 
@@ -178,7 +230,9 @@ fn main() {
             concat!(
                 "    {{\"name\": \"{}\", \"n\": {}, \"d\": {}, \"passes\": {}, ",
                 "\"ms_per_head\": {:.3}, \"ns_per_pass\": {:.1}, \"tokens_per_s\": {:.0}, ",
-                "\"baseline_ns_per_pass\": {}, \"speedup_vs_pre_pr\": {}}}"
+                "\"baseline_ns_per_pass\": {}, \"speedup_vs_pre_pr\": {}, ",
+                "\"pr3_ns_per_pass\": {}, \"speedup_vs_pr3\": {}, ",
+                "\"parallelism\": {}, \"shard_op_counts\": {:?}}}"
             ),
             m.name,
             m.n,
@@ -189,6 +243,10 @@ fn main() {
             m.tokens_per_s,
             json_field_opt(baseline_ns_per_pass(&m.name)),
             json_field_opt(m.speedup_vs_pre_pr),
+            json_field_opt(pr3_ns_per_pass(&m.name)),
+            json_field_opt(m.speedup_vs_pr3),
+            m.parallelism,
+            m.shard_op_counts,
         ));
     }
 

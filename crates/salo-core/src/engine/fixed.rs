@@ -18,7 +18,8 @@ use std::sync::Arc;
 use salo_kernels::Qkv;
 use salo_patterns::{AttentionShape, HybridPattern};
 use salo_sim::{
-    DecodePlan, DecodeState, ExecScratch, ExecutionOutput, SimError, SpatialAccelerator, StepOutput,
+    DecodePlan, DecodeState, ExecScratch, ExecutionOutput, HeadsScratch, SimError,
+    SpatialAccelerator, StepOutput,
 };
 
 use crate::engine::{
@@ -28,15 +29,21 @@ use crate::engine::{
 };
 use crate::{salo::compile_with, CompiledPlan, SaloError};
 
-/// One head's prefill execution — the only point where the two
-/// fixed-point engines differ.
+/// One layer's whole-heads prefill execution — the only point where the
+/// two fixed-point engines differ. Receives both scratches and the
+/// engine's parallelism so the lowered backend can route through the
+/// partitioned multi-head datapath
+/// ([`execute_heads_lowered`](SpatialAccelerator::execute_heads_lowered))
+/// when `parallelism > 1`.
 type PrefillKernel = fn(
     &SpatialAccelerator,
     &CompiledPlan,
-    &Qkv,
+    &[Qkv],
     f32,
     &mut ExecScratch,
-) -> Result<ExecutionOutput, SimError>;
+    &mut HeadsScratch,
+    usize,
+) -> Result<Vec<ExecutionOutput>, SimError>;
 
 /// A decode session resident in a fixed-point engine: the step program
 /// shared by every head, one persistent quantized K/V state per head.
@@ -69,6 +76,9 @@ impl FixedSession {
 struct FixedCore {
     accel: SpatialAccelerator,
     scratch: ExecScratch,
+    heads_scratch: HeadsScratch,
+    /// Prefill shard count; `<= 1` keeps the sequential per-head path.
+    parallelism: usize,
     sessions: HashMap<SessionId, FixedSession>,
 }
 
@@ -94,7 +104,13 @@ fn normalize_step_error(e: SimError) -> SaloError {
 
 impl FixedCore {
     fn new(accel: SpatialAccelerator) -> Self {
-        Self { accel, scratch: ExecScratch::new(), sessions: HashMap::new() }
+        Self {
+            accel,
+            scratch: ExecScratch::new(),
+            heads_scratch: HeadsScratch::new(),
+            parallelism: 1,
+            sessions: HashMap::new(),
+        }
     }
 
     /// The shared [`Engine::prepare`]: compile for this core's array
@@ -121,11 +137,9 @@ impl FixedCore {
                 check_prefill_heads(&shape, &heads)?;
                 let plan = self.resolve_prefill_plan(name, &pattern, &shape)?;
                 let scale = SpatialAccelerator::default_scale(shape.head_dim);
-                let Self { accel, scratch, .. } = self;
-                let outputs = heads
-                    .iter()
-                    .map(|h| prefill(accel, &plan, h, scale, scratch))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let Self { accel, scratch, heads_scratch, parallelism, .. } = self;
+                let outputs =
+                    prefill(accel, &plan, &heads, scale, scratch, heads_scratch, *parallelism)?;
                 let telemetry = Self::prefill_telemetry(name, &outputs);
                 Ok(AttentionResponse::Prefill(PrefillOutput {
                     heads: outputs.into_iter().map(fixed_head_output).collect(),
@@ -355,10 +369,33 @@ pub struct LoweredEngine {
 }
 
 impl LoweredEngine {
-    /// An engine over `accel` (clones share the lookup tables).
+    /// An engine over `accel` (clones share the lookup tables), with
+    /// sequential prefill (`parallelism == 1`).
     #[must_use]
     pub fn new(accel: SpatialAccelerator) -> Self {
         Self { core: FixedCore::new(accel) }
+    }
+
+    /// An engine whose prefill shards each layer's heads over
+    /// `parallelism` threads via the deterministic work partition —
+    /// bit-identical to sequential execution at any value.
+    #[must_use]
+    pub fn with_parallelism(accel: SpatialAccelerator, parallelism: usize) -> Self {
+        let mut engine = Self::new(accel);
+        engine.set_parallelism(parallelism);
+        engine
+    }
+
+    /// Changes the prefill shard count (`<= 1` restores the sequential
+    /// path). Outputs are unaffected — parallelism is bit-transparent.
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.core.parallelism = parallelism.max(1);
+    }
+
+    /// The prefill shard count in use.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.core.parallelism
     }
 
     /// The underlying accelerator.
@@ -388,8 +425,23 @@ impl Engine for LoweredEngine {
     fn execute(&mut self, request: AttentionRequest) -> Result<AttentionResponse, SaloError> {
         self.core.execute(
             self.name(),
-            |accel, plan, head, scale, scratch| {
-                accel.execute_lowered(&plan.lowered, &head.q, &head.k, &head.v, scale, scratch)
+            |accel, plan, heads, scale, scratch, heads_scratch, parallelism| {
+                if parallelism > 1 {
+                    accel.execute_heads_lowered(
+                        &plan.lowered,
+                        heads,
+                        scale,
+                        parallelism,
+                        heads_scratch,
+                    )
+                } else {
+                    heads
+                        .iter()
+                        .map(|h| {
+                            accel.execute_lowered(&plan.lowered, &h.q, &h.k, &h.v, scale, scratch)
+                        })
+                        .collect()
+                }
             },
             request,
         )
@@ -452,8 +504,11 @@ impl Engine for SystolicEngine {
     fn execute(&mut self, request: AttentionRequest) -> Result<AttentionResponse, SaloError> {
         self.core.execute(
             self.name(),
-            |accel, plan, head, scale, _scratch| {
-                accel.execute_systolic(&plan.plan, &head.q, &head.k, &head.v, scale)
+            |accel, plan, heads, scale, _scratch, _heads_scratch, _parallelism| {
+                heads
+                    .iter()
+                    .map(|h| accel.execute_systolic(&plan.plan, &h.q, &h.k, &h.v, scale))
+                    .collect()
             },
             request,
         )

@@ -473,13 +473,34 @@ pub trait Engine: Send + fmt::Debug {
     fn session_position(&self, session: SessionId) -> Option<usize>;
 }
 
+/// Prefill parallelism requested through the environment: the
+/// `SALO_PARALLELISM` variable, parsed as a shard count, defaulting to 1
+/// (sequential) when absent or unparseable. Read once per engine
+/// construction — parallelism is bit-transparent, so the setting affects
+/// wall-clock only, never outputs.
+#[must_use]
+pub fn env_parallelism() -> usize {
+    std::env::var("SALO_PARALLELISM").ok().and_then(|v| v.parse().ok()).unwrap_or(1).max(1)
+}
+
 impl Salo {
     /// A fresh [`LoweredEngine`] over this instance's accelerator — the
     /// default backend. Engines built from one `Salo` share its
-    /// exponential/reciprocal lookup tables.
+    /// exponential/reciprocal lookup tables. Prefill parallelism comes
+    /// from the `SALO_PARALLELISM` environment variable (default 1);
+    /// [`engine_with_parallelism`](Self::engine_with_parallelism) sets it
+    /// explicitly.
     #[must_use]
     pub fn engine(&self) -> LoweredEngine {
-        LoweredEngine::new(self.accelerator().clone())
+        self.engine_with_parallelism(env_parallelism())
+    }
+
+    /// A fresh [`LoweredEngine`] whose prefill shards each layer's heads
+    /// over `parallelism` threads (deterministic partition —
+    /// bit-identical to sequential at any value).
+    #[must_use]
+    pub fn engine_with_parallelism(&self, parallelism: usize) -> LoweredEngine {
+        LoweredEngine::with_parallelism(self.accelerator().clone(), parallelism)
     }
 
     /// A fresh [`SystolicEngine`] (event-accurate oracle) over this

@@ -51,9 +51,9 @@ mod verify;
 
 pub use decode::DecodeSession;
 pub use engine::{
-    reference_head, AttentionRequest, AttentionResponse, Engine, EngineCaps, HeadOutput, HeadStep,
-    LoweredEngine, PatternHandle, PrefillOutput, ReferenceEngine, SessionClosed, SessionId,
-    SessionOpened, StepResult, SystolicEngine, Telemetry, TokenQkv,
+    env_parallelism, reference_head, AttentionRequest, AttentionResponse, Engine, EngineCaps,
+    HeadOutput, HeadStep, LoweredEngine, PatternHandle, PrefillOutput, ReferenceEngine,
+    SessionClosed, SessionId, SessionOpened, StepResult, SystolicEngine, Telemetry, TokenQkv,
 };
 pub use error::SaloError;
 pub use experiment::{compare_workload, figure7_comparisons, Comparison};

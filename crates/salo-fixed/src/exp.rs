@@ -168,6 +168,48 @@ impl ExpLut {
         y.max(0)
     }
 
+    /// Evaluates `exp` over a whole row of Q.8 scores into `out`
+    /// (cleared first), returning the Q.16 row sum — pipeline stages 2+3
+    /// in one sweep.
+    ///
+    /// Bit-identical to mapping [`eval_q8`](Self::eval_q8) over the row
+    /// and summing left to right: the arithmetic per element is the same;
+    /// the `index_shift` dispatch is hoisted out of the loop and the sum
+    /// is folded in a second sweep (integer addition is exact, so the
+    /// regrouping cannot change the result), leaving each body a
+    /// branch-free slice sweep with no loop-carried state that the
+    /// autovectorizer can widen — including the table gathers (pinned by
+    /// a full-raw-range golden test and the simulator's oracle proptests).
+    #[inline]
+    pub fn eval_q8_sum_into(&self, scores_q8: &[i32], out: &mut Vec<i64>) -> i64 {
+        out.clear();
+        out.reserve(scores_q8.len());
+        let last = self.segments - 1;
+        match self.index_shift {
+            Some(shift) => {
+                out.extend(scores_q8.iter().map(|&s| {
+                    let x = i64::from(s).clamp(self.lo_raw, self.hi_raw);
+                    let idx = (((x - self.lo_raw) >> shift) as usize).min(last);
+                    let y = ((self.slopes[idx] * x) >> (SLOPE_FRAC + 8 - EXP_FRAC))
+                        + self.intercepts[idx];
+                    y.max(0)
+                }));
+            }
+            None => {
+                let span = self.hi_raw - self.lo_raw;
+                out.extend(scores_q8.iter().map(|&s| {
+                    let x = i64::from(s).clamp(self.lo_raw, self.hi_raw);
+                    let idx =
+                        ((((x - self.lo_raw) * self.segments as i64) / span) as usize).min(last);
+                    let y = ((self.slopes[idx] * x) >> (SLOPE_FRAC + 8 - EXP_FRAC))
+                        + self.intercepts[idx];
+                    y.max(0)
+                }));
+            }
+        }
+        out.iter().sum()
+    }
+
     /// Evaluates `exp(x)` from an `f64`, via the fixed-point path
     /// (convenience for tests and error studies).
     #[must_use]
@@ -277,6 +319,34 @@ mod tests {
             // And the evaluation built on it stays total and non-negative.
             prop_assert!(lut.eval_q8(x_raw) >= 0);
         }
+    }
+
+    #[test]
+    fn slice_eval_golden_matches_scalar_across_full_raw_range() {
+        // The chunked row evaluation must reproduce the scalar
+        // `eval_q8` bit for bit on every representable raw input —
+        // in-domain, out-of-domain (clamped) and at both endpoints — on
+        // both index paths (shift fast path and division fallback), and
+        // its returned sum must equal the left-to-right fold.
+        let shift_lut = ExpLut::new(32);
+        assert!(shift_lut.index_shift.is_some());
+        let div_lut = ExpLut::with_domain(24, -8.0, 8.0).unwrap();
+        assert!(div_lut.index_shift.is_none());
+        for lut in [&shift_lut, &div_lut] {
+            let lo = (lut.lo_raw - 300) as i32;
+            let hi = (lut.hi_raw + 300) as i32;
+            let scores: Vec<i32> = (lo..=hi).collect();
+            let mut row = Vec::new();
+            let sum = lut.eval_q8_sum_into(&scores, &mut row);
+            let scalar: Vec<i64> = scores.iter().map(|&s| lut.eval_q8(s)).collect();
+            assert_eq!(row, scalar, "chunked row eval diverged from scalar eval_q8");
+            assert_eq!(sum, scalar.iter().sum::<i64>());
+        }
+        // Reuse clears the previous contents.
+        let mut row = vec![99i64; 4];
+        let sum = shift_lut.eval_q8_sum_into(&[0], &mut row);
+        assert_eq!(row.len(), 1);
+        assert_eq!(sum, shift_lut.eval_q8(0));
     }
 
     #[test]

@@ -86,9 +86,11 @@ pub const QK_DOT_SAFE_DIM: usize = (i32::MAX / (128 * 128)) as usize;
 ///
 /// For dimensions up to [`QK_DOT_SAFE_DIM`] (every realistic head — the
 /// bound is above 131 000) no accumulation step can overflow, so the
-/// per-step saturation check of [`qk_mac`] reduces to a plain sum: the
-/// result is bit-identical and the loop vectorizes. Larger dimensions
-/// fall back to the checked per-step form.
+/// per-step saturation check of [`qk_mac`] reduces to a plain sum: a
+/// straight-line fold the autovectorizer widens into `i8 x i8 -> i32`
+/// multiply-accumulate lanes (manually pre-chunked variants measured
+/// *slower* — the plain fold is the form LLVM handles best). Larger
+/// dimensions fall back to the checked per-step form.
 #[inline]
 #[must_use]
 pub fn qk_dot(q: &[Fix8x4], k: &[Fix8x4], sat: &mut MacSaturation) -> i32 {
@@ -233,4 +235,88 @@ mod tests {
         let _ = qk_dot(&q, &k, &mut sat);
         assert!(!sat.saturated());
     }
+
+    /// The checked per-step fold — the reference the chunked fast path is
+    /// pinned against at the overflow boundary.
+    fn qk_dot_checked(q: &[Fix8x4], k: &[Fix8x4], sat: &mut MacSaturation) -> i32 {
+        let mut acc = 0i32;
+        for (&qe, &ke) in q.iter().zip(k) {
+            acc = qk_mac(acc, qe, ke, sat);
+        }
+        acc
+    }
+
+    #[test]
+    fn qk_dot_at_safe_dim_boundary_matches_checked_path() {
+        // Exactly at QK_DOT_SAFE_DIM the chunked fast path applies and the
+        // worst-case sum (every product +2^14) is 131071 * 16384 =
+        // i32::MAX - 16383: no wrap, no saturation, bit-identical to the
+        // checked fold.
+        let q = vec![Fix8x4::MIN; QK_DOT_SAFE_DIM];
+        let k = vec![Fix8x4::MIN; QK_DOT_SAFE_DIM];
+        let mut fast_sat = MacSaturation::default();
+        let fast = qk_dot(&q, &k, &mut fast_sat);
+        let mut ref_sat = MacSaturation::default();
+        let reference = qk_dot_checked(&q, &k, &mut ref_sat);
+        assert_eq!(fast, reference);
+        assert_eq!(fast, 131_071 * 16_384);
+        assert_eq!(fast_sat.events, ref_sat.events);
+        assert!(!fast_sat.saturated());
+
+        // Mixed-sign data at the boundary dimension too.
+        let q: Vec<Fix8x4> = (0..QK_DOT_SAFE_DIM)
+            .map(|i| Fix8x4::from_raw(((i as i64 * 37 + 11) % 255 - 127) as i8))
+            .collect();
+        let k: Vec<Fix8x4> = (0..QK_DOT_SAFE_DIM)
+            .map(|i| Fix8x4::from_raw(((i as i64 * 53 + 5) % 255 - 127) as i8))
+            .collect();
+        let mut fast_sat = MacSaturation::default();
+        let mut ref_sat = MacSaturation::default();
+        assert_eq!(qk_dot(&q, &k, &mut fast_sat), qk_dot_checked(&q, &k, &mut ref_sat));
+        assert_eq!(fast_sat.events, 0);
+        assert_eq!(ref_sat.events, 0);
+    }
+
+    #[test]
+    fn qk_dot_one_past_safe_dim_takes_checked_path_and_saturates() {
+        // One past the bound the worst-case sum exceeds i32::MAX, so
+        // qk_dot must route to the checked fold: it saturates (once, on
+        // the final step) instead of wrapping, and agrees with the
+        // reference fold including the event count.
+        let dim = QK_DOT_SAFE_DIM + 1;
+        let q = vec![Fix8x4::MIN; dim];
+        let k = vec![Fix8x4::MIN; dim];
+        let mut sat = MacSaturation::default();
+        let acc = qk_dot(&q, &k, &mut sat);
+        let mut ref_sat = MacSaturation::default();
+        let reference = qk_dot_checked(&q, &k, &mut ref_sat);
+        assert_eq!(acc, reference);
+        assert_eq!(acc, i32::MAX);
+        assert_eq!(sat.events, ref_sat.events);
+        assert_eq!(sat.events, 1);
+    }
+
+    #[test]
+    fn sv_row_mac_i32_full_safe_chain_matches_i64_form() {
+        // A full SV_I32_SAFE_KEYS-long chain of extreme products, run in
+        // the narrow i32 accumulator against the i64 form: both agree bit
+        // for bit and nothing wraps.
+        let d = 5;
+        let prob = PROB_ONE_TEST;
+        let v = vec![Fix8x4::MIN; d];
+        let mut narrow = vec![0i32; d];
+        let mut wide = vec![0i64; d];
+        for _ in 0..SV_I32_SAFE_KEYS {
+            sv_row_mac_i32(&mut narrow, prob, &v);
+            sv_row_mac(&mut wide, prob, &v);
+        }
+        assert!(narrow.iter().zip(&wide).all(|(&b, &w)| i64::from(b) == w));
+        // The chain really is at the edge: magnitude 511 * 2^22, inside
+        // i32 by 16383.
+        assert_eq!(i64::from(narrow[0]), -(SV_I32_SAFE_KEYS as i64) * (1 << 22));
+    }
+
+    /// Probability 1.0 raw value, kept local to avoid a crate-level import
+    /// cycle in tests.
+    const PROB_ONE_TEST: u16 = 1 << 15;
 }

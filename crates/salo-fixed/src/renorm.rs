@@ -102,20 +102,27 @@ pub fn merge_partials_into(
     }
     let (alpha, beta) = merge_weights(acc.weight_q16, part.weight_q16, recip)?;
     // Blend weights are at most 2^15, so outputs below 2^46 blend exactly
-    // in i64 (products < 2^61, sum < 2^62) — every datapath value, checked
-    // per merge. Larger values take the wide path; both round identically.
+    // in i64 (products < 2^61, sum < 2^62) — every datapath value. The
+    // narrow and wide paths round identically whenever the narrow one
+    // applies, so the choice can be made per chunk in a single pass: one
+    // check + one blend per cache line, with the common all-narrow case a
+    // pure slice sweep the autovectorizer handles. Bit-identical to a
+    // whole-row (or per-element) choice.
     const BLEND_I64_SAFE: u64 = 1 << 46;
-    let narrow =
-        acc.out_q19.iter().zip(&part.out_q19).all(|(&oa, &ob)| {
+    const BLEND_CHUNK: usize = 8;
+    for (ca, cb) in acc.out_q19.chunks_mut(BLEND_CHUNK).zip(part.out_q19.chunks(BLEND_CHUNK)) {
+        let narrow = ca.iter().zip(cb).all(|(&oa, &ob)| {
             oa.unsigned_abs() < BLEND_I64_SAFE && ob.unsigned_abs() < BLEND_I64_SAFE
         });
-    if narrow {
-        for (oa, &ob) in acc.out_q19.iter_mut().zip(&part.out_q19) {
-            *oa = (*oa * i64::from(alpha) + ob * i64::from(beta)) >> 15;
-        }
-    } else {
-        for (oa, &ob) in acc.out_q19.iter_mut().zip(&part.out_q19) {
-            *oa = ((*oa as i128 * i128::from(alpha) + ob as i128 * i128::from(beta)) >> 15) as i64;
+        if narrow {
+            for (oa, &ob) in ca.iter_mut().zip(cb) {
+                *oa = (*oa * i64::from(alpha) + ob * i64::from(beta)) >> 15;
+            }
+        } else {
+            for (oa, &ob) in ca.iter_mut().zip(cb) {
+                *oa = ((*oa as i128 * i128::from(alpha) + ob as i128 * i128::from(beta)) >> 15)
+                    as i64;
+            }
         }
     }
     acc.weight_q16 += part.weight_q16;
@@ -290,6 +297,38 @@ mod tests {
             merge_partials_into(&mut acc, &b, &recip()),
             Err(FixedError::PartialLengthMismatch { expected: 3, actual: 4 })
         ));
+    }
+
+    #[test]
+    fn chunked_blend_matches_wide_reference_on_mixed_magnitudes() {
+        // A row where some chunks fit the narrow i64 blend and others
+        // exceed 2^46: the per-chunk choice must agree, bit for bit, with
+        // blending every element on the wide i128 path (exact for the
+        // fitting values too).
+        let r = recip();
+        let dim = 19; // crosses chunk boundaries with a remainder
+        let big = 1i64 << 50;
+        let a_vals: Vec<i64> = (0..dim)
+            .map(|e| if e % 7 == 3 { big + e as i64 } else { (e as i64 - 9) << 20 })
+            .collect();
+        let b_vals: Vec<i64> = (0..dim)
+            .map(|e| if e % 5 == 1 { -big - e as i64 } else { (9 - e as i64) << 21 })
+            .collect();
+        let w1 = 5i64 << 16;
+        let w2 = 3i64 << 16;
+        let mut acc = PartialRow { weight_q16: w1, out_q19: a_vals.clone() };
+        let part = PartialRow { weight_q16: w2, out_q19: b_vals.clone() };
+        merge_partials_into(&mut acc, &part, &r).unwrap();
+        let (alpha, beta) = merge_weights(w1, w2, &r).unwrap();
+        let wide: Vec<i64> = a_vals
+            .iter()
+            .zip(&b_vals)
+            .map(|(&oa, &ob)| {
+                ((oa as i128 * i128::from(alpha) + ob as i128 * i128::from(beta)) >> 15) as i64
+            })
+            .collect();
+        assert_eq!(acc.out_q19, wide);
+        assert_eq!(acc.weight_q16, w1 + w2);
     }
 
     #[test]

@@ -70,15 +70,10 @@ pub fn fixed_softmax_parts_into(
     if scores_q8.is_empty() {
         return Err(FixedError::EmptySoftmaxRow);
     }
-    // Stage 2 + 3: exponentials (Q.16), accumulated left to right as they
-    // are produced, then one reciprocal.
-    exps.clear();
-    let mut sum: i64 = 0;
-    exps.extend(scores_q8.iter().map(|&s| {
-        let e = exp.eval_q8(s);
-        sum += e;
-        e
-    }));
+    // Stage 2 + 3: exponentials (Q.16) over the whole row in one chunked
+    // sweep (bit-identical to per-element `eval_q8` accumulated left to
+    // right), then one reciprocal.
+    let sum = exp.eval_q8_sum_into(scores_q8, exps);
     let inv = recip.recip(sum, crate::exp::EXP_FRAC)?;
     // Stage 4: broadcast multiply.
     probs.clear();

@@ -57,11 +57,21 @@ pub struct ServeOptions {
     pub cache_capacity: usize,
     /// Number of independently locked cache shards.
     pub cache_shards: usize,
+    /// Prefill shard count inside each worker's engine (`0` inherits the
+    /// `SALO_PARALLELISM` environment default, `1` is sequential).
+    /// Bit-transparent: only wall-clock changes, never outputs.
+    pub worker_parallelism: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        Self { workers: 4, max_batch: 8, cache_capacity: 64, cache_shards: 8 }
+        Self {
+            workers: 4,
+            max_batch: 8,
+            cache_capacity: 64,
+            cache_shards: 8,
+            worker_parallelism: 0,
+        }
     }
 }
 
@@ -175,7 +185,8 @@ impl SaloServer {
         let (ordered_tx, ordered_rx) = std::sync::mpsc::channel::<ServeResponse>();
 
         let compiler = Salo::new(config.clone());
-        let pool = WorkerPool::spawn(workers, &compiler, &done_tx, &sessions);
+        let pool =
+            WorkerPool::spawn(workers, options.worker_parallelism, &compiler, &done_tx, &sessions);
 
         let mut threads = Vec::with_capacity(2);
         {

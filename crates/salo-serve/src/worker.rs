@@ -89,13 +89,17 @@ pub(crate) struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` threads, each owning an engine built from `salo`.
+    /// `parallelism` is the engines' prefill shard count (`0` inherits
+    /// the `SALO_PARALLELISM` environment default).
     pub fn spawn(
         workers: usize,
+        parallelism: usize,
         salo: &Salo,
         done: &Sender<Completed>,
         registry: &Arc<SessionRegistry>,
     ) -> Self {
         let workers = workers.max(1);
+        let parallelism = if parallelism == 0 { salo_core::env_parallelism() } else { parallelism };
         let mut senders = Vec::with_capacity(workers);
         let mut outstanding = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
@@ -103,7 +107,7 @@ impl WorkerPool {
             let (tx, rx) = std::sync::mpsc::channel::<Vec<Job>>();
             let load = Arc::new(AtomicUsize::new(0));
             // Engines built from one Salo share its lookup tables.
-            let engine = salo.engine();
+            let engine = salo.engine_with_parallelism(parallelism);
             let worker_done = done.clone();
             let worker_load = Arc::clone(&load);
             let worker_registry = Arc::clone(registry);

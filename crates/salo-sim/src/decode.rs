@@ -530,17 +530,7 @@ impl SpatialAccelerator {
         let d = state.d;
         // Per-op buffers must match this session's dimension (the scratch
         // may have served other shapes).
-        if scratch.part.out_q19.len() != d {
-            scratch.part.out_q19.clear();
-            scratch.part.out_q19.resize(d, 0);
-        }
-        if scratch.out32.len() != d {
-            scratch.out32.clear();
-            scratch.out32.resize(d, 0);
-        }
-        scratch.scores.reserve(plan.max_row_keys());
-        scratch.exps.reserve(plan.max_row_keys());
-        scratch.probs.reserve(plan.max_row_keys());
+        scratch.op.prepare(d, plan.max_row_keys());
 
         let (exp, recip) = self.shared_tables();
         let mut sat = MacSaturation::default();
@@ -637,21 +627,8 @@ fn run_decode_ops(
     acc: &mut PartialRow,
     sat: &mut MacSaturation,
 ) -> Result<(), SimError> {
-    let ExecScratch { scores, exps, probs, part, out32, .. } = scratch;
     for op in ops {
-        run_op(
-            exp,
-            recip,
-            op.kind,
-            plan.op_keys(op),
-            q_row,
-            kq,
-            vq,
-            d,
-            (&mut *scores, &mut *exps, &mut *probs, &mut *part, &mut *out32),
-            acc,
-            sat,
-        )?;
+        run_op(exp, recip, op.kind, plan.op_keys(op), q_row, kq, vq, d, &mut scratch.op, acc, sat)?;
     }
     Ok(())
 }

@@ -57,6 +57,13 @@ pub enum SimError {
     /// the session history, leaving the state inconsistent; it must be
     /// [`reset`](crate::DecodeState::reset) before further use.
     PoisonedDecodeState,
+    /// A work partition violated a structural invariant the partitioned
+    /// executor relies on (spans tiling the item space, exactly-once op
+    /// assignment, per-shard op ordering).
+    PartitionInvariant {
+        /// The invariant that failed.
+        what: &'static str,
+    },
     /// Error from the fixed-point layer.
     Fixed(FixedError),
     /// Error from the kernel layer.
@@ -100,6 +107,9 @@ impl fmt::Display for SimError {
                     "decode state is poisoned by an earlier failed step: \
                      reset it before decoding again"
                 )
+            }
+            SimError::PartitionInvariant { what } => {
+                write!(f, "work partition invariant violated: {what}")
             }
             SimError::Fixed(e) => write!(f, "fixed-point error: {e}"),
             SimError::Kernel(e) => write!(f, "kernel error: {e}"),

@@ -16,10 +16,11 @@ use salo_fixed::{
     fixed_softmax_parts_into, merge_partials_into, qk_dot, sv_row_mac, sv_row_mac_i32, ExpLut,
     Fix16x8, Fix8x4, MacSaturation, PartialRow, RecipUnit, PROB_ONE, SV_I32_SAFE_KEYS,
 };
-use salo_kernels::Matrix;
+use salo_kernels::{Matrix, Qkv};
 use salo_scheduler::{ExecutionPlan, Pass, PlanStats};
 use std::sync::Arc;
 
+use crate::partition::{Partition, Shard};
 use crate::systolic::SystolicArray;
 use crate::{
     AcceleratorConfig, CycleModel, EnergyModel, ExecutionReport, LoweredOpKind, LoweredPlan,
@@ -54,11 +55,68 @@ pub struct ExecutionOutput {
     pub report: ExecutionReport,
 }
 
+/// The per-op working buffers of one five-stage datapath instance —
+/// stages 1–5 of a single lowered op, reused across every op an executor
+/// runs.
+///
+/// This is the unit of scratch that becomes *per shard* under the
+/// partitioned datapath ([`Partition`](crate::Partition)): each shard
+/// owns one `OpScratch`, so concurrent shards never share mutable
+/// per-stage state, while the sequential paths keep exactly one.
+#[derive(Debug, Clone)]
+pub struct OpScratch {
+    /// Stage-1 scores of the current op.
+    pub(crate) scores: Vec<i32>,
+    /// Stage-2 exponentials of the current op.
+    pub(crate) exps: Vec<i64>,
+    /// Stage-4 probabilities of the current op.
+    pub(crate) probs: Vec<u16>,
+    /// Stage-5 accumulator: the part produced by the current op.
+    pub(crate) part: PartialRow,
+    /// 32-bit stage-5 accumulation buffer (ops short enough that the
+    /// chain provably fits `i32` — every array-shaped op).
+    pub(crate) out32: Vec<i32>,
+}
+
+impl Default for OpScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpScratch {
+    /// An empty per-op scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            scores: Vec::new(),
+            exps: Vec::new(),
+            probs: Vec::new(),
+            part: PartialRow::empty(0),
+            out32: Vec::new(),
+        }
+    }
+
+    /// Sizes the part/output buffers for dimension `d` and pre-grows the
+    /// per-key buffers to `max_keys` so the first ops never reallocate.
+    pub(crate) fn prepare(&mut self, d: usize, max_keys: usize) {
+        if self.part.out_q19.len() != d {
+            self.part.out_q19.clear();
+            self.part.out_q19.resize(d, 0);
+        }
+        self.part.weight_q16 = 0;
+        self.out32.clear();
+        self.out32.resize(d, 0);
+        self.scores.reserve(max_keys);
+        self.exps.reserve(max_keys);
+        self.probs.reserve(max_keys);
+    }
+}
+
 /// Reusable working memory of the execution datapath.
 ///
 /// Holds the flat quantized-input arenas (row-major, one row stride per
-/// token), the per-stage scratch buffers (scores, exponentials,
-/// probabilities, the stage-5 part accumulator) and the per-row
+/// token), the per-op stage buffers (`OpScratch`) and the per-row
 /// weighted-sum accumulators. Buffers grow to the high-water mark of the
 /// workloads they have seen and are then reused allocation-free across
 /// passes, heads and — when held by a serving worker — requests.
@@ -73,17 +131,8 @@ pub struct ExecScratch {
     kq: Vec<Fix8x4>,
     /// Quantized values, `n * d` row-major.
     vq: Vec<Fix8x4>,
-    /// Stage-1 scores of the current op.
-    pub(crate) scores: Vec<i32>,
-    /// Stage-2 exponentials of the current op.
-    pub(crate) exps: Vec<i64>,
-    /// Stage-4 probabilities of the current op.
-    pub(crate) probs: Vec<u16>,
-    /// Stage-5 accumulator: the part produced by the current op.
-    pub(crate) part: PartialRow,
-    /// 32-bit stage-5 accumulation buffer (ops short enough that the
-    /// chain provably fits `i32` — every array-shaped op).
-    pub(crate) out32: Vec<i32>,
+    /// The per-op stage buffers (the sequential datapath has one).
+    pub(crate) op: OpScratch,
     /// Per-row weighted-sum accumulators (the WSM state).
     acc: Vec<PartialRow>,
 }
@@ -102,11 +151,7 @@ impl ExecScratch {
             qq: Vec::new(),
             kq: Vec::new(),
             vq: Vec::new(),
-            scores: Vec::new(),
-            exps: Vec::new(),
-            probs: Vec::new(),
-            part: PartialRow::empty(0),
-            out32: Vec::new(),
+            op: OpScratch::new(),
             acc: Vec::new(),
         }
     }
@@ -124,33 +169,84 @@ impl ExecScratch {
         self.vq.extend(v.as_slice().iter().map(|&x| Fix8x4::from_f32(x)));
 
         let n = q.rows();
-        if self.part.out_q19.len() != d {
-            self.part.out_q19.resize(d, 0);
-        }
-        self.out32.clear();
-        self.out32.resize(d, 0);
-        self.part.weight_q16 = 0;
-        if self.acc.len() > n {
-            self.acc.truncate(n);
-        }
-        for row in &mut self.acc {
-            row.weight_q16 = 0;
-            if row.out_q19.len() == d {
-                row.out_q19.fill(0);
-            } else {
-                row.out_q19.clear();
-                row.out_q19.resize(d, 0);
-            }
-        }
-        while self.acc.len() < n {
-            self.acc.push(PartialRow::empty(d));
-        }
+        self.op.prepare(d, 0);
+        reset_acc_rows(&mut self.acc, n, d);
     }
 
     /// Row `i` of a flat `d`-strided arena.
     #[inline]
     pub(crate) fn row(arena: &[Fix8x4], i: usize, d: usize) -> &[Fix8x4] {
         &arena[i * d..(i + 1) * d]
+    }
+}
+
+/// Reusable working memory of the **multi-head, partitioned** execution
+/// datapath ([`execute_heads_lowered`]).
+///
+/// Like [`ExecScratch`], but the quantized arenas hold every head
+/// back to back (`heads * n * d`, head-major), the weighted-sum
+/// accumulators form one flat `heads * n` row vector that shards split
+/// without overlap, and each shard owns a private `OpScratch` so
+/// concurrent shards never share mutable per-stage state.
+///
+/// [`execute_heads_lowered`]: SpatialAccelerator::execute_heads_lowered
+#[derive(Debug, Clone, Default)]
+pub struct HeadsScratch {
+    /// Quantized queries (scale folded in), `heads * n * d`, head-major.
+    qq: Vec<Fix8x4>,
+    /// Quantized keys, `heads * n * d`, head-major.
+    kq: Vec<Fix8x4>,
+    /// Quantized values, `heads * n * d`, head-major.
+    vq: Vec<Fix8x4>,
+    /// One per-op scratch per shard (grown to the shard high-water mark).
+    shard_ops: Vec<OpScratch>,
+    /// Flat per-item accumulators, `heads * n` rows, head-major.
+    acc: Vec<PartialRow>,
+}
+
+impl HeadsScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantizes every head's inputs into the head-major arenas and
+    /// resets the flat accumulators — element-for-element the same
+    /// quantization [`ExecScratch::load`] performs per head.
+    fn load(&mut self, heads: &[Qkv], scale: f32, n: usize, d: usize) {
+        self.qq.clear();
+        self.kq.clear();
+        self.vq.clear();
+        self.qq.reserve(heads.len() * n * d);
+        self.kq.reserve(heads.len() * n * d);
+        self.vq.reserve(heads.len() * n * d);
+        for h in heads {
+            self.qq.extend(h.q.as_slice().iter().map(|&x| Fix8x4::from_f32(x * scale)));
+            self.kq.extend(h.k.as_slice().iter().map(|&x| Fix8x4::from_f32(x)));
+            self.vq.extend(h.v.as_slice().iter().map(|&x| Fix8x4::from_f32(x)));
+        }
+        reset_acc_rows(&mut self.acc, heads.len() * n, d);
+    }
+}
+
+/// Resets `acc` to `n` zeroed `d`-dimensional weighted-sum accumulators,
+/// reusing existing row allocations of the right dimension.
+fn reset_acc_rows(acc: &mut Vec<PartialRow>, n: usize, d: usize) {
+    if acc.len() > n {
+        acc.truncate(n);
+    }
+    for row in acc.iter_mut() {
+        row.weight_q16 = 0;
+        if row.out_q19.len() == d {
+            row.out_q19.fill(0);
+        } else {
+            row.out_q19.clear();
+            row.out_q19.resize(d, 0);
+        }
+    }
+    while acc.len() < n {
+        acc.push(PartialRow::empty(d));
     }
 }
 
@@ -295,6 +391,130 @@ impl SpatialAccelerator {
         Ok(self.drain(lowered, d, scratch, sat))
     }
 
+    /// Executes **all heads** of one layer through a pre-lowered plan,
+    /// sharded over `parallelism` scoped threads by the deterministic
+    /// work [`Partition`].
+    ///
+    /// Per-head results are **bit-identical** to running
+    /// [`execute_lowered`](Self::execute_lowered) on each head — at
+    /// *every* shard count — because shards partition the op list by
+    /// destination row: all merges into one weighted-sum accumulator
+    /// happen on one shard, in plan order, and merges for different rows
+    /// never interact. Saturation counts are summed per head from
+    /// per-shard counters (`u64` additions, order-independent). The
+    /// partition itself is input-independent, so scheduling can never
+    /// leak into outputs. Pinned down by the partition-determinism
+    /// proptest suite against the systolic oracle.
+    ///
+    /// `parallelism <= 1` runs the single shard inline on the calling
+    /// thread (no spawn).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`execute`](Self::execute); when several shards fail, the
+    /// lowest-indexed shard's error is returned (deterministically).
+    pub fn execute_heads_lowered(
+        &self,
+        lowered: &LoweredPlan,
+        heads: &[Qkv],
+        scale: f32,
+        parallelism: usize,
+        scratch: &mut HeadsScratch,
+    ) -> Result<Vec<ExecutionOutput>, SimError> {
+        let n = lowered.n();
+        let Some(first) = heads.first() else {
+            return Ok(Vec::new());
+        };
+        for h in heads {
+            for m in [&h.q, &h.k, &h.v] {
+                if m.rows() != n || m.shape() != first.q.shape() {
+                    return Err(SimError::ShapeMismatch { plan_n: n, got: m.shape() });
+                }
+            }
+        }
+        let d = first.q.cols();
+        let num_heads = heads.len();
+        scratch.load(heads, scale, n, d);
+
+        let partition = Partition::build(lowered, num_heads, parallelism);
+        let num_shards = partition.num_shards();
+        if scratch.shard_ops.len() < num_shards {
+            scratch.shard_ops.resize_with(num_shards, OpScratch::new);
+        }
+        let max_keys = lowered.max_row_keys();
+        let HeadsScratch { qq, kq, vq, shard_ops, acc } = scratch;
+        for op_scratch in &mut shard_ops[..num_shards] {
+            op_scratch.prepare(d, max_keys);
+        }
+
+        // Split the flat accumulator into non-overlapping per-shard
+        // windows; the spans tile `[0, heads * n)`, consuming it exactly.
+        let mut windows = Vec::with_capacity(num_shards);
+        let mut rest = &mut acc[..];
+        for shard in partition.shards() {
+            let (win, tail) = rest.split_at_mut(shard.num_items());
+            windows.push(win);
+            rest = tail;
+        }
+
+        let run_shard = |shard: &Shard, bufs: &mut OpScratch, rows: &mut [PartialRow]| {
+            let mut sats = vec![MacSaturation::default(); num_heads];
+            let ops = lowered.ops();
+            for &(h, oi) in shard.ops() {
+                let (h, oi) = (h as usize, oi as usize);
+                let op = &ops[oi];
+                let base = h * n * d;
+                let dest = op.dest as usize;
+                run_op(
+                    &self.exp,
+                    &self.recip,
+                    op.kind,
+                    lowered.op_keys(op),
+                    &qq[base + dest * d..base + (dest + 1) * d],
+                    &kq[base..base + n * d],
+                    &vq[base..base + n * d],
+                    d,
+                    bufs,
+                    &mut rows[h * n + dest - shard.item_start()],
+                    &mut sats[h],
+                )?;
+            }
+            Ok::<_, SimError>(sats)
+        };
+
+        // One scoped OS thread per shard: shards are coarse enough that
+        // spawn cost is noise, and scoped threads borrow the arenas and
+        // accumulator windows directly — no Arc, no channels.
+        let shard_sats: Vec<Result<Vec<MacSaturation>, SimError>> = if num_shards == 1 {
+            let rows = windows.pop().expect("single shard has one window");
+            vec![run_shard(&partition.shards()[0], &mut shard_ops[0], rows)]
+        } else {
+            let run_shard = &run_shard;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = partition
+                    .shards()
+                    .iter()
+                    .zip(shard_ops.iter_mut())
+                    .zip(windows.drain(..))
+                    .map(|((shard, bufs), rows)| scope.spawn(move || run_shard(shard, bufs, rows)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+            })
+        };
+
+        // Lowest-indexed shard error wins; saturation sums per head.
+        let mut head_sat = vec![MacSaturation::default(); num_heads];
+        for sats in shard_sats {
+            for (hs, s) in head_sat.iter_mut().zip(sats?) {
+                hs.merge(s);
+            }
+        }
+
+        Ok((0..num_heads)
+            .map(|h| self.drain_rows(lowered, d, &acc[h * n..(h + 1) * n], head_sat[h]))
+            .collect())
+    }
+
     /// Like [`execute`](Self::execute), but steps every array pass through
     /// the event-accurate [`SystolicArray`] (explicit systolic skew,
     /// rippled row sums) instead of the lowered program.
@@ -347,10 +567,7 @@ impl SpatialAccelerator {
         scratch.load(q, k, v, scale, d);
         // Pre-size the per-op buffers to the program's high-water mark so
         // the first ops never reallocate mid-pass.
-        let keys = lowered.max_row_keys();
-        scratch.scores.reserve(keys);
-        scratch.exps.reserve(keys);
-        scratch.probs.reserve(keys);
+        scratch.op.prepare(d, lowered.max_row_keys());
         Ok(d)
     }
 
@@ -365,7 +582,7 @@ impl SpatialAccelerator {
         scratch: &mut ExecScratch,
         sat: &mut MacSaturation,
     ) -> Result<(), SimError> {
-        let ExecScratch { qq, kq, vq, scores, exps, probs, part, out32, acc } = scratch;
+        let ExecScratch { qq, kq, vq, op: op_scratch, acc } = scratch;
         for op in &lowered.ops()[range] {
             let q_row = ExecScratch::row(qq, op.dest as usize, d);
             run_op(
@@ -377,7 +594,7 @@ impl SpatialAccelerator {
                 kq,
                 vq,
                 d,
-                (&mut *scores, &mut *exps, &mut *probs, &mut *part, &mut *out32),
+                &mut *op_scratch,
                 &mut acc[op.dest as usize],
                 sat,
             )?;
@@ -454,10 +671,23 @@ impl SpatialAccelerator {
         scratch: &ExecScratch,
         sat: MacSaturation,
     ) -> ExecutionOutput {
+        self.drain_rows(lowered, d, &scratch.acc, sat)
+    }
+
+    /// [`drain`](Self::drain) over an explicit accumulator-row slice —
+    /// the form the partitioned executor uses, where one head's rows are
+    /// a window of the flat all-heads accumulator.
+    pub(crate) fn drain_rows(
+        &self,
+        lowered: &LoweredPlan,
+        d: usize,
+        acc: &[PartialRow],
+        sat: MacSaturation,
+    ) -> ExecutionOutput {
         let n = lowered.n();
         let mut raw = Matrix::filled(n, d, Fix16x8::ZERO);
         let mut weights = vec![0i64; n];
-        for (i, part) in scratch.acc.iter().enumerate() {
+        for (i, part) in acc.iter().enumerate() {
             weights[i] = part.weight_q16;
             for (c, &o) in part.out_q19.iter().enumerate() {
                 raw.set(i, c, Fix16x8::from_q19_acc(o));
@@ -501,8 +731,6 @@ impl SpatialAccelerator {
 /// decode step (`run_decode_ops`, K/V from the session arenas) — the
 /// decode-vs-prefill bit-identity guarantee holds by construction
 /// because there is exactly one copy of these kernels to diverge from.
-///
-/// `bufs` is the per-op scratch: `(scores, exps, probs, part, out32)`.
 #[allow(clippy::too_many_arguments)] // the op's full dataflow, spelled out
 pub(crate) fn run_op(
     exp: &ExpLut,
@@ -513,11 +741,11 @@ pub(crate) fn run_op(
     kq: &[Fix8x4],
     vq: &[Fix8x4],
     d: usize,
-    bufs: (&mut Vec<i32>, &mut Vec<i64>, &mut Vec<u16>, &mut PartialRow, &mut Vec<i32>),
+    bufs: &mut OpScratch,
     acc: &mut PartialRow,
     sat: &mut MacSaturation,
 ) -> Result<(), SimError> {
-    let (scores, exps, probs, part, out32) = bufs;
+    let OpScratch { scores, exps, probs, part, out32 } = bufs;
     match kind {
         LoweredOpKind::Row => {
             // Stage 1: output-stationary dot products.

@@ -52,6 +52,7 @@ mod energy;
 mod error;
 mod exec;
 mod lower;
+mod partition;
 mod report;
 mod scaling;
 mod systolic;
@@ -65,8 +66,9 @@ pub use cycles::{CycleBreakdown, CycleModel};
 pub use decode::{DecodePlan, DecodeState, StepOutput};
 pub use energy::{EnergyBreakdown, EnergyModel, OpEnergies};
 pub use error::SimError;
-pub use exec::{ExecScratch, ExecutionOutput, SpatialAccelerator};
+pub use exec::{ExecScratch, ExecutionOutput, HeadsScratch, SpatialAccelerator};
 pub use lower::{LoweredOp, LoweredOpKind, LoweredPlan};
+pub use partition::{Partition, Shard, OP_BASE_COST};
 pub use report::{ExecutionReport, TimingReport, UtilizationReport};
 pub use scaling::{AreaPowerEstimate, AreaPowerModel};
 pub use systolic::{PassTrace, SystolicArray};

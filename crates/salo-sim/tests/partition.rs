@@ -1,0 +1,191 @@
+//! Partition-determinism property suite: the sharded multi-head executor
+//! is bit-identical to the sequential path and to the event-accurate
+//! systolic oracle at **every** parallelism, and the partition itself
+//! assigns each op exactly once.
+//!
+//! The claim under test is determinism *by construction*: sharding is by
+//! destination row, so the non-associative weighted-sum merges of one
+//! row all happen on one shard in plan order, and the thread count can
+//! never reach the arithmetic. These tests run the partitioned executor
+//! at shard counts 1, 2, 4 and 7 on random hybrid patterns and random
+//! data and require equality down to the last bit — outputs, the Q.16
+//! softmax weights, and the saturation counters.
+
+use proptest::prelude::*;
+use salo_kernels::Qkv;
+use salo_patterns::{HybridPattern, Window};
+use salo_scheduler::{ExecutionPlan, HardwareMeta};
+use salo_sim::{
+    AcceleratorConfig, ExecScratch, HeadsScratch, LoweredPlan, Partition, SpatialAccelerator,
+};
+
+const PARALLELISMS: [usize; 4] = [1, 2, 4, 7];
+
+fn arb_pattern() -> impl Strategy<Value = HybridPattern> {
+    (12usize..40, -6i64..0, 1usize..8, 1usize..4, prop::collection::vec(0usize..12, 0..3))
+        .prop_filter_map("valid pattern", |(n, lo, width, dil, globals)| {
+            let hi = lo + (width as i64) * dil as i64;
+            let w = Window::dilated(lo, hi, dil).ok()?;
+            HybridPattern::builder(n)
+                .window(w)
+                .global_tokens(globals.into_iter().filter(move |&g| g < n))
+                .build()
+                .ok()
+        })
+}
+
+fn accel(hw: HardwareMeta) -> SpatialAccelerator {
+    SpatialAccelerator::new(AcceleratorConfig { hw, ..Default::default() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// At every tested parallelism, every head of the partitioned
+    /// executor is bit-identical to the sequential per-head path and to
+    /// the systolic oracle: raw outputs, `weights_q16` and saturation
+    /// counts.
+    #[test]
+    fn partitioned_execution_bit_matches_oracle_at_every_parallelism(
+        pattern in arb_pattern(),
+        num_heads in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let d = 4usize;
+        let hw = HardwareMeta::new(4, 4, 1, 1).expect("hw");
+        let plan = match ExecutionPlan::build(&pattern, hw) {
+            Ok(p) => p,
+            Err(_) => return Ok(()), // degenerate (empty) pattern
+        };
+        let lowered = LoweredPlan::lower(&plan);
+        let sim = accel(hw);
+        let scale = SpatialAccelerator::default_scale(d);
+        let heads: Vec<Qkv> =
+            (0..num_heads).map(|h| Qkv::random(pattern.n(), d, seed + h as u64)).collect();
+
+        // Oracles, per head: the event-stepped systolic array and the
+        // sequential lowered path.
+        let mut scratch = ExecScratch::new();
+        let oracle: Vec<_> = heads
+            .iter()
+            .map(|h| {
+                let slow = sim.execute_systolic(&plan, &h.q, &h.k, &h.v, scale).expect("systolic");
+                let seq = sim
+                    .execute_lowered(&lowered, &h.q, &h.k, &h.v, scale, &mut scratch)
+                    .expect("sequential");
+                assert_eq!(seq.raw, slow.raw, "sequential vs systolic");
+                slow
+            })
+            .collect();
+
+        let mut heads_scratch = HeadsScratch::new();
+        for p in PARALLELISMS {
+            let outs = sim
+                .execute_heads_lowered(&lowered, &heads, scale, p, &mut heads_scratch)
+                .expect("partitioned");
+            prop_assert_eq!(outs.len(), num_heads);
+            for (h, (got, want)) in outs.iter().zip(&oracle).enumerate() {
+                prop_assert_eq!(&got.raw, &want.raw, "head {} raw at parallelism {}", h, p);
+                prop_assert_eq!(
+                    &got.weights_q16, &want.weights_q16,
+                    "head {} weights at parallelism {}", h, p
+                );
+                prop_assert_eq!(
+                    got.report.saturation_events, want.report.saturation_events,
+                    "head {} saturation at parallelism {}", h, p
+                );
+            }
+        }
+    }
+
+    /// The partition covers every `(head, op)` pair exactly once with
+    /// spans tiling the item space, at every tested parallelism — the
+    /// structural half of the determinism argument.
+    #[test]
+    fn partition_assigns_every_op_exactly_once(
+        pattern in arb_pattern(),
+        num_heads in 1usize..6,
+    ) {
+        let hw = HardwareMeta::new(4, 4, 1, 1).expect("hw");
+        let plan = match ExecutionPlan::build(&pattern, hw) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let lowered = LoweredPlan::lower(&plan);
+        for p in PARALLELISMS {
+            let part = Partition::build(&lowered, num_heads, p);
+            prop_assert_eq!(part.num_shards(), p);
+            part.validate(&lowered).expect("partition invariants");
+            prop_assert_eq!(part.total_ops(), num_heads * lowered.ops().len());
+            // Cost accounting is conserved across shards.
+            let shard_cost: u64 = part.shards().iter().map(|s| s.cost()).sum();
+            let plan_cost: u64 = lowered
+                .ops()
+                .iter()
+                .map(|op| u64::from(op.key_len) + salo_sim::OP_BASE_COST)
+                .sum::<u64>() * num_heads as u64;
+            prop_assert_eq!(shard_cost, plan_cost);
+        }
+    }
+
+    /// One `HeadsScratch` reused across different shapes, head counts and
+    /// parallelisms stays bit-transparent — same outputs as a fresh
+    /// scratch per call.
+    #[test]
+    fn heads_scratch_reuse_is_bit_transparent(
+        first in arb_pattern(),
+        second in arb_pattern(),
+        seed in 0u64..1000,
+    ) {
+        let hw = HardwareMeta::new(4, 4, 1, 1).expect("hw");
+        let sim = accel(hw);
+        let mut reused = HeadsScratch::new();
+        for (pattern, heads_n, d, p) in [(&first, 3usize, 4usize, 4usize), (&second, 2, 6, 2)] {
+            let plan = match ExecutionPlan::build(pattern, hw) {
+                Ok(pl) => pl,
+                Err(_) => continue,
+            };
+            let lowered = LoweredPlan::lower(&plan);
+            let scale = SpatialAccelerator::default_scale(d);
+            let heads: Vec<Qkv> =
+                (0..heads_n).map(|h| Qkv::random(pattern.n(), d, seed + 31 * h as u64)).collect();
+            let warm = sim
+                .execute_heads_lowered(&lowered, &heads, scale, p, &mut reused)
+                .expect("reused scratch");
+            let cold = sim
+                .execute_heads_lowered(&lowered, &heads, scale, p, &mut HeadsScratch::new())
+                .expect("fresh scratch");
+            for (w, c) in warm.iter().zip(&cold) {
+                prop_assert_eq!(&w.raw, &c.raw);
+                prop_assert_eq!(&w.weights_q16, &c.weights_q16);
+                prop_assert_eq!(w.report.saturation_events, c.report.saturation_events);
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_head_list_is_ok() {
+    let hw = HardwareMeta::new(4, 4, 1, 1).unwrap();
+    let pattern = HybridPattern::builder(16).window(Window::symmetric(3).unwrap()).build().unwrap();
+    let plan = ExecutionPlan::build(&pattern, hw).unwrap();
+    let lowered = LoweredPlan::lower(&plan);
+    let sim = accel(hw);
+    let outs = sim.execute_heads_lowered(&lowered, &[], 0.5, 4, &mut HeadsScratch::new()).unwrap();
+    assert!(outs.is_empty());
+}
+
+#[test]
+fn shape_mismatch_rejected_per_head() {
+    let hw = HardwareMeta::new(4, 4, 1, 1).unwrap();
+    let pattern = HybridPattern::builder(16).window(Window::symmetric(3).unwrap()).build().unwrap();
+    let plan = ExecutionPlan::build(&pattern, hw).unwrap();
+    let lowered = LoweredPlan::lower(&plan);
+    let sim = accel(hw);
+    let good = Qkv::random(16, 4, 1);
+    let bad = Qkv::random(12, 4, 2);
+    let err = sim
+        .execute_heads_lowered(&lowered, &[good, bad], 0.5, 2, &mut HeadsScratch::new())
+        .unwrap_err();
+    assert!(matches!(err, salo_sim::SimError::ShapeMismatch { plan_n: 16, .. }));
+}
