@@ -24,7 +24,7 @@ use salo_core::Salo;
 use salo_kernels::Qkv;
 use salo_models::{bert_base, longformer_layer, vil_stage1, Workload};
 use salo_patterns::{HybridPattern, Window};
-use salo_sim::{ExecScratch, HeadsScratch, Partition, SpatialAccelerator};
+use salo_sim::{ExecScratch, HeadsScratch, Partition, SpatialAccelerator, StageProfile};
 use std::time::Instant;
 
 /// Pre-PR (`execute` on the plan-walking datapath) medians, ns per pass,
@@ -67,6 +67,9 @@ struct Measurement {
     speedup_vs_pr3: Option<f64>,
     parallelism: usize,
     shard_op_counts: Vec<usize>,
+    /// Stage-level cost breakdown from one profiled pass (profiling off
+    /// during the timed iterations, so it never distorts the medians).
+    stages: StageProfile,
 }
 
 fn measure(name: &str, workload: &Workload, iters: usize) -> Measurement {
@@ -121,6 +124,17 @@ fn measure(name: &str, workload: &Workload, iters: usize) -> Measurement {
     let median = samples_ns[samples_ns.len() / 2];
     let passes = compiled.stats.passes.max(1);
     let ns_per_pass = median / passes as f64;
+    // One additional profiled pass for the stage-level cost breakdown —
+    // after the timed loop, so the per-op timer reads never pollute the
+    // medians above. The profiled pass stays bit-identical (asserted),
+    // only its wall clock differs.
+    scratch.set_profiling(true);
+    let profiled = accel
+        .execute_lowered(&compiled.lowered, &head.q, &head.k, &head.v, scale, &mut scratch)
+        .expect("profiled execute");
+    scratch.set_profiling(false);
+    assert_eq!(profiled.raw, out.raw, "profiling changed the datapath output");
+    let stages = profiled.report.stages.expect("profiling was enabled");
     Measurement {
         name: name.to_string(),
         n,
@@ -133,6 +147,7 @@ fn measure(name: &str, workload: &Workload, iters: usize) -> Measurement {
         speedup_vs_pr3: pr3_ns_per_pass(name).map(|base| base / ns_per_pass),
         parallelism,
         shard_op_counts: partition.op_counts(),
+        stages,
     }
 }
 
@@ -226,13 +241,25 @@ fn main() {
             m.tokens_per_s,
             m.speedup_vs_pre_pr.map_or_else(|| "-".into(), |s| format!("{s:.2}x")),
         );
+        let total = m.stages.total_ns().max(1);
+        println!(
+            "  stages (1 profiled pass): qk_dot {:.1}% | exp_lut {:.1}% | renorm_merge {:.1}% | sv_mac {:.1}%  ({} ops, {} keys)",
+            m.stages.qk_dot_ns as f64 * 100.0 / total as f64,
+            m.stages.exp_lut_ns as f64 * 100.0 / total as f64,
+            m.stages.renorm_merge_ns as f64 * 100.0 / total as f64,
+            m.stages.sv_mac_ns as f64 * 100.0 / total as f64,
+            m.stages.ops,
+            m.stages.keys,
+        );
         entries.push(format!(
             concat!(
                 "    {{\"name\": \"{}\", \"n\": {}, \"d\": {}, \"passes\": {}, ",
                 "\"ms_per_head\": {:.3}, \"ns_per_pass\": {:.1}, \"tokens_per_s\": {:.0}, ",
                 "\"baseline_ns_per_pass\": {}, \"speedup_vs_pre_pr\": {}, ",
                 "\"pr3_ns_per_pass\": {}, \"speedup_vs_pr3\": {}, ",
-                "\"parallelism\": {}, \"shard_op_counts\": {:?}}}"
+                "\"parallelism\": {}, \"shard_op_counts\": {:?}, ",
+                "\"stage_ns\": {{\"qk_dot\": {}, \"exp_lut\": {}, \"renorm_merge\": {}, \"sv_mac\": {}}}, ",
+                "\"stage_ops\": {}, \"stage_keys\": {}}}"
             ),
             m.name,
             m.n,
@@ -247,6 +274,12 @@ fn main() {
             json_field_opt(m.speedup_vs_pr3),
             m.parallelism,
             m.shard_op_counts,
+            m.stages.qk_dot_ns,
+            m.stages.exp_lut_ns,
+            m.stages.renorm_merge_ns,
+            m.stages.sv_mac_ns,
+            m.stages.ops,
+            m.stages.keys,
         ));
     }
 

@@ -132,12 +132,19 @@ impl FixedCore {
         prefill: PrefillKernel,
         request: AttentionRequest,
     ) -> Result<AttentionResponse, SaloError> {
+        let tracer = salo_trace::Tracer::global();
         match request {
             AttentionRequest::Prefill { pattern, shape, heads } => {
+                let _span = tracer.span_with("engine.prefill", "engine", heads.len() as u64);
                 check_prefill_heads(&shape, &heads)?;
                 let plan = self.resolve_prefill_plan(name, &pattern, &shape)?;
                 let scale = SpatialAccelerator::default_scale(shape.head_dim);
                 let Self { accel, scratch, heads_scratch, parallelism, .. } = self;
+                // Stage profiling follows the tracer switch: one relaxed
+                // load per request, zero per-op cost when off.
+                let profiling = tracer.enabled();
+                scratch.set_profiling(profiling);
+                heads_scratch.set_profiling(profiling);
                 let outputs =
                     prefill(accel, &plan, &heads, scale, scratch, heads_scratch, *parallelism)?;
                 let telemetry = Self::prefill_telemetry(name, &outputs);
@@ -147,13 +154,16 @@ impl FixedCore {
                 }))
             }
             AttentionRequest::DecodeOpen { session, pattern, head_dim, num_heads, prompt } => {
+                let _span = tracer.span_with("engine.decode_open", "engine", session);
                 let opened = self.open(name, session, &pattern, head_dim, num_heads, &prompt)?;
                 Ok(AttentionResponse::DecodeOpened(opened))
             }
             AttentionRequest::DecodeStep { session, token } => {
+                let _span = tracer.span_with("engine.decode_step", "engine", session);
                 Ok(AttentionResponse::DecodeStep(self.step(name, session, &token)?))
             }
             AttentionRequest::DecodeClose { session } => {
+                let _span = tracer.span_with("engine.decode_close", "engine", session);
                 Ok(AttentionResponse::DecodeClosed(self.close(session)?))
             }
         }
@@ -268,6 +278,9 @@ impl FixedCore {
             });
         }
         let position = state.position();
+        let profiling = salo_trace::enabled();
+        self.scratch.set_profiling(profiling);
+        let mut step_stages = salo_sim::StageProfile::default();
         let mut heads = Vec::with_capacity(token.len());
         let mut result: Result<(), SaloError> = Ok(());
         for (head_state, tok) in state.states.iter_mut().zip(token) {
@@ -280,7 +293,12 @@ impl FixedCore {
                 state.scale,
                 &mut self.scratch,
             ) {
-                Ok(out) => heads.push(out),
+                Ok(out) => {
+                    if profiling {
+                        step_stages.merge(&self.scratch.take_profile());
+                    }
+                    heads.push(out);
+                }
                 Err(e) => {
                     result = Err(normalize_step_error(e));
                     break;
@@ -311,6 +329,7 @@ impl FixedCore {
                 sim_time_s: None,
                 sim_energy_j: None,
                 saturation_events,
+                stages: profiling.then_some(step_stages),
             },
         })
     }
@@ -323,6 +342,15 @@ impl FixedCore {
     }
 
     fn prefill_telemetry(name: &'static str, heads: &[ExecutionOutput]) -> Telemetry {
+        // Per-head stage profiles sum exactly; under the partitioned path
+        // the whole-layer aggregate rides on the first head, so the sum is
+        // the layer total either way.
+        let mut stages: Option<salo_sim::StageProfile> = None;
+        for head in heads {
+            if let Some(s) = &head.report.stages {
+                stages.get_or_insert_with(Default::default).merge(s);
+            }
+        }
         Telemetry {
             engine: name,
             bit_exact: true,
@@ -330,6 +358,7 @@ impl FixedCore {
             sim_time_s: Some(heads.iter().map(|h| h.report.timing.time_s).sum()),
             sim_energy_j: Some(heads.iter().map(|h| h.report.timing.energy_j).sum()),
             saturation_events: heads.iter().map(|h| h.report.saturation_events).sum(),
+            stages,
         }
     }
 }

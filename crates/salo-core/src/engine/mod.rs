@@ -230,6 +230,10 @@ pub struct Telemetry {
     pub sim_energy_j: Option<f64>,
     /// Fixed-point MAC saturation events (0 for float backends).
     pub saturation_events: u64,
+    /// Host-measured per-stage datapath cost, present on fixed-point
+    /// backends when stage profiling is enabled (`SALO_TRACE=1` or
+    /// [`salo_trace::set_enabled`]). Summed across the request's heads.
+    pub stages: Option<salo_sim::StageProfile>,
 }
 
 /// One head's prefill output in backend-neutral form.

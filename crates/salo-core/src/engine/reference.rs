@@ -69,6 +69,7 @@ impl ReferenceEngine {
             sim_time_s: None,
             sim_energy_j: None,
             saturation_events: 0,
+            stages: None,
         }
     }
 }

@@ -80,6 +80,7 @@ pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use error::ServeError;
 pub use metrics::{DepthGauge, LatencyRecorder, LatencyStats, ServeReport};
 pub use request::{ServeRequest, ServeResponse};
+pub use salo_trace::{HistogramSnapshot, MetricsRegistry};
 pub use server::{SaloServer, ServeOptions};
 pub use session::{
     DecodeSessionHandle, DecodeStep, SessionEvent, SessionInfo, SessionRequest, TokenQkv,

@@ -1,8 +1,18 @@
 //! Serving metrics: latency distributions, queue depth, and the aggregate
 //! report printed by the closed-loop demo.
+//!
+//! Latency distributions are backed by the mergeable log-bucket histogram
+//! from `salo-trace`: two shards' histograms add element-wise into exactly
+//! the histogram of the union of their samples, so merged quantiles are
+//! bucket-exact (within one bucket width, ≤ 1/16 relative) instead of the
+//! count-weighted blends of the old reservoir scheme. The blend survives
+//! only as [`LatencyStats::blended_with`], the clearly-named fallback for
+//! summaries that no longer carry their histograms.
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use salo_trace::HistogramSnapshot;
 
 use crate::CacheStats;
 
@@ -45,18 +55,35 @@ impl LatencyStats {
         }
     }
 
-    /// Merges two shard summaries without double-weighting either side:
-    /// counts add, the mean is count-weighted, the max is exact. The
-    /// quantiles are count-weighted blends of the shard quantiles — an
-    /// *approximation* that can misstate the true merged quantile badly
-    /// when the shards are skewed (e.g. 900 fast + 100 slow samples: the
-    /// blend reports a p50 an order of magnitude above the true median).
-    /// Exact merged quantiles require the samples: merge the
-    /// [`LatencyRecorder`]s (exact while the union fits the reservoir)
-    /// *before* summarizing, and treat post-summary merges as coarse
-    /// aggregates only.
+    /// Summarizes a nanosecond-scale latency histogram: count/mean/max
+    /// exact, p50/p99 bucket-exact (the upper bound of the rank's bucket,
+    /// within one bucket width of the true order statistic).
     #[must_use]
-    pub fn merged_with(&self, other: &LatencyStats) -> LatencyStats {
+    pub fn from_histogram(hist: &HistogramSnapshot) -> Self {
+        if hist.is_empty() {
+            return Self::default();
+        }
+        Self {
+            count: hist.count,
+            mean_s: hist.mean() / 1e9,
+            p50_s: hist.quantile(0.50) as f64 / 1e9,
+            p99_s: hist.quantile(0.99) as f64 / 1e9,
+            max_s: hist.max as f64 / 1e9,
+        }
+    }
+
+    /// Count-weighted *blend* of two shard summaries — the clearly-named
+    /// fallback for summaries that lost their histograms. Counts add, the
+    /// mean is count-weighted, the max is exact, but the quantiles are
+    /// blends that can misstate the true merged quantile badly when the
+    /// shards are skewed (e.g. 900 fast + 100 slow samples: the blend
+    /// reports a p50 an order of magnitude above the true median). Exact
+    /// merged quantiles need the distributions, not the summaries: merge
+    /// the [`LatencyRecorder`]s, or the histograms a [`ServeReport`]
+    /// carries ([`ServeReport::merged_with`] does exactly that and only
+    /// falls back to this blend when a report was built without them).
+    #[must_use]
+    pub fn blended_with(&self, other: &LatencyStats) -> LatencyStats {
         let total = self.count + other.count;
         if total == 0 {
             return LatencyStats::default();
@@ -79,39 +106,38 @@ impl LatencyStats {
     }
 }
 
-/// Bounded-memory latency accumulator: exact count/mean/max, quantiles
-/// from a uniform reservoir sample.
+/// Bounded-memory latency accumulator: exact count/mean/max always; exact
+/// quantiles while the complete sample set fits `EXACT_CAP`, bucket-exact
+/// quantiles (from an always-on log-bucket histogram) beyond it.
 ///
 /// A serving session can complete an unbounded number of requests;
 /// keeping every sample just to compute two quantiles at shutdown would
-/// grow without limit. The recorder keeps a fixed-size reservoir
-/// (Vitter's algorithm R with a deterministic xorshift generator — same
-/// statistics every run) and exact running aggregates for everything
-/// that does not need the full distribution.
-#[derive(Debug, Clone)]
+/// grow without limit. Unlike the reservoir this recorder used to carry,
+/// the histogram is deterministic *and mergeable*: merging two recorders
+/// yields exactly the histogram of the union of their samples, so sharded
+/// quantiles never blend.
+#[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
     count: u64,
     sum_s: f64,
     max_s: f64,
-    reservoir: Vec<f64>,
-    rng: u64,
+    /// The complete sample set while `count <= EXACT_CAP`; emptied the
+    /// moment it would become partial (the histogram carries on alone).
+    samples: Vec<f64>,
+    /// Always-on log-bucket histogram of the samples, in nanoseconds.
+    hist: HistogramSnapshot,
 }
 
-/// Reservoir size: quantile error at p99 is well under a millisecond-scale
-/// bucket for thousands of samples.
-const RESERVOIR_CAP: usize = 4096;
-
-impl Default for LatencyRecorder {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// Exact-quantile capacity: below this many samples the recorder holds
+/// them all and quantiles are exact order statistics; above it they come
+/// from the histogram (within one bucket width, ≤ 1/16 relative).
+const EXACT_CAP: usize = 4096;
 
 impl LatencyRecorder {
     /// Creates an empty recorder.
     #[must_use]
     pub fn new() -> Self {
-        Self { count: 0, sum_s: 0.0, max_s: 0.0, reservoir: Vec::new(), rng: 0x9e37_79b9_7f4a_7c15 }
+        Self::default()
     }
 
     /// Records one latency sample (seconds).
@@ -119,18 +145,11 @@ impl LatencyRecorder {
         self.count += 1;
         self.sum_s += sample_s;
         self.max_s = self.max_s.max(sample_s);
-        if self.reservoir.len() < RESERVOIR_CAP {
-            self.reservoir.push(sample_s);
+        self.hist.record_secs(sample_s);
+        if self.samples.len() + 1 == self.count as usize && self.count as usize <= EXACT_CAP {
+            self.samples.push(sample_s);
         } else {
-            // xorshift64*: cheap, deterministic, plenty uniform for
-            // reservoir slot selection.
-            self.rng ^= self.rng << 13;
-            self.rng ^= self.rng >> 7;
-            self.rng ^= self.rng << 17;
-            let slot = (self.rng.wrapping_mul(0x2545_f491_4f6c_dd1d) % self.count) as usize;
-            if slot < RESERVOIR_CAP {
-                self.reservoir[slot] = sample_s;
-            }
+            self.samples.clear(); // no longer the complete sample set
         }
     }
 
@@ -140,61 +159,57 @@ impl LatencyRecorder {
         self.count
     }
 
-    /// Summarizes: count/mean/max are exact, p50/p99 come from the
-    /// reservoir — and while `count <= RESERVOIR_CAP` the reservoir *is*
-    /// the complete sample set, so the quantiles are exact order
-    /// statistics too (pinned by tests down to single-sample recorders).
+    /// The recorder's log-bucket histogram (nanoseconds). Merging two
+    /// shards' histograms element-wise reproduces the histogram of their
+    /// union exactly — this is what [`ServeReport`] carries so post-hoc
+    /// report merges stay bucket-exact.
+    #[must_use]
+    pub fn histogram(&self) -> &HistogramSnapshot {
+        &self.hist
+    }
+
+    /// Summarizes: count/mean/max are exact. While `count <= EXACT_CAP`
+    /// the recorder still holds every sample, so p50/p99 are exact order
+    /// statistics (pinned by tests down to single-sample recorders);
+    /// beyond that they are bucket-exact histogram quantiles.
     #[must_use]
     pub fn stats(&self) -> LatencyStats {
         if self.count == 0 {
             return LatencyStats::default();
         }
-        let sampled = LatencyStats::from_samples(&self.reservoir);
+        if self.samples.len() as u64 == self.count {
+            return LatencyStats::from_samples(&self.samples);
+        }
         LatencyStats {
             count: self.count,
             mean_s: self.sum_s / self.count as f64,
-            p50_s: sampled.p50_s,
-            p99_s: sampled.p99_s,
+            p50_s: self.hist.quantile(0.50) as f64 / 1e9,
+            p99_s: self.hist.quantile(0.99) as f64 / 1e9,
             max_s: self.max_s,
         }
     }
 
-    /// Merges another recorder into this one, weighting each side by its
-    /// sample count — a shard with 10x the traffic contributes 10x the
-    /// reservoir slots, never 50/50.
-    ///
-    /// Count, mean and max merge exactly. The merged reservoir is exact
-    /// (simple concatenation) while the combined count fits the
-    /// reservoir; beyond that each side contributes slots proportional to
-    /// its count, striding evenly through its reservoir (deterministic,
-    /// like everything else in the recorder).
+    /// Merges another recorder into this one. Count, mean and max merge
+    /// exactly. Quantiles stay exact while the union of complete sample
+    /// sets fits `EXACT_CAP`; beyond that the merged histogram *is* the
+    /// histogram of the union (element-wise bucket addition), so a shard
+    /// with 10x the traffic contributes 10x the mass — never 50/50 — and
+    /// merged quantiles are bucket-exact, not blends.
     pub fn merge(&mut self, other: &LatencyRecorder) {
         if other.count == 0 {
             return;
         }
-        let total = self.count + other.count;
-        if (self.reservoir.len() + other.reservoir.len()) <= RESERVOIR_CAP {
-            self.reservoir.extend_from_slice(&other.reservoir);
+        let both_complete =
+            self.samples.len() as u64 == self.count && other.samples.len() as u64 == other.count;
+        if both_complete && self.samples.len() + other.samples.len() <= EXACT_CAP {
+            self.samples.extend_from_slice(&other.samples);
         } else {
-            // Proportional allocation of the capped reservoir.
-            let own_slots = ((RESERVOIR_CAP as u128 * self.count as u128) / total as u128) as usize;
-            let own_slots = own_slots.clamp(
-                RESERVOIR_CAP.saturating_sub(other.reservoir.len()),
-                self.reservoir.len().min(RESERVOIR_CAP),
-            );
-            let other_slots = (RESERVOIR_CAP - own_slots).min(other.reservoir.len());
-            let take_evenly = |from: &[f64], n: usize| -> Vec<f64> {
-                (0..n).map(|i| from[i * from.len() / n.max(1)]).collect()
-            };
-            let mut merged = take_evenly(&self.reservoir, own_slots);
-            merged.extend(take_evenly(&other.reservoir, other_slots));
-            self.reservoir = merged;
+            self.samples.clear();
         }
-        self.count = total;
+        self.hist = self.hist.merged_with(&other.hist);
+        self.count += other.count;
         self.sum_s += other.sum_s;
         self.max_s = self.max_s.max(other.max_s);
-        // Decorrelate the generator from either input stream.
-        self.rng ^= other.rng.rotate_left(32) | 1;
     }
 }
 
@@ -250,6 +265,11 @@ pub struct ServeReport {
     pub throughput_rps: f64,
     /// Submission-to-completion latency distribution.
     pub latency: LatencyStats,
+    /// Log-bucket histogram behind [`latency`](Self::latency)
+    /// (nanoseconds). Merging two reports adds these element-wise, so
+    /// merged quantiles are bucket-exact. Empty in hand-built reports —
+    /// [`merged_with`](Self::merged_with) then falls back to the blend.
+    pub latency_hist: HistogramSnapshot,
     /// Plan-cache effectiveness counters.
     pub cache: CacheStats,
     /// Batches dispatched to workers.
@@ -277,6 +297,9 @@ pub struct ServeReport {
     pub decode_step_errors: u64,
     /// Submission-to-completion latency distribution of decode steps.
     pub decode_step_latency: LatencyStats,
+    /// Log-bucket histogram behind
+    /// [`decode_step_latency`](Self::decode_step_latency) (nanoseconds).
+    pub decode_step_latency_hist: HistogramSnapshot,
 }
 
 impl fmt::Display for ServeReport {
@@ -321,13 +344,40 @@ impl fmt::Display for ServeReport {
     }
 }
 
+/// Merges two shard latency summaries, preferring the bucket-exact path:
+/// when the merged histogram accounts for every sample of both summaries,
+/// p50/p99 come from it (count/mean/max stay exact from the summaries);
+/// otherwise — a report built by hand without histograms — falls back to
+/// the count-weighted [`LatencyStats::blended_with`].
+fn merge_latency(
+    a: &LatencyStats,
+    b: &LatencyStats,
+    merged_hist: &HistogramSnapshot,
+) -> LatencyStats {
+    let total = a.count + b.count;
+    if total == 0 || merged_hist.count != total {
+        return a.blended_with(b);
+    }
+    LatencyStats {
+        count: total,
+        mean_s: (a.mean_s * a.count as f64 + b.mean_s * b.count as f64) / total as f64,
+        p50_s: merged_hist.quantile(0.50) as f64 / 1e9,
+        p99_s: merged_hist.quantile(0.99) as f64 / 1e9,
+        max_s: a.max_s.max(b.max_s),
+    }
+}
+
 impl ServeReport {
     /// Merges the report of another (sharded) serving instance into this
     /// one without double-weighting either shard: counters, cycles and
-    /// energy add exactly; latency summaries merge count-weighted
-    /// ([`LatencyStats::merged_with`]); wall time takes the longer span
-    /// and throughput is recomputed from it; per-worker loads concatenate
-    /// (the shards' pools are distinct accelerators).
+    /// energy add exactly; latency histograms add element-wise — exactly
+    /// the histogram of the union — so merged p50/p99 are bucket-exact
+    /// whenever both reports carry their histograms (runtime-produced
+    /// reports always do; hand-built ones without histograms fall back to
+    /// the count-weighted [`LatencyStats::blended_with`]). Wall time
+    /// takes the longer span and throughput is recomputed from it;
+    /// per-worker loads concatenate (the shards' pools are distinct
+    /// accelerators).
     #[must_use]
     pub fn merged_with(&self, other: &ServeReport) -> ServeReport {
         let wall_s = self.wall_s.max(other.wall_s);
@@ -337,12 +387,16 @@ impl ServeReport {
             + other.batches as f64 * other.mean_batch_size;
         let mut per_worker = self.per_worker_requests.clone();
         per_worker.extend_from_slice(&other.per_worker_requests);
+        let latency_hist = self.latency_hist.merged_with(&other.latency_hist);
+        let decode_step_latency_hist =
+            self.decode_step_latency_hist.merged_with(&other.decode_step_latency_hist);
         ServeReport {
             requests,
             errors: self.errors + other.errors,
             wall_s,
             throughput_rps: if wall_s > 0.0 { requests as f64 / wall_s } else { 0.0 },
-            latency: self.latency.merged_with(&other.latency),
+            latency: merge_latency(&self.latency, &other.latency, &latency_hist),
+            latency_hist,
             cache: CacheStats {
                 hits: self.cache.hits + other.cache.hits,
                 misses: self.cache.misses + other.cache.misses,
@@ -359,7 +413,12 @@ impl ServeReport {
             decode_session_errors: self.decode_session_errors + other.decode_session_errors,
             decode_steps: self.decode_steps + other.decode_steps,
             decode_step_errors: self.decode_step_errors + other.decode_step_errors,
-            decode_step_latency: self.decode_step_latency.merged_with(&other.decode_step_latency),
+            decode_step_latency: merge_latency(
+                &self.decode_step_latency,
+                &other.decode_step_latency,
+                &decode_step_latency_hist,
+            ),
+            decode_step_latency_hist,
         }
     }
 }
@@ -385,7 +444,7 @@ mod tests {
     }
 
     #[test]
-    fn recorder_matches_exact_stats_below_reservoir_capacity() {
+    fn recorder_matches_exact_stats_below_exact_capacity() {
         let mut rec = LatencyRecorder::new();
         let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         for &s in &samples {
@@ -393,22 +452,27 @@ mod tests {
         }
         assert_eq!(rec.stats(), LatencyStats::from_samples(&samples));
         assert_eq!(rec.count(), 100);
+        assert_eq!(rec.histogram().count, 100);
     }
 
     #[test]
-    fn recorder_memory_is_bounded_and_quantiles_stay_sane() {
+    fn recorder_memory_is_bounded_and_quantiles_stay_within_bucket_width() {
         let mut rec = LatencyRecorder::new();
-        let total = 3 * RESERVOIR_CAP as u64;
+        let total = 3 * EXACT_CAP as u64;
         for i in 0..total {
-            rec.record(i as f64); // uniform ramp 0..total
+            rec.record(i as f64); // uniform ramp 0..total (seconds)
         }
-        assert!(rec.reservoir.len() <= RESERVOIR_CAP, "memory bounded");
+        assert!(rec.samples.len() <= EXACT_CAP, "memory bounded");
         let stats = rec.stats();
         assert_eq!(stats.count, total);
         assert!((stats.mean_s - (total - 1) as f64 / 2.0).abs() < 1e-9, "mean exact");
         assert!((stats.max_s - (total - 1) as f64).abs() < 1e-12, "max exact");
-        // Sampled quantiles of a uniform ramp land near the true values.
-        assert!((stats.p50_s / (total as f64) - 0.5).abs() < 0.05, "p50 {}", stats.p50_s);
+        // Above the exact capacity quantiles come from the histogram: the
+        // upper bound of the rank's bucket, within one bucket width
+        // (<= 1/16 relative) above the true order statistic.
+        let true_p50 = total as f64 / 2.0;
+        assert!(stats.p50_s >= true_p50 * 0.999, "p50 {} below true median", stats.p50_s);
+        assert!(stats.p50_s <= true_p50 * (1.0 + 1.0 / 16.0) + 1.0, "p50 {}", stats.p50_s);
         assert!(stats.p99_s / (total as f64) > 0.9, "p99 {}", stats.p99_s);
         // Deterministic: a second identical run reproduces the stats.
         let mut again = LatencyRecorder::new();
@@ -420,8 +484,8 @@ mod tests {
 
     #[test]
     fn quantiles_are_exact_at_small_counts() {
-        // Below the reservoir capacity the recorder holds every sample,
-        // so p50/p99 must be exact order statistics — pinned here for the
+        // Below the exact capacity the recorder holds every sample, so
+        // p50/p99 must be exact order statistics — pinned here for the
         // degenerate counts where estimation bugs hide.
         // One sample: every statistic is that sample.
         let mut rec = LatencyRecorder::new();
@@ -461,9 +525,9 @@ mod tests {
     }
 
     #[test]
-    fn recorder_merge_is_exact_below_capacity_and_count_weighted() {
-        // Two shards whose combined samples fit the reservoir: the merge
-        // must be exactly the single-recorder result over the union.
+    fn recorder_merge_is_exact_below_capacity_and_bucket_exact_above() {
+        // Two shards whose combined samples fit the exact window: the
+        // merge must be exactly the single-recorder result over the union.
         let mut a = LatencyRecorder::new();
         let mut b = LatencyRecorder::new();
         let mut all = LatencyRecorder::new();
@@ -477,26 +541,28 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a.stats(), all.stats(), "sub-capacity merge is exact");
+        assert_eq!(a.histogram(), all.histogram(), "histogram merge == histogram of union");
 
         // Merging an empty recorder is the identity.
         let before = a.stats();
         a.merge(&LatencyRecorder::new());
         assert_eq!(a.stats(), before);
 
-        // Over capacity: a 9:1 traffic split must weight the reservoir
-        // 9:1, not 50/50 — the light shard's extreme samples cannot drag
-        // p50 toward themselves.
+        // Over capacity: a 9:1 traffic split. The old reservoir blend got
+        // this right only statistically; the histogram gets it exactly —
+        // the light shard's pathological samples land in their own
+        // buckets and cannot drag p50 toward themselves.
         let mut heavy = LatencyRecorder::new();
         let mut light = LatencyRecorder::new();
-        for i in 0..(9 * RESERVOIR_CAP) {
+        for i in 0..(9 * EXACT_CAP) {
             heavy.record(1.0 + (i % 7) as f64 * 1e-3); // ~1 ms-ish cluster
         }
-        for _ in 0..RESERVOIR_CAP {
+        for _ in 0..EXACT_CAP {
             light.record(100.0); // pathological slow shard
         }
         heavy.merge(&light);
         let s = heavy.stats();
-        assert_eq!(s.count, 10 * RESERVOIR_CAP as u64);
+        assert_eq!(s.count, 10 * EXACT_CAP as u64);
         assert!((s.p50_s - 1.0).abs() < 0.1, "p50 {} dragged by light shard", s.p50_s);
         assert_eq!(s.max_s, 100.0, "max is exact");
         let expected_mean = (9.0 * 1.003 + 100.0) / 10.0;
@@ -505,6 +571,8 @@ mod tests {
 
     #[test]
     fn merged_reports_do_not_double_weight_shards() {
+        // Hand-built reports without histograms: merged_with falls back
+        // to the count-weighted blend (documented coarse aggregate).
         let big = ServeReport {
             requests: 900,
             wall_s: 10.0,
@@ -551,6 +619,54 @@ mod tests {
         let ident = big.merged_with(&ServeReport::default());
         assert_eq!(ident.requests, big.requests);
         assert_eq!(ident.latency, big.latency);
+    }
+
+    #[test]
+    fn merged_reports_with_histograms_are_bucket_exact() {
+        // The exact scenario the old blend misstated by an order of
+        // magnitude: 900 fast + 100 slow samples. With histograms on the
+        // reports, the merged p50 lands in the fast cluster (the true
+        // median) instead of blending toward the slow shard.
+        let mut fast = LatencyRecorder::new();
+        for _ in 0..900 {
+            fast.record(0.001);
+        }
+        let mut slow = LatencyRecorder::new();
+        for _ in 0..100 {
+            slow.record(0.1);
+        }
+        let report_of = |rec: &LatencyRecorder| ServeReport {
+            requests: rec.count(),
+            latency: rec.stats(),
+            latency_hist: rec.histogram().clone(),
+            ..Default::default()
+        };
+        let merged = report_of(&fast).merged_with(&report_of(&slow));
+        assert_eq!(merged.latency.count, 1000);
+        // Bucket-exact: within one bucket width (<= 1/16 relative) of the
+        // true 1 ms median — the blend would have said ~10.9 ms.
+        assert!(
+            merged.latency.p50_s <= 0.001 * (1.0 + 1.0 / 16.0),
+            "p50 {} not bucket-exact",
+            merged.latency.p50_s
+        );
+        assert!(
+            merged.latency.p50_s >= 0.0009,
+            "p50 {} below the fast cluster",
+            merged.latency.p50_s
+        );
+        // p99 falls in the slow cluster (rank 990 of 1000).
+        assert!(
+            (merged.latency.p99_s - 0.1).abs() <= 0.1 / 16.0,
+            "p99 {} not in the slow cluster",
+            merged.latency.p99_s
+        );
+        assert_eq!(merged.latency.max_s, 0.1);
+        // Merging is associative on the histograms: the merged report can
+        // merge again and stay bucket-exact.
+        let thrice = merged.merged_with(&report_of(&slow));
+        assert_eq!(thrice.latency_hist.count, 1100);
+        assert!(thrice.latency.p50_s <= 0.001 * (1.0 + 1.0 / 16.0));
     }
 
     #[test]

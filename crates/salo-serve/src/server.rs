@@ -37,6 +37,7 @@ use std::time::Instant;
 use salo_core::{AttentionRequest, PatternHandle, Salo};
 use salo_patterns::{AttentionShape, HybridPattern};
 use salo_sim::AcceleratorConfig;
+use salo_trace::MetricsRegistry;
 
 use crate::batch::{Batcher, InFlight};
 use crate::metrics::{DepthGauge, LatencyRecorder, ServeReport};
@@ -114,18 +115,18 @@ struct StepSubmission {
 }
 
 /// What the collector learned over the session.
+///
+/// The counters here are mirrored into the server's [`MetricsRegistry`]
+/// as they accumulate (`serve.requests`, `serve.errors`,
+/// `serve.latency_ns`, ...); [`SaloServer::shutdown`] rebuilds the
+/// [`ServeReport`] from those registry metrics, with the recorders
+/// supplying the exact small-count quantiles the histograms cannot.
 #[derive(Debug, Default)]
 struct CollectorSummary {
-    requests: u64,
-    errors: u64,
     latencies: LatencyRecorder,
     per_worker: Vec<u64>,
     sim_cycles: u64,
     sim_energy_j: f64,
-    decode_sessions: u64,
-    decode_session_errors: u64,
-    decode_steps: u64,
-    decode_step_errors: u64,
     decode_latencies: LatencyRecorder,
     first_submit: Option<Instant>,
     last_finish: Option<Instant>,
@@ -152,6 +153,7 @@ pub struct SaloServer {
     batches: Arc<AtomicU64>,
     batched_requests: Arc<AtomicU64>,
     summary: Arc<Mutex<Option<CollectorSummary>>>,
+    metrics: Arc<MetricsRegistry>,
     threads: Vec<JoinHandle<()>>,
     workers: usize,
 }
@@ -179,6 +181,7 @@ impl SaloServer {
         let batched_requests = Arc::new(AtomicU64::new(0));
         let summary = Arc::new(Mutex::new(None));
         let sessions = Arc::new(SessionRegistry::new());
+        let metrics = Arc::new(MetricsRegistry::new());
 
         let (ingress_tx, ingress_rx) = std::sync::mpsc::channel::<Ingress>();
         let (done_tx, done_rx) = std::sync::mpsc::channel::<Completed>();
@@ -223,10 +226,13 @@ impl SaloServer {
         {
             let depth = Arc::clone(&depth);
             let summary = Arc::clone(&summary);
+            let metrics = Arc::clone(&metrics);
             threads.push(
                 std::thread::Builder::new()
                     .name("salo-serve-collector".into())
-                    .spawn(move || collector_loop(&done_rx, &ordered_tx, &depth, workers, &summary))
+                    .spawn(move || {
+                        collector_loop(&done_rx, &ordered_tx, &depth, workers, &summary, &metrics);
+                    })
                     .expect("spawn collector thread"),
             );
         }
@@ -243,6 +249,7 @@ impl SaloServer {
             batches,
             batched_requests,
             summary,
+            metrics,
             threads,
             workers,
         }
@@ -274,6 +281,7 @@ impl SaloServer {
         let request = ServeRequest::new(request.pattern, request.shape, request.heads)?;
         let ingress = self.ingress.as_ref().ok_or(ServeError::Closed)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let _span = salo_trace::span_with("serve.admission", "serve", id);
         self.depth.enter();
         let submission = Submission {
             id,
@@ -311,6 +319,7 @@ impl SaloServer {
         let causal = request.validated_view()?.into_causal_pattern();
         let ingress = self.ingress.as_ref().ok_or(ServeError::Closed)?;
         let session = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let _span = salo_trace::span_with("serve.session_open", "serve", session);
         let (events_tx, events_rx) = std::sync::mpsc::channel();
         self.depth.enter();
         // Register before submitting: an asynchronous open failure
@@ -348,6 +357,7 @@ impl SaloServer {
             return Err(ServeError::UnknownSession { session });
         }
         let ingress = self.ingress.as_ref().ok_or(ServeError::Closed)?;
+        let _span = salo_trace::span_with("serve.session_step", "serve", session);
         self.depth.enter();
         let submission = StepSubmission { session, token, submitted: Instant::now() };
         if ingress.send(Ingress::Step(submission)).is_err() {
@@ -429,6 +439,19 @@ impl SaloServer {
         self.cache.stats()
     }
 
+    /// This server's metrics registry: named counters, gauges and
+    /// mergeable log-bucket histograms the collector maintains as
+    /// completions stream in (`serve.requests`, `serve.latency_ns`,
+    /// `serve.decode.steps`, ...). Per-server — two instances in one
+    /// process never mix counts. Export it any time with
+    /// [`MetricsRegistry::export_table`] or
+    /// [`MetricsRegistry::export_json`]; [`shutdown`](Self::shutdown)
+    /// rebuilds the [`ServeReport`] counters from it.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Stops accepting requests, drains all in-flight work, joins every
     /// thread and returns the session report. Responses not yet read via
     /// [`recv`](Self::recv) are discarded; open decode sessions are
@@ -444,14 +467,26 @@ impl SaloServer {
             (Some(a), Some(b)) => b.duration_since(a).as_secs_f64(),
             _ => 0.0,
         };
+        // Fold the dispatcher-side tallies into the registry, then build
+        // the report's counters *from* the registry — the collector has
+        // been mirroring its completion counts there all along, so the
+        // registry is the single source the report is rebuilt on. The
+        // recorders contribute the latency summaries (exact order
+        // statistics at small counts, histogram quantiles beyond) and
+        // their histograms ride on the report for bucket-exact merges.
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
+        self.metrics.counter("serve.batches").add(batches);
+        self.metrics.counter("serve.batched_requests").add(batched);
+        self.metrics.gauge("serve.queue_depth.high_water").set(self.depth.high_water() as i64);
+        let requests = self.metrics.counter("serve.requests").get();
         ServeReport {
-            requests: summary.requests,
-            errors: summary.errors,
+            requests,
+            errors: self.metrics.counter("serve.errors").get(),
             wall_s,
-            throughput_rps: if wall_s > 0.0 { summary.requests as f64 / wall_s } else { 0.0 },
+            throughput_rps: if wall_s > 0.0 { requests as f64 / wall_s } else { 0.0 },
             latency: summary.latencies.stats(),
+            latency_hist: summary.latencies.histogram().clone(),
             cache: self.cache.stats(),
             batches,
             mean_batch_size: if batches > 0 { batched as f64 / batches as f64 } else { 0.0 },
@@ -459,11 +494,12 @@ impl SaloServer {
             sim_cycles: summary.sim_cycles,
             sim_energy_j: summary.sim_energy_j,
             per_worker_requests: summary.per_worker,
-            decode_sessions: summary.decode_sessions,
-            decode_session_errors: summary.decode_session_errors,
-            decode_steps: summary.decode_steps,
-            decode_step_errors: summary.decode_step_errors,
+            decode_sessions: self.metrics.counter("serve.decode.sessions").get(),
+            decode_session_errors: self.metrics.counter("serve.decode.session_errors").get(),
+            decode_steps: self.metrics.counter("serve.decode.steps").get(),
+            decode_step_errors: self.metrics.counter("serve.decode.step_errors").get(),
             decode_step_latency: summary.decode_latencies.stats(),
+            decode_step_latency_hist: summary.decode_latencies.histogram().clone(),
         }
     }
 }
@@ -529,6 +565,7 @@ impl Dispatcher<'_> {
     fn dispatch_batch(&mut self, batch: crate::batch::Batch) {
         let size = batch.len() as u64;
         let batch_size = batch.len();
+        let _span = salo_trace::span_with("serve.batch_dispatch", "serve", size);
         // Mint one typed request per member; the pattern/plan pair is one
         // `Arc` clone each.
         let jobs: Vec<Job> = batch
@@ -585,10 +622,14 @@ impl Dispatcher<'_> {
             shape: sub.shape,
             config_fp: self.config_fp,
         };
-        match self.cache.get_or_compile(key, &sub.pattern, self.compiler.config(), || {
+        let lookup = salo_trace::span_with("serve.plan_lookup", "serve", sub.id);
+        let compiled = self.cache.get_or_compile(key, &sub.pattern, self.compiler.config(), || {
             self.compiler.compile(&sub.pattern, &sub.shape)
-        }) {
+        });
+        drop(lookup);
+        match compiled {
             Ok((plan, cache_hit)) => {
+                let _form = salo_trace::span_with("serve.batch_form", "serve", sub.id);
                 let pattern = Arc::new(sub.pattern);
                 let inflight =
                     InFlight { id: sub.id, heads: sub.heads, submitted: sub.submitted, cache_hit };
@@ -770,11 +811,23 @@ fn collector_loop(
     depth: &DepthGauge,
     workers: usize,
     out: &Mutex<Option<CollectorSummary>>,
+    metrics: &MetricsRegistry,
 ) {
     fn span(submitted: Instant, finished: Instant, summary: &mut CollectorSummary) {
         summary.first_submit = Some(summary.first_submit.map_or(submitted, |t| t.min(submitted)));
         summary.last_finish = Some(summary.last_finish.map_or(finished, |t| t.max(finished)));
     }
+    // Fetch the registry handles once; every completion then updates them
+    // lock-free. These counters/histograms are what `shutdown` rebuilds
+    // the `ServeReport` from.
+    let requests_c = metrics.counter("serve.requests");
+    let errors_c = metrics.counter("serve.errors");
+    let latency_h = metrics.histogram("serve.latency_ns");
+    let sessions_c = metrics.counter("serve.decode.sessions");
+    let session_errors_c = metrics.counter("serve.decode.session_errors");
+    let steps_c = metrics.counter("serve.decode.steps");
+    let step_errors_c = metrics.counter("serve.decode.step_errors");
+    let step_latency_h = metrics.histogram("serve.decode.step_latency_ns");
     let mut summary = CollectorSummary { per_worker: vec![0; workers], ..Default::default() };
     let mut pending: BTreeMap<u64, ServeResponse> = BTreeMap::new();
     let mut next_id = 0u64;
@@ -783,7 +836,8 @@ fn collector_loop(
         match completed {
             Completed::Layer(layer) => {
                 let latency_s = layer.finished.duration_since(layer.submitted).as_secs_f64();
-                summary.requests += 1;
+                requests_c.inc();
+                latency_h.record_secs(latency_s);
                 summary.latencies.record(latency_s);
                 match &layer.result {
                     Ok(run) => {
@@ -791,7 +845,7 @@ fn collector_loop(
                             run.heads.iter().map(|h| h.report.timing.cycles.total).sum::<u64>();
                         summary.sim_energy_j += run.total_energy_j;
                     }
-                    Err(_) => summary.errors += 1,
+                    Err(_) => errors_c.inc(),
                 }
                 if let Some(w) = layer.worker {
                     summary.per_worker[w] += 1;
@@ -816,20 +870,22 @@ fn collector_loop(
                 }
             }
             Completed::SessionOpened { ok, submitted, finished } => {
-                summary.decode_sessions += 1;
+                sessions_c.inc();
                 if !ok {
-                    summary.decode_session_errors += 1;
+                    session_errors_c.inc();
                 }
                 // Opens pay the compile + prompt ingest; their span counts
                 // toward the report's wall clock like any other work.
                 span(submitted, finished, &mut summary);
             }
             Completed::Step { ok, submitted, finished } => {
-                summary.decode_steps += 1;
+                steps_c.inc();
                 if !ok {
-                    summary.decode_step_errors += 1;
+                    step_errors_c.inc();
                 }
-                summary.decode_latencies.record(finished.duration_since(submitted).as_secs_f64());
+                let step_s = finished.duration_since(submitted).as_secs_f64();
+                step_latency_h.record_secs(step_s);
+                summary.decode_latencies.record(step_s);
                 span(submitted, finished, &mut summary);
             }
             // A benign close/step race: the step never executed, so it

@@ -217,14 +217,20 @@ fn run_job(
     registry: &SessionRegistry,
 ) -> bool {
     let Job { request, reply } = job;
+    let tracer = salo_trace::Tracer::global();
     match reply {
         Reply::Layer { id, cache_hit, batch_size, submitted } => {
+            // Queue wait: submission to execution start, recorded from
+            // this worker's dequeue (it includes the dispatcher's plan
+            // lookup and batch formation ahead of the worker queue).
+            tracer.record_since("serve.queue_wait", "serve", submitted, id);
             let result = engine
                 .execute(request)
                 .and_then(|r| r.into_prefill())
                 .and_then(PrefillOutput::into_multi_head_run)
                 .map_err(ServeError::from);
             load.fetch_sub(1, Ordering::Relaxed);
+            let _reply_span = tracer.span_with("serve.reply", "serve", id);
             let completed = Completed::Layer(LayerDone {
                 id,
                 result,
@@ -237,6 +243,7 @@ fn run_job(
             done.send(completed).is_ok()
         }
         Reply::Open { session, cache_hit, submitted, events } => {
+            tracer.record_since("serve.queue_wait", "serve", submitted, session);
             let result = engine.execute(request).and_then(|r| r.into_opened());
             load.fetch_sub(1, Ordering::Relaxed);
             let ok = result.is_ok();
@@ -265,6 +272,10 @@ fn run_job(
             // outcome must see the worker's state already settled —
             // retired sessions reject further steps, and session
             // placement reads a load this step no longer inflates.
+            // Per-token decode timeline: queue wait (submission to this
+            // dequeue) then the step execute, which traces itself as
+            // `engine.decode_step` with the sim's stage spans below it.
+            tracer.record_since("serve.decode.queue_wait", "serve", submitted, session);
             let known = engine.has_session(session);
             let before = engine.session_position(session);
             let result = engine.execute(request).and_then(|r| r.into_step());
@@ -286,6 +297,7 @@ fn run_job(
                     worker: index,
                 })
                 .map_err(ServeError::from);
+            let _reply_span = tracer.span_with("serve.reply", "serve", session);
             let _ = events.send(SessionEvent::Step {
                 session,
                 result,

@@ -458,6 +458,11 @@ impl SpatialAccelerator {
         scale: f32,
         scratch: &mut ExecScratch,
     ) -> Result<StepOutput, SimError> {
+        let _span = salo_trace::Tracer::global().span_with(
+            "sim.execute_step",
+            "sim",
+            state.position() as u64,
+        );
         self.advance(plan, state, q_t, k_t, v_t, scale, scratch, true)
             .map(|out| out.expect("compute=true always yields a step output"))
     }

@@ -18,6 +18,7 @@ use salo_fixed::{
 };
 use salo_kernels::{Matrix, Qkv};
 use salo_scheduler::{ExecutionPlan, Pass, PlanStats};
+use salo_trace::{StageProfile, StageTimer, Tracer};
 use std::sync::Arc;
 
 use crate::partition::{Partition, Shard};
@@ -76,6 +77,11 @@ pub struct OpScratch {
     /// 32-bit stage-5 accumulation buffer (ops short enough that the
     /// chain provably fits `i32` — every array-shaped op).
     pub(crate) out32: Vec<i32>,
+    /// Accumulated per-stage wall time; only written when `profiling`.
+    pub(crate) profile: StageProfile,
+    /// Stage-profiling flag: when false each op pays one predicted branch
+    /// per stage and never touches the clock.
+    pub(crate) profiling: bool,
 }
 
 impl Default for OpScratch {
@@ -94,6 +100,8 @@ impl OpScratch {
             probs: Vec::new(),
             part: PartialRow::empty(0),
             out32: Vec::new(),
+            profile: StageProfile::default(),
+            profiling: false,
         }
     }
 
@@ -178,6 +186,25 @@ impl ExecScratch {
     pub(crate) fn row(arena: &[Fix8x4], i: usize, d: usize) -> &[Fix8x4] {
         &arena[i * d..(i + 1) * d]
     }
+
+    /// Enables or disables per-stage datapath profiling for subsequent
+    /// executions through this scratch. Disabled (the default) the datapath
+    /// pays one predicted branch per stage; enabled it accumulates wall
+    /// time per stage into a [`StageProfile`].
+    pub fn set_profiling(&mut self, on: bool) {
+        self.op.profiling = on;
+    }
+
+    /// Whether per-stage profiling is enabled.
+    #[must_use]
+    pub fn profiling(&self) -> bool {
+        self.op.profiling
+    }
+
+    /// Takes the accumulated stage profile, leaving the accumulator empty.
+    pub fn take_profile(&mut self) -> StageProfile {
+        self.op.profile.take()
+    }
 }
 
 /// Reusable working memory of the **multi-head, partitioned** execution
@@ -202,6 +229,8 @@ pub struct HeadsScratch {
     shard_ops: Vec<OpScratch>,
     /// Flat per-item accumulators, `heads * n` rows, head-major.
     acc: Vec<PartialRow>,
+    /// Stage-profiling flag propagated to every shard's `OpScratch`.
+    profiling: bool,
 }
 
 impl HeadsScratch {
@@ -209,6 +238,18 @@ impl HeadsScratch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables per-stage datapath profiling (and per-shard
+    /// occupancy/op-count gauges) for subsequent partitioned executions.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Whether per-stage profiling is enabled.
+    #[must_use]
+    pub fn profiling(&self) -> bool {
+        self.profiling
     }
 
     /// Quantizes every head's inputs into the head-major arenas and
@@ -385,10 +426,21 @@ impl SpatialAccelerator {
         scale: f32,
         scratch: &mut ExecScratch,
     ) -> Result<ExecutionOutput, SimError> {
+        let tracer = Tracer::global();
+        let _span = tracer.span_with("sim.execute_lowered", "sim", lowered.n() as u64);
+        if scratch.op.profiling {
+            scratch.op.profile = StageProfile::default();
+        }
         let d = self.prepare(lowered, q, k, v, scale, scratch)?;
         let mut sat = MacSaturation::default();
         self.run_ops(lowered, 0..lowered.ops().len(), d, scratch, &mut sat)?;
-        Ok(self.drain(lowered, d, scratch, sat))
+        let mut out = self.drain(lowered, d, scratch, sat);
+        if scratch.op.profiling {
+            let profile = scratch.op.profile.take();
+            emit_stage_spans(tracer, &profile);
+            out.report.stages = Some(profile);
+        }
+        Ok(out)
     }
 
     /// Executes **all heads** of one layer through a pre-lowered plan,
@@ -434,6 +486,9 @@ impl SpatialAccelerator {
         }
         let d = first.q.cols();
         let num_heads = heads.len();
+        let tracer = Tracer::global();
+        let trace_on = tracer.enabled();
+        let _span = tracer.span_with("sim.execute_heads", "sim", num_heads as u64);
         scratch.load(heads, scale, n, d);
 
         let partition = Partition::build(lowered, num_heads, parallelism);
@@ -442,9 +497,12 @@ impl SpatialAccelerator {
             scratch.shard_ops.resize_with(num_shards, OpScratch::new);
         }
         let max_keys = lowered.max_row_keys();
-        let HeadsScratch { qq, kq, vq, shard_ops, acc } = scratch;
+        let HeadsScratch { qq, kq, vq, shard_ops, acc, profiling } = scratch;
+        let profiling = *profiling;
         for op_scratch in &mut shard_ops[..num_shards] {
             op_scratch.prepare(d, max_keys);
+            op_scratch.profiling = profiling;
+            op_scratch.profile = StageProfile::default();
         }
 
         // Split the flat accumulator into non-overlapping per-shard
@@ -458,6 +516,7 @@ impl SpatialAccelerator {
         }
 
         let run_shard = |shard: &Shard, bufs: &mut OpScratch, rows: &mut [PartialRow]| {
+            let start_ns = if trace_on { salo_trace::now_ns() } else { 0 };
             let mut sats = vec![MacSaturation::default(); num_heads];
             let ops = lowered.ops();
             for &(h, oi) in shard.ops() {
@@ -479,13 +538,15 @@ impl SpatialAccelerator {
                     &mut sats[h],
                 )?;
             }
-            Ok::<_, SimError>(sats)
+            let end_ns = if trace_on { salo_trace::now_ns() } else { 0 };
+            Ok::<_, SimError>((sats, start_ns, end_ns))
         };
 
         // One scoped OS thread per shard: shards are coarse enough that
         // spawn cost is noise, and scoped threads borrow the arenas and
         // accumulator windows directly — no Arc, no channels.
-        let shard_sats: Vec<Result<Vec<MacSaturation>, SimError>> = if num_shards == 1 {
+        type ShardRun = Result<(Vec<MacSaturation>, u64, u64), SimError>;
+        let shard_sats: Vec<ShardRun> = if num_shards == 1 {
             let rows = windows.pop().expect("single shard has one window");
             vec![run_shard(&partition.shards()[0], &mut shard_ops[0], rows)]
         } else {
@@ -504,15 +565,45 @@ impl SpatialAccelerator {
 
         // Lowest-indexed shard error wins; saturation sums per head.
         let mut head_sat = vec![MacSaturation::default(); num_heads];
-        for sats in shard_sats {
-            for (hs, s) in head_sat.iter_mut().zip(sats?) {
+        for (i, run) in shard_sats.into_iter().enumerate() {
+            let (sats, start_ns, end_ns) = run?;
+            if trace_on {
+                // Shard threads are short-lived, so their intervals are
+                // recorded from the calling thread (under the execute span)
+                // rather than from per-shard trace lanes.
+                tracer.record_interval("sim.shard", "sim", start_ns, end_ns, i as u64);
+            }
+            for (hs, s) in head_sat.iter_mut().zip(sats) {
                 hs.merge(s);
             }
         }
 
-        Ok((0..num_heads)
+        let mut outputs: Vec<ExecutionOutput> = (0..num_heads)
             .map(|h| self.drain_rows(lowered, d, &acc[h * n..(h + 1) * n], head_sat[h]))
-            .collect())
+            .collect();
+        if profiling {
+            // Per-shard occupancy/op-count gauges: busy time comes from the
+            // shard's accumulated stage profile, occupancy is busy time
+            // relative to the slowest shard (the layer's critical path).
+            let shard_profiles: Vec<StageProfile> =
+                shard_ops[..num_shards].iter_mut().map(|s| s.profile.take()).collect();
+            let metrics = salo_trace::metrics();
+            let max_busy = shard_profiles.iter().map(StageProfile::total_ns).max().unwrap_or(0);
+            let mut aggregate = StageProfile::default();
+            for (i, (profile, shard)) in shard_profiles.iter().zip(partition.shards()).enumerate() {
+                aggregate.merge(profile);
+                let busy = profile.total_ns();
+                metrics.gauge(&format!("sim.shard.{i}.ops")).set(shard.ops().len() as i64);
+                metrics.gauge(&format!("sim.shard.{i}.busy_ns")).set(busy as i64);
+                let occupancy = (busy * 100).checked_div(max_busy).unwrap_or(0) as i64;
+                metrics.gauge(&format!("sim.shard.{i}.occupancy_pct")).set(occupancy);
+            }
+            emit_stage_spans(tracer, &aggregate);
+            if let Some(first_out) = outputs.first_mut() {
+                first_out.report.stages = Some(aggregate);
+            }
+        }
+        Ok(outputs)
     }
 
     /// Like [`execute`](Self::execute), but steps every array pass through
@@ -710,7 +801,7 @@ impl SpatialAccelerator {
             raw,
             output,
             weights_q16: weights,
-            report: ExecutionReport { timing, energy, saturation_events: sat.events },
+            report: ExecutionReport { timing, energy, saturation_events: sat.events, stages: None },
         }
     }
 
@@ -745,7 +836,8 @@ pub(crate) fn run_op(
     acc: &mut PartialRow,
     sat: &mut MacSaturation,
 ) -> Result<(), SimError> {
-    let OpScratch { scores, exps, probs, part, out32 } = bufs;
+    let OpScratch { scores, exps, probs, part, out32, profile, profiling } = bufs;
+    let mut timer = StageTimer::start(*profiling);
     match kind {
         LoweredOpKind::Row => {
             // Stage 1: output-stationary dot products.
@@ -753,8 +845,10 @@ pub(crate) fn run_op(
             scores.extend(
                 keys.iter().map(|&j| qk_dot(q_row, ExecScratch::row(kq, j as usize, d), sat)),
             );
+            timer.lap(&mut profile.qk_dot_ns);
             // Stages 2-4: exp, row sum, reciprocal, normalize.
             let (weight, _) = fixed_softmax_parts_into(scores, exp, recip, exps, probs)?;
+            timer.lap(&mut profile.exp_lut_ns);
             // Stage 5: weight-stationary value accumulation. Short chains
             // (every array-shaped op) accumulate in i32 — bit-identical,
             // twice the vector lanes.
@@ -773,19 +867,49 @@ pub(crate) fn run_op(
                     sv_row_mac(&mut part.out_q19, p, ExecScratch::row(vq, j as usize, d));
                 }
             }
+            timer.lap(&mut profile.sv_mac_ns);
         }
         LoweredOpKind::SingleKey => {
             // A global PE column/row cell: weight `exp(s)`, output `v_g`
             // at probability one.
             let g = keys[0] as usize;
             let score = qk_dot(q_row, ExecScratch::row(kq, g, d), sat);
+            timer.lap(&mut profile.qk_dot_ns);
             part.weight_q16 = exp.eval_q8(score);
+            timer.lap(&mut profile.exp_lut_ns);
             part.out_q19.fill(0);
             sv_row_mac(&mut part.out_q19, PROB_ONE, ExecScratch::row(vq, g, d));
+            timer.lap(&mut profile.sv_mac_ns);
         }
     }
     merge_partials_into(acc, part, recip)?;
+    timer.lap(&mut profile.renorm_merge_ns);
+    if *profiling {
+        profile.ops += 1;
+        profile.keys += keys.len() as u64;
+    }
     Ok(())
+}
+
+/// Span names for the synthetic per-stage child spans, in datapath order
+/// (matching [`StageProfile::stages`]).
+const STAGE_SPAN_NAMES: [&str; 4] =
+    ["sim.stage.qk_dot", "sim.stage.exp_lut", "sim.stage.renorm_merge", "sim.stage.sv_mac"];
+
+/// Emits the accumulated stage costs as synthetic child spans laid
+/// back-to-back so they end now, inside the caller's still-open execute
+/// span. Their total is bounded by the execute span's wall time, so the
+/// exported trace stays well-nested by construction.
+fn emit_stage_spans(tracer: &Tracer, profile: &StageProfile) {
+    if !tracer.enabled() || profile.is_empty() {
+        return;
+    }
+    let end = salo_trace::now_ns();
+    let mut t = end.saturating_sub(profile.total_ns());
+    for (&name, (_, ns)) in STAGE_SPAN_NAMES.iter().zip(profile.stages()) {
+        tracer.record_interval(name, "sim", t, t + ns, ns);
+        t += ns;
+    }
 }
 
 #[cfg(test)]
@@ -862,6 +986,42 @@ mod tests {
             assert_eq!(reused.weights_q16, fresh.weights_q16);
             assert_eq!(reused.report.saturation_events, fresh.report.saturation_events);
         }
+    }
+
+    #[test]
+    fn profiling_reports_stages_and_stays_bit_identical() {
+        let n = 40;
+        let d = 8;
+        let pattern = longformer(n, 11, 2).unwrap();
+        let plan = ExecutionPlan::build(&pattern, HardwareMeta::new(8, 8, 1, 1).unwrap()).unwrap();
+        let lowered = LoweredPlan::lower(&plan);
+        let qkv = Qkv::random(n, d, 91);
+        let sim = accel(8, 8);
+        let scale = SpatialAccelerator::default_scale(d);
+
+        let mut plain = ExecScratch::new();
+        let mut profiled = ExecScratch::new();
+        profiled.set_profiling(true);
+        let a = sim.execute_lowered(&lowered, &qkv.q, &qkv.k, &qkv.v, scale, &mut plain).unwrap();
+        let b =
+            sim.execute_lowered(&lowered, &qkv.q, &qkv.k, &qkv.v, scale, &mut profiled).unwrap();
+        assert_eq!(a.raw, b.raw, "profiling must not perturb outputs");
+        assert!(a.report.stages.is_none(), "no profile unless requested");
+        let stages = b.report.stages.expect("profiled run reports stages");
+        assert_eq!(stages.ops, lowered.ops().len() as u64);
+        assert!(stages.keys > 0);
+
+        // Partitioned path: the layer aggregate lands on the first head.
+        let heads: Vec<Qkv> = (0..3).map(|s| Qkv::random(n, d, 100 + s)).collect();
+        let mut hs = HeadsScratch::new();
+        hs.set_profiling(true);
+        let outs = sim.execute_heads_lowered(&lowered, &heads, scale, 2, &mut hs).unwrap();
+        let agg = outs[0].report.stages.expect("aggregate profile on head 0");
+        assert_eq!(agg.ops, 3 * lowered.ops().len() as u64);
+        assert!(outs[1].report.stages.is_none());
+        // Per-shard gauges land in the global metrics registry.
+        let ops0 = salo_trace::metrics().gauge("sim.shard.0.ops").get();
+        assert!(ops0 > 0);
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub use exec::{ExecScratch, ExecutionOutput, HeadsScratch, SpatialAccelerator};
 pub use lower::{LoweredOp, LoweredOpKind, LoweredPlan};
 pub use partition::{Partition, Shard, OP_BASE_COST};
 pub use report::{ExecutionReport, TimingReport, UtilizationReport};
+pub use salo_trace::StageProfile;
 pub use scaling::{AreaPowerEstimate, AreaPowerModel};
 pub use systolic::{PassTrace, SystolicArray};
 pub use timeline::{PassSlot, Timeline};

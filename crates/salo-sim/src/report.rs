@@ -1,6 +1,7 @@
 //! Execution and timing reports.
 
 use crate::{CycleBreakdown, EnergyBreakdown, TrafficReport};
+use salo_trace::StageProfile;
 
 /// PE utilization figures.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +38,12 @@ pub struct ExecutionReport {
     pub energy: EnergyBreakdown,
     /// Fixed-point saturation events observed (0 in healthy runs).
     pub saturation_events: u64,
+    /// Host-measured per-stage cost of the lowered datapath, present when
+    /// the executing scratch had profiling enabled
+    /// ([`ExecScratch::set_profiling`](crate::ExecScratch::set_profiling)).
+    /// Under the partitioned multi-head path the layer-wide aggregate is
+    /// attached to the first head's report.
+    pub stages: Option<StageProfile>,
 }
 
 #[cfg(test)]
@@ -59,7 +66,9 @@ mod tests {
             timing: t,
             energy: EnergyBreakdown { lumped_j: 1e-9, mac_j: 0.0, sram_j: 0.0, lut_j: 0.0 },
             saturation_events: 0,
+            stages: None,
         };
         assert_eq!(e.saturation_events, 0);
+        assert!(e.stages.is_none());
     }
 }

@@ -1,0 +1,110 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the JSON object format understood by `chrome://tracing` and
+//! Perfetto (<https://ui.perfetto.dev> → "Open trace file"). Each completed
+//! span becomes a `ph:"X"` complete event; each traced thread gets a
+//! `thread_name` metadata record so lanes are labelled in the viewer.
+//! Timestamps are microseconds with nanosecond fractions, relative to the
+//! process trace epoch.
+
+use crate::tracer::TraceSnapshot;
+
+/// Renders a snapshot as a Chrome trace-event JSON document.
+pub fn to_chrome_json(snapshot: &TraceSnapshot) -> String {
+    // Rough sizing: ~160 bytes per span row.
+    let mut out = String::with_capacity(64 + 160 * snapshot.spans.len());
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for thread in &snapshot.threads {
+        push_sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            thread.tid,
+            escape(&thread.name)
+        ));
+    }
+    for span in &snapshot.spans {
+        push_sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"parent\":{},\"arg\":{}}}}}",
+            span.tid,
+            escape(span.name),
+            escape(span.cat),
+            micros(span.start_ns),
+            micros(span.dur_ns),
+            span.id,
+            span.parent,
+            span.arg
+        ));
+    }
+    out.push_str(&format!(
+        "],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped_events\":{}}}}}",
+        snapshot.dropped_events
+    ));
+    out
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// Nanoseconds → microseconds with full nanosecond precision, as a decimal
+/// literal (Chrome `ts`/`dur` are in µs).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{SpanRecord, ThreadInfo};
+
+    #[test]
+    fn renders_metadata_and_complete_events() {
+        let snap = TraceSnapshot {
+            spans: vec![SpanRecord {
+                name: "engine.prefill",
+                cat: "engine",
+                tid: 2,
+                id: 5,
+                parent: 1,
+                start_ns: 1_234_567,
+                dur_ns: 89_001,
+                arg: 42,
+            }],
+            threads: vec![ThreadInfo { tid: 2, name: "worker-0".into() }],
+            dropped_events: 3,
+        };
+        let json = to_chrome_json(&snap);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"worker-0\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"dur\":89.001"));
+        assert!(json.contains("\"dropped_events\":3"));
+        assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

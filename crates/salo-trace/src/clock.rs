@@ -1,0 +1,59 @@
+//! Process-wide monotonic clock for trace timestamps.
+//!
+//! All spans and intervals are stamped in nanoseconds since a lazily
+//! initialised process epoch (the first call into the clock). Using a single
+//! epoch keeps timestamps from different threads directly comparable and lets
+//! the Chrome trace exporter emit absolute `ts` values without clock-domain
+//! translation.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process trace epoch. Initialised on first use; stable afterwards.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process trace [`epoch`].
+///
+/// Monotonic and comparable across threads. Saturates (after ~584 years) at
+/// `u64::MAX`, which is not a practical concern.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Converts an [`Instant`] captured elsewhere (possibly before the epoch was
+/// initialised) into an interval `(start_ns, end_ns)` with `end_ns` taken now.
+///
+/// The start is derived backwards from the current clock reading, so an
+/// `Instant` captured before the trace epoch clamps to `0` instead of
+/// panicking. This is the tool for cross-thread intervals such as queue-wait
+/// spans: the submitting thread records an `Instant`, the worker thread turns
+/// it into a trace interval on dequeue.
+pub fn interval_since(start: Instant) -> (u64, u64) {
+    let end_ns = now_ns();
+    let elapsed = start.elapsed().as_nanos() as u64;
+    (end_ns.saturating_sub(elapsed), end_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn interval_since_is_well_formed() {
+        let t = Instant::now();
+        std::hint::black_box((0..1000).sum::<u64>());
+        let (s, e) = interval_since(t);
+        assert!(e >= s);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the tracer and the mergeable histogram: spans stay
+//! well-nested under arbitrary open/close programs, histogram merging is
+//! exactly the histogram of the union, quantiles stay within one bucket
+//! width of the true order statistic, and ring overflow drops the oldest
+//! events with an exact count.
+
+use proptest::prelude::*;
+use salo_trace::{bucket_bounds, bucket_index, LogHistogram, SpanRecord, Tracer};
+
+/// Replays `program` as span opens/closes on a fresh tracer: byte value
+/// `0..=1 (mod 3)` opens a nested span (depth-capped), anything else
+/// closes the innermost one. Returns the recorded spans.
+fn run_span_program(program: &[u8]) -> Vec<SpanRecord> {
+    let tracer = Tracer::new(4096);
+    tracer.set_enabled(true);
+    let mut open = Vec::new();
+    for (i, &b) in program.iter().enumerate() {
+        if b % 3 < 2 && open.len() < 8 {
+            open.push(tracer.span_with("prop.span", "test", i as u64));
+        } else {
+            drop(open.pop());
+        }
+    }
+    // Close leftovers innermost-first; `drop(open)` would drop the Vec
+    // front-to-back, ending parents before their still-open children.
+    while let Some(g) = open.pop() {
+        drop(g);
+    }
+    tracer.snapshot().spans
+}
+
+proptest! {
+    #[test]
+    fn spans_are_well_nested(program in prop::collection::vec(any::<u8>(), 1..64)) {
+        let spans = run_span_program(&program);
+        // Every open eventually closed, so every span was recorded.
+        let opens = program.iter().scan(0usize, |depth, &b| {
+            let open = b % 3 < 2 && *depth < 8;
+            *depth = if open { *depth + 1 } else { depth.saturating_sub(1) };
+            Some(open)
+        }).filter(|&o| o).count();
+        prop_assert_eq!(spans.len(), opens);
+        let by_id = |id: u64| spans.iter().find(|s| s.id == id);
+        for s in &spans {
+            // A child lies entirely within its parent's interval.
+            if s.parent != 0 {
+                let p = by_id(s.parent).expect("parent was recorded");
+                prop_assert!(s.start_ns >= p.start_ns, "child starts before parent");
+                prop_assert!(
+                    s.start_ns + s.dur_ns <= p.start_ns + p.dur_ns,
+                    "child {} outlives parent {}", s.id, p.id
+                );
+            }
+            // Same-thread spans never partially overlap: nested or disjoint.
+            for t in &spans {
+                if s.id == t.id || s.tid != t.tid {
+                    continue;
+                }
+                let (s0, s1) = (s.start_ns, s.start_ns + s.dur_ns);
+                let (t0, t1) = (t.start_ns, t.start_ns + t.dur_ns);
+                let nested = (s0 >= t0 && s1 <= t1) || (t0 >= s0 && t1 <= s1);
+                let disjoint = s1 <= t0 || t1 <= s0;
+                prop_assert!(nested || disjoint, "partial overlap {:?} vs {:?}", s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_histogram_of_union(
+        // Shift random words down by a random bit count so samples span
+        // every magnitude; a minimum shift of 8 keeps the total sum of
+        // 128 samples below u64::MAX so `sum` equality is exact.
+        raw in prop::collection::vec((any::<u64>(), 8u32..64), 1..128),
+        split in any::<u16>(),
+    ) {
+        let values: Vec<u64> = raw.iter().map(|&(v, s)| v >> s).collect();
+        let cut = split as usize % (values.len() + 1);
+        let (a, b) = (LogHistogram::new(), LogHistogram::new());
+        let union = LogHistogram::new();
+        for &v in &values[..cut] {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &values[cut..] {
+            b.record(v);
+            union.record(v);
+        }
+        // Exact: element-wise bucket addition is the union's histogram.
+        prop_assert_eq!(a.snapshot().merged_with(&b.snapshot()), union.snapshot());
+    }
+
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(
+        raw in prop::collection::vec((any::<u64>(), 0u32..64), 1..128),
+        q in 0.0f64..1.0,
+    ) {
+        let values: Vec<u64> = raw.iter().map(|&(v, s)| v >> s).collect();
+        let hist = LogHistogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let got = hist.snapshot().quantile(q);
+        // The reported quantile is the upper bound of the exact order
+        // statistic's bucket (clamped to the observed max): never below
+        // the true value, never more than one bucket width above it.
+        let (_, hi) = bucket_bounds(bucket_index(exact));
+        prop_assert!(got >= exact, "quantile {got} below exact {exact}");
+        prop_assert!(got <= hi, "quantile {got} beyond exact's bucket end {hi}");
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_with_exact_count(
+        capacity in 16usize..64,
+        events in 1usize..160,
+    ) {
+        let tracer = Tracer::new(capacity);
+        tracer.set_enabled(true);
+        for i in 0..events {
+            tracer.record_interval("prop.evt", "test", i as u64, i as u64 + 1, i as u64);
+        }
+        let snap = tracer.snapshot();
+        let expect_dropped = events.saturating_sub(capacity) as u64;
+        prop_assert_eq!(snap.dropped_events, expect_dropped);
+        prop_assert_eq!(tracer.dropped_events(), expect_dropped);
+        prop_assert_eq!(snap.spans.len(), events.min(capacity));
+        // Exactly the newest `capacity` events survive, oldest dropped.
+        let mut args: Vec<u64> = snap.spans.iter().map(|s| s.arg).collect();
+        args.sort_unstable();
+        let survivors: Vec<u64> = (expect_dropped..events as u64).collect();
+        prop_assert_eq!(args, survivors);
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`quant`] | the quantization accuracy study (Table 3) |
 //! | [`core`] | the unified engine API (`AttentionRequest` over pluggable `Engine` backends) plus the `Salo` façade and streaming decode sessions |
 //! | [`serve`] | concurrent serving runtime: plan cache, batching, a worker pool of engines consuming typed requests, pinned decode sessions |
+//! | [`trace`] | zero-dependency observability: spans with Perfetto (Chrome trace JSON) export, mergeable metrics, stage-level kernel profiling |
 //!
 //! # Quickstart
 //!
@@ -87,4 +88,10 @@ pub mod core {
 /// The concurrent serving runtime. See [`salo_serve`].
 pub mod serve {
     pub use salo_serve::*;
+}
+
+/// Observability: span tracing, metrics, kernel-stage profiling. See
+/// [`salo_trace`].
+pub mod trace {
+    pub use salo_trace::*;
 }

@@ -1,0 +1,111 @@
+//! End-to-end observability: one traced serve burst produces spans from
+//! all three layers (serving runtime, engine, simulator), the Chrome
+//! trace export is well-formed, and the rebuilt `ServeReport` carries
+//! bucket-exact histograms alongside the registry-backed counters.
+
+use std::collections::BTreeSet;
+
+use salo::serve::{GenerationTraffic, SaloServer, ServeOptions, TrafficMix};
+use salo::sim::AcceleratorConfig;
+
+/// Runs a mixed prefill/decode burst with tracing on and returns the set
+/// of distinct span names the global tracer captured.
+///
+/// Single test per binary: the tracer and its enable flag are
+/// process-global, so this file intentionally holds one traced burst and
+/// derives every assertion from it.
+#[test]
+fn traced_burst_covers_all_layers() {
+    salo::trace::set_enabled(true);
+
+    let server = SaloServer::start(
+        AcceleratorConfig::default(),
+        ServeOptions { workers: 2, max_batch: 4, worker_parallelism: 2, ..Default::default() },
+    );
+
+    let mix = TrafficMix::demo_mix();
+    let generations = GenerationTraffic::demo_mix();
+
+    let (request, tokens) = generations.session(0);
+    let handle = server.open_session(request).unwrap();
+    handle.wait_open().unwrap();
+    for token in tokens.iter().take(4) {
+        server.step_session(handle.id(), token.clone()).unwrap();
+        handle.next_step().unwrap();
+    }
+
+    let prefills = 6u64;
+    for i in 0..prefills {
+        server.submit(mix.request(i)).unwrap();
+    }
+    for _ in 0..prefills {
+        server.recv().unwrap().output().unwrap();
+    }
+    server.close_session(handle.id()).unwrap();
+    // Session close is asynchronous; shutting down joins the workers so
+    // every span (including `engine.decode_close`) is recorded before we
+    // snapshot the tracer.
+    let report = server.shutdown();
+
+    // -- spans from every layer appear in one trace --
+    let snapshot = salo::trace::Tracer::global().snapshot();
+    let names: BTreeSet<&str> = snapshot.spans.iter().map(|s| s.name).collect();
+    for expected in [
+        // serving runtime
+        "serve.admission",
+        "serve.plan_lookup",
+        "serve.batch_form",
+        "serve.batch_dispatch",
+        "serve.queue_wait",
+        "serve.decode.queue_wait",
+        "serve.reply",
+        "serve.session_open",
+        "serve.session_step",
+        // engine
+        "engine.prefill",
+        "engine.decode_open",
+        "engine.decode_step",
+        "engine.decode_close",
+        // simulator
+        "sim.execute_heads",
+        "sim.shard",
+        "sim.execute_step",
+    ] {
+        assert!(names.contains(expected), "missing span {expected:?}; got {names:?}");
+    }
+    // Spans came from more than one thread (submitter + dispatcher +
+    // workers each carry their own ring).
+    let tids: BTreeSet<u64> = snapshot.spans.iter().map(|s| s.tid).collect();
+    assert!(tids.len() >= 3, "expected >=3 traced threads, got {}", tids.len());
+
+    // -- the Chrome export is loadable JSON with one event per span --
+    let json = salo::trace::export_chrome_json();
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"ph\":\"X\""), "complete events use phase X");
+    assert!(json.contains("\"serve.admission\""));
+    assert!(json.contains("\"engine.prefill\""));
+    assert!(json.contains("\"sim.shard\""));
+    // Every event object carries the required trace-event keys.
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), snapshot.spans.len());
+    assert_eq!(json.matches("\"ts\":").count(), snapshot.spans.len());
+
+    // -- the report is rebuilt on the registry and carries histograms --
+    assert_eq!(report.requests, prefills);
+    assert_eq!(report.decode_steps, 4);
+    assert_eq!(report.latency_hist.count, prefills);
+    assert_eq!(report.decode_step_latency_hist.count, 4);
+    // The histogram tracks the same samples the summary was built from:
+    // its max is the summary max to nanosecond rounding, and its
+    // quantiles are ordered and bounded by it.
+    let hist_max = report.latency_hist.max as f64 / 1e9;
+    assert!(
+        (hist_max - report.latency.max_s).abs() <= 1e-9,
+        "histogram max {hist_max} vs summary max {}",
+        report.latency.max_s
+    );
+    let p50 = report.latency_hist.quantile(0.50);
+    let p99 = report.latency_hist.quantile(0.99);
+    assert!(p50 <= p99 && p99 <= report.latency_hist.max);
+    assert!(p50 >= report.latency_hist.min);
+}
