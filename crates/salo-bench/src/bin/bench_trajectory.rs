@@ -23,9 +23,23 @@
 use salo_core::Salo;
 use salo_kernels::Qkv;
 use salo_models::{bert_base, longformer_layer, vil_stage1, Workload};
-use salo_patterns::{HybridPattern, Window};
-use salo_sim::{ExecScratch, HeadsScratch, Partition, SpatialAccelerator, StageProfile};
+use salo_patterns::{AttentionShape, HybridPattern, Window};
+use salo_serve::{GenerationShape, GenerationTraffic, SaloServer, ServeOptions};
+use salo_sim::{
+    AcceleratorConfig, BatchStep, DecodeState, ExecScratch, HeadsScratch, KvPagePool, Partition,
+    SpatialAccelerator, StageProfile, DEFAULT_PAGE_ROWS,
+};
 use std::time::Instant;
+
+/// A causal sliding window with an attention-sink global token — the
+/// serving-shape pattern every decode bench below runs on.
+fn sink_window(n: usize, w: usize) -> HybridPattern {
+    HybridPattern::builder(n)
+        .window(Window::causal(w).expect("window"))
+        .global_token(0)
+        .build()
+        .expect("pattern")
+}
 
 /// Pre-PR (`execute` on the plan-walking datapath) medians, ns per pass,
 /// measured interleaved against the lowered path on the same host (median
@@ -170,11 +184,7 @@ struct DecodeMeasurement {
 /// pattern; the median of `iters` generations is reported per token.
 fn measure_decode(name: &str, n: usize, w: usize, d: usize, iters: usize) -> DecodeMeasurement {
     let salo = Salo::default_config();
-    let pattern = HybridPattern::builder(n)
-        .window(Window::causal(w).expect("window"))
-        .global_token(0)
-        .build()
-        .expect("pattern");
+    let pattern = sink_window(n, w);
     let mut session = salo.decode_session(&pattern, d).expect("session");
     let qkv = Qkv::random(n, d, 42);
     let steps = n - session.min_step();
@@ -204,6 +214,340 @@ fn measure_decode(name: &str, n: usize, w: usize, d: usize, iters: usize) -> Dec
         ms_per_generation: median / 1e6,
         ns_per_token: median / steps as f64,
         tokens_per_s: steps as f64 / (median / 1e9),
+    }
+}
+
+struct BatchedMeasurement {
+    name: String,
+    sessions: usize,
+    n: usize,
+    d: usize,
+    page_rows: usize,
+    steps_total: usize,
+    sequential_ns_per_step: f64,
+    fused_ns_per_step: f64,
+    fused_steps_per_s: f64,
+    fused_speedup: f64,
+    peak_pool_pages: u64,
+}
+
+/// Times the iteration-level fused decode kernel (`execute_steps`)
+/// against per-session `execute_step` dispatch: `sessions` concurrent
+/// generations of one shared plan advance in lockstep rounds over one
+/// paged pool and one scratch. Before any timing, a full fused generation
+/// is asserted bit-identical — raw rows, softmax weights, saturation
+/// counts — to the sequential one, so the speedup is pure dispatch
+/// amortization, never a numeric shortcut. At the raw simulator level a
+/// dispatch is one function call, so the ratio hovers near parity; the
+/// field exists to pin that fusion never *costs* per step, while the
+/// serving-level win (amortized queue/tick machinery) shows up in the
+/// `kv_residency` fused-step counters.
+fn measure_decode_batched(
+    name: &str,
+    sessions: usize,
+    n: usize,
+    w: usize,
+    d: usize,
+    iters: usize,
+) -> BatchedMeasurement {
+    let salo = Salo::default_config();
+    let causal = sink_window(n, w).decode_view().expect("decodable").into_causal_pattern();
+    let shape = AttentionShape::new(causal.n(), d, 1).expect("shape");
+    let compiled = salo.compile(&causal, &shape).expect("compile");
+    let decode = compiled.decode_plan().expect("decode plan");
+    let accel = salo.accelerator();
+    let scale = SpatialAccelerator::default_scale(d);
+    let inputs: Vec<Qkv> = (0..sessions).map(|s| Qkv::random(n, d, 42 + s as u64)).collect();
+    let min_step = decode.min_step();
+
+    let mut pool = KvPagePool::new(DEFAULT_PAGE_ROWS);
+    let mut scratch = ExecScratch::new();
+    let mut states: Vec<DecodeState> =
+        (0..sessions).map(|_| DecodeState::new(&decode, d)).collect();
+
+    let prime_all =
+        |states: &mut [DecodeState], pool: &mut KvPagePool, scratch: &mut ExecScratch| {
+            for (state, qkv) in states.iter_mut().zip(&inputs) {
+                state.reset(&decode, d, pool);
+                for t in 0..min_step {
+                    accel
+                        .prime_token(
+                            &decode,
+                            state,
+                            qkv.q.row(t),
+                            qkv.k.row(t),
+                            qkv.v.row(t),
+                            scale,
+                            pool,
+                            scratch,
+                        )
+                        .expect("prime");
+                }
+            }
+        };
+    // One stepping phase over every session; `sink` collects the outputs
+    // of the verification passes and stays `None` while timing.
+    let step_phase =
+        |fused: bool,
+         states: &mut [DecodeState],
+         pool: &mut KvPagePool,
+         scratch: &mut ExecScratch,
+         mut sink: Option<&mut Vec<(Vec<salo_fixed::Fix16x8>, i64, u64)>>| {
+            for t in min_step..n {
+                if fused {
+                    let mut batch: Vec<BatchStep> = states
+                        .iter_mut()
+                        .zip(&inputs)
+                        .map(|(state, qkv)| BatchStep {
+                            state,
+                            q_t: qkv.q.row(t),
+                            k_t: qkv.k.row(t),
+                            v_t: qkv.v.row(t),
+                            scale,
+                        })
+                        .collect();
+                    for result in accel.execute_steps(&decode, &mut batch, pool, scratch) {
+                        let out = result.expect("fused step");
+                        match sink.as_deref_mut() {
+                            Some(v) => v.push((out.raw, out.weight_q16, out.saturation_events)),
+                            None => {
+                                std::hint::black_box(&out);
+                            }
+                        }
+                    }
+                } else {
+                    for (state, qkv) in states.iter_mut().zip(&inputs) {
+                        let out = accel
+                            .execute_step(
+                                &decode,
+                                state,
+                                qkv.q.row(t),
+                                qkv.k.row(t),
+                                qkv.v.row(t),
+                                scale,
+                                pool,
+                                scratch,
+                            )
+                            .expect("step");
+                        match sink.as_deref_mut() {
+                            Some(v) => v.push((out.raw, out.weight_q16, out.saturation_events)),
+                            None => {
+                                std::hint::black_box(&out);
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+    // Verification: the fused pass must be bit-identical to sequential
+    // dispatch before either is worth timing.
+    let mut sequential = Vec::new();
+    prime_all(&mut states, &mut pool, &mut scratch);
+    step_phase(false, &mut states, &mut pool, &mut scratch, Some(&mut sequential));
+    let mut fused = Vec::new();
+    prime_all(&mut states, &mut pool, &mut scratch);
+    step_phase(true, &mut states, &mut pool, &mut scratch, Some(&mut fused));
+    assert_eq!(sequential.len(), fused.len());
+    for (i, (seq, fus)) in sequential.iter().zip(&fused).enumerate() {
+        assert_eq!(seq, fus, "fused step {i} diverged from sequential dispatch");
+    }
+
+    let time_phase = |fused: bool,
+                      states: &mut [DecodeState],
+                      pool: &mut KvPagePool,
+                      scratch: &mut ExecScratch| {
+        prime_all(states, pool, scratch);
+        let t = Instant::now();
+        step_phase(fused, states, pool, scratch, None);
+        t.elapsed().as_nanos() as f64
+    };
+    // Interleaved A/B so host-load drift hits both paths equally.
+    let mut seq_ns = Vec::new();
+    let mut fus_ns = Vec::new();
+    for _ in 0..iters.max(1) {
+        seq_ns.push(time_phase(false, &mut states, &mut pool, &mut scratch));
+        fus_ns.push(time_phase(true, &mut states, &mut pool, &mut scratch));
+    }
+    seq_ns.sort_by(|a, b| a.total_cmp(b));
+    fus_ns.sort_by(|a, b| a.total_cmp(b));
+    let seq_median = seq_ns[seq_ns.len() / 2];
+    let fus_median = fus_ns[fus_ns.len() / 2];
+    let steps_total = (n - min_step) * sessions;
+    BatchedMeasurement {
+        name: name.to_string(),
+        sessions,
+        n,
+        d,
+        page_rows: DEFAULT_PAGE_ROWS,
+        steps_total,
+        sequential_ns_per_step: seq_median / steps_total as f64,
+        fused_ns_per_step: fus_median / steps_total as f64,
+        fused_steps_per_s: steps_total as f64 / (fus_median / 1e9),
+        fused_speedup: seq_median / fus_median,
+        peak_pool_pages: pool.stats().high_water as u64,
+    }
+}
+
+struct ResidencyMeasurement {
+    name: String,
+    sessions: usize,
+    deep_sessions: usize,
+    context: usize,
+    d: usize,
+    window: usize,
+    page_rows: usize,
+    token_slots: u64,
+    contiguous_capacity_bytes: u64,
+    contiguous_live_bytes: u64,
+    paged_peak_bytes: u64,
+    peak_pool_pages: u64,
+    peak_resident_pages: u64,
+    page_reclaims: u64,
+    pool_exhausted: u64,
+    decode_steps: u64,
+    fused_steps: u64,
+    ticks: u64,
+    mean_resident_kv_bytes: f64,
+    steps_per_s: f64,
+}
+
+/// Serving-level KV-residency traffic bench: a high-session-count mix —
+/// a shallow cohort holding `sessions - deep` short generations resident
+/// plus a deep cohort driven through the full `context` — on one worker,
+/// so the scheduler tick fuses concurrent steps and the page pool serves
+/// every session. Records sessions × context (the contiguous-arena
+/// capacity a non-paged runtime would reserve) against the pool's
+/// measured peak residency, which stays O(active window) per session
+/// thanks to horizon reclamation.
+#[allow(clippy::too_many_arguments)]
+fn measure_kv_residency(
+    name: &str,
+    shallow_sessions: usize,
+    deep_sessions: usize,
+    context: usize,
+    w: usize,
+    d: usize,
+    shallow_steps: usize,
+    deep_steps: usize,
+) -> ResidencyMeasurement {
+    let pattern = sink_window(context, w);
+    let shallow = GenerationTraffic::new(vec![GenerationShape {
+        pattern: pattern.clone(),
+        head_dim: d,
+        num_heads: 1,
+        prompt_len: 1,
+    }])
+    .expect("shallow mix");
+    let deep = GenerationTraffic::new(vec![GenerationShape {
+        pattern,
+        head_dim: d,
+        num_heads: 1,
+        prompt_len: context - deep_steps,
+    }])
+    .expect("deep mix");
+
+    let server = SaloServer::start(
+        AcceleratorConfig::default(),
+        ServeOptions {
+            workers: 1, // one pool, one tick stream: maximal step fusion
+            decode_page_rows: Some(DEFAULT_PAGE_ROWS),
+            decode_pool_pages: None,
+            ..Default::default()
+        },
+    );
+
+    // Deep cohort first, serialized: each open ingests a near-full-context
+    // prompt, and waiting per session bounds the transient token memory.
+    let mut deep_handles = Vec::with_capacity(deep_sessions);
+    let mut deep_tokens = Vec::with_capacity(deep_sessions);
+    for i in 0..deep_sessions {
+        let (request, steps) = deep.session_bounded(i as u64, deep_steps);
+        let handle = server.open_session(request).expect("open deep");
+        handle.wait_open().expect("deep session opened");
+        deep_handles.push(handle);
+        deep_tokens.push(steps);
+    }
+    // Shallow cohort pipelined: prompts are one row, so thousands of
+    // opens can be in flight at once.
+    let mut shallow_handles = Vec::with_capacity(shallow_sessions);
+    let mut shallow_tokens = Vec::with_capacity(shallow_sessions);
+    for i in 0..shallow_sessions {
+        let (request, steps) = shallow.session_bounded(i as u64, shallow_steps);
+        shallow_handles.push(server.open_session(request).expect("open shallow"));
+        shallow_tokens.push(steps);
+    }
+    for handle in &shallow_handles {
+        handle.wait_open().expect("shallow session opened");
+    }
+
+    // Lockstep stepping: submit one step for every live session, then
+    // drain the round's events. Submitting the whole round before reading
+    // backs the worker's queue up, which is exactly what lets the
+    // scheduler tick fuse the steps.
+    let rounds = shallow_steps.max(deep_steps);
+    let mut steps_submitted = 0u64;
+    let stepping = Instant::now();
+    for round in 0..rounds {
+        for (handle, tokens) in shallow_handles.iter().zip(&shallow_tokens) {
+            if let Some(token) = tokens.get(round) {
+                server.step_session(handle.id(), token.clone()).expect("shallow step");
+                steps_submitted += 1;
+            }
+        }
+        for (handle, tokens) in deep_handles.iter().zip(&deep_tokens) {
+            if let Some(token) = tokens.get(round) {
+                server.step_session(handle.id(), token.clone()).expect("deep step");
+                steps_submitted += 1;
+            }
+        }
+        for (handle, tokens) in
+            shallow_handles.iter().zip(&shallow_tokens).chain(deep_handles.iter().zip(&deep_tokens))
+        {
+            if round < tokens.len() {
+                let step = handle.next_step().expect("step result");
+                std::hint::black_box(&step);
+            }
+        }
+    }
+    let stepping_s = stepping.elapsed().as_secs_f64();
+
+    let ticks = server.metrics().counter("serve.decode.ticks").get();
+    let fused_steps = server.metrics().counter("serve.decode.fused_steps").get();
+    for handle in shallow_handles.iter().chain(&deep_handles) {
+        server.close_session(handle.id()).expect("close");
+    }
+    let report = server.shutdown();
+    assert_eq!(report.decode_step_errors, 0, "residency bench steps must all succeed");
+
+    let sessions = shallow_sessions + deep_sessions;
+    let token_slots = sessions as u64 * context as u64;
+    let slot_bytes = (d * 2) as u64; // quantized K + V rows per token
+    let contiguous_live_bytes = (shallow_sessions * (1 + shallow_steps)) as u64 * slot_bytes
+        + (deep_sessions * context) as u64 * slot_bytes;
+    let page_bytes = (DEFAULT_PAGE_ROWS * d * 2) as u64;
+    ResidencyMeasurement {
+        name: name.to_string(),
+        sessions,
+        deep_sessions,
+        context,
+        d,
+        window: w,
+        page_rows: DEFAULT_PAGE_ROWS,
+        token_slots,
+        contiguous_capacity_bytes: token_slots * slot_bytes,
+        contiguous_live_bytes,
+        paged_peak_bytes: report.decode_peak_pool_pages * page_bytes,
+        peak_pool_pages: report.decode_peak_pool_pages,
+        peak_resident_pages: report.decode_peak_resident_pages,
+        page_reclaims: report.decode_page_reclaims,
+        pool_exhausted: report.decode_pool_exhausted,
+        decode_steps: steps_submitted,
+        fused_steps,
+        ticks,
+        mean_resident_kv_bytes: report.decode_resident_kv_byte_steps as f64
+            / report.decode_steps.max(1) as f64,
+        steps_per_s: steps_submitted as f64 / stepping_s,
     }
 }
 
@@ -306,12 +650,122 @@ fn main() {
         ));
     }
 
+    // Iteration-level batched decode: the serving tick's fused kernel
+    // (`execute_steps`) against per-session dispatch, bit-identity
+    // asserted before timing.
+    let batched_shapes: Vec<(&str, usize, usize, usize, usize)> = if smoke {
+        vec![("smoke-decode-batched-4x64-w16", 4, 64, 16, 16)]
+    } else {
+        vec![
+            ("decode-batched-48x512-w64", 48, 512, 64, 64),
+            ("decode-batched-8x256-w32", 8, 256, 32, 64),
+        ]
+    };
+    let mut batched_entries = Vec::new();
+    for &(name, sessions, n, w, d) in &batched_shapes {
+        let m = measure_decode_batched(name, sessions, n, w, d, iters);
+        println!(
+            "{:<28} {:>4} sessions n={:<5} d={:<3} {:>9.0} ns/step fused ({:>9.0} sequential) {:>10.0} steps/s  x{:.2}",
+            m.name,
+            m.sessions,
+            m.n,
+            m.d,
+            m.fused_ns_per_step,
+            m.sequential_ns_per_step,
+            m.fused_steps_per_s,
+            m.fused_speedup,
+        );
+        batched_entries.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"sessions\": {}, \"n\": {}, \"d\": {}, ",
+                "\"page_rows\": {}, \"steps_total\": {}, ",
+                "\"sequential_ns_per_step\": {:.1}, \"fused_ns_per_step\": {:.1}, ",
+                "\"fused_steps_per_s\": {:.0}, \"fused_speedup\": {:.3}, ",
+                "\"peak_pool_pages\": {}}}"
+            ),
+            m.name,
+            m.sessions,
+            m.n,
+            m.d,
+            m.page_rows,
+            m.steps_total,
+            m.sequential_ns_per_step,
+            m.fused_ns_per_step,
+            m.fused_steps_per_s,
+            m.fused_speedup,
+            m.peak_pool_pages,
+        ));
+    }
+
+    // KV-residency traffic: many resident sessions over a long context on
+    // a paged pool — what a contiguous-arena runtime would reserve versus
+    // what the pool actually pins at peak. Tuple order:
+    // (name, shallow, deep, context, window, d, shallow_steps, deep_steps).
+    type ResidencyShape = (&'static str, usize, usize, usize, usize, usize, usize, usize);
+    let residency_shapes: Vec<ResidencyShape> = if smoke {
+        vec![("smoke-kv-residency-52x1k", 48, 4, 1024, 64, 32, 2, 32)]
+    } else {
+        vec![("kv-residency-10k-x-32k", 9_984, 16, 32_768, 256, 64, 4, 64)]
+    };
+    let mut residency_entries = Vec::new();
+    for &(name, shallow, deep, context, w, d, shallow_steps, deep_steps) in &residency_shapes {
+        let m = measure_kv_residency(name, shallow, deep, context, w, d, shallow_steps, deep_steps);
+        println!(
+            "{:<28} {:>5} sessions x {:<6} ctx  peak {:.2} MiB paged vs {:.0} MiB contiguous capacity  {} reclaims {:>8.0} steps/s",
+            m.name,
+            m.sessions,
+            m.context,
+            m.paged_peak_bytes as f64 / (1024.0 * 1024.0),
+            m.contiguous_capacity_bytes as f64 / (1024.0 * 1024.0),
+            m.page_reclaims,
+            m.steps_per_s,
+        );
+        residency_entries.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"sessions\": {}, \"deep_sessions\": {}, ",
+                "\"context\": {}, \"d\": {}, \"window\": {}, \"page_rows\": {}, ",
+                "\"token_slots\": {}, \"contiguous_capacity_bytes\": {}, ",
+                "\"contiguous_live_bytes\": {}, \"paged_peak_bytes\": {}, ",
+                "\"peak_pool_pages\": {}, \"peak_resident_pages\": {}, ",
+                "\"page_reclaims\": {}, \"pool_exhausted\": {}, ",
+                "\"decode_steps\": {}, \"fused_steps\": {}, \"ticks\": {}, ",
+                "\"mean_resident_kv_bytes\": {:.1}, \"steps_per_s\": {:.0}}}"
+            ),
+            m.name,
+            m.sessions,
+            m.deep_sessions,
+            m.context,
+            m.d,
+            m.window,
+            m.page_rows,
+            m.token_slots,
+            m.contiguous_capacity_bytes,
+            m.contiguous_live_bytes,
+            m.paged_peak_bytes,
+            m.peak_pool_pages,
+            m.peak_resident_pages,
+            m.page_reclaims,
+            m.pool_exhausted,
+            m.decode_steps,
+            m.fused_steps,
+            m.ticks,
+            m.mean_resident_kv_bytes,
+            m.steps_per_s,
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"exec\",\n  \"smoke\": {},\n  \"iters\": {},\n  \"shapes\": [\n{}\n  ],\n  \"decode\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n  \"bench\": \"exec\",\n  \"smoke\": {},\n  \"iters\": {},\n",
+            "  \"shapes\": [\n{}\n  ],\n  \"decode\": [\n{}\n  ],\n",
+            "  \"decode_batched\": [\n{}\n  ],\n  \"kv_residency\": [\n{}\n  ]\n}}\n"
+        ),
         smoke,
         iters,
         entries.join(",\n"),
         decode_entries.join(",\n"),
+        batched_entries.join(",\n"),
+        residency_entries.join(",\n"),
     );
     // Smoke runs go to a separate (gitignored) file so reproducing the CI
     // step locally never clobbers the recorded full measurement.

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use salo_kernels::Qkv;
 use salo_patterns::{AttentionShape, HybridPattern};
-use salo_sim::{DecodePlan, DecodeState, ExecScratch, SpatialAccelerator, StepOutput};
+use salo_sim::{DecodePlan, DecodeState, ExecScratch, KvPagePool, SpatialAccelerator, StepOutput};
 
 use crate::{CompiledPlan, Salo, SaloError};
 
@@ -56,6 +56,7 @@ pub struct DecodeSession {
     compiled: Arc<CompiledPlan>,
     decode: Arc<DecodePlan>,
     state: DecodeState,
+    pool: KvPagePool,
     scratch: ExecScratch,
     scale: f32,
 }
@@ -120,7 +121,15 @@ impl DecodeSession {
         let decode = compiled.decode_plan()?;
         let state = DecodeState::new(&decode, compiled.shape.head_dim);
         let scale = SpatialAccelerator::default_scale(compiled.shape.head_dim);
-        Ok(Self { accel, compiled, decode, state, scratch: ExecScratch::new(), scale })
+        Ok(Self {
+            accel,
+            compiled,
+            decode,
+            state,
+            pool: KvPagePool::default(),
+            scratch: ExecScratch::new(),
+            scale,
+        })
     }
 
     /// The session's compiled plan, shareable with further sessions via
@@ -186,6 +195,7 @@ impl DecodeSession {
             k,
             v,
             self.scale,
+            &mut self.pool,
             &mut self.scratch,
         )?)
     }
@@ -225,6 +235,7 @@ impl DecodeSession {
             k,
             v,
             self.scale,
+            &mut self.pool,
             &mut self.scratch,
         )?)
     }
@@ -254,12 +265,21 @@ impl DecodeSession {
         self.state.is_poisoned()
     }
 
+    /// Bytes of quantized K/V the session currently keeps resident — the
+    /// pinned pages only, not the full history (the horizon reclaimer
+    /// returns dead pages to the session's pool as the generation runs).
+    #[must_use]
+    pub fn resident_kv_bytes(&self) -> u64 {
+        self.state.resident_kv_bytes()
+    }
+
     /// Resets the session to an empty history (clearing any poisoning),
-    /// keeping the compiled plan and grown buffers — the cheap way to
-    /// start a new generation with the same pattern.
+    /// keeping the compiled plan and grown buffers — its pages go back to
+    /// the session's pool and are recycled by the next generation. The
+    /// cheap way to start a new generation with the same pattern.
     pub fn reset(&mut self) {
         let d = self.compiled.shape.head_dim;
-        self.state.reset(&self.decode, d);
+        self.state.reset(&self.decode, d, &mut self.pool);
     }
 }
 

@@ -18,8 +18,8 @@ use std::sync::Arc;
 use salo_kernels::Qkv;
 use salo_patterns::{AttentionShape, HybridPattern};
 use salo_sim::{
-    DecodePlan, DecodeState, ExecScratch, ExecutionOutput, HeadsScratch, SimError,
-    SpatialAccelerator, StepOutput,
+    BatchStep, DecodePlan, DecodeState, ExecScratch, ExecutionOutput, HeadsScratch, KvPagePool,
+    KvPoolStats, SimError, SpatialAccelerator, StepOutput, DEFAULT_PAGE_ROWS,
 };
 
 use crate::engine::{
@@ -67,6 +67,21 @@ impl FixedSession {
     fn is_intact(&self, position: usize) -> bool {
         self.states.iter().all(|s| !s.is_poisoned() && s.position() == position)
     }
+
+    /// Bytes of quantized K/V the session keeps resident, summed across
+    /// its head states.
+    fn resident_kv_bytes(&self) -> u64 {
+        self.states.iter().map(DecodeState::resident_kv_bytes).sum()
+    }
+
+    /// Hands every head's pages back to the pool — mandatory on every
+    /// path that drops a session (close, retirement, failed open), or the
+    /// pool's occupancy accounting leaks.
+    fn release_pages(&mut self, pool: &mut KvPagePool) {
+        for state in &mut self.states {
+            state.release(pool);
+        }
+    }
 }
 
 /// The engine shared by [`LoweredEngine`] and [`SystolicEngine`]:
@@ -80,6 +95,9 @@ struct FixedCore {
     /// Prefill shard count; `<= 1` keeps the sequential per-head path.
     parallelism: usize,
     sessions: HashMap<SessionId, FixedSession>,
+    /// The physical K/V pages every decode session of this engine draws
+    /// from — one pool per engine, exactly like the scratch.
+    kv_pool: KvPagePool,
 }
 
 /// Maps a simulator step error onto the unified API's error taxonomy, so
@@ -102,6 +120,22 @@ fn normalize_step_error(e: SimError) -> SaloError {
     }
 }
 
+/// The engine's pool geometry from the environment: `SALO_KV_PAGE_ROWS`
+/// (rows per page, default [`DEFAULT_PAGE_ROWS`]) and `SALO_KV_POOL_PAGES`
+/// (capacity bound, default unbounded). Read once per engine
+/// construction; [`Engine::configure_kv_pool`] overrides at runtime.
+fn env_kv_pool() -> KvPagePool {
+    let page_rows = std::env::var("SALO_KV_PAGE_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r: &usize| r > 0)
+        .unwrap_or(DEFAULT_PAGE_ROWS);
+    match std::env::var("SALO_KV_POOL_PAGES").ok().and_then(|v| v.parse().ok()) {
+        Some(capacity) => KvPagePool::bounded(page_rows, capacity),
+        None => KvPagePool::new(page_rows),
+    }
+}
+
 impl FixedCore {
     fn new(accel: SpatialAccelerator) -> Self {
         Self {
@@ -110,7 +144,22 @@ impl FixedCore {
             heads_scratch: HeadsScratch::new(),
             parallelism: 1,
             sessions: HashMap::new(),
+            kv_pool: env_kv_pool(),
         }
+    }
+
+    /// Swaps in a freshly configured pool — only while no pages are in
+    /// use, so no live session's page translation can change underneath
+    /// it (the serving runtime calls this right after spawning workers,
+    /// before any session opens).
+    fn configure_kv_pool(&mut self, page_rows: usize, capacity_pages: Option<usize>) {
+        if self.kv_pool.pages_in_use() > 0 {
+            return;
+        }
+        self.kv_pool = match capacity_pages {
+            Some(capacity) => KvPagePool::bounded(page_rows, capacity),
+            None => KvPagePool::new(page_rows),
+        };
     }
 
     /// The shared [`Engine::prepare`]: compile for this core's array
@@ -161,6 +210,11 @@ impl FixedCore {
             AttentionRequest::DecodeStep { session, token } => {
                 let _span = tracer.span_with("engine.decode_step", "engine", session);
                 Ok(AttentionResponse::DecodeStep(self.step(name, session, &token)?))
+            }
+            AttentionRequest::DecodeStepBatch { steps } => {
+                let _span =
+                    tracer.span_with("engine.decode_step_batch", "engine", steps.len() as u64);
+                Ok(AttentionResponse::DecodeStepBatch(self.step_batch(name, steps)))
             }
             AttentionRequest::DecodeClose { session } => {
                 let _span = tracer.span_with("engine.decode_close", "engine", session);
@@ -240,18 +294,31 @@ impl FixedCore {
         let scale = SpatialAccelerator::default_scale(head_dim);
         let mut states: Vec<DecodeState> =
             (0..num_heads).map(|_| DecodeState::new(&decode, head_dim)).collect();
-        for (state, head) in states.iter_mut().zip(prompt) {
+        let mut prime_err = None;
+        'prime: for (state, head) in states.iter_mut().zip(prompt) {
             for t in 0..prompt_len {
-                self.accel.prime_token(
+                if let Err(e) = self.accel.prime_token(
                     &decode,
                     state,
                     head.q.row(t),
                     head.k.row(t),
                     head.v.row(t),
                     scale,
+                    &mut self.kv_pool,
                     &mut self.scratch,
-                )?;
+                ) {
+                    prime_err = Some(e);
+                    break 'prime;
+                }
             }
+        }
+        if let Some(e) = prime_err {
+            // The session never became live: hand back whatever pages the
+            // partial prime drew before reporting the failure.
+            for state in &mut states {
+                state.release(&mut self.kv_pool);
+            }
+            return Err(e.into());
         }
         let opened = SessionOpened {
             session,
@@ -291,6 +358,7 @@ impl FixedCore {
                 &tok.k,
                 &tok.v,
                 state.scale,
+                &mut self.kv_pool,
                 &mut self.scratch,
             ) {
                 Ok(out) => {
@@ -313,11 +381,14 @@ impl FixedCore {
             // dimension on the first head, capacity exhaustion) leaves
             // every head in place and the session live.
             if !state.is_intact(position) {
-                self.sessions.remove(&session);
+                if let Some(mut retired) = self.sessions.remove(&session) {
+                    retired.release_pages(&mut self.kv_pool);
+                }
             }
             return Err(e);
         }
         let saturation_events = heads.iter().map(|h| h.saturation_events).sum();
+        let resident_kv_bytes = state.resident_kv_bytes();
         Ok(StepResult {
             session,
             position,
@@ -329,14 +400,179 @@ impl FixedCore {
                 sim_time_s: None,
                 sim_energy_j: None,
                 saturation_events,
+                resident_kv_bytes: Some(resident_kv_bytes),
                 stages: profiling.then_some(step_stages),
             },
         })
     }
 
+    /// The fused decode tick: execute one pending step from each of many
+    /// sessions, grouping maximal runs that share a decode-plan
+    /// fingerprint into single [`SpatialAccelerator::execute_steps`]
+    /// passes (one scratch, one pool, per-dispatch overhead paid once).
+    /// Results are per entry, in request order; grouping preserves it
+    /// (each group is a contiguous run) and never spans a duplicate
+    /// session id, so per-session step ordering is exactly the
+    /// one-at-a-time order. Poisoning/retirement semantics per entry are
+    /// identical to [`step`](Self::step).
+    fn step_batch(
+        &mut self,
+        name: &'static str,
+        steps: Vec<(SessionId, Vec<TokenQkv>)>,
+    ) -> Vec<(SessionId, Result<StepResult, SaloError>)> {
+        let mut results = Vec::with_capacity(steps.len());
+        let mut iter = steps.into_iter().peekable();
+        while let Some((session, token)) = iter.next() {
+            let Some(live) = self.sessions.get(&session) else {
+                results.push((session, Err(SaloError::UnknownSession { session })));
+                continue;
+            };
+            let fingerprint = live.decode.fingerprint();
+            let mut group = vec![(session, token)];
+            while let Some((next, _)) = iter.peek() {
+                if group.iter().any(|(sid, _)| sid == next) {
+                    break; // a second step for a session starts a new group
+                }
+                match self.sessions.get(next) {
+                    Some(s) if s.decode.fingerprint() == fingerprint => {
+                        group.push(iter.next().expect("peeked entry exists"));
+                    }
+                    _ => break,
+                }
+            }
+            results.extend(self.run_step_group(name, group));
+        }
+        results
+    }
+
+    /// Executes one fused group (live sessions sharing a plan, one step
+    /// each) and maps the per-head outputs back to per-session results.
+    fn run_step_group(
+        &mut self,
+        name: &'static str,
+        group: Vec<(SessionId, Vec<TokenQkv>)>,
+    ) -> Vec<(SessionId, Result<StepResult, SaloError>)> {
+        // One entry per grouped session: taken out of the map (for
+        // simultaneous `&mut` access), its pending token, its pre-step
+        // position, and any pre-validation error.
+        type GroupEntry = (SessionId, FixedSession, Vec<TokenQkv>, usize, Option<SaloError>);
+        // Every session is reinserted below unless its step desynced it
+        // (same retirement rule as the single-step path).
+        let mut entries: Vec<GroupEntry> = group
+            .into_iter()
+            .map(|(sid, token)| {
+                let sess = self.sessions.remove(&sid).expect("grouped sessions are live");
+                let position = sess.position();
+                // Pre-mutation validation: head count AND every
+                // head's row dimensions, rejected without touching
+                // the session (which stays live). The dimension check
+                // must happen up front here — in the fused pass a
+                // mid-session malformed head can no longer stop its
+                // sibling heads the way the sequential loop's early
+                // break does.
+                let d = sess.states.first().map_or(0, DecodeState::head_dim);
+                let err = if token.len() != sess.states.len() {
+                    Some(SaloError::HeadCountMismatch {
+                        expected: sess.states.len(),
+                        got: token.len(),
+                    })
+                } else {
+                    token
+                        .iter()
+                        .flat_map(|tok| [&tok.q, &tok.k, &tok.v])
+                        .find(|row| row.len() != d)
+                        .map(|row| {
+                            normalize_step_error(SimError::TokenDim { expected: d, got: row.len() })
+                        })
+                };
+                (sid, sess, token, position, err)
+            })
+            .collect();
+        let decode = entries
+            .iter()
+            .find(|(_, _, _, _, err)| err.is_none())
+            .map(|(_, sess, ..)| Arc::clone(&sess.decode));
+
+        // The fused pass skips host-side stage attribution (stages are a
+        // per-dispatch profile; the batch shares one scratch), so switch
+        // profiling off for the kernel call — trace spans still record.
+        self.scratch.set_profiling(false);
+        let mut batch: Vec<BatchStep<'_>> = Vec::new();
+        for (_, sess, token, _, err) in &mut entries {
+            if err.is_some() {
+                continue;
+            }
+            let scale = sess.scale;
+            for (state, tok) in sess.states.iter_mut().zip(token.iter()) {
+                batch.push(BatchStep { state, q_t: &tok.q, k_t: &tok.k, v_t: &tok.v, scale });
+            }
+        }
+        let mut outputs = if batch.is_empty() {
+            Vec::new()
+        } else {
+            let decode = decode.as_ref().expect("non-empty batch has a plan");
+            self.accel.execute_steps(decode, &mut batch, &mut self.kv_pool, &mut self.scratch)
+        }
+        .into_iter();
+        drop(batch);
+
+        let mut results = Vec::with_capacity(entries.len());
+        for (sid, mut sess, _token, position, err) in entries {
+            if let Some(e) = err {
+                self.sessions.insert(sid, sess);
+                results.push((sid, Err(e)));
+                continue;
+            }
+            let mut heads = Vec::with_capacity(sess.states.len());
+            let mut failure: Option<SaloError> = None;
+            for _ in 0..sess.states.len() {
+                match outputs.next().expect("one output per batched head") {
+                    Ok(out) => heads.push(out),
+                    Err(e) => {
+                        failure = Some(normalize_step_error(e));
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                if sess.is_intact(position) {
+                    self.sessions.insert(sid, sess);
+                } else {
+                    sess.release_pages(&mut self.kv_pool);
+                }
+                results.push((sid, Err(e)));
+                continue;
+            }
+            let saturation_events = heads.iter().map(|h| h.saturation_events).sum();
+            let resident_kv_bytes = sess.resident_kv_bytes();
+            let result = StepResult {
+                session: sid,
+                position,
+                heads: heads.into_iter().map(fixed_head_step).collect(),
+                telemetry: Telemetry {
+                    engine: name,
+                    bit_exact: true,
+                    sim_cycles: None,
+                    sim_time_s: None,
+                    sim_energy_j: None,
+                    saturation_events,
+                    resident_kv_bytes: Some(resident_kv_bytes),
+                    stages: None,
+                },
+            };
+            self.sessions.insert(sid, sess);
+            results.push((sid, Ok(result)));
+        }
+        results
+    }
+
     fn close(&mut self, session: SessionId) -> Result<SessionClosed, SaloError> {
         match self.sessions.remove(&session) {
-            Some(state) => Ok(SessionClosed { session, position: state.position() }),
+            Some(mut state) => {
+                let position = state.position();
+                state.release_pages(&mut self.kv_pool);
+                Ok(SessionClosed { session, position })
+            }
             None => Err(SaloError::UnknownSession { session }),
         }
     }
@@ -358,6 +594,7 @@ impl FixedCore {
             sim_time_s: Some(heads.iter().map(|h| h.report.timing.time_s).sum()),
             sim_energy_j: Some(heads.iter().map(|h| h.report.timing.energy_j).sum()),
             saturation_events: heads.iter().map(|h| h.report.saturation_events).sum(),
+            resident_kv_bytes: None,
             stages,
         }
     }
@@ -483,6 +720,14 @@ impl Engine for LoweredEngine {
     fn session_position(&self, session: SessionId) -> Option<usize> {
         self.core.sessions.get(&session).map(FixedSession::position)
     }
+
+    fn kv_pool_stats(&self) -> Option<KvPoolStats> {
+        Some(self.core.kv_pool.stats())
+    }
+
+    fn configure_kv_pool(&mut self, page_rows: usize, capacity_pages: Option<usize>) {
+        self.core.configure_kv_pool(page_rows, capacity_pages);
+    }
 }
 
 /// The event-accurate oracle backend.
@@ -549,5 +794,13 @@ impl Engine for SystolicEngine {
 
     fn session_position(&self, session: SessionId) -> Option<usize> {
         self.core.sessions.get(&session).map(FixedSession::position)
+    }
+
+    fn kv_pool_stats(&self) -> Option<KvPoolStats> {
+        Some(self.core.kv_pool.stats())
+    }
+
+    fn configure_kv_pool(&mut self, page_rows: usize, capacity_pages: Option<usize>) {
+        self.core.configure_kv_pool(page_rows, capacity_pages);
     }
 }

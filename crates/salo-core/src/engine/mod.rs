@@ -206,6 +206,16 @@ pub enum AttentionRequest {
         /// One [`TokenQkv`] per head.
         token: Vec<TokenQkv>,
     },
+    /// Decode one token from each of several open sessions as a single
+    /// fused pass — the iteration-level continuous-batching form. Each
+    /// entry is exactly one [`AttentionRequest::DecodeStep`]; results are
+    /// per entry (one failing session never affects its neighbours) and
+    /// bit-identical to issuing the steps individually.
+    DecodeStepBatch {
+        /// One `(session, per-head token)` entry per session to advance,
+        /// in execution order.
+        steps: Vec<(SessionId, Vec<TokenQkv>)>,
+    },
     /// Close a session, dropping its state.
     DecodeClose {
         /// The session to drop.
@@ -230,6 +240,11 @@ pub struct Telemetry {
     pub sim_energy_j: Option<f64>,
     /// Fixed-point MAC saturation events (0 for float backends).
     pub saturation_events: u64,
+    /// Bytes of quantized K/V the request's session(s) keep resident
+    /// after this request, summed across heads. Present on fixed-point
+    /// decode steps (whose histories live in pool pages); `None` for
+    /// prefill and for backends without paged state.
+    pub resident_kv_bytes: Option<u64>,
     /// Host-measured per-stage datapath cost, present on fixed-point
     /// backends when stage profiling is enabled (`SALO_TRACE=1` or
     /// [`salo_trace::set_enabled`]). Summed across the request's heads.
@@ -361,6 +376,9 @@ pub enum AttentionResponse {
     DecodeOpened(SessionOpened),
     /// Response to [`AttentionRequest::DecodeStep`].
     DecodeStep(StepResult),
+    /// Response to [`AttentionRequest::DecodeStepBatch`]: one entry per
+    /// requested step, in request order.
+    DecodeStepBatch(Vec<(SessionId, Result<StepResult, SaloError>)>),
     /// Response to [`AttentionRequest::DecodeClose`].
     DecodeClosed(SessionClosed),
 }
@@ -402,6 +420,21 @@ impl AttentionResponse {
         }
     }
 
+    /// Unwraps a fused decode-step-batch response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaloError::ResponseMismatch`] on any other variant.
+    #[allow(clippy::type_complexity)] // the per-entry result list IS the shape
+    pub fn into_step_batch(
+        self,
+    ) -> Result<Vec<(SessionId, Result<StepResult, SaloError>)>, SaloError> {
+        match self {
+            AttentionResponse::DecodeStepBatch(out) => Ok(out),
+            other => Err(SaloError::ResponseMismatch { got: other.variant_name() }),
+        }
+    }
+
     /// Unwraps a decode-close response.
     ///
     /// # Errors
@@ -421,6 +454,7 @@ impl AttentionResponse {
             AttentionResponse::Prefill(_) => "Prefill",
             AttentionResponse::DecodeOpened(_) => "DecodeOpened",
             AttentionResponse::DecodeStep(_) => "DecodeStep",
+            AttentionResponse::DecodeStepBatch(_) => "DecodeStepBatch",
             AttentionResponse::DecodeClosed(_) => "DecodeClosed",
         }
     }
@@ -475,6 +509,21 @@ pub trait Engine: Send + fmt::Debug {
     /// The position a live session's next step will produce, or `None`
     /// for unknown sessions.
     fn session_position(&self, session: SessionId) -> Option<usize>;
+
+    /// Occupancy counters of the engine's shared K/V page pool, when the
+    /// backend keeps decode state in pool pages (`None` otherwise — the
+    /// default, kept by float backends).
+    fn kv_pool_stats(&self) -> Option<salo_sim::KvPoolStats> {
+        None
+    }
+
+    /// Reconfigures the engine's K/V page pool (`page_rows` rows per
+    /// page; `None` capacity = unbounded). Backends without a pool ignore
+    /// it; pooled backends apply it only while no pages are in use, so a
+    /// live session's translation can never change underneath it.
+    fn configure_kv_pool(&mut self, page_rows: usize, capacity_pages: Option<usize>) {
+        let _ = (page_rows, capacity_pages);
+    }
 }
 
 /// Prefill parallelism requested through the environment: the

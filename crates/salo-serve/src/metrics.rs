@@ -300,6 +300,26 @@ pub struct ServeReport {
     /// Log-bucket histogram behind
     /// [`decode_step_latency`](Self::decode_step_latency) (nanoseconds).
     pub decode_step_latency_hist: HistogramSnapshot,
+    /// Sum over successful decode steps of the stepped session's resident
+    /// K/V bytes at step completion. Divided by
+    /// [`decode_steps`](Self::decode_steps), it is the mean resident K/V
+    /// footprint a step saw — the paged-arena counterpart of
+    /// "sessions x full context" bytes a contiguous layout would pin.
+    pub decode_resident_kv_byte_steps: u64,
+    /// Peak K/V pages resident across any single worker's page pool
+    /// (sampled at every scheduler tick). Merges by `max`: it is a
+    /// high-water mark, not a flow.
+    pub decode_peak_resident_pages: u64,
+    /// Peak page-pool occupancy (the pool's own lifetime high-water)
+    /// across workers. Merges by `max`.
+    pub decode_peak_pool_pages: u64,
+    /// Pages proven dead by the reclamation horizon and returned to the
+    /// pools mid-generation (resets and closes not counted).
+    pub decode_page_reclaims: u64,
+    /// Page allocations refused because a bounded pool was full. Nonzero
+    /// means steps failed with `PagePoolExhausted` (cleanly — the
+    /// sessions stay live and retryable).
+    pub decode_pool_exhausted: u64,
 }
 
 impl fmt::Display for ServeReport {
@@ -339,6 +359,21 @@ impl fmt::Display for ServeReport {
             self.decode_step_errors,
             self.decode_step_latency.p50_s * 1e3,
             self.decode_step_latency.p99_s * 1e3
+        )?;
+        let mean_resident_kv = if self.decode_steps > 0 {
+            self.decode_resident_kv_byte_steps as f64 / self.decode_steps as f64
+        } else {
+            0.0
+        };
+        writeln!(
+            f,
+            "decode kv       : mean resident {:.1} KiB/step, peak {} pages resident, \
+             pool high-water {} pages, {} reclaims, {} exhaustions",
+            mean_resident_kv / 1024.0,
+            self.decode_peak_resident_pages,
+            self.decode_peak_pool_pages,
+            self.decode_page_reclaims,
+            self.decode_pool_exhausted
         )?;
         write!(f, "per-worker load : {:?}", self.per_worker_requests)
     }
@@ -419,6 +454,17 @@ impl ServeReport {
                 &decode_step_latency_hist,
             ),
             decode_step_latency_hist,
+            decode_resident_kv_byte_steps: self.decode_resident_kv_byte_steps
+                + other.decode_resident_kv_byte_steps,
+            // High-water marks merge as high-water marks: the shards are
+            // distinct pools, so the merged peak is the worst single pool,
+            // never a sum that no pool ever held.
+            decode_peak_resident_pages: self
+                .decode_peak_resident_pages
+                .max(other.decode_peak_resident_pages),
+            decode_peak_pool_pages: self.decode_peak_pool_pages.max(other.decode_peak_pool_pages),
+            decode_page_reclaims: self.decode_page_reclaims + other.decode_page_reclaims,
+            decode_pool_exhausted: self.decode_pool_exhausted + other.decode_pool_exhausted,
         }
     }
 }
@@ -687,6 +733,40 @@ mod tests {
     }
 
     #[test]
+    fn decode_kv_gauges_merge_as_high_water_marks_not_sums() {
+        let a = ServeReport {
+            decode_steps: 10,
+            decode_resident_kv_byte_steps: 10_240,
+            decode_peak_resident_pages: 7,
+            decode_peak_pool_pages: 9,
+            decode_page_reclaims: 4,
+            decode_pool_exhausted: 1,
+            ..Default::default()
+        };
+        let b = ServeReport {
+            decode_steps: 30,
+            decode_resident_kv_byte_steps: 61_440,
+            decode_peak_resident_pages: 5,
+            decode_peak_pool_pages: 12,
+            decode_page_reclaims: 6,
+            decode_pool_exhausted: 0,
+            ..Default::default()
+        };
+        let merged = a.merged_with(&b);
+        // Flows (byte-steps, reclaims, exhaustions) add ...
+        assert_eq!(merged.decode_resident_kv_byte_steps, 71_680);
+        assert_eq!(merged.decode_page_reclaims, 10);
+        assert_eq!(merged.decode_pool_exhausted, 1);
+        // ... but the occupancy peaks are bucket-exact high-water merges:
+        // the shards are distinct pools, so max, never sum.
+        assert_eq!(merged.decode_peak_resident_pages, 7);
+        assert_eq!(merged.decode_peak_pool_pages, 12);
+        // Merging is commutative on all five.
+        assert_eq!(b.merged_with(&a).decode_peak_resident_pages, 7);
+        assert_eq!(b.merged_with(&a).decode_resident_kv_byte_steps, 71_680);
+    }
+
+    #[test]
     fn report_displays_all_sections() {
         let report = ServeReport {
             requests: 10,
@@ -695,7 +775,9 @@ mod tests {
             ..Default::default()
         };
         let text = report.to_string();
-        for needle in ["requests", "throughput", "plan cache", "batching", "per-worker"] {
+        for needle in
+            ["requests", "throughput", "plan cache", "batching", "decode kv", "per-worker"]
+        {
             assert!(text.contains(needle), "missing section {needle}");
         }
     }

@@ -62,6 +62,16 @@ pub struct ServeOptions {
     /// `SALO_PARALLELISM` environment default, `1` is sequential).
     /// Bit-transparent: only wall-clock changes, never outputs.
     pub worker_parallelism: usize,
+    /// Rows per K/V page in each worker's decode page pool (`None`
+    /// inherits the engine default, `SALO_KV_PAGE_ROWS` included).
+    /// Bit-transparent: paging changes memory residency, never outputs.
+    pub decode_page_rows: Option<usize>,
+    /// Capacity bound, in pages, of each worker's decode page pool
+    /// (`None` is unbounded). A full pool refuses further allocations
+    /// cleanly: the step fails with `PagePoolExhausted`, the session
+    /// stays live, and the refusal is counted in
+    /// [`ServeReport::decode_pool_exhausted`].
+    pub decode_pool_pages: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -72,6 +82,8 @@ impl Default for ServeOptions {
             cache_capacity: 64,
             cache_shards: 8,
             worker_parallelism: 0,
+            decode_page_rows: None,
+            decode_pool_pages: None,
         }
     }
 }
@@ -188,8 +200,16 @@ impl SaloServer {
         let (ordered_tx, ordered_rx) = std::sync::mpsc::channel::<ServeResponse>();
 
         let compiler = Salo::new(config.clone());
-        let pool =
-            WorkerPool::spawn(workers, options.worker_parallelism, &compiler, &done_tx, &sessions);
+        let pool = WorkerPool::spawn(
+            workers,
+            options.worker_parallelism,
+            options.decode_page_rows,
+            options.decode_pool_pages,
+            &compiler,
+            &done_tx,
+            &sessions,
+            &metrics,
+        );
 
         let mut threads = Vec::with_capacity(2);
         {
@@ -500,6 +520,22 @@ impl SaloServer {
             decode_step_errors: self.metrics.counter("serve.decode.step_errors").get(),
             decode_step_latency: summary.decode_latencies.stats(),
             decode_step_latency_hist: summary.decode_latencies.histogram().clone(),
+            decode_resident_kv_byte_steps: self
+                .metrics
+                .counter("serve.decode.resident_kv_byte_steps")
+                .get(),
+            decode_peak_resident_pages: self
+                .metrics
+                .gauge("serve.decode.resident_pages")
+                .high_water()
+                .max(0) as u64,
+            decode_peak_pool_pages: self
+                .metrics
+                .gauge("serve.decode.pool_pages")
+                .high_water()
+                .max(0) as u64,
+            decode_page_reclaims: self.metrics.counter("serve.decode.page_reclaims").get(),
+            decode_pool_exhausted: self.metrics.counter("serve.decode.pool_exhausted").get(),
         }
     }
 }

@@ -219,8 +219,25 @@ impl GenerationTraffic {
     /// `i`. Returns the open request and the per-step token stream.
     #[must_use]
     pub fn session(&self, i: u64) -> (SessionRequest, Vec<Vec<TokenQkv>>) {
+        self.session_bounded(i, usize::MAX)
+    }
+
+    /// Like [`session`](Self::session) but materializes only the rows the
+    /// caller will actually feed: the prompt plus the first `max_steps`
+    /// generated tokens. The seeded generator is a row-major prefix
+    /// stream, so the result is bit-identical to truncating
+    /// [`session`](Self::session)'s step list — at `O(prompt + max_steps)`
+    /// cost instead of `O(capacity)`, which is the difference between
+    /// benching ten thousand 32k-context sessions and allocating their
+    /// full token streams up front.
+    #[must_use]
+    pub fn session_bounded(
+        &self,
+        i: u64,
+        max_steps: usize,
+    ) -> (SessionRequest, Vec<Vec<TokenQkv>>) {
         let shape = &self.shapes[(i % self.shapes.len() as u64) as usize];
-        let n = shape.pattern.n();
+        let n = shape.pattern.n().min(shape.prompt_len.saturating_add(max_steps));
         let full: Vec<Qkv> = (0..shape.num_heads)
             .map(|h| Qkv::random(n, shape.head_dim, i.wrapping_mul(131).wrapping_add(h as u64)))
             .collect();
@@ -299,6 +316,22 @@ mod tests {
         let (b, _) = mix.session(2);
         assert_eq!(a.pattern, b.pattern, "same shape every len() sessions");
         assert_ne!(a.prompt[0].q, b.prompt[0].q, "different seeds");
+    }
+
+    #[test]
+    fn bounded_session_is_a_prefix_of_the_full_session() {
+        let mix = GenerationTraffic::demo_mix();
+        for i in 0..2u64 {
+            let (full_req, full_steps) = mix.session(i);
+            let (bounded_req, bounded_steps) = mix.session_bounded(i, 3);
+            assert_eq!(bounded_req.prompt[0].q, full_req.prompt[0].q, "same prompt rows");
+            assert_eq!(bounded_req.pattern, full_req.pattern, "full-capacity pattern");
+            assert_eq!(bounded_steps.len(), 3);
+            assert_eq!(bounded_steps[..], full_steps[..3], "bit-identical step prefix");
+        }
+        // Asking for more steps than the capacity holds just yields them all.
+        let (_, all) = mix.session_bounded(0, usize::MAX);
+        assert_eq!(all.len(), mix.shapes()[0].steps());
     }
 
     #[test]

@@ -11,8 +11,25 @@
 //! Three resources amortize across the pool's lifetime: the engines share
 //! one set of exponential/reciprocal lookup tables (behind `Arc` inside
 //! the accelerator), each engine carries one scratch across every request
-//! and step it ever serves, and session K/V arenas grow once per
-//! generation.
+//! and step it ever serves, and session K/V pages recycle through each
+//! engine's shared page pool.
+//!
+//! # The scheduler tick
+//!
+//! Each `recv` on the job channel opens one *scheduler tick*: the worker
+//! opportunistically drains whatever else is already queued (bounded by
+//! [`TICK_DRAIN_BATCHES`]), then walks the tick's jobs strictly in
+//! arrival order. Every maximal contiguous run of decode steps for
+//! *distinct* sessions — at most one pending step per ready session, by
+//! construction — fuses into a single
+//! [`AttentionRequest::DecodeStepBatch`], executed as one multi-session
+//! pass over the engine's shared scratch. A second step for a session
+//! already in the run ends the run and opens the next one, so
+//! per-session step order is untouched; runs of one fall back to the
+//! ordinary single-step path. Fusion changes scheduling only: outputs,
+//! per-entry errors and poisoning semantics are those of the same steps
+//! run back to back (the engine's fused kernel is bit-identical by
+//! construction, pinned by the `salo-sim` and `salo-core` test suites).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
@@ -21,9 +38,17 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use salo_core::{AttentionRequest, Engine, LoweredEngine, MultiHeadRun, PrefillOutput, Salo};
+use salo_sim::DEFAULT_PAGE_ROWS;
+use salo_trace::{Counter, Gauge, MetricsRegistry};
 
-use crate::session::{DecodeStep, SessionEvent, SessionInfo, SessionRegistry};
+use crate::session::{DecodeStep, SessionEvent, SessionInfo, SessionRegistry, TokenQkv};
 use crate::ServeError;
+
+/// Bound on the extra job batches one scheduler tick may drain beyond the
+/// blocking `recv` that opened it. Keeps a firehose of submissions from
+/// starving the tick's first job while still giving concurrently
+/// submitted steps a window to land in the same fused pass.
+const TICK_DRAIN_BATCHES: usize = 64;
 
 /// One typed request travelling to a worker, paired with the routing
 /// metadata its response needs. Workers do not translate it: the
@@ -80,6 +105,66 @@ pub(crate) enum Completed {
     StepDropped,
 }
 
+/// Pre-resolved registry handles for the decode scheduler's telemetry:
+/// fetched once at pool spawn, shared by every worker (the underlying
+/// counters and gauges are atomic), updated lock-free on the hot path.
+#[derive(Clone)]
+struct DecodeMetrics {
+    /// Scheduler ticks that fused (>= 2 steps in one pass).
+    ticks: Arc<Counter>,
+    /// Steps executed through fused passes (`fused_steps / ticks` is the
+    /// mean fusion width).
+    fused_steps: Arc<Counter>,
+    /// Sum over successful steps of the stepped session's resident K/V
+    /// bytes — divided by the step count it is the mean paged footprint.
+    resident_kv_byte_steps: Arc<Counter>,
+    /// Pages currently resident in a worker's pool, sampled every tick;
+    /// its high-water mark is the report's peak-resident gauge.
+    resident_pages: Arc<Gauge>,
+    /// The pools' own lifetime occupancy high-water, mirrored every tick.
+    pool_pages: Arc<Gauge>,
+    /// Pages proven dead by the reclamation horizon and recycled.
+    page_reclaims: Arc<Counter>,
+    /// Allocations refused by a bounded pool at capacity.
+    pool_exhausted: Arc<Counter>,
+}
+
+impl DecodeMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            ticks: registry.counter("serve.decode.ticks"),
+            fused_steps: registry.counter("serve.decode.fused_steps"),
+            resident_kv_byte_steps: registry.counter("serve.decode.resident_kv_byte_steps"),
+            resident_pages: registry.gauge("serve.decode.resident_pages"),
+            pool_pages: registry.gauge("serve.decode.pool_pages"),
+            page_reclaims: registry.counter("serve.decode.page_reclaims"),
+            pool_exhausted: registry.counter("serve.decode.pool_exhausted"),
+        }
+    }
+}
+
+/// Last-published pool counters of one worker, so each tick pushes only
+/// the *delta* into the shared registry counters (the pool's own counts
+/// are cumulative and per-engine).
+#[derive(Default)]
+struct PoolWatch {
+    reclaimed: u64,
+    exhausted: u64,
+}
+
+/// Mirrors one worker's page-pool state into the shared registry: gauges
+/// take the raw values (their high-water marks are max-merged across
+/// workers by construction), counters take deltas since the last publish.
+fn publish_pool_stats(engine: &LoweredEngine, metrics: &DecodeMetrics, watch: &mut PoolWatch) {
+    let Some(stats) = engine.kv_pool_stats() else { return };
+    metrics.resident_pages.set(stats.in_use as i64);
+    metrics.pool_pages.set(stats.high_water as i64);
+    metrics.page_reclaims.add(stats.reclaimed - watch.reclaimed);
+    metrics.pool_exhausted.add(stats.exhausted - watch.exhausted);
+    watch.reclaimed = stats.reclaimed;
+    watch.exhausted = stats.exhausted;
+}
+
 /// Handles to the worker threads plus their load counters.
 pub(crate) struct WorkerPool {
     senders: Vec<Sender<Vec<Job>>>,
@@ -90,16 +175,24 @@ pub(crate) struct WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` threads, each owning an engine built from `salo`.
     /// `parallelism` is the engines' prefill shard count (`0` inherits
-    /// the `SALO_PARALLELISM` environment default).
+    /// the `SALO_PARALLELISM` environment default). `decode_page_rows` /
+    /// `decode_pool_pages` configure each engine's K/V page pool (`None`
+    /// keeps the engine's environment-derived defaults); decode
+    /// telemetry lands in `metrics`.
+    #[allow(clippy::too_many_arguments)] // one call site, in SaloServer::start
     pub fn spawn(
         workers: usize,
         parallelism: usize,
+        decode_page_rows: Option<usize>,
+        decode_pool_pages: Option<usize>,
         salo: &Salo,
         done: &Sender<Completed>,
         registry: &Arc<SessionRegistry>,
+        metrics: &Arc<MetricsRegistry>,
     ) -> Self {
         let workers = workers.max(1);
         let parallelism = if parallelism == 0 { salo_core::env_parallelism() } else { parallelism };
+        let decode_metrics = DecodeMetrics::new(metrics);
         let mut senders = Vec::with_capacity(workers);
         let mut outstanding = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
@@ -107,10 +200,20 @@ impl WorkerPool {
             let (tx, rx) = std::sync::mpsc::channel::<Vec<Job>>();
             let load = Arc::new(AtomicUsize::new(0));
             // Engines built from one Salo share its lookup tables.
-            let engine = salo.engine_with_parallelism(parallelism);
+            let mut engine = salo.engine_with_parallelism(parallelism);
+            if decode_page_rows.is_some() || decode_pool_pages.is_some() {
+                // A lone capacity bound keeps the engine's own page-rows
+                // default (environment override included) instead of
+                // resetting it.
+                let rows = decode_page_rows
+                    .or_else(|| engine.kv_pool_stats().map(|s| s.page_rows))
+                    .unwrap_or(DEFAULT_PAGE_ROWS);
+                engine.configure_kv_pool(rows, decode_pool_pages);
+            }
             let worker_done = done.clone();
             let worker_load = Arc::clone(&load);
             let worker_registry = Arc::clone(registry);
+            let worker_metrics = decode_metrics.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("salo-serve-worker-{index}"))
@@ -122,6 +225,7 @@ impl WorkerPool {
                             &worker_done,
                             &worker_load,
                             &worker_registry,
+                            &worker_metrics,
                         )
                     })
                     .expect("spawn worker thread"),
@@ -189,6 +293,30 @@ impl WorkerPool {
     }
 }
 
+/// One decode step extracted from its [`Job`] for the tick scheduler:
+/// the token payload plus the reply route.
+struct StepJob {
+    session: u64,
+    token: Vec<TokenQkv>,
+    submitted: Instant,
+    events: Sender<SessionEvent>,
+}
+
+impl StepJob {
+    /// Reassembles the original job — the fallback for runs of one, which
+    /// take the ordinary single-step path.
+    fn into_job(self) -> Job {
+        Job {
+            request: AttentionRequest::DecodeStep { session: self.session, token: self.token },
+            reply: Reply::Step {
+                session: self.session,
+                submitted: self.submitted,
+                events: self.events,
+            },
+        }
+    }
+}
+
 fn worker_loop(
     index: usize,
     mut engine: LoweredEngine,
@@ -196,18 +324,164 @@ fn worker_loop(
     done: &Sender<Completed>,
     load: &AtomicUsize,
     registry: &SessionRegistry,
+    metrics: &DecodeMetrics,
 ) {
-    while let Ok(jobs) = rx.recv() {
-        for job in jobs {
-            if !run_job(index, &mut engine, job, done, load, registry) {
-                return; // collector is gone; nothing left to report to
+    let mut watch = PoolWatch::default();
+    while let Ok(mut jobs) = rx.recv() {
+        // Open the tick: drain whatever else is already queued (bounded),
+        // so steps submitted close together can fuse below.
+        let mut drained = 0usize;
+        while drained < TICK_DRAIN_BATCHES {
+            match rx.try_recv() {
+                Ok(more) => {
+                    jobs.extend(more);
+                    drained += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        if !run_tick(index, &mut engine, jobs, done, load, registry, metrics) {
+            return; // collector is gone; nothing left to report to
+        }
+        publish_pool_stats(&engine, metrics, &mut watch);
+    }
+}
+
+/// Processes one scheduler tick's jobs strictly in arrival order, fusing
+/// each maximal contiguous run of distinct-session decode steps into one
+/// batched engine pass. Returns `false` once the collector is gone.
+#[allow(clippy::too_many_arguments)]
+fn run_tick(
+    index: usize,
+    engine: &mut LoweredEngine,
+    jobs: Vec<Job>,
+    done: &Sender<Completed>,
+    load: &AtomicUsize,
+    registry: &SessionRegistry,
+    metrics: &DecodeMetrics,
+) -> bool {
+    let mut run: Vec<StepJob> = Vec::new();
+    let flush = |run: &mut Vec<StepJob>, engine: &mut LoweredEngine| -> bool {
+        match run.len() {
+            0 => true,
+            1 => {
+                let single = run.pop().expect("run has one step").into_job();
+                run_job(index, engine, single, done, load, registry, metrics)
+            }
+            _ => run_fused(index, engine, std::mem::take(run), done, load, registry, metrics),
+        }
+    };
+    for job in jobs {
+        match job {
+            Job {
+                request: AttentionRequest::DecodeStep { session, token },
+                reply: Reply::Step { submitted, events, .. },
+            } => {
+                if run.iter().any(|s| s.session == session) {
+                    // A second step for a session already in the run: it
+                    // must observe the first step's state, so the run ends
+                    // here and this step opens the next one — per-session
+                    // order is preserved by construction.
+                    if !flush(&mut run, engine) {
+                        return false;
+                    }
+                }
+                run.push(StepJob { session, token, submitted, events });
+            }
+            other => {
+                if !flush(&mut run, engine) {
+                    return false;
+                }
+                if !run_job(index, engine, other, done, load, registry, metrics) {
+                    return false;
+                }
             }
         }
     }
+    flush(&mut run, engine)
+}
+
+/// Executes a fused run of >= 2 distinct-session decode steps as one
+/// [`AttentionRequest::DecodeStepBatch`] pass, then routes every entry's
+/// outcome with exactly the single-step bookkeeping: queue-wait recorded
+/// at dequeue, retirement settled and load released before the event
+/// sends, one [`Completed::Step`] per entry, in run order.
+#[allow(clippy::too_many_arguments)]
+fn run_fused(
+    index: usize,
+    engine: &mut LoweredEngine,
+    steps: Vec<StepJob>,
+    done: &Sender<Completed>,
+    load: &AtomicUsize,
+    registry: &SessionRegistry,
+    metrics: &DecodeMetrics,
+) -> bool {
+    let tracer = salo_trace::Tracer::global();
+    let tick_span = tracer.span_with("serve.decode.tick", "serve", steps.len() as u64);
+    metrics.ticks.inc();
+    metrics.fused_steps.add(steps.len() as u64);
+    let mut routes = Vec::with_capacity(steps.len());
+    let mut batch = Vec::with_capacity(steps.len());
+    for step in steps {
+        tracer.record_since("serve.decode.queue_wait", "serve", step.submitted, step.session);
+        // Liveness and position snapshots *before* the pass, per entry —
+        // the same observations the single-step path makes at dispatch.
+        let known = engine.has_session(step.session);
+        let before = engine.session_position(step.session);
+        routes.push((step.session, step.submitted, step.events, known, before));
+        batch.push((step.session, step.token));
+    }
+    let executed = engine
+        .execute(AttentionRequest::DecodeStepBatch { steps: batch })
+        .and_then(|r| r.into_step_batch());
+    let results = match executed {
+        Ok(list) => {
+            debug_assert!(
+                list.len() == routes.len()
+                    && list.iter().zip(&routes).all(|((sid, _), (rs, ..))| sid == rs),
+                "fused results align with the run, in order"
+            );
+            list.into_iter().map(|(_, result)| result).collect::<Vec<_>>()
+        }
+        // The batch itself was rejected (an engine without decode, a
+        // malformed request): every member step failed identically.
+        Err(e) => routes.iter().map(|_| Err(e.clone())).collect(),
+    };
+    drop(tick_span);
+    for ((session, submitted, events, known, before), result) in routes.into_iter().zip(results) {
+        let ok = result.is_ok();
+        // Same settlement order as the single-step path: retirement and
+        // load release strictly precede the event sends.
+        let poisoned = known && !engine.has_session(session);
+        if poisoned {
+            registry.retire(session);
+        }
+        load.fetch_sub(1, Ordering::Relaxed);
+        if let Ok(step) = &result {
+            metrics.resident_kv_byte_steps.add(step.telemetry.resident_kv_bytes.unwrap_or(0));
+        }
+        let result = result
+            .map(|step| DecodeStep { position: step.position, heads: step.heads, worker: index })
+            .map_err(ServeError::from);
+        let _reply_span = tracer.span_with("serve.reply", "serve", session);
+        let _ = events.send(SessionEvent::Step {
+            session,
+            result,
+            latency_s: submitted.elapsed().as_secs_f64(),
+        });
+        if poisoned {
+            let _ = events.send(SessionEvent::Closed { session, position: before });
+        }
+        if done.send(Completed::Step { ok, submitted, finished: Instant::now() }).is_err() {
+            return false;
+        }
+    }
+    true
 }
 
 /// Executes one job on the worker's engine and routes its outcome.
 /// Returns `false` once the collector is gone.
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     index: usize,
     engine: &mut LoweredEngine,
@@ -215,6 +489,7 @@ fn run_job(
     done: &Sender<Completed>,
     load: &AtomicUsize,
     registry: &SessionRegistry,
+    metrics: &DecodeMetrics,
 ) -> bool {
     let Job { request, reply } = job;
     let tracer = salo_trace::Tracer::global();
@@ -290,6 +565,9 @@ fn run_job(
                 registry.retire(session);
             }
             load.fetch_sub(1, Ordering::Relaxed);
+            if let Ok(step) = &result {
+                metrics.resident_kv_byte_steps.add(step.telemetry.resident_kv_bytes.unwrap_or(0));
+            }
             let result = result
                 .map(|step| DecodeStep {
                     position: step.position,

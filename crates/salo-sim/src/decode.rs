@@ -1,5 +1,5 @@
 //! Streaming decode: per-step hybrid-sparse attention against persistent
-//! quantized K/V state.
+//! quantized K/V state, held in fixed-size pages.
 //!
 //! Autoregressive generation produces one query position per step, each
 //! attending a growing history through the same window+global structure
@@ -7,8 +7,8 @@
 //! re-executing) the full plan per token would be quadratic in the
 //! generation length; instead this module compiles the prefill's
 //! [`LoweredPlan`] **once** into a step-indexed program and executes one
-//! position per call against arenas that persist across the whole
-//! generation:
+//! position per call against paged K/V state that persists across the
+//! whole generation:
 //!
 //! * [`DecodePlan::lower`] re-buckets the lowered op list by destination
 //!   row, preserving the prefill's per-row op order — window-row softmax
@@ -17,18 +17,32 @@
 //!   performs the *same fixed-point operations in the same order* as the
 //!   full prefill does for that row, which is what makes decode
 //!   bit-identical to the causal-prefill oracle (outputs, `weights_q16`
-//!   and saturation counts — asserted by `tests/decode.rs`).
-//! * [`DecodeState`] owns the session: quantized K/V arenas that grow by
-//!   one row per token, the stored query rows of global tokens, and the
-//!   *running global-duty partials* — each global token's output row,
-//!   advanced incrementally as its pending ops' keys enter the history.
-//!   By the end of a full generation the global rows have executed
-//!   exactly the prefill's global-duty ops in the prefill's order, so
-//!   they too are bit-identical to prefill rows.
+//!   and saturation counts — asserted by `tests/decode.rs`). Lowering
+//!   also precomputes the **live horizon** of every step — the smallest
+//!   non-global key any current-or-future op can still read — which is
+//!   what drives page reclamation.
+//! * [`KvPagePool`] owns the physical pages: fixed-size K/V blocks of
+//!   `page_rows` token rows each, recycled through a freelist and shared
+//!   by every session of one owner (a serving worker, a bench harness).
+//!   The pool can be capacity-bounded; exhaustion fails the requesting
+//!   step *cleanly* (no poisoning — the token was not ingested).
+//! * [`DecodeState`] owns the session: a page table mapping sequence
+//!   positions to pool pages (position `t` lives at slot `t % page_rows`
+//!   of page `t / page_rows`), the stored query rows of global tokens,
+//!   and the *running global-duty partials*. After every advance the
+//!   session reclaims pages no future step can reference — under
+//!   window+dilation patterns resident memory is O(active window), not
+//!   O(history). Pages holding global tokens are pinned for the session's
+//!   lifetime (global K/V rows are re-read by every future step).
 //! * [`SpatialAccelerator::execute_step`] runs one token: quantize and
-//!   append K/V, execute the step's ops through the stage 1–5 fixed-point
-//!   kernels (reusing the caller's [`ExecScratch`] buffers), advance the
-//!   global-duty partials, and return the new position's output row.
+//!   append K/V into the current page, execute the step's ops through the
+//!   stage 1–5 fixed-point kernels (reusing the caller's [`ExecScratch`]
+//!   buffers), advance the global-duty partials, reclaim dead pages, and
+//!   return the new position's output row.
+//!   [`SpatialAccelerator::execute_steps`] is the fused multi-session
+//!   form: one step from each of many ready sessions sharing a plan,
+//!   executed back to back over one scratch — bit-identical to stepping
+//!   the sessions individually.
 //!
 //! The plan must come from a **causally clipped** pattern
 //! ([`HybridPattern::causal`](salo_patterns::HybridPattern::causal) /
@@ -39,8 +53,13 @@
 use salo_fixed::{ExpLut, Fix16x8, Fix8x4, MacSaturation, PartialRow, RecipUnit};
 use salo_scheduler::ExecutionPlan;
 
-use crate::exec::{run_op, ExecScratch};
+use crate::exec::{run_op, ExecScratch, KvSource};
 use crate::{LoweredOp, LoweredOpKind, LoweredPlan, SimError, SpatialAccelerator};
+
+/// Default rows per K/V page when the owner does not configure one.
+/// Small enough that a narrow active window (w + globals) stays a handful
+/// of pages; large enough that page-table overhead is noise.
+pub const DEFAULT_PAGE_ROWS: usize = 16;
 
 /// One global token's incremental row program: the prefill's ops for that
 /// destination, in prefill order, plus the gating key that tells the
@@ -56,6 +75,11 @@ struct GlobalRowProgram {
     /// becomes runnable once the history covers both this key and the
     /// token's own query row.
     max_keys: Vec<u32>,
+    /// Suffix minima over the ops' smallest **non-global** keys
+    /// (`len = ops + 1`, `u32::MAX` terminated): `pending_suffix_min[c]`
+    /// is the earliest history row any op from cursor `c` onward still
+    /// needs. Pending global-row duties hold pages live through this.
+    pending_suffix_min: Vec<u32>,
 }
 
 /// A [`LoweredPlan`] compiled for token-by-token execution.
@@ -78,6 +102,11 @@ pub struct DecodePlan {
     step_ranges: Vec<(u32, u32)>,
     global_rows: Vec<GlobalRowProgram>,
     max_row_keys: usize,
+    /// Suffix minima over the steps' smallest non-global keys
+    /// (`len = n + 1`, `u32::MAX` terminated): `step_suffix_min[t]` is
+    /// the earliest history row any step `>= t` reads. Together with the
+    /// global rows' pending minima this is the exact reclamation horizon.
+    step_suffix_min: Vec<u32>,
     /// Structural fingerprint of the whole program — the stale-state
     /// guard that ties a [`DecodeState`] to the plan it was reset for.
     fingerprint: u64,
@@ -147,7 +176,46 @@ impl DecodePlan {
                 .iter()
                 .map(|op| lowered.op_keys(op).iter().copied().max().unwrap_or(0))
                 .collect();
-            global_rows.push(GlobalRowProgram { token: globals[gi], start, end, max_keys });
+            global_rows.push(GlobalRowProgram {
+                token: globals[gi],
+                start,
+                end,
+                max_keys,
+                pending_suffix_min: Vec::new(),
+            });
+        }
+
+        // Precompute the reclamation horizon: suffix minima over the
+        // smallest *non-global* key each step (and each pending
+        // global-row op) reads. Global keys are excluded — their pages
+        // are pinned outright, so they must not drag the horizon to the
+        // sequence start.
+        let min_nonglobal_key = |op: &LoweredOp, keys: &[u32]| {
+            keys[op.key_start as usize..(op.key_start + op.key_len) as usize]
+                .iter()
+                .copied()
+                .filter(|k| globals.binary_search(k).is_err())
+                .min()
+                .unwrap_or(u32::MAX)
+        };
+        let mut step_suffix_min = vec![u32::MAX; n + 1];
+        for t in (0..n).rev() {
+            let (s, e) = step_ranges[t];
+            let own = ops[s as usize..e as usize]
+                .iter()
+                .map(|op| min_nonglobal_key(op, &keys))
+                .min()
+                .unwrap_or(u32::MAX);
+            step_suffix_min[t] = own.min(step_suffix_min[t + 1]);
+        }
+        for program in &mut global_rows {
+            let count = (program.end - program.start) as usize;
+            let mut suffix = vec![u32::MAX; count + 1];
+            for i in (0..count).rev() {
+                let op = &ops[program.start as usize + i];
+                suffix[i] = min_nonglobal_key(op, &keys).min(suffix[i + 1]);
+            }
+            program.pending_suffix_min = suffix;
         }
 
         // Hash the complete program: two plans that differ anywhere in
@@ -185,6 +253,7 @@ impl DecodePlan {
             step_ranges,
             global_rows,
             max_row_keys: lowered.max_row_keys(),
+            step_suffix_min,
             fingerprint,
         })
     }
@@ -243,14 +312,209 @@ impl DecodePlan {
     pub fn total_step_keys(&self) -> u64 {
         self.ops.iter().map(|op| u64::from(op.key_len)).sum()
     }
+
+    /// The earliest non-global history row any step at position `>= len`
+    /// (or any still-pending global-row op, per `global_cursor`) can
+    /// read. Rows strictly below the horizon are only reachable through
+    /// global pinning, so their pages are reclaimable.
+    fn live_horizon(&self, len: usize, global_cursor: &[usize]) -> usize {
+        let mut h = self.step_suffix_min[len.min(self.n)];
+        for (program, &cursor) in self.global_rows.iter().zip(global_cursor) {
+            h = h.min(program.pending_suffix_min[cursor]);
+        }
+        h as usize
+    }
+
+    /// Whether any global token lies in the row range `[start, end)`.
+    fn pins_range(&self, start: u32, end: u32) -> bool {
+        let i = self.globals.partition_point(|&g| g < start);
+        self.globals.get(i).is_some_and(|&g| g < end)
+    }
+}
+
+/// One fixed-size block of quantized K/V rows — `page_rows` token rows of
+/// `d` elements each, for both K and V.
+///
+/// Pages are owned by sessions (through [`DecodeState`]'s page table)
+/// while live and by the [`KvPagePool`]'s freelist while free; their
+/// buffers keep their capacity across recycling, so steady-state
+/// allocation traffic is zero.
+#[derive(Debug, Clone, Default)]
+pub struct KvPage {
+    k: Vec<Fix8x4>,
+    v: Vec<Fix8x4>,
+}
+
+/// Counters of one [`KvPagePool`], for gauges and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvPoolStats {
+    /// Rows per page.
+    pub page_rows: usize,
+    /// Pages currently held by sessions.
+    pub in_use: usize,
+    /// Peak of `in_use` over the pool's lifetime.
+    pub high_water: usize,
+    /// Pages returned by the horizon reclaimer (resets and closes do not
+    /// count — only pages proven dead mid-session).
+    pub reclaimed: u64,
+    /// Allocation attempts refused at capacity.
+    pub exhausted: u64,
+}
+
+/// The shared physical-page allocator of one decode owner (a serving
+/// worker's engine, a bench harness): a freelist of recycled [`KvPage`]s
+/// plus occupancy accounting, optionally capacity-bounded.
+///
+/// Not thread-safe by design — each owner (one worker thread) has its
+/// own pool, exactly like `ExecScratch`, so the hot path takes no locks.
+#[derive(Debug, Clone)]
+pub struct KvPagePool {
+    page_rows: usize,
+    capacity: usize,
+    free: Vec<KvPage>,
+    in_use: usize,
+    high_water: usize,
+    reclaimed: u64,
+    exhausted: u64,
+}
+
+impl Default for KvPagePool {
+    fn default() -> Self {
+        Self::new(DEFAULT_PAGE_ROWS)
+    }
+}
+
+impl KvPagePool {
+    /// An unbounded pool handing out pages of `page_rows` rows.
+    #[must_use]
+    pub fn new(page_rows: usize) -> Self {
+        Self::bounded(page_rows, usize::MAX)
+    }
+
+    /// A pool that refuses allocations once `capacity` pages are in use.
+    #[must_use]
+    pub fn bounded(page_rows: usize, capacity: usize) -> Self {
+        Self {
+            page_rows: page_rows.max(1),
+            capacity,
+            free: Vec::new(),
+            in_use: 0,
+            high_water: 0,
+            reclaimed: 0,
+            exhausted: 0,
+        }
+    }
+
+    /// Rows per page.
+    #[must_use]
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// Pages currently held by sessions.
+    #[must_use]
+    pub fn pages_in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Snapshot of the pool's counters.
+    #[must_use]
+    pub fn stats(&self) -> KvPoolStats {
+        KvPoolStats {
+            page_rows: self.page_rows,
+            in_use: self.in_use,
+            high_water: self.high_water,
+            reclaimed: self.reclaimed,
+            exhausted: self.exhausted,
+        }
+    }
+
+    /// Hands out one page sized for head dimension `d`, recycling a freed
+    /// page when one is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PagePoolExhausted`] when `capacity` pages are
+    /// already in use.
+    pub fn allocate(&mut self, d: usize) -> Result<KvPage, SimError> {
+        if self.in_use >= self.capacity {
+            self.exhausted += 1;
+            return Err(SimError::PagePoolExhausted {
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        let mut page = self.free.pop().unwrap_or_default();
+        let cells = self.page_rows * d;
+        page.k.clear();
+        page.k.resize(cells, Fix8x4::ZERO);
+        page.v.clear();
+        page.v.resize(cells, Fix8x4::ZERO);
+        self.in_use += 1;
+        self.high_water = self.high_water.max(self.in_use);
+        Ok(page)
+    }
+
+    /// Returns a page to the freelist (session reset, close, teardown).
+    pub fn release(&mut self, page: KvPage) {
+        self.in_use = self.in_use.saturating_sub(1);
+        self.free.push(page);
+    }
+
+    /// [`release`](Self::release), counted as a mid-session horizon
+    /// reclaim.
+    fn reclaim(&mut self, page: KvPage) {
+        self.reclaimed += 1;
+        self.release(page);
+    }
+}
+
+/// Page-translated K/V access — the decode-side
+/// [`KvSource`](crate::exec::KvSource): row `j` lives at slot
+/// `j % page_rows` of page `j / page_rows`.
+struct PagedKv<'a> {
+    pages: &'a [Option<KvPage>],
+    page_rows: usize,
+}
+
+impl<'a> PagedKv<'a> {
+    fn new(pages: &'a [Option<KvPage>], page_rows: usize) -> Self {
+        Self { pages, page_rows }
+    }
+
+    #[inline]
+    fn page(&self, j: usize) -> (&'a KvPage, usize) {
+        let page = self.pages[j / self.page_rows]
+            .as_ref()
+            .expect("plan references a reclaimed K/V row: horizon invariant violated");
+        (page, j % self.page_rows)
+    }
+}
+
+impl KvSource for PagedKv<'_> {
+    #[inline]
+    fn k_row(&self, j: usize, d: usize) -> &[Fix8x4] {
+        let (page, slot) = self.page(j);
+        &page.k[slot * d..(slot + 1) * d]
+    }
+
+    #[inline]
+    fn v_row(&self, j: usize, d: usize) -> &[Fix8x4] {
+        let (page, slot) = self.page(j);
+        &page.v[slot * d..(slot + 1) * d]
+    }
 }
 
 /// The persistent state of one decode session (one head).
 ///
-/// Owns the quantized K/V arenas (one appended row per token), the stored
-/// query rows of global tokens, and the running global-duty partials.
-/// Reusable across sessions of different shapes via [`reset`](Self::reset)
-/// — reuse is bit-transparent, like `ExecScratch`.
+/// Owns the session's page table (quantized K/V, one appended row per
+/// token, pages drawn from a shared [`KvPagePool`]), the stored query
+/// rows of global tokens, and the running global-duty partials. Reusable
+/// across sessions of different shapes via [`reset`](Self::reset) —
+/// reuse is bit-transparent, like `ExecScratch`. Every teardown path must
+/// hand the pages back ([`reset`](Self::reset) or
+/// [`release`](Self::release)); dropping the state instead merely leaks
+/// them from the pool's accounting.
 #[derive(Debug, Clone)]
 pub struct DecodeState {
     /// Head dimension.
@@ -262,10 +526,17 @@ pub struct DecodeState {
     plan_fp: u64,
     /// Tokens ingested so far; the next token lands at this position.
     len: usize,
-    /// Quantized keys, `len * d` row-major.
-    kq: Vec<Fix8x4>,
-    /// Quantized values, `len * d` row-major.
-    vq: Vec<Fix8x4>,
+    /// Rows per page, latched from the pool at the session's first
+    /// append (the whole session must use one pool).
+    page_rows: usize,
+    /// Page table: position `t` lives in `pages[t / page_rows]`; `None`
+    /// marks a reclaimed page.
+    pages: Vec<Option<KvPage>>,
+    /// Live entries in `pages`.
+    resident: usize,
+    /// Pages below this index have been through the reclaimer (freed or
+    /// pinned); the horizon is monotone, so they are never revisited.
+    reclaim_floor: usize,
     /// The current token's quantized, scale-folded query row.
     q_step: Vec<Fix8x4>,
     /// Stored query rows of global tokens (filled when each is ingested).
@@ -286,6 +557,9 @@ pub struct DecodeState {
 
 impl DecodeState {
     /// Creates an empty session state for `plan` with head dimension `d`.
+    /// Pages are drawn lazily from the pool passed to
+    /// [`prime_token`](SpatialAccelerator::prime_token) /
+    /// [`execute_step`](SpatialAccelerator::execute_step).
     #[must_use]
     pub fn new(plan: &DecodePlan, d: usize) -> Self {
         let mut state = Self {
@@ -293,8 +567,10 @@ impl DecodeState {
             n: 0,
             plan_fp: 0,
             len: 0,
-            kq: Vec::new(),
-            vq: Vec::new(),
+            page_rows: DEFAULT_PAGE_ROWS,
+            pages: Vec::new(),
+            resident: 0,
+            reclaim_floor: 0,
             q_step: Vec::new(),
             global_q: Vec::new(),
             global_acc: Vec::new(),
@@ -303,23 +579,42 @@ impl DecodeState {
             sat: MacSaturation::default(),
             poisoned: false,
         };
-        state.reset(plan, d);
+        state.rebind(plan, d);
         state
     }
 
     /// Rebinds the state to a (possibly different) plan and head
-    /// dimension, clearing every arena but keeping their capacity — the
-    /// worker-pool form of session switching. A reset state is
-    /// indistinguishable from a fresh one.
-    pub fn reset(&mut self, plan: &DecodePlan, d: usize) {
+    /// dimension, returning every held page to `pool` first — the
+    /// worker-pool form of session switching, and the recovery path from
+    /// poisoning. A reset state is indistinguishable from a fresh one,
+    /// and its pages are immediately reusable by other sessions on the
+    /// same pool.
+    pub fn reset(&mut self, plan: &DecodePlan, d: usize, pool: &mut KvPagePool) {
+        self.release(pool);
+        self.rebind(plan, d);
+    }
+
+    /// Returns every held page to `pool` and empties the page table — the
+    /// teardown half of [`reset`](Self::reset), for session close paths
+    /// that drop the state afterwards. The state must not execute again
+    /// until reset.
+    pub fn release(&mut self, pool: &mut KvPagePool) {
+        for page in self.pages.drain(..).flatten() {
+            pool.release(page);
+        }
+        self.resident = 0;
+        self.reclaim_floor = 0;
+    }
+
+    /// The non-page half of a reset.
+    fn rebind(&mut self, plan: &DecodePlan, d: usize) {
+        debug_assert!(self.pages.is_empty(), "rebind without releasing pages");
         self.d = d;
         self.n = plan.n();
         self.plan_fp = plan.fingerprint();
         self.len = 0;
-        self.kq.clear();
-        self.vq.clear();
-        self.kq.reserve(plan.n() * d);
-        self.vq.reserve(plan.n() * d);
+        self.resident = 0;
+        self.reclaim_floor = 0;
         self.q_step.clear();
         self.global_q.clear();
         self.global_q.resize(plan.globals.len(), Vec::new());
@@ -342,6 +637,19 @@ impl DecodeState {
     #[must_use]
     pub fn head_dim(&self) -> usize {
         self.d
+    }
+
+    /// Pages this session currently holds.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.resident
+    }
+
+    /// Bytes of quantized K/V this session currently pins (resident
+    /// pages × rows per page × 2 arenas × `d` quantized elements).
+    #[must_use]
+    pub fn resident_kv_bytes(&self) -> u64 {
+        (self.resident * self.page_rows * self.d * 2 * std::mem::size_of::<Fix8x4>()) as u64
     }
 
     /// Cumulative MAC saturation events over the session (prompt, steps
@@ -403,11 +711,26 @@ pub struct StepOutput {
     pub saturation_events: u64,
 }
 
+/// One session's pending step inside a fused
+/// [`execute_steps`](SpatialAccelerator::execute_steps) batch.
+pub struct BatchStep<'a> {
+    /// The session's persistent state.
+    pub state: &'a mut DecodeState,
+    /// The new position's query row.
+    pub q_t: &'a [f32],
+    /// The new position's key row.
+    pub k_t: &'a [f32],
+    /// The new position's value row.
+    pub v_t: &'a [f32],
+    /// Attention scale, folded into the query quantization.
+    pub scale: f32,
+}
+
 impl SpatialAccelerator {
     /// Ingests one prompt token without computing an output row: K/V are
-    /// quantized and appended, global query rows are captured, and any
-    /// global-duty ops whose inputs are now complete run. Returns the MAC
-    /// saturation events the token caused.
+    /// quantized into the session's current page, global query rows are
+    /// captured, and any global-duty ops whose inputs are now complete
+    /// run. Returns the MAC saturation events the token caused.
     ///
     /// The session's first `DecodePlan::min_step` tokens must arrive this
     /// way (they include every global token); longer prompts are allowed
@@ -417,9 +740,11 @@ impl SpatialAccelerator {
     /// # Errors
     ///
     /// Returns [`SimError::DecodeCapacity`] past the plan's capacity,
-    /// [`SimError::TokenDim`] on a row-length mismatch, or
+    /// [`SimError::TokenDim`] on a row-length mismatch,
     /// [`SimError::StaleDecodeState`] if `state` was initialized for a
-    /// different plan.
+    /// different plan, or [`SimError::PagePoolExhausted`] when a new page
+    /// is needed and the pool is at capacity (the state stays clean — the
+    /// token was not ingested).
     #[allow(clippy::too_many_arguments)] // mirrors execute_lowered's surface
     pub fn prime_token(
         &self,
@@ -429,10 +754,11 @@ impl SpatialAccelerator {
         k_t: &[f32],
         v_t: &[f32],
         scale: f32,
+        pool: &mut KvPagePool,
         scratch: &mut ExecScratch,
     ) -> Result<u64, SimError> {
         let before = state.sat.events;
-        self.advance(plan, state, q_t, k_t, v_t, scale, scratch, false)?;
+        self.advance(plan, state, q_t, k_t, v_t, scale, pool, scratch, false)?;
         Ok(state.sat.events - before)
     }
 
@@ -440,7 +766,7 @@ impl SpatialAccelerator {
     /// and returns that position's output row, computed through the exact
     /// prefill datapath (stages 1–5 per op, weighted-sum merges in
     /// prefill order). Bit-identical to the corresponding causal-prefill
-    /// row.
+    /// row — at every page size.
     ///
     /// # Errors
     ///
@@ -456,6 +782,7 @@ impl SpatialAccelerator {
         k_t: &[f32],
         v_t: &[f32],
         scale: f32,
+        pool: &mut KvPagePool,
         scratch: &mut ExecScratch,
     ) -> Result<StepOutput, SimError> {
         let _span = salo_trace::Tracer::global().span_with(
@@ -463,8 +790,40 @@ impl SpatialAccelerator {
             "sim",
             state.position() as u64,
         );
-        self.advance(plan, state, q_t, k_t, v_t, scale, scratch, true)
+        self.advance(plan, state, q_t, k_t, v_t, scale, pool, scratch, true)
             .map(|out| out.expect("compute=true always yields a step output"))
+    }
+
+    /// Executes one pending step from each of many sessions sharing one
+    /// plan as a single fused pass — the iteration-level batched kernel
+    /// of the serving tick. The gathered steps run back to back over one
+    /// [`ExecScratch`] and one pool, so per-dispatch overhead is paid
+    /// once for the whole batch.
+    ///
+    /// Results are per entry — the sessions are independent, so one
+    /// failing (and poisoning itself) never affects its neighbours — and
+    /// every entry is **bit-identical** to calling
+    /// [`execute_step`](Self::execute_step) on that session alone: the
+    /// fused pass performs the same fixed-point operations in the same
+    /// per-session order through the same scratch-transparent kernels.
+    pub fn execute_steps(
+        &self,
+        plan: &DecodePlan,
+        batch: &mut [BatchStep<'_>],
+        pool: &mut KvPagePool,
+        scratch: &mut ExecScratch,
+    ) -> Vec<Result<StepOutput, SimError>> {
+        let _span =
+            salo_trace::Tracer::global().span_with("sim.execute_steps", "sim", batch.len() as u64);
+        batch
+            .iter_mut()
+            .map(|step| {
+                self.advance(
+                    plan, step.state, step.q_t, step.k_t, step.v_t, step.scale, pool, scratch, true,
+                )
+                .map(|out| out.expect("compute=true always yields a step output"))
+            })
+            .collect()
     }
 
     /// The shared ingest path of [`prime_token`](Self::prime_token) and
@@ -478,6 +837,7 @@ impl SpatialAccelerator {
         k_t: &[f32],
         v_t: &[f32],
         scale: f32,
+        pool: &mut KvPagePool,
         scratch: &mut ExecScratch,
         compute: bool,
     ) -> Result<Option<StepOutput>, SimError> {
@@ -500,6 +860,19 @@ impl SpatialAccelerator {
         if compute && t < plan.min_step() {
             return Err(SimError::DecodeNotPrimed { position: t, min_step: plan.min_step() });
         }
+        // Open the token's page before touching the state: an exhausted
+        // pool fails *cleanly* (nothing ingested, nothing poisoned), so
+        // the step can be retried once other sessions free pages.
+        if t == 0 {
+            state.page_rows = pool.page_rows();
+        }
+        debug_assert_eq!(state.page_rows, pool.page_rows(), "session moved between pools");
+        if t.is_multiple_of(state.page_rows) {
+            debug_assert_eq!(state.pages.len(), t / state.page_rows);
+            let page = pool.allocate(d)?;
+            state.pages.push(Some(page));
+            state.resident += 1;
+        }
 
         // Ingest: quantization element-identical to the prefill load
         // (scale folded into Q). From here on the token is part of the
@@ -508,8 +881,14 @@ impl SpatialAccelerator {
         // duties), so it poisons the session until a reset.
         state.q_step.clear();
         state.q_step.extend(q_t.iter().map(|&x| Fix8x4::from_f32(x * scale)));
-        state.kq.extend(k_t.iter().map(|&x| Fix8x4::from_f32(x)));
-        state.vq.extend(v_t.iter().map(|&x| Fix8x4::from_f32(x)));
+        let slot = t % state.page_rows;
+        let page = state.pages[t / state.page_rows].as_mut().expect("append page is resident");
+        for (dst, &x) in page.k[slot * d..(slot + 1) * d].iter_mut().zip(k_t) {
+            *dst = Fix8x4::from_f32(x);
+        }
+        for (dst, &x) in page.v[slot * d..(slot + 1) * d].iter_mut().zip(v_t) {
+            *dst = Fix8x4::from_f32(x);
+        }
         if let Ok(gi) = plan.globals.binary_search(&(t as u32)) {
             state.global_q[gi] = state.q_step.clone();
         }
@@ -518,6 +897,8 @@ impl SpatialAccelerator {
         let result = self.run_token(plan, state, scratch, compute, t);
         if result.is_err() {
             state.poisoned = true;
+        } else {
+            reclaim_dead_pages(plan, state, pool);
         }
         result
     }
@@ -549,15 +930,15 @@ impl SpatialAccelerator {
                 state.acc.out_q19.clear();
                 state.acc.out_q19.resize(d, 0);
             }
-            let DecodeState { kq, vq, q_step, acc, .. } = &mut *state;
+            let DecodeState { pages, page_rows, q_step, acc, .. } = &mut *state;
+            let kv = PagedKv::new(pages, *page_rows);
             run_decode_ops(
                 exp,
                 recip,
                 plan,
                 plan.step_ops(t),
                 q_step,
-                kq,
-                vq,
+                &kv,
                 d,
                 scratch,
                 acc,
@@ -585,15 +966,15 @@ impl SpatialAccelerator {
                 if cursor >= ops.len() || program.max_keys[cursor] as usize > t {
                     break;
                 }
-                let DecodeState { kq, vq, global_q, global_acc, .. } = &mut *state;
+                let DecodeState { pages, page_rows, global_q, global_acc, .. } = &mut *state;
+                let kv = PagedKv::new(pages, *page_rows);
                 run_decode_ops(
                     exp,
                     recip,
                     plan,
                     &ops[cursor..=cursor],
                     &global_q[gi],
-                    kq,
-                    vq,
+                    &kv,
                     d,
                     scratch,
                     &mut global_acc[gi],
@@ -614,10 +995,41 @@ impl SpatialAccelerator {
     }
 }
 
+/// Returns every fully-written, globally-unpinned page below the plan's
+/// live horizon to the pool. The horizon (and the history length) is
+/// monotone over a session, so `reclaim_floor` lets each page be
+/// examined exactly once — O(1) amortized per step.
+fn reclaim_dead_pages(plan: &DecodePlan, state: &mut DecodeState, pool: &mut KvPagePool) {
+    let horizon = plan.live_horizon(state.len, &state.global_cursor);
+    // Only fully-written pages are candidates: the page holding the next
+    // append must stay, whatever the horizon says.
+    let limit_pages = (horizon.min(state.len) / state.page_rows).min(state.pages.len());
+    if limit_pages <= state.reclaim_floor {
+        return;
+    }
+    let _span = salo_trace::Tracer::global().span_with(
+        "sim.kv.reclaim",
+        "sim",
+        (limit_pages - state.reclaim_floor) as u64,
+    );
+    for p in state.reclaim_floor..limit_pages {
+        let rows = state.page_rows as u32;
+        if plan.pins_range(p as u32 * rows, (p as u32 + 1) * rows) {
+            continue; // a global token lives here: pinned for the session
+        }
+        if let Some(page) = state.pages[p].take() {
+            pool.reclaim(page);
+            state.resident -= 1;
+        }
+    }
+    state.reclaim_floor = limit_pages;
+}
+
 /// Stages 1–5 for a slice of decode ops, merged into `acc` in op order —
-/// literally the prefill's per-op executor ([`run_op`]), fed K/V from the
-/// session arenas instead of a full-sequence load, so decode-vs-prefill
-/// bit-identity holds by construction (one shared kernel body).
+/// literally the prefill's per-op executor ([`run_op`]), fed K/V through
+/// the session's page table instead of a full-sequence load, so
+/// decode-vs-prefill bit-identity holds by construction (one shared
+/// kernel body).
 #[allow(clippy::too_many_arguments)]
 fn run_decode_ops(
     exp: &ExpLut,
@@ -625,15 +1037,14 @@ fn run_decode_ops(
     plan: &DecodePlan,
     ops: &[LoweredOp],
     q_row: &[Fix8x4],
-    kq: &[Fix8x4],
-    vq: &[Fix8x4],
+    kv: &PagedKv<'_>,
     d: usize,
     scratch: &mut ExecScratch,
     acc: &mut PartialRow,
     sat: &mut MacSaturation,
 ) -> Result<(), SimError> {
     for op in ops {
-        run_op(exp, recip, op.kind, plan.op_keys(op), q_row, kq, vq, d, &mut scratch.op, acc, sat)?;
+        run_op(exp, recip, op.kind, plan.op_keys(op), q_row, kv, d, &mut scratch.op, acc, sat)?;
     }
     Ok(())
 }
@@ -661,14 +1072,16 @@ mod tests {
         (plan, decode)
     }
 
-    /// Drives a complete session over `qkv`, comparing every decoded row
-    /// against the prefill output, and returns the session state.
-    fn decode_all(
+    /// Drives a complete session over `qkv` with pages of `page_rows`
+    /// rows, comparing every decoded row against the prefill output, and
+    /// returns the session state with its pool.
+    fn decode_all_paged(
         sim: &SpatialAccelerator,
         pattern: &HybridPattern,
         qkv: &Qkv,
         d: usize,
-    ) -> DecodeState {
+        page_rows: usize,
+    ) -> (DecodeState, KvPagePool) {
         let (plan, decode) = compile(pattern, sim);
         let lowered = LoweredPlan::lower(&plan);
         let scale = SpatialAccelerator::default_scale(d);
@@ -676,18 +1089,22 @@ mod tests {
             .execute_lowered(&lowered, &qkv.q, &qkv.k, &qkv.v, scale, &mut ExecScratch::new())
             .unwrap();
 
+        let mut pool = KvPagePool::new(page_rows);
         let mut state = DecodeState::new(&decode, d);
         let mut scratch = ExecScratch::new();
         for t in 0..pattern.n() {
             let (q, k, v) = (qkv.q.row(t), qkv.k.row(t), qkv.v.row(t));
             if t < decode.min_step() {
-                sim.prime_token(&decode, &mut state, q, k, v, scale, &mut scratch).unwrap();
+                sim.prime_token(&decode, &mut state, q, k, v, scale, &mut pool, &mut scratch)
+                    .unwrap();
                 continue;
             }
-            let step = sim.execute_step(&decode, &mut state, q, k, v, scale, &mut scratch).unwrap();
+            let step = sim
+                .execute_step(&decode, &mut state, q, k, v, scale, &mut pool, &mut scratch)
+                .unwrap();
             assert_eq!(step.position, t);
             let prefill_row: Vec<_> = (0..d).map(|c| prefill.raw.get(t, c)).collect();
-            assert_eq!(step.raw, prefill_row, "row {t} raw outputs");
+            assert_eq!(step.raw, prefill_row, "row {t} raw outputs (page_rows={page_rows})");
             assert_eq!(step.weight_q16, prefill.weights_q16[t], "row {t} weight");
         }
         // Global rows have fully caught up and match the prefill bit for
@@ -700,7 +1117,19 @@ mod tests {
             assert_eq!(weight, prefill.weights_q16[g as usize]);
         }
         assert_eq!(state.saturation_events(), prefill.report.saturation_events);
-        state
+        assert_eq!(pool.pages_in_use(), state.resident_pages(), "pool and state accounting agree");
+        (state, pool)
+    }
+
+    /// Single-page sessions (page covers the whole sequence) are the
+    /// contiguous-arena baseline every smaller page size is compared to.
+    fn decode_all(
+        sim: &SpatialAccelerator,
+        pattern: &HybridPattern,
+        qkv: &Qkv,
+        d: usize,
+    ) -> (DecodeState, KvPagePool) {
+        decode_all_paged(sim, pattern, qkv, d, pattern.n())
     }
 
     #[test]
@@ -720,6 +1149,65 @@ mod tests {
     }
 
     #[test]
+    fn paged_sessions_decode_bit_identically_across_page_sizes() {
+        // The page-translation edge cases: a page size of 1 (every step
+        // crosses a page boundary), sizes where the window straddles
+        // boundaries mid-page, and a size larger than the sequence
+        // (degenerate single page). All must match the prefill oracle —
+        // decode_all_paged asserts every row — and small pages must
+        // actually reclaim.
+        let pattern = HybridPattern::builder(40)
+            .window(Window::symmetric(9).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap()
+            .decode_view()
+            .unwrap()
+            .causal_pattern()
+            .clone();
+        let sim = accel(8, 8);
+        let qkv = Qkv::random(40, 8, 7);
+        for page_rows in [1, 3, 8, 64] {
+            let (state, pool) = decode_all_paged(&sim, &pattern, &qkv, 8, page_rows);
+            let stats = pool.stats();
+            if page_rows <= 8 {
+                assert!(stats.reclaimed > 0, "page_rows={page_rows} reclaimed nothing");
+                // Residency is O(active window + pinned globals), not
+                // O(history): window radius 9 spans at most
+                // ceil(10/R) + 1 live pages, plus the pinned sink page
+                // and the write head.
+                let bound = 10_usize.div_ceil(page_rows) + 3;
+                assert!(
+                    state.resident_pages() <= bound,
+                    "page_rows={page_rows}: {} resident pages > bound {bound}",
+                    state.resident_pages()
+                );
+            } else {
+                assert_eq!(stats.reclaimed, 0, "one-page session has nothing to reclaim");
+            }
+            assert_eq!(stats.exhausted, 0);
+        }
+    }
+
+    #[test]
+    fn step_on_page_boundary_is_bit_identical() {
+        // Capacity an exact multiple of the page size: the last step of
+        // every page and the first step of the next both translate
+        // correctly (decode_all_paged asserts each row against prefill).
+        let pattern = HybridPattern::builder(32)
+            .window(Window::causal(7).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        let sim = accel(8, 8);
+        let qkv = Qkv::random(32, 8, 13);
+        for page_rows in [4, 8, 16] {
+            assert_eq!(32 % page_rows, 0, "test wants exact page multiples");
+            decode_all_paged(&sim, &pattern, &qkv, 8, page_rows);
+        }
+    }
+
+    #[test]
     fn dilated_pattern_decodes_bit_identically() {
         let pattern = HybridPattern::builder(36)
             .window(Window::dilated(-9, 9, 3).unwrap())
@@ -735,6 +1223,32 @@ mod tests {
         let sim = accel(4, 4);
         let qkv = Qkv::random(36, 4, 23);
         decode_all(&sim, &pattern, &qkv, 4);
+        // Dilation stride 3 with pages of 2 rows: an op's key list skips
+        // whole pages between touched ones; translation must still land
+        // on the right slots (asserted row-by-row inside).
+        decode_all_paged(&sim, &pattern, &qkv, 4, 2);
+    }
+
+    #[test]
+    fn global_rows_pin_their_pages() {
+        // Globals at positions 0 and 1 pin page 0 (page_rows=2) forever;
+        // window pages behind the horizon are freed. With a long tail the
+        // session must end with the pinned page still resident and
+        // several reclaims behind it.
+        let pattern = HybridPattern::builder(48)
+            .window(Window::causal(5).unwrap())
+            .global_token(0)
+            .global_token(1)
+            .build()
+            .unwrap();
+        let sim = accel(8, 8);
+        let qkv = Qkv::random(48, 8, 31);
+        let (state, pool) = decode_all_paged(&sim, &pattern, &qkv, 8, 2);
+        let stats = pool.stats();
+        assert!(stats.reclaimed >= 10, "long tail reclaims many pages, got {}", stats.reclaimed);
+        // The pinned global page is still materialized.
+        assert!(state.resident_pages() >= 1);
+        assert!(state.resident_pages() <= 8, "residency stays O(window), not O(history)");
     }
 
     #[test]
@@ -743,6 +1257,198 @@ mod tests {
         let sim = accel(4, 4);
         let qkv = Qkv::random(20, 4, 5);
         decode_all(&sim, &pattern, &qkv, 4);
+        // With no window, *only* the global page stays live; everything
+        // else reclaims as soon as its page fills.
+        let (state, _pool) = decode_all_paged(&sim, &pattern, &qkv, 4, 2);
+        assert!(state.resident_pages() <= 2, "global-only session keeps pinned page + write head");
+    }
+
+    #[test]
+    fn reset_returns_pages_for_other_sessions() {
+        // A pool bounded to exactly one session's worth of pages: session
+        // A consumes it, reset hands the pages back, and session B can
+        // run to completion on the same pool — the regression test for
+        // reset keeping pages captive.
+        let pattern = HybridPattern::builder(16)
+            .window(Window::causal(3).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        let sim = accel(4, 4);
+        let (_, decode) = compile(&pattern, &sim);
+        let scale = SpatialAccelerator::default_scale(4);
+        let qkv = Qkv::random(16, 4, 3);
+        // page_rows=16 => a full session needs exactly one page; bound
+        // the pool to one.
+        let mut pool = KvPagePool::bounded(16, 1);
+        let mut scratch = ExecScratch::new();
+
+        let run = |state: &mut DecodeState, pool: &mut KvPagePool, scratch: &mut ExecScratch| {
+            sim.prime_token(
+                &decode,
+                state,
+                qkv.q.row(0),
+                qkv.k.row(0),
+                qkv.v.row(0),
+                scale,
+                pool,
+                scratch,
+            )
+            .unwrap();
+            for t in 1..16 {
+                sim.execute_step(
+                    &decode,
+                    state,
+                    qkv.q.row(t),
+                    qkv.k.row(t),
+                    qkv.v.row(t),
+                    scale,
+                    pool,
+                    scratch,
+                )
+                .unwrap();
+            }
+        };
+
+        let mut a = DecodeState::new(&decode, 4);
+        run(&mut a, &mut pool, &mut scratch);
+        assert_eq!(pool.pages_in_use(), 1);
+
+        // A second session cannot start while A holds the only page...
+        let mut b = DecodeState::new(&decode, 4);
+        let err = sim.prime_token(
+            &decode,
+            &mut b,
+            qkv.q.row(0),
+            qkv.k.row(0),
+            qkv.v.row(0),
+            scale,
+            &mut pool,
+            &mut scratch,
+        );
+        assert!(matches!(err, Err(SimError::PagePoolExhausted { in_use: 1, capacity: 1 })));
+        assert!(!b.is_poisoned(), "exhaustion is a clean failure");
+        assert_eq!(b.position(), 0, "nothing was ingested");
+
+        // ...but after A resets, its page is immediately reusable by B.
+        a.reset(&decode, 4, &mut pool);
+        assert_eq!(pool.pages_in_use(), 0);
+        run(&mut b, &mut pool, &mut scratch);
+        assert_eq!(pool.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn release_empties_the_page_table() {
+        let pattern = HybridPattern::builder(12)
+            .window(Window::causal(3).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        let sim = accel(4, 4);
+        let (_, decode) = compile(&pattern, &sim);
+        let scale = SpatialAccelerator::default_scale(4);
+        let mut pool = KvPagePool::new(4);
+        let mut scratch = ExecScratch::new();
+        let row = [0.5f32; 4];
+        let mut state = DecodeState::new(&decode, 4);
+        sim.prime_token(&decode, &mut state, &row, &row, &row, scale, &mut pool, &mut scratch)
+            .unwrap();
+        for _ in 1..12 {
+            sim.execute_step(&decode, &mut state, &row, &row, &row, scale, &mut pool, &mut scratch)
+                .unwrap();
+        }
+        assert!(pool.pages_in_use() > 0);
+        state.release(&mut pool);
+        assert_eq!(pool.pages_in_use(), 0);
+        assert_eq!(state.resident_pages(), 0);
+        assert_eq!(state.resident_kv_bytes(), 0);
+    }
+
+    #[test]
+    fn fused_steps_match_sequential_stepping() {
+        // Three sessions over one plan, advanced in lockstep: the fused
+        // execute_steps pass must produce exactly the bits sequential
+        // per-session execute_step calls do.
+        let pattern = HybridPattern::builder(24)
+            .window(Window::causal(5).unwrap())
+            .global_token(0)
+            .build()
+            .unwrap();
+        let sim = accel(4, 4);
+        let (_, decode) = compile(&pattern, &sim);
+        let scale = SpatialAccelerator::default_scale(4);
+        let qkvs: Vec<Qkv> = (0..3).map(|s| Qkv::random(24, 4, 40 + s)).collect();
+
+        let mut seq_pool = KvPagePool::new(4);
+        let mut fused_pool = KvPagePool::new(4);
+        let mut seq_scratch = ExecScratch::new();
+        let mut fused_scratch = ExecScratch::new();
+        let mut seq: Vec<DecodeState> = (0..3).map(|_| DecodeState::new(&decode, 4)).collect();
+        let mut fused: Vec<DecodeState> = (0..3).map(|_| DecodeState::new(&decode, 4)).collect();
+        for (qkv, state) in qkvs.iter().zip(seq.iter_mut()) {
+            sim.prime_token(
+                &decode,
+                state,
+                qkv.q.row(0),
+                qkv.k.row(0),
+                qkv.v.row(0),
+                scale,
+                &mut seq_pool,
+                &mut seq_scratch,
+            )
+            .unwrap();
+        }
+        for (qkv, state) in qkvs.iter().zip(fused.iter_mut()) {
+            sim.prime_token(
+                &decode,
+                state,
+                qkv.q.row(0),
+                qkv.k.row(0),
+                qkv.v.row(0),
+                scale,
+                &mut fused_pool,
+                &mut fused_scratch,
+            )
+            .unwrap();
+        }
+        for t in 1..24 {
+            let sequential: Vec<StepOutput> = qkvs
+                .iter()
+                .zip(seq.iter_mut())
+                .map(|(qkv, state)| {
+                    sim.execute_step(
+                        &decode,
+                        state,
+                        qkv.q.row(t),
+                        qkv.k.row(t),
+                        qkv.v.row(t),
+                        scale,
+                        &mut seq_pool,
+                        &mut seq_scratch,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let mut batch: Vec<BatchStep<'_>> = qkvs
+                .iter()
+                .zip(fused.iter_mut())
+                .map(|(qkv, state)| BatchStep {
+                    state,
+                    q_t: qkv.q.row(t),
+                    k_t: qkv.k.row(t),
+                    v_t: qkv.v.row(t),
+                    scale,
+                })
+                .collect();
+            let fused_out =
+                sim.execute_steps(&decode, &mut batch, &mut fused_pool, &mut fused_scratch);
+            for (s, f) in sequential.iter().zip(fused_out) {
+                assert_eq!(*s, f.unwrap(), "fused step diverged at t={t}");
+            }
+        }
+        for (s, f) in seq.iter().zip(&fused) {
+            assert_eq!(s.saturation_events(), f.saturation_events());
+        }
     }
 
     #[test]
@@ -766,29 +1472,32 @@ mod tests {
         let (_, decode) = compile(&pattern, &sim);
         assert_eq!(decode.min_step(), 1);
         let mut state = DecodeState::new(&decode, 4);
+        let mut pool = KvPagePool::default();
         let mut scratch = ExecScratch::new();
         let row = [0.5f32; 4];
 
         // Stepping before the prompt covers the global token fails.
         assert!(matches!(
-            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch),
             Err(SimError::DecodeNotPrimed { position: 0, min_step: 1 })
         ));
         // Wrong token dimension fails without mutating the state.
         let short = [0.5f32; 3];
         assert!(matches!(
-            sim.prime_token(&decode, &mut state, &short, &row, &row, 0.5, &mut scratch),
+            sim.prime_token(&decode, &mut state, &short, &row, &row, 0.5, &mut pool, &mut scratch),
             Err(SimError::TokenDim { expected: 4, got: 3 })
         ));
         assert_eq!(state.position(), 0);
 
-        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch)
+            .unwrap();
         for _ in 1..8 {
-            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch)
+                .unwrap();
         }
         // Capacity exhausted.
         assert!(matches!(
-            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch),
             Err(SimError::DecodeCapacity { n: 8 })
         ));
 
@@ -796,7 +1505,16 @@ mod tests {
         let other = HybridPattern::builder(12).window(Window::causal(3).unwrap()).build().unwrap();
         let (_, other_decode) = compile(&other, &sim);
         assert!(matches!(
-            sim.execute_step(&other_decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            sim.execute_step(
+                &other_decode,
+                &mut state,
+                &row,
+                &row,
+                &row,
+                0.5,
+                &mut pool,
+                &mut scratch
+            ),
             Err(SimError::StaleDecodeState { state_n: 8, plan_n: 12 })
         ));
 
@@ -811,9 +1529,19 @@ mod tests {
         let (_, same_shape_decode) = compile(&same_shape, &sim);
         assert_ne!(decode.fingerprint(), same_shape_decode.fingerprint());
         let mut state = DecodeState::new(&decode, 4);
-        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch)
+            .unwrap();
         assert!(matches!(
-            sim.execute_step(&same_shape_decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            sim.execute_step(
+                &same_shape_decode,
+                &mut state,
+                &row,
+                &row,
+                &row,
+                0.5,
+                &mut pool,
+                &mut scratch
+            ),
             Err(SimError::StaleDecodeState { state_n: 8, plan_n: 8 })
         ));
     }
@@ -832,36 +1560,41 @@ mod tests {
         let sim = accel(4, 4);
         let (_, decode) = compile(&pattern, &sim);
         let mut state = DecodeState::new(&decode, 4);
+        let mut pool = KvPagePool::default();
         let mut scratch = ExecScratch::new();
         let row = [0.5f32; 4];
 
         // Validation failures leave the state clean and usable.
         let short = [0.5f32; 3];
         assert!(sim
-            .prime_token(&decode, &mut state, &short, &row, &row, 0.5, &mut scratch)
+            .prime_token(&decode, &mut state, &short, &row, &row, 0.5, &mut pool, &mut scratch)
             .is_err());
         assert!(!state.is_poisoned());
-        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
-        sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch)
+            .unwrap();
+        sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch)
+            .unwrap();
 
         // A mid-step failure poisons: both step and prime are refused.
         state.poisoned = true;
         let position = state.position();
         assert!(matches!(
-            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch),
             Err(SimError::PoisonedDecodeState)
         ));
         assert!(matches!(
-            sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch),
+            sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch),
             Err(SimError::PoisonedDecodeState)
         ));
         assert_eq!(state.position(), position, "refused advances do not move the session");
 
         // Reset rebinds the state to a clean, decodable session.
-        state.reset(&decode, 4);
+        state.reset(&decode, 4, &mut pool);
         assert!(!state.is_poisoned());
-        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
-        sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut scratch).unwrap();
+        sim.prime_token(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch)
+            .unwrap();
+        sim.execute_step(&decode, &mut state, &row, &row, &row, 0.5, &mut pool, &mut scratch)
+            .unwrap();
     }
 
     #[test]
@@ -879,8 +1612,9 @@ mod tests {
         // Run a on a fresh state, then b and a again on a reused one.
         let qkv_a = Qkv::random(24, 4, 1);
         let qkv_b = Qkv::random(16, 6, 2);
-        let fresh = decode_all(&sim, &a, &qkv_a, 4);
+        let (fresh, _) = decode_all(&sim, &a, &qkv_a, 4);
 
+        let mut pool = KvPagePool::new(4);
         let mut state = DecodeState::new(&db, 6);
         let mut scratch = ExecScratch::new();
         let scale = SpatialAccelerator::default_scale(6);
@@ -892,11 +1626,12 @@ mod tests {
                 qkv_b.k.row(t),
                 qkv_b.v.row(t),
                 scale,
+                &mut pool,
                 &mut scratch,
             )
             .unwrap();
         }
-        state.reset(&da, 4);
+        state.reset(&da, 4, &mut pool);
         let scale = SpatialAccelerator::default_scale(4);
         sim.prime_token(
             &da,
@@ -905,6 +1640,7 @@ mod tests {
             qkv_a.k.row(0),
             qkv_a.v.row(0),
             scale,
+            &mut pool,
             &mut scratch,
         )
         .unwrap();
@@ -916,6 +1652,7 @@ mod tests {
                 qkv_a.k.row(t),
                 qkv_a.v.row(t),
                 scale,
+                &mut pool,
                 &mut scratch,
             )
             .unwrap();

@@ -57,6 +57,16 @@ pub enum SimError {
     /// the session history, leaving the state inconsistent; it must be
     /// [`reset`](crate::DecodeState::reset) before further use.
     PoisonedDecodeState,
+    /// The shared K/V page pool has no free page and is at its configured
+    /// capacity. The failing session is left clean (the token was not
+    /// ingested); the step may be retried once other sessions release
+    /// pages.
+    PagePoolExhausted {
+        /// Pages currently handed out to sessions.
+        in_use: usize,
+        /// The pool's configured capacity.
+        capacity: usize,
+    },
     /// A work partition violated a structural invariant the partitioned
     /// executor relies on (spans tiling the item space, exactly-once op
     /// assignment, per-shard op ordering).
@@ -106,6 +116,13 @@ impl fmt::Display for SimError {
                     f,
                     "decode state is poisoned by an earlier failed step: \
                      reset it before decoding again"
+                )
+            }
+            SimError::PagePoolExhausted { in_use, capacity } => {
+                write!(
+                    f,
+                    "K/V page pool exhausted: {in_use} of {capacity} pages in use, \
+                     none free for a new allocation"
                 )
             }
             SimError::PartitionInvariant { what } => {

@@ -524,14 +524,14 @@ impl SpatialAccelerator {
                 let op = &ops[oi];
                 let base = h * n * d;
                 let dest = op.dest as usize;
+                let kv = SliceKv { kq: &kq[base..base + n * d], vq: &vq[base..base + n * d] };
                 run_op(
                     &self.exp,
                     &self.recip,
                     op.kind,
                     lowered.op_keys(op),
                     &qq[base + dest * d..base + (dest + 1) * d],
-                    &kq[base..base + n * d],
-                    &vq[base..base + n * d],
+                    &kv,
                     d,
                     bufs,
                     &mut rows[h * n + dest - shard.item_start()],
@@ -674,6 +674,7 @@ impl SpatialAccelerator {
         sat: &mut MacSaturation,
     ) -> Result<(), SimError> {
         let ExecScratch { qq, kq, vq, op: op_scratch, acc } = scratch;
+        let kv = SliceKv { kq, vq };
         for op in &lowered.ops()[range] {
             let q_row = ExecScratch::row(qq, op.dest as usize, d);
             run_op(
@@ -682,8 +683,7 @@ impl SpatialAccelerator {
                 op.kind,
                 lowered.op_keys(op),
                 q_row,
-                kq,
-                vq,
+                &kv,
                 d,
                 &mut *op_scratch,
                 &mut acc[op.dest as usize],
@@ -812,6 +812,41 @@ impl SpatialAccelerator {
     }
 }
 
+/// How the per-op executor reaches quantized K/V rows by sequence
+/// position.
+///
+/// The prefill path reads from flat contiguous arenas ([`SliceKv`]); the
+/// decode path reads through page translation
+/// ([`PagedKv`](crate::decode) — row `j` lives at slot `j % page_rows` of
+/// page `j / page_rows`). [`run_op`] is generic over the source and
+/// monomorphizes per impl, so the contiguous hot path keeps its direct
+/// slice indexing while both paths execute the **same** kernel body —
+/// which is what keeps paged decode bit-identical to prefill.
+pub(crate) trait KvSource {
+    /// Key row `j` (`d` elements).
+    fn k_row(&self, j: usize, d: usize) -> &[Fix8x4];
+    /// Value row `j` (`d` elements).
+    fn v_row(&self, j: usize, d: usize) -> &[Fix8x4];
+}
+
+/// Contiguous row-major K/V arenas — the prefill-side [`KvSource`].
+pub(crate) struct SliceKv<'a> {
+    pub kq: &'a [Fix8x4],
+    pub vq: &'a [Fix8x4],
+}
+
+impl KvSource for SliceKv<'_> {
+    #[inline]
+    fn k_row(&self, j: usize, d: usize) -> &[Fix8x4] {
+        ExecScratch::row(self.kq, j, d)
+    }
+
+    #[inline]
+    fn v_row(&self, j: usize, d: usize) -> &[Fix8x4] {
+        ExecScratch::row(self.vq, j, d)
+    }
+}
+
 /// Stages 1–5 for one lowered op, merged into `acc`: output-stationary
 /// dot products, exp/sum/reciprocal/normalize, weight-stationary value
 /// accumulation (i32 fast path for provably short chains), weighted-sum
@@ -819,18 +854,17 @@ impl SpatialAccelerator {
 ///
 /// This is the **single** arithmetic body executed by both the prefill
 /// pass (`run_ops`, K/V from the full-sequence scratch load) and the
-/// decode step (`run_decode_ops`, K/V from the session arenas) — the
+/// decode step (`run_decode_ops`, K/V through page translation) — the
 /// decode-vs-prefill bit-identity guarantee holds by construction
 /// because there is exactly one copy of these kernels to diverge from.
 #[allow(clippy::too_many_arguments)] // the op's full dataflow, spelled out
-pub(crate) fn run_op(
+pub(crate) fn run_op<S: KvSource>(
     exp: &ExpLut,
     recip: &RecipUnit,
     kind: LoweredOpKind,
     keys: &[u32],
     q_row: &[Fix8x4],
-    kq: &[Fix8x4],
-    vq: &[Fix8x4],
+    kv: &S,
     d: usize,
     bufs: &mut OpScratch,
     acc: &mut PartialRow,
@@ -842,9 +876,7 @@ pub(crate) fn run_op(
         LoweredOpKind::Row => {
             // Stage 1: output-stationary dot products.
             scores.clear();
-            scores.extend(
-                keys.iter().map(|&j| qk_dot(q_row, ExecScratch::row(kq, j as usize, d), sat)),
-            );
+            scores.extend(keys.iter().map(|&j| qk_dot(q_row, kv.k_row(j as usize, d), sat)));
             timer.lap(&mut profile.qk_dot_ns);
             // Stages 2-4: exp, row sum, reciprocal, normalize.
             let (weight, _) = fixed_softmax_parts_into(scores, exp, recip, exps, probs)?;
@@ -856,7 +888,7 @@ pub(crate) fn run_op(
             if keys.len() <= SV_I32_SAFE_KEYS {
                 out32.fill(0);
                 for (&j, &p) in keys.iter().zip(probs.iter()) {
-                    sv_row_mac_i32(out32, p, ExecScratch::row(vq, j as usize, d));
+                    sv_row_mac_i32(out32, p, kv.v_row(j as usize, d));
                 }
                 for (o, &o32) in part.out_q19.iter_mut().zip(out32.iter()) {
                     *o = i64::from(o32);
@@ -864,7 +896,7 @@ pub(crate) fn run_op(
             } else {
                 part.out_q19.fill(0);
                 for (&j, &p) in keys.iter().zip(probs.iter()) {
-                    sv_row_mac(&mut part.out_q19, p, ExecScratch::row(vq, j as usize, d));
+                    sv_row_mac(&mut part.out_q19, p, kv.v_row(j as usize, d));
                 }
             }
             timer.lap(&mut profile.sv_mac_ns);
@@ -873,12 +905,12 @@ pub(crate) fn run_op(
             // A global PE column/row cell: weight `exp(s)`, output `v_g`
             // at probability one.
             let g = keys[0] as usize;
-            let score = qk_dot(q_row, ExecScratch::row(kq, g, d), sat);
+            let score = qk_dot(q_row, kv.k_row(g, d), sat);
             timer.lap(&mut profile.qk_dot_ns);
             part.weight_q16 = exp.eval_q8(score);
             timer.lap(&mut profile.exp_lut_ns);
             part.out_q19.fill(0);
-            sv_row_mac(&mut part.out_q19, PROB_ONE, ExecScratch::row(vq, g, d));
+            sv_row_mac(&mut part.out_q19, PROB_ONE, kv.v_row(g, d));
             timer.lap(&mut profile.sv_mac_ns);
         }
     }

@@ -63,7 +63,10 @@ pub use bandwidth::{bandwidth_report, BandwidthReport, DEFAULT_PORT_BYTES_PER_CY
 pub use buffers::BufferAnalysis;
 pub use config::{AcceleratorConfig, BufferConfig, TimingParams};
 pub use cycles::{CycleBreakdown, CycleModel};
-pub use decode::{DecodePlan, DecodeState, StepOutput};
+pub use decode::{
+    BatchStep, DecodePlan, DecodeState, KvPage, KvPagePool, KvPoolStats, StepOutput,
+    DEFAULT_PAGE_ROWS,
+};
 pub use energy::{EnergyBreakdown, EnergyModel, OpEnergies};
 pub use error::SimError;
 pub use exec::{ExecScratch, ExecutionOutput, HeadsScratch, SpatialAccelerator};

@@ -18,12 +18,17 @@ fn small_salo() -> Salo {
     Salo::new(config)
 }
 
-/// Causal-prefill oracle through the engine API: executes the session's
-/// own compiled causal plan on one head, returning the simulator-shaped
-/// output the bit-identity assertions compare against.
-fn prefill_oracle(salo: &Salo, session: &DecodeSession, qkv: &Qkv) -> salo::sim::ExecutionOutput {
+/// Causal-prefill oracle through the engine API: executes a compiled
+/// causal plan on one head, returning the simulator-shaped output the
+/// bit-identity assertions compare against. The prefill path streams K/V
+/// from contiguous arenas, so this is also the *contiguous* baseline the
+/// paged decode states are pinned against below.
+fn prefill_oracle(
+    salo: &Salo,
+    compiled: std::sync::Arc<salo::core::CompiledPlan>,
+    qkv: &Qkv,
+) -> salo::sim::ExecutionOutput {
     use salo::core::{AttentionRequest, Engine, PatternHandle};
-    let compiled = session.shared_plan();
     let shape = compiled.shape;
     let mut engine = salo.engine();
     let out = engine
@@ -90,7 +95,7 @@ fn assert_decode_matches_prefill(salo: &Salo, pattern: &HybridPattern, d: usize,
     let mut session = salo.decode_session(pattern, d).unwrap();
     let n = session.capacity();
     let qkv = Qkv::random(n, d, seed);
-    let prefill = prefill_oracle(salo, &session, &qkv);
+    let prefill = prefill_oracle(salo, session.shared_plan(), &qkv);
 
     session.prime_rows(&qkv, 0..session.min_step()).unwrap();
     for t in session.min_step()..n {
@@ -139,7 +144,7 @@ fn decode_matches_prefill_under_saturation() {
     // Blow up the magnitudes far past the Q.4 grid.
     let boom = |m: &salo::kernels::Matrix<f32>| m.map(|x| x * 1e6);
     let qkv = Qkv::new(boom(&qkv.q), boom(&qkv.k), boom(&qkv.v)).unwrap();
-    let prefill = prefill_oracle(&salo, &session, &qkv);
+    let prefill = prefill_oracle(&salo, session.shared_plan(), &qkv);
 
     session.prime_rows(&qkv, 0..1).unwrap();
     let mut decoded_events = 0;
@@ -170,7 +175,7 @@ fn longer_prompts_skip_rows_but_keep_later_steps_identical() {
         .unwrap();
     let mut session = salo.decode_session(&pattern, 8).unwrap();
     let qkv = Qkv::random(32, 8, 11);
-    let prefill = prefill_oracle(&salo, &session, &qkv);
+    let prefill = prefill_oracle(&salo, session.shared_plan(), &qkv);
 
     let prompt_len = 10;
     session.prime_rows(&qkv, 0..prompt_len).unwrap();
@@ -699,4 +704,99 @@ fn pinned_worker_switches_sessions_without_stale_state() {
     let report = server.shutdown();
     assert_eq!(report.decode_sessions, 2);
     assert_eq!(report.decode_step_errors, 0);
+}
+
+// --- paged K/V property suite ------------------------------------------
+
+use proptest::prelude::*;
+use salo::patterns::AttentionShape;
+use salo::sim::{DecodeState, ExecScratch, KvPagePool, SpatialAccelerator};
+
+/// Random decodable hybrid pattern for the paged-decode property: one
+/// dilated causal-reaching window plus an optional prefix of globals.
+fn arb_paged_pattern() -> impl Strategy<Value = HybridPattern> {
+    (16usize..44, -8i64..0, 1usize..6, 1usize..4, prop::collection::vec(0usize..8, 0..3))
+        .prop_filter_map("valid decodable pattern", |(n, lo, width, dil, globals)| {
+            let hi = lo + (width as i64) * dil as i64;
+            let w = Window::dilated(lo, hi, dil).ok()?;
+            let p = HybridPattern::builder(n)
+                .window(w)
+                .global_tokens(globals.into_iter().filter(move |&g| g < n))
+                .build()
+                .ok()?;
+            p.decode_view().ok()?; // decodable after causal clipping
+            Some(p)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant of the paged K/V arena: a decode generation
+    /// through the block pool — at *any* page size, including degenerate
+    /// single-row pages and pages larger than the sequence — is
+    /// bit-identical to the contiguous causal prefill in raw outputs,
+    /// softmax weights and saturation counts, on random hybrid patterns.
+    /// Page translation and horizon reclamation are pure memory-layout
+    /// concerns: they must never touch a single arithmetic bit.
+    #[test]
+    fn paged_decode_is_bit_identical_to_contiguous_prefill(
+        pattern in arb_paged_pattern(),
+        page_rows in 1usize..33,
+        seed in 0u64..1000,
+    ) {
+        let salo = small_salo();
+        let d = 8usize;
+        let causal = pattern.decode_view().unwrap().into_causal_pattern();
+        let n = causal.n();
+        let shape = AttentionShape::new(n, d, 1).unwrap();
+        let compiled = std::sync::Arc::new(salo.compile(&causal, &shape).unwrap());
+        let decode = compiled.decode_plan().unwrap();
+        let qkv = Qkv::random(n, d, seed);
+        let prefill = prefill_oracle(&salo, std::sync::Arc::clone(&compiled), &qkv);
+
+        let accel = salo.accelerator();
+        let scale = SpatialAccelerator::default_scale(d);
+        let mut state = DecodeState::new(&decode, d);
+        let mut pool = KvPagePool::new(page_rows);
+        let mut scratch = ExecScratch::new();
+        for t in 0..decode.min_step() {
+            accel
+                .prime_token(
+                    &decode, &mut state,
+                    qkv.q.row(t), qkv.k.row(t), qkv.v.row(t),
+                    scale, &mut pool, &mut scratch,
+                )
+                .unwrap();
+        }
+        for t in decode.min_step()..n {
+            let step = accel
+                .execute_step(
+                    &decode, &mut state,
+                    qkv.q.row(t), qkv.k.row(t), qkv.v.row(t),
+                    scale, &mut pool, &mut scratch,
+                )
+                .unwrap();
+            prop_assert_eq!(step.position, t);
+            let row: Vec<_> = (0..d).map(|c| prefill.raw.get(t, c)).collect();
+            prop_assert_eq!(&step.raw, &row, "step {} raw output (page_rows {})", t, page_rows);
+            prop_assert_eq!(step.weight_q16, prefill.weights_q16[t], "step {} weight", t);
+        }
+        for i in 0..state.num_globals() {
+            let (raw, weight) = state.global_row_output(i);
+            let g = decode.globals()[i] as usize;
+            let row: Vec<_> = (0..d).map(|c| prefill.raw.get(g, c)).collect();
+            prop_assert_eq!(&raw, &row, "global row {}", g);
+            prop_assert_eq!(weight, prefill.weights_q16[g], "global row {} weight", g);
+        }
+        prop_assert_eq!(
+            state.saturation_events(),
+            prefill.report.saturation_events,
+            "identical MAC chains"
+        );
+        // Residency sanity: the state accounts for exactly the pool's
+        // outstanding pages, and never more than the whole sequence.
+        prop_assert_eq!(state.resident_pages(), pool.pages_in_use());
+        prop_assert!(state.resident_pages() <= n.div_ceil(page_rows));
+    }
 }

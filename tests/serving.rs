@@ -5,7 +5,9 @@
 
 use salo::core::{AttentionRequest, Engine, Salo};
 use salo::scheduler::HardwareMeta;
-use salo::serve::{SaloServer, ServeOptions, ServeRequest, TrafficMix};
+use salo::serve::{
+    GenerationShape, GenerationTraffic, SaloServer, ServeOptions, ServeRequest, TrafficMix,
+};
 use salo::sim::AcceleratorConfig;
 
 fn options(workers: usize) -> ServeOptions {
@@ -153,6 +155,104 @@ fn single_worker_small_array_stays_deterministic() {
     for (served, direct) in run.heads.iter().zip(&exact.heads) {
         assert_eq!(Some(&served.raw), direct.raw.as_ref());
     }
+}
+
+#[test]
+fn decode_at_scale_reclaims_pages_within_a_bounded_pool() {
+    // Two hundred concurrent sessions against per-worker page pools that
+    // are deliberately too small to hold the deep cohort's full contexts
+    // without reclamation: 16 deep sessions alone would pin
+    // 16 * (512 / 8) = 1024 pages if nothing were ever freed, yet the
+    // bound below holds because the reclaimer returns every page behind
+    // the live horizon. Zero exhaustions is therefore a real claim about
+    // horizon reclamation, not about the pool being oversized.
+    let context = 512;
+    let window = 32;
+    let (shallow_sessions, deep_sessions) = (184u64, 16u64);
+    let (shallow_steps, deep_steps) = (4usize, 48usize);
+    let pool_pages = 512;
+    let pattern = salo::patterns::HybridPattern::builder(context)
+        .window(salo::patterns::Window::causal(window).expect("window"))
+        .global_token(0)
+        .build()
+        .expect("pattern");
+    let shallow = GenerationTraffic::new(vec![GenerationShape {
+        pattern: pattern.clone(),
+        head_dim: 16,
+        num_heads: 1,
+        prompt_len: 1,
+    }])
+    .expect("shallow mix");
+    let deep = GenerationTraffic::new(vec![GenerationShape {
+        pattern,
+        head_dim: 16,
+        num_heads: 1,
+        prompt_len: context - deep_steps,
+    }])
+    .expect("deep mix");
+
+    let server = SaloServer::start(
+        AcceleratorConfig::default(),
+        ServeOptions {
+            workers: 2,
+            decode_page_rows: Some(8),
+            decode_pool_pages: Some(pool_pages),
+            ..Default::default()
+        },
+    );
+    let mut handles = Vec::new();
+    let mut tokens = Vec::new();
+    for i in 0..deep_sessions {
+        let (request, steps) = deep.session_bounded(i, deep_steps);
+        let handle = server.open_session(request).expect("open deep");
+        handle.wait_open().expect("deep open");
+        handles.push(handle);
+        tokens.push(steps);
+    }
+    for i in 0..shallow_sessions {
+        let (request, steps) = shallow.session_bounded(i, shallow_steps);
+        handles.push(server.open_session(request).expect("open shallow"));
+        tokens.push(steps);
+    }
+    for handle in &handles[deep_sessions as usize..] {
+        handle.wait_open().expect("shallow open");
+    }
+
+    // Lockstep rounds, whole round submitted before draining so the
+    // worker queues back up and the scheduler tick fuses the steps.
+    let mut submitted = 0u64;
+    for round in 0..deep_steps.max(shallow_steps) {
+        for (handle, stream) in handles.iter().zip(&tokens) {
+            if let Some(token) = stream.get(round) {
+                server.step_session(handle.id(), token.clone()).expect("step");
+                submitted += 1;
+            }
+        }
+        for (handle, stream) in handles.iter().zip(&tokens) {
+            if round < stream.len() {
+                let step = handle.next_step().expect("step result");
+                assert_eq!(step.heads.len(), 1);
+            }
+        }
+    }
+    for handle in &handles {
+        server.close_session(handle.id()).expect("close");
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.decode_sessions, shallow_sessions + deep_sessions);
+    assert_eq!(report.decode_steps, submitted);
+    assert_eq!(report.decode_step_errors, 0);
+    assert_eq!(report.decode_pool_exhausted, 0, "bounded pool never ran dry");
+    assert!(report.decode_page_reclaims > 0, "deep cohort must trigger horizon reclamation");
+    assert!(report.decode_peak_resident_pages > 0);
+    assert!(
+        report.decode_peak_pool_pages <= pool_pages as u64,
+        "peak occupancy {} exceeded the configured bound {}",
+        report.decode_peak_pool_pages,
+        pool_pages
+    );
+    assert!(report.decode_resident_kv_byte_steps > 0, "residency gauge fed by every step");
 }
 
 #[test]
