@@ -20,10 +20,11 @@
 //! execution; the per-shard op counts land in the JSON as the balance
 //! record alongside `speedup_vs_pr3` (same-host re-measured baseline).
 
+use salo_baselines::ExecutionFamily;
 use salo_core::Salo;
 use salo_kernels::Qkv;
-use salo_models::{bert_base, longformer_layer, vil_stage1, Workload};
-use salo_patterns::{AttentionShape, HybridPattern, Window};
+use salo_models::{bert_base, bigbird_layer, longformer_layer, vil_stage1, Workload};
+use salo_patterns::{bigbird, AttentionShape, BlockLayout, HybridPattern, PatternTerm, Window};
 use salo_serve::{GenerationShape, GenerationTraffic, SaloServer, ServeOptions};
 use salo_sim::{
     AcceleratorConfig, BatchStep, DecodeState, ExecScratch, HeadsScratch, KvPagePool, Partition,
@@ -32,13 +33,41 @@ use salo_sim::{
 use std::time::Instant;
 
 /// A causal sliding window with an attention-sink global token — the
-/// serving-shape pattern every decode bench below runs on.
+/// serving-shape pattern the chat decode benches run on.
 fn sink_window(n: usize, w: usize) -> HybridPattern {
     HybridPattern::builder(n)
         .window(Window::causal(w).expect("window"))
         .global_token(0)
         .build()
         .expect("pattern")
+}
+
+/// A block-sparse pattern: local causal window of `block` rows plus the
+/// banded block grid one block off the diagonal. The off-diagonal blocks
+/// land in the residual and execute through the scheduler's gather
+/// passes.
+fn block_sparse_pattern(n: usize, block: usize) -> HybridPattern {
+    HybridPattern::from_terms(
+        n,
+        vec![
+            PatternTerm::Window(Window::causal(block).expect("window")),
+            PatternTerm::BlockSparse {
+                block_rows: block,
+                layout: BlockLayout::Banded { radius: 1 },
+            },
+        ],
+    )
+    .expect("pattern")
+}
+
+/// The block-sparse pattern wrapped as a prefill workload.
+fn block_sparse_workload(n: usize, block: usize, d: usize) -> Workload {
+    Workload::new(
+        format!("BlockSparse (n={n}, b={block})"),
+        block_sparse_pattern(n, block),
+        AttentionShape::new(n, d, 1).expect("shape"),
+        ExecutionFamily::Banded1d,
+    )
 }
 
 /// Pre-PR (`execute` on the plan-walking datapath) medians, ns per pass,
@@ -179,15 +208,51 @@ struct DecodeMeasurement {
     tokens_per_s: f64,
 }
 
-/// Times a full streaming-decode generation (prime the sink token, then
-/// one `step` per position) over a causal window + attention-sink
-/// pattern; the median of `iters` generations is reported per token.
-fn measure_decode(name: &str, n: usize, w: usize, d: usize, iters: usize) -> DecodeMeasurement {
+/// Times a full streaming-decode generation (prime to `min_step`, then
+/// one `step` per position) over an arbitrary decodable pattern; the
+/// median of `iters` generations is reported per token. Before any
+/// timing, one full generation is asserted bit-identical — raw rows and
+/// softmax weights — to the causal-prefill oracle on the same compiled
+/// plan.
+fn measure_decode(
+    name: &str,
+    pattern: &HybridPattern,
+    d: usize,
+    iters: usize,
+) -> DecodeMeasurement {
     let salo = Salo::default_config();
-    let pattern = sink_window(n, w);
-    let mut session = salo.decode_session(&pattern, d).expect("session");
+    let mut session = salo.decode_session(pattern, d).expect("session");
+    let n = session.capacity();
     let qkv = Qkv::random(n, d, 42);
     let steps = n - session.min_step();
+
+    // Decode-vs-prefill bit-identity gate: the generation about to be
+    // timed must reproduce the causal-prefill rows exactly.
+    {
+        use salo_core::{AttentionRequest, Engine, PatternHandle};
+        let compiled = session.shared_plan();
+        let shape = compiled.shape;
+        let mut engine = salo.engine();
+        let prefill = engine
+            .execute(AttentionRequest::Prefill {
+                pattern: PatternHandle::from_plan(compiled),
+                shape,
+                heads: vec![qkv.clone()],
+            })
+            .expect("prefill oracle")
+            .into_prefill()
+            .expect("prefill response");
+        let head = &prefill.heads[0];
+        let raw = head.raw.as_ref().expect("raw output");
+        let weights = head.weights_q16.as_ref().expect("weights");
+        session.prime_rows(&qkv, 0..session.min_step()).expect("prime");
+        for (t, row_weights) in weights.iter().enumerate().take(n).skip(session.min_step()) {
+            let step = session.step(qkv.q.row(t), qkv.k.row(t), qkv.v.row(t)).expect("step");
+            let row: Vec<_> = (0..d).map(|c| raw.get(t, c)).collect();
+            assert_eq!(step.raw, row, "{name}: decode diverged from prefill at step {t}");
+            assert_eq!(&step.weight_q16, row_weights, "{name}: weight diverged at step {t}");
+        }
+    }
     let run = |session: &mut salo_core::DecodeSession| {
         session.reset();
         session.prime_rows(&qkv, 0..session.min_step()).expect("prime");
@@ -558,6 +623,8 @@ fn main() {
             vec![
                 ("smoke-longformer-64", longformer_layer(64, 8, 64, 1).expect("longformer")),
                 ("smoke-bert-32", bert_base(32).expect("bert")),
+                ("smoke-bigbird-64", bigbird_layer(64, 8, 2, 1, 7, 64).expect("bigbird")),
+                ("smoke-blocksparse-64", block_sparse_workload(64, 8, 64)),
             ],
             2,
         )
@@ -567,6 +634,8 @@ fn main() {
                 ("longformer-2048", longformer_layer(2048, 256, 768, 1).expect("longformer")),
                 ("vil-stage1", vil_stage1()),
                 ("bert-base-512", bert_base(512).expect("bert")),
+                ("bigbird-1024", bigbird_layer(1024, 64, 3, 2, 7, 64).expect("bigbird")),
+                ("blocksparse-1024", block_sparse_workload(1024, 64, 64)),
             ],
             7,
         )
@@ -628,15 +697,26 @@ fn main() {
     }
 
     // Decode trajectory: steady-state per-token cost of the streaming
-    // datapath on the same host, causal window + attention sink.
-    let decode_shapes: Vec<(&str, usize, usize, usize)> = if smoke {
-        vec![("smoke-decode-64-w16", 64, 16, 16)]
+    // datapath on the same host — chat-style sink windows plus the
+    // residual-bearing zoo shapes (BigBird, block-sparse), each gated on
+    // decode-vs-prefill bit-identity before timing.
+    let decode_shapes: Vec<(&str, HybridPattern, usize)> = if smoke {
+        vec![
+            ("smoke-decode-64-w16", sink_window(64, 16), 16),
+            ("smoke-decode-bigbird-48", bigbird(48, 6, 2, 1, 7).expect("bigbird"), 8),
+            ("smoke-decode-blocksparse-48", block_sparse_pattern(48, 8), 8),
+        ]
     } else {
-        vec![("decode-longformer-2048-w256", 2048, 256, 64), ("decode-chat-512-w128", 512, 128, 64)]
+        vec![
+            ("decode-longformer-2048-w256", sink_window(2048, 256), 64),
+            ("decode-chat-512-w128", sink_window(512, 128), 64),
+            ("decode-bigbird-512-w64", bigbird(512, 64, 3, 2, 7).expect("bigbird"), 64),
+            ("decode-blocksparse-512-b64", block_sparse_pattern(512, 64), 64),
+        ]
     };
     let mut decode_entries = Vec::new();
-    for &(name, n, w, d) in &decode_shapes {
-        let m = measure_decode(name, n, w, d, iters);
+    for (name, pattern, d) in &decode_shapes {
+        let m = measure_decode(name, pattern, *d, iters);
         println!(
             "{:<28} n={:<5} d={:<3} {:>9.3} ms/gen  {:>9.0} ns/token {:>10.0} tokens/s",
             m.name, m.n, m.d, m.ms_per_generation, m.ns_per_token, m.tokens_per_s,

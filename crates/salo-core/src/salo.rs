@@ -177,6 +177,45 @@ impl Salo {
         self.accel.estimate(&compiled.plan, compiled.shape.head_dim, compiled.shape.num_heads)
     }
 
+    /// Searches the pattern zoo for the cheapest pattern covering `mask`,
+    /// priced by this instance's simulated cycle count: each candidate is
+    /// compiled onto the configured array geometry and estimated for
+    /// `shape`, so the winner reflects window splitting, global duty and
+    /// gather-pass costs on *this* hardware, not an abstract nnz count.
+    /// Candidates that fail to compile (e.g. global tokens on an instance
+    /// without global units) are priced out at infinite cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mask is empty, disagrees with `shape`'s
+    /// sequence length, or no candidate meets `coverage_budget`.
+    pub fn autotune_pattern(
+        &self,
+        mask: &salo_patterns::DenseMask,
+        shape: &AttentionShape,
+        coverage_budget: f64,
+        config: salo_patterns::FitConfig,
+    ) -> Result<salo_patterns::AutotuneReport, SaloError> {
+        if mask.n() != shape.seq_len {
+            return Err(SaloError::ShapeMismatch {
+                expected: (shape.seq_len, shape.head_dim),
+                got: (mask.n(), shape.head_dim),
+            });
+        }
+        let report = salo_patterns::autotune(mask, coverage_budget, config, |pattern| match self
+            .compile(pattern, shape)
+        {
+            Ok(compiled) => self.estimate(&compiled).cycles.total as f64,
+            Err(_) => f64::INFINITY,
+        })?;
+        if report.cost.is_infinite() {
+            return Err(SaloError::InvalidRequest {
+                reason: "no covering candidate compiles on this instance".to_string(),
+            });
+        }
+        Ok(report)
+    }
+
     /// Functionally executes one head.
     ///
     /// Deprecated shim over the engine datapath: build a
@@ -455,6 +494,38 @@ mod tests {
         let t1 = salo.estimate(&salo.compile(&pattern, &s1).unwrap());
         let t4 = salo.estimate(&salo.compile(&pattern, &s4).unwrap());
         assert_eq!(t4.cycles.total, 4 * t1.cycles.total);
+    }
+
+    #[test]
+    fn autotune_prices_candidates_by_simulated_cycles() {
+        use salo_patterns::{DenseMask, FitConfig};
+        let salo = small_salo();
+        let n = 64;
+        let pattern = longformer(n, 8, 1).unwrap();
+        let mask = DenseMask::from_pattern(&pattern);
+        let shape = AttentionShape::new(n, 8, 1).unwrap();
+        let report = salo.autotune_pattern(&mask, &shape, 1.0, FitConfig::default()).unwrap();
+        assert!(report.coverage >= 1.0 - 1e-12, "full budget means full coverage");
+        assert!(report.candidates > 1, "the sweep must price several candidates");
+        // The winner's cost is the real estimate of its own compiled plan.
+        let compiled = salo.compile(&report.pattern, &shape).unwrap();
+        let estimate = salo.estimate(&compiled).cycles.total as f64;
+        assert!((report.cost - estimate).abs() < 1e-9);
+        // And it is no worse than recompiling the preset the mask came from.
+        let baseline = salo.estimate(&salo.compile(&pattern, &shape).unwrap()).cycles.total as f64;
+        assert!(report.cost <= baseline, "winner {} vs preset {baseline}", report.cost);
+    }
+
+    #[test]
+    fn autotune_rejects_mismatched_mask_and_shape() {
+        use salo_patterns::{DenseMask, FitConfig};
+        let salo = small_salo();
+        let mask = DenseMask::from_pattern(&longformer(32, 4, 0).unwrap());
+        let shape = AttentionShape::new(64, 8, 1).unwrap();
+        assert!(matches!(
+            salo.autotune_pattern(&mask, &shape, 1.0, FitConfig::default()),
+            Err(SaloError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

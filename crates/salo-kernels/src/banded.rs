@@ -65,6 +65,12 @@ pub fn banded_attention(
                 lo = lo.min(first.max(0) as usize);
                 hi = hi.max((last + 1).clamp(0, n as i64) as usize);
             }
+            // Residual support (block/random terms) can reach keys far
+            // outside the window band; widen the tile to its row bounds.
+            if let Some((first, last_ex)) = pattern.residual().row_bounds(i) {
+                lo = lo.min(first);
+                hi = hi.max(last_ex);
+            }
         }
         for &g in pattern.globals() {
             lo = lo.min(g);
@@ -140,6 +146,20 @@ mod tests {
         let gathered = sparse_attention(&p, &q, &k, &v, 0.35).unwrap();
         let banded = banded_attention(&p, &q, &k, &v, 0.35, 8).unwrap();
         assert!(banded.max_abs_diff(&gathered) < 1e-5);
+    }
+
+    #[test]
+    fn matches_gather_kernel_on_bigbird() {
+        use salo_patterns::bigbird;
+        let n = 96;
+        let p = bigbird(n, 12, 3, 1, 42).unwrap();
+        let (q, k, v) = workload(n, 8, 19);
+        let gathered = sparse_attention(&p, &q, &k, &v, 0.35).unwrap();
+        for block in [1usize, 8, 96] {
+            let banded = banded_attention(&p, &q, &k, &v, 0.35, block).unwrap();
+            let diff = banded.max_abs_diff(&gathered);
+            assert!(diff < 1e-5, "block {block}: diff {diff}");
+        }
     }
 
     #[test]

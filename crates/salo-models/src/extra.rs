@@ -2,7 +2,7 @@
 //! pattern families (Fig. 2) and the paper's longest-sequence claim.
 
 use salo_baselines::ExecutionFamily;
-use salo_patterns::{sparse_transformer, star_transformer, AttentionShape, PatternError};
+use salo_patterns::{bigbird, sparse_transformer, star_transformer, AttentionShape, PatternError};
 
 use crate::{longformer_layer, Workload};
 
@@ -61,6 +61,33 @@ pub fn sparse_transformer_layer(
     ))
 }
 
+/// A BigBird layer: symmetric window, `ng` global tokens, and `blocks`
+/// seeded random block keys per row (the residual is executed through the
+/// scheduler's gather passes rather than a dense fallback).
+///
+/// # Errors
+///
+/// Returns a pattern error for degenerate parameters.
+pub fn bigbird_layer(
+    n: usize,
+    w: usize,
+    blocks: usize,
+    ng: usize,
+    seed: u64,
+    model_dim: usize,
+) -> Result<Workload, PatternError> {
+    let head_dim = 64;
+    let heads = (model_dim / head_dim).max(1);
+    let pattern = bigbird(n, w, blocks, ng, seed)?;
+    let shape = AttentionShape::new(n, head_dim, heads)?;
+    Ok(Workload::new(
+        format!("BigBird (n={n}, w={w}, r={blocks})"),
+        pattern,
+        shape,
+        ExecutionFamily::Banded1d,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +108,15 @@ mod tests {
         assert_eq!(w.shape.num_heads, 2);
         assert_eq!(w.pattern.globals(), &[0]);
         assert!(star_transformer_layer(0, 64).is_err());
+    }
+
+    #[test]
+    fn bigbird_layer_structure() {
+        let w = bigbird_layer(256, 16, 2, 2, 11, 128).unwrap();
+        assert_eq!(w.shape.num_heads, 2);
+        assert_eq!(w.pattern.globals(), &[0, 1]);
+        assert!(!w.pattern.residual().is_empty(), "random blocks live in the residual");
+        assert!(bigbird_layer(0, 16, 2, 2, 11, 128).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ mod vil;
 mod workload;
 
 pub use bert::{bert_base, bert_base_dense};
-pub use extra::{longformer_16k, sparse_transformer_layer, star_transformer_layer};
+pub use extra::{bigbird_layer, longformer_16k, sparse_transformer_layer, star_transformer_layer};
 pub use longformer::{longformer_base_4096, longformer_layer};
 pub use table2::{table2_rows, Table2Row};
 pub use vil::{vil_stage1, vil_stage2, vil_stage_layer};

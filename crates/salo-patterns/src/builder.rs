@@ -1,9 +1,10 @@
-use crate::{HybridPattern, PatternError, Window};
+use crate::{HybridPattern, PatternError, PatternTerm, Window};
 
 /// Builder for [`HybridPattern`]s.
 ///
-/// Collects window components and global tokens, then validates the whole
-/// pattern in [`build`](Self::build).
+/// Collects [`PatternTerm`]s — windows, global tokens and the richer
+/// block/strided/random families — then normalizes the whole composition in
+/// [`build`](Self::build).
 ///
 /// # Example
 ///
@@ -22,53 +23,67 @@ use crate::{HybridPattern, PatternError, Window};
 #[derive(Debug, Clone)]
 pub struct PatternBuilder {
     n: usize,
-    windows: Vec<Window>,
-    globals: Vec<usize>,
+    terms: Vec<PatternTerm>,
 }
 
 impl PatternBuilder {
     /// Creates a builder for a sequence of `n` tokens.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { n, windows: Vec::new(), globals: Vec::new() }
+        Self { n, terms: Vec::new() }
     }
 
     /// Adds a window component.
     #[must_use]
     pub fn window(mut self, window: Window) -> Self {
-        self.windows.push(window);
+        self.terms.push(PatternTerm::Window(window));
         self
     }
 
     /// Adds several window components.
     #[must_use]
     pub fn windows<I: IntoIterator<Item = Window>>(mut self, windows: I) -> Self {
-        self.windows.extend(windows);
+        self.terms.extend(windows.into_iter().map(PatternTerm::Window));
         self
     }
 
     /// Adds a global token.
     #[must_use]
     pub fn global_token(mut self, token: usize) -> Self {
-        self.globals.push(token);
+        self.terms.push(PatternTerm::Global { token });
         self
     }
 
     /// Adds several global tokens.
     #[must_use]
     pub fn global_tokens<I: IntoIterator<Item = usize>>(mut self, tokens: I) -> Self {
-        self.globals.extend(tokens);
+        self.terms.extend(tokens.into_iter().map(|token| PatternTerm::Global { token }));
         self
     }
 
-    /// Validates and builds the pattern.
+    /// Adds an arbitrary pattern term.
+    #[must_use]
+    pub fn term(mut self, term: PatternTerm) -> Self {
+        self.terms.push(term);
+        self
+    }
+
+    /// Adds several pattern terms.
+    #[must_use]
+    pub fn terms<I: IntoIterator<Item = PatternTerm>>(mut self, terms: I) -> Self {
+        self.terms.extend(terms);
+        self
+    }
+
+    /// Normalizes and builds the pattern.
     ///
     /// # Errors
     ///
     /// Returns an error if the sequence is empty, the pattern has no
-    /// components, or a global token is out of range.
+    /// components, a global token is out of range, or a term carries
+    /// malformed parameters.
     pub fn build(self) -> Result<HybridPattern, PatternError> {
-        HybridPattern::from_parts(self.n, self.windows, self.globals)
+        HybridPattern::from_terms(self.n, self.terms)
     }
 }
 
@@ -93,5 +108,18 @@ mod tests {
     fn builder_propagates_validation_errors() {
         let err = PatternBuilder::new(10).global_token(10).build().unwrap_err();
         assert_eq!(err, PatternError::GlobalTokenOutOfRange { token: 10, n: 10 });
+    }
+
+    #[test]
+    fn builder_accepts_residual_terms() {
+        use crate::BlockLayout;
+        let p = PatternBuilder::new(16)
+            .window(Window::symmetric(3).unwrap())
+            .term(PatternTerm::BlockSparse { block_rows: 4, layout: BlockLayout::Diagonal })
+            .terms([PatternTerm::RandomBlocks { count: 1, seed: 9 }])
+            .build()
+            .unwrap();
+        assert_eq!(p.residual_terms().len(), 2);
+        assert!(!p.residual().is_empty());
     }
 }

@@ -43,6 +43,12 @@ pub enum PatternError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A pattern term carries malformed parameters (zero block size or
+    /// stride, out-of-range block pair, inconsistent support runs).
+    InvalidTerm {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PatternError {
@@ -64,6 +70,7 @@ impl fmt::Display for PatternError {
                 write!(f, "pattern needs at least one window or global token")
             }
             PatternError::InvalidGrid { reason } => write!(f, "invalid 2-D grid: {reason}"),
+            PatternError::InvalidTerm { reason } => write!(f, "invalid pattern term: {reason}"),
         }
     }
 }
@@ -99,6 +106,7 @@ mod tests {
             PatternError::EmptySequence,
             PatternError::EmptyPattern,
             PatternError::InvalidGrid { reason: "zero height".into() },
+            PatternError::InvalidTerm { reason: "block_rows must be at least 1".into() },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

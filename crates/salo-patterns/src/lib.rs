@@ -10,8 +10,11 @@
 //! * **global attention** — a small set of pre-selected tokens whose queries
 //!   attend every key and whose keys are attended by every query.
 //!
-//! The central type is [`HybridPattern`], built from [`Window`] components and
-//! global token indices. Patterns are *data*: the SALO data scheduler
+//! The central type is [`HybridPattern`], a normalized composition of
+//! [`PatternTerm`]s: [`Window`] components and global token indices form the
+//! translation-invariant core, while block-sparse, Sparse-Transformer strided
+//! and BigBird-style random terms lower to a canonical per-row
+//! [`SupportRuns`] residual. Patterns are *data*: the SALO data scheduler
 //! (`salo-scheduler`) consumes them to produce execution plans, the reference
 //! kernels (`salo-kernels`) consume them as masks, and the statistics module
 //! here reproduces the sparsity column of Table 2 in the paper.
@@ -47,20 +50,23 @@ mod render;
 mod shape;
 mod stats;
 mod support;
+mod terms;
 mod window;
 
 pub use builder::PatternBuilder;
 pub use decode::DecodeView;
 pub use error::PatternError;
 pub use fingerprint::StableHasher;
-pub use fit::{fit_pattern, FitConfig, FitReport};
+pub use fit::{autotune, fit_pattern, AutotuneReport, FitConfig, FitReport};
 pub use mask::DenseMask;
 pub use pattern::HybridPattern;
 pub use presets::{
-    grid_2d, longformer, sliding_only, sparse_transformer, star_transformer, vil_stage,
+    bigbird, grid_2d, longformer, sliding_only, sparse_transformer, star_transformer,
+    strided_fixed, vil_stage,
 };
 pub use render::{render_ascii, RenderOptions};
 pub use shape::AttentionShape;
 pub use stats::PatternStats;
 pub use support::{analyze_support, bigbird_like_mask, SupportReport};
+pub use terms::{BlockLayout, PatternTerm, SupportRuns};
 pub use window::Window;

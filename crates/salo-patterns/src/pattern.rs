@@ -1,17 +1,27 @@
-use crate::{PatternBuilder, PatternError, PatternStats, StableHasher, Window};
+use crate::terms::expand_residual_term;
+use crate::{
+    PatternBuilder, PatternError, PatternStats, PatternTerm, StableHasher, SupportRuns, Window,
+};
 
-/// A hybrid sparse attention pattern: the union of window components and
-/// global tokens over a sequence of length `n`.
+/// A hybrid sparse attention pattern: a normalized composition of
+/// [`PatternTerm`]s over a sequence of length `n`.
 ///
-/// This is the pattern language of the SALO paper (§2.3/§3): any number of
-/// sliding or dilated [`Window`]s plus a set of global tokens. Position
-/// `(i, j)` of the attention score matrix is *kept* (computed) iff
+/// The SALO paper's pattern language (§2.3/§3) — any number of sliding or
+/// dilated [`Window`]s plus a set of global tokens — is the translation
+/// invariant core. The IR adds block-sparse, strided and BigBird-style
+/// random terms, which normalize into a *residual*: one canonical per-row
+/// [`SupportRuns`] holding every kept cell not already owned by a window
+/// offset or a global row/column. Position `(i, j)` of the attention score
+/// matrix is *kept* (computed) iff
 ///
 /// * some window contains the relative offset `j - i`, or
 /// * `i` is a global token (its query attends every key), or
-/// * `j` is a global token (its key is attended by every query).
+/// * `j` is a global token (its key is attended by every query), or
+/// * the residual support contains `(i, j)`.
 ///
-/// All coordinates are clipped to `0..n`.
+/// The three owner classes are disjoint by construction, so exactly-once
+/// scheduling falls out of the normalization. All coordinates are clipped
+/// to `0..n`.
 ///
 /// # Example
 ///
@@ -30,6 +40,12 @@ pub struct HybridPattern {
     n: usize,
     windows: Vec<Window>,
     globals: Vec<usize>,
+    /// Non-translation-invariant terms, kept verbatim in composition order
+    /// so `terms()` round-trips and fingerprints stay structural.
+    residual_terms: Vec<PatternTerm>,
+    /// The residual terms expanded to per-row runs, minus every cell owned
+    /// by a window offset or a global row/column.
+    residual: SupportRuns,
 }
 
 impl HybridPattern {
@@ -39,23 +55,91 @@ impl HybridPattern {
         PatternBuilder::new(n)
     }
 
-    pub(crate) fn from_parts(
-        n: usize,
-        windows: Vec<Window>,
-        mut globals: Vec<usize>,
-    ) -> Result<Self, PatternError> {
+    /// Normalizes a composition of [`PatternTerm`]s into a pattern.
+    ///
+    /// Translation-invariant terms ([`PatternTerm::Window`],
+    /// [`PatternTerm::Strided`]) lower to windows; [`PatternTerm::Global`]s
+    /// collect into the sorted global set; the remaining terms expand to
+    /// per-row support runs from which every cell already covered by a
+    /// window or a global row/column is removed. Normalization is
+    /// idempotent: `from_terms(n, p.terms())` reproduces `p` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::EmptySequence`] for `n == 0`,
+    /// [`PatternError::GlobalTokenOutOfRange`] for an out-of-range global,
+    /// [`PatternError::InvalidTerm`] for malformed block/strided/support
+    /// parameters, and [`PatternError::EmptyPattern`] when no term
+    /// contributes any kept cell.
+    pub fn from_terms(n: usize, terms: Vec<PatternTerm>) -> Result<Self, PatternError> {
         if n == 0 {
             return Err(PatternError::EmptySequence);
         }
-        if windows.is_empty() && globals.is_empty() {
-            return Err(PatternError::EmptyPattern);
-        }
-        if let Some(&bad) = globals.iter().find(|&&g| g >= n) {
-            return Err(PatternError::GlobalTokenOutOfRange { token: bad, n });
+        let mut windows = Vec::new();
+        let mut globals = Vec::new();
+        let mut residual_terms = Vec::new();
+        for term in terms {
+            match term {
+                PatternTerm::Window(w) => windows.push(w),
+                PatternTerm::Global { token } => {
+                    if token >= n {
+                        return Err(PatternError::GlobalTokenOutOfRange { token, n });
+                    }
+                    globals.push(token);
+                }
+                PatternTerm::Strided { stride, local } => {
+                    if stride == 0 {
+                        return Err(PatternError::InvalidTerm {
+                            reason: "strided term needs stride >= 1".into(),
+                        });
+                    }
+                    windows.push(Window::causal(local)?);
+                    let reach = ((n - 1) / stride) as i64 * stride as i64;
+                    if reach > 0 {
+                        windows.push(Window::dilated(-reach, 0, stride)?);
+                    }
+                }
+                residual => residual_terms.push(residual),
+            }
         }
         globals.sort_unstable();
         globals.dedup();
-        Ok(Self { n, windows, globals })
+        let residual = if residual_terms.is_empty() {
+            SupportRuns::empty(n)
+        } else {
+            let mut rows = vec![Vec::new(); n];
+            for term in &residual_terms {
+                expand_residual_term(term, n, &mut rows)?;
+            }
+            let is_g = |t: usize| globals.binary_search(&t).is_ok();
+            for (i, row) in rows.iter_mut().enumerate() {
+                if is_g(i) {
+                    row.clear();
+                    continue;
+                }
+                row.retain(|&j| {
+                    !is_g(j as usize)
+                        && !windows.iter().any(|w| w.contains_offset(i64::from(j) - i as i64))
+                });
+            }
+            SupportRuns::from_rows(n, &mut rows)
+        };
+        if windows.is_empty() && globals.is_empty() && residual.is_empty() {
+            return Err(PatternError::EmptyPattern);
+        }
+        Ok(Self { n, windows, globals, residual_terms, residual })
+    }
+
+    /// The pattern's terms in normalized order: windows, then globals, then
+    /// the residual terms verbatim. `from_terms(n, p.terms())` rebuilds an
+    /// identical pattern.
+    #[must_use]
+    pub fn terms(&self) -> Vec<PatternTerm> {
+        let mut out: Vec<PatternTerm> =
+            self.windows.iter().map(|&w| PatternTerm::Window(w)).collect();
+        out.extend(self.globals.iter().map(|&token| PatternTerm::Global { token }));
+        out.extend(self.residual_terms.iter().cloned());
+        out
     }
 
     /// Sequence length `n`.
@@ -82,6 +166,20 @@ impl HybridPattern {
         self.globals.binary_search(&token).is_ok()
     }
 
+    /// The non-translation-invariant terms of the composition, in order.
+    #[must_use]
+    pub fn residual_terms(&self) -> &[PatternTerm] {
+        &self.residual_terms
+    }
+
+    /// The normalized residual support: every kept cell not owned by a
+    /// window offset or a global row/column. The scheduler executes these
+    /// cells through gather-style row-support components.
+    #[must_use]
+    pub fn residual(&self) -> &SupportRuns {
+        &self.residual
+    }
+
     /// Whether score position `(i, j)` is kept by the pattern.
     ///
     /// # Panics
@@ -98,16 +196,24 @@ impl HybridPattern {
         if self.is_global(i) || self.is_global(j) {
             return true;
         }
-        self.window_allows(i, j)
+        self.array_allows(i, j)
     }
 
     /// Whether `(i, j)` is kept by a window component alone (ignoring global
-    /// rows/columns). The data scheduler uses this to separate the work of
-    /// the PE array from that of the global PE row/column.
+    /// rows/columns and the residual support). The data scheduler uses this
+    /// to separate the work of the diagonal-streaming PE array from that of
+    /// the global PE row/column and the gather-style residual components.
     #[must_use]
     pub fn window_allows(&self, i: usize, j: usize) -> bool {
         let delta = j as i64 - i as i64;
         self.windows.iter().any(|w| w.contains_offset(delta))
+    }
+
+    /// Whether `(i, j)` is kept by the PE array's work — a window component
+    /// or the residual support — ignoring global rows/columns.
+    #[must_use]
+    pub fn array_allows(&self, i: usize, j: usize) -> bool {
+        self.window_allows(i, j) || self.residual.contains(i, j)
     }
 
     /// The sorted, deduplicated keys attended by query `i`.
@@ -126,6 +232,7 @@ impl HybridPattern {
                 }
             }
         }
+        self.residual.extend_row_keys(i, &mut keys);
         keys.sort_unstable();
         keys.dedup();
         keys
@@ -171,36 +278,52 @@ impl HybridPattern {
     }
 
     /// The causal restriction of this pattern: every window clipped to
-    /// non-positive offsets (`j <= i`), for decoder-style autoregressive
-    /// attention. Windows entirely in the future are dropped; global
-    /// tokens are kept (causal models place them at the sequence start,
-    /// where their row is almost fully masked anyway — the caller decides
-    /// their semantics).
+    /// non-positive offsets and every residual run clipped to keys
+    /// `j <= i`, for decoder-style autoregressive attention. Windows
+    /// entirely in the future are dropped; global tokens are kept (causal
+    /// models place them at the sequence start, where their row is almost
+    /// fully masked anyway — the caller decides their semantics). The
+    /// clipped residual is carried as a single explicit
+    /// [`PatternTerm::Support`] term, so the causal pattern normalizes to
+    /// itself.
     ///
     /// # Errors
     ///
     /// Returns [`PatternError::EmptyPattern`] if nothing survives the
     /// clipping.
     pub fn causal(&self) -> Result<HybridPattern, PatternError> {
-        let windows = self.windows.iter().filter_map(Window::causal_clip).collect();
-        HybridPattern::from_parts(self.n, windows, self.globals.clone())
+        let windows: Vec<Window> = self.windows.iter().filter_map(Window::causal_clip).collect();
+        let residual = self.residual.causal_clip();
+        if windows.is_empty() && self.globals.is_empty() && residual.is_empty() {
+            return Err(PatternError::EmptyPattern);
+        }
+        let residual_terms = if residual.is_empty() {
+            Vec::new()
+        } else {
+            vec![PatternTerm::Support(residual.clone())]
+        };
+        Ok(Self { n: self.n, windows, globals: self.globals.clone(), residual_terms, residual })
     }
 
     /// A stable 64-bit structural fingerprint of the pattern.
     ///
     /// Equal patterns (same sequence length, same window list in order
-    /// with dilation, same global-token set) always fingerprint
-    /// identically; distinct patterns collide only with the ~2^-64
-    /// probability of the underlying non-cryptographic hash, so callers
-    /// keying caches on it must verify the actual pattern on a hit (as
-    /// `salo-serve`'s plan cache does). Unlike `Hash`, the value is
-    /// process- and release-stable ([`StableHasher`]), so it is usable as
-    /// a persistent cache key.
+    /// with dilation, same global-token set, same residual terms) always
+    /// fingerprint identically; distinct patterns collide only with the
+    /// ~2^-64 probability of the underlying non-cryptographic hash, so
+    /// callers keying caches on it must verify the actual pattern on a hit
+    /// (as `salo-serve`'s plan cache does). Unlike `Hash`, the value is
+    /// process- and release-stable ([`StableHasher`]): random terms hash
+    /// their `(count, seed)` parameters, which fully determine the
+    /// expansion, so it is usable as a persistent cache key.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         // Exhaustive destructuring: a future field cannot be forgotten
         // here without a compile error.
-        let Self { n, windows, globals } = self;
+        let Self { n, windows, globals, residual_terms, residual } = self;
+        // The residual is a pure function of (n, windows, globals,
+        // residual_terms); hashing the terms covers it.
+        let _ = residual;
         let mut h = StableHasher::new();
         h.write_usize(*n);
         h.write_usize(windows.len());
@@ -212,6 +335,10 @@ impl HybridPattern {
         h.write_usize(globals.len());
         for &g in globals {
             h.write_usize(g);
+        }
+        h.write_usize(residual_terms.len());
+        for t in residual_terms {
+            t.hash_stable(&mut h);
         }
         h.finish()
     }
@@ -477,5 +604,132 @@ mod tests {
     fn causal_of_future_only_pattern_errors() {
         let p = HybridPattern::builder(8).window(Window::sliding(1, 3).unwrap()).build().unwrap();
         assert!(matches!(p.causal(), Err(PatternError::EmptyPattern)));
+    }
+
+    #[test]
+    fn block_sparse_residual_excludes_window_and_global_cells() {
+        use crate::{BlockLayout, PatternTerm};
+        let p = HybridPattern::from_terms(
+            8,
+            vec![
+                PatternTerm::Window(Window::symmetric(3).unwrap()),
+                PatternTerm::Global { token: 0 },
+                PatternTerm::BlockSparse { block_rows: 4, layout: BlockLayout::Diagonal },
+            ],
+        )
+        .unwrap();
+        // Block (0,0) covers rows 0..4 x cols 0..4; cell (3, 1) is neither
+        // in the window (|delta| > 1) nor global, so it lands in the
+        // residual — and only there.
+        assert!(p.allows(3, 1));
+        assert!(p.residual().contains(3, 1));
+        assert!(!p.window_allows(3, 1));
+        // (3, 2) is in the window; the residual must not duplicate it.
+        assert!(p.allows(3, 2));
+        assert!(!p.residual().contains(3, 2));
+        // (3, 0) is a global column; also excluded from the residual.
+        assert!(!p.residual().contains(3, 0));
+        // Off-diagonal block cell is masked entirely.
+        assert!(!p.allows(1, 6));
+    }
+
+    #[test]
+    fn from_terms_of_terms_is_idempotent() {
+        use crate::{BlockLayout, PatternTerm};
+        let p = HybridPattern::from_terms(
+            24,
+            vec![
+                PatternTerm::Window(Window::symmetric(5).unwrap()),
+                PatternTerm::Global { token: 2 },
+                PatternTerm::BlockSparse {
+                    block_rows: 8,
+                    layout: BlockLayout::Banded { radius: 1 },
+                },
+                PatternTerm::RandomBlocks { count: 2, seed: 7 },
+            ],
+        )
+        .unwrap();
+        let again = HybridPattern::from_terms(p.n(), p.terms()).unwrap();
+        assert_eq!(p, again);
+        assert_eq!(p.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn strided_lowers_to_local_plus_dilated_column_windows() {
+        use crate::PatternTerm;
+        let n = 64;
+        let stride = 8;
+        let p = HybridPattern::from_terms(n, vec![PatternTerm::Strided { stride, local: stride }])
+            .unwrap();
+        assert!(p.residual().is_empty(), "strided is translation invariant");
+        assert_eq!(p.windows().len(), 2);
+        // Local causal window.
+        assert!(p.allows(40, 40));
+        assert!(p.allows(40, 33));
+        assert!(!p.allows(40, 41), "strided+fixed is causal");
+        // Column attention: every stride-th earlier key relative to i.
+        assert!(p.allows(40, 32));
+        assert!(p.allows(40, 0));
+        assert!(!p.allows(40, 31));
+    }
+
+    #[test]
+    fn random_blocks_expansion_is_deterministic() {
+        use crate::PatternTerm;
+        let make = || {
+            HybridPattern::from_terms(32, vec![PatternTerm::RandomBlocks { count: 3, seed: 42 }])
+                .unwrap()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let other =
+            HybridPattern::from_terms(32, vec![PatternTerm::RandomBlocks { count: 3, seed: 43 }])
+                .unwrap();
+        assert_ne!(a.fingerprint(), other.fingerprint(), "seed is structural");
+    }
+
+    #[test]
+    fn causal_clips_residual_support() {
+        use crate::{BlockLayout, PatternTerm};
+        let p = HybridPattern::from_terms(
+            12,
+            vec![
+                PatternTerm::Window(Window::causal(2).unwrap()),
+                PatternTerm::BlockSparse {
+                    block_rows: 6,
+                    layout: BlockLayout::Banded { radius: 1 },
+                },
+            ],
+        )
+        .unwrap();
+        assert!(p.allows(2, 9), "off-diagonal block reaches the future");
+        let c = p.causal().unwrap();
+        for (i, j) in c.iter() {
+            assert!(j <= i, "({i},{j}) is anti-causal");
+        }
+        assert!(c.allows(8, 3), "past block cells survive");
+        // Causal normalization is itself idempotent.
+        let again = HybridPattern::from_terms(c.n(), c.terms()).unwrap();
+        assert_eq!(c, again);
+    }
+
+    #[test]
+    fn empty_residual_expansion_is_rejected() {
+        use crate::PatternTerm;
+        // A random term whose every cell is swallowed by the global token
+        // still leaves the global pattern non-empty...
+        let p = HybridPattern::from_terms(
+            1,
+            vec![PatternTerm::Global { token: 0 }, PatternTerm::RandomBlocks { count: 2, seed: 1 }],
+        )
+        .unwrap();
+        assert!(p.residual().is_empty());
+        // ...but a support term with no runs and nothing else is empty.
+        let err =
+            HybridPattern::from_terms(4, vec![PatternTerm::Support(crate::SupportRuns::empty(4))])
+                .unwrap_err();
+        assert_eq!(err, PatternError::EmptyPattern);
     }
 }

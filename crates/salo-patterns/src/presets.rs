@@ -1,8 +1,10 @@
 //! Preset pattern generators for the sparse attention mechanisms surveyed in
 //! the SALO paper (Fig. 2): Longformer, Star Transformer, Sparse Transformer
-//! and the 2-D windows of Vision Longformer (ViL).
+//! and the 2-D windows of Vision Longformer (ViL) — plus the pattern-zoo
+//! additions the composable IR unlocks: BigBird ([`bigbird`]) and the
+//! O(n·√n) strided+fixed pattern ([`strided_fixed`]).
 
-use crate::{HybridPattern, PatternError, Window};
+use crate::{HybridPattern, PatternError, PatternTerm, Window};
 
 /// Longformer's hybrid pattern: a symmetric sliding window of size `w` plus
 /// `ng` global tokens at the start of the sequence (task tokens such as
@@ -55,6 +57,46 @@ pub fn sparse_transformer(
     let local = Window::causal(stride)?;
     let column = Window::dilated(-((depth * stride) as i64), 0, stride)?;
     HybridPattern::builder(n).window(local).window(column).build()
+}
+
+/// BigBird's hybrid pattern: a symmetric sliding window of size `w`, `blocks`
+/// pseudo-random keys per query row, and `ng` global tokens at the sequence
+/// start.
+///
+/// The random part is deterministically derived from `seed` via the same
+/// splitmix64 stream as [`bigbird_like_mask`](crate::bigbird_like_mask), so
+/// `DenseMask::from_pattern(&bigbird(n, w, blocks, ng, seed)?)` reproduces
+/// that mask bit for bit and the pattern's fingerprint is stable across
+/// processes and releases.
+///
+/// # Errors
+///
+/// Returns an error if `w == 0` or `ng > n`.
+pub fn bigbird(
+    n: usize,
+    w: usize,
+    blocks: usize,
+    ng: usize,
+    seed: u64,
+) -> Result<HybridPattern, PatternError> {
+    HybridPattern::builder(n)
+        .window(Window::symmetric(w)?)
+        .global_tokens(0..ng)
+        .term(PatternTerm::RandomBlocks { count: blocks, seed })
+        .build()
+}
+
+/// Sparse Transformer's strided+fixed pattern at full reach: a causal local
+/// window of `stride` positions plus every `stride`-th earlier key over the
+/// *whole* history — O(n·√n) kept positions at `stride ≈ √n`. Unlike
+/// [`sparse_transformer`], whose column attention stops after `depth`
+/// strides, this reaches position 0 from every query.
+///
+/// # Errors
+///
+/// Returns an error if `stride == 0` or `n == 0`.
+pub fn strided_fixed(n: usize, stride: usize) -> Result<HybridPattern, PatternError> {
+    HybridPattern::builder(n).term(PatternTerm::Strided { stride, local: stride }).build()
 }
 
 /// A 2-D local window over an `h x w` token grid, flattened row-major into a
@@ -196,6 +238,30 @@ mod tests {
         assert_eq!(s1.total_window_width(), 225);
         let s2 = vil_stage(28, 28, 15, 15, 1).unwrap();
         assert_eq!(s2.n(), 784);
+    }
+
+    #[test]
+    fn bigbird_preset_reproduces_the_reference_mask() {
+        use crate::{bigbird_like_mask, DenseMask};
+        let (n, w, blocks, ng, seed) = (96, 12, 3, 1, 42);
+        let p = bigbird(n, w, blocks, ng, seed).unwrap();
+        let mask = bigbird_like_mask(n, w, ng, blocks, seed).unwrap();
+        assert_eq!(DenseMask::from_pattern(&p), mask, "pattern and mask share the random stream");
+        assert!(!p.residual().is_empty(), "random links land in the residual");
+    }
+
+    #[test]
+    fn strided_fixed_reaches_the_whole_history() {
+        let p = strided_fixed(256, 16).unwrap();
+        assert!(p.allows(200, 200));
+        assert!(p.allows(200, 185), "inside the local window");
+        assert!(!p.allows(200, 201), "causal");
+        assert!(p.allows(200, 184), "stride hit");
+        assert!(p.allows(200, 8), "column attention reaches the whole history");
+        assert!(!p.allows(200, 9));
+        // O(n·√n): each row keeps ~2√n keys.
+        assert!(p.nnz() < 2 * 256 * 32);
+        assert!(strided_fixed(256, 0).is_err());
     }
 
     #[test]

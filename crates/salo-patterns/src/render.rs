@@ -8,7 +8,8 @@ use crate::HybridPattern;
 pub struct RenderOptions {
     /// Maximum rendered grid size; larger patterns are downsampled.
     pub max_cells: usize,
-    /// Character for kept positions covered by a window component.
+    /// Character for kept positions covered by the PE array's work (a
+    /// window component or the residual support).
     pub window_char: char,
     /// Character for positions covered only by a global row/column.
     pub global_char: char,
@@ -50,7 +51,7 @@ pub fn render_ascii(pattern: &HybridPattern, opts: RenderOptions) -> String {
             let mut any_global = false;
             'scan: for i in (bi * block)..(bi * block + block).min(n) {
                 for j in (bj * block)..(bj * block + block).min(n) {
-                    if pattern.window_allows(i, j) {
+                    if pattern.array_allows(i, j) {
                         any_window = true;
                         break 'scan;
                     }

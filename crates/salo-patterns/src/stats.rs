@@ -25,6 +25,9 @@ pub struct PatternStats {
     pub num_windows: usize,
     /// Number of global tokens.
     pub num_globals: usize,
+    /// Kept positions in the residual support (block/random/support terms
+    /// after normalization); zero for pure window/global patterns.
+    pub residual_nnz: u64,
 }
 
 impl PatternStats {
@@ -42,6 +45,7 @@ impl PatternStats {
             window_width: w_total,
             num_windows: p.windows().len(),
             num_globals: ng,
+            residual_nnz: p.residual().nnz(),
         }
     }
 

@@ -1,14 +1,21 @@
-//! The boundary of SALO's pattern language.
+//! The boundary of SALO's *window/global* pattern language.
 //!
-//! SALO executes unions of translation-invariant windows and global
-//! tokens. Mechanisms built from those parts (Longformer, ViL, Star,
-//! Sparse Transformer) map exactly; mechanisms with *per-row random*
-//! links — BigBird's random attention being the prominent example — have
-//! a residual no window/global decomposition expresses. This module
-//! measures that boundary: [`analyze_support`] splits an arbitrary mask
-//! into the SALO-expressible part and the residual, and
-//! [`bigbird_like_mask`] generates the canonical hard case
-//! deterministically (no RNG dependency — a splitmix-style hash).
+//! SALO's diagonal dataflow streams unions of translation-invariant
+//! windows and global tokens. Mechanisms built from those parts
+//! (Longformer, ViL, Star, Sparse Transformer) map exactly; mechanisms
+//! with *per-row random* links — BigBird's random attention being the
+//! prominent example — have a residual no window/global decomposition
+//! expresses. This module measures that boundary: [`analyze_support`]
+//! splits an arbitrary mask into the window/global-expressible part and
+//! the residual, and [`bigbird_like_mask`] generates the canonical hard
+//! case deterministically (no RNG dependency — a splitmix-style hash).
+//!
+//! Since the composable pattern IR, the residual is no longer
+//! *inexpressible*: [`fit_pattern`] with
+//! [`FitConfig::capture_residual`] recovers it as block/support terms the
+//! scheduler executes through gather-style components. The report here
+//! deliberately keeps measuring the window/global boundary, which is what
+//! decides how much of a mask the diagonal-streaming PE array covers.
 
 use crate::{fit_pattern, DenseMask, FitConfig, HybridPattern};
 
@@ -31,10 +38,16 @@ pub struct SupportReport {
     pub fitted: Option<HybridPattern>,
 }
 
-/// Splits a mask into its SALO-expressible part and the residual.
+/// Splits a mask into its window/global-expressible part and the residual.
+///
+/// The fit always runs with [`FitConfig::capture_residual`] off, whatever
+/// the caller passes: this report's purpose is to measure the
+/// window/global boundary, and a residual-capturing fit would trivially
+/// report zero residual for every mask.
 #[must_use]
 pub fn analyze_support(mask: &DenseMask, config: FitConfig) -> SupportReport {
     let total = mask.nnz();
+    let config = FitConfig { capture_residual: false, ..config };
     match fit_pattern(mask, config) {
         Ok(report) => {
             let covered = total - report.missed;

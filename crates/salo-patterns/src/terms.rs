@@ -1,0 +1,517 @@
+//! The composable pattern IR: terms and their canonical lowering.
+//!
+//! A [`HybridPattern`](crate::HybridPattern) is a normalized composition of
+//! [`PatternTerm`]s. Two term families are *translation invariant* and lower
+//! to the representation the SALO dataflow streams diagonally:
+//!
+//! * [`PatternTerm::Window`] — sliding/dilated windows (the paper's §2.3);
+//! * [`PatternTerm::Strided`] — Sparse-Transformer strided+fixed attention,
+//!   which normalizes into a causal local window plus a full-reach dilated
+//!   column window.
+//!
+//! [`PatternTerm::Global`] lowers to the global PE row/column. The remaining
+//! families are *not* translation invariant; they lower to one canonical
+//! per-row **support-run** representation ([`SupportRuns`]) that the
+//! scheduler executes through gather-style `RowSupport` components:
+//!
+//! * [`PatternTerm::BlockSparse`] — a block grid with a [`BlockLayout`];
+//! * [`PatternTerm::RandomBlocks`] — BigBird-style random attention,
+//!   deterministically derived from a seeded splitmix64 stream (the same
+//!   stream as [`bigbird_like_mask`](crate::bigbird_like_mask), so
+//!   fingerprints and masks stay stable across runs and releases);
+//! * [`PatternTerm::Support`] — explicit per-row runs, the escape hatch for
+//!   arbitrary masks.
+//!
+//! Normalization is *disjoint by construction*: support runs exclude every
+//! cell already owned by a window offset or a global row/column, mirroring
+//! the scheduler's claimed-offset ownership rule, so exactly-once coverage
+//! proofs carry over unchanged.
+
+use crate::{PatternError, StableHasher, Window};
+
+/// Which block pairs a [`PatternTerm::BlockSparse`] term keeps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BlockLayout {
+    /// Only the diagonal blocks (`bj == bi`).
+    Diagonal,
+    /// A band of blocks around the diagonal (`|bj - bi| <= radius`).
+    Banded {
+        /// Band radius in blocks.
+        radius: usize,
+    },
+    /// An explicit list of `(block_row, block_col)` pairs.
+    Explicit(Vec<(usize, usize)>),
+}
+
+/// One term of the composable pattern IR.
+///
+/// See [`crate::HybridPattern::from_terms`] for how each family lowers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternTerm {
+    /// A translation-invariant sliding or dilated window.
+    Window(Window),
+    /// A global token: its query attends every key and its key is attended
+    /// by every query.
+    Global {
+        /// The global token's sequence index.
+        token: usize,
+    },
+    /// Sparse-Transformer strided+fixed attention: a causal local window of
+    /// `local` positions plus every `stride`-th earlier position over the
+    /// whole history (O(n·√n) work at `stride = local = √n`).
+    Strided {
+        /// Stride of the column attention (and the dilation of the lowered
+        /// column window).
+        stride: usize,
+        /// Width of the causal local window.
+        local: usize,
+    },
+    /// Block-sparse attention over a grid of `block_rows`-sized blocks.
+    BlockSparse {
+        /// Rows (and columns) per block; the last block may be ragged.
+        block_rows: usize,
+        /// Which block pairs are kept.
+        layout: BlockLayout,
+    },
+    /// BigBird-style random attention: `count` pseudo-random keys per query
+    /// row, drawn from a single splitmix64 stream seeded with `seed` and
+    /// advanced row-major — exactly the stream of
+    /// [`bigbird_like_mask`](crate::bigbird_like_mask), so
+    /// `from_terms` of this term reproduces that mask's random part bit for
+    /// bit and the pattern fingerprint is stable.
+    RandomBlocks {
+        /// Random keys drawn per query row.
+        count: usize,
+        /// Stream seed.
+        seed: u64,
+    },
+    /// Explicit per-row support runs (an arbitrary mask residual).
+    Support(SupportRuns),
+}
+
+impl PatternTerm {
+    /// Writes a stable encoding of the term into `h` (tag plus parameters;
+    /// [`PatternTerm::RandomBlocks`] hashes `(count, seed)`, not its
+    /// expansion, which is fully determined by them).
+    pub(crate) fn hash_stable(&self, h: &mut StableHasher) {
+        match self {
+            PatternTerm::Window(w) => {
+                h.write_u64(1);
+                h.write_i64(w.lo());
+                h.write_i64(w.hi());
+                h.write_usize(w.dilation());
+            }
+            PatternTerm::Global { token } => {
+                h.write_u64(2);
+                h.write_usize(*token);
+            }
+            PatternTerm::Strided { stride, local } => {
+                h.write_u64(3);
+                h.write_usize(*stride);
+                h.write_usize(*local);
+            }
+            PatternTerm::BlockSparse { block_rows, layout } => {
+                h.write_u64(4);
+                h.write_usize(*block_rows);
+                match layout {
+                    BlockLayout::Diagonal => h.write_u64(0),
+                    BlockLayout::Banded { radius } => {
+                        h.write_u64(1);
+                        h.write_usize(*radius);
+                    }
+                    BlockLayout::Explicit(pairs) => {
+                        h.write_u64(2);
+                        h.write_usize(pairs.len());
+                        for &(bi, bj) in pairs {
+                            h.write_usize(bi);
+                            h.write_usize(bj);
+                        }
+                    }
+                }
+            }
+            PatternTerm::RandomBlocks { count, seed } => {
+                h.write_u64(5);
+                h.write_usize(*count);
+                h.write_u64(*seed);
+            }
+            PatternTerm::Support(runs) => {
+                h.write_u64(6);
+                h.write_usize(runs.n);
+                h.write_usize(runs.runs.len());
+                for &s in &runs.starts {
+                    h.write_u64(u64::from(s));
+                }
+                for &(a, b) in &runs.runs {
+                    h.write_u64(u64::from(a));
+                    h.write_u64(u64::from(b));
+                }
+            }
+        }
+    }
+}
+
+/// Canonical per-row support runs: for each row, a sorted list of disjoint
+/// half-open key ranges `[start, end)`, stored CSR-style.
+///
+/// This is the representation every non-translation-invariant term lowers
+/// to; the scheduler turns it into gather-style `RowSupport` components.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SupportRuns {
+    n: usize,
+    /// `starts[i]..starts[i + 1]` indexes row `i`'s runs; length `n + 1`.
+    starts: Vec<u32>,
+    /// Sorted, disjoint, non-adjacent `[start, end)` key ranges.
+    runs: Vec<(u32, u32)>,
+}
+
+impl SupportRuns {
+    /// Empty support over `n` rows.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Self { n, starts: vec![0; n + 1], runs: Vec::new() }
+    }
+
+    /// Builds runs from per-row key lists. Keys may be unsorted and contain
+    /// duplicates; adjacent keys merge into one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != n` or any key is `>= n` (caller logic
+    /// error: expansion is an internal, pre-validated step).
+    #[must_use]
+    pub fn from_rows(n: usize, rows: &mut [Vec<u32>]) -> Self {
+        assert_eq!(rows.len(), n, "row count mismatch");
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut runs = Vec::new();
+        starts.push(0u32);
+        for row in rows.iter_mut() {
+            row.sort_unstable();
+            row.dedup();
+            let mut iter = row.iter().copied();
+            if let Some(first) = iter.next() {
+                assert!((first as usize) < n, "key out of range");
+                let mut cur = (first, first + 1);
+                for j in iter {
+                    assert!((j as usize) < n, "key out of range");
+                    if j == cur.1 {
+                        cur.1 = j + 1;
+                    } else {
+                        runs.push(cur);
+                        cur = (j, j + 1);
+                    }
+                }
+                runs.push(cur);
+            }
+            starts.push(u32::try_from(runs.len()).expect("run count fits u32"));
+        }
+        Self { n, starts, runs }
+    }
+
+    /// Builds runs directly from per-row sorted, disjoint, non-adjacent
+    /// range lists, validating the invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::InvalidTerm`] if a run is empty, out of
+    /// range, unsorted or overlapping/adjacent with its predecessor.
+    pub fn from_row_ranges(n: usize, rows: &[Vec<(u32, u32)>]) -> Result<Self, PatternError> {
+        if rows.len() != n {
+            return Err(PatternError::InvalidTerm {
+                reason: format!("support has {} rows for sequence length {n}", rows.len()),
+            });
+        }
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut runs = Vec::new();
+        starts.push(0u32);
+        for (i, row) in rows.iter().enumerate() {
+            let mut prev_end = None;
+            for &(s, e) in row {
+                if s >= e || e as usize > n {
+                    return Err(PatternError::InvalidTerm {
+                        reason: format!("row {i} run [{s}, {e}) invalid for length {n}"),
+                    });
+                }
+                if let Some(pe) = prev_end {
+                    if s <= pe {
+                        return Err(PatternError::InvalidTerm {
+                            reason: format!(
+                                "row {i} run [{s}, {e}) overlaps or touches previous end {pe}"
+                            ),
+                        });
+                    }
+                }
+                prev_end = Some(e);
+                runs.push((s, e));
+            }
+            starts.push(u32::try_from(runs.len()).expect("run count fits u32"));
+        }
+        Ok(Self { n, starts, runs })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no row has any run.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total number of supported cells.
+    #[must_use]
+    pub fn nnz(&self) -> u64 {
+        self.runs.iter().map(|&(s, e)| u64::from(e - s)).sum()
+    }
+
+    /// Row `i`'s runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn row_runs(&self, i: usize) -> &[(u32, u32)] {
+        &self.runs[self.starts[i] as usize..self.starts[i + 1] as usize]
+    }
+
+    /// Number of supported keys in row `i`.
+    #[must_use]
+    pub fn row_len(&self, i: usize) -> usize {
+        self.row_runs(i).iter().map(|&(s, e)| (e - s) as usize).sum()
+    }
+
+    /// The `(min, max_exclusive)` key bounds of row `i`, if non-empty.
+    #[must_use]
+    pub fn row_bounds(&self, i: usize) -> Option<(usize, usize)> {
+        let runs = self.row_runs(i);
+        match (runs.first(), runs.last()) {
+            (Some(&(s, _)), Some(&(_, e))) => Some((s as usize, e as usize)),
+            _ => None,
+        }
+    }
+
+    /// Whether cell `(i, j)` is supported.
+    #[must_use]
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        let runs = self.row_runs(i);
+        let j = j as u32;
+        // Last run starting at or before j.
+        let idx = runs.partition_point(|&(s, _)| s <= j);
+        idx > 0 && runs[idx - 1].1 > j
+    }
+
+    /// Appends row `i`'s keys (ascending) to `out`.
+    pub fn extend_row_keys(&self, i: usize, out: &mut Vec<usize>) {
+        for &(s, e) in self.row_runs(i) {
+            out.extend((s as usize)..(e as usize));
+        }
+    }
+
+    /// The causal restriction: every run of row `i` clipped to keys
+    /// `<= i`.
+    #[must_use]
+    pub fn causal_clip(&self) -> Self {
+        let mut starts = Vec::with_capacity(self.n + 1);
+        let mut runs = Vec::new();
+        starts.push(0u32);
+        for i in 0..self.n {
+            let cut = i as u32 + 1; // exclusive upper bound on kept keys
+            for &(s, e) in self.row_runs(i) {
+                if s >= cut {
+                    break;
+                }
+                runs.push((s, e.min(cut)));
+            }
+            starts.push(u32::try_from(runs.len()).expect("run count fits u32"));
+        }
+        Self { n: self.n, starts, runs }
+    }
+
+    /// Iterates all supported `(i, j)` cells in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            self.row_runs(i)
+                .iter()
+                .flat_map(move |&(s, e)| ((s as usize)..(e as usize)).map(move |j| (i, j)))
+        })
+    }
+}
+
+/// The splitmix64 stream shared by [`PatternTerm::RandomBlocks`] expansion
+/// and [`bigbird_like_mask`](crate::bigbird_like_mask): `state` starts at
+/// `seed + GOLDEN` and each draw adds `GOLDEN` again before mixing.
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+pub(crate) const SPLITMIX_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { state: seed.wrapping_add(SPLITMIX_GOLDEN) }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(SPLITMIX_GOLDEN);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Validates a residual term and appends its raw cells (before
+/// window/global exclusion) to `rows`.
+pub(crate) fn expand_residual_term(
+    term: &PatternTerm,
+    n: usize,
+    rows: &mut [Vec<u32>],
+) -> Result<(), PatternError> {
+    match term {
+        PatternTerm::BlockSparse { block_rows, layout } => {
+            let b = *block_rows;
+            if b == 0 {
+                return Err(PatternError::InvalidTerm {
+                    reason: "block_rows must be at least 1".into(),
+                });
+            }
+            let nb = n.div_ceil(b);
+            let block_cols_for = |bi: usize| -> Result<Vec<usize>, PatternError> {
+                match layout {
+                    BlockLayout::Diagonal => Ok(vec![bi]),
+                    BlockLayout::Banded { radius } => {
+                        Ok((bi.saturating_sub(*radius)..=(bi + radius).min(nb - 1)).collect())
+                    }
+                    BlockLayout::Explicit(pairs) => {
+                        let mut cols = Vec::new();
+                        for &(pbi, pbj) in pairs {
+                            if pbi >= nb || pbj >= nb {
+                                return Err(PatternError::InvalidTerm {
+                                    reason: format!(
+                                        "block pair ({pbi}, {pbj}) outside {nb}x{nb} grid"
+                                    ),
+                                });
+                            }
+                            if pbi == bi {
+                                cols.push(pbj);
+                            }
+                        }
+                        cols.sort_unstable();
+                        cols.dedup();
+                        Ok(cols)
+                    }
+                }
+            };
+            for bi in 0..nb {
+                let cols = block_cols_for(bi)?;
+                if cols.is_empty() {
+                    continue;
+                }
+                for row in rows.iter_mut().take(((bi + 1) * b).min(n)).skip(bi * b) {
+                    for &bj in &cols {
+                        for j in (bj * b)..((bj + 1) * b).min(n) {
+                            row.push(j as u32);
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        PatternTerm::RandomBlocks { count, seed } => {
+            let mut rng = SplitMix64::new(*seed);
+            for row in rows.iter_mut().take(n) {
+                for _ in 0..*count {
+                    let j = (rng.next() % n as u64) as usize;
+                    row.push(j as u32);
+                }
+            }
+            Ok(())
+        }
+        PatternTerm::Support(runs) => {
+            if runs.n() != n {
+                return Err(PatternError::InvalidTerm {
+                    reason: format!(
+                        "support term covers {} rows for sequence length {n}",
+                        runs.n()
+                    ),
+                });
+            }
+            for (i, row) in rows.iter_mut().enumerate().take(n) {
+                for &(s, e) in runs.row_runs(i) {
+                    row.extend(s..e);
+                }
+            }
+            Ok(())
+        }
+        PatternTerm::Window(_) | PatternTerm::Global { .. } | PatternTerm::Strided { .. } => {
+            unreachable!("translation-invariant terms are lowered before residual expansion")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_merges_adjacent_keys() {
+        let mut rows = vec![vec![3, 1, 2, 2], vec![], vec![0, 5], vec![], vec![], vec![]];
+        let runs = SupportRuns::from_rows(6, &mut rows);
+        assert_eq!(runs.row_runs(0), &[(1, 4)]);
+        assert!(runs.row_runs(1).is_empty());
+        assert_eq!(runs.row_runs(2), &[(0, 1), (5, 6)]);
+        assert_eq!(runs.nnz(), 5);
+        assert_eq!(runs.row_len(2), 2);
+        assert_eq!(runs.row_bounds(2), Some((0, 6)));
+        assert_eq!(runs.row_bounds(1), None);
+    }
+
+    #[test]
+    fn contains_checks_run_membership() {
+        let mut rows = vec![vec![], vec![], vec![], vec![2, 3, 7], vec![], vec![], vec![], vec![]];
+        let runs = SupportRuns::from_rows(8, &mut rows);
+        assert!(runs.contains(3, 2));
+        assert!(runs.contains(3, 3));
+        assert!(!runs.contains(3, 4));
+        assert!(runs.contains(3, 7));
+        assert!(!runs.contains(3, 0));
+        assert!(!runs.contains(0, 2));
+    }
+
+    #[test]
+    fn causal_clip_cuts_future_keys() {
+        let mut rows = vec![vec![0, 5], vec![0, 1, 2], vec![4, 5], vec![], vec![], vec![]];
+        let runs = SupportRuns::from_rows(6, &mut rows);
+        let c = runs.causal_clip();
+        assert_eq!(c.row_runs(0), &[(0, 1)]);
+        assert_eq!(c.row_runs(1), &[(0, 2)]);
+        assert!(c.row_runs(2).is_empty());
+    }
+
+    #[test]
+    fn from_row_ranges_validates() {
+        assert!(SupportRuns::from_row_ranges(2, &[vec![(0, 1)], vec![(1, 3)]]).is_err(), "e > n");
+        assert!(
+            SupportRuns::from_row_ranges(4, &[vec![(2, 2)], vec![], vec![], vec![]]).is_err(),
+            "empty run"
+        );
+        assert!(
+            SupportRuns::from_row_ranges(4, &[vec![(0, 2), (2, 3)], vec![], vec![], vec![]])
+                .is_err(),
+            "adjacent runs must be merged"
+        );
+        let ok = SupportRuns::from_row_ranges(4, &[vec![(0, 2), (3, 4)], vec![], vec![], vec![]])
+            .unwrap();
+        assert_eq!(ok.nnz(), 3);
+    }
+
+    #[test]
+    fn iter_visits_cells_row_major() {
+        let mut rows = vec![vec![1], vec![], vec![0, 1]];
+        let runs = SupportRuns::from_rows(3, &mut rows);
+        let cells: Vec<_> = runs.iter().collect();
+        assert_eq!(cells, vec![(0, 1), (2, 0), (2, 1)]);
+    }
+}

@@ -1,7 +1,10 @@
 //! Property-based tests for the pattern abstraction.
 
 use proptest::prelude::*;
-use salo_patterns::{fit_pattern, longformer, DenseMask, FitConfig, HybridPattern, Window};
+use salo_patterns::{
+    fit_pattern, longformer, BlockLayout, DenseMask, FitConfig, HybridPattern, PatternTerm,
+    SupportRuns, Window,
+};
 
 /// Strategy: a valid window with bounded extents.
 fn arb_window() -> impl Strategy<Value = Window> {
@@ -24,6 +27,78 @@ fn arb_pattern() -> impl Strategy<Value = HybridPattern> {
                 .build()
                 .expect("valid pattern")
         })
+}
+
+/// Raw descriptor for one IR term, generated independently of `n` and
+/// materialized by [`build_term`] once the sequence length is known:
+/// `(kind, window params, small numerics, seed, block pairs, support rows)`.
+type RawTerm =
+    (u8, (bool, i64, usize, usize), (usize, usize, usize), u64, Vec<(usize, usize)>, Vec<Vec<u32>>);
+
+fn arb_raw_term() -> impl Strategy<Value = RawTerm> {
+    (
+        0u8..6,
+        (any::<bool>(), -20i64..20, 1usize..6, 0usize..12),
+        (0usize..64, 0usize..64, 0usize..64),
+        any::<u64>(),
+        prop::collection::vec((0usize..64, 0usize..64), 1..4),
+        prop::collection::vec(prop::collection::vec(0u32..64, 0..4), 0..8),
+    )
+}
+
+/// Materializes a [`RawTerm`] into a valid [`PatternTerm`] for a sequence
+/// of length `n`; `n`-dependent parameters (global tokens, block pairs,
+/// support keys) are reduced modulo their valid ranges.
+fn build_term(n: usize, raw: RawTerm) -> PatternTerm {
+    let (kind, (sym, lo, dil, width), (a, b, c), seed, pairs, mut rows) = raw;
+    match kind {
+        0 => {
+            let w = if sym {
+                Window::symmetric(width + 1).expect("symmetric")
+            } else {
+                let hi = lo + (width as i64) * dil as i64;
+                Window::dilated(lo, hi, dil).expect("dilated")
+            };
+            PatternTerm::Window(w)
+        }
+        1 => PatternTerm::Global { token: a % n },
+        2 => PatternTerm::Strided { stride: 1 + a % 11, local: 1 + b % 11 },
+        3 => {
+            let block_rows = 1 + a % 9;
+            let grid = n.div_ceil(block_rows);
+            let layout = match b % 3 {
+                0 => BlockLayout::Diagonal,
+                1 => BlockLayout::Banded { radius: c % 3 },
+                _ => BlockLayout::Explicit(
+                    pairs.into_iter().map(|(r, col)| (r % grid, col % grid)).collect(),
+                ),
+            };
+            PatternTerm::BlockSparse { block_rows, layout }
+        }
+        4 => PatternTerm::RandomBlocks { count: a % 4, seed },
+        _ => {
+            rows.resize(n, Vec::new());
+            for row in &mut rows {
+                for j in row.iter_mut() {
+                    *j %= n as u32;
+                }
+            }
+            PatternTerm::Support(SupportRuns::from_rows(n, &mut rows))
+        }
+    }
+}
+
+/// Strategy: a composition of 1..5 terms over a bounded sequence, filtered
+/// to the compositions that normalize successfully (an all-empty
+/// composition is rejected by construction).
+fn arb_term_pattern() -> impl Strategy<Value = HybridPattern> {
+    (8usize..48, prop::collection::vec(arb_raw_term(), 1..5)).prop_filter_map(
+        "composition must normalize",
+        |(n, raws)| {
+            let terms: Vec<PatternTerm> = raws.into_iter().map(|raw| build_term(n, raw)).collect();
+            HybridPattern::from_terms(n, terms).ok()
+        },
+    )
 }
 
 proptest! {
@@ -109,5 +184,50 @@ proptest! {
         let s = p.stats();
         let expected = ((w as f64 + 2.0 * ng as f64) / n as f64).min(1.0);
         prop_assert!((s.nominal_density - expected).abs() < 1e-12);
+    }
+
+    /// Normalization is idempotent: rebuilding a pattern from its own
+    /// term decomposition yields the identical pattern and fingerprint.
+    #[test]
+    fn term_normalization_is_idempotent(p in arb_term_pattern()) {
+        let rebuilt = HybridPattern::from_terms(p.n(), p.terms()).expect("rebuild");
+        prop_assert_eq!(&rebuilt, &p);
+        prop_assert_eq!(rebuilt.fingerprint(), p.fingerprint());
+    }
+
+    /// `allows` agrees with the dense rasterization for every term family,
+    /// not just window/global compositions.
+    #[test]
+    fn term_allows_matches_dense_mask(p in arb_term_pattern()) {
+        let mask = DenseMask::from_pattern(&p);
+        prop_assert_eq!(p.nnz(), mask.nnz());
+        for i in 0..p.n() {
+            for j in 0..p.n() {
+                prop_assert_eq!(p.allows(i, j), mask.get(i, j), "({}, {})", i, j);
+            }
+        }
+    }
+
+    /// Causal clipping of an IR pattern keeps exactly the lower-triangular
+    /// window/residual cells (global rows/columns stay bidirectional by
+    /// design) and itself normalizes idempotently.
+    #[test]
+    fn term_causal_keeps_lower_triangle(p in arb_term_pattern()) {
+        let Ok(c) = p.causal() else {
+            // Everything was strictly future-looking; nothing to check.
+            return Ok(());
+        };
+        for i in 0..p.n() {
+            for j in 0..p.n() {
+                let expect = if p.is_global(i) || p.is_global(j) {
+                    p.allows(i, j)
+                } else {
+                    j <= i && p.allows(i, j)
+                };
+                prop_assert_eq!(c.allows(i, j), expect, "({}, {})", i, j);
+            }
+        }
+        let rebuilt = HybridPattern::from_terms(c.n(), c.terms()).expect("rebuild");
+        prop_assert_eq!(rebuilt, c);
     }
 }

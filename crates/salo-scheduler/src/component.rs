@@ -1,9 +1,9 @@
 //! Canonicalization of hybrid patterns into dataflow components.
 //!
 //! A *component* is a unit the PE array can execute directly: a set of
-//! query indices, a set of key indices, and a translation-invariant list of
-//! offsets over **virtual** indices (positions within those sets). For
-//! every component, the key attended by virtual query `p` at offset `o` is
+//! query indices, a set of key indices, and a list of offsets over
+//! **virtual** indices (positions within those sets). For the translation
+//! invariant kinds, the key attended by virtual query `p` at offset `o` is
 //! `keys[p + o]` — the property SALO's diagonal K/V streaming requires.
 //!
 //! Canonicalization performs the paper's two transformations:
@@ -15,10 +15,19 @@
 //!   `(r + lo) mod d`, and the dilated offsets become contiguous quotient
 //!   offsets.
 //!
+//! The pattern IR's residual support (block-sparse, random and explicit
+//! support terms) canonicalizes into one **row-support** component: a
+//! gather unit whose keys are a per-row arena and whose offsets are slot
+//! indices `0..max_row_len`. Virtual query `p` at slot `o` reads
+//! `keys[starts[p] + o]` when `o` is inside row `p`'s run — not a
+//! diagonal stream, but the same pass/tile/chunk machinery applies.
+//!
 //! Overlaps are resolved at this stage: a relative offset claimed by an
 //! earlier window is dropped from later ones (every window covers *all*
-//! queries via its classes, so ownership per offset is well defined). The
-//! resulting components cover every window-kept `(i, j)` exactly once.
+//! queries via its classes, so ownership per offset is well defined), and
+//! the residual support excludes window- and global-owned cells by
+//! normalization. The resulting components cover every array-kept `(i, j)`
+//! exactly once.
 
 use salo_patterns::HybridPattern;
 
@@ -35,6 +44,14 @@ pub enum ComponentKind {
         query_class: usize,
         /// Key residue class.
         key_class: usize,
+    },
+    /// A gather over the pattern's residual support: virtual query `p`'s
+    /// keys are the arena slice `keys[starts[p]..starts[p + 1]]`, and
+    /// offsets index slots within that slice.
+    RowSupport {
+        /// CSR bounds into the component's key arena; length
+        /// `num_queries + 1`.
+        starts: Vec<u32>,
     },
 }
 
@@ -83,24 +100,50 @@ impl Component {
     }
 
     /// The actual key index attended by virtual query `p` at virtual
-    /// offset `o`, if it falls inside the sequence.
+    /// offset `o`, if it falls inside the sequence (diagonal kinds) or
+    /// inside the row's support slots (row-support kind).
     #[must_use]
     pub fn key_at(&self, p: usize, o: i64) -> Option<usize> {
-        let vk = p as i64 + o;
-        if vk < 0 || vk >= self.keys.len() as i64 {
-            None
-        } else {
-            Some(self.keys[vk as usize])
+        match &self.kind {
+            ComponentKind::Direct | ComponentKind::DilatedClass { .. } => {
+                let vk = p as i64 + o;
+                if vk < 0 || vk >= self.keys.len() as i64 {
+                    None
+                } else {
+                    Some(self.keys[vk as usize])
+                }
+            }
+            ComponentKind::RowSupport { starts } => {
+                let lo = starts[p] as i64;
+                let hi = starts[p + 1] as i64;
+                if o < 0 || lo + o >= hi {
+                    None
+                } else {
+                    Some(self.keys[(lo + o) as usize])
+                }
+            }
+        }
+    }
+
+    /// For a row-support component, the number of support slots of virtual
+    /// query `p`; for diagonal kinds, `None`.
+    #[must_use]
+    pub fn row_len(&self, p: usize) -> Option<usize> {
+        match &self.kind {
+            ComponentKind::RowSupport { starts } => Some((starts[p + 1] - starts[p]) as usize),
+            _ => None,
         }
     }
 }
 
-/// Canonicalizes a pattern's window part into dataflow components.
+/// Canonicalizes a pattern's array part — windows plus residual support —
+/// into dataflow components.
 ///
 /// Global tokens are *not* handled here — they are scheduled onto the
 /// global PE row/column by the plan builder. The returned components cover
-/// exactly the positions `(i, j)` with `pattern.window_allows(i, j)`,
-/// each once.
+/// exactly the positions `(i, j)` with `pattern.array_allows(i, j)`,
+/// each once: window ownership resolves window/window overlaps, and the
+/// residual support is window- and global-disjoint by normalization.
 #[must_use]
 pub fn canonicalize(pattern: &HybridPattern) -> Vec<Component> {
     let n = pattern.n();
@@ -161,6 +204,32 @@ pub fn canonicalize(pattern: &HybridPattern) -> Vec<Component> {
         }
     }
 
+    // 3. Residual support (block/random/support terms): one gather
+    // component whose keys are the flattened per-row arena.
+    let residual = pattern.residual();
+    if !residual.is_empty() {
+        let mut queries = Vec::new();
+        let mut keys = Vec::new();
+        let mut starts = vec![0u32];
+        let mut max_len = 0usize;
+        for i in 0..n {
+            let len = residual.row_len(i);
+            if len == 0 {
+                continue;
+            }
+            queries.push(i);
+            residual.extend_row_keys(i, &mut keys);
+            starts.push(u32::try_from(keys.len()).expect("arena fits u32"));
+            max_len = max_len.max(len);
+        }
+        components.push(Component {
+            kind: ComponentKind::RowSupport { starts },
+            queries,
+            keys,
+            offsets: (0..max_len as i64).collect(),
+        });
+    }
+
     components
 }
 
@@ -191,7 +260,7 @@ mod tests {
         let cov = coverage(&comps, pattern.n());
         for i in 0..pattern.n() {
             for j in 0..pattern.n() {
-                let expected = usize::from(pattern.window_allows(i, j));
+                let expected = usize::from(pattern.array_allows(i, j));
                 let got = cov.get(&(i, j)).copied().unwrap_or(0);
                 assert_eq!(got, expected, "coverage of ({i}, {j})");
             }
@@ -291,6 +360,49 @@ mod tests {
         assert_eq!(c.key_at(0, 0), Some(0));
         assert_eq!(c.key_at(9, 1), None);
         assert_eq!(c.key_at(9, 0), Some(9));
+    }
+
+    #[test]
+    fn row_support_component_covers_residual_exactly() {
+        use salo_patterns::{BlockLayout, PatternTerm};
+        let p = HybridPattern::builder(24)
+            .window(Window::symmetric(3).unwrap())
+            .global_token(0)
+            .term(PatternTerm::BlockSparse { block_rows: 8, layout: BlockLayout::Diagonal })
+            .term(PatternTerm::RandomBlocks { count: 2, seed: 11 })
+            .build()
+            .unwrap();
+        assert_exact_cover(&p);
+        let comps = canonicalize(&p);
+        let rs = comps
+            .iter()
+            .find(|c| matches!(c.kind(), ComponentKind::RowSupport { .. }))
+            .expect("residual component present");
+        // Gather semantics: slot o of virtual query p reads the arena, and
+        // slots past the row's length are inactive.
+        for p_idx in 0..rs.num_queries() {
+            let len = rs.row_len(p_idx).unwrap();
+            assert!(len > 0, "only non-empty rows become virtual queries");
+            for o in 0..len as i64 {
+                assert!(rs.key_at(p_idx, o).is_some());
+            }
+            assert_eq!(rs.key_at(p_idx, len as i64), None);
+            assert_eq!(rs.key_at(p_idx, -1), None);
+        }
+    }
+
+    #[test]
+    fn pure_residual_pattern_has_single_gather_component() {
+        use salo_patterns::{BlockLayout, PatternTerm};
+        let p = HybridPattern::builder(16)
+            .term(PatternTerm::BlockSparse { block_rows: 4, layout: BlockLayout::Diagonal })
+            .build()
+            .unwrap();
+        let comps = canonicalize(&p);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].num_queries(), 16);
+        assert_eq!(comps[0].offsets(), &[0, 1, 2, 3]);
+        assert_exact_cover(&p);
     }
 
     #[test]

@@ -147,11 +147,7 @@ impl ExecutionPlan {
                     }
                     let mut fresh = Vec::new();
                     for &o in chunk {
-                        let vk = tap_row as i64 + o;
-                        if vk < 0 || vk >= comp.keys().len() as i64 {
-                            continue;
-                        }
-                        let key = comp.keys()[vk as usize];
+                        let Some(key) = comp.key_at(tap_row, o) else { continue };
                         if !row_seen[t].contains(key) {
                             fresh.push(key as u32);
                         }
@@ -272,8 +268,14 @@ impl ExecutionPlan {
         let mut row_scores = 0u64;
         for pass in &self.passes {
             let comp = &self.components[pass.component];
-            active += pass_active_cells(pass, comp, &self.globals);
-            streamed += pass.streamed_key_count(comp.offsets(), comp.keys().len()) as u64;
+            let pass_active = pass_active_cells(pass, comp, &self.globals);
+            active += pass_active;
+            // Row-support components gather: every active cell is its own
+            // key load, with no diagonal reuse to count.
+            streamed += match comp.kind() {
+                crate::ComponentKind::RowSupport { .. } => pass_active,
+                _ => pass.streamed_key_count(comp.offsets(), comp.keys().len()) as u64,
+            };
             col_scores += pass.global_col.iter().map(|d| d.fresh_queries.len() as u64).sum::<u64>();
             row_scores += pass.global_row.iter().map(|d| d.fresh_keys.len() as u64).sum::<u64>();
         }
@@ -310,6 +312,18 @@ fn is_global(globals: &[usize], token: usize) -> bool {
 /// land on a valid, non-global key — zero for global-query rows.
 fn pass_active_cells(pass: &Pass, comp: &Component, globals: &[usize]) -> u64 {
     let chunk = &comp.offsets()[pass.chunk_start..pass.chunk_start + pass.chunk_len];
+    if matches!(comp.kind(), crate::ComponentKind::RowSupport { .. }) {
+        // Gather semantics: slot `o` of virtual query `p` is active iff it
+        // is inside the row's support; the residual excludes global
+        // queries and keys by normalization, so no subtraction applies.
+        let mut active = 0u64;
+        for u in 0..pass.tile_len {
+            let p = pass.tile_start + u;
+            let len = comp.row_len(p).expect("row-support component") as i64;
+            active += chunk.partition_point(|&o| o < len) as u64;
+        }
+        return active;
+    }
     let num_keys = comp.keys().len() as i64;
     let mut active = 0u64;
     for u in 0..pass.tile_len {
@@ -346,6 +360,10 @@ fn comp_key_virtual(comp: &Component, g: usize) -> Option<usize> {
         crate::ComponentKind::DilatedClass { dilation, key_class, .. } => {
             (g % dilation == *key_class).then(|| (g - key_class) / dilation)
         }
+        // The residual never references global keys, so there is nothing
+        // to subtract (and no single virtual index exists: the arena may
+        // hold a key many times across rows).
+        crate::ComponentKind::RowSupport { .. } => None,
     }
 }
 
@@ -457,6 +475,25 @@ mod tests {
             stats.streamed_keys,
             stats.naive_key_loads
         );
+    }
+
+    #[test]
+    fn bigbird_pattern_schedules_residual_as_gather_passes() {
+        use salo_patterns::bigbird;
+        let p = bigbird(96, 8, 2, 1, 13).unwrap();
+        let plan = ExecutionPlan::build(&p, HardwareMeta::new(8, 8, 1, 1).unwrap()).unwrap();
+        assert!(
+            plan.components()
+                .iter()
+                .any(|c| matches!(c.kind(), crate::ComponentKind::RowSupport { .. })),
+            "residual canonicalizes into a row-support component"
+        );
+        let report = crate::verify_coverage(&plan, &p);
+        assert!(report.is_exact(), "missing {:?} spurious {:?}", report.missing, report.spurious);
+        // Gather cells count one key load each, so streamed keys include
+        // the residual's active cells.
+        let stats = plan.stats();
+        assert!(stats.streamed_keys >= p.residual().nnz());
     }
 
     #[test]

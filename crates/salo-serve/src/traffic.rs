@@ -8,7 +8,7 @@
 //! entries — the steady-state hit rate approaches `1 - k/requests`.
 
 use salo_kernels::{Matrix, Qkv};
-use salo_models::{bert_base, longformer_layer, vil_stage_layer, Workload};
+use salo_models::{bert_base, bigbird_layer, longformer_layer, vil_stage_layer, Workload};
 use salo_patterns::HybridPattern;
 
 use crate::session::{SessionRequest, TokenQkv};
@@ -48,6 +48,24 @@ impl TrafficMix {
                 longformer_layer(256, 32, 64, 1).expect("valid parameters"),
                 vil_stage_layer(16, 16, 5, 5, 64, 1).expect("valid parameters"),
                 bert_base(64).expect("valid parameters"),
+            ],
+        }
+    }
+
+    /// A scaled-down mix with a BigBird layer in rotation: its seeded
+    /// random-block residual exercises the scheduler's gather passes
+    /// through the serving runtime, alongside a plain Longformer layer
+    /// sharing the same sequence length.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; parameters are statically valid.
+    #[must_use]
+    pub fn bigbird_mix() -> Self {
+        Self {
+            workloads: vec![
+                bigbird_layer(128, 16, 2, 1, 7, 64).expect("valid parameters"),
+                longformer_layer(128, 16, 64, 1).expect("valid parameters"),
             ],
         }
     }
@@ -289,6 +307,20 @@ mod tests {
     fn demo_mix_requests_validate() {
         let mix = TrafficMix::demo_mix();
         for i in 0..3 {
+            let r = mix.request(i);
+            assert!(ServeRequest::new(r.pattern, r.shape, r.heads).is_ok());
+        }
+    }
+
+    #[test]
+    fn bigbird_mix_requests_validate() {
+        let mix = TrafficMix::bigbird_mix();
+        assert_eq!(mix.len(), 2);
+        assert!(
+            !mix.workloads()[0].pattern.residual().is_empty(),
+            "the BigBird workload carries a random-block residual"
+        );
+        for i in 0..2 {
             let r = mix.request(i);
             assert!(ServeRequest::new(r.pattern, r.shape, r.heads).is_ok());
         }

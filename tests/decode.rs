@@ -129,6 +129,133 @@ fn decode_matches_causal_prefill_on_random_hybrid_patterns() {
 }
 
 #[test]
+fn decode_matches_causal_prefill_on_pattern_zoo_families() {
+    // The IR term families (random blocks, strided, explicit block-sparse)
+    // lower to gather components; streaming decode must reproduce the
+    // causal-prefill oracle bit for bit on each of them.
+    use salo::patterns::{bigbird, strided_fixed, BlockLayout, PatternTerm};
+    let salo = small_salo();
+    let block_sparse = HybridPattern::from_terms(
+        32,
+        vec![
+            PatternTerm::Window(Window::causal(4).unwrap()),
+            PatternTerm::BlockSparse {
+                block_rows: 8,
+                layout: BlockLayout::Explicit(vec![(3, 0), (2, 1)]),
+            },
+        ],
+    )
+    .unwrap();
+    let zoo = [bigbird(40, 6, 2, 2, 9).unwrap(), strided_fixed(36, 6).unwrap(), block_sparse];
+    for (case, pattern) in zoo.into_iter().enumerate() {
+        assert_decode_matches_prefill(&salo, &pattern, 8, 4000 + case as u64);
+    }
+}
+
+#[test]
+fn residual_support_pins_pages_past_the_window_horizon() {
+    // A block-sparse residual referencing keys far older than the sliding
+    // window's horizon: the reclamation watermark must hold those pages
+    // (and everything above them) resident until the referencing rows
+    // decode, while a window-only control reclaims freely — and both stay
+    // bit-identical to contiguous prefill throughout.
+    use salo::patterns::{AttentionShape, BlockLayout, PatternTerm};
+    use salo::sim::{DecodeState, ExecScratch, KvPagePool, SpatialAccelerator};
+
+    let salo = small_salo();
+    let n = 48;
+    let d = 8;
+    let page_rows = 4;
+    // Rows 40..48 attend keys 0..8 through the explicit block — far
+    // outside the causal(4) window horizon by the time they decode.
+    let residual_pattern = HybridPattern::from_terms(
+        n,
+        vec![
+            PatternTerm::Window(Window::causal(4).unwrap()),
+            PatternTerm::BlockSparse { block_rows: 8, layout: BlockLayout::Explicit(vec![(5, 0)]) },
+        ],
+    )
+    .unwrap();
+    let control_pattern =
+        HybridPattern::from_terms(n, vec![PatternTerm::Window(Window::causal(4).unwrap())])
+            .unwrap();
+
+    // Runs a full paged generation, asserting bit-identity per step, and
+    // returns resident page counts indexed by position.
+    let run = |pattern: &HybridPattern| -> Vec<usize> {
+        let causal = pattern.decode_view().unwrap().into_causal_pattern();
+        let shape = AttentionShape::new(causal.n(), d, 1).unwrap();
+        let compiled = std::sync::Arc::new(salo.compile(&causal, &shape).unwrap());
+        let decode = compiled.decode_plan().unwrap();
+        let qkv = Qkv::random(causal.n(), d, 321);
+        let prefill = prefill_oracle(&salo, std::sync::Arc::clone(&compiled), &qkv);
+
+        let accel = salo.accelerator();
+        let scale = SpatialAccelerator::default_scale(d);
+        let mut state = DecodeState::new(&decode, d);
+        let mut pool = KvPagePool::new(page_rows);
+        let mut scratch = ExecScratch::new();
+        for t in 0..decode.min_step() {
+            accel
+                .prime_token(
+                    &decode,
+                    &mut state,
+                    qkv.q.row(t),
+                    qkv.k.row(t),
+                    qkv.v.row(t),
+                    scale,
+                    &mut pool,
+                    &mut scratch,
+                )
+                .unwrap();
+        }
+        let mut resident = Vec::with_capacity(causal.n());
+        resident.resize(decode.min_step(), 0usize);
+        for t in decode.min_step()..causal.n() {
+            let step = accel
+                .execute_step(
+                    &decode,
+                    &mut state,
+                    qkv.q.row(t),
+                    qkv.k.row(t),
+                    qkv.v.row(t),
+                    scale,
+                    &mut pool,
+                    &mut scratch,
+                )
+                .unwrap();
+            let row: Vec<_> = (0..d).map(|c| prefill.raw.get(t, c)).collect();
+            assert_eq!(step.raw, row, "step {t} raw output");
+            assert_eq!(step.weight_q16, prefill.weights_q16[t], "step {t} weight");
+            resident.push(state.resident_pages());
+        }
+        assert_eq!(state.saturation_events(), prefill.report.saturation_events);
+        resident
+    };
+
+    let with_residual = run(&residual_pattern);
+    let control = run(&control_pattern);
+
+    // Just before the block rows decode, the pending residual reference to
+    // key 0 holds the whole history resident; the control has long since
+    // reclaimed down to its window.
+    let t = 39usize;
+    let allocated = (t + 1).div_ceil(page_rows);
+    assert_eq!(with_residual[t], allocated, "pending residual keys at row 0 pin the full history");
+    assert!(
+        control[t] < allocated / 2,
+        "window-only control reclaims dead pages (resident {} of {allocated})",
+        control[t]
+    );
+    // Once the final block row has decoded, nothing references old keys
+    // and the residual session reclaims too.
+    assert!(
+        with_residual[n - 1] < allocated,
+        "residual pages are released after their referencing rows decode"
+    );
+}
+
+#[test]
 fn decode_matches_prefill_under_saturation() {
     // Oversized inputs overflow the stage-1 accumulator chain; the decode
     // path must saturate in exactly the same places (equal event counts)

@@ -6,8 +6,8 @@
 //! single kept (query, key) position, for every supported attention family.
 
 use salo::patterns::{
-    grid_2d, longformer, sliding_only, sparse_transformer, star_transformer, vil_stage,
-    HybridPattern,
+    bigbird, grid_2d, longformer, sliding_only, sparse_transformer, star_transformer,
+    strided_fixed, vil_stage, HybridPattern,
 };
 use salo::scheduler::{verify_coverage, ExecutionPlan, HardwareMeta};
 
@@ -72,6 +72,24 @@ fn sliding_only_family_full_coverage() {
     for (n, w) in [(64, 8), (128, 33), (32, 1)] {
         let p = sliding_only(n, w).expect("sliding pattern");
         assert_full_coverage(&format!("sliding_only({n}, {w})"), &p);
+    }
+}
+
+#[test]
+fn bigbird_family_full_coverage() {
+    // Random-block residuals route through the gather component; coverage
+    // must stay exactly-once against the window/global passes.
+    for (n, w, blocks, ng, seed) in [(64, 8, 2, 1, 7), (96, 12, 3, 2, 42), (48, 5, 1, 0, 1)] {
+        let p = bigbird(n, w, blocks, ng, seed).expect("bigbird pattern");
+        assert_full_coverage(&format!("bigbird({n}, {w}, {blocks}, {ng}, {seed})"), &p);
+    }
+}
+
+#[test]
+fn strided_fixed_family_full_coverage() {
+    for (n, stride) in [(64, 8), (96, 7), (48, 16)] {
+        let p = strided_fixed(n, stride).expect("strided pattern");
+        assert_full_coverage(&format!("strided_fixed({n}, {stride})"), &p);
     }
 }
 

@@ -117,6 +117,94 @@ fn fixed_merge_matches_f64_merge() {
     assert!((out[1] - expect(-0.75, 2.0)).abs() < 0.01);
 }
 
+mod term_coverage {
+    //! Exactly-once coverage over random compositions of all five IR
+    //! term families (window, global, strided, block-sparse, random
+    //! blocks — plus explicit support) on a small PE array.
+
+    use proptest::prelude::*;
+    use salo::patterns::{BlockLayout, HybridPattern, PatternTerm, SupportRuns, Window};
+    use salo::scheduler::{verify_coverage, ExecutionPlan, HardwareMeta};
+
+    /// Raw term descriptor, materialized once `n` is known (the vendored
+    /// proptest has no flat_map, so `n`-dependent values are reduced
+    /// modulo their valid ranges).
+    type RawTerm = (u8, (bool, usize, usize), (usize, usize, usize), u64, Vec<Vec<u32>>);
+
+    fn arb_raw_term() -> impl Strategy<Value = RawTerm> {
+        (
+            0u8..6,
+            (any::<bool>(), 1usize..5, 1usize..10),
+            (0usize..64, 0usize..64, 0usize..64),
+            any::<u64>(),
+            prop::collection::vec(prop::collection::vec(0u32..64, 0..3), 0..6),
+        )
+    }
+
+    fn build_term(n: usize, raw: RawTerm) -> PatternTerm {
+        let (kind, (sym, dil, width), (a, b, c), seed, mut rows) = raw;
+        match kind {
+            0 => {
+                let w = if sym {
+                    Window::symmetric(width).expect("symmetric")
+                } else {
+                    Window::dilated(-((width * dil) as i64), 0, dil).expect("dilated")
+                };
+                PatternTerm::Window(w)
+            }
+            1 => PatternTerm::Global { token: a % n },
+            2 => PatternTerm::Strided { stride: 1 + a % 7, local: 1 + b % 7 },
+            3 => {
+                let block_rows = 1 + a % 6;
+                let grid = n.div_ceil(block_rows);
+                let layout = match b % 3 {
+                    0 => BlockLayout::Diagonal,
+                    1 => BlockLayout::Banded { radius: c % 3 },
+                    _ => BlockLayout::Explicit(vec![(c % grid, a % grid)]),
+                };
+                PatternTerm::BlockSparse { block_rows, layout }
+            }
+            4 => PatternTerm::RandomBlocks { count: a % 4, seed },
+            _ => {
+                rows.resize(n, Vec::new());
+                for row in &mut rows {
+                    for j in row.iter_mut() {
+                        *j %= n as u32;
+                    }
+                }
+                PatternTerm::Support(SupportRuns::from_rows(n, &mut rows))
+            }
+        }
+    }
+
+    proptest! {
+        /// Every schedulable composition plans with exactly-once coverage:
+        /// each allowed (query, key) cell is computed by precisely one
+        /// pass, no cell is missed, none is duplicated.
+        #[test]
+        fn random_term_compositions_plan_exactly_once(
+            n in 8usize..40,
+            raws in prop::collection::vec(arb_raw_term(), 1..5),
+        ) {
+            let terms: Vec<PatternTerm> =
+                raws.into_iter().map(|raw| build_term(n, raw)).collect();
+            let Ok(pattern) = HybridPattern::from_terms(n, terms) else {
+                // All-empty composition; nothing to schedule.
+                return Ok(());
+            };
+            let hw = HardwareMeta::new(8, 8, 1, 1).unwrap();
+            let plan = ExecutionPlan::build(&pattern, hw).expect("plan");
+            let report = verify_coverage(&plan, &pattern);
+            prop_assert!(
+                report.is_exact(),
+                "missing {:?} spurious {:?}",
+                report.missing.first(),
+                report.spurious.first()
+            );
+        }
+    }
+}
+
 #[test]
 fn supplemental_passes_fill_global_gaps() {
     // A window too narrow to stream all keys past the global row: the

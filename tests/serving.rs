@@ -62,6 +62,47 @@ fn batched_multi_worker_execution_is_bit_identical_to_one_shot() {
 }
 
 #[test]
+fn bigbird_traffic_serves_bit_identically_to_one_shot() {
+    // The BigBird mix routes random-block residuals through the serving
+    // runtime's batched workers; outputs must equal the one-shot engine
+    // exactly, like any other workload.
+    let config = AcceleratorConfig::default();
+    let mix = TrafficMix::bigbird_mix();
+    let total = 6u64;
+
+    let server = SaloServer::start(config.clone(), options(2));
+    for i in 0..total {
+        server.submit(mix.request(i)).expect("submit");
+    }
+
+    let one_shot = Salo::new(config);
+    for i in 0..total {
+        let response = server.recv().expect("response");
+        assert_eq!(response.id, i, "ordered delivery");
+        let run = response.output().expect("batched execution succeeds");
+
+        let request = mix.request(i);
+        let mut engine = one_shot.engine();
+        let handle = engine.prepare(&request.pattern, &request.shape).expect("compile");
+        let exact = engine
+            .execute(AttentionRequest::Prefill {
+                pattern: handle,
+                shape: request.shape,
+                heads: request.heads.clone(),
+            })
+            .expect("one-shot execution")
+            .into_prefill()
+            .expect("prefill response");
+        for (head, direct) in run.heads.iter().zip(&exact.heads) {
+            assert_eq!(Some(&head.raw), direct.raw.as_ref(), "request {i}: bit-identical");
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.requests, total);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
 fn plan_cache_hits_after_first_sight_of_each_workload() {
     let mix = TrafficMix::demo_mix();
     let total = 9u64; // 3 rounds over 3 workloads
