@@ -1,0 +1,400 @@
+//! Closed-loop socket bench for the `salo-gateway` front door: spawns
+//! two gateway *processes* (real multi-process sharding, real loopback
+//! TCP), drives a mixed prefill + streaming-decode workload against each
+//! shard from parent-side client threads, provokes the admission
+//! controller with a pipelined overload burst, then drains both shards
+//! and merges their wire-carried [`ServeReport`]s bucket-exactly with
+//! [`ServeReport::merged_with`].
+//!
+//! Run `cargo run --release --bin gateway_bench` for the full loop or
+//! with `--smoke` for a CI-sized run. Results land in the `"gateway"`
+//! section of `BENCH_exec.json` (or `BENCH_exec_smoke.json` for smoke
+//! runs) next to the kernel-trajectory numbers — the emitter preserves
+//! whatever `bench_trajectory` wrote and replaces only its own section.
+//!
+//! Invariants asserted every run, smoke included:
+//!
+//! * one decode session driven over the socket is **bit-identical** —
+//!   raw `i16` rows, Q.16 softmax weights, and `f32` output bits — to
+//!   [`Salo::decode_session`](salo_core::Salo::decode_session) on the
+//!   same pattern;
+//! * the overload burst receives a reply for **every** pipelined request
+//!   (typed `Overloaded` rejections, never a hang), with at least one
+//!   rejection;
+//! * the merged report's latency histogram is **bucket-exact**: every
+//!   bucket equals the sum of the shard buckets, and per-tenant counters
+//!   sum across shards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use salo_core::Salo;
+use salo_gateway::wire::{ErrorCode, Request, Response};
+use salo_gateway::{Gateway, GatewayClient, GatewayOptions};
+use salo_kernels::Qkv;
+use salo_serve::{GenerationTraffic, ServeOptions, ServeReport, TrafficMix};
+use salo_sim::AcceleratorConfig;
+
+/// Tenant ids the steady-phase clients use (one connection each), and
+/// the id the overload burst floods from.
+const TENANT_A: u64 = 1;
+const TENANT_B: u64 = 2;
+const TENANT_FLOOD: u64 = 3;
+
+/// Child mode: bind a gateway on an ephemeral loopback port, announce
+/// it on stdout, and serve until a wire `Shutdown` drains the process.
+fn serve_child() -> ! {
+    let options = GatewayOptions {
+        serve: ServeOptions { workers: 1, max_batch: 8, ..Default::default() },
+        // Small per-tenant quota so the parent's pipelined burst actually
+        // trips admission control instead of queueing unbounded.
+        tenant_quota: 4,
+        global_queue: 256,
+        ..Default::default()
+    };
+    let gateway = Gateway::bind("127.0.0.1:0", AcceleratorConfig::default(), options)
+        .expect("bind gateway shard");
+    println!("GATEWAY_LISTENING {}", gateway.local_addr().port());
+    std::io::stdout().flush().expect("flush port announcement");
+    let report = gateway.run_until_shutdown();
+    std::process::exit(if report.drained_in_deadline { 0 } else { 1 });
+}
+
+/// Spawns one gateway shard and parses its port announcement.
+fn spawn_shard() -> (Child, u16) {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = Command::new(exe)
+        .arg("--serve")
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn gateway shard");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read port announcement");
+    let port = line
+        .trim()
+        .strip_prefix("GATEWAY_LISTENING ")
+        .and_then(|p| p.parse::<u16>().ok())
+        .unwrap_or_else(|| panic!("bad port announcement: {line:?}"));
+    (child, port)
+}
+
+/// What one shard's steady-phase driver brings home.
+struct ShardRun {
+    /// Per-request closed-loop latencies, seconds (prefills and steps).
+    latencies_s: Vec<f64>,
+    prefills: u64,
+    sessions: u64,
+    steps: u64,
+    /// Socket-vs-in-process decode steps compared bit-exactly.
+    bit_identical_steps: u64,
+}
+
+/// Drives the mixed closed loop against one shard: alternating-tenant
+/// prefills over the demo workload mix, then streaming decode sessions.
+/// `oracle` additionally replays one single-head session through
+/// [`Salo::decode_session`] and asserts every step identical down to the
+/// bit.
+fn drive_shard(port: u16, prefills: u64, sessions: u64, steps: usize, oracle: bool) -> ShardRun {
+    let addr = ("127.0.0.1", port);
+    let mut client_a = GatewayClient::connect(addr, TENANT_A).expect("connect tenant A");
+    let mut client_b = GatewayClient::connect(addr, TENANT_B).expect("connect tenant B");
+    let mut latencies_s = Vec::new();
+
+    let mix = TrafficMix::demo_mix();
+    for i in 0..prefills {
+        let workload = &mix.workloads()[(i % mix.len() as u64) as usize];
+        let heads: Vec<Qkv> = (0..workload.shape.num_heads)
+            .map(|h| {
+                Qkv::random(workload.shape.seq_len, workload.shape.head_dim, i * 31 + h as u64)
+            })
+            .collect();
+        let client = if i % 2 == 0 { &mut client_a } else { &mut client_b };
+        let t = Instant::now();
+        let (outputs, _, _) = client
+            .prefill(workload.pattern.clone(), workload.shape, heads)
+            .expect("closed-loop prefill");
+        latencies_s.push(t.elapsed().as_secs_f64());
+        assert_eq!(outputs.len(), workload.shape.num_heads, "prefill head count");
+    }
+
+    let traffic = GenerationTraffic::demo_mix();
+    let mut steps_done = 0u64;
+    let mut bit_identical_steps = 0u64;
+    for s in 0..sessions {
+        // Shape index 1 of the demo mix is single-head — the shape the
+        // oracle session replays (`decode_session` holds one head).
+        let index = if oracle && s == 0 { 1 } else { s };
+        let (request, tokens) = traffic.session_bounded(index, steps);
+        let check = oracle && s == 0;
+        let mut session_oracle = check.then(|| {
+            let salo = Salo::new(AcceleratorConfig::default());
+            let mut ds =
+                salo.decode_session(&request.pattern, request.head_dim).expect("oracle session");
+            ds.prime_rows(&request.prompt[0], 0..request.prompt[0].seq_len())
+                .expect("oracle prime");
+            ds
+        });
+        let client = if s % 2 == 0 { &mut client_b } else { &mut client_a };
+        let t = Instant::now();
+        let opened = client
+            .open_session(
+                request.pattern.clone(),
+                request.head_dim,
+                request.num_heads,
+                request.prompt,
+            )
+            .expect("open session");
+        latencies_s.push(t.elapsed().as_secs_f64());
+        for token in &tokens {
+            let t = Instant::now();
+            let (position, heads) = client.step(opened.session, token.clone()).expect("step");
+            latencies_s.push(t.elapsed().as_secs_f64());
+            steps_done += 1;
+            if let Some(ds) = session_oracle.as_mut() {
+                let reference =
+                    ds.step(&token[0].q, &token[0].k, &token[0].v).expect("oracle step");
+                assert_eq!(position, reference.position as u64, "socket position diverged");
+                let wire_head = &heads[0];
+                let raw: Vec<i16> = reference.raw.iter().map(|x| x.raw()).collect();
+                assert_eq!(wire_head.raw.as_deref(), Some(raw.as_slice()), "raw rows diverged");
+                assert_eq!(wire_head.weight_q16, Some(reference.weight_q16), "weights diverged");
+                let bits: Vec<u32> = reference.output.iter().map(|x| x.to_bits()).collect();
+                let wire_bits: Vec<u32> = wire_head.output.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(wire_bits, bits, "f32 output bits diverged");
+                bit_identical_steps += 1;
+            }
+        }
+        let t = Instant::now();
+        client.close(opened.session).expect("close session");
+        latencies_s.push(t.elapsed().as_secs_f64());
+    }
+
+    ShardRun { latencies_s, prefills, sessions, steps: steps_done, bit_identical_steps }
+}
+
+/// Pipelines `burst` prefills from one flooding tenant without reading,
+/// then harvests every reply: accepted work completes, the rest must be
+/// typed `Overloaded` rejections carrying a retry hint — never a hang.
+fn overload_burst(port: u16, burst: u64) -> (u64, u64) {
+    let mut flood =
+        GatewayClient::connect(("127.0.0.1", port), TENANT_FLOOD).expect("connect flood");
+    flood.set_read_timeout(Some(Duration::from_secs(60))).expect("read deadline");
+    let mix = TrafficMix::demo_mix();
+    let workload = &mix.workloads()[0];
+    let heads: Vec<Qkv> = (0..workload.shape.num_heads)
+        .map(|h| Qkv::random(workload.shape.seq_len, workload.shape.head_dim, 977 + h as u64))
+        .collect();
+    let request =
+        Request::Prefill { pattern: workload.pattern.clone(), shape: workload.shape, heads };
+    for _ in 0..burst {
+        flood.send(&request).expect("pipelined send");
+    }
+    let (mut admitted, mut rejected) = (0u64, 0u64);
+    for _ in 0..burst {
+        let (_, response) = flood.recv().expect("every pipelined request gets a reply");
+        match response {
+            Response::PrefillDone { .. } => admitted += 1,
+            Response::Error(frame) => {
+                assert_eq!(frame.code, ErrorCode::Overloaded, "unexpected rejection: {frame:?}");
+                assert!(frame.retry_after_ms.is_some(), "Overloaded must carry a retry hint");
+                rejected += 1;
+            }
+            other => panic!("unexpected burst reply: {other:?}"),
+        }
+    }
+    (admitted, rejected)
+}
+
+fn percentile(sorted_s: &[f64], q: f64) -> f64 {
+    if sorted_s.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted_s.len() - 1) as f64).round() as usize;
+    sorted_s[rank.min(sorted_s.len() - 1)]
+}
+
+/// Replaces (or appends) the `"gateway"` section of the bench JSON,
+/// leaving the trajectory sections exactly as `bench_trajectory` wrote
+/// them.
+fn patch_bench_json(path: &str, section: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|_| "{\n  \"bench\": \"exec\"\n}\n".to_string());
+    let mut base = match text.find(",\n  \"gateway\":") {
+        Some(at) => text[..at].to_string(),
+        None => {
+            let trimmed = text.trim_end();
+            trimmed.strip_suffix('}').expect("bench JSON object").trim_end().to_string()
+        }
+    };
+    base.push_str(",\n  \"gateway\": ");
+    base.push_str(section);
+    base.push_str("\n}\n");
+    std::fs::write(path, base).expect("write bench JSON");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--serve") {
+        serve_child();
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (prefills, sessions, steps, burst) =
+        if smoke { (6u64, 2u64, 4usize, 24u64) } else { (24u64, 3u64, 10usize, 48u64) };
+
+    const SHARDS: usize = 2;
+    let mut children = Vec::new();
+    let mut ports = Vec::new();
+    for _ in 0..SHARDS {
+        let (child, port) = spawn_shard();
+        children.push(child);
+        ports.push(port);
+    }
+    println!("{SHARDS} gateway shard(s) up on ports {ports:?}");
+
+    // Steady phase: one closed-loop driver thread per shard.
+    let wall = Instant::now();
+    let runs: Vec<ShardRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ports
+            .iter()
+            .enumerate()
+            .map(|(i, &port)| {
+                scope.spawn(move || drive_shard(port, prefills, sessions, steps, i == 0))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard driver")).collect()
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    // Overload phase: pipelined burst against each shard in turn.
+    let (mut overload_admitted, mut rejected_overloaded) = (0u64, 0u64);
+    for &port in &ports {
+        let (admitted, rejected) = overload_burst(port, burst);
+        overload_admitted += admitted;
+        rejected_overloaded += rejected;
+    }
+    assert!(rejected_overloaded > 0, "the burst never tripped admission control");
+    let overload_attempts = burst * SHARDS as u64;
+
+    // Drain phase: ask every shard for its final report over the wire,
+    // then reap the processes.
+    let reports: Vec<ServeReport> = ports
+        .iter()
+        .map(|&port| {
+            let mut client =
+                GatewayClient::connect(("127.0.0.1", port), TENANT_A).expect("connect for drain");
+            client.shutdown_and_report().expect("drain report")
+        })
+        .collect();
+    for child in &mut children {
+        let status = child.wait().expect("reap shard");
+        assert!(status.success(), "shard exited uncleanly: {status:?}");
+    }
+
+    // Merge and hold the result to the bucket-exactness guarantee.
+    let merged =
+        reports[1..].iter().fold(reports[0].clone(), |acc, report| acc.merged_with(report));
+    assert_eq!(
+        merged.latency_hist.count,
+        reports.iter().map(|r| r.latency_hist.count).sum::<u64>(),
+        "merged histogram lost samples"
+    );
+    for (b, &bucket) in merged.latency_hist.buckets.iter().enumerate() {
+        let expected: u64 = reports.iter().map(|r| r.latency_hist.buckets[b]).sum();
+        assert_eq!(bucket, expected, "latency bucket {b} not exact across the merge");
+    }
+    for tenant in [TENANT_A, TENANT_B, TENANT_FLOOD] {
+        let summed: u64 =
+            reports.iter().filter_map(|r| r.tenants.get(&tenant)).map(|t| t.requests).sum();
+        assert_eq!(
+            merged.tenants.get(&tenant).map_or(0, |t| t.requests),
+            summed,
+            "tenant {tenant} counters not exact across the merge"
+        );
+    }
+    let flood_rejections: u64 =
+        reports.iter().filter_map(|r| r.tenants.get(&TENANT_FLOOD)).map(|t| t.rejections).sum();
+    assert_eq!(flood_rejections, rejected_overloaded, "shard-side rejection count diverged");
+
+    let mut latencies: Vec<f64> = runs.iter().flat_map(|r| r.latencies_s.iter().copied()).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let requests_total = latencies.len() as u64;
+    let throughput_rps = requests_total as f64 / wall_s;
+    let p50_ms = percentile(&latencies, 0.50) * 1e3;
+    let p99_ms = percentile(&latencies, 0.99) * 1e3;
+    let rejection_rate = rejected_overloaded as f64 / overload_attempts as f64;
+    let bit_identical_steps: u64 = runs.iter().map(|r| r.bit_identical_steps).sum();
+    assert!(bit_identical_steps > 0, "the oracle session never ran");
+
+    println!(
+        "steady: {requests_total} requests in {wall_s:.2}s over {SHARDS} shards  \
+         {throughput_rps:.0} req/s  p50 {p50_ms:.2} ms  p99 {p99_ms:.2} ms"
+    );
+    println!(
+        "overload: {overload_attempts} pipelined, {overload_admitted} admitted, \
+         {rejected_overloaded} rejected ({:.0}% rejection)",
+        rejection_rate * 100.0
+    );
+    println!(
+        "merged: {} requests, {} decode steps, {} tenants, latency buckets exact; \
+         {bit_identical_steps} socket steps bit-identical to decode_session",
+        merged.requests,
+        merged.decode_steps,
+        merged.tenants.len()
+    );
+
+    let section = format!(
+        concat!(
+            "{{\n",
+            "    \"smoke\": {smoke},\n",
+            "    \"shards\": {shards},\n",
+            "    \"prefills\": {prefills},\n",
+            "    \"sessions\": {sessions},\n",
+            "    \"steps\": {steps},\n",
+            "    \"requests_total\": {requests_total},\n",
+            "    \"wall_s\": {wall_s:.3},\n",
+            "    \"throughput_rps\": {throughput_rps:.1},\n",
+            "    \"p50_ms\": {p50_ms:.3},\n",
+            "    \"p99_ms\": {p99_ms:.3},\n",
+            "    \"overload_attempts\": {overload_attempts},\n",
+            "    \"overload_admitted\": {overload_admitted},\n",
+            "    \"rejected_overloaded\": {rejected_overloaded},\n",
+            "    \"rejection_rate\": {rejection_rate:.3},\n",
+            "    \"bit_identical_steps\": {bit_identical_steps},\n",
+            "    \"merged\": {{\"requests\": {merged_requests}, \"errors\": {merged_errors}, ",
+            "\"decode_steps\": {merged_steps}, \"latency_hist_count\": {hist_count}, ",
+            "\"tenants\": {tenants}, \"bucket_exact\": true}}\n",
+            "  }}"
+        ),
+        smoke = smoke,
+        shards = SHARDS,
+        prefills = runs.iter().map(|r| r.prefills).sum::<u64>(),
+        sessions = runs.iter().map(|r| r.sessions).sum::<u64>(),
+        steps = runs.iter().map(|r| r.steps).sum::<u64>(),
+        requests_total = requests_total,
+        wall_s = wall_s,
+        throughput_rps = throughput_rps,
+        p50_ms = p50_ms,
+        p99_ms = p99_ms,
+        overload_attempts = overload_attempts,
+        overload_admitted = overload_admitted,
+        rejected_overloaded = rejected_overloaded,
+        rejection_rate = rejection_rate,
+        bit_identical_steps = bit_identical_steps,
+        merged_requests = merged.requests,
+        merged_errors = merged.errors,
+        merged_steps = merged.decode_steps,
+        hist_count = merged.latency_hist.count,
+        tenants = merged.tenants.len(),
+    );
+    // Smoke runs land next to the smoke trajectory file so reproducing
+    // the CI step locally never clobbers the recorded full measurement.
+    let path = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_exec_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_exec.json")
+    };
+    patch_bench_json(path, &section);
+    println!("wrote gateway section to {path}");
+}

@@ -1,0 +1,1025 @@
+//! The gateway runtime: acceptor, per-connection readers, and a
+//! deficit-round-robin dispatcher in front of a [`SaloServer`].
+//!
+//! Threading model (std-only, no async runtime):
+//!
+//! * one **acceptor** polls a non-blocking `TcpListener` and spawns a
+//!   reader per connection;
+//! * each **reader** owns its socket's read half: it frames, decodes,
+//!   and *admits* requests — the only unbounded thing a client controls
+//!   is how fast it sends, and admission turns that into typed
+//!   `Overloaded` rejections the moment its tenant queue (or the global
+//!   backlog) is full. Replies are written by whoever produced them,
+//!   under the connection's write-half mutex;
+//! * one **dispatcher** drains the admitted queues in deficit round
+//!   robin across tenants and executes against the server. It is the
+//!   server's sole layer-submission client, so `submit` → `recv` pairs
+//!   without response routing; decode sessions use their own per-session
+//!   event channels.
+//!
+//! Fairness lives entirely in the admission + dispatch pair: a tenant
+//! flooding 10× faster than its quota drains gains nothing — its excess
+//! is rejected at admission, and what *is* admitted is interleaved with
+//! other tenants' work a quantum at a time.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use salo_serve::{
+    DecodeSessionHandle, SaloServer, ServeError, ServeOptions, ServeReport, ServeRequest,
+    SessionEvent, SessionRequest,
+};
+use salo_sim::AcceleratorConfig;
+
+use crate::wire::{
+    self, encode_response, ErrorCode, ErrorFrame, Header, PrefillHead, Request, Response,
+    WireError, WireHeadStep,
+};
+
+/// Gateway configuration: the wrapped server's options plus the knobs of
+/// the network front door.
+#[derive(Debug, Clone)]
+pub struct GatewayOptions {
+    /// Options for the [`SaloServer`] the gateway runs in front of.
+    pub serve: ServeOptions,
+    /// Per-tenant admission bound: a tenant with this many requests
+    /// already queued sees `Overloaded` instead of deeper queues.
+    pub tenant_quota: usize,
+    /// Global admission bound across all tenants.
+    pub global_queue: usize,
+    /// Deficit-round-robin quantum: requests a tenant may run per
+    /// dispatch visit before the dispatcher moves to the next tenant.
+    pub tenant_quantum: usize,
+    /// Per-connection socket read deadline. A connection idle past it is
+    /// told so (typed `TimedOut` frame) and closed.
+    pub read_timeout: Duration,
+    /// Per-connection socket write deadline.
+    pub write_timeout: Duration,
+    /// Per-request service deadline: time from admission to completion
+    /// (queue wait included) before the request fails with a typed
+    /// `TimedOut` frame instead of hanging its connection.
+    pub service_timeout: Duration,
+    /// How long [`Gateway::shutdown`] waits for admitted work to finish
+    /// before failing the remainder with `Draining` frames.
+    pub drain_deadline: Duration,
+}
+
+impl Default for GatewayOptions {
+    fn default() -> Self {
+        GatewayOptions {
+            serve: ServeOptions::default(),
+            tenant_quota: 64,
+            global_queue: 1024,
+            tenant_quantum: 4,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            service_timeout: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Final accounting from [`Gateway::shutdown`]: the drained server's
+/// [`ServeReport`] plus the front door's own counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GatewayReport {
+    /// The wrapped server's report (tenant counters included).
+    pub serve: ServeReport,
+    /// Connections accepted over the gateway's lifetime.
+    pub connections: u64,
+    /// Frames successfully read and framed.
+    pub frames_read: u64,
+    /// Frames successfully written.
+    pub frames_written: u64,
+    /// Requests that passed admission.
+    pub admitted: u64,
+    /// Requests refused with `Overloaded`.
+    pub rejected_overloaded: u64,
+    /// Requests refused (or abandoned at the deadline) with `Draining`.
+    pub rejected_draining: u64,
+    /// Requests failed with `TimedOut` (queue wait or session wait past
+    /// the service deadline).
+    pub timed_out: u64,
+    /// Whether the drain completed inside
+    /// [`GatewayOptions::drain_deadline`].
+    pub drained_in_deadline: bool,
+}
+
+/// One admitted, not-yet-dispatched request.
+struct Pending {
+    header: Header,
+    request: Request,
+    conn: Arc<ConnShared>,
+    enqueued: Instant,
+}
+
+/// Out-of-band notices readers push to the dispatcher.
+enum Control {
+    /// The connection's reader exited; its decode sessions are orphans.
+    ConnClosed { conn_id: u64 },
+}
+
+/// Admission queues plus the dispatcher's round state, under one lock.
+/// Readers only touch it to admit (bounded work); the dispatcher holds
+/// it only to pop a quantum — execution happens outside.
+#[derive(Default)]
+struct QueueState {
+    /// Per-tenant FIFO of admitted requests.
+    queues: BTreeMap<u64, VecDeque<Pending>>,
+    /// Total admitted across all tenants (the global bound's counter).
+    queued_total: usize,
+    /// Tenants with queued work, in round-robin visit order.
+    round: VecDeque<u64>,
+    /// Unspent deficit per tenant in `round`.
+    deficits: HashMap<u64, usize>,
+    /// Reader → dispatcher notices.
+    controls: Vec<Control>,
+    /// Tells the dispatcher to wind down once the queues are empty.
+    stop: bool,
+}
+
+/// The per-connection state shared between its reader (framing, inline
+/// replies) and the dispatcher (request replies, terminal closes). The
+/// stream mutex serializes writers; the read half is the reader's own
+/// clone and is never locked.
+struct ConnShared {
+    id: u64,
+    stream: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+struct Inner {
+    options: GatewayOptions,
+    server: Arc<SaloServer>,
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+    /// Set by shutdown: readers reject new work as `Draining`, the
+    /// acceptor stops accepting.
+    draining: AtomicBool,
+    next_conn_id: AtomicU64,
+    connections: Mutex<HashMap<u64, Arc<ConnShared>>>,
+    reader_threads: Mutex<Vec<JoinHandle<()>>>,
+    connections_total: AtomicU64,
+    frames_read: AtomicU64,
+    frames_written: AtomicU64,
+    admitted: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_draining: AtomicU64,
+    timed_out: AtomicU64,
+    /// A wire `Shutdown` request parks here for
+    /// [`Gateway::run_until_shutdown`].
+    shutdown_request: Mutex<Option<(Arc<ConnShared>, Header)>>,
+    shutdown_signal: Condvar,
+}
+
+/// The network front door: a TCP listener mapping wire frames onto a
+/// [`SaloServer`] it owns. See the [crate docs](crate) for the protocol
+/// and fairness model.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    server: Arc<SaloServer>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Starts a server with `options.serve` and binds the gateway to
+    /// `addr` (use port 0 for an ephemeral port, then [`local_addr`](Self::local_addr)
+    /// (Self::local_addr)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, if any.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        config: AcceleratorConfig,
+        options: GatewayOptions,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let server = Arc::new(SaloServer::start(config, options.serve));
+        let inner = Arc::new(Inner {
+            options,
+            server: Arc::clone(&server),
+            state: Mutex::new(QueueState::default()),
+            work_ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            next_conn_id: AtomicU64::new(1),
+            connections: Mutex::new(HashMap::new()),
+            reader_threads: Mutex::new(Vec::new()),
+            connections_total: AtomicU64::new(0),
+            frames_read: AtomicU64::new(0),
+            frames_written: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            shutdown_request: Mutex::new(None),
+            shutdown_signal: Condvar::new(),
+        });
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("gateway-accept".into())
+                .spawn(move || accept_loop(&inner, listener))
+                .expect("spawn acceptor")
+        };
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("gateway-dispatch".into())
+                .spawn(move || dispatch_loop(&inner))
+                .expect("spawn dispatcher")
+        };
+        Ok(Gateway {
+            inner,
+            server,
+            addr: local,
+            acceptor: Some(acceptor),
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// The bound listen address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The wrapped server's metrics registry (serve counters, per-tenant
+    /// counters, and the gateway's `gateway.*` family).
+    #[must_use]
+    pub fn metrics(&self) -> &salo_serve::MetricsRegistry {
+        self.server.metrics()
+    }
+
+    /// Gracefully drains and shuts the gateway down:
+    ///
+    /// 1. stop accepting connections; readers reject new work with
+    ///    typed `Draining` frames;
+    /// 2. wait — up to [`GatewayOptions::drain_deadline`] — for admitted
+    ///    work to finish; whatever is still queued past the deadline is
+    ///    failed with `Draining` frames instead of executed;
+    /// 3. the dispatcher closes every live wire session, sending each
+    ///    connection a terminal `Closed` frame;
+    /// 4. reader sockets are read-shutdown (write halves stay open for
+    ///    any final frame), all threads joined, and the server drained
+    ///    and shut down.
+    pub fn shutdown(mut self) -> GatewayReport {
+        let report = shutdown_impl(&self.inner, self.acceptor.take(), self.dispatcher.take());
+        drop(self.inner);
+        let server = Arc::into_inner(self.server).expect("gateway threads joined");
+        GatewayReport { serve: server.shutdown(), ..report }
+    }
+
+    /// Serves until a client sends the wire `Shutdown` opcode, then
+    /// drains (exactly as [`shutdown`](Self::shutdown)), replies to the
+    /// requester with the final wire-encoded report, and returns it.
+    /// This is how a `gateway_bench` parent collects a child shard's
+    /// report over the socket.
+    pub fn run_until_shutdown(self) -> GatewayReport {
+        let (conn, header) = {
+            let mut slot = self.inner.shutdown_request.lock().expect("shutdown slot poisoned");
+            while slot.is_none() {
+                slot = self.inner.shutdown_signal.wait(slot).expect("shutdown slot poisoned");
+            }
+            slot.take().expect("checked above")
+        };
+        let report = self.shutdown();
+        let frame =
+            encode_response(header, &Response::Report { report: Box::new(report.serve.clone()) });
+        if let Ok(mut stream) = conn.stream.lock() {
+            let _ = stream.write_all(&frame);
+            let _ = stream.flush();
+        }
+        report
+    }
+}
+
+fn shutdown_impl(
+    inner: &Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+) -> GatewayReport {
+    let options = inner.options.clone();
+    let start = Instant::now();
+    inner.draining.store(true, Ordering::Release);
+
+    // Let admitted work finish under the deadline.
+    let drained_in_deadline = loop {
+        let queued = inner.state.lock().expect("gateway state poisoned").queued_total;
+        if queued == 0 {
+            break true;
+        }
+        if start.elapsed() >= options.drain_deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+
+    // Fail whatever outlived the deadline, then stop the dispatcher.
+    let leftovers = {
+        let mut state = inner.state.lock().expect("gateway state poisoned");
+        let mut leftovers = Vec::new();
+        for (_, queue) in std::mem::take(&mut state.queues) {
+            leftovers.extend(queue);
+        }
+        state.queued_total = 0;
+        state.round.clear();
+        state.deficits.clear();
+        state.stop = true;
+        inner.work_ready.notify_all();
+        leftovers
+    };
+    for pending in leftovers {
+        inner.rejected_draining.fetch_add(1, Ordering::Relaxed);
+        send_error(
+            inner,
+            &pending.conn,
+            pending.header,
+            ErrorCode::Draining,
+            "gateway drain deadline expired before this request ran",
+            None,
+        );
+    }
+
+    if let Some(handle) = acceptor {
+        handle.join().expect("acceptor panicked");
+    }
+    if let Some(handle) = dispatcher {
+        handle.join().expect("dispatcher panicked");
+    }
+
+    // Unblock the readers: read halves close, write halves stay usable
+    // for the shutdown requester's final Report frame.
+    {
+        let connections = inner.connections.lock().expect("connections poisoned");
+        for conn in connections.values() {
+            if let Ok(stream) = conn.stream.lock() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+    }
+    let readers = std::mem::take(&mut *inner.reader_threads.lock().expect("readers poisoned"));
+    for handle in readers {
+        handle.join().expect("reader panicked");
+    }
+
+    let remaining = options.drain_deadline.saturating_sub(start.elapsed());
+    inner.server.drain(remaining.max(Duration::from_millis(100)));
+
+    GatewayReport {
+        serve: ServeReport::default(),
+        connections: inner.connections_total.load(Ordering::Relaxed),
+        frames_read: inner.frames_read.load(Ordering::Relaxed),
+        frames_written: inner.frames_written.load(Ordering::Relaxed),
+        admitted: inner.admitted.load(Ordering::Relaxed),
+        rejected_overloaded: inner.rejected_overloaded.load(Ordering::Relaxed),
+        rejected_draining: inner.rejected_draining.load(Ordering::Relaxed),
+        timed_out: inner.timed_out.load(Ordering::Relaxed),
+        drained_in_deadline,
+    }
+}
+
+// ---------------------------------------------------------------------
+// acceptor
+// ---------------------------------------------------------------------
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    while !inner.draining.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                let _span = salo_trace::span_with("gateway.accept", "gateway", conn_id);
+                inner.connections_total.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(inner.options.read_timeout));
+                let _ = stream.set_write_timeout(Some(inner.options.write_timeout));
+                let Ok(write_half) = stream.try_clone() else { continue };
+                let conn = Arc::new(ConnShared {
+                    id: conn_id,
+                    stream: Mutex::new(write_half),
+                    alive: AtomicBool::new(true),
+                });
+                inner
+                    .connections
+                    .lock()
+                    .expect("connections poisoned")
+                    .insert(conn_id, Arc::clone(&conn));
+                let reader_inner = Arc::clone(inner);
+                let handle = std::thread::Builder::new()
+                    .name(format!("gateway-conn-{conn_id}"))
+                    .spawn(move || reader_loop(&reader_inner, stream, conn))
+                    .expect("spawn reader");
+                inner.reader_threads.lock().expect("readers poisoned").push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// reader: frame → decode → admit
+// ---------------------------------------------------------------------
+
+fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, conn: Arc<ConnShared>) {
+    loop {
+        let started = Instant::now();
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(WireError::Io(kind)) => {
+                use std::io::ErrorKind;
+                if matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                    // Read deadline: tell the client why before closing.
+                    send_error(
+                        inner,
+                        &conn,
+                        Header::default(),
+                        ErrorCode::TimedOut,
+                        "connection idle past the read deadline",
+                        None,
+                    );
+                }
+                break; // EOF, reset, or deadline — connection is done
+            }
+            Err(err) => {
+                // Framing violation (oversized / short frame): typed
+                // reply, then close — the stream offset is unreliable.
+                send_error(
+                    inner,
+                    &conn,
+                    Header::default(),
+                    ErrorCode::BadFrame,
+                    &err.to_string(),
+                    None,
+                );
+                break;
+            }
+        };
+        inner.frames_read.fetch_add(1, Ordering::Relaxed);
+        salo_trace::record_since("gateway.read_frame", "gateway", started, conn.id);
+
+        let (header, request) = match wire::decode_request(&payload) {
+            Ok(decoded) => decoded,
+            Err(err) => {
+                // The frame boundary was sound, so the stream stays in
+                // sync: reply typed and keep the connection.
+                send_error(
+                    inner,
+                    &conn,
+                    Header::default(),
+                    ErrorCode::BadFrame,
+                    &err.to_string(),
+                    None,
+                );
+                continue;
+            }
+        };
+
+        match request {
+            Request::Stats => {
+                // Served inline off the live registry — stats must work
+                // even when the dispatch queue is saturated.
+                let json = inner.server.metrics().export_json();
+                send_response(inner, &conn, header, &Response::Stats { json });
+            }
+            Request::Shutdown => {
+                let mut slot = inner.shutdown_request.lock().expect("shutdown slot poisoned");
+                if slot.is_none() {
+                    *slot = Some((Arc::clone(&conn), header));
+                }
+                inner.shutdown_signal.notify_all();
+            }
+            request => admit(inner, header, request, &conn),
+        }
+
+        if !conn.alive.load(Ordering::Acquire) {
+            break; // the write half failed; reading further is pointless
+        }
+    }
+
+    conn.alive.store(false, Ordering::Release);
+    inner.connections.lock().expect("connections poisoned").remove(&conn.id);
+    let mut state = inner.state.lock().expect("gateway state poisoned");
+    state.controls.push(Control::ConnClosed { conn_id: conn.id });
+    inner.work_ready.notify_all();
+}
+
+fn admit(inner: &Arc<Inner>, header: Header, request: Request, conn: &Arc<ConnShared>) {
+    let _span = salo_trace::span_with("gateway.admission", "gateway", header.tenant);
+    if inner.draining.load(Ordering::Acquire) {
+        inner.rejected_draining.fetch_add(1, Ordering::Relaxed);
+        send_error(inner, conn, header, ErrorCode::Draining, "gateway is draining", None);
+        return;
+    }
+    let tenant = header.tenant;
+    let overloaded_depth = {
+        let mut guard = inner.state.lock().expect("gateway state poisoned");
+        let state = &mut *guard;
+        let depth = state.queues.get(&tenant).map_or(0, VecDeque::len);
+        if depth >= inner.options.tenant_quota || state.queued_total >= inner.options.global_queue {
+            Some(state.queued_total.max(depth))
+        } else {
+            if depth == 0 && !state.round.contains(&tenant) {
+                state.round.push_back(tenant);
+            }
+            state.queues.entry(tenant).or_default().push_back(Pending {
+                header,
+                request,
+                conn: Arc::clone(conn),
+                enqueued: Instant::now(),
+            });
+            state.queued_total += 1;
+            inner.work_ready.notify_all();
+            None
+        }
+    };
+    match overloaded_depth {
+        None => {
+            inner.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(depth) => {
+            inner.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+            inner.server.record_tenant_rejection(tenant);
+            inner.server.metrics().counter("gateway.rejected.overloaded").inc();
+            // Rough service-rate hint: two milliseconds per queued
+            // request ahead of a retry.
+            let hint = 2 * (depth as u64 + 1);
+            send_error(
+                inner,
+                conn,
+                header,
+                ErrorCode::Overloaded,
+                "tenant or global admission queue is full",
+                Some(hint),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// dispatcher: deficit round robin → execute → reply
+// ---------------------------------------------------------------------
+
+/// A live wire session: the serve-side handle plus the connection (and
+/// open header) its frames belong to.
+struct SessionEntry {
+    handle: DecodeSessionHandle,
+    conn: Arc<ConnShared>,
+    opened_by: Header,
+}
+
+fn dispatch_loop(inner: &Arc<Inner>) {
+    let mut sessions: HashMap<u64, SessionEntry> = HashMap::new();
+    let mut next_wire_session: u64 = 1;
+
+    loop {
+        let (batch, controls, stopped) = {
+            let mut state = inner.state.lock().expect("gateway state poisoned");
+            loop {
+                if !state.controls.is_empty() || state.queued_total > 0 || state.stop {
+                    break;
+                }
+                let (next, _) = inner
+                    .work_ready
+                    .wait_timeout(state, Duration::from_millis(100))
+                    .expect("gateway state poisoned");
+                state = next;
+            }
+            let controls = std::mem::take(&mut state.controls);
+            let batch = pop_quantum(&mut state, inner.options.tenant_quantum);
+            (batch, controls, state.stop && state.queued_total == 0)
+        };
+
+        for control in controls {
+            let Control::ConnClosed { conn_id } = control;
+            // The client is gone: close its sessions server-side. No
+            // frames — there is nobody to write to.
+            let orphaned: Vec<u64> = sessions
+                .iter()
+                .filter(|(_, entry)| entry.conn.id == conn_id)
+                .map(|(&wire_id, _)| wire_id)
+                .collect();
+            for wire_id in orphaned {
+                let entry = sessions.remove(&wire_id).expect("just listed");
+                let _ = inner.server.close_session(entry.handle.id());
+                wait_closed(&entry.handle, Duration::from_secs(1));
+            }
+        }
+
+        let stopping = batch.is_empty() && stopped;
+        for pending in batch {
+            execute(inner, pending, &mut sessions, &mut next_wire_session);
+        }
+        if stopping {
+            break;
+        }
+    }
+
+    // Drain: every live wire session gets a terminal Closed frame on its
+    // connection, correlated to the open request.
+    for (wire_id, entry) in sessions.drain() {
+        let _ = inner.server.close_session(entry.handle.id());
+        let position = wait_closed(&entry.handle, inner.options.drain_deadline);
+        send_response(
+            inner,
+            &entry.conn,
+            entry.opened_by,
+            &Response::Closed { session: wire_id, position: position.map(|p| p as u64) },
+        );
+    }
+}
+
+/// Pops up to `quantum` requests from the tenant at the head of the
+/// round, replenishing its deficit for the visit and rotating it to the
+/// back if it still has both work and no deficit left. Tenants whose
+/// queues empty leave the round (and forfeit their deficit — deficits
+/// only persist across visits while work is actually waiting).
+fn pop_quantum(state: &mut QueueState, quantum: usize) -> Vec<Pending> {
+    let mut batch = Vec::new();
+    let rounds = state.round.len();
+    for _ in 0..rounds.max(1) {
+        let Some(&tenant) = state.round.front() else { return batch };
+        let Some(queue) = state.queues.get_mut(&tenant) else {
+            state.round.pop_front();
+            state.deficits.remove(&tenant);
+            continue;
+        };
+        if queue.is_empty() {
+            state.round.pop_front();
+            state.deficits.remove(&tenant);
+            continue;
+        }
+        let deficit = state.deficits.entry(tenant).or_insert(0);
+        *deficit += quantum.max(1);
+        while *deficit > 0 {
+            let Some(pending) = queue.pop_front() else { break };
+            *deficit -= 1;
+            state.queued_total -= 1;
+            batch.push(pending);
+        }
+        if queue.is_empty() {
+            state.round.pop_front();
+            state.deficits.remove(&tenant);
+        } else {
+            // Quantum spent with work left: rotate to the back.
+            state.round.rotate_left(1);
+        }
+        return batch;
+    }
+    batch
+}
+
+fn execute(
+    inner: &Arc<Inner>,
+    pending: Pending,
+    sessions: &mut HashMap<u64, SessionEntry>,
+    next_wire_session: &mut u64,
+) {
+    let Pending { header, request, conn, enqueued } = pending;
+    let waited = enqueued.elapsed();
+    salo_trace::record_since("gateway.tenant_queue_wait", "gateway", enqueued, header.tenant);
+    inner
+        .server
+        .metrics()
+        .histogram(&format!("gateway.tenant.{}.queue_wait_ns", header.tenant))
+        .record(waited.as_nanos().min(u128::from(u64::MAX)) as u64);
+    if waited > inner.options.service_timeout {
+        inner.timed_out.fetch_add(1, Ordering::Relaxed);
+        send_error(
+            inner,
+            &conn,
+            header,
+            ErrorCode::TimedOut,
+            "request spent its service deadline in the dispatch queue",
+            None,
+        );
+        return;
+    }
+    let budget = inner.options.service_timeout - waited;
+
+    match request {
+        Request::Prefill { pattern, shape, heads } => {
+            let serve_request = match ServeRequest::new(pattern, shape, heads) {
+                Ok(r) => r,
+                Err(e) => return send_serve_error(inner, &conn, header, &e),
+            };
+            if let Err(e) = inner.server.submit_for(header.tenant, serve_request) {
+                return send_serve_error(inner, &conn, header, &e);
+            }
+            // The dispatcher is the server's only layer client, so the
+            // next ordered response answers this submission.
+            let response = match inner.server.recv() {
+                Ok(r) => r,
+                Err(e) => return send_serve_error(inner, &conn, header, &e),
+            };
+            match response.result {
+                Ok(run) => {
+                    let heads = run
+                        .heads
+                        .iter()
+                        .map(|h| PrefillHead {
+                            output: h.output.clone(),
+                            raw: raw_bits(&h.raw),
+                            weights_q16: h.weights_q16.clone(),
+                        })
+                        .collect();
+                    send_response(
+                        inner,
+                        &conn,
+                        header,
+                        &Response::PrefillDone {
+                            heads,
+                            sim_time_s: run.total_time_s,
+                            sim_energy_j: run.total_energy_j,
+                        },
+                    );
+                }
+                Err(e) => send_serve_error(inner, &conn, header, &e),
+            }
+        }
+        Request::Open { pattern, head_dim, num_heads, prompt } => {
+            let session_request = SessionRequest { pattern, head_dim, num_heads, prompt };
+            let handle = match inner.server.open_session_for(header.tenant, session_request) {
+                Ok(h) => h,
+                Err(e) => return send_serve_error(inner, &conn, header, &e),
+            };
+            match recv_within(inner, &handle, budget) {
+                Ok(SessionEvent::Opened { result: Ok(info), .. }) => {
+                    let wire_id = *next_wire_session;
+                    *next_wire_session += 1;
+                    sessions.insert(
+                        wire_id,
+                        SessionEntry { handle, conn: Arc::clone(&conn), opened_by: header },
+                    );
+                    send_response(
+                        inner,
+                        &conn,
+                        header,
+                        &Response::Opened {
+                            session: wire_id,
+                            min_step: info.min_step as u64,
+                            position: info.position as u64,
+                            capacity: info.capacity as u64,
+                        },
+                    );
+                }
+                Ok(SessionEvent::Opened { result: Err(e), .. }) => {
+                    send_serve_error(inner, &conn, header, &e);
+                }
+                Ok(_) => send_error(
+                    inner,
+                    &conn,
+                    header,
+                    ErrorCode::Internal,
+                    "unexpected event before the open handshake",
+                    None,
+                ),
+                Err(e) => {
+                    let _ = inner.server.close_session(handle.id());
+                    send_serve_error(inner, &conn, header, &e);
+                }
+            }
+        }
+        Request::Step { session, token } => {
+            // Take the entry out for the duration of the step; it goes
+            // back unless the session terminated under us.
+            let entry = match sessions.remove(&session) {
+                Some(entry) if entry.conn.id == conn.id => entry,
+                other => {
+                    if let Some(entry) = other {
+                        sessions.insert(session, entry); // someone else's session
+                    }
+                    return send_error(
+                        inner,
+                        &conn,
+                        header,
+                        ErrorCode::UnknownSession,
+                        &format!("wire session {session} is not open on this connection"),
+                        None,
+                    );
+                }
+            };
+            if let Err(e) = inner.server.step_session(entry.handle.id(), token) {
+                if !matches!(e, ServeError::UnknownSession { .. }) {
+                    sessions.insert(session, entry);
+                }
+                return send_serve_error(inner, &conn, header, &e);
+            }
+            let mut keep = true;
+            loop {
+                match recv_within(inner, &entry.handle, budget) {
+                    Ok(SessionEvent::Step { result: Ok(step), .. }) => {
+                        let heads = step.heads.iter().map(WireHeadStep::from).collect();
+                        send_response(
+                            inner,
+                            &conn,
+                            header,
+                            &Response::Stepped { session, position: step.position as u64, heads },
+                        );
+                        break;
+                    }
+                    Ok(SessionEvent::Step { result: Err(e), .. }) => {
+                        send_serve_error(inner, &conn, header, &e);
+                        break;
+                    }
+                    Ok(SessionEvent::Closed { position, .. }) => {
+                        keep = false;
+                        send_response(
+                            inner,
+                            &conn,
+                            header,
+                            &Response::Closed { session, position: position.map(|p| p as u64) },
+                        );
+                        break;
+                    }
+                    Ok(SessionEvent::Opened { .. }) => continue,
+                    Err(e) => {
+                        if matches!(e, ServeError::Closed) {
+                            keep = false;
+                        }
+                        send_serve_error(inner, &conn, header, &e);
+                        break;
+                    }
+                }
+            }
+            if keep {
+                sessions.insert(session, entry);
+            }
+        }
+        Request::Close { session } => {
+            let valid = sessions.get(&session).is_some_and(|entry| entry.conn.id == conn.id);
+            if !valid {
+                return send_error(
+                    inner,
+                    &conn,
+                    header,
+                    ErrorCode::UnknownSession,
+                    &format!("wire session {session} is not open on this connection"),
+                    None,
+                );
+            }
+            let entry = sessions.remove(&session).expect("checked above");
+            let _ = inner.server.close_session(entry.handle.id());
+            let position = wait_closed(&entry.handle, budget);
+            send_response(
+                inner,
+                &conn,
+                header,
+                &Response::Closed { session, position: position.map(|p| p as u64) },
+            );
+        }
+        Request::Stats | Request::Shutdown => {
+            // Handled inline by the reader; unreachable through the queue.
+        }
+    }
+}
+
+/// Converts a fixed-point matrix to its raw bit patterns for the wire.
+fn raw_bits(m: &salo_kernels::Matrix<salo_fixed::Fix16x8>) -> salo_kernels::Matrix<i16> {
+    let data = m.as_slice().iter().map(|x| x.raw()).collect();
+    salo_kernels::Matrix::from_vec(m.rows(), m.cols(), data)
+        .expect("same shape as the source matrix")
+}
+
+/// `recv_timeout` that counts timeouts in the gateway's report.
+fn recv_within(
+    inner: &Arc<Inner>,
+    handle: &DecodeSessionHandle,
+    budget: Duration,
+) -> Result<SessionEvent, ServeError> {
+    let result = handle.recv_timeout(budget);
+    if matches!(result, Err(ServeError::TimedOut)) {
+        inner.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+    result
+}
+
+/// Drains session events until the terminal `Closed`, returning its
+/// position. Bounded: gives up (returning `None`) at the deadline.
+fn wait_closed(handle: &DecodeSessionHandle, deadline: Duration) -> Option<usize> {
+    let start = Instant::now();
+    loop {
+        let left = deadline.checked_sub(start.elapsed())?;
+        match handle.recv_timeout(left.max(Duration::from_millis(1))) {
+            Ok(SessionEvent::Closed { position, .. }) => return position,
+            Ok(_) => continue,
+            Err(_) => return None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// replies
+// ---------------------------------------------------------------------
+
+fn send_response(inner: &Arc<Inner>, conn: &Arc<ConnShared>, header: Header, resp: &Response) {
+    if !conn.alive.load(Ordering::Acquire) {
+        return;
+    }
+    let started = Instant::now();
+    let frame = encode_response(header, resp);
+    let ok = {
+        let mut stream = match conn.stream.lock() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        wire::write_frame(&mut *stream, &frame).is_ok()
+    };
+    salo_trace::record_since("gateway.write_frame", "gateway", started, conn.id);
+    if ok {
+        inner.frames_written.fetch_add(1, Ordering::Relaxed);
+    } else {
+        conn.alive.store(false, Ordering::Release);
+    }
+}
+
+fn send_error(
+    inner: &Arc<Inner>,
+    conn: &Arc<ConnShared>,
+    header: Header,
+    code: ErrorCode,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) {
+    send_response(
+        inner,
+        conn,
+        header,
+        &Response::Error(ErrorFrame { code, message: message.to_owned(), retry_after_ms }),
+    );
+}
+
+fn send_serve_error(inner: &Arc<Inner>, conn: &Arc<ConnShared>, header: Header, e: &ServeError) {
+    let code = match e {
+        ServeError::InvalidRequest { .. } => ErrorCode::Invalid,
+        ServeError::UnknownSession { .. } => ErrorCode::UnknownSession,
+        ServeError::Draining => ErrorCode::Draining,
+        ServeError::TimedOut => ErrorCode::TimedOut,
+        _ => ErrorCode::Internal,
+    };
+    send_error(inner, conn, header, code, &e.to_string(), None);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drr_interleaves_tenants_and_carries_deficit() {
+        let conn = Arc::new(ConnShared {
+            id: 1,
+            stream: Mutex::new(TcpStream::connect(any_listener()).expect("loopback")),
+            alive: AtomicBool::new(true),
+        });
+        let mut state = QueueState::default();
+        // Tenant 1 floods 6 requests; tenant 2 queues 2.
+        for (tenant, n) in [(1u64, 6usize), (2, 2)] {
+            for i in 0..n {
+                let queue = state.queues.entry(tenant).or_default();
+                if queue.is_empty() && !state.round.contains(&tenant) {
+                    state.round.push_back(tenant);
+                }
+                queue.push_back(Pending {
+                    header: Header { tenant, request_id: i as u64 },
+                    request: Request::Stats,
+                    conn: Arc::clone(&conn),
+                    enqueued: Instant::now(),
+                });
+                state.queued_total += 1;
+            }
+        }
+        let mut order = Vec::new();
+        while state.queued_total > 0 {
+            for p in pop_quantum(&mut state, 2) {
+                order.push(p.header.tenant);
+            }
+        }
+        // Visits alternate a quantum at a time until tenant 2 drains:
+        // 1,1 then 2,2 then the rest of tenant 1's backlog.
+        assert_eq!(order, vec![1, 1, 2, 2, 1, 1, 1, 1]);
+    }
+
+    fn any_listener() -> SocketAddr {
+        // A throwaway loopback listener so the test can build a
+        // TcpStream without a live gateway.
+        static LISTENER: std::sync::OnceLock<(TcpListener, SocketAddr)> =
+            std::sync::OnceLock::new();
+        let (_, addr) = LISTENER.get_or_init(|| {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = l.local_addr().expect("local addr");
+            (l, addr)
+        });
+        *addr
+    }
+}

@@ -1,0 +1,50 @@
+//! A network front door for the [`salo-serve`](salo_serve) runtime.
+//!
+//! [`SaloServer`](salo_serve::SaloServer) is an in-process library: every
+//! client shares the server's address space, admission is a function
+//! call, and overload shows up as unbounded queue growth in the caller.
+//! Serving for real means a socket between untrusted clients and the
+//! accelerator pool — and a socket changes the problem: requests arrive
+//! malformed, tenants misbehave, connections die mid-session, and the
+//! process must drain without corrupting in-flight generations. This
+//! crate supplies that front end, std-only (threads + `TcpListener`, no
+//! async runtime, no serde):
+//!
+//! * **[`wire`]** — a length-prefixed binary protocol (`u32` length,
+//!   version/opcode/tenant/request-id header) covering prefill, decode
+//!   sessions, stats, and drain. Every decode path is
+//!   allocation-guarded and returns typed [`wire::WireError`]s — never
+//!   panics — under proptest-driven malformed-input tests.
+//! * **[`Gateway`]** — accepts connections, decodes frames, and maps
+//!   them onto a [`SaloServer`](salo_serve::SaloServer) it owns.
+//!   Admission control bounds each tenant's queue
+//!   ([`GatewayOptions::tenant_quota`]) and the global backlog;
+//!   rejected work gets a typed `Overloaded` frame with a
+//!   `retry_after_ms` hint instead of silent queue growth. A
+//!   deficit-round-robin dispatcher serves tenants fairly: a flooding
+//!   tenant is rejected at its own quota while a well-behaved one's
+//!   queue wait stays bounded. [`Gateway::shutdown`] drains gracefully —
+//!   stop accepting, reject new work as `Draining`, finish what's
+//!   queued, close every live decode session with a terminal `Closed`
+//!   frame — under a bounded deadline.
+//! * **[`GatewayClient`]** — a blocking, pipelining client used by the
+//!   integration tests and the `gateway_bench` closed-loop driver.
+//!
+//! The protocol is carried bit-exactly (floats travel as IEEE-754 bit
+//! patterns, fixed-point rows as raw `i16`), so a decode session driven
+//! over localhost TCP produces byte-identical outputs to
+//! [`Salo::decode_session`](salo_core::Salo::decode_session) — the
+//! integration tests assert it. Shard reports travel whole (sparse
+//! log-bucket histograms included), so a multi-process bench merges them
+//! bucket-exactly with
+//! [`ServeReport::merged_with`](salo_serve::ServeReport::merged_with).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod client;
+mod gateway;
+pub mod wire;
+
+pub use client::{GatewayClient, GatewayError, OpenedSession};
+pub use gateway::{Gateway, GatewayOptions, GatewayReport};

@@ -27,6 +27,14 @@ pub enum ServeError {
         /// The offending session id.
         session: u64,
     },
+    /// The server is draining ([`SaloServer::drain`](crate::SaloServer::drain)):
+    /// it refuses new submissions, opens and steps while in-flight work
+    /// finishes. Closes are still accepted.
+    Draining,
+    /// A blocking wait on a session event ran past its deadline
+    /// ([`DecodeSessionHandle::recv_timeout`](crate::DecodeSessionHandle::recv_timeout)).
+    /// The session itself may still be live; only the wait gave up.
+    TimedOut,
 }
 
 impl fmt::Display for ServeError {
@@ -39,6 +47,8 @@ impl fmt::Display for ServeError {
             ServeError::UnknownSession { session } => {
                 write!(f, "unknown decode session {session}")
             }
+            ServeError::Draining => write!(f, "server is draining"),
+            ServeError::TimedOut => write!(f, "timed out waiting for a session event"),
         }
     }
 }
@@ -109,5 +119,7 @@ mod tests {
 
         assert_eq!(ServeError::Closed.to_string(), "server is shut down");
         assert_eq!(ServeError::WorkerLost.to_string(), "worker thread is gone");
+        assert_eq!(ServeError::Draining.to_string(), "server is draining");
+        assert!(ServeError::TimedOut.to_string().contains("timed out"));
     }
 }

@@ -9,6 +9,7 @@
 //! only as [`LatencyStats::blended_with`], the clearly-named fallback for
 //! summaries that no longer carry their histograms.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -251,6 +252,23 @@ impl DepthGauge {
     }
 }
 
+/// Per-tenant accounting inside a [`ServeReport`], keyed by tenant id.
+///
+/// All three are exact flows, so sharded reports merge them by plain
+/// addition ([`ServeReport::merged_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantCounters {
+    /// Layer requests and session opens this tenant had accepted.
+    pub requests: u64,
+    /// Requests refused at admission (queue bounds) on this tenant's
+    /// behalf — recorded by the front door
+    /// ([`SaloServer::record_tenant_rejection`](crate::SaloServer::record_tenant_rejection)),
+    /// since rejected work never enters the runtime.
+    pub rejections: u64,
+    /// Decode steps accepted across this tenant's sessions.
+    pub decode_steps: u64,
+}
+
 /// Aggregate statistics for one serving session, produced by
 /// [`SaloServer::shutdown`](crate::SaloServer::shutdown).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -320,6 +338,10 @@ pub struct ServeReport {
     /// means steps failed with `PagePoolExhausted` (cleanly — the
     /// sessions stay live and retryable).
     pub decode_pool_exhausted: u64,
+    /// Per-tenant accounting, keyed by tenant id. Untenanted work counts
+    /// under the default tenant
+    /// ([`DEFAULT_TENANT`](crate::SaloServer::DEFAULT_TENANT) = 0).
+    pub tenants: BTreeMap<u64, TenantCounters>,
 }
 
 impl fmt::Display for ServeReport {
@@ -375,6 +397,17 @@ impl fmt::Display for ServeReport {
             self.decode_page_reclaims,
             self.decode_pool_exhausted
         )?;
+        if !self.tenants.is_empty() {
+            write!(f, "tenants         :")?;
+            for (tenant, t) in &self.tenants {
+                write!(
+                    f,
+                    " [{}: {} req / {} rej / {} steps]",
+                    tenant, t.requests, t.rejections, t.decode_steps
+                )?;
+            }
+            writeln!(f)?;
+        }
         write!(f, "per-worker load : {:?}", self.per_worker_requests)
     }
 }
@@ -425,6 +458,15 @@ impl ServeReport {
         let latency_hist = self.latency_hist.merged_with(&other.latency_hist);
         let decode_step_latency_hist =
             self.decode_step_latency_hist.merged_with(&other.decode_step_latency_hist);
+        // Per-tenant counters are exact flows: the merged entry for a
+        // tenant served by both shards is the element-wise sum.
+        let mut tenants = self.tenants.clone();
+        for (&tenant, t) in &other.tenants {
+            let merged = tenants.entry(tenant).or_default();
+            merged.requests += t.requests;
+            merged.rejections += t.rejections;
+            merged.decode_steps += t.decode_steps;
+        }
         ServeReport {
             requests,
             errors: self.errors + other.errors,
@@ -465,6 +507,7 @@ impl ServeReport {
             decode_peak_pool_pages: self.decode_peak_pool_pages.max(other.decode_peak_pool_pages),
             decode_page_reclaims: self.decode_page_reclaims + other.decode_page_reclaims,
             decode_pool_exhausted: self.decode_pool_exhausted + other.decode_pool_exhausted,
+            tenants,
         }
     }
 }
@@ -764,6 +807,40 @@ mod tests {
         // Merging is commutative on all five.
         assert_eq!(b.merged_with(&a).decode_peak_resident_pages, 7);
         assert_eq!(b.merged_with(&a).decode_resident_kv_byte_steps, 71_680);
+    }
+
+    #[test]
+    fn tenant_counters_merge_by_exact_addition() {
+        let a = ServeReport {
+            tenants: BTreeMap::from([
+                (1, TenantCounters { requests: 10, rejections: 2, decode_steps: 40 }),
+                (2, TenantCounters { requests: 5, rejections: 0, decode_steps: 0 }),
+            ]),
+            ..Default::default()
+        };
+        let b = ServeReport {
+            tenants: BTreeMap::from([
+                (1, TenantCounters { requests: 7, rejections: 1, decode_steps: 3 }),
+                (9, TenantCounters { requests: 1, rejections: 0, decode_steps: 8 }),
+            ]),
+            ..Default::default()
+        };
+        let merged = a.merged_with(&b);
+        assert_eq!(
+            merged.tenants,
+            BTreeMap::from([
+                (1, TenantCounters { requests: 17, rejections: 3, decode_steps: 43 }),
+                (2, TenantCounters { requests: 5, rejections: 0, decode_steps: 0 }),
+                (9, TenantCounters { requests: 1, rejections: 0, decode_steps: 8 }),
+            ])
+        );
+        // Commutative, and the identity merge leaves the map unchanged.
+        assert_eq!(b.merged_with(&a).tenants, merged.tenants);
+        assert_eq!(a.merged_with(&ServeReport::default()).tenants, a.tenants);
+        // The per-tenant line shows up in the report text.
+        let text = merged.to_string();
+        assert!(text.contains("tenants"), "missing tenants section:\n{text}");
+        assert!(text.contains("[1: 17 req / 3 rej / 43 steps]"), "{text}");
     }
 
     #[test]

@@ -28,11 +28,11 @@
 //! construction).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use salo_core::{AttentionRequest, PatternHandle, Salo};
 use salo_patterns::{AttentionShape, HybridPattern};
@@ -40,7 +40,7 @@ use salo_sim::AcceleratorConfig;
 use salo_trace::MetricsRegistry;
 
 use crate::batch::{Batcher, InFlight};
-use crate::metrics::{DepthGauge, LatencyRecorder, ServeReport};
+use crate::metrics::{DepthGauge, LatencyRecorder, ServeReport, TenantCounters};
 use crate::session::{
     DecodeSessionHandle, SessionEvent, SessionRegistry, SessionRequest, SessionTable, TokenQkv,
 };
@@ -168,6 +168,10 @@ pub struct SaloServer {
     metrics: Arc<MetricsRegistry>,
     threads: Vec<JoinHandle<()>>,
     workers: usize,
+    /// One-way flag set by [`drain`](Self::drain): new submissions, opens
+    /// and steps are refused with [`ServeError::Draining`] while in-flight
+    /// work finishes and sessions close out.
+    draining: AtomicBool,
 }
 
 impl std::fmt::Debug for SaloServer {
@@ -272,6 +276,7 @@ impl SaloServer {
             metrics,
             threads,
             workers,
+            draining: AtomicBool::new(false),
         }
     }
 
@@ -287,21 +292,44 @@ impl SaloServer {
         &self.config
     }
 
+    /// The tenant untenanted entry points ([`submit`](Self::submit),
+    /// [`open_session`](Self::open_session)) account their work under.
+    pub const DEFAULT_TENANT: u64 = 0;
+
     /// Submits a layer request; returns its id. Responses come back
     /// through [`recv`](Self::recv) in increasing-id order, so a client
-    /// that submits `k` requests reads exactly `k` responses.
+    /// that submits `k` requests reads exactly `k` responses. Accounted
+    /// under [`DEFAULT_TENANT`](Self::DEFAULT_TENANT).
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidRequest`] if the request is internally
-    /// inconsistent, or [`ServeError::Closed`] after shutdown.
+    /// inconsistent, [`ServeError::Draining`] while a
+    /// [`drain`](Self::drain) is in progress, or [`ServeError::Closed`]
+    /// after shutdown.
     pub fn submit(&self, request: ServeRequest) -> Result<u64, ServeError> {
+        self.submit_for(Self::DEFAULT_TENANT, request)
+    }
+
+    /// [`submit`](Self::submit) on behalf of a tenant: the request counts
+    /// toward `tenant`'s entry in [`ServeReport::tenants`] (and the live
+    /// `serve.tenant.{id}.requests` counter). Multi-tenant front ends —
+    /// the gateway — thread the wire-header tenant id through here.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_for(&self, tenant: u64, request: ServeRequest) -> Result<u64, ServeError> {
+        if self.draining.load(Ordering::Acquire) {
+            return Err(ServeError::Draining);
+        }
         // Re-validate: the fields are public, so the request may not have
         // come through `ServeRequest::new`.
         let request = ServeRequest::new(request.pattern, request.shape, request.heads)?;
         let ingress = self.ingress.as_ref().ok_or(ServeError::Closed)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let _span = salo_trace::span_with("serve.admission", "serve", id);
+        self.metrics.counter(&format!("serve.tenant.{tenant}.requests")).inc();
         self.depth.enter();
         let submission = Submission {
             id,
@@ -334,18 +362,41 @@ impl SaloServer {
     /// asynchronously in the `Opened` event and deregister the session:
     /// once [`wait_open`](DecodeSessionHandle::wait_open) has reported
     /// the failure, the id is gone and further calls on it return
-    /// [`ServeError::UnknownSession`].
+    /// [`ServeError::UnknownSession`]. Accounted under
+    /// [`DEFAULT_TENANT`](Self::DEFAULT_TENANT).
     pub fn open_session(&self, request: SessionRequest) -> Result<DecodeSessionHandle, ServeError> {
+        self.open_session_for(Self::DEFAULT_TENANT, request)
+    }
+
+    /// [`open_session`](Self::open_session) on behalf of a tenant: the
+    /// open counts toward `tenant`'s [`ServeReport::tenants`] entry, and
+    /// every accepted step of the session counts toward its
+    /// `decode_steps`.
+    ///
+    /// # Errors
+    ///
+    /// As [`open_session`](Self::open_session), plus
+    /// [`ServeError::Draining`] while a [`drain`](Self::drain) is in
+    /// progress.
+    pub fn open_session_for(
+        &self,
+        tenant: u64,
+        request: SessionRequest,
+    ) -> Result<DecodeSessionHandle, ServeError> {
+        if self.draining.load(Ordering::Acquire) {
+            return Err(ServeError::Draining);
+        }
         let causal = request.validated_view()?.into_causal_pattern();
         let ingress = self.ingress.as_ref().ok_or(ServeError::Closed)?;
         let session = self.next_session.fetch_add(1, Ordering::Relaxed);
         let _span = salo_trace::span_with("serve.session_open", "serve", session);
+        self.metrics.counter(&format!("serve.tenant.{tenant}.requests")).inc();
         let (events_tx, events_rx) = std::sync::mpsc::channel();
         self.depth.enter();
         // Register before submitting: an asynchronous open failure
         // deregisters the id, and that removal must not race ahead of
         // the insert (a late insert would leak the dead session).
-        self.sessions.insert(session);
+        self.sessions.insert(session, tenant);
         let submission = OpenSubmission {
             session,
             request,
@@ -373,11 +424,15 @@ impl SaloServer {
     /// [`ServeError::Closed`] after shutdown. Execution failures arrive
     /// in the step event and poison the session.
     pub fn step_session(&self, session: u64, token: Vec<TokenQkv>) -> Result<(), ServeError> {
-        if !self.sessions.contains(session) {
-            return Err(ServeError::UnknownSession { session });
+        if self.draining.load(Ordering::Acquire) {
+            return Err(ServeError::Draining);
         }
+        let Some(tenant) = self.sessions.tenant_of(session) else {
+            return Err(ServeError::UnknownSession { session });
+        };
         let ingress = self.ingress.as_ref().ok_or(ServeError::Closed)?;
         let _span = salo_trace::span_with("serve.session_step", "serve", session);
+        self.metrics.counter(&format!("serve.tenant.{tenant}.decode_steps")).inc();
         self.depth.enter();
         let submission = StepSubmission { session, token, submitted: Instant::now() };
         if ingress.send(Ingress::Step(submission)).is_err() {
@@ -472,6 +527,60 @@ impl SaloServer {
         &self.metrics
     }
 
+    /// Records one admission rejection on behalf of `tenant`. Rejected
+    /// work never enters the runtime, so the front door (the gateway's
+    /// bounded queues) reports it here; the count lands in the tenant's
+    /// [`ServeReport::tenants`] entry and the live
+    /// `serve.tenant.{id}.rejections` counter.
+    pub fn record_tenant_rejection(&self, tenant: u64) {
+        self.metrics.counter(&format!("serve.tenant.{tenant}.rejections")).inc();
+    }
+
+    /// Whether [`drain`](Self::drain) has been called.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Gracefully drains the runtime: refuses new work, closes every
+    /// registered decode session with a terminal
+    /// [`SessionEvent::Closed`], and waits — up to `deadline` — for all
+    /// in-flight work to complete. Returns `true` when the runtime
+    /// drained fully within the deadline.
+    ///
+    /// After a drain, [`submit`](Self::submit),
+    /// [`open_session`](Self::open_session) and
+    /// [`step_session`](Self::step_session) report
+    /// [`ServeError::Draining`]; [`close_session`](Self::close_session)
+    /// and response/event reads keep working so clients can collect what
+    /// already completed. Draining is one-way: the runtime's remaining
+    /// useful call is [`shutdown`](Self::shutdown), which produces the
+    /// final report (drain-then-shutdown is the graceful path; `shutdown`
+    /// alone drops session channels without terminal events).
+    pub fn drain(&self, deadline: Duration) -> bool {
+        let start = Instant::now();
+        let _span = salo_trace::span_with("serve.drain", "serve", 0);
+        self.draining.store(true, Ordering::Release);
+        // Close every live session: each gets its terminal Closed event
+        // through the normal close path (remove from the registry first,
+        // exactly like close_session, so a concurrent close cannot
+        // double-send Ingress::Close).
+        if let Some(ingress) = self.ingress.as_ref() {
+            for session in self.sessions.live_ids() {
+                if self.sessions.remove(session) {
+                    let _ = ingress.send(Ingress::Close { session });
+                }
+            }
+        }
+        while start.elapsed() < deadline {
+            if self.depth.current() == 0 && self.sessions.len() == 0 {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.depth.current() == 0 && self.sessions.len() == 0
+    }
+
     /// Stops accepting requests, drains all in-flight work, joins every
     /// thread and returns the session report. Responses not yet read via
     /// [`recv`](Self::recv) are discarded; open decode sessions are
@@ -500,6 +609,22 @@ impl SaloServer {
         self.metrics.counter("serve.batched_requests").add(batched);
         self.metrics.gauge("serve.queue_depth.high_water").set(self.depth.high_water() as i64);
         let requests = self.metrics.counter("serve.requests").get();
+        // The per-tenant counters are dynamically named
+        // (`serve.tenant.{id}.{field}`); recover the family by prefix and
+        // fold it into the report's map.
+        let mut tenants: BTreeMap<u64, TenantCounters> = BTreeMap::new();
+        for (name, value) in self.metrics.counters_with_prefix("serve.tenant.") {
+            let rest = &name["serve.tenant.".len()..];
+            let Some((id, field)) = rest.split_once('.') else { continue };
+            let Ok(id) = id.parse::<u64>() else { continue };
+            let entry = tenants.entry(id).or_default();
+            match field {
+                "requests" => entry.requests = value,
+                "rejections" => entry.rejections = value,
+                "decode_steps" => entry.decode_steps = value,
+                _ => {}
+            }
+        }
         ServeReport {
             requests,
             errors: self.metrics.counter("serve.errors").get(),
@@ -536,6 +661,7 @@ impl SaloServer {
                 .max(0) as u64,
             decode_page_reclaims: self.metrics.counter("serve.decode.page_reclaims").get(),
             decode_pool_exhausted: self.metrics.counter("serve.decode.pool_exhausted").get(),
+            tenants,
         }
     }
 }

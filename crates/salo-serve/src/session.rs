@@ -15,9 +15,10 @@
 //! interleaving thousands of step events with layer responses would
 //! stall the ordered collector.
 
-use std::collections::{HashMap, HashSet};
-use std::sync::mpsc::{Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use salo_core::HeadStep;
 use salo_kernels::Qkv;
@@ -202,6 +203,24 @@ impl DecodeSessionHandle {
         self.events.recv().map_err(|_| ServeError::Closed)
     }
 
+    /// Bounded [`recv`](Self::recv): blocks at most `timeout` for the next
+    /// session event. The deadline-enforcement primitive of callers that
+    /// must not hang on a session — the gateway's per-request service
+    /// timeout is built on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::TimedOut`] if no event arrived within
+    /// `timeout` (the session may still be live), or
+    /// [`ServeError::Closed`] once the runtime has shut down and every
+    /// event has been delivered.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<SessionEvent, ServeError> {
+        self.events.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ServeError::TimedOut,
+            RecvTimeoutError::Disconnected => ServeError::Closed,
+        })
+    }
+
     /// Blocks until the open handshake completes, returning the session
     /// parameters.
     ///
@@ -248,7 +267,10 @@ impl DecodeSessionHandle {
 /// were accepted just before the session died.
 #[derive(Debug, Default)]
 pub(crate) struct SessionRegistry {
-    live: Mutex<HashSet<u64>>,
+    /// Live sessions, each tagged with the tenant that opened it (the
+    /// per-tenant decode-step counters look the tenant up here on the
+    /// step path).
+    live: Mutex<HashMap<u64, u64>>,
     /// Sessions retired worker-side (poisoning step, failed open) whose
     /// dispatcher route still needs reaping. The worker cannot reach the
     /// dispatcher's table directly, so it queues the id here and the
@@ -263,13 +285,13 @@ impl SessionRegistry {
         Self::default()
     }
 
-    pub fn insert(&self, session: u64) {
-        self.live.lock().expect("session registry poisoned").insert(session);
+    pub fn insert(&self, session: u64, tenant: u64) {
+        self.live.lock().expect("session registry poisoned").insert(session, tenant);
     }
 
     /// Removes the session; `false` if it was not live.
     pub fn remove(&self, session: u64) -> bool {
-        self.live.lock().expect("session registry poisoned").remove(&session)
+        self.live.lock().expect("session registry poisoned").remove(&session).is_some()
     }
 
     /// Removes the session *and* queues its route for dispatcher-side
@@ -284,8 +306,17 @@ impl SessionRegistry {
         std::mem::take(&mut *self.retired.lock().expect("session registry poisoned"))
     }
 
-    pub fn contains(&self, session: u64) -> bool {
-        self.live.lock().expect("session registry poisoned").contains(&session)
+    /// The tenant that opened the session, if it is live. This is also
+    /// the liveness check of the step path: one lookup yields both
+    /// membership and the tenant to account the step to.
+    pub fn tenant_of(&self, session: u64) -> Option<u64> {
+        self.live.lock().expect("session registry poisoned").get(&session).copied()
+    }
+
+    /// Snapshot of the live session ids — what a drain walks to close
+    /// every registered session.
+    pub fn live_ids(&self) -> Vec<u64> {
+        self.live.lock().expect("session registry poisoned").keys().copied().collect()
     }
 
     pub fn len(&self) -> usize {

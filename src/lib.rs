@@ -17,6 +17,7 @@
 //! | [`quant`] | the quantization accuracy study (Table 3) |
 //! | [`core`] | the unified engine API (`AttentionRequest` over pluggable `Engine` backends) plus the `Salo` façade and streaming decode sessions |
 //! | [`serve`] | concurrent serving runtime: plan cache, batching, a worker pool of engines consuming typed requests, pinned decode sessions |
+//! | [`gateway`] | the network front door: length-prefixed binary wire protocol over TCP, per-tenant admission control and deficit-round-robin fairness, graceful drain |
 //! | [`trace`] | zero-dependency observability: spans with Perfetto (Chrome trace JSON) export, mergeable metrics, stage-level kernel profiling |
 //!
 //! # Quickstart
@@ -88,6 +89,11 @@ pub mod core {
 /// The concurrent serving runtime. See [`salo_serve`].
 pub mod serve {
     pub use salo_serve::*;
+}
+
+/// The network serving front door. See [`salo_gateway`].
+pub mod gateway {
+    pub use salo_gateway::*;
 }
 
 /// Observability: span tracing, metrics, kernel-stage profiling. See

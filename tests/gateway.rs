@@ -1,0 +1,264 @@
+//! Gateway integration suite, over real loopback sockets: wire-driven
+//! decode sessions are bit-identical to the in-process core session,
+//! admission control rejects a flooding tenant while a well-behaved one
+//! is served with bounded queue wait, malformed frames get typed error
+//! replies without killing well-framed neighbours, and a graceful drain
+//! closes live sessions with terminal `Closed` frames.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use salo::core::Salo;
+use salo::gateway::wire::{self, encode_request, ErrorCode, Header, Request, Response, WireError};
+use salo::gateway::{Gateway, GatewayClient, GatewayError, GatewayOptions};
+use salo::kernels::Qkv;
+use salo::models::longformer_layer;
+use salo::serve::{GenerationTraffic, ServeOptions};
+use salo::sim::AcceleratorConfig;
+
+fn unit_gateway(options: GatewayOptions) -> Gateway {
+    Gateway::bind("127.0.0.1:0", AcceleratorConfig::default(), options).expect("bind gateway")
+}
+
+fn one_worker() -> GatewayOptions {
+    GatewayOptions {
+        serve: ServeOptions { workers: 1, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// A session driven over TCP — open, step-by-step decode, close — must
+/// reproduce [`Salo::decode_session`] on the same pattern byte for byte:
+/// raw `i16` rows, Q.16 softmax weights, `f32` output bits, positions.
+/// A wire prefill must likewise reproduce the engine's prefill output.
+#[test]
+fn socket_decode_is_bit_identical_to_in_process_session() {
+    let gateway = unit_gateway(one_worker());
+    let mut client = GatewayClient::connect(gateway.local_addr(), 1).expect("connect");
+
+    // Prefill: wire vs the engine API on the same configuration.
+    let workload = longformer_layer(64, 8, 16, 1).expect("workload");
+    let qkv = Qkv::random(workload.shape.seq_len, workload.shape.head_dim, 7);
+    let (heads, _, _) = client
+        .prefill(workload.pattern.clone(), workload.shape, vec![qkv.clone()])
+        .expect("wire prefill");
+    let oracle = {
+        use salo::core::{AttentionRequest, Engine, PatternHandle};
+        let salo = Salo::new(AcceleratorConfig::default());
+        let mut engine = salo.engine();
+        engine
+            .execute(AttentionRequest::Prefill {
+                pattern: PatternHandle::from_pattern(workload.pattern.clone()),
+                shape: workload.shape,
+                heads: vec![qkv],
+            })
+            .expect("oracle prefill")
+            .into_prefill()
+            .expect("prefill response")
+    };
+    assert_eq!(heads.len(), 1);
+    let oracle_head = &oracle.heads[0];
+    let oracle_raw = oracle_head.raw.as_ref().expect("oracle raw");
+    assert_eq!(heads[0].raw.rows(), oracle_raw.rows());
+    let wire_raw = heads[0].raw.as_slice();
+    let reference_raw: Vec<i16> = oracle_raw.as_slice().iter().map(|x| x.raw()).collect();
+    assert_eq!(wire_raw, reference_raw.as_slice(), "prefill raw rows diverged");
+    assert_eq!(
+        &heads[0].weights_q16,
+        oracle_head.weights_q16.as_ref().expect("oracle weights"),
+        "prefill weights diverged"
+    );
+    let wire_bits: Vec<u32> = heads[0].output.as_slice().iter().map(|x| x.to_bits()).collect();
+    let reference_bits: Vec<u32> =
+        oracle_head.output.as_slice().iter().map(|x| x.to_bits()).collect();
+    assert_eq!(wire_bits, reference_bits, "prefill f32 bits diverged");
+
+    // Decode: open -> step xN -> close against the core session. Shape 1
+    // of the demo mix is single-head, matching `decode_session`.
+    let steps = 12;
+    let (request, tokens) = GenerationTraffic::demo_mix().session_bounded(1, steps);
+    let salo = Salo::new(AcceleratorConfig::default());
+    let mut oracle = salo.decode_session(&request.pattern, request.head_dim).expect("oracle");
+    oracle.prime_rows(&request.prompt[0], 0..request.prompt[0].seq_len()).expect("oracle prime");
+
+    let opened = client
+        .open_session(request.pattern, request.head_dim, request.num_heads, request.prompt)
+        .expect("wire open");
+    assert_eq!(opened.min_step, oracle.min_step() as u64);
+    assert_eq!(opened.position, oracle.position() as u64);
+    assert_eq!(opened.capacity, oracle.capacity() as u64);
+    for token in &tokens {
+        let (position, heads) = client.step(opened.session, token.clone()).expect("wire step");
+        let reference = oracle.step(&token[0].q, &token[0].k, &token[0].v).expect("oracle step");
+        assert_eq!(position, reference.position as u64, "position diverged");
+        let head = &heads[0];
+        let raw: Vec<i16> = reference.raw.iter().map(|x| x.raw()).collect();
+        assert_eq!(head.raw.as_deref(), Some(raw.as_slice()), "raw row diverged");
+        assert_eq!(head.weight_q16, Some(reference.weight_q16), "weight diverged");
+        let wire_bits: Vec<u32> = head.output.iter().map(|x| x.to_bits()).collect();
+        let reference_bits: Vec<u32> = reference.output.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(wire_bits, reference_bits, "f32 output bits diverged");
+    }
+    let closed_at = client.close(opened.session).expect("wire close");
+    assert_eq!(closed_at, Some(oracle.position() as u64), "final position diverged");
+
+    let report = gateway.shutdown();
+    assert_eq!(report.serve.decode_step_errors, 0);
+    assert_eq!(report.rejected_overloaded, 0);
+}
+
+/// Two tenants, one flooding: the flooder is clamped at its own quota
+/// with typed `Overloaded` rejections (retry hint included) while the
+/// well-behaved tenant's requests all succeed with bounded queue wait.
+#[test]
+fn flooding_tenant_is_rejected_while_good_tenant_is_served() {
+    let options = GatewayOptions { tenant_quota: 3, ..one_worker() };
+    let gateway = unit_gateway(options);
+    let addr = gateway.local_addr();
+
+    let workload = longformer_layer(64, 8, 16, 1).expect("workload");
+    let make_request = |seed: u64| Request::Prefill {
+        pattern: workload.pattern.clone(),
+        shape: workload.shape,
+        heads: vec![Qkv::random(workload.shape.seq_len, workload.shape.head_dim, seed)],
+    };
+
+    // Tenant 9 floods: 32 pipelined sends, no reads until the harvest.
+    let flood_total = 32u64;
+    let mut flooder = GatewayClient::connect(addr, 9).expect("connect flooder");
+    flooder.set_read_timeout(Some(Duration::from_secs(60))).expect("deadline");
+    for i in 0..flood_total {
+        flooder.send(&make_request(i)).expect("pipelined send");
+    }
+
+    // Tenant 2 runs a sequential closed loop against the backlog.
+    let good_total = 8u64;
+    let mut good = GatewayClient::connect(addr, 2).expect("connect good tenant");
+    good.set_read_timeout(Some(Duration::from_secs(60))).expect("deadline");
+    for i in 0..good_total {
+        match good.call(&make_request(100 + i)) {
+            Ok(Response::PrefillDone { .. }) => {}
+            other => panic!("good tenant request {i} failed: {other:?}"),
+        }
+    }
+
+    // Harvest the flood: every pipelined request gets a reply — either
+    // completed work or a typed rejection — never a hang.
+    let (mut admitted, mut rejected) = (0u64, 0u64);
+    for _ in 0..flood_total {
+        match flooder.recv().expect("flood reply") {
+            (_, Response::PrefillDone { .. }) => admitted += 1,
+            (_, Response::Error(frame)) => {
+                assert_eq!(frame.code, ErrorCode::Overloaded, "unexpected error: {frame:?}");
+                assert!(frame.retry_after_ms.is_some(), "Overloaded needs a retry hint");
+                rejected += 1;
+            }
+            (_, other) => panic!("unexpected flood reply: {other:?}"),
+        }
+    }
+    assert!(rejected >= 1, "the flood never tripped admission control");
+    assert_eq!(admitted + rejected, flood_total);
+
+    // The starved tenant's queue wait stays bounded: DRR gives it a
+    // quantum every round, so its p99 cannot absorb the whole backlog.
+    let wait_p99_ns =
+        gateway.metrics().histogram("gateway.tenant.2.queue_wait_ns").snapshot().quantile(0.99);
+    assert!(wait_p99_ns < 10_000_000_000, "good tenant p99 queue wait unbounded: {wait_p99_ns} ns");
+
+    let report = gateway.shutdown();
+    assert_eq!(report.rejected_overloaded, rejected);
+    let good_counters = report.serve.tenants.get(&2).expect("good tenant counted");
+    assert_eq!(good_counters.requests, good_total);
+    assert_eq!(good_counters.rejections, 0, "good tenant must see no rejections");
+    let flood_counters = report.serve.tenants.get(&9).expect("flooder counted");
+    assert_eq!(flood_counters.requests, admitted);
+    assert_eq!(flood_counters.rejections, rejected);
+}
+
+/// Malformed input over a raw socket: a well-framed but undecodable
+/// payload draws a typed `BadFrame` reply and the connection keeps
+/// serving; an oversized length prefix draws a typed reply and a clean
+/// close — never a hang or a panic.
+#[test]
+fn malformed_frames_get_typed_errors_without_killing_the_connection() {
+    let gateway = unit_gateway(one_worker());
+    let mut stream = TcpStream::connect(gateway.local_addr()).expect("connect raw");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("deadline");
+
+    // Well-framed garbage (bad version byte): typed error, frame
+    // boundary intact.
+    let mut garbage = (24u32).to_le_bytes().to_vec();
+    garbage.extend_from_slice(&[0xAB; 24]);
+    stream.write_all(&garbage).expect("write garbage");
+    let payload = wire::read_frame(&mut stream).expect("error reply");
+    let (_, response) = wire::decode_response(&payload).expect("decodable reply");
+    match response {
+        Response::Error(frame) => assert_eq!(frame.code, ErrorCode::BadFrame),
+        other => panic!("expected BadFrame, got {other:?}"),
+    }
+
+    // The same connection still serves well-formed requests.
+    let stats = encode_request(Header { tenant: 1, request_id: 42 }, &Request::Stats);
+    wire::write_frame(&mut stream, &stats).expect("write stats");
+    let payload = wire::read_frame(&mut stream).expect("stats reply");
+    let (header, response) = wire::decode_response(&payload).expect("decodable stats");
+    assert_eq!(header.request_id, 42);
+    assert!(matches!(response, Response::Stats { .. }), "stats after garbage: {response:?}");
+
+    // A hostile length prefix: typed error, then the gateway hangs up.
+    stream.write_all(&u32::MAX.to_le_bytes()).expect("write hostile length");
+    let payload = wire::read_frame(&mut stream).expect("framing error reply");
+    let (_, response) = wire::decode_response(&payload).expect("decodable reply");
+    match response {
+        Response::Error(frame) => assert_eq!(frame.code, ErrorCode::BadFrame),
+        other => panic!("expected BadFrame, got {other:?}"),
+    }
+    match wire::read_frame(&mut stream) {
+        Err(WireError::Truncated { .. } | WireError::Io(_)) => {}
+        other => panic!("expected a closed connection, got {other:?}"),
+    }
+
+    let report = gateway.shutdown();
+    assert_eq!(report.admitted, 0, "no malformed frame may reach the runtime");
+}
+
+/// Graceful drain: a live decode session is closed with a terminal
+/// `Closed` frame, the runtime finishes clean within the deadline, and
+/// any late frames surface as typed `Draining` errors.
+#[test]
+fn drain_closes_live_sessions_with_terminal_closed_frames() {
+    let gateway = unit_gateway(one_worker());
+    let mut client = GatewayClient::connect(gateway.local_addr(), 4).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(30))).expect("deadline");
+
+    let (request, tokens) = GenerationTraffic::demo_mix().session_bounded(1, 4);
+    let opened = client
+        .open_session(request.pattern, request.head_dim, request.num_heads, request.prompt)
+        .expect("open");
+    let (_, heads) = client.step(opened.session, tokens[0].clone()).expect("step");
+    assert_eq!(heads.len(), 1);
+
+    let report = gateway.shutdown();
+    assert!(report.drained_in_deadline, "drain exceeded its deadline");
+    assert_eq!(report.serve.decode_sessions, 1);
+    assert_eq!(report.serve.decode_session_errors, 0);
+
+    // The drain must have delivered a terminal Closed for the live
+    // session before the connection went away.
+    let mut saw_terminal_close = false;
+    loop {
+        match client.recv() {
+            Ok((_, Response::Closed { session, .. })) if session == opened.session => {
+                saw_terminal_close = true;
+            }
+            Ok((_, Response::Error(frame))) => {
+                assert_eq!(frame.code, ErrorCode::Draining, "unexpected error: {frame:?}");
+            }
+            Ok(_) => {}
+            Err(GatewayError::Wire(_)) => break, // connection closed
+            Err(other) => panic!("unexpected client error: {other}"),
+        }
+    }
+    assert!(saw_terminal_close, "no terminal Closed frame for the live session");
+}
